@@ -1,0 +1,85 @@
+//! Criterion bench of the compiler's own phases (the paper's Figure 5
+//! boxes): profiling, configuration selection, instance-model
+//! construction, heuristic scheduling, ILP formulation, and buffer
+//! planning — so regressions in any stage are visible independently.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use swpipe::plan::LayoutKind;
+use swpipe::schedule::{SchedulerKind, SearchOptions};
+use swpipe::{config, formulate, instances, plan, profile, schedule};
+
+fn bench_phases(c: &mut Criterion) {
+    let b = streambench::by_name("FFT").expect("known");
+    let graph = b.spec.flatten().expect("flattens");
+    let device = gpusim::DeviceConfig::gts512();
+    let timing = gpusim::TimingModel::gts512();
+    let popts = profile::ProfileOptions::small(&[64]);
+
+    let table = profile::profile(&graph, &popts, &device, &timing).expect("profiles");
+    let selection = config::select(&graph, &table).expect("selects");
+    let ig = instances::build(&graph, &selection.exec).expect("builds");
+
+    let mut group = c.benchmark_group("compile_phases");
+    group.sample_size(10);
+
+    group.bench_function("profile", |bench| {
+        bench.iter(|| {
+            black_box(profile::profile(&graph, &popts, &device, &timing).expect("profiles"))
+        });
+    });
+    group.bench_function("select", |bench| {
+        bench.iter(|| black_box(config::select(&graph, &table).expect("selects")));
+    });
+    group.bench_function("instances", |bench| {
+        bench.iter(|| black_box(instances::build(&graph, &selection.exec).expect("builds")));
+    });
+    group.bench_function("heuristic_schedule", |bench| {
+        bench.iter(|| {
+            black_box(
+                schedule::find(
+                    &ig,
+                    &selection.exec,
+                    16,
+                    &SearchOptions {
+                        scheduler: SchedulerKind::Heuristic,
+                        ..SearchOptions::default()
+                    },
+                )
+                .expect("schedules"),
+            )
+        });
+    });
+    group.bench_function("formulate_ilp", |bench| {
+        let lower = ig
+            .res_mii(&selection.exec, 16)
+            .max(selection.exec.delay.iter().copied().max().unwrap_or(1))
+            .max(1);
+        bench.iter(|| black_box(formulate::build_model(&ig, &selection.exec, 16, lower, 16)));
+    });
+    group.bench_function("buffer_plan", |bench| {
+        let (sched, _) = schedule::find(
+            &ig,
+            &selection.exec,
+            16,
+            &SearchOptions {
+                scheduler: SchedulerKind::Heuristic,
+                ..SearchOptions::default()
+            },
+        )
+        .expect("schedules");
+        bench.iter(|| {
+            black_box(plan::plan(
+                &graph,
+                &ig,
+                Some(&sched),
+                8,
+                LayoutKind::Optimized,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

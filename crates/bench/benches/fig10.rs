@@ -1,0 +1,47 @@
+//! Criterion bench behind Figure 10: wall-clock cost of measuring each
+//! execution scheme (SWP8 / SWPNC / Serial) on a representative benchmark
+//! pair, at the fast grid so samples stay cheap. The printed *figure*
+//! itself comes from `cargo run -p swp-bench --bin fig10`; this bench
+//! tracks the harness's own performance so regressions in the simulator
+//! or scheduler show up in CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use swpipe::exec::{self, Scheme};
+
+fn bench_schemes(c: &mut Criterion) {
+    std::env::set_var("SWP_BENCH_FAST", "1");
+    let opts = swp_bench::options_from_env();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+
+    for name in ["FFT", "DES"] {
+        let b = streambench::by_name(name).expect("known");
+        let graph = b.spec.flatten().expect("flattens");
+        let compiled = exec::compile(&graph, &opts.compile).expect("compiles");
+        let input = (b.input)(exec::measure_input(&compiled, Scheme::Swp { coarsening: 8 })
+            as usize);
+        for (label, scheme) in [
+            ("swp8", Scheme::Swp { coarsening: 8 }),
+            ("swpnc", Scheme::SwpNc { coarsening: 8 }),
+            ("serial", Scheme::Serial { batch: 8 }),
+        ] {
+            group.bench_function(format!("{name}/{label}"), |bencher| {
+                bencher.iter(|| {
+                    let run = exec::measure(
+                        black_box(&compiled),
+                        scheme,
+                        opts.iterations,
+                        black_box(&input),
+                    )
+                    .expect("measures");
+                    black_box(run.time_secs)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

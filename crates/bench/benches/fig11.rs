@@ -1,0 +1,38 @@
+//! Criterion bench behind Figure 11: harness cost across coarsening
+//! factors on one benchmark. The figure itself comes from
+//! `cargo run -p swp-bench --bin fig11`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use swpipe::exec::{self, Scheme};
+
+fn bench_coarsening(c: &mut Criterion) {
+    std::env::set_var("SWP_BENCH_FAST", "1");
+    let opts = swp_bench::options_from_env();
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+
+    let b = streambench::by_name("FFT").expect("known");
+    let graph = b.spec.flatten().expect("flattens");
+    let compiled = exec::compile(&graph, &opts.compile).expect("compiles");
+    let input =
+        (b.input)(exec::measure_input(&compiled, Scheme::Swp { coarsening: 16 }) as usize);
+    for coarsening in [1u32, 4, 8, 16] {
+        group.bench_function(format!("FFT/swp{coarsening}"), |bencher| {
+            bencher.iter(|| {
+                let run = exec::measure(
+                    black_box(&compiled),
+                    Scheme::Swp { coarsening },
+                    opts.iterations,
+                    black_box(&input),
+                )
+                .expect("measures");
+                black_box(run.time_secs)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coarsening);
+criterion_main!(benches);

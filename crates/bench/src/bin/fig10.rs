@@ -1,0 +1,77 @@
+//! Regenerates Figure 10: speedup over the single-threaded CPU for
+//! SWPNC (no coalescing), Serial (SAS schedule), and SWP8 (the optimized
+//! software pipeline coarsened 8×), per benchmark plus the geometric
+//! mean — the paper's headline comparison.
+
+use swpipe::harness::geometric_mean;
+
+fn main() {
+    let opts = swp_bench::options_from_env();
+    let results = swp_bench::run_suite(&opts);
+
+    println!("Figure 10: Speedup over single-threaded CPU");
+    println!("(SWPNC = software pipelined, no coalescing; Serial = SAS schedule;");
+    println!(" SWP8 = optimized software pipeline, coarsened 8x)");
+    println!();
+    let widths = [12, 10, 10, 10, 26];
+    swp_bench::row(
+        &[
+            "Benchmark".into(),
+            "SWPNC".into(),
+            "Serial".into(),
+            "SWP8".into(),
+            "paper(SWPNC/Serial/SWP8)".into(),
+        ],
+        &widths,
+    );
+    let (mut nc, mut serial, mut swp8) = (Vec::new(), Vec::new(), Vec::new());
+    for (r, b) in results.iter().zip(streambench::suite()) {
+        let s8 = r.swp_at(8).expect("SWP8 measured");
+        nc.push(r.swpnc.speedup);
+        serial.push(r.serial.speedup);
+        swp8.push(s8.speedup);
+        swp_bench::row(
+            &[
+                r.name.clone(),
+                format!("{:.2}", r.swpnc.speedup),
+                format!("{:.2}", r.serial.speedup),
+                format!("{:.2}", s8.speedup),
+                format!(
+                    "{:.2} / {:.2} / {:.2}",
+                    b.paper.fig10.0, b.paper.fig10.1, b.paper.fig10.2
+                ),
+            ],
+            &widths,
+        );
+    }
+    swp_bench::row(
+        &[
+            "GeoMean".into(),
+            format!("{:.2}", geometric_mean(&nc)),
+            format!("{:.2}", geometric_mean(&serial)),
+            format!("{:.2}", geometric_mean(&swp8)),
+            String::new(),
+        ],
+        &widths,
+    );
+    println!();
+    println!("Shape checks (paper's qualitative claims):");
+    let swp_beats_serial = results
+        .iter()
+        .filter(|r| r.swp_at(8).unwrap().speedup > r.serial.speedup)
+        .count();
+    println!(
+        "  SWP8 beats Serial on {}/{} benchmarks (paper: all but DCT and MatrixMult)",
+        swp_beats_serial,
+        results.len()
+    );
+    let nc_worst = results
+        .iter()
+        .filter(|r| r.name != "Filterbank" && r.name != "FMRadio")
+        .map(|r| r.swpnc.speedup / r.swp_at(8).unwrap().speedup)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "  outside Filterbank/FMRadio, SWPNC reaches at most {nc_worst:.2} of SWP8 \
+         (paper: SWPNC collapses except where shared-memory staging fits)"
+    );
+}

@@ -1,0 +1,90 @@
+//! Regenerates Figure 11: the effect of coarsening the software-pipelined
+//! schedule — SWP (no coarsening), SWP4, SWP8, SWP16 — per benchmark plus
+//! the geometric mean. The paper's observation: gains plateau between
+//! SWP4 and SWP8 as kernel-launch overhead amortizes.
+
+use swpipe::harness::geometric_mean;
+
+fn main() {
+    let opts = swp_bench::options_from_env();
+    let results = swp_bench::run_suite(&opts);
+
+    println!("Figure 11: Effect of coarsening (speedup over single-threaded CPU)");
+    println!();
+    let widths = [12, 9, 9, 9, 9, 28];
+    swp_bench::row(
+        &[
+            "Benchmark".into(),
+            "SWP".into(),
+            "SWP4".into(),
+            "SWP8".into(),
+            "SWP16".into(),
+            "paper(SWP/4/8/16)".into(),
+        ],
+        &widths,
+    );
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for (r, b) in results.iter().zip(streambench::suite()) {
+        let vals: Vec<f64> = [1u32, 4, 8, 16]
+            .iter()
+            .map(|&c| r.swp_at(c).expect("measured").speedup)
+            .collect();
+        for (col, &v) in cols.iter_mut().zip(&vals) {
+            col.push(v);
+        }
+        swp_bench::row(
+            &[
+                r.name.clone(),
+                format!("{:.2}", vals[0]),
+                format!("{:.2}", vals[1]),
+                format!("{:.2}", vals[2]),
+                format!("{:.2}", vals[3]),
+                format!(
+                    "{:.1}/{:.1}/{:.1}/{:.1}",
+                    b.paper.fig11.0, b.paper.fig11.1, b.paper.fig11.2, b.paper.fig11.3
+                ),
+            ],
+            &widths,
+        );
+    }
+    swp_bench::row(
+        &[
+            "GeoMean".into(),
+            format!("{:.2}", geometric_mean(&cols[0])),
+            format!("{:.2}", geometric_mean(&cols[1])),
+            format!("{:.2}", geometric_mean(&cols[2])),
+            format!("{:.2}", geometric_mean(&cols[3])),
+            String::new(),
+        ],
+        &widths,
+    );
+
+    println!();
+    println!("Shape checks (paper's qualitative claims):");
+    let plateau = results
+        .iter()
+        .filter(|r| {
+            let s4 = r.swp_at(4).unwrap().speedup;
+            let s8 = r.swp_at(8).unwrap().speedup;
+            let s16 = r.swp_at(16).unwrap().speedup;
+            (s8 - s4).abs() / s8 < 0.15 || (s16 - s8).abs() / s8 < 0.15
+        })
+        .count();
+    println!(
+        "  gains plateau by SWP4..SWP8 on {}/{} benchmarks (paper: all)",
+        plateau,
+        results.len()
+    );
+    let monotone_to_8 = results
+        .iter()
+        .filter(|r| {
+            r.swp_at(1).unwrap().speedup <= r.swp_at(4).unwrap().speedup + 1e-9
+                && r.swp_at(4).unwrap().speedup <= r.swp_at(8).unwrap().speedup + 0.05
+        })
+        .count();
+    println!(
+        "  coarsening helps up to SWP8 on {}/{} benchmarks",
+        monotone_to_8,
+        results.len()
+    );
+}

@@ -1,0 +1,231 @@
+//! Bitonic sorting network for 8 integers — iterative (`Bitonic`) and
+//! recursive (`BitonicRec`) constructions, as in the StreamIt suite.
+//!
+//! The stream carries consecutive groups of [`KEYS`] integers; each group
+//! leaves the network sorted ascending. Compare-exchange filters pop a
+//! pair and push it in the demanded order; the split-join structure routes
+//! stride-`j` partners together exactly like the StreamIt original.
+
+use streamir::graph::{FilterSpec, SplitterKind, StreamSpec};
+use streamir::ir::{ElemTy, Expr, FnBuilder, Scalar};
+
+use crate::{Benchmark, PaperData};
+
+/// Keys per sorted group.
+pub const KEYS: usize = 8;
+
+/// A compare-exchange filter: pop `(a, b)`, push `(min, max)` when
+/// ascending or `(max, min)` when descending.
+#[must_use]
+pub fn compare_exchange(name: &str, ascending: bool) -> StreamSpec {
+    let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+    let a = f.local(ElemTy::I32);
+    let b = f.local(ElemTy::I32);
+    f.pop_into(0, a);
+    f.pop_into(0, b);
+    if ascending {
+        f.push(0, Expr::local(a).min(Expr::local(b)));
+        f.push(0, Expr::local(a).max(Expr::local(b)));
+    } else {
+        f.push(0, Expr::local(a).max(Expr::local(b)));
+        f.push(0, Expr::local(a).min(Expr::local(b)));
+    }
+    StreamSpec::filter(FilterSpec::new(name, f.build().expect("valid")))
+}
+
+/// One substage: within blocks of `2j` lanes, compare-exchange partners
+/// `(t, t+j)`; the direction of block `b` follows the bitonic stage size
+/// `k` (ascending iff `(base & k) == 0`).
+fn substage(n: usize, j: usize, k: usize, tag: &str) -> StreamSpec {
+    let block = 2 * j;
+    let blocks = n / block;
+    let make_block = |b: usize| -> StreamSpec {
+        let ascending = ((b * block) & k) == 0;
+        if j == 1 {
+            compare_exchange(&format!("ce_{tag}_b{b}"), ascending)
+        } else {
+            // Pair stride-j lanes: deal single tokens to j comparators.
+            let ces: Vec<StreamSpec> = (0..j)
+                .map(|s| compare_exchange(&format!("ce_{tag}_b{b}_s{s}"), ascending))
+                .collect();
+            StreamSpec::split_join(SplitterKind::round_robin_uniform(j, 1), ces, vec![1; j])
+        }
+    };
+    if blocks == 1 {
+        make_block(0)
+    } else {
+        let branches: Vec<StreamSpec> = (0..blocks).map(make_block).collect();
+        StreamSpec::split_join(
+            SplitterKind::round_robin_uniform(blocks, block as u32),
+            branches,
+            vec![block as u32; blocks],
+        )
+    }
+}
+
+/// The iterative network: `k = 2, 4, ..., n`, `j = k/2, k/4, ..., 1`.
+#[must_use]
+pub fn spec() -> StreamSpec {
+    let n = KEYS;
+    let mut stages = Vec::new();
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j >= 1 {
+            stages.push(substage(n, j, k, &format!("k{k}j{j}")));
+            if j == 1 {
+                break;
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    StreamSpec::pipeline(stages)
+}
+
+/// The recursive construction: `sort(n) = [sort(n/2)↑ ∥ sort(n/2)↓] ; merge(n)`.
+#[must_use]
+pub fn spec_recursive() -> StreamSpec {
+    fn sort(n: usize, ascending: bool, tag: &str) -> StreamSpec {
+        if n == 2 {
+            return compare_exchange(&format!("ce_{tag}"), ascending);
+        }
+        let half = (n / 2) as u32;
+        let split = StreamSpec::split_join(
+            SplitterKind::RoundRobin(vec![half, half]),
+            vec![
+                sort(n / 2, true, &format!("{tag}a")),
+                sort(n / 2, false, &format!("{tag}d")),
+            ],
+            vec![half, half],
+        );
+        StreamSpec::pipeline(vec![split, merge(n, ascending, tag)])
+    }
+    fn merge(n: usize, ascending: bool, tag: &str) -> StreamSpec {
+        // Compare lanes (i, i + n/2), then merge each half.
+        let j = n / 2;
+        let head = if j == 1 {
+            return compare_exchange(&format!("mce_{tag}"), ascending);
+        } else {
+            let ces: Vec<StreamSpec> = (0..j)
+                .map(|s| compare_exchange(&format!("mce_{tag}_{s}"), ascending))
+                .collect();
+            StreamSpec::split_join(SplitterKind::round_robin_uniform(j, 1), ces, vec![1; j])
+        };
+        let half = j as u32;
+        let tails = StreamSpec::split_join(
+            SplitterKind::RoundRobin(vec![half, half]),
+            vec![
+                merge(n / 2, ascending, &format!("{tag}l")),
+                merge(n / 2, ascending, &format!("{tag}r")),
+            ],
+            vec![half, half],
+        );
+        StreamSpec::pipeline(vec![head, tails])
+    }
+    sort(KEYS, true, "r")
+}
+
+/// Sorts each [`KEYS`]-sized group ascending (the reference semantics).
+#[must_use]
+pub fn reference(input: &[i32]) -> Vec<i32> {
+    let mut out = Vec::with_capacity(input.len() / KEYS * KEYS);
+    for chunk in input.chunks_exact(KEYS) {
+        let mut c = chunk.to_vec();
+        c.sort_unstable();
+        out.extend(c);
+    }
+    out
+}
+
+fn input(n: usize) -> Vec<Scalar> {
+    crate::util::int_input(n)
+}
+
+/// The iterative benchmark with the paper's reported numbers.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "Bitonic",
+        description: "Bitonic sorting network for sorting 8 integers.",
+        spec: spec(),
+        input,
+        paper: PaperData {
+            filters: 58,
+            peeking: 0,
+            buffer_bytes: 5_308_416,
+            fig10: (1.0, 2.4, 4.5),
+            fig11: (4.3, 4.4, 4.5, 4.4),
+        },
+    }
+}
+
+/// The recursive benchmark with the paper's reported numbers.
+#[must_use]
+pub fn benchmark_recursive() -> Benchmark {
+    Benchmark {
+        name: "BitonicRec",
+        description: "Recursive implementation of the bitonic sorting network.",
+        spec: spec_recursive(),
+        input,
+        paper: PaperData {
+            filters: 61,
+            peeking: 0,
+            buffer_bytes: 4_472_832,
+            fig10: (1.2, 2.1, 5.0),
+            fig11: (4.6, 4.9, 5.0, 5.0),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{as_i32, int_input};
+    use streamir::cpu::{self, CpuCostModel};
+    use streamir::sdf;
+
+    fn sorts_correctly(spec: &StreamSpec) {
+        let g = spec.flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        let per_iter = s.input_tokens_per_iteration(&g);
+        assert_eq!(per_iter as usize % KEYS, 0);
+        let iters = 6u64;
+        let input = int_input((per_iter * iters) as usize);
+        let run = cpu::run(&g, &s, iters, &input, &CpuCostModel::default()).unwrap();
+        let got = as_i32(&run.outputs);
+        let expect = reference(&as_i32(&input));
+        assert_eq!(got, expect[..got.len()]);
+        // Every 8-group is sorted.
+        for chunk in got.chunks_exact(KEYS) {
+            assert!(chunk.windows(2).all(|w| w[0] <= w[1]), "{chunk:?}");
+        }
+    }
+
+    #[test]
+    fn iterative_network_sorts() {
+        sorts_correctly(&spec());
+    }
+
+    #[test]
+    fn recursive_network_sorts() {
+        sorts_correctly(&spec_recursive());
+    }
+
+    #[test]
+    fn network_shapes_are_nontrivial() {
+        let it = spec().flatten().unwrap();
+        let rec = spec_recursive().flatten().unwrap();
+        // 24 comparators each (6 substages x 4), plus routing nodes.
+        let ce = |g: &streamir::graph::FlatGraph| {
+            g.nodes()
+                .iter()
+                .filter(|n| n.name.contains("ce"))
+                .count()
+        };
+        assert_eq!(ce(&it), 24);
+        assert_eq!(ce(&rec), 24);
+        assert!(it.len() >= 40, "iterative has {} nodes", it.len());
+        assert!(rec.len() >= 40, "recursive has {} nodes", rec.len());
+    }
+}

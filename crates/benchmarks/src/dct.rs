@@ -1,0 +1,218 @@
+//! 8×8 two-dimensional DCT-II, StreamIt style: a row pass of eight
+//! parallel 1-D DCTs, a transpose, a column pass, and a transpose back.
+
+use streamir::graph::{FilterSpec, SplitterKind, StreamSpec};
+use streamir::ir::{ElemTy, Expr, FnBuilder, Stmt, Table};
+
+use crate::util::{self, transpose};
+use crate::{Benchmark, PaperData};
+
+/// Block edge length.
+pub const N: usize = 8;
+
+/// The DCT-II basis matrix `c[k][n]` with orthonormal scaling, flattened
+/// row-major — shared by the filters and the reference implementation so
+/// the arithmetic agrees.
+#[must_use]
+pub fn basis() -> Vec<f32> {
+    let n = N as f32;
+    let mut m = Vec::with_capacity(N * N);
+    for k in 0..N {
+        let scale = if k == 0 {
+            (1.0 / n).sqrt()
+        } else {
+            (2.0 / n).sqrt()
+        };
+        for j in 0..N {
+            let angle = std::f32::consts::PI * (j as f32 + 0.5) * k as f32 / n;
+            m.push(scale * angle.cos());
+        }
+    }
+    m
+}
+
+/// A 1-D 8-point DCT filter: pop 8 samples, push their 8 coefficients.
+#[must_use]
+pub fn dct1d(name: &str) -> StreamSpec {
+    let mut f = FnBuilder::new(&[ElemTy::F32], &[ElemTy::F32]);
+    let t = f.table(Table::f32(&basis()));
+    let row = f.array(ElemTy::F32, N as u32);
+    let x = f.local(ElemTy::F32);
+    let acc = f.local(ElemTy::F32);
+    f.for_loop(0, N as i32, |_, j| {
+        vec![
+            Stmt::Pop {
+                port: 0,
+                dst: Some(x),
+            },
+            Stmt::Store {
+                arr: row,
+                index: Expr::local(j),
+                value: Expr::local(x),
+            },
+        ]
+    });
+    f.for_loop(0, N as i32, |fb, k| {
+        let inner = {
+            let acc_update = move |j: streamir::ir::LocalId| {
+                Stmt::Assign(
+                    acc,
+                    Expr::local(acc).add(
+                        Expr::table(
+                            t,
+                            Expr::local(k).mul(Expr::i32(N as i32)).add(Expr::local(j)),
+                        )
+                        .mul(Expr::load(row, Expr::local(j))),
+                    ),
+                )
+            };
+            let j = fb.local(ElemTy::I32);
+            vec![Stmt::For {
+                var: j,
+                lo: 0,
+                hi: N as i32,
+                body: vec![acc_update(j)],
+            }]
+        };
+        let mut body = vec![Stmt::Assign(acc, Expr::f32(0.0))];
+        body.extend(inner);
+        body.push(Stmt::Push {
+            port: 0,
+            value: Expr::local(acc),
+        });
+        body
+    });
+    StreamSpec::filter(FilterSpec::new(name, f.build().expect("valid")))
+}
+
+/// A bank of eight parallel row (or column) DCTs.
+fn dct_bank(tag: &str) -> StreamSpec {
+    let branches: Vec<StreamSpec> = (0..N).map(|i| dct1d(&format!("dct_{tag}{i}"))).collect();
+    StreamSpec::split_join(
+        SplitterKind::round_robin_uniform(N, N as u32),
+        branches,
+        vec![N as u32; N],
+    )
+}
+
+/// The full 2-D pipeline: rows → transpose → columns → transpose back.
+#[must_use]
+pub fn spec() -> StreamSpec {
+    StreamSpec::pipeline(vec![
+        dct_bank("row"),
+        transpose("dct_ta", N, N as u32),
+        dct_bank("col"),
+        transpose("dct_tb", N, N as u32),
+    ])
+}
+
+/// Reference 2-D DCT on row-major 8×8 blocks, using the same `f32` basis
+/// and accumulation order as the filters.
+#[must_use]
+pub fn reference(input: &[f32]) -> Vec<f32> {
+    let b = basis();
+    let dct_vec = |v: &[f32]| -> Vec<f32> {
+        (0..N)
+            .map(|k| {
+                let mut acc = 0.0f32;
+                for j in 0..N {
+                    acc += b[k * N + j] * v[j];
+                }
+                acc
+            })
+            .collect()
+    };
+    let mut out = Vec::with_capacity(input.len());
+    for block in input.chunks_exact(N * N) {
+        // Row pass.
+        let mut rows: Vec<f32> = Vec::with_capacity(N * N);
+        for r in 0..N {
+            rows.extend(dct_vec(&block[r * N..(r + 1) * N]));
+        }
+        // Transpose, column pass, transpose back.
+        let mut t = vec![0.0f32; N * N];
+        for r in 0..N {
+            for c in 0..N {
+                t[c * N + r] = rows[r * N + c];
+            }
+        }
+        let mut cols: Vec<f32> = Vec::with_capacity(N * N);
+        for r in 0..N {
+            cols.extend(dct_vec(&t[r * N..(r + 1) * N]));
+        }
+        let mut back = vec![0.0f32; N * N];
+        for r in 0..N {
+            for c in 0..N {
+                back[c * N + r] = cols[r * N + c];
+            }
+        }
+        out.extend(back);
+    }
+    out
+}
+
+/// The benchmark with the paper's reported numbers.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "DCT",
+        description: "8x8 Discrete Cosine Transform.",
+        spec: spec(),
+        input: util::signal_input,
+        paper: PaperData {
+            filters: 40,
+            peeking: 0,
+            buffer_bytes: 29_360_128,
+            fig10: (1.2, 6.2, 5.8),
+            fig11: (5.2, 5.6, 5.8, 5.8),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{as_f32, signal_input};
+    use streamir::cpu::{self, CpuCostModel};
+    use streamir::sdf;
+    use streamir::ir::Scalar;
+
+    #[test]
+    fn graph_matches_table_one_exactly() {
+        let g = spec().flatten().unwrap();
+        // 2 DCT banks (1+8+1) + 2 transposes (1+8+1) = 40, Table I's count.
+        assert_eq!(g.len(), 40);
+    }
+
+    #[test]
+    fn dct_matches_reference() {
+        let g = spec().flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        let per_iter = s.input_tokens_per_iteration(&g) as usize;
+        assert_eq!(per_iter, N * N);
+        let iters = 3u64;
+        let input = signal_input(per_iter * iters as usize);
+        let run = cpu::run(&g, &s, iters, &input, &CpuCostModel::default()).unwrap();
+        let got = as_f32(&run.outputs);
+        let expect = reference(&as_f32(&input));
+        assert_eq!(got.len(), expect.len());
+        for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
+            assert!((a - b).abs() < 1e-3, "coef {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dct_of_constant_block_is_dc_only() {
+        let g = spec().flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        let input: Vec<Scalar> = (0..N * N).map(|_| Scalar::F32(1.0)).collect();
+        let run = cpu::run(&g, &s, 1, &input, &CpuCostModel::default()).unwrap();
+        let got = as_f32(&run.outputs);
+        // DC coefficient = 8 for an all-ones block (orthonormal scaling),
+        // everything else ~0.
+        assert!((got[0] - 8.0).abs() < 1e-3, "dc {}", got[0]);
+        for (i, &v) in got.iter().enumerate().skip(1) {
+            assert!(v.abs() < 1e-3, "ac {i} = {v}");
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! DES encryption as a stream program: initial permutation, sixteen real
+//! Feistel rounds (expansion + key mix, S-boxes, P-permutation + swap),
+//! and the final permutation. The key is fixed at compile time (as in the
+//! StreamIt original) and the subkey schedule is baked into constant
+//! tables.
+//!
+//! A 64-bit block travels as two `i32` tokens, most-significant word
+//! first; within a word, bit 0 is the MSB (DES's 1-based big-endian bit
+//! numbering minus one).
+
+use streamir::graph::{FilterSpec, StreamSpec};
+use streamir::ir::{ElemTy, Expr, FnBuilder, LocalId, Table};
+
+use crate::{Benchmark, PaperData};
+
+/// The classic test key `0x133457799BBCDFF1`.
+pub const KEY: u64 = 0x1334_5779_9BBC_DFF1;
+
+// --- Standard DES tables (1-based source bit indices). ---
+
+const IP: [u8; 64] = [
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4, 62, 54, 46, 38, 30, 22, 14, 6,
+    64, 56, 48, 40, 32, 24, 16, 8, 57, 49, 41, 33, 25, 17, 9, 1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
+];
+
+const FP: [u8; 64] = [
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31, 38, 6, 46, 14, 54, 22, 62, 30,
+    37, 5, 45, 13, 53, 21, 61, 29, 36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9, 49, 17, 57, 25,
+];
+
+const E: [u8; 48] = [
+    32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9, 8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17, 16, 17,
+    18, 19, 20, 21, 20, 21, 22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
+];
+
+const P: [u8; 32] = [
+    16, 7, 20, 21, 29, 12, 28, 17, 1, 15, 23, 26, 5, 18, 31, 10, 2, 8, 24, 14, 32, 27, 3, 9, 19,
+    13, 30, 6, 22, 11, 4, 25,
+];
+
+const PC1: [u8; 56] = [
+    57, 49, 41, 33, 25, 17, 9, 1, 58, 50, 42, 34, 26, 18, 10, 2, 59, 51, 43, 35, 27, 19, 11, 3,
+    60, 52, 44, 36, 63, 55, 47, 39, 31, 23, 15, 7, 62, 54, 46, 38, 30, 22, 14, 6, 61, 53, 45, 37,
+    29, 21, 13, 5, 28, 20, 12, 4,
+];
+
+const PC2: [u8; 48] = [
+    14, 17, 11, 24, 1, 5, 3, 28, 15, 6, 21, 10, 23, 19, 12, 4, 26, 8, 16, 7, 27, 20, 13, 2, 41,
+    52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
+];
+
+const SHIFTS: [u8; 16] = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1];
+
+#[rustfmt::skip]
+const SBOX: [[u8; 64]; 8] = [
+    [14,4,13,1,2,15,11,8,3,10,6,12,5,9,0,7,0,15,7,4,14,2,13,1,10,6,12,11,9,5,3,8,
+     4,1,14,8,13,6,2,11,15,12,9,7,3,10,5,0,15,12,8,2,4,9,1,7,5,11,3,14,10,0,6,13],
+    [15,1,8,14,6,11,3,4,9,7,2,13,12,0,5,10,3,13,4,7,15,2,8,14,12,0,1,10,6,9,11,5,
+     0,14,7,11,10,4,13,1,5,8,12,6,9,3,2,15,13,8,10,1,3,15,4,2,11,6,7,12,0,5,14,9],
+    [10,0,9,14,6,3,15,5,1,13,12,7,11,4,2,8,13,7,0,9,3,4,6,10,2,8,5,14,12,11,15,1,
+     13,6,4,9,8,15,3,0,11,1,2,12,5,10,14,7,1,10,13,0,6,9,8,7,4,15,14,3,11,5,2,12],
+    [7,13,14,3,0,6,9,10,1,2,8,5,11,12,4,15,13,8,11,5,6,15,0,3,4,7,2,12,1,10,14,9,
+     10,6,9,0,12,11,7,13,15,1,3,14,5,2,8,4,3,15,0,6,10,1,13,8,9,4,5,11,12,7,2,14],
+    [2,12,4,1,7,10,11,6,8,5,3,15,13,0,14,9,14,11,2,12,4,7,13,1,5,0,15,10,3,9,8,6,
+     4,2,1,11,10,13,7,8,15,9,12,5,6,3,0,14,11,8,12,7,1,14,2,13,6,15,0,9,10,4,5,3],
+    [12,1,10,15,9,2,6,8,0,13,3,4,14,7,5,11,10,15,4,2,7,12,9,5,6,1,13,14,0,11,3,8,
+     9,14,15,5,2,8,12,3,7,0,4,10,1,13,11,6,4,3,2,12,9,5,15,10,11,14,1,7,6,0,8,13],
+    [4,11,2,14,15,0,8,13,3,12,9,7,5,10,6,1,13,0,11,7,4,9,1,10,14,3,5,12,2,15,8,6,
+     1,4,11,13,12,3,7,14,10,15,6,8,0,5,9,2,6,11,13,8,1,4,10,7,9,5,0,15,14,2,3,12],
+    [13,2,8,4,6,15,11,1,10,9,3,14,5,0,12,7,1,15,13,8,10,3,7,4,12,5,6,11,0,14,9,2,
+     7,11,4,1,9,12,14,2,0,6,10,13,15,3,5,8,2,1,14,7,4,10,8,13,15,12,9,0,3,5,6,11],
+];
+
+/// The 16 round subkeys as `(hi24, lo24)` pairs (48 bits each), computed
+/// from [`KEY`] with the standard PC-1 / rotate / PC-2 schedule.
+#[must_use]
+pub fn subkeys() -> [(u32, u32); 16] {
+    let key_bit = |p: u8| -> u64 { (KEY >> (64 - u32::from(p))) & 1 };
+    let mut cd: u64 = 0; // 56 bits, C in the high 28, D in the low 28
+    for &p in &PC1 {
+        cd = (cd << 1) | key_bit(p);
+    }
+    let mut c = (cd >> 28) & 0x0FFF_FFFF;
+    let mut d = cd & 0x0FFF_FFFF;
+    let mut out = [(0u32, 0u32); 16];
+    for (r, &s) in SHIFTS.iter().enumerate() {
+        let s = u32::from(s);
+        c = ((c << s) | (c >> (28 - s))) & 0x0FFF_FFFF;
+        d = ((d << s) | (d >> (28 - s))) & 0x0FFF_FFFF;
+        let combined = (c << 28) | d;
+        let mut k: u64 = 0;
+        for &p in &PC2 {
+            k = (k << 1) | ((combined >> (56 - u32::from(p))) & 1);
+        }
+        out[r] = ((k >> 24) as u32 & 0xFF_FFFF, k as u32 & 0xFF_FFFF);
+    }
+    out
+}
+
+/// Emits IR computing bit `idx` (0-based from the MSB of the 64-bit value
+/// `(a, b)`), branch-free: select the word arithmetically, shift, mask.
+fn select_bit64(a: LocalId, b: LocalId, idx: i32) -> Expr {
+    let (word, within) = if idx < 32 {
+        (Expr::local(a), idx)
+    } else {
+        (Expr::local(b), idx - 32)
+    };
+    word.ushr(Expr::i32(31 - within)).bitand(Expr::i32(1))
+}
+
+/// Builds a filter applying a 64→64-bit permutation: pop 2, push 2.
+fn perm64_filter(name: &str, table: &[u8; 64]) -> StreamSpec {
+    let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+    let a = f.local(ElemTy::I32);
+    let b = f.local(ElemTy::I32);
+    let out = f.local(ElemTy::I32);
+    f.pop_into(0, a);
+    f.pop_into(0, b);
+    for half in 0..2 {
+        f.assign(out, Expr::i32(0));
+        for j in 0..32 {
+            let src = i32::from(table[half * 32 + j]) - 1;
+            f.assign(
+                out,
+                Expr::local(out)
+                    .shl(Expr::i32(1))
+                    .bitor(select_bit64(a, b, src)),
+            );
+        }
+        f.push(0, Expr::local(out));
+    }
+    StreamSpec::filter(FilterSpec::new(name, f.build().expect("valid")))
+}
+
+/// Round filter 1: expansion + key mixing. Pop `(L, R)`, push
+/// `(L, R, e_hi24 ^ k_hi24, e_lo24 ^ k_lo24)`.
+fn expand_key_filter(round: usize) -> StreamSpec {
+    let (k_hi, k_lo) = subkeys()[round];
+    let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+    let l = f.local(ElemTy::I32);
+    let r = f.local(ElemTy::I32);
+    let out = f.local(ElemTy::I32);
+    f.pop_into(0, l);
+    f.pop_into(0, r);
+    f.push(0, Expr::local(l));
+    f.push(0, Expr::local(r));
+    for (half, key_word) in [(0usize, k_hi), (1, k_lo)] {
+        f.assign(out, Expr::i32(0));
+        for j in 0..24 {
+            let src = i32::from(E[half * 24 + j]) - 1; // bit of R (32-bit)
+            f.assign(
+                out,
+                Expr::local(out).shl(Expr::i32(1)).bitor(
+                    Expr::local(r)
+                        .ushr(Expr::i32(31 - src))
+                        .bitand(Expr::i32(1)),
+                ),
+            );
+        }
+        f.push(0, Expr::local(out).bitxor(Expr::i32(key_word as i32)));
+    }
+    StreamSpec::filter(FilterSpec::new(
+        format!("expandkey{round}"),
+        f.build().expect("valid"),
+    ))
+}
+
+/// Round filter 2: the eight S-boxes. Pop `(L, R, e_hi, e_lo)`, push
+/// `(L, R, s32)`.
+fn sbox_filter(round: usize) -> StreamSpec {
+    let flat: Vec<i32> = SBOX
+        .iter()
+        .flat_map(|b| b.iter().map(|&v| i32::from(v)))
+        .collect();
+    let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+    let t = f.table(Table::i32(&flat));
+    let l = f.local(ElemTy::I32);
+    let r = f.local(ElemTy::I32);
+    let ea = f.local(ElemTy::I32);
+    let eb = f.local(ElemTy::I32);
+    let s = f.local(ElemTy::I32);
+    let six = f.local(ElemTy::I32);
+    f.pop_into(0, l);
+    f.pop_into(0, r);
+    f.pop_into(0, ea);
+    f.pop_into(0, eb);
+    f.push(0, Expr::local(l));
+    f.push(0, Expr::local(r));
+    f.assign(s, Expr::i32(0));
+    for box_idx in 0..8usize {
+        let word = if box_idx < 4 { ea } else { eb };
+        let shift = 18 - 6 * (box_idx as i32 % 4);
+        f.assign(
+            six,
+            Expr::local(word)
+                .ushr(Expr::i32(shift))
+                .bitand(Expr::i32(63)),
+        );
+        // row = b5b0, col = b4..b1.
+        let row = Expr::local(six)
+            .ushr(Expr::i32(4))
+            .bitand(Expr::i32(2))
+            .bitor(Expr::local(six).bitand(Expr::i32(1)));
+        let col = Expr::local(six).ushr(Expr::i32(1)).bitand(Expr::i32(15));
+        let index = Expr::i32(box_idx as i32 * 64)
+            .add(row.mul(Expr::i32(16)))
+            .add(col);
+        f.assign(
+            s,
+            Expr::local(s).shl(Expr::i32(4)).bitor(Expr::table(t, index)),
+        );
+    }
+    f.push(0, Expr::local(s));
+    StreamSpec::filter(FilterSpec::new(
+        format!("sbox{round}"),
+        f.build().expect("valid"),
+    ))
+}
+
+/// Round filter 3: P-permutation, XOR with L, Feistel swap. Pop
+/// `(L, R, s)`, push `(R, L ^ P(s))`.
+fn round_out_filter(round: usize) -> StreamSpec {
+    let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+    let l = f.local(ElemTy::I32);
+    let r = f.local(ElemTy::I32);
+    let s = f.local(ElemTy::I32);
+    let p = f.local(ElemTy::I32);
+    f.pop_into(0, l);
+    f.pop_into(0, r);
+    f.pop_into(0, s);
+    f.assign(p, Expr::i32(0));
+    for &src in &P {
+        let src = i32::from(src) - 1;
+        f.assign(
+            p,
+            Expr::local(p).shl(Expr::i32(1)).bitor(
+                Expr::local(s)
+                    .ushr(Expr::i32(31 - src))
+                    .bitand(Expr::i32(1)),
+            ),
+        );
+    }
+    f.push(0, Expr::local(r));
+    f.push(0, Expr::local(l).bitxor(Expr::local(p)));
+    StreamSpec::filter(FilterSpec::new(
+        format!("roundout{round}"),
+        f.build().expect("valid"),
+    ))
+}
+
+/// A pre-FP filter undoing the 16th swap (`(L16, R16) -> (R16, L16)`), as
+/// DES requires before the final permutation.
+fn preoutput_filter() -> StreamSpec {
+    let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+    let l = f.local(ElemTy::I32);
+    let r = f.local(ElemTy::I32);
+    f.pop_into(0, l);
+    f.pop_into(0, r);
+    f.push(0, Expr::local(r));
+    f.push(0, Expr::local(l));
+    StreamSpec::filter(FilterSpec::new("preoutput", f.build().expect("valid")))
+}
+
+/// The full DES pipeline: IP, 16 × (expand/key, sbox, round-out), swap
+/// undo, FP — 51 filters.
+#[must_use]
+pub fn spec() -> StreamSpec {
+    let mut stages = vec![perm64_filter("ip", &IP)];
+    for round in 0..16 {
+        stages.push(expand_key_filter(round));
+        stages.push(sbox_filter(round));
+        stages.push(round_out_filter(round));
+    }
+    stages.push(preoutput_filter());
+    stages.push(perm64_filter("fp", &FP));
+    StreamSpec::pipeline(stages)
+}
+
+/// Reference DES encryption of one 64-bit block under [`KEY`]
+/// (independent `u64` implementation of the same standard).
+#[must_use]
+pub fn encrypt_block(block: u64) -> u64 {
+    let bit = |v: u64, p: u8, width: u32| -> u64 { (v >> (width - u32::from(p))) & 1 };
+    let mut ip = 0u64;
+    for &p in &IP {
+        ip = (ip << 1) | bit(block, p, 64);
+    }
+    let mut l = (ip >> 32) as u32;
+    let mut r = ip as u32;
+    for (k_hi, k_lo) in subkeys() {
+        let mut e = 0u64;
+        for &p in &E {
+            e = (e << 1) | u64::from((r >> (32 - u32::from(p))) & 1);
+        }
+        let k = (u64::from(k_hi) << 24) | u64::from(k_lo);
+        let x = e ^ k;
+        let mut s_out = 0u32;
+        for (i, sbox) in SBOX.iter().enumerate() {
+            let six = ((x >> (42 - 6 * i)) & 63) as usize;
+            let row = ((six >> 4) & 2) | (six & 1);
+            let col = (six >> 1) & 15;
+            s_out = (s_out << 4) | u32::from(sbox[row * 16 + col]);
+        }
+        let mut p_out = 0u32;
+        for &p in &P {
+            p_out = (p_out << 1) | ((s_out >> (32 - u32::from(p))) & 1);
+        }
+        let new_r = l ^ p_out;
+        l = r;
+        r = new_r;
+    }
+    let preout = (u64::from(r) << 32) | u64::from(l);
+    let mut fp = 0u64;
+    for &p in &FP {
+        fp = (fp << 1) | bit(preout, p, 64);
+    }
+    fp
+}
+
+/// Reference over a token stream: each pair of `i32`s is one block.
+#[must_use]
+pub fn reference(input: &[i32]) -> Vec<i32> {
+    let mut out = Vec::with_capacity(input.len());
+    for pair in input.chunks_exact(2) {
+        let block = (u64::from(pair[0] as u32) << 32) | u64::from(pair[1] as u32);
+        let c = encrypt_block(block);
+        out.push((c >> 32) as i32);
+        out.push(c as i32);
+    }
+    out
+}
+
+/// The benchmark with the paper's reported numbers.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "DES",
+        description: "Implementation of the DES encryption algorithm.",
+        spec: spec(),
+        input: crate::util::int_input,
+        paper: PaperData {
+            filters: 55,
+            peeking: 0,
+            buffer_bytes: 59_768_832,
+            fig10: (1.2, 9.0, 16.3),
+            fig11: (15.9, 16.1, 16.3, 16.2),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{as_i32, int_input};
+    use streamir::cpu::{self, CpuCostModel};
+    use streamir::sdf;
+    use streamir::ir::Scalar;
+
+    #[test]
+    fn known_test_vector() {
+        // FIPS-46 classic: K=0x133457799BBCDFF1, P=0x0123456789ABCDEF.
+        assert_eq!(encrypt_block(0x0123_4567_89AB_CDEF), 0x85E8_1354_0F0A_B405);
+    }
+
+    #[test]
+    fn subkey_schedule_shape() {
+        let ks = subkeys();
+        assert_eq!(ks.len(), 16);
+        // First subkey for this key (well-known): 0b000110110000001011101111111111000111000001110010.
+        let k1 = (u64::from(ks[0].0) << 24) | u64::from(ks[0].1);
+        assert_eq!(k1, 0b000110_110000_001011_101111_111111_000111_000001_110010);
+        for (hi, lo) in ks {
+            assert!(hi < (1 << 24) && lo < (1 << 24));
+        }
+    }
+
+    #[test]
+    fn stream_graph_encrypts_like_reference() {
+        let g = spec().flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        assert_eq!(s.input_tokens_per_iteration(&g), 2);
+        let iters = 8u64;
+        let input = int_input(2 * iters as usize);
+        let run = cpu::run(&g, &s, iters, &input, &CpuCostModel::default()).unwrap();
+        assert_eq!(as_i32(&run.outputs), reference(&as_i32(&input)));
+    }
+
+    #[test]
+    fn stream_graph_matches_known_vector() {
+        let g = spec().flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        let input = vec![
+            Scalar::I32(0x0123_4567u32 as i32),
+            Scalar::I32(0x89AB_CDEFu32 as i32),
+        ];
+        let run = cpu::run(&g, &s, 1, &input, &CpuCostModel::default()).unwrap();
+        let out = as_i32(&run.outputs);
+        assert_eq!(out[0] as u32, 0x85E8_1354);
+        assert_eq!(out[1] as u32, 0x0F0A_B405);
+    }
+
+    #[test]
+    fn graph_has_fifty_one_filters() {
+        assert_eq!(spec().filter_count(), 51);
+        let g = spec().flatten().unwrap();
+        assert_eq!(g.len(), 51); // pure pipeline: no splitters/joiners
+    }
+}

@@ -1,0 +1,279 @@
+//! 16-point radix-2 decimation-in-time FFT over interleaved complex
+//! `f32` samples, StreamIt style: a chain of even/odd reorder filters
+//! (producing bit-reversed order) followed by butterfly combine stages,
+//! each stage a split-join of `CombineDFT` filters.
+
+use streamir::graph::{FilterSpec, SplitterKind, StreamSpec};
+use streamir::ir::{ElemTy, Expr, FnBuilder, Stmt, Table};
+
+use crate::{Benchmark, PaperData};
+
+/// Transform size (complex points).
+pub const N: usize = 16;
+
+/// Even/odd separation of `m` complex values: pop `2m` floats, push the
+/// even-indexed complexes then the odd-indexed ones (StreamIt's
+/// `FFTReorderSimple`).
+fn reorder_simple(m: usize) -> StreamSpec {
+    let mut f = FnBuilder::new(&[ElemTy::F32], &[ElemTy::F32]);
+    // Evens: complexes 0, 2, 4, ...
+    f.for_loop(0, (m / 2) as i32, |_, j| {
+        vec![
+            Stmt::Push {
+                port: 0,
+                value: Expr::peek(0, Expr::local(j).mul(Expr::i32(4))),
+            },
+            Stmt::Push {
+                port: 0,
+                value: Expr::peek(0, Expr::local(j).mul(Expr::i32(4)).add(Expr::i32(1))),
+            },
+        ]
+    });
+    // Odds: complexes 1, 3, 5, ...
+    f.for_loop(0, (m / 2) as i32, |_, j| {
+        vec![
+            Stmt::Push {
+                port: 0,
+                value: Expr::peek(0, Expr::local(j).mul(Expr::i32(4)).add(Expr::i32(2))),
+            },
+            Stmt::Push {
+                port: 0,
+                value: Expr::peek(0, Expr::local(j).mul(Expr::i32(4)).add(Expr::i32(3))),
+            },
+        ]
+    });
+    f.for_loop(0, 2 * m as i32, |_, _| {
+        vec![Stmt::Pop { port: 0, dst: None }]
+    });
+    StreamSpec::filter(FilterSpec::new(
+        format!("reorder{m}"),
+        f.build().expect("valid"),
+    ))
+}
+
+/// One butterfly combiner: consumes `m` complexes — the DFTs `G` (first
+/// `m/2`) and `H` (second `m/2`) — and produces the `m`-point DFT.
+fn combine_dft(m: usize, tag: &str) -> StreamSpec {
+    let half = m / 2;
+    // Twiddles W_m^k = exp(-2πik/m), interleaved re/im.
+    let tw: Vec<f32> = (0..half)
+        .flat_map(|k| {
+            let angle = -2.0 * std::f32::consts::PI * k as f32 / m as f32;
+            [angle.cos(), angle.sin()]
+        })
+        .collect();
+    let mut f = FnBuilder::new(&[ElemTy::F32], &[ElemTy::F32]);
+    let t = f.table(Table::f32(&tw));
+    let buf = f.array(ElemTy::F32, 2 * m as u32);
+    let x = f.local(ElemTy::F32);
+    let tre = f.local(ElemTy::F32);
+    let tim = f.local(ElemTy::F32);
+    f.for_loop(0, 2 * m as i32, |_, j| {
+        vec![
+            Stmt::Pop {
+                port: 0,
+                dst: Some(x),
+            },
+            Stmt::Store {
+                arr: buf,
+                index: Expr::local(j),
+                value: Expr::local(x),
+            },
+        ]
+    });
+    let g_re = |k: Expr| Expr::load(buf, k.mul(Expr::i32(2)));
+    let g_im = |k: Expr| Expr::load(buf, k.mul(Expr::i32(2)).add(Expr::i32(1)));
+    let h_re = |k: Expr| Expr::load(buf, k.mul(Expr::i32(2)).add(Expr::i32(m as i32)));
+    let h_im = |k: Expr| {
+        Expr::load(
+            buf,
+            k.mul(Expr::i32(2)).add(Expr::i32(m as i32 + 1)),
+        )
+    };
+    let w_re = |k: Expr| Expr::table(t, k.mul(Expr::i32(2)));
+    let w_im = |k: Expr| Expr::table(t, k.mul(Expr::i32(2)).add(Expr::i32(1)));
+    // out[k] = G[k] + W^k H[k]  (stored back into the H slots' scratch via
+    // locals; pushed in two passes: sums then differences).
+    f.for_loop(0, half as i32, |_, k| {
+        vec![
+            Stmt::Assign(
+                tre,
+                w_re(Expr::local(k))
+                    .mul(h_re(Expr::local(k)))
+                    .sub(w_im(Expr::local(k)).mul(h_im(Expr::local(k)))),
+            ),
+            Stmt::Assign(
+                tim,
+                w_re(Expr::local(k))
+                    .mul(h_im(Expr::local(k)))
+                    .add(w_im(Expr::local(k)).mul(h_re(Expr::local(k)))),
+            ),
+            Stmt::Push {
+                port: 0,
+                value: g_re(Expr::local(k)).add(Expr::local(tre)),
+            },
+            Stmt::Push {
+                port: 0,
+                value: g_im(Expr::local(k)).add(Expr::local(tim)),
+            },
+        ]
+    });
+    f.for_loop(0, half as i32, |_, k| {
+        vec![
+            Stmt::Assign(
+                tre,
+                w_re(Expr::local(k))
+                    .mul(h_re(Expr::local(k)))
+                    .sub(w_im(Expr::local(k)).mul(h_im(Expr::local(k)))),
+            ),
+            Stmt::Assign(
+                tim,
+                w_re(Expr::local(k))
+                    .mul(h_im(Expr::local(k)))
+                    .add(w_im(Expr::local(k)).mul(h_re(Expr::local(k)))),
+            ),
+            Stmt::Push {
+                port: 0,
+                value: g_re(Expr::local(k)).sub(Expr::local(tre)),
+            },
+            Stmt::Push {
+                port: 0,
+                value: g_im(Expr::local(k)).sub(Expr::local(tim)),
+            },
+        ]
+    });
+    StreamSpec::filter(FilterSpec::new(
+        format!("combine{m}{tag}"),
+        f.build().expect("valid"),
+    ))
+}
+
+/// One butterfly stage as a split-join of `N/m` combiners (degenerating to
+/// a single filter at the top stage).
+fn combine_stage(m: usize) -> StreamSpec {
+    let groups = N / m;
+    if groups == 1 {
+        return combine_dft(m, "_top");
+    }
+    let branches: Vec<StreamSpec> = (0..groups)
+        .map(|g| combine_dft(m, &format!("_g{g}")))
+        .collect();
+    StreamSpec::split_join(
+        SplitterKind::round_robin_uniform(groups, 2 * m as u32),
+        branches,
+        vec![2 * m as u32; groups],
+    )
+}
+
+/// The full FFT pipeline.
+#[must_use]
+pub fn spec() -> StreamSpec {
+    let mut stages = Vec::new();
+    let mut m = N;
+    while m > 2 {
+        stages.push(reorder_simple(m));
+        m /= 2;
+    }
+    let mut m = 2;
+    while m <= N {
+        stages.push(combine_stage(m));
+        m *= 2;
+    }
+    StreamSpec::pipeline(stages)
+}
+
+/// Naive `f64` DFT of each 16-point block (interleaved re/im input),
+/// the accuracy oracle.
+#[must_use]
+pub fn reference(input: &[f32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(input.len());
+    for block in input.chunks_exact(2 * N) {
+        for k in 0..N {
+            let mut re = 0.0f64;
+            let mut im = 0.0f64;
+            for j in 0..N {
+                let angle = -2.0 * std::f64::consts::PI * (j * k) as f64 / N as f64;
+                let (xr, xi) = (f64::from(block[2 * j]), f64::from(block[2 * j + 1]));
+                re += xr * angle.cos() - xi * angle.sin();
+                im += xr * angle.sin() + xi * angle.cos();
+            }
+            out.push(re as f32);
+            out.push(im as f32);
+        }
+    }
+    out
+}
+
+/// The benchmark with the paper's reported numbers.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "FFT",
+        description: "Fast Fourier Transform.",
+        spec: spec(),
+        input: crate::util::signal_input,
+        paper: PaperData {
+            filters: 26,
+            peeking: 0,
+            buffer_bytes: 25_165_824,
+            fig10: (1.1, 4.9, 8.1),
+            fig11: (7.4, 7.9, 8.1, 8.0),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{as_f32, signal_input};
+    use streamir::cpu::{self, CpuCostModel};
+    use streamir::sdf;
+    use streamir::ir::Scalar;
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let g = spec().flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        let per_iter = s.input_tokens_per_iteration(&g) as usize;
+        assert_eq!(per_iter, 2 * N);
+        let iters = 3u64;
+        let input = signal_input(per_iter * iters as usize);
+        let run = cpu::run(&g, &s, iters, &input, &CpuCostModel::default()).unwrap();
+        let got = as_f32(&run.outputs);
+        let expect = reference(&as_f32(&input));
+        assert_eq!(got.len(), expect.len());
+        for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-3 * (1.0 + b.abs()),
+                "bin {i}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let g = spec().flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        let mut input = vec![Scalar::F32(0.0); 2 * N];
+        input[0] = Scalar::F32(1.0); // delta at t=0
+        let run = cpu::run(&g, &s, 1, &input, &CpuCostModel::default()).unwrap();
+        let got = as_f32(&run.outputs);
+        for k in 0..N {
+            assert!((got[2 * k] - 1.0).abs() < 1e-4, "re[{k}] = {}", got[2 * k]);
+            assert!(got[2 * k + 1].abs() < 1e-4, "im[{k}] = {}", got[2 * k + 1]);
+        }
+    }
+
+    #[test]
+    fn graph_shape() {
+        let g = spec().flatten().unwrap();
+        // 3 reorders + stages of 8/4/2/1 combiners with routing.
+        let combiners = g
+            .nodes()
+            .iter()
+            .filter(|n| n.name.starts_with("combine"))
+            .count();
+        assert_eq!(combiners, 15);
+        assert!(g.len() >= 24, "got {} nodes", g.len());
+    }
+}

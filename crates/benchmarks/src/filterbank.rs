@@ -1,0 +1,143 @@
+//! An 8-channel multirate analysis/synthesis filter bank: the input is
+//! duplicated to 8 branches, each band-filters (peeking FIR), decimates by
+//! 8, re-expands, and filters again; a round-robin joiner plus adder
+//! recombines the bands — the StreamIt `FilterBank` structure, with its
+//! 16 peeking filters (2 FIRs × 8 branches).
+
+use streamir::graph::{SplitterKind, StreamSpec};
+
+use crate::util::{self, adder, downsample, fir, upsample};
+use crate::{Benchmark, PaperData};
+
+/// Number of bands.
+pub const BANDS: usize = 8;
+/// FIR length per stage.
+pub const TAPS: usize = 16;
+
+/// Analysis/synthesis coefficients for one band (deterministic windowed
+/// cosine bank shared with the reference).
+#[must_use]
+pub fn band_coeffs(band: usize) -> (Vec<f32>, Vec<f32>) {
+    let center = (band as f32 + 0.5) / (2.0 * BANDS as f32);
+    let lp = util::lowpass_coeffs(TAPS, 1.0 / (2.0 * BANDS as f32));
+    let analysis: Vec<f32> = lp
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c * (2.0 * std::f32::consts::PI * center * i as f32).cos() * 2.0)
+        .collect();
+    let synthesis: Vec<f32> = analysis.iter().map(|&c| c * BANDS as f32).collect();
+    (analysis, synthesis)
+}
+
+/// One band: analysis FIR → ↓8 → ↑8 → synthesis FIR.
+fn band(b: usize) -> StreamSpec {
+    let (analysis, synthesis) = band_coeffs(b);
+    StreamSpec::pipeline(vec![
+        fir(&format!("analysis{b}"), &analysis),
+        downsample(&format!("down{b}"), BANDS as u32),
+        upsample(&format!("up{b}"), BANDS as u32),
+        fir(&format!("synthesis{b}"), &synthesis),
+    ])
+}
+
+/// The full bank.
+#[must_use]
+pub fn spec() -> StreamSpec {
+    let branches: Vec<StreamSpec> = (0..BANDS).map(band).collect();
+    StreamSpec::pipeline(vec![
+        StreamSpec::split_join(SplitterKind::Duplicate, branches, vec![1; BANDS]),
+        adder("bank_sum", BANDS as u32),
+    ])
+}
+
+/// Reference implementation mirroring the stream semantics sample-exactly:
+/// per band, convolve (valid mode), keep every 8th sample, zero-stuff,
+/// convolve again, then sum bands.
+#[must_use]
+pub fn reference(input: &[f32], out_len: usize) -> Vec<f32> {
+    let mut total = vec![0.0f32; out_len];
+    for b in 0..BANDS {
+        let (analysis, synthesis) = band_coeffs(b);
+        let a = util::fir_reference(&analysis, input);
+        // ↓8 then ↑8 with zeros.
+        let mut us = Vec::with_capacity(a.len());
+        for (i, &v) in a.iter().enumerate() {
+            if i % BANDS == 0 {
+                us.push(v);
+            } else {
+                us.push(0.0);
+            }
+        }
+        // The stream down/up pair keeps sample 0 of each 8-group; the
+        // upsampled stream is then convolved by the synthesis FIR.
+        let s = util::fir_reference(&synthesis, &us);
+        for (i, &v) in s.iter().take(out_len).enumerate() {
+            total[i] += v;
+        }
+    }
+    total
+}
+
+/// The benchmark with the paper's reported numbers.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "Filterbank",
+        description: "Filter bank to perform multirate signal processing.",
+        spec: spec(),
+        input: util::signal_input,
+        paper: PaperData {
+            filters: 53,
+            peeking: 16,
+            buffer_bytes: 7_471_104,
+            fig10: (11.59, 6.9, 19.76),
+            fig11: (18.4, 19.3, 19.76, 19.5),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{as_f32, signal_input};
+    use streamir::cpu::{self, CpuCostModel};
+    use streamir::sdf;
+
+    #[test]
+    fn peeking_structure() {
+        let g = spec().flatten().unwrap();
+        assert_eq!(g.peeking_filter_count(), 16);
+        // 8 bands x 4 filters + split + join + adder = 35 nodes.
+        assert_eq!(g.len(), 35);
+    }
+
+    #[test]
+    fn bank_matches_reference() {
+        let g = spec().flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        let per_iter = s.input_tokens_per_iteration(&g) as usize;
+        let init = s.input_tokens_for_init(&g) as usize;
+        let iters = 4u64;
+        let n_in = init + per_iter * iters as usize + 64;
+        let input = signal_input(n_in);
+        let run = cpu::run(&g, &s, iters, &input, &CpuCostModel::default()).unwrap();
+        let got = as_f32(&run.outputs);
+        assert!(!got.is_empty());
+        let expect = reference(&as_f32(&input), got.len());
+        for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-3 * (1.0 + b.abs()),
+                "sample {i}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn band_coeffs_are_deterministic_and_distinct() {
+        let (a0, s0) = band_coeffs(0);
+        let (a1, _) = band_coeffs(1);
+        assert_eq!(a0.len(), TAPS);
+        assert_ne!(a0, a1);
+        assert_eq!(s0[0], a0[0] * BANDS as f32);
+    }
+}

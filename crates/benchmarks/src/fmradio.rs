@@ -1,0 +1,179 @@
+//! A software FM radio with equalizer, following the StreamIt `FMRadio`
+//! shape: a front low-pass (peeking) filter, an FM demodulator (peeks one
+//! sample ahead), and a 10-band equalizer — each band a duplicate
+//! split-join of two low-pass FIRs whose outputs are subtracted (a
+//! band-pass), then amplified; bands are summed at the end. That yields
+//! the paper's 22 peeking filters: 1 front LPF + 1 demodulator + 10 × 2
+//! equalizer LPFs.
+
+use streamir::graph::{FilterSpec, SplitterKind, StreamSpec};
+use streamir::ir::{ElemTy, Expr, FnBuilder};
+
+use crate::util::{self, adder, amplify, fir, lowpass_coeffs};
+use crate::{Benchmark, PaperData};
+
+/// Equalizer bands.
+pub const BANDS: usize = 10;
+/// FIR length for every low-pass stage.
+pub const TAPS: usize = 16;
+
+/// Demodulation gain.
+pub const DEMOD_GAIN: f32 = 0.5;
+
+/// Cutoffs for the equalizer band edges (log-spaced in (0, 0.5)).
+#[must_use]
+pub fn band_edges() -> Vec<f32> {
+    (0..=BANDS)
+        .map(|i| 0.05 * (1.25f32).powi(i as i32))
+        .collect()
+}
+
+/// The FM demodulator: `out[n] = gain * x[n] * x[n+1]` — a stateless
+/// peek-1-ahead approximation of the StreamIt demodulator's
+/// multiply-then-arctan structure.
+fn demodulator() -> StreamSpec {
+    let mut f = FnBuilder::new(&[ElemTy::F32], &[ElemTy::F32]);
+    f.push(
+        0,
+        Expr::peek(0, Expr::i32(0))
+            .mul(Expr::peek(0, Expr::i32(1)))
+            .mul(Expr::f32(DEMOD_GAIN)),
+    );
+    f.pop(0);
+    StreamSpec::filter(FilterSpec::new("demod", f.build().expect("valid")))
+}
+
+/// A subtractor: pop `(a, b)`, push `b - a` (high band minus low band).
+fn subtractor(name: &str) -> StreamSpec {
+    let mut f = FnBuilder::new(&[ElemTy::F32], &[ElemTy::F32]);
+    let a = f.local(ElemTy::F32);
+    let b = f.local(ElemTy::F32);
+    f.pop_into(0, a);
+    f.pop_into(0, b);
+    f.push(0, Expr::local(b).sub(Expr::local(a)));
+    StreamSpec::filter(FilterSpec::new(name, f.build().expect("valid")))
+}
+
+/// One equalizer band: band-pass via two low-passes and a subtract, then
+/// gain.
+fn band(b: usize) -> StreamSpec {
+    let edges = band_edges();
+    let lo = lowpass_coeffs(TAPS, edges[b]);
+    let hi = lowpass_coeffs(TAPS, edges[b + 1]);
+    let pair = StreamSpec::split_join(
+        SplitterKind::Duplicate,
+        vec![
+            fir(&format!("eq_lo{b}"), &lo),
+            fir(&format!("eq_hi{b}"), &hi),
+        ],
+        vec![1, 1],
+    );
+    StreamSpec::pipeline(vec![
+        pair,
+        subtractor(&format!("eq_sub{b}")),
+        amplify(&format!("eq_amp{b}"), band_gain(b)),
+    ])
+}
+
+/// Per-band gain (a fixed, mildly V-shaped EQ curve).
+#[must_use]
+pub fn band_gain(b: usize) -> f32 {
+    1.0 + 0.1 * (b as f32 - BANDS as f32 / 2.0).abs()
+}
+
+/// The full radio.
+#[must_use]
+pub fn spec() -> StreamSpec {
+    let front = fir("front_lpf", &lowpass_coeffs(TAPS, 0.45));
+    let eq_branches: Vec<StreamSpec> = (0..BANDS).map(band).collect();
+    StreamSpec::pipeline(vec![
+        front,
+        demodulator(),
+        StreamSpec::split_join(SplitterKind::Duplicate, eq_branches, vec![1; BANDS]),
+        adder("eq_sum", BANDS as u32),
+    ])
+}
+
+/// Sample-exact reference of the whole radio.
+#[must_use]
+pub fn reference(input: &[f32], out_len: usize) -> Vec<f32> {
+    let front = util::fir_reference(&lowpass_coeffs(TAPS, 0.45), input);
+    let demod: Vec<f32> = front
+        .windows(2)
+        .map(|w| w[0] * w[1] * DEMOD_GAIN)
+        .collect();
+    let edges = band_edges();
+    let mut total = vec![0.0f32; out_len];
+    for b in 0..BANDS {
+        let lo = util::fir_reference(&lowpass_coeffs(TAPS, edges[b]), &demod);
+        let hi = util::fir_reference(&lowpass_coeffs(TAPS, edges[b + 1]), &demod);
+        let g = band_gain(b);
+        for i in 0..out_len.min(lo.len()) {
+            total[i] += (hi[i] - lo[i]) * g;
+        }
+    }
+    total
+}
+
+/// The benchmark with the paper's reported numbers.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "FMRadio",
+        description: "Software FM Radio with equalizer.",
+        spec: spec(),
+        input: util::signal_input,
+        paper: PaperData {
+            filters: 67,
+            peeking: 22,
+            buffer_bytes: 1_671_168,
+            fig10: (31.78, 12.0, 33.82),
+            fig11: (30.93, 33.0, 33.82, 33.5),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{as_f32, signal_input};
+    use streamir::cpu::{self, CpuCostModel};
+    use streamir::sdf;
+
+    #[test]
+    fn peeking_structure_matches_table_one() {
+        let g = spec().flatten().unwrap();
+        assert_eq!(g.peeking_filter_count(), 22);
+        // 1 front + 1 demod + 10 bands x (split + 2 FIR + join + sub + amp)
+        // + eq split + join + adder = 65.
+        assert_eq!(g.len(), 65);
+    }
+
+    #[test]
+    fn radio_matches_reference() {
+        let g = spec().flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        let per_iter = s.input_tokens_per_iteration(&g) as usize;
+        let init = s.input_tokens_for_init(&g) as usize;
+        let iters = 48u64;
+        let input = signal_input(init + per_iter * iters as usize + 64);
+        let run = cpu::run(&g, &s, iters, &input, &CpuCostModel::default()).unwrap();
+        let got = as_f32(&run.outputs);
+        assert!(!got.is_empty());
+        let expect = reference(&as_f32(&input), got.len());
+        for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-3 * (1.0 + b.abs()),
+                "sample {i}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn band_edges_monotone() {
+        let e = band_edges();
+        assert_eq!(e.len(), BANDS + 1);
+        assert!(e.windows(2).all(|w| w[0] < w[1]));
+        assert!(*e.last().unwrap() < 0.5);
+    }
+}

@@ -1,0 +1,201 @@
+//! Blocked matrix multiplication: each steady iteration consumes one
+//! `A` matrix followed by one `B` matrix (row-major 8×8 `f32`) and
+//! produces `A × B`. The graph follows the StreamIt `MatrixMult` shape:
+//! split the pair, transpose `B` through a split-join, replicate it per
+//! row of `A`, and fan the row×matrix products out to parallel
+//! dot-product filters.
+
+use streamir::graph::{FilterSpec, SplitterKind, StreamSpec};
+use streamir::ir::{ElemTy, Expr, FnBuilder, Stmt};
+
+use crate::util::{self, transpose};
+use crate::{Benchmark, PaperData};
+
+/// Matrix edge length.
+pub const N: usize = 8;
+
+/// Replicates a 64-token matrix `N` times (peek-copy then pop).
+fn replicate_matrix(name: &str) -> StreamSpec {
+    let tokens = (N * N) as i32;
+    let mut f = FnBuilder::new(&[ElemTy::F32], &[ElemTy::F32]);
+    for _ in 0..N {
+        f.for_loop(0, tokens, |_, j| {
+            vec![Stmt::Push {
+                port: 0,
+                value: Expr::peek(0, Expr::local(j)),
+            }]
+        });
+    }
+    f.for_loop(0, tokens, |_, _| vec![Stmt::Pop { port: 0, dst: None }]);
+    StreamSpec::filter(FilterSpec::new(name, f.build().expect("valid")))
+}
+
+/// Multiplies one row of `A` (length `N`) against a full `Bᵀ` (`N×N`):
+/// pop `N + N²`, push the `N` dot products.
+fn row_mult(name: &str) -> StreamSpec {
+    let mut f = FnBuilder::new(&[ElemTy::F32], &[ElemTy::F32]);
+    let row = f.array(ElemTy::F32, N as u32);
+    let x = f.local(ElemTy::F32);
+    let acc = f.local(ElemTy::F32);
+    f.for_loop(0, N as i32, |_, j| {
+        vec![
+            Stmt::Pop {
+                port: 0,
+                dst: Some(x),
+            },
+            Stmt::Store {
+                arr: row,
+                index: Expr::local(j),
+                value: Expr::local(x),
+            },
+        ]
+    });
+    // For each column (a row of Bᵀ): pop N entries, accumulate.
+    f.for_loop(0, N as i32, |fb, _col| {
+        let j = fb.local(ElemTy::I32);
+        vec![
+            Stmt::Assign(acc, Expr::f32(0.0)),
+            Stmt::For {
+                var: j,
+                lo: 0,
+                hi: N as i32,
+                body: vec![
+                    Stmt::Pop {
+                        port: 0,
+                        dst: Some(x),
+                    },
+                    Stmt::Assign(
+                        acc,
+                        Expr::local(acc)
+                            .add(Expr::load(row, Expr::local(j)).mul(Expr::local(x))),
+                    ),
+                ],
+            },
+            Stmt::Push {
+                port: 0,
+                value: Expr::local(acc),
+            },
+        ]
+    });
+    StreamSpec::filter(FilterSpec::new(name, f.build().expect("valid")))
+}
+
+/// The full multiplier.
+#[must_use]
+pub fn spec() -> StreamSpec {
+    let nn = (N * N) as u32;
+    // Split the A;B pair: A passes through, B is transposed then
+    // replicated once per row of A.
+    let prep = StreamSpec::split_join(
+        SplitterKind::RoundRobin(vec![nn, nn]),
+        vec![
+            util::identity("a_pass", ElemTy::F32),
+            StreamSpec::pipeline(vec![
+                transpose("bt", N, N as u32),
+                replicate_matrix("b_rep"),
+            ]),
+        ],
+        // Per A-row: N entries of A, then the whole Bᵀ.
+        vec![N as u32, nn],
+    );
+    // Fan rows out to parallel row multipliers.
+    let work = (N + N * N) as u32;
+    let rows: Vec<StreamSpec> = (0..N).map(|r| row_mult(&format!("rowmult{r}"))).collect();
+    let fan = StreamSpec::split_join(
+        SplitterKind::round_robin_uniform(N, work),
+        rows,
+        vec![N as u32; N],
+    );
+    StreamSpec::pipeline(vec![prep, fan])
+}
+
+/// Reference multiply over the token stream (pairs of row-major 8×8
+/// matrices), with the same f32 accumulation order.
+#[must_use]
+pub fn reference(input: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    for pair in input.chunks_exact(2 * N * N) {
+        let (a, b) = pair.split_at(N * N);
+        for i in 0..N {
+            for j in 0..N {
+                let mut acc = 0.0f32;
+                for k in 0..N {
+                    acc += a[i * N + k] * b[k * N + j];
+                }
+                out.push(acc);
+            }
+        }
+    }
+    out
+}
+
+/// The benchmark with the paper's reported numbers.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "MatrixMult",
+        description: "Blocked matrix multiply.",
+        spec: spec(),
+        input: util::signal_input,
+        paper: PaperData {
+            filters: 43,
+            peeking: 0,
+            buffer_bytes: 92_602_368,
+            fig10: (1.0, 6.5, 6.1),
+            fig11: (5.3, 5.9, 6.1, 6.0),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{as_f32, signal_input};
+    use streamir::cpu::{self, CpuCostModel};
+    use streamir::sdf;
+    use streamir::ir::Scalar;
+
+    #[test]
+    fn multiplies_matrices() {
+        let g = spec().flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        let per_iter = s.input_tokens_per_iteration(&g) as usize;
+        assert_eq!(per_iter, 2 * N * N);
+        let iters = 2u64;
+        let input = signal_input(per_iter * iters as usize);
+        let run = cpu::run(&g, &s, iters, &input, &CpuCostModel::default()).unwrap();
+        let got = as_f32(&run.outputs);
+        let expect = reference(&as_f32(&input));
+        assert_eq!(got.len(), expect.len());
+        for (i, (x, y)) in got.iter().zip(&expect).enumerate() {
+            assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()), "{i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn identity_times_matrix_is_matrix() {
+        let g = spec().flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        let mut input = Vec::with_capacity(2 * N * N);
+        for i in 0..N {
+            for j in 0..N {
+                input.push(Scalar::F32(if i == j { 1.0 } else { 0.0 }));
+            }
+        }
+        let m: Vec<f32> = (0..N * N).map(|i| i as f32 * 0.25 - 3.0).collect();
+        input.extend(m.iter().map(|&v| Scalar::F32(v)));
+        let run = cpu::run(&g, &s, 1, &input, &CpuCostModel::default()).unwrap();
+        let got = as_f32(&run.outputs);
+        for (i, (x, y)) in got.iter().zip(&m).enumerate() {
+            assert!((x - y).abs() < 1e-5, "{i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn graph_shape() {
+        let g = spec().flatten().unwrap();
+        // prep split-join (split + id + (transpose 10) + replicate + join)
+        // + fan (split + 8 rowmult + join) = 24 nodes.
+        assert_eq!(g.len(), 24);
+    }
+}

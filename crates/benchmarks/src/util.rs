@@ -1,0 +1,271 @@
+//! Shared filter builders used across the benchmark suite.
+
+use streamir::graph::{FilterSpec, SplitterKind, StreamSpec};
+use streamir::ir::{ElemTy, Expr, FnBuilder, Scalar, Stmt, Table};
+
+/// An identity filter (pop one token, push it unchanged).
+#[must_use]
+pub fn identity(name: &str, ty: ElemTy) -> StreamSpec {
+    StreamSpec::filter(FilterSpec::new(name, streamir::ir::identity(ty)))
+}
+
+/// A filter summing `n` inputs into one output (`pop n, push 1`).
+#[must_use]
+pub fn adder(name: &str, n: u32) -> StreamSpec {
+    let mut f = FnBuilder::new(&[ElemTy::F32], &[ElemTy::F32]);
+    let acc = f.local(ElemTy::F32);
+    let x = f.local(ElemTy::F32);
+    f.assign(acc, Expr::f32(0.0));
+    f.for_loop(0, n as i32, |_, _| {
+        vec![
+            Stmt::Pop {
+                port: 0,
+                dst: Some(x),
+            },
+            Stmt::Assign(acc, Expr::local(acc).add(Expr::local(x))),
+        ]
+    });
+    f.push(0, Expr::local(acc));
+    StreamSpec::filter(FilterSpec::new(name, f.build().expect("adder is valid")))
+}
+
+/// An FIR filter: `out[n] = Σ_j coeff[j] · in[n+j]` — peeks `taps` deep,
+/// pops 1, pushes 1. This is the peeking-filter archetype of the suite.
+#[must_use]
+pub fn fir(name: &str, coeffs: &[f32]) -> StreamSpec {
+    let taps = coeffs.len() as i32;
+    let mut f = FnBuilder::new(&[ElemTy::F32], &[ElemTy::F32]);
+    let t = f.table(Table::f32(coeffs));
+    let acc = f.local(ElemTy::F32);
+    f.assign(acc, Expr::f32(0.0));
+    f.for_loop(0, taps, |_, j| {
+        vec![Stmt::Assign(
+            acc,
+            Expr::local(acc).add(
+                Expr::table(t, Expr::local(j)).mul(Expr::peek(0, Expr::local(j))),
+            ),
+        )]
+    });
+    f.push(0, Expr::local(acc));
+    f.pop(0);
+    StreamSpec::filter(FilterSpec::new(name, f.build().expect("fir is valid")))
+}
+
+/// Reference convolution matching [`fir`]'s arithmetic exactly (f32
+/// accumulation in the same order).
+#[must_use]
+pub fn fir_reference(coeffs: &[f32], input: &[f32]) -> Vec<f32> {
+    let taps = coeffs.len();
+    if input.len() < taps {
+        return Vec::new();
+    }
+    (0..=input.len() - taps)
+        .map(|n| {
+            let mut acc = 0.0f32;
+            for (j, &c) in coeffs.iter().enumerate() {
+                acc += c * input[n + j];
+            }
+            acc
+        })
+        .collect()
+}
+
+/// A decimator: pop `n`, push the first (`n:1` downsampling).
+#[must_use]
+pub fn downsample(name: &str, n: u32) -> StreamSpec {
+    let mut f = FnBuilder::new(&[ElemTy::F32], &[ElemTy::F32]);
+    let x = f.local(ElemTy::F32);
+    f.pop_into(0, x);
+    for _ in 1..n {
+        f.pop(0);
+    }
+    f.push(0, Expr::local(x));
+    StreamSpec::filter(FilterSpec::new(name, f.build().expect("valid")))
+}
+
+/// An expander: pop 1, push it followed by `n-1` zeros (`1:n` upsampling).
+#[must_use]
+pub fn upsample(name: &str, n: u32) -> StreamSpec {
+    let mut f = FnBuilder::new(&[ElemTy::F32], &[ElemTy::F32]);
+    let x = f.local(ElemTy::F32);
+    f.pop_into(0, x);
+    f.push(0, Expr::local(x));
+    for _ in 1..n {
+        f.push(0, Expr::f32(0.0));
+    }
+    StreamSpec::filter(FilterSpec::new(name, f.build().expect("valid")))
+}
+
+/// A gain stage: multiply each sample by a constant.
+#[must_use]
+pub fn amplify(name: &str, gain: f32) -> StreamSpec {
+    let mut f = FnBuilder::new(&[ElemTy::F32], &[ElemTy::F32]);
+    let x = f.local(ElemTy::F32);
+    f.pop_into(0, x);
+    f.push(0, Expr::local(x).mul(Expr::f32(gain)));
+    StreamSpec::filter(FilterSpec::new(name, f.build().expect("valid")))
+}
+
+/// A `w × h` stream transpose as a split-join: split deals single tokens
+/// round-robin to `w` identity branches, the joiner pulls `h` at a time —
+/// the idiom StreamIt uses between the row and column passes of the DCT.
+#[must_use]
+pub fn transpose(name_prefix: &str, w: usize, h: u32) -> StreamSpec {
+    let branches: Vec<StreamSpec> = (0..w)
+        .map(|i| identity(&format!("{name_prefix}_t{i}"), ElemTy::F32))
+        .collect();
+    StreamSpec::split_join(
+        SplitterKind::round_robin_uniform(w, 1),
+        branches,
+        vec![h; w],
+    )
+}
+
+/// Windowed-sinc low-pass coefficients (Hamming window), the classic
+/// StreamIt `LowPassFilter` construction.
+#[must_use]
+pub fn lowpass_coeffs(taps: usize, cutoff: f32) -> Vec<f32> {
+    let m = (taps - 1) as f32;
+    (0..taps)
+        .map(|i| {
+            let x = i as f32 - m / 2.0;
+            let sinc = if x.abs() < 1e-6 {
+                2.0 * cutoff
+            } else {
+                (2.0 * std::f32::consts::PI * cutoff * x).sin() / (std::f32::consts::PI * x)
+            };
+            let window = 0.54 - 0.46 * (2.0 * std::f32::consts::PI * i as f32 / m).cos();
+            sinc * window
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random `f32` input in `[-1, 1)` (xorshift; no
+/// external RNG so results are stable across runs).
+#[must_use]
+pub fn signal_input(n: usize) -> Vec<Scalar> {
+    let mut state = 0x2545_F491u32;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            Scalar::F32(((state >> 8) as f32 / (1 << 24) as f32) * 2.0 - 1.0)
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random `i32` input (xorshift).
+#[must_use]
+pub fn int_input(n: usize) -> Vec<Scalar> {
+    let mut state = 0x9E37_79B9u32;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            Scalar::I32((state & 0xFFFF) as i32 - 0x8000)
+        })
+        .collect()
+}
+
+/// Extracts the `f32` payloads of a scalar slice.
+///
+/// # Panics
+///
+/// Panics if any element is not `F32`.
+#[must_use]
+pub fn as_f32(tokens: &[Scalar]) -> Vec<f32> {
+    tokens.iter().map(|s| s.as_f32()).collect()
+}
+
+/// Extracts the `i32` payloads of a scalar slice.
+///
+/// # Panics
+///
+/// Panics if any element is not `I32`.
+#[must_use]
+pub fn as_i32(tokens: &[Scalar]) -> Vec<i32> {
+    tokens.iter().map(|s| s.as_i32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamir::cpu::{self, CpuCostModel};
+    use streamir::sdf;
+
+    fn run_spec(spec: &StreamSpec, iters: u64, input: Vec<Scalar>) -> Vec<Scalar> {
+        let g = spec.flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        cpu::run(&g, &s, iters, &input, &CpuCostModel::default())
+            .unwrap()
+            .outputs
+    }
+
+    #[test]
+    fn fir_matches_reference() {
+        let coeffs = [0.5f32, -0.25, 0.125, 1.0];
+        let spec = fir("f", &coeffs);
+        let input = signal_input(20);
+        let out = run_spec(&spec, 16, input.clone());
+        let expect = fir_reference(&coeffs, &as_f32(&input));
+        assert_eq!(as_f32(&out), expect[..16]);
+    }
+
+    #[test]
+    fn down_up_sample_shapes() {
+        let spec = StreamSpec::pipeline(vec![downsample("d", 4), upsample("u", 4)]);
+        let input: Vec<Scalar> = (0..16).map(|i| Scalar::F32(i as f32)).collect();
+        let out = run_spec(&spec, 4, input);
+        let got = as_f32(&out);
+        assert_eq!(got.len(), 16);
+        for (i, &v) in got.iter().enumerate() {
+            if i % 4 == 0 {
+                assert_eq!(v, (i as f32), "kept sample");
+            } else {
+                assert_eq!(v, 0.0, "zero-stuffed sample");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_reorders_blocks() {
+        let spec = transpose("t", 4, 4);
+        // 4x4 block in row-major order.
+        let input: Vec<Scalar> = (0..16).map(|i| Scalar::F32(i as f32)).collect();
+        let out = run_spec(&spec, 1, input);
+        let got = as_f32(&out);
+        let expect: Vec<f32> = (0..16).map(|i| ((i % 4) * 4 + i / 4) as f32).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn adder_sums() {
+        let spec = adder("a", 4);
+        let input: Vec<Scalar> = (1..=8).map(|i| Scalar::F32(i as f32)).collect();
+        let out = run_spec(&spec, 2, input);
+        assert_eq!(as_f32(&out), vec![10.0, 26.0]);
+    }
+
+    #[test]
+    fn lowpass_coeffs_are_a_lowpass() {
+        let c = lowpass_coeffs(33, 0.25);
+        // DC gain close to 2*cutoff*taps-ish normalized: just check the
+        // response at DC is positive and the coefficients are symmetric.
+        let dc: f32 = c.iter().sum();
+        assert!(dc > 0.5 && dc < 1.5, "dc gain {dc}");
+        for i in 0..c.len() / 2 {
+            assert!((c[i] - c[c.len() - 1 - i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn deterministic_inputs() {
+        assert_eq!(signal_input(8), signal_input(8));
+        assert_eq!(int_input(8), int_input(8));
+        assert!(signal_input(64)
+            .iter()
+            .all(|s| matches!(s, Scalar::F32(v) if (-1.0..1.0).contains(v))));
+    }
+}

@@ -1,0 +1,249 @@
+//! Execution-configuration selection (Figure 7 / Algorithm 7).
+//!
+//! From the profile table, pick the globally best `(numRegs, numThreads)`
+//! pair: every filter must be compilable at the shared register limit
+//! (all filters are one compilation unit — "the CUDA compiler does not
+//! support extern device functions"), each filter then chooses its own
+//! thread count `<= numThreads`, the steady state is re-solved at the
+//! candidate configuration, and candidates are compared by
+//! work-normalised initiation interval (total instance time divided by
+//! tokens produced at the sink).
+
+use streamir::graph::{FlatGraph, NodeId};
+
+use crate::instances::{self, ExecConfig};
+use crate::profile::{ProfileTable, TIME_UNIT_CYCLES};
+use crate::{Error, Result};
+
+/// The outcome of configuration selection, including the diagnostics the
+/// reports print.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// The chosen configuration (register limit, block size, per-node
+    /// threads and delays in integer time units).
+    pub exec: ExecConfig,
+    /// The winning candidate's work-normalised II (lower is better).
+    pub normalized_ii: f64,
+    /// Every candidate pair with its normalised II (`None` = infeasible),
+    /// for reporting.
+    pub candidates: Vec<((u32, u32), Option<f64>)>,
+}
+
+/// Runs Algorithm 7 over a profile table.
+///
+/// # Errors
+///
+/// [`Error::NoFeasibleConfiguration`] when no `(regs, threads)` pair is
+/// feasible for every filter.
+pub fn select(graph: &FlatGraph, table: &ProfileTable) -> Result<Selection> {
+    let mut best: Option<(f64, ExecConfig)> = None;
+    let mut candidates = Vec::new();
+
+    // Feedback loops bound data parallelism: an instance of `t` threads
+    // executes `t` consecutive firings in parallel, which is only valid
+    // when every cycle carries at least `t` initial tokens (the loop's
+    // pipelining depth). Cap thread choices accordingly.
+    let loop_cap = graph
+        .edges()
+        .iter()
+        .filter(|e| !e.initial.is_empty())
+        .map(|e| e.initial.len() as u32)
+        .min();
+
+    for (ri, &regs) in table.reg_limits.iter().enumerate() {
+        for &num_threads in &table.thread_counts {
+            let cand = evaluate_pair(graph, table, ri, num_threads, loop_cap);
+            candidates.push(((regs, num_threads), cand.as_ref().map(|c| c.0)));
+            if let Some((norm_ii, cfg)) = cand {
+                let better = best.as_ref().is_none_or(|(b, _)| norm_ii < *b);
+                if better {
+                    best = Some((norm_ii, cfg));
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((normalized_ii, exec)) => Ok(Selection {
+            exec,
+            normalized_ii,
+            candidates,
+        }),
+        None => Err(Error::NoFeasibleConfiguration),
+    }
+}
+
+/// Evaluates one `(reg index, numThreads)` candidate: per-filter best
+/// thread counts, re-solved steady state, and the work-normalised II.
+fn evaluate_pair(
+    graph: &FlatGraph,
+    table: &ProfileTable,
+    reg_idx: usize,
+    num_threads: u32,
+    loop_cap: Option<u32>,
+) -> Option<(f64, ExecConfig)> {
+    let n = graph.len();
+    let mut threads = Vec::with_capacity(n);
+    let mut cycles = Vec::with_capacity(n);
+    for i in 0..n {
+        let node = NodeId(i as u32);
+        if graph.node(node).work.is_stateful() {
+            // Stateful filters are serialized: one thread, any grid entry
+            // measures the same single-threaded instance.
+            let ti = (0..table.thread_counts.len())
+                .find(|&ti| table.cycles(node, reg_idx, ti).is_some())?;
+            threads.push(1);
+            cycles.push(table.cycles(node, reg_idx, ti).expect("checked"));
+            continue;
+        }
+        let cap = loop_cap.map_or(num_threads, |c| c.min(num_threads));
+        let ti = table.best_thread_idx(node, reg_idx, cap)?;
+        threads.push(table.thread_counts[ti]);
+        cycles.push(table.cycles(node, reg_idx, ti).expect("feasible by choice"));
+    }
+    let delay: Vec<u64> = cycles
+        .iter()
+        .map(|&c| ((c / TIME_UNIT_CYCLES).ceil() as u64).max(1))
+        .collect();
+    let exec = ExecConfig {
+        regs_per_thread: table.reg_limits[reg_idx],
+        threads_per_block: num_threads,
+        threads,
+        delay,
+    };
+
+    // Re-solve the steady state at the coarsened rates (Fig. 7 line 7).
+    let ig = instances::build(graph, &exec).ok()?;
+
+    // curII: total instance time per steady iteration (Fig. 7 lines 9-13).
+    let cur_ii: f64 = ig
+        .list
+        .iter()
+        .map(|&(v, _)| cycles[v.0 as usize])
+        .sum::<f64>();
+
+    // Work normalisation (lines 14-15): tokens produced at the sink per
+    // steady iteration; fall back to total channel traffic for closed
+    // graphs.
+    let work = sink_tokens_per_iteration(graph, &ig)
+        .unwrap_or_else(|| ig.edges.iter().map(|e| e.tokens_per_iter).sum::<u64>())
+        .max(1);
+    Some((cur_ii / work as f64, exec))
+}
+
+fn sink_tokens_per_iteration(
+    graph: &FlatGraph,
+    ig: &crate::instances::InstanceGraph,
+) -> Option<u64> {
+    let out = graph.output()?;
+    let work = &graph.node(out).work;
+    let per_inst = u64::from(work.push_rate(0)) * u64::from(exec_threads(ig, graph, out));
+    Some(u64::from(ig.reps[out.0 as usize]) * per_inst)
+}
+
+/// Threads per instance of `node` implied by the instance graph's edge
+/// geometry (falls back to 1 for isolated nodes).
+fn exec_threads(
+    ig: &crate::instances::InstanceGraph,
+    graph: &FlatGraph,
+    node: NodeId,
+) -> u32 {
+    for (i, e) in graph.edges().iter().enumerate() {
+        if e.dst == node {
+            let pop = ig.edges[i].pop_thread.max(1);
+            return (ig.edges[i].i_per_inst / u64::from(pop)) as u32;
+        }
+        if e.src == node {
+            let push = ig.edges[i].push_thread.max(1);
+            return (ig.edges[i].o_per_inst / u64::from(push)) as u32;
+        }
+    }
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{profile, ProfileOptions};
+    use gpusim::{DeviceConfig, TimingModel};
+    use streamir::graph::{FilterSpec, StreamSpec};
+    use streamir::ir::{ElemTy, Expr, FnBuilder};
+
+    /// A light filter and a heavy (transcendental-laden) filter.
+    fn two_filter_graph() -> FlatGraph {
+        let mut light = FnBuilder::new(&[ElemTy::F32], &[ElemTy::F32]);
+        let x = light.local(ElemTy::F32);
+        light.pop_into(0, x);
+        light.push(0, Expr::local(x).add(Expr::f32(1.0)));
+
+        let mut heavy = FnBuilder::new(&[ElemTy::F32], &[ElemTy::F32]);
+        let y = heavy.local(ElemTy::F32);
+        heavy.pop_into(0, y);
+        let mut e = Expr::local(y);
+        for _ in 0..8 {
+            e = e.unary(streamir::ir::UnOp::Sin);
+        }
+        heavy.push(0, e);
+
+        StreamSpec::pipeline(vec![
+            StreamSpec::filter(FilterSpec::new("light", light.build().unwrap())),
+            StreamSpec::filter(FilterSpec::new("heavy", heavy.build().unwrap())),
+        ])
+        .flatten()
+        .unwrap()
+    }
+
+    #[test]
+    fn selection_produces_feasible_config() {
+        let g = two_filter_graph();
+        let table = profile(
+            &g,
+            &ProfileOptions::paper(),
+            &DeviceConfig::gts512(),
+            &TimingModel::gts512(),
+        )
+        .unwrap();
+        let sel = select(&g, &table).unwrap();
+        assert!(sel.exec.threads.iter().all(|&t| t <= sel.exec.threads_per_block));
+        assert!(sel.exec.delay.iter().all(|&d| d >= 1));
+        assert!(sel.normalized_ii > 0.0);
+        // The paper's grid: every candidate pair is reported.
+        assert_eq!(sel.candidates.len(), 16);
+        // At least the 16-register column is feasible everywhere.
+        assert!(sel.candidates.iter().any(|(_, c)| c.is_some()));
+    }
+
+    #[test]
+    fn infeasible_when_no_pair_works() {
+        // A table where every entry is infeasible.
+        let g = two_filter_graph();
+        let table = ProfileTable {
+            reg_limits: vec![64],
+            thread_counts: vec![512],
+            times: vec![vec![vec![None]]; g.len()],
+        };
+        assert!(matches!(
+            select(&g, &table),
+            Err(Error::NoFeasibleConfiguration)
+        ));
+    }
+
+    #[test]
+    fn candidates_are_ranked_by_normalized_ii() {
+        let g = two_filter_graph();
+        let table = profile(
+            &g,
+            &ProfileOptions::paper(),
+            &DeviceConfig::gts512(),
+            &TimingModel::gts512(),
+        )
+        .unwrap();
+        let sel = select(&g, &table).unwrap();
+        let best_reported = sel
+            .candidates
+            .iter()
+            .filter_map(|(_, c)| *c)
+            .fold(f64::INFINITY, f64::min);
+        assert!((sel.normalized_ii - best_reported).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the software-pipelining compiler.
+
+use std::fmt;
+
+/// Errors raised along the compilation trajectory.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A front-end (stream IR) error: invalid graph, inconsistent rates,
+    /// deadlock, execution trap.
+    Stream(streamir::Error),
+    /// A simulator error: infeasible launch, device trap.
+    Sim(gpusim::SimError),
+    /// No execution configuration in the profiling grid is feasible for
+    /// every filter.
+    NoFeasibleConfiguration,
+    /// The scheduler could not find a valid schedule within its II and
+    /// time budgets.
+    ScheduleNotFound {
+        /// The last initiation interval attempted.
+        last_ii: u64,
+    },
+    /// A produced schedule failed independent validation — always a bug,
+    /// reported rather than silently accepted.
+    InvalidSchedule(String),
+    /// Mis-use of the compilation API (e.g. executing before scheduling).
+    Api(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Stream(e) => write!(f, "stream error: {e}"),
+            Error::Sim(e) => write!(f, "simulator error: {e}"),
+            Error::NoFeasibleConfiguration => {
+                f.write_str("no execution configuration is feasible for all filters")
+            }
+            Error::ScheduleNotFound { last_ii } => {
+                write!(f, "no schedule found up to initiation interval {last_ii}")
+            }
+            Error::InvalidSchedule(msg) => write!(f, "schedule failed validation: {msg}"),
+            Error::Api(msg) => write!(f, "api misuse: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Stream(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<streamir::Error> for Error {
+    fn from(e: streamir::Error) -> Self {
+        Error::Stream(e)
+    }
+}
+
+impl From<gpusim::SimError> for Error {
+    fn from(e: gpusim::SimError) -> Self {
+        Error::Sim(e)
+    }
+}

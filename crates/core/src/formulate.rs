@@ -1,0 +1,337 @@
+//! The ILP formulation of Section III.
+//!
+//! For a candidate initiation interval `T`, emits exactly the paper's
+//! constraint system over:
+//!
+//! * `w[k,v,p] ∈ {0,1}` — instance `(v,k)` assigned to SM `p`;
+//! * `o[k,v] ∈ [0, T − d(v)]` — offset within the pipelined kernel;
+//! * `f[k,v] ≥ 0` — pipeline stage;
+//! * `g ∈ {0,1}` per dependence — producer and consumer on different SMs.
+//!
+//! Constraints: (1) each instance on exactly one SM; (2) per-SM work fits
+//! in `T`; (4) no wraparound (folded into the `o` bounds); (7) `g`
+//! dominates the assignment difference; (8) the two time inequalities
+//! whose combination delays cross-SM consumers to the next iteration.
+//! The model is a pure feasibility problem, as in the paper.
+
+use ilp::{Model, Sense, VarId};
+use streamir::graph::NodeId;
+
+use crate::instances::{Dep, ExecConfig, InstanceGraph};
+use crate::schedule::Schedule;
+
+/// Handles into the built model, for extracting the schedule.
+#[derive(Debug, Clone)]
+pub struct VarHandles {
+    /// `w[inst][p]`.
+    pub w: Vec<Vec<VarId>>,
+    /// `o[inst]`.
+    pub o: Vec<VarId>,
+    /// `f[inst]`.
+    pub f: Vec<VarId>,
+    /// `g` per unique dependence (aligned with [`unique_deps`]).
+    pub g: Vec<VarId>,
+}
+
+/// Dependences with identical `(consumer, producer, jlag)` collapse to one
+/// constraint set (the paper notes repeated constraints drop out).
+#[must_use]
+pub fn unique_deps(ig: &InstanceGraph) -> Vec<Dep> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for d in &ig.deps {
+        if d.consumer == d.producer {
+            continue; // intrinsically satisfied (in-order sub-firings)
+        }
+        if seen.insert((d.consumer, d.producer, d.jlag)) {
+            out.push(*d);
+        }
+    }
+    out
+}
+
+/// Builds the feasibility model for initiation interval `ii`.
+///
+/// # Panics
+///
+/// Panics if any delay exceeds `ii` (callers start the search at
+/// `max(ResMII, RecMII, max d)`, so this indicates a driver bug).
+#[must_use]
+#[allow(clippy::needless_range_loop)] // p indexes several parallel per-SM structures
+pub fn build_model(
+    ig: &InstanceGraph,
+    config: &ExecConfig,
+    num_sms: u32,
+    ii: u64,
+    coarsening_max: u32,
+) -> (Model, VarHandles) {
+    let n = ig.len();
+    let p_max = num_sms as usize;
+    let t = ii as f64;
+    let mut m = Model::new();
+
+    let delay_of = |v: NodeId| config.delay[v.0 as usize];
+
+    // Stage bound: instances + 1 is always enough (each hop adds at most
+    // one stage and the dependence graph has no longer chains).
+    let stage_bound = (n + 1) as f64;
+
+    let mut w = Vec::with_capacity(n);
+    let mut o = Vec::with_capacity(n);
+    let mut f = Vec::with_capacity(n);
+    for (i, &(v, k)) in ig.list.iter().enumerate() {
+        let d = delay_of(v);
+        assert!(d <= ii, "delay {d} exceeds candidate II {ii}");
+        let row: Vec<VarId> = (0..p_max)
+            .map(|p| m.binary_var(format!("w_{i}_{p}")))
+            .collect();
+        // (1): exactly one SM.
+        let mut sum = m.expr();
+        for &var in &row {
+            sum = sum.term(var, 1.0);
+        }
+        m.named_constraint(format!("assign_{v:?}_{k}"), sum, Sense::Eq, 1.0);
+        m.sos1(row.clone());
+        w.push(row);
+        // (4) folded into bounds: o ∈ [0, T − d].
+        o.push(m.int_var(format!("o_{i}"), 0.0, (ii - d) as f64));
+        f.push(m.int_var(format!("f_{i}"), 0.0, stage_bound));
+    }
+
+    // Stateful filters: all instances share an SM (the serial chain's
+    // iteration wrap is unschedulable across SMs).
+    for (v, &is_stateful) in ig.stateful.iter().enumerate() {
+        if !is_stateful {
+            continue;
+        }
+        let base = ig.first[v] as usize;
+        for k in 1..ig.reps[v] as usize {
+            for p in 0..p_max {
+                m.named_constraint(
+                    format!("state_colo_{v}_{k}_{p}"),
+                    m.expr().term(w[base + k][p], 1.0).term(w[base][p], -1.0),
+                    Sense::Eq,
+                    0.0,
+                );
+            }
+        }
+    }
+
+    // Symmetry breaking: pin instance 0 to SM 0 (WLOG under SM renaming).
+    if n > 0 && p_max > 1 {
+        m.named_constraint(
+            "sym",
+            m.expr().term(w[0][0], 1.0),
+            Sense::Eq,
+            1.0,
+        );
+    }
+
+    // (2): per-SM capacity.
+    for p in 0..p_max {
+        let mut expr = m.expr();
+        for (i, &(v, _)) in ig.list.iter().enumerate() {
+            expr = expr.term(w[i][p], delay_of(v) as f64);
+        }
+        m.named_constraint(format!("cap_{p}"), expr, Sense::Le, t);
+    }
+
+    // (7) + (8) per unique dependence.
+    let deps = unique_deps(ig);
+    let mut g = Vec::with_capacity(deps.len());
+    for (di, dep) in deps.iter().enumerate() {
+        let c = dep.consumer.0 as usize;
+        let u = dep.producer.0 as usize;
+        let (unode, _) = ig.node_of(dep.producer);
+        let du = delay_of(unode) as f64;
+        let gv = m.binary_var(format!("g_{di}"));
+        g.push(gv);
+        if c != u {
+            for p in 0..p_max {
+                // g >= w_c,p - w_u,p  and  g >= w_u,p - w_c,p.
+                m.named_constraint(
+                    format!("g{di}_p{p}_a"),
+                    m.expr().term(w[c][p], 1.0).term(w[u][p], -1.0).term(gv, -1.0),
+                    Sense::Le,
+                    0.0,
+                );
+                m.named_constraint(
+                    format!("g{di}_p{p}_b"),
+                    m.expr().term(w[u][p], 1.0).term(w[c][p], -1.0).term(gv, -1.0),
+                    Sense::Le,
+                    0.0,
+                );
+            }
+        } else {
+            // Self-dependence (tight recurrence): always same SM.
+            m.named_constraint(format!("g{di}_self"), m.expr().term(gv, 1.0), Sense::Eq, 0.0);
+        }
+        // Iteration lags tighten for coarsened execution (see
+        // schedule::validate): truncating division = ceiling on negatives.
+        let jl = (dep.jlag / i64::from(coarsening_max.max(1))) as f64;
+        // (8a): T f_c + o_c − T f_u − o_u ≥ T·jlag + d(u).
+        m.named_constraint(
+            format!("dep{di}_time"),
+            m.expr()
+                .term(f[c], t)
+                .term(o[c], 1.0)
+                .term(f[u], -t)
+                .term(o[u], -1.0),
+            Sense::Ge,
+            t * jl + du,
+        );
+        // (8b): T f_c + o_c − T f_u − T·g ≥ T·jlag.
+        m.named_constraint(
+            format!("dep{di}_iter"),
+            m.expr()
+                .term(f[c], t)
+                .term(o[c], 1.0)
+                .term(f[u], -t)
+                .term(gv, -t),
+            Sense::Ge,
+            t * jl,
+        );
+    }
+
+    (m, VarHandles { w, o, f, g })
+}
+
+/// Reads a schedule out of an ILP solution.
+#[must_use]
+pub fn extract_schedule(
+    ig: &InstanceGraph,
+    handles: &VarHandles,
+    sol: &ilp::Solution,
+    ii: u64,
+) -> Schedule {
+    let n = ig.len();
+    let mut sm_of = Vec::with_capacity(n);
+    let mut offset = Vec::with_capacity(n);
+    let mut stage = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = handles.w[i]
+            .iter()
+            .position(|&v| sol.value(v) > 0.5)
+            .expect("constraint (1) guarantees an assignment");
+        sm_of.push(p as u32);
+        offset.push(sol.value(handles.o[i]).round().max(0.0) as u64);
+        stage.push(sol.value(handles.f[i]).round().max(0.0) as u64);
+    }
+    Schedule {
+        ii,
+        sm_of,
+        offset,
+        stage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances;
+    use crate::schedule::validate;
+    use streamir::graph::{FilterSpec, StreamSpec};
+    use streamir::ir::{ElemTy, Expr, FnBuilder};
+
+    fn rate_filter(name: &str, p: u32, q: u32) -> StreamSpec {
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let x = f.local(ElemTy::I32);
+        for _ in 0..p {
+            f.pop_into(0, x);
+        }
+        for _ in 0..q {
+            f.push(0, Expr::local(x));
+        }
+        StreamSpec::filter(FilterSpec::new(name, f.build().unwrap()))
+    }
+
+    #[test]
+    fn formulation_sizes_match_paper_structure() {
+        let g = StreamSpec::pipeline(vec![rate_filter("A", 1, 2), rate_filter("B", 3, 1)])
+            .flatten()
+            .unwrap();
+        let cfg = ExecConfig::uniform(2, 1, 16, 5);
+        let ig = instances::build(&g, &cfg).unwrap();
+        let p = 2;
+        let (m, h) = build_model(&ig, &cfg, p, 20, 1);
+        let n = ig.len(); // 5 instances
+        let deps = unique_deps(&ig).len(); // 4
+        assert_eq!(h.w.len(), n);
+        assert_eq!(h.g.len(), deps);
+        // vars: w (n*p) + o (n) + f (n) + g (deps)
+        assert_eq!(m.num_vars(), n * p as usize + 2 * n + deps);
+        // constraints: assign (n) + sym (1) + cap (p) + per dep (2p + 2)
+        assert_eq!(
+            m.num_constraints(),
+            n + 1 + p as usize + deps * (2 * p as usize + 2)
+        );
+    }
+
+    #[test]
+    fn ilp_solution_is_a_valid_schedule() {
+        let g = StreamSpec::pipeline(vec![rate_filter("A", 1, 2), rate_filter("B", 3, 1)])
+            .flatten()
+            .unwrap();
+        let cfg = ExecConfig {
+            regs_per_thread: 16,
+            threads_per_block: 1,
+            threads: vec![1, 1],
+            delay: vec![5, 8],
+        };
+        let ig = instances::build(&g, &cfg).unwrap();
+        // ResMII on 2 SMs: ceil((3*5 + 2*8)/2) = 16.
+        assert_eq!(ig.res_mii(&cfg, 2), 16);
+        let (m, h) = build_model(&ig, &cfg, 2, 16, 1);
+        let out = ilp::solve(
+            &m,
+            &ilp::SolveOptions {
+                feasibility_only: true,
+                ..ilp::SolveOptions::default()
+            },
+        );
+        let sol = match out {
+            ilp::SolveOutcome::Optimal(s) | ilp::SolveOutcome::Feasible(s) => s,
+            other => panic!("expected feasible at ResMII, got {other:?}"),
+        };
+        let mut sched = extract_schedule(&ig, &h, &sol, 16);
+        sched.normalize();
+        validate(&ig, &cfg, &sched, 2, 1).unwrap();
+    }
+
+    #[test]
+    fn infeasible_ii_detected() {
+        // 3 unit-rate instances of delay 10 on 1 SM can never fit II 15.
+        let g = StreamSpec::pipeline(vec![
+            rate_filter("a", 1, 1),
+            rate_filter("b", 1, 1),
+            rate_filter("c", 1, 1),
+        ])
+        .flatten()
+        .unwrap();
+        let cfg = ExecConfig::uniform(3, 1, 16, 10);
+        let ig = instances::build(&g, &cfg).unwrap();
+        let (m, _) = build_model(&ig, &cfg, 1, 15, 1);
+        let out = ilp::solve(
+            &m,
+            &ilp::SolveOptions {
+                feasibility_only: true,
+                ..ilp::SolveOptions::default()
+            },
+        );
+        assert_eq!(out, ilp::SolveOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unique_deps_collapses_duplicates() {
+        let g = StreamSpec::pipeline(vec![rate_filter("A", 1, 4), rate_filter("B", 4, 1)])
+            .flatten()
+            .unwrap();
+        let cfg = ExecConfig::uniform(2, 1, 16, 5);
+        let ig = instances::build(&g, &cfg).unwrap();
+        let u = unique_deps(&ig);
+        let mut set = std::collections::HashSet::new();
+        for d in &u {
+            assert!(set.insert((d.consumer, d.producer, d.jlag)));
+        }
+    }
+}

@@ -1,0 +1,562 @@
+//! The instance-level scheduling model of Section III.
+//!
+//! After configuration selection each filter `v` executes with
+//! `threads[v]` threads per firing; one **instance** is one such
+//! thread-wide firing and is "the fundamental schedulable entity". This
+//! module re-solves the steady state at instance granularity, computes the
+//! initialization (peek-priming) counts, and enumerates the instance-level
+//! dependence set — for every channel `(u, v)` and consumer instance `k`,
+//! exactly which producer instances `(k', jlag)` must complete first
+//! (the paper's constraints derived from the admissibility condition,
+//! at most `⌈I/O⌉ + 1` per edge and consumer instance).
+
+use numeric::lcm;
+use streamir::graph::{EdgeId, FlatGraph, NodeId};
+use streamir::sdf;
+
+use crate::{Error, Result};
+
+/// The execution configuration the profiling phase selects (Figure 7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Register limit per thread (uniform: all filters compile as one unit).
+    pub regs_per_thread: u32,
+    /// Threads per block (the global `numThreads`).
+    pub threads_per_block: u32,
+    /// Threads per instance of each node (`threads[v] <= threads_per_block`).
+    pub threads: Vec<u32>,
+    /// Execution time `d(v)` of one instance, in integer time units.
+    pub delay: Vec<u64>,
+}
+
+impl ExecConfig {
+    /// A uniform configuration (every node the same thread count), handy
+    /// for tests and the heuristic fallback.
+    #[must_use]
+    pub fn uniform(n_nodes: usize, threads: u32, regs: u32, delay: u64) -> ExecConfig {
+        ExecConfig {
+            regs_per_thread: regs,
+            threads_per_block: threads,
+            threads: vec![threads; n_nodes],
+            delay: vec![delay; n_nodes],
+        }
+    }
+}
+
+/// Identifies an instance in an [`InstanceGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub u32);
+
+/// One instance-level dependence: `consumer` may start only after
+/// `producer` (of steady iteration `j + jlag`) has finished — or, when they
+/// sit on different SMs, one full iteration later (the `g` mechanism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dep {
+    /// The downstream instance.
+    pub consumer: InstId,
+    /// The upstream instance.
+    pub producer: InstId,
+    /// Iteration distance (`<= 0`): the producer instance belongs to
+    /// iteration `j + jlag` of the software pipeline.
+    pub jlag: i64,
+    /// The channel inducing the dependence; `None` for the serializing
+    /// dependence between successive instances of a stateful filter.
+    pub edge: Option<EdgeId>,
+}
+
+/// Per-channel token geometry at instance granularity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeTokens {
+    /// Tokens one consumer instance pops (`I_uv = pop · threads[v]`).
+    pub i_per_inst: u64,
+    /// Tokens one producer instance pushes (`O_uv = push · threads[u]`).
+    pub o_per_inst: u64,
+    /// Per-thread pop rate of the consumer (defines the transposed layout).
+    pub pop_thread: u32,
+    /// Per-thread push rate of the producer.
+    pub push_thread: u32,
+    /// Per-thread peek rate of the consumer.
+    pub peek_thread: u32,
+    /// Tokens beyond the pop window the instance's firing rule requires
+    /// (`peek - pop`, per instance).
+    pub slack: u64,
+    /// Tokens on the channel before anything fires (feedback initials).
+    pub initial: u64,
+    /// Tokens produced by the initialization phase.
+    pub init_prod: u64,
+    /// Tokens consumed by the initialization phase.
+    pub init_cons: u64,
+    /// Tokens resident on the channel at every steady iteration boundary.
+    pub resident: u64,
+    /// Tokens crossing the channel per steady iteration (`k'_v × I`).
+    pub tokens_per_iter: u64,
+}
+
+/// The instance-level steady state: repetition/init vectors, the flat
+/// instance list, and the dependence set.
+#[derive(Debug, Clone)]
+pub struct InstanceGraph {
+    /// Instances of each node per steady iteration (`k'_v`).
+    pub reps: Vec<u32>,
+    /// Instances of each node in the initialization phase.
+    pub init: Vec<u32>,
+    /// Flat instance list as `(node, k)`, ordered by node then `k`.
+    pub list: Vec<(NodeId, u32)>,
+    /// First index in `list` for each node.
+    pub first: Vec<u32>,
+    /// Dependences.
+    pub deps: Vec<Dep>,
+    /// Token geometry per channel (indexed by [`EdgeId`]).
+    pub edges: Vec<EdgeTokens>,
+    /// Per-node statefulness (stateful nodes' instances must share an SM).
+    pub stateful: Vec<bool>,
+}
+
+impl InstanceGraph {
+    /// The instance id of `(node, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= reps[node]`.
+    #[must_use]
+    pub fn inst(&self, node: NodeId, k: u32) -> InstId {
+        assert!(k < self.reps[node.0 as usize], "instance index out of range");
+        InstId(self.first[node.0 as usize] + k)
+    }
+
+    /// The `(node, k)` pair of an instance id.
+    #[must_use]
+    pub fn node_of(&self, id: InstId) -> (NodeId, u32) {
+        self.list[id.0 as usize]
+    }
+
+    /// Total schedulable instances per steady iteration.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// `true` for a graph with no instances (cannot occur for valid input).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// The resource-constrained lower bound on the initiation interval:
+    /// `⌈ Σ_v k'_v · d(v) / P ⌉`.
+    #[must_use]
+    pub fn res_mii(&self, config: &ExecConfig, num_sms: u32) -> u64 {
+        let total: u64 = self
+            .list
+            .iter()
+            .map(|&(v, _)| config.delay[v.0 as usize])
+            .sum();
+        total.div_ceil(u64::from(num_sms.max(1)))
+    }
+
+    /// The recurrence-constrained lower bound: the maximum over dependence
+    /// cycles of `Σ d(u) / Σ (-jlag)`. Zero for acyclic graphs — which is
+    /// every benchmark in the paper's suite ("RecMII was 0 for all the
+    /// benchmarks").
+    #[must_use]
+    pub fn rec_mii(&self, config: &ExecConfig) -> u64 {
+        // Binary search the smallest T such that no positive cycle exists
+        // in the constraint graph with arc weight d(u) - T * (-jlag).
+        let has_cycle_at = |t: f64| -> bool {
+            let n = self.len();
+            let mut dist = vec![0.0f64; n];
+            for _ in 0..=n {
+                let mut changed = false;
+                for d in &self.deps {
+                    let (u, _) = self.node_of(d.producer);
+                    let w = config.delay[u.0 as usize] as f64 + t * d.jlag as f64;
+                    let cand = dist[d.producer.0 as usize] + w;
+                    if cand > dist[d.consumer.0 as usize] + 1e-9 {
+                        dist[d.consumer.0 as usize] = cand;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    return false;
+                }
+            }
+            true
+        };
+        if !has_cycle_at(0.0) {
+            return 0;
+        }
+        let mut lo = 0u64;
+        let mut hi = self
+            .list
+            .iter()
+            .map(|&(v, _)| config.delay[v.0 as usize])
+            .sum::<u64>()
+            .max(1);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if has_cycle_at(mid as f64) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+fn ceil_div(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    a.div_euclid(b) + i128::from(a.rem_euclid(b) != 0)
+}
+
+/// Builds the instance-level model for a graph under a configuration.
+///
+/// # Errors
+///
+/// Propagates steady-state errors from the base graph
+/// ([`streamir::Error::InconsistentRates`] etc. wrapped in
+/// [`Error::Stream`]), and reports under-primed feedback loops whose
+/// initialization diverges at instance granularity.
+pub fn build(graph: &FlatGraph, config: &ExecConfig) -> Result<InstanceGraph> {
+    assert_eq!(
+        config.threads.len(),
+        graph.len(),
+        "configuration covers every node"
+    );
+    let base = sdf::repetition_vector(graph)?;
+
+    // Coarsened repetition vector: k'_v = k_v * S / t_v with the smallest
+    // S making every component integral.
+    let scale = base
+        .iter()
+        .zip(&config.threads)
+        .map(|(&k, &t)| {
+            let g = numeric::gcd(u128::from(k), u128::from(t));
+            u128::from(t) / g
+        })
+        .fold(1u128, lcm);
+    let reps: Vec<u32> = base
+        .iter()
+        .zip(&config.threads)
+        .map(|(&k, &t)| {
+            let v = u128::from(k) * scale / u128::from(t);
+            u32::try_from(v).expect("coarsened repetition fits u32")
+        })
+        .collect();
+
+    // Token geometry per edge (before init accounting).
+    let mut edges: Vec<EdgeTokens> = graph
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let eid = EdgeId(i as u32);
+            let t_u = config.threads[e.src.0 as usize];
+            let t_v = config.threads[e.dst.0 as usize];
+            let pop = graph.pop_rate(eid);
+            let push = graph.push_rate(eid);
+            let peek = graph.peek_rate(eid);
+            EdgeTokens {
+                i_per_inst: u64::from(pop) * u64::from(t_v),
+                o_per_inst: u64::from(push) * u64::from(t_u),
+                pop_thread: pop,
+                push_thread: push,
+                peek_thread: peek,
+                slack: u64::from(peek - pop),
+                initial: e.initial.len() as u64,
+                init_prod: 0,
+                init_cons: 0,
+                resident: e.initial.len() as u64,
+                tokens_per_iter: u64::from(reps[e.dst.0 as usize]) * u64::from(pop) * u64::from(t_v),
+            }
+        })
+        .collect();
+
+    // Initialization vector at instance granularity: least fixpoint of
+    //   initial + init_u * O >= init_v * I + slack  (per edge).
+    let n = graph.len();
+    let mut init = vec![0u64; n];
+    let bound: Vec<u64> = reps
+        .iter()
+        .map(|&r| u64::from(r) * (graph.edges().len() as u64 + 2))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (i, e) in graph.edges().iter().enumerate() {
+            let et = &edges[i];
+            let rhs = init[e.dst.0 as usize] * et.i_per_inst + et.slack;
+            let needed = rhs.saturating_sub(et.initial).div_ceil(et.o_per_inst);
+            let u = e.src.0 as usize;
+            if init[u] < needed {
+                if needed > bound[u] {
+                    return Err(Error::Stream(streamir::Error::Deadlock {
+                        stalled: vec![format!(
+                            "{} (instance-level initialization diverges)",
+                            graph.node(e.src).name
+                        )],
+                    }));
+                }
+                init[u] = needed;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (i, e) in graph.edges().iter().enumerate() {
+        let et = &mut edges[i];
+        et.init_prod = init[e.src.0 as usize] * et.o_per_inst;
+        et.init_cons = init[e.dst.0 as usize] * et.i_per_inst;
+        et.resident = et.initial + et.init_prod - et.init_cons;
+        debug_assert!(et.resident >= et.slack, "init must deposit the peek slack");
+    }
+    let init: Vec<u32> = init
+        .into_iter()
+        .map(|v| u32::try_from(v).expect("init count fits u32"))
+        .collect();
+
+    // Flat instance list.
+    let mut list = Vec::new();
+    let mut first = Vec::with_capacity(n);
+    for (v, &r) in reps.iter().enumerate() {
+        first.push(list.len() as u32);
+        for k in 0..r {
+            list.push((NodeId(v as u32), k));
+        }
+    }
+
+    // Dependence enumeration: consumer instance k of v on edge (u, v)
+    // reads tokens [k·I − m, (k+1)·I + slack − m) in
+    // produced-since-steady-start numbering; producer instance p covers
+    // tokens [p·O, (p+1)·O).
+    let mut deps = Vec::new();
+    for (i, e) in graph.edges().iter().enumerate() {
+        let et = &edges[i];
+        let ku = i128::from(reps[e.src.0 as usize]);
+        let kv = reps[e.dst.0 as usize];
+        let big_i = i128::from(et.i_per_inst);
+        let big_o = i128::from(et.o_per_inst);
+        let m = i128::from(et.resident);
+        let slack = i128::from(et.slack);
+        for k in 0..kv {
+            let lo_token = i128::from(k) * big_i - m; // first needed, 0-based
+            let hi_token = (i128::from(k) + 1) * big_i + slack - m; // one past last
+            // A window at or below zero is covered by resident tokens —
+            // but in the steady state those residents were produced by
+            // *earlier pipeline iterations*, so the dependences still
+            // exist, with negative producer indices (jlag < 0).
+            // Note: lo_token may be negative — those tokens are resident,
+            // produced by earlier pipeline iterations (jlag < 0). The
+            // dependence still constrains the schedule, exactly as the
+            // paper's l ∈ [1, I] enumeration does.
+            let p_first = lo_token.div_euclid(big_o);
+            let p_last = ceil_div(hi_token, big_o) - 1;
+            for p in p_first..=p_last {
+                let jlag = p.div_euclid(ku);
+                let kp = p.rem_euclid(ku);
+                deps.push(Dep {
+                    consumer: InstId(first[e.dst.0 as usize] + k),
+                    producer: InstId(
+                        first[e.src.0 as usize] + u32::try_from(kp).expect("fits"),
+                    ),
+                    jlag: i64::try_from(jlag).expect("fits"),
+                    edge: Some(EdgeId(i as u32)),
+                });
+            }
+        }
+    }
+
+    // Stateful filters: strict serial order between successive instances
+    // (the paper's Section II dependence between instance numbers), plus
+    // the wrap-around to the next iteration. Self-dependences of a single
+    // instance are intrinsically satisfied by in-order sub-firing
+    // execution and are omitted.
+    for (v, node) in graph.nodes().iter().enumerate() {
+        if !node.work.is_stateful() {
+            continue;
+        }
+        assert_eq!(
+            config.threads[v], 1,
+            "stateful filter {} must execute single-threaded",
+            node.name
+        );
+        let kv = reps[v];
+        for k in 1..kv {
+            deps.push(Dep {
+                consumer: InstId(first[v] + k),
+                producer: InstId(first[v] + k - 1),
+                jlag: 0,
+                edge: None,
+            });
+        }
+        if kv > 1 {
+            deps.push(Dep {
+                consumer: InstId(first[v]),
+                producer: InstId(first[v] + kv - 1),
+                jlag: -1,
+                edge: None,
+            });
+        }
+    }
+
+    let stateful = graph
+        .nodes()
+        .iter()
+        .map(|n| n.work.is_stateful())
+        .collect();
+    Ok(InstanceGraph {
+        reps,
+        init,
+        list,
+        first,
+        deps,
+        edges,
+        stateful,
+    })
+}
+
+/// `true` if any node of the graph carries persistent state.
+#[must_use]
+pub fn has_stateful(graph: &FlatGraph) -> bool {
+    graph.nodes().iter().any(|n| n.work.is_stateful())
+}
+
+/// `true` when the graph's iterations cannot be coarsened into one
+/// launch: stateful filters and feedback loops both carry cross-iteration
+/// serial chains whose ordering coarsening would break.
+#[must_use]
+pub fn requires_serial_iterations(graph: &FlatGraph) -> bool {
+    has_stateful(graph) || graph.edges().iter().any(|e| !e.initial.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamir::graph::{FilterSpec, StreamSpec};
+    use streamir::ir::{ElemTy, Expr, FnBuilder};
+
+    fn rate_filter(name: &str, p: u32, q: u32) -> StreamSpec {
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let x = f.local(ElemTy::I32);
+        for _ in 0..p {
+            f.pop_into(0, x);
+        }
+        for _ in 0..q {
+            f.push(0, Expr::local(x));
+        }
+        StreamSpec::filter(FilterSpec::new(name, f.build().unwrap()))
+    }
+
+    fn two_stage(p2: u32, q1: u32) -> FlatGraph {
+        StreamSpec::pipeline(vec![rate_filter("A", 1, q1), rate_filter("B", p2, 1)])
+            .flatten()
+            .unwrap()
+    }
+
+    #[test]
+    fn uniform_threads_keep_base_repetitions() {
+        // A pushes 2, B pops 3: base k = [3, 2]; uniform 4 threads.
+        let g = two_stage(3, 2);
+        let cfg = ExecConfig::uniform(2, 4, 16, 10);
+        let ig = build(&g, &cfg).unwrap();
+        assert_eq!(ig.reps, vec![3, 2]);
+        assert_eq!(ig.edges[0].i_per_inst, 12);
+        assert_eq!(ig.edges[0].o_per_inst, 8);
+        assert_eq!(ig.edges[0].tokens_per_iter, 24);
+    }
+
+    #[test]
+    fn mixed_threads_rescale_repetitions() {
+        // Base k = [1, 1] (A 1->2, B 2->1); threads [4, 8]:
+        // k' must satisfy k'_A*4*2 == k'_B*8*2 -> k'_A = 2 k'_B... smallest
+        // integer scale: S = lcm(4/gcd(4,1), 8/gcd(8,1)) = 8; k'_A = 8/4 = 2,
+        // k'_B = 8/8 = 1.
+        let g = two_stage(2, 2);
+        let cfg = ExecConfig {
+            regs_per_thread: 16,
+            threads_per_block: 8,
+            threads: vec![4, 8],
+            delay: vec![10, 10],
+        };
+        let ig = build(&g, &cfg).unwrap();
+        assert_eq!(ig.reps, vec![2, 1]);
+        // Balance: 2 instances * 4 threads * 2 push = 16 = 1 * 8 * 2 pop.
+        assert_eq!(ig.edges[0].tokens_per_iter, 16);
+    }
+
+    #[test]
+    fn dependences_match_paper_figure_4() {
+        // A pushes 2/firing, B pops 3/firing, threads = 1 so instances are
+        // firings: k = [3, 2]. Figure 4(b): B0 needs A0, A1; B1 needs A1, A2.
+        let g = two_stage(3, 2);
+        let cfg = ExecConfig::uniform(2, 1, 16, 10);
+        let ig = build(&g, &cfg).unwrap();
+        assert_eq!(ig.reps, vec![3, 2]);
+        let mut got: Vec<(u32, u32, i64)> = ig
+            .deps
+            .iter()
+            .map(|d| (d.consumer.0 - 3, d.producer.0, d.jlag))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 0, 0), (0, 1, 0), (1, 1, 0), (1, 2, 0)]);
+    }
+
+    #[test]
+    fn cross_iteration_dependences_from_resident_tokens() {
+        // A peeking consumer: peek 2, pop 1 after a 1->1 producer. Init
+        // deposits 1 resident token, so consumer instance 0 reads one token
+        // from the *previous* iteration's producer (jlag -1) and one from
+        // the current.
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        f.push(0, Expr::peek(0, Expr::i32(1)));
+        f.pop(0);
+        let peeker = StreamSpec::filter(FilterSpec::new("peek2", f.build().unwrap()));
+        let g = StreamSpec::pipeline(vec![rate_filter("src", 1, 1), peeker])
+            .flatten()
+            .unwrap();
+        let cfg = ExecConfig::uniform(2, 1, 16, 10);
+        let ig = build(&g, &cfg).unwrap();
+        assert_eq!(ig.init, vec![1, 0]);
+        assert_eq!(ig.edges[0].resident, 1);
+        let mut got: Vec<(i64, u32)> = ig.deps.iter().map(|d| (d.jlag, d.producer.0)).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(-1, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn res_mii_divides_work_across_sms() {
+        let g = two_stage(3, 2);
+        let cfg = ExecConfig {
+            regs_per_thread: 16,
+            threads_per_block: 4,
+            threads: vec![4, 4],
+            delay: vec![10, 20],
+        };
+        let ig = build(&g, &cfg).unwrap();
+        // Total work = 3*10 + 2*20 = 70.
+        assert_eq!(ig.res_mii(&cfg, 16), 5); // ceil(70/16)
+        assert_eq!(ig.res_mii(&cfg, 2), 35);
+        assert_eq!(ig.res_mii(&cfg, 1), 70);
+    }
+
+    #[test]
+    fn rec_mii_zero_for_acyclic() {
+        let g = two_stage(3, 2);
+        let cfg = ExecConfig::uniform(2, 1, 16, 10);
+        let ig = build(&g, &cfg).unwrap();
+        assert_eq!(ig.rec_mii(&cfg), 0);
+    }
+
+    #[test]
+    fn instance_ids_round_trip() {
+        let g = two_stage(3, 2);
+        let cfg = ExecConfig::uniform(2, 1, 16, 10);
+        let ig = build(&g, &cfg).unwrap();
+        assert_eq!(ig.len(), 5);
+        for (i, &(v, k)) in ig.list.iter().enumerate() {
+            assert_eq!(ig.inst(v, k), InstId(i as u32));
+            assert_eq!(ig.node_of(InstId(i as u32)), (v, k));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Buffer planning: per-channel capacity, rotation, and layout
+//! (Section IV-D and Table II).
+//!
+//! Every channel gets its own buffer ("no buffer sharing is performed"),
+//! sized to hold every steady iteration in flight under the schedule:
+//!
+//! * one *region* holds one basic iteration's tokens (`k'_v × I`), times
+//!   the coarsening factor many regions per kernel iteration;
+//! * the region count covers the maximum producer→consumer stage span
+//!   plus the resident (peek-slack / feedback) tokens;
+//! * the layout is either the coalescing transposition or natural FIFO
+//!   order (the SWPNC baseline).
+
+use gpusim::Layout;
+use streamir::graph::{EdgeId, FlatGraph};
+
+use crate::instances::InstanceGraph;
+use crate::schedule::Schedule;
+
+/// Which layout family a plan uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutKind {
+    /// The paper's transposed coalescing layout.
+    Optimized,
+    /// Natural FIFO order (SWPNC).
+    Sequential,
+}
+
+impl LayoutKind {
+    /// The concrete [`Layout`] for a channel.
+    #[must_use]
+    pub fn layout(self) -> Layout {
+        match self {
+            LayoutKind::Optimized => Layout::Transposed { group: 128 },
+            LayoutKind::Sequential => Layout::Sequential,
+        }
+    }
+}
+
+/// The buffer geometry of one channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgePlan {
+    /// The channel.
+    pub edge: EdgeId,
+    /// Tokens per region (one basic iteration's traffic).
+    pub region_tokens: u64,
+    /// Rotating regions (covers coarsening × stage span + residents).
+    pub regions: u32,
+    /// Physical layout.
+    pub layout: Layout,
+    /// Per-thread consumer pop rate (defines the transposition).
+    pub consumer_rate: u32,
+    /// Total size in bytes.
+    pub bytes: u64,
+}
+
+/// The complete buffer plan for one execution scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferPlan {
+    /// Per-channel geometry, indexed like `graph.edges()`.
+    pub edges: Vec<EdgePlan>,
+    /// Coarsening factor the plan was built for.
+    pub coarsening: u32,
+    /// Layout family.
+    pub kind: LayoutKind,
+}
+
+impl BufferPlan {
+    /// Total bytes of all inter-filter channel buffers — the quantity
+    /// Table II reports.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.edges.iter().map(|e| e.bytes).sum()
+    }
+}
+
+/// Builds the plan for a scheduled program.
+///
+/// `schedule` may be `None` for the serial (SAS) scheme, where the span
+/// is zero and `coarsening` plays the role of the batch size.
+#[must_use]
+pub fn plan(
+    graph: &FlatGraph,
+    ig: &InstanceGraph,
+    schedule: Option<&Schedule>,
+    coarsening: u32,
+    kind: LayoutKind,
+) -> BufferPlan {
+    let c = u64::from(coarsening.max(1));
+    let mut edges = Vec::with_capacity(graph.edges().len());
+    for (i, et) in ig.edges.iter().enumerate() {
+        let eid = EdgeId(i as u32);
+        let w = et.tokens_per_iter.max(1);
+        // Maximum stage span between consumer and (iteration-shifted)
+        // producer across this channel's dependences.
+        let span = match schedule {
+            None => 0,
+            Some(s) => ig
+                .deps
+                .iter()
+                .filter(|d| d.edge == Some(eid))
+                .map(|d| {
+                    let fc = s.stage[d.consumer.0 as usize] as i64;
+                    let fu = s.stage[d.producer.0 as usize] as i64;
+                    (fc - fu - d.jlag).max(0) as u64
+                })
+                .max()
+                .unwrap_or(0),
+        };
+        let regions = c * (span + 1) + et.resident.div_ceil(w);
+        let regions = u32::try_from(regions).expect("region count fits u32");
+        edges.push(EdgePlan {
+            edge: eid,
+            region_tokens: w,
+            regions,
+            layout: kind.layout(),
+            consumer_rate: et.pop_thread.max(1),
+            bytes: w * u64::from(regions) * 4,
+        });
+    }
+    BufferPlan {
+        edges,
+        coarsening: coarsening.max(1),
+        kind,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::{self, ExecConfig};
+    use crate::schedule::heuristic;
+    use streamir::graph::{FilterSpec, StreamSpec};
+    use streamir::ir::{ElemTy, Expr, FnBuilder};
+
+    fn rate_filter(name: &str, p: u32, q: u32) -> StreamSpec {
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let x = f.local(ElemTy::I32);
+        for _ in 0..p {
+            f.pop_into(0, x);
+        }
+        for _ in 0..q {
+            f.push(0, Expr::local(x));
+        }
+        StreamSpec::filter(FilterSpec::new(name, f.build().unwrap()))
+    }
+
+    #[test]
+    fn coarsening_scales_buffer_bytes() {
+        let g = StreamSpec::pipeline(vec![rate_filter("A", 1, 1), rate_filter("B", 1, 1)])
+            .flatten()
+            .unwrap();
+        let cfg = ExecConfig::uniform(2, 4, 16, 10);
+        let ig = instances::build(&g, &cfg).unwrap();
+        let sched = heuristic::schedule(&ig, &cfg, 2, 1, 1).unwrap();
+        let p1 = plan(&g, &ig, Some(&sched), 1, LayoutKind::Optimized);
+        let p8 = plan(&g, &ig, Some(&sched), 8, LayoutKind::Optimized);
+        assert!(p8.total_bytes() >= 8 * p1.total_bytes() / 2);
+        assert!(p8.total_bytes() <= 8 * p1.total_bytes());
+    }
+
+    #[test]
+    fn cross_sm_stage_span_adds_regions() {
+        let g = StreamSpec::pipeline(vec![rate_filter("A", 1, 1), rate_filter("B", 1, 1)])
+            .flatten()
+            .unwrap();
+        let cfg = ExecConfig::uniform(2, 4, 16, 10);
+        let ig = instances::build(&g, &cfg).unwrap();
+        // Heuristic on 2 SMs puts the stages one apart.
+        let sched = heuristic::schedule(&ig, &cfg, 2, 1, 1).unwrap();
+        let p = plan(&g, &ig, Some(&sched), 1, LayoutKind::Optimized);
+        if sched.sm_of[0] != sched.sm_of[1] {
+            assert!(p.edges[0].regions >= 2, "cross-SM edge needs double buffering");
+        }
+        // Serial plan (no schedule) stays single-buffered.
+        let ps = plan(&g, &ig, None, 1, LayoutKind::Sequential);
+        assert_eq!(ps.edges[0].regions, 1);
+    }
+
+    #[test]
+    fn sequential_kind_uses_identity_layout() {
+        let g = StreamSpec::pipeline(vec![rate_filter("A", 1, 2), rate_filter("B", 2, 1)])
+            .flatten()
+            .unwrap();
+        let cfg = ExecConfig::uniform(2, 4, 16, 10);
+        let ig = instances::build(&g, &cfg).unwrap();
+        let p = plan(&g, &ig, None, 1, LayoutKind::Sequential);
+        assert_eq!(p.edges[0].layout, Layout::Sequential);
+        let p = plan(&g, &ig, None, 1, LayoutKind::Optimized);
+        assert_eq!(p.edges[0].layout, Layout::Transposed { group: 128 });
+    }
+
+    #[test]
+    fn bytes_account_tokens_times_regions() {
+        let g = StreamSpec::pipeline(vec![rate_filter("A", 1, 2), rate_filter("B", 2, 1)])
+            .flatten()
+            .unwrap();
+        let cfg = ExecConfig::uniform(2, 8, 16, 10);
+        let ig = instances::build(&g, &cfg).unwrap();
+        let p = plan(&g, &ig, None, 4, LayoutKind::Optimized);
+        let e = &p.edges[0];
+        assert_eq!(e.bytes, e.region_tokens * u64::from(e.regions) * 4);
+        assert_eq!(p.total_bytes(), e.bytes);
+    }
+}

@@ -1,0 +1,182 @@
+//! Human-readable rendering of compilation results: the schedule table
+//! (per-SM instance lists with offsets and stages), per-SM load summary,
+//! and the buffer plan — what you would print to inspect why a schedule
+//! looks the way it does.
+
+use std::fmt::Write as _;
+
+use crate::exec::Compiled;
+use crate::plan::BufferPlan;
+
+/// Renders the schedule as a per-SM table ordered the way the generated
+/// kernel executes (by offset, ties by instance id).
+///
+/// # Examples
+///
+/// ```
+/// use streamir::graph::{FilterSpec, StreamSpec};
+/// use streamir::ir::{identity, ElemTy};
+/// use swpipe::exec::{self, CompileOptions};
+///
+/// let g = StreamSpec::pipeline(vec![
+///     StreamSpec::filter(FilterSpec::new("a", identity(ElemTy::I32))),
+///     StreamSpec::filter(FilterSpec::new("b", identity(ElemTy::I32))),
+/// ])
+/// .flatten()?;
+/// let c = exec::compile(&g, &CompileOptions::small_test())?;
+/// let text = swpipe::report::schedule_table(&c);
+/// assert!(text.contains("II ="));
+/// assert!(text.contains("SM 0"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn schedule_table(c: &Compiled) -> String {
+    let mut out = String::new();
+    let sched = &c.schedule;
+    let _ = writeln!(
+        out,
+        "II = {} (lower bound {}, {}), {} stage(s), {} instances",
+        sched.ii,
+        c.report.lower_bound,
+        if c.report.used_ilp {
+            "exact ILP"
+        } else {
+            "decomposed heuristic"
+        },
+        sched.max_stage() + 1,
+        c.ig.len(),
+    );
+    let num_sms = c.device.num_sms;
+    for sm in 0..num_sms {
+        let mut rows: Vec<usize> = (0..c.ig.len())
+            .filter(|&i| sched.sm_of[i] == sm)
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        rows.sort_by_key(|&i| (sched.offset[i], i));
+        let load: u64 = rows
+            .iter()
+            .map(|&i| c.exec_cfg.delay[c.ig.list[i].0 .0 as usize])
+            .sum();
+        let _ = writeln!(
+            out,
+            "SM {sm}: load {load}/{} ({:.0}%)",
+            sched.ii,
+            100.0 * load as f64 / sched.ii as f64
+        );
+        for &i in &rows {
+            let (v, k) = c.ig.list[i];
+            let node = c.graph.node(v);
+            let _ = writeln!(
+                out,
+                "  o={:>6} f={:>2}  {}[{k}]  (d={}, {} thr{})",
+                sched.offset[i],
+                sched.stage[i],
+                node.name,
+                c.exec_cfg.delay[v.0 as usize],
+                c.exec_cfg.threads[v.0 as usize],
+                if node.work.is_stateful() {
+                    ", stateful"
+                } else {
+                    ""
+                },
+            );
+        }
+    }
+    out
+}
+
+/// Renders a buffer plan: one line per channel with its geometry and
+/// size, plus the Table-II total.
+#[must_use]
+pub fn buffer_table(c: &Compiled, plan: &BufferPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "buffer plan (coarsening {}, {:?} layout):",
+        plan.coarsening, plan.kind
+    );
+    for ep in &plan.edges {
+        let edge = c.graph.edge(ep.edge);
+        let _ = writeln!(
+            out,
+            "  {} -> {}: {} regions x {} tokens = {} bytes",
+            c.graph.node(edge.src).name,
+            c.graph.node(edge.dst).name,
+            ep.regions,
+            ep.region_tokens,
+            ep.bytes,
+        );
+    }
+    let _ = writeln!(out, "  total: {} bytes", plan.total_bytes());
+    out
+}
+
+/// One-paragraph summary of the selected execution configuration.
+#[must_use]
+pub fn config_summary(c: &Compiled) -> String {
+    let mut histogram = std::collections::BTreeMap::new();
+    for &t in &c.exec_cfg.threads {
+        *histogram.entry(t).or_insert(0u32) += 1;
+    }
+    format!(
+        "{} registers/thread, {} threads/block; per-filter threads {:?}; \
+         normalised II {:.3}",
+        c.exec_cfg.regs_per_thread,
+        c.exec_cfg.threads_per_block,
+        histogram,
+        c.selection.normalized_ii,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{self, CompileOptions};
+    use crate::plan::{self, LayoutKind};
+    use streamir::graph::{FilterSpec, StreamSpec};
+    use streamir::ir::{ElemTy, Expr, FnBuilder};
+
+    fn compiled() -> Compiled {
+        let stage = |name: &str| {
+            let mut b = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+            let x = b.local(ElemTy::I32);
+            b.pop_into(0, x);
+            b.push(0, Expr::local(x).add(Expr::i32(1)));
+            StreamSpec::filter(FilterSpec::new(name, b.build().unwrap()))
+        };
+        let g = StreamSpec::pipeline(vec![stage("first"), stage("second"), stage("third")])
+            .flatten()
+            .unwrap();
+        exec::compile(&g, &CompileOptions::small_test()).unwrap()
+    }
+
+    #[test]
+    fn schedule_table_lists_every_instance() {
+        let c = compiled();
+        let text = schedule_table(&c);
+        for name in ["first", "second", "third"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        assert!(text.contains("II ="));
+        assert!(text.contains("load"));
+    }
+
+    #[test]
+    fn buffer_table_totals_match_plan() {
+        let c = compiled();
+        let plan = plan::plan(&c.graph, &c.ig, Some(&c.schedule), 4, LayoutKind::Optimized);
+        let text = buffer_table(&c, &plan);
+        assert!(text.contains(&format!("total: {} bytes", plan.total_bytes())));
+        assert!(text.contains("first -> second"));
+    }
+
+    #[test]
+    fn config_summary_mentions_selection() {
+        let c = compiled();
+        let text = config_summary(&c);
+        assert!(text.contains("registers/thread"));
+        assert!(text.contains("normalised II"));
+    }
+}

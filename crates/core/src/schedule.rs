@@ -1,0 +1,671 @@
+//! Schedules, validation, the heuristic scheduler, and the II search loop.
+
+use std::time::{Duration, Instant};
+
+use crate::instances::{ExecConfig, InstanceGraph};
+use crate::{Error, Result};
+
+/// A software-pipelined schedule: for every instance, its SM assignment
+/// (`w`), its offset within the kernel (`o`), and its pipeline stage (`f`)
+/// — the linear-form schedule `σ(j,k,v) = T·(j + f) + o` of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// The initiation interval `T`.
+    pub ii: u64,
+    /// SM assignment per instance.
+    pub sm_of: Vec<u32>,
+    /// Offset `o` per instance, in `[0, T - d(v)]`.
+    pub offset: Vec<u64>,
+    /// Stage `f` per instance.
+    pub stage: Vec<u64>,
+}
+
+impl Schedule {
+    /// The largest stage number (pipeline depth − 1).
+    #[must_use]
+    pub fn max_stage(&self) -> u64 {
+        self.stage.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Shifts stages so the smallest is zero (a pure re-labeling).
+    pub fn normalize(&mut self) {
+        let min = self.stage.iter().copied().min().unwrap_or(0);
+        for s in &mut self.stage {
+            *s -= min;
+        }
+    }
+
+    /// Absolute start time of an instance within iteration 0.
+    #[must_use]
+    pub fn start(&self, inst: usize) -> u64 {
+        self.ii * self.stage[inst] + self.offset[inst]
+    }
+}
+
+/// Independently re-checks a schedule against the constraint system of
+/// Section III — used on every schedule regardless of which scheduler
+/// produced it.
+///
+/// # Errors
+///
+/// [`Error::InvalidSchedule`] naming the first violated constraint.
+pub fn validate(
+    ig: &InstanceGraph,
+    config: &ExecConfig,
+    sched: &Schedule,
+    num_sms: u32,
+    coarsening_max: u32,
+) -> Result<()> {
+    let n = ig.len();
+    if sched.sm_of.len() != n || sched.offset.len() != n || sched.stage.len() != n {
+        return Err(Error::InvalidSchedule("length mismatch".into()));
+    }
+    let t = sched.ii;
+
+    // Assignment sanity + resource constraint (2).
+    let mut load = vec![0u64; num_sms as usize];
+    for (i, &(v, k)) in ig.list.iter().enumerate() {
+        let p = sched.sm_of[i];
+        if p >= num_sms {
+            return Err(Error::InvalidSchedule(format!(
+                "instance ({v:?},{k}) assigned to nonexistent SM {p}"
+            )));
+        }
+        load[p as usize] += config.delay[v.0 as usize];
+        // Wraparound constraint (4): o + d <= T.
+        if sched.offset[i] + config.delay[v.0 as usize] > t {
+            return Err(Error::InvalidSchedule(format!(
+                "instance ({v:?},{k}) wraps: o={} d={} T={t}",
+                sched.offset[i],
+                config.delay[v.0 as usize]
+            )));
+        }
+    }
+    for (p, &l) in load.iter().enumerate() {
+        if l > t {
+            return Err(Error::InvalidSchedule(format!(
+                "SM {p} overloaded: {l} > II {t}"
+            )));
+        }
+    }
+
+    // Dependence constraints (8), with iteration lags tightened for
+    // coarsened execution: when `C` basic iterations share one launch, a
+    // lag of `jlag` basic iterations shrinks to `jlag / C` launches
+    // (truncating division = ceiling for negatives), in the worst case
+    // over the sub-iteration phase.
+    let cmax = i128::from(coarsening_max.max(1));
+    for d in &ig.deps {
+        if d.consumer == d.producer {
+            continue; // in-order sub-firing execution satisfies self-deps
+        }
+        let c = d.consumer.0 as usize;
+        let u = d.producer.0 as usize;
+        let (unode, _) = ig.node_of(d.producer);
+        let du = config.delay[unode.0 as usize];
+        let jlag_eff = i128::from(d.jlag) / cmax;
+        let lhs = t as i128 * sched.stage[c] as i128 + sched.offset[c] as i128;
+        let base = t as i128 * (jlag_eff + sched.stage[u] as i128);
+        // Same-SM: result visible d(u) after the producer starts.
+        if lhs < base + sched.offset[u] as i128 + du as i128 {
+            return Err(Error::InvalidSchedule(format!(
+                "dependence {:?} -> {:?} (jlag {}) violated in time",
+                d.producer, d.consumer, d.jlag
+            )));
+        }
+        // Cross-SM: data only visible in the next iteration (g = 1).
+        if sched.sm_of[c] != sched.sm_of[u] && lhs < base + t as i128 {
+            return Err(Error::InvalidSchedule(format!(
+                "cross-SM dependence {:?} -> {:?} (jlag {}) needs an extra stage",
+                d.producer, d.consumer, d.jlag
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The decomposed scheduler: LPT bin-packing for the assignment, then a
+/// monotone relaxation for stages and offsets.
+///
+/// This is the scalable substitute for CPLEX on large instances — it
+/// satisfies exactly the same constraint system (see [`validate`]), at the
+/// cost of possibly more pipeline stages (more buffering) than the ILP
+/// would find.
+pub mod heuristic {
+    use super::{validate, Schedule};
+    use crate::instances::{ExecConfig, InstanceGraph};
+    use crate::{Error, Result};
+
+    /// Schedules `ig` on `num_sms` processors with an II no smaller than
+    /// `min_ii`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ScheduleNotFound`] when even repeated II relaxation cannot
+    /// reach a fixpoint (an under-primed recurrence).
+    pub fn schedule(
+        ig: &InstanceGraph,
+        config: &ExecConfig,
+        num_sms: u32,
+        min_ii: u64,
+        coarsening_max: u32,
+    ) -> Result<Schedule> {
+        let n = ig.len();
+        // --- Assignment: longest-processing-time greedy over groups. ---
+        // Instances on a dependence cycle (stateful chains with their
+        // iteration wrap, feedback loops) must share an SM: every cross-SM
+        // hop demands an extra pipeline stage, so a cycle with any
+        // cross-SM edge needs its own stage budget back — impossible.
+        // Group by strongly connected components of the dependence graph.
+        let comp = scc_components(n, &ig.deps);
+        let mut by_comp: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, &c) in comp.iter().enumerate() {
+            by_comp.entry(c).or_default().push(i);
+        }
+        let mut groups: Vec<Vec<usize>> = by_comp.into_values().collect();
+        groups.sort_by_key(|g| g.first().copied());
+        let weight = |g: &[usize]| -> u64 {
+            g.iter()
+                .map(|&i| config.delay[ig.list[i].0 .0 as usize])
+                .sum()
+        };
+        groups.sort_by_key(|g| std::cmp::Reverse(weight(g)));
+        let mut load = vec![0u64; num_sms as usize];
+        let mut sm_of = vec![0u32; n];
+        for g in &groups {
+            let p = (0..num_sms as usize)
+                .min_by_key(|&p| load[p])
+                .expect("at least one SM");
+            for &i in g {
+                sm_of[i] = p as u32;
+            }
+            load[p] += weight(g);
+        }
+        let makespan = load.iter().copied().max().unwrap_or(0);
+        let max_d = ig
+            .list
+            .iter()
+            .map(|&(v, _)| config.delay[v.0 as usize])
+            .max()
+            .unwrap_or(1);
+        let mut ii = min_ii.max(makespan).max(max_d).max(1);
+
+        // --- Stages and offsets: monotone relaxation to a fixpoint. ---
+        for _attempt in 0..8 {
+            if let Some(s) = relax(ig, config, &sm_of, ii, coarsening_max) {
+                let stage: Vec<u64> = s.iter().map(|&x| x / ii).collect();
+                let offset: Vec<u64> = s.iter().map(|&x| x % ii).collect();
+                let mut sched = Schedule {
+                    ii,
+                    sm_of: sm_of.clone(),
+                    offset,
+                    stage,
+                };
+                sched.normalize();
+                validate(ig, config, &sched, num_sms, coarsening_max)?;
+                return Ok(sched);
+            }
+            // A recurrence is too tight for this II: relax multiplicatively.
+            ii = (ii * 3).div_ceil(2).max(ii + 1);
+        }
+        Err(Error::ScheduleNotFound { last_ii: ii })
+    }
+
+    /// Computes absolute start times satisfying every dependence and the
+    /// wraparound rule, or `None` if the relaxation diverges at this II.
+    fn relax(
+        ig: &InstanceGraph,
+        config: &ExecConfig,
+        sm_of: &[u32],
+        ii: u64,
+        coarsening_max: u32,
+    ) -> Option<Vec<u64>> {
+        let n = ig.len();
+        let mut s = vec![0i128; n];
+        let t = ii as i128;
+        let clamp_wrap = |x: i128, d: i128| -> i128 {
+            if x % t + d > t {
+                (x / t + 1) * t
+            } else {
+                x
+            }
+        };
+        // Initialize with wrap-feasible zeros.
+        for (i, &(v, _)) in ig.list.iter().enumerate() {
+            s[i] = clamp_wrap(0, config.delay[v.0 as usize] as i128);
+        }
+        let max_passes = 4 * (n + ig.deps.len()) + 16;
+        for _ in 0..max_passes {
+            let mut changed = false;
+            for d in &ig.deps {
+                if d.consumer == d.producer {
+                    continue;
+                }
+                let c = d.consumer.0 as usize;
+                let u = d.producer.0 as usize;
+                let (unode, _) = ig.node_of(d.producer);
+                let (cnode, _) = ig.node_of(d.consumer);
+                let du = config.delay[unode.0 as usize] as i128;
+                let dc = config.delay[cnode.0 as usize] as i128;
+                let jlag_eff = i128::from(d.jlag) / i128::from(coarsening_max.max(1));
+                let mut need = s[u] + t * jlag_eff + du;
+                if sm_of[c] != sm_of[u] {
+                    // Cross-SM: start of the iteration after the producer's
+                    // stage (the g = 1 form).
+                    need = need.max((s[u].div_euclid(t) + jlag_eff + 1) * t);
+                }
+                let need = clamp_wrap(need.max(s[c]), dc);
+                if need > s[c] {
+                    s[c] = need;
+                    changed = true;
+                }
+            }
+            if !changed {
+                // Shift so the earliest start is within iteration 0.
+                let min = s.iter().copied().min().unwrap_or(0);
+                let shift = min.div_euclid(t) * t;
+                return Some(
+                    s.iter()
+                        .map(|&x| u64::try_from(x - shift).expect("non-negative"))
+                        .collect(),
+                );
+            }
+        }
+        None
+    }
+
+    /// Strongly connected components of the instance dependence graph
+    /// (Kosaraju), returned as a component id per instance.
+    fn scc_components(n: usize, deps: &[crate::instances::Dep]) -> Vec<usize> {
+        let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for d in deps {
+            let u = d.producer.0 as usize;
+            let c = d.consumer.0 as usize;
+            if u != c {
+                fwd[u].push(c);
+                rev[c].push(u);
+            }
+        }
+        // Pass 1: finish order on the forward graph (iterative DFS).
+        let mut visited = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            visited[start] = true;
+            while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+                if *idx < fwd[v].len() {
+                    let next = fwd[v][*idx];
+                    *idx += 1;
+                    if !visited[next] {
+                        visited[next] = true;
+                        stack.push((next, 0));
+                    }
+                } else {
+                    order.push(v);
+                    stack.pop();
+                }
+            }
+        }
+        // Pass 2: components on the reverse graph in reverse finish order.
+        let mut comp = vec![usize::MAX; n];
+        let mut current = 0usize;
+        for &start in order.iter().rev() {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![start];
+            comp[start] = current;
+            while let Some(v) = stack.pop() {
+                for &u in &rev[v] {
+                    if comp[u] == usize::MAX {
+                        comp[u] = current;
+                        stack.push(u);
+                    }
+                }
+            }
+            current += 1;
+        }
+        comp
+    }
+}
+
+/// Which scheduling path to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// ILP when the formulation is small enough, heuristic otherwise.
+    #[default]
+    Auto,
+    /// Always the exact ILP (may be slow on large graphs).
+    Ilp,
+    /// Always the decomposed heuristic.
+    Heuristic,
+}
+
+/// Options for the II search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOptions {
+    /// Scheduling path.
+    pub scheduler: SchedulerKind,
+    /// Time the ILP solver gets per candidate II (paper: 20 s).
+    pub ilp_budget: Duration,
+    /// Relaxation factor applied to the II on failure (paper: 0.5 %).
+    pub relax_factor: f64,
+    /// Give up after this many candidate IIs.
+    pub max_attempts: u32,
+    /// `Auto` switches to the heuristic above this many binary variables.
+    pub auto_ilp_var_limit: usize,
+    /// The largest coarsening factor the schedule must stay correct for
+    /// (cross-iteration dependences tighten accordingly).
+    pub coarsening_max: u32,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            scheduler: SchedulerKind::Auto,
+            ilp_budget: Duration::from_secs(20),
+            relax_factor: 1.005,
+            max_attempts: 400,
+            auto_ilp_var_limit: 150,
+            coarsening_max: 16,
+        }
+    }
+}
+
+/// How the schedule was found, for reporting (the paper's Section V
+/// discussion of solve times and II relaxation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReport {
+    /// `max(ResMII, RecMII)` — the search's starting point.
+    pub lower_bound: u64,
+    /// The II of the accepted schedule.
+    pub final_ii: u64,
+    /// Relaxation over the lower bound, in percent.
+    pub relaxation_pct: f64,
+    /// Candidate IIs attempted.
+    pub attempts: u32,
+    /// Total wall-clock time in the solver.
+    pub solve_time: Duration,
+    /// `true` if the ILP path produced the schedule, `false` for the
+    /// heuristic.
+    pub used_ilp: bool,
+    /// Variables in the last ILP formulation (0 when heuristic-only).
+    pub ilp_vars: usize,
+    /// Constraints in the last ILP formulation.
+    pub ilp_constraints: usize,
+}
+
+/// Searches for a schedule: start at `max(ResMII, RecMII)`, try the ILP
+/// under its budget, relax the II by [`SearchOptions::relax_factor`] on
+/// failure — the exact loop of Section V — falling back to the heuristic
+/// per [`SchedulerKind`].
+///
+/// # Errors
+///
+/// [`Error::ScheduleNotFound`] when the attempt budget is exhausted.
+pub fn find(
+    ig: &InstanceGraph,
+    config: &ExecConfig,
+    num_sms: u32,
+    opts: &SearchOptions,
+) -> Result<(Schedule, SearchReport)> {
+    let start = Instant::now();
+    let res_mii = ig.res_mii(config, num_sms);
+    let rec_mii = ig.rec_mii(config);
+    let max_d = ig
+        .list
+        .iter()
+        .map(|&(v, _)| config.delay[v.0 as usize])
+        .max()
+        .unwrap_or(1);
+    let lower = res_mii.max(rec_mii).max(max_d).max(1);
+
+    let ilp_size = ig.len() * num_sms as usize + crate::formulate::unique_deps(ig).len();
+    let use_ilp = match opts.scheduler {
+        SchedulerKind::Ilp => true,
+        SchedulerKind::Heuristic => false,
+        SchedulerKind::Auto => ilp_size <= opts.auto_ilp_var_limit,
+    };
+
+    if use_ilp {
+        let mut ii = lower;
+        let mut vars = 0;
+        let mut cons = 0;
+        for attempt in 1..=opts.max_attempts {
+            let (model, handles) =
+                crate::formulate::build_model(ig, config, num_sms, ii, opts.coarsening_max);
+            vars = model.num_vars();
+            cons = model.num_constraints();
+            let solve_opts = ilp::SolveOptions {
+                time_budget: opts.ilp_budget,
+                feasibility_only: true,
+                ..ilp::SolveOptions::default()
+            };
+            match ilp::solve(&model, &solve_opts) {
+                ilp::SolveOutcome::Optimal(sol) | ilp::SolveOutcome::Feasible(sol) => {
+                    let mut sched =
+                        crate::formulate::extract_schedule(ig, &handles, &sol, ii);
+                    sched.normalize();
+                    validate(ig, config, &sched, num_sms, opts.coarsening_max)?;
+                    let report = SearchReport {
+                        lower_bound: lower,
+                        final_ii: ii,
+                        relaxation_pct: 100.0 * (ii as f64 / lower as f64 - 1.0),
+                        attempts: attempt,
+                        solve_time: start.elapsed(),
+                        used_ilp: true,
+                        ilp_vars: vars,
+                        ilp_constraints: cons,
+                    };
+                    return Ok((sched, report));
+                }
+                _ => {
+                    // Relax the II by 0.5% (at least 1) and retry.
+                    ii = ((ii as f64 * opts.relax_factor).ceil() as u64).max(ii + 1);
+                }
+            }
+        }
+        if opts.scheduler == SchedulerKind::Ilp {
+            return Err(Error::ScheduleNotFound { last_ii: ii });
+        }
+        // Auto: fall through to the heuristic with everything we learned.
+        let sched = heuristic::schedule(ig, config, num_sms, lower, opts.coarsening_max)?;
+        let final_ii = sched.ii;
+        return Ok((
+            sched,
+            SearchReport {
+                lower_bound: lower,
+                final_ii,
+                relaxation_pct: 100.0 * (final_ii as f64 / lower as f64 - 1.0),
+                attempts: opts.max_attempts,
+                solve_time: start.elapsed(),
+                used_ilp: false,
+                ilp_vars: vars,
+                ilp_constraints: cons,
+            },
+        ));
+    }
+
+    let sched = heuristic::schedule(ig, config, num_sms, lower, opts.coarsening_max)?;
+    let final_ii = sched.ii;
+    let report = SearchReport {
+        lower_bound: lower,
+        final_ii,
+        relaxation_pct: 100.0 * (final_ii as f64 / lower as f64 - 1.0),
+        attempts: 1,
+        solve_time: start.elapsed(),
+        used_ilp: false,
+        ilp_vars: 0,
+        ilp_constraints: 0,
+    };
+    Ok((sched, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances;
+    use streamir::graph::{FilterSpec, StreamSpec};
+    use streamir::ir::{ElemTy, Expr, FnBuilder};
+
+    fn rate_filter(name: &str, p: u32, q: u32) -> StreamSpec {
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let x = f.local(ElemTy::I32);
+        for _ in 0..p {
+            f.pop_into(0, x);
+        }
+        for _ in 0..q {
+            f.push(0, Expr::local(x));
+        }
+        StreamSpec::filter(FilterSpec::new(name, f.build().unwrap()))
+    }
+
+    fn chain(n: usize) -> (InstanceGraph, ExecConfig) {
+        let stages: Vec<StreamSpec> = (0..n).map(|i| rate_filter(&format!("f{i}"), 1, 1)).collect();
+        let g = StreamSpec::pipeline(stages).flatten().unwrap();
+        let cfg = ExecConfig::uniform(n, 4, 16, 10);
+        let ig = instances::build(&g, &cfg).unwrap();
+        (ig, cfg)
+    }
+
+    #[test]
+    fn heuristic_chain_schedules_and_validates() {
+        let (ig, cfg) = chain(6);
+        let sched = heuristic::schedule(&ig, &cfg, 4, 1, 1).unwrap();
+        validate(&ig, &cfg, &sched, 4, 1).unwrap();
+        // 6 instances of weight 10 across 4 SMs: makespan 20.
+        assert_eq!(sched.ii, 20);
+        // Cross-SM hops force pipeline stages.
+        assert!(sched.max_stage() >= 1);
+    }
+
+    #[test]
+    fn heuristic_single_sm_needs_no_stages_across() {
+        let (ig, cfg) = chain(3);
+        let sched = heuristic::schedule(&ig, &cfg, 1, 1, 1).unwrap();
+        validate(&ig, &cfg, &sched, 1, 1).unwrap();
+        assert_eq!(sched.ii, 30);
+        // All on one SM: plain in-order execution within one iteration.
+        assert_eq!(sched.max_stage(), 0);
+        assert!(sched.offset.windows(1).len() == 3);
+    }
+
+    #[test]
+    fn validator_rejects_overload() {
+        let (ig, cfg) = chain(3);
+        let bad = Schedule {
+            ii: 10, // 3 instances x 10 on one SM > 10
+            sm_of: vec![0, 0, 0],
+            offset: vec![0, 0, 0],
+            stage: vec![0, 1, 2],
+        };
+        let e = validate(&ig, &cfg, &bad, 1, 1).unwrap_err();
+        assert!(matches!(e, Error::InvalidSchedule(ref m) if m.contains("overloaded")));
+    }
+
+    #[test]
+    fn validator_rejects_time_violation() {
+        let (ig, cfg) = chain(2);
+        let bad = Schedule {
+            ii: 20,
+            sm_of: vec![0, 0],
+            offset: vec![10, 0], // consumer at 0 before producer finishing at 20
+            stage: vec![0, 0],
+        };
+        let e = validate(&ig, &cfg, &bad, 1, 1).unwrap_err();
+        assert!(matches!(e, Error::InvalidSchedule(ref m) if m.contains("dependence")));
+    }
+
+    #[test]
+    fn validator_rejects_missing_cross_sm_stage() {
+        let (ig, cfg) = chain(2);
+        let bad = Schedule {
+            ii: 20,
+            sm_of: vec![0, 1],
+            offset: vec![0, 10],
+            stage: vec![0, 0], // same iteration across SMs: illegal
+        };
+        let e = validate(&ig, &cfg, &bad, 2, 1).unwrap_err();
+        assert!(matches!(e, Error::InvalidSchedule(ref m) if m.contains("cross-SM")));
+    }
+
+    #[test]
+    fn validator_rejects_wraparound() {
+        let (ig, cfg) = chain(1);
+        let bad = Schedule {
+            ii: 12,
+            sm_of: vec![0],
+            offset: vec![5], // 5 + 10 > 12
+            stage: vec![0],
+        };
+        let e = validate(&ig, &cfg, &bad, 1, 1).unwrap_err();
+        assert!(matches!(e, Error::InvalidSchedule(ref m) if m.contains("wraps")));
+    }
+
+    #[test]
+    fn search_ilp_path_on_small_graph() {
+        let (ig, cfg) = chain(3);
+        let opts = SearchOptions {
+            scheduler: SchedulerKind::Ilp,
+            ilp_budget: Duration::from_secs(10),
+            ..SearchOptions::default()
+        };
+        let (sched, report) = find(&ig, &cfg, 2, &opts).unwrap();
+        assert!(report.used_ilp);
+        assert!(report.final_ii >= report.lower_bound);
+        validate(&ig, &cfg, &sched, 2, 1).unwrap();
+        // Lower bound: ceil(30/2) = 15; the ILP should reach it or close.
+        assert!(
+            sched.ii <= 20,
+            "ILP II {} too far above lower bound 15",
+            sched.ii
+        );
+    }
+
+    #[test]
+    fn search_heuristic_path() {
+        let (ig, cfg) = chain(8);
+        let opts = SearchOptions {
+            scheduler: SchedulerKind::Heuristic,
+            ..SearchOptions::default()
+        };
+        let (sched, report) = find(&ig, &cfg, 4, &opts).unwrap();
+        assert!(!report.used_ilp);
+        validate(&ig, &cfg, &sched, 4, 1).unwrap();
+    }
+
+    #[test]
+    fn multirate_schedules_validate() {
+        // Paper's Figure 4 rates, scheduled on 2 SMs.
+        let g = StreamSpec::pipeline(vec![rate_filter("A", 1, 2), rate_filter("B", 3, 1)])
+            .flatten()
+            .unwrap();
+        let cfg = ExecConfig {
+            regs_per_thread: 16,
+            threads_per_block: 4,
+            threads: vec![4, 4],
+            delay: vec![7, 13],
+        };
+        let ig = instances::build(&g, &cfg).unwrap();
+        let sched = heuristic::schedule(&ig, &cfg, 2, 1, 1).unwrap();
+        validate(&ig, &cfg, &sched, 2, 1).unwrap();
+    }
+
+    #[test]
+    fn normalize_shifts_stages() {
+        let mut s = Schedule {
+            ii: 10,
+            sm_of: vec![0, 0],
+            offset: vec![0, 0],
+            stage: vec![2, 3],
+        };
+        s.normalize();
+        assert_eq!(s.stage, vec![0, 1]);
+        assert_eq!(s.start(1), 10);
+    }
+}

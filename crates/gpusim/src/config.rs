@@ -1,0 +1,103 @@
+//! Device shape parameters.
+
+/// The hardware shape of the simulated GPU.
+///
+/// Defaults ([`DeviceConfig::gts512`]) model the paper's GeForce 8800 GTS
+/// 512: 16 streaming multiprocessors of 8 scalar units each, a 256-bit
+/// memory bus, 8192 32-bit registers and 16 KB of shared memory per SM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// Streaming multiprocessors.
+    pub num_sms: u32,
+    /// Scalar units per SM (warp issue width divisor).
+    pub scalar_units_per_sm: u32,
+    /// Threads per warp (the hardware schedulable entity).
+    pub warp_size: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum threads in one thread block.
+    pub max_threads_per_block: u32,
+    /// Maximum thread blocks resident on one SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM, partitioned among resident threads.
+    pub registers_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: u32,
+    /// Device memory size in 32-bit words.
+    pub device_mem_words: u32,
+    /// Size of one coalesced memory transaction in bytes.
+    pub transaction_bytes: u32,
+    /// The thread-group granularity of the optimized buffer layout: the
+    /// gcd of the considered block sizes (the paper clusters threads in
+    /// groups of 128).
+    pub layout_group: u32,
+}
+
+impl DeviceConfig {
+    /// The paper's GeForce 8800 GTS 512 (G92).
+    #[must_use]
+    pub fn gts512() -> DeviceConfig {
+        DeviceConfig {
+            num_sms: 16,
+            scalar_units_per_sm: 8,
+            warp_size: 32,
+            max_threads_per_sm: 768,
+            max_threads_per_block: 512,
+            max_blocks_per_sm: 8,
+            registers_per_sm: 8192,
+            shared_mem_per_sm: 16 * 1024,
+            device_mem_words: 128 * 1024 * 1024, // 512 MB
+            transaction_bytes: 64,
+            layout_group: 128,
+        }
+    }
+
+    /// A reduced device for fast unit tests: 4 SMs, 1 MB of memory,
+    /// otherwise GTS-512 proportions.
+    #[must_use]
+    pub fn small_test() -> DeviceConfig {
+        DeviceConfig {
+            num_sms: 4,
+            device_mem_words: 2 * 1024 * 1024,
+            ..DeviceConfig::gts512()
+        }
+    }
+
+    /// Issue cycles for one warp-wide instruction
+    /// (`warp_size / scalar_units`, 4 on the modeled hardware).
+    #[must_use]
+    pub fn warp_issue_cycles(&self) -> u32 {
+        self.warp_size / self.scalar_units_per_sm
+    }
+
+    /// Tokens (32-bit words) per coalesced transaction.
+    #[must_use]
+    pub fn transaction_words(&self) -> u32 {
+        self.transaction_bytes / 4
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig::gts512()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gts512_matches_paper_numbers() {
+        let c = DeviceConfig::gts512();
+        assert_eq!(c.num_sms, 16);
+        assert_eq!(c.scalar_units_per_sm, 8);
+        assert_eq!(c.registers_per_sm, 8192);
+        assert_eq!(c.shared_mem_per_sm, 16 * 1024);
+        assert_eq!(c.max_threads_per_sm, 768);
+        assert_eq!(c.max_threads_per_block, 512);
+        assert_eq!(c.max_blocks_per_sm, 8);
+        assert_eq!(c.warp_issue_cycles(), 4);
+        assert_eq!(c.transaction_words(), 16);
+    }
+}

@@ -1,0 +1,431 @@
+//! Warp-synchronous execution of work functions.
+//!
+//! A warp's 32 lanes step through the kernel IR together under an
+//! active-lane mask. Structured control flow gives structured divergence:
+//! an `if` whose condition differs across lanes executes both arms with
+//! complementary masks (both arms' instructions are issued, as on the real
+//! SIMD pipeline); `for` bounds are compile-time constants, so loops never
+//! diverge. Every device-memory access gathers the active lanes' addresses
+//! and runs them through the coalescing analyzer.
+//!
+//! Expressions are pure, so they are evaluated lane-by-lane with a scalar
+//! recursion (no per-node temporaries); instruction issue is counted once
+//! per warp during the first active lane's traversal, and `peek` addresses
+//! are gathered across lanes per syntactic site so coalescing is billed on
+//! the true warp-wide access pattern.
+
+use streamir::ir::{interp, Expr, Scalar, Stmt, WorkFunction};
+
+use crate::layout::BufferBinding;
+use crate::mem::{bank_conflict_degree, count_transactions, DeviceMemory};
+use crate::stats::InstanceStats;
+use crate::{Result, SimError};
+
+/// Extra issue slots a transcendental op occupies relative to a plain ALU
+/// op (SFU throughput is a quarter of the SP throughput on this device).
+const TRANSCENDENTAL_ISSUE: u64 = 4;
+
+/// Scratch arrays up to this many words per thread stay in the register
+/// file; larger ones live in (coalesced, per-thread-interleaved) local
+/// memory, like nvcc places them.
+pub(crate) const REG_ARRAY_WORDS: u32 = 16;
+
+/// Shared-memory banks on the modeled device.
+const SHARED_BANKS: u64 = 16;
+
+/// Static description of one warp's slice of an instance execution.
+pub(crate) struct WarpCtx<'a> {
+    pub wf: &'a WorkFunction,
+    /// Instance-local thread id of lane 0.
+    pub lane0_tid: u32,
+    /// Active lanes in this warp (1..=32).
+    pub active: u32,
+    pub inputs: &'a [BufferBinding],
+    pub outputs: &'a [BufferBinding],
+    /// Channel traffic goes through shared memory (SWPNC staging mode):
+    /// billed as shared accesses instead of device transactions.
+    pub shared_staging: bool,
+    /// Half-warp size for coalescing (16).
+    pub half_warp: u32,
+    /// Words per transaction (16).
+    pub txn_words: u64,
+    /// Arrays spill to local memory beyond this size.
+    pub reg_array_words: u32,
+    /// Device word address of the filter's persistent state (stateful
+    /// filters execute single-threaded with state in device memory).
+    pub state_base: Option<u32>,
+}
+
+struct Lane {
+    locals: Vec<Scalar>,
+    arrays: Vec<Vec<Scalar>>,
+    pops: Vec<u64>,
+    pushes: Vec<u64>,
+}
+
+struct Exec<'a, 'b> {
+    ctx: &'b WarpCtx<'a>,
+    mem: &'b mut DeviceMemory,
+    stats: &'b mut InstanceStats,
+    lanes: Vec<Lane>,
+    /// Peek-site address gathers for the expression currently being
+    /// evaluated: `peek_addrs[site]` holds `(lane, addr)` pairs.
+    peek_addrs: Vec<Vec<(u32, u64)>>,
+    /// Peek-site cursor during one lane's traversal.
+    peek_cursor: usize,
+    /// Whether the current lane's traversal should count issued
+    /// instructions (true only for the first active lane).
+    count_issue: bool,
+}
+
+type Mask = u32;
+
+fn trap(msg: impl Into<String>) -> SimError {
+    SimError::Trap(msg.into())
+}
+
+/// Executes one warp through the whole work function.
+pub(crate) fn run_warp(
+    ctx: &WarpCtx<'_>,
+    mem: &mut DeviceMemory,
+    stats: &mut InstanceStats,
+) -> Result<()> {
+    let lanes = (0..ctx.active)
+        .map(|_| Lane {
+            locals: ctx
+                .wf
+                .locals()
+                .iter()
+                .map(|&ty| Scalar::zero(ty))
+                .collect(),
+            arrays: ctx
+                .wf
+                .arrays()
+                .iter()
+                .map(|&(ty, len)| vec![Scalar::zero(ty); len as usize])
+                .collect(),
+            pops: vec![0; ctx.wf.input_ports().len()],
+            pushes: vec![0; ctx.wf.output_ports().len()],
+        })
+        .collect();
+    let mut exec = Exec {
+        ctx,
+        mem,
+        stats,
+        lanes,
+        peek_addrs: Vec::new(),
+        peek_cursor: 0,
+        count_issue: false,
+    };
+    let mask: Mask = if ctx.active == 32 {
+        u32::MAX
+    } else {
+        (1u32 << ctx.active) - 1
+    };
+    exec.block(ctx.wf.body(), mask)
+}
+
+impl Exec<'_, '_> {
+    #[inline]
+    fn active_lanes(&self, mask: Mask) -> impl Iterator<Item = u32> + '_ {
+        let n = self.lanes.len() as u32;
+        (0..n).filter(move |l| mask & (1 << l) != 0)
+    }
+
+    #[inline]
+    fn issue(&mut self, n: u64) {
+        self.stats.warp_instructions += n;
+    }
+
+    /// Bills one warp-wide channel access at the given per-lane addresses.
+    fn channel_access(&mut self, addrs: &[(u32, u64)]) {
+        self.issue(1);
+        if self.ctx.shared_staging {
+            self.stats.shared_accesses += 1;
+            self.stats.bank_conflict_passes += bank_conflict_degree(addrs, SHARED_BANKS);
+        } else {
+            self.stats.mem_access_insts += 1;
+            self.stats.mem_transactions +=
+                count_transactions(addrs, self.ctx.half_warp, self.ctx.txn_words);
+        }
+    }
+
+    /// Bills one warp-wide access to a local-memory-resident scratch array
+    /// (per-thread interleaved, hence always coalesced).
+    fn local_array_access(&mut self) {
+        self.issue(1);
+        self.stats.mem_access_insts += 1;
+        self.stats.mem_transactions += 2; // 32 lanes x 4 B = 128 B = 2 transactions
+    }
+
+    fn array_in_local_memory(&self) -> bool {
+        self.ctx.wf.info().local_array_words > self.ctx.reg_array_words
+    }
+
+    /// Evaluates `e` for every active lane (scalar recursion per lane),
+    /// billing instruction issue once and peek sites warp-wide. Results
+    /// are placed in `out`, indexed by lane.
+    fn eval(&mut self, e: &Expr, mask: Mask, out: &mut Vec<Scalar>) -> Result<()> {
+        out.clear();
+        out.resize(self.lanes.len(), Scalar::I32(0));
+        let mut first = true;
+        let lanes: Vec<u32> = self.active_lanes(mask).collect();
+        for &l in &lanes {
+            self.count_issue = first;
+            self.peek_cursor = 0;
+            out[l as usize] = self.eval_lane(e, l)?;
+            first = false;
+        }
+        self.count_issue = false;
+        // Bill gathered peek sites.
+        let sites = std::mem::take(&mut self.peek_addrs);
+        for addrs in &sites {
+            self.channel_access(addrs);
+        }
+        self.peek_addrs = sites;
+        for s in &mut self.peek_addrs {
+            s.clear();
+        }
+        Ok(())
+    }
+
+    /// One lane's scalar evaluation of a pure expression.
+    fn eval_lane(&mut self, e: &Expr, lane: u32) -> Result<Scalar> {
+        match e {
+            Expr::I32(v) => {
+                if self.count_issue {
+                    self.issue(1);
+                }
+                Ok(Scalar::I32(*v))
+            }
+            Expr::F32(v) => {
+                if self.count_issue {
+                    self.issue(1);
+                }
+                Ok(Scalar::F32(*v))
+            }
+            Expr::Local(l) => Ok(self.lanes[lane as usize].locals[l.0 as usize]),
+            Expr::Peek { port, depth } => {
+                let d = self.eval_lane(depth, lane)?.as_i32();
+                let d = u64::try_from(d).map_err(|_| trap(format!("negative peek depth {d}")))?;
+                let p = *port as usize;
+                let binding = &self.ctx.inputs[p];
+                let pos = self.lanes[lane as usize].pops[p] + d;
+                let addr = binding.addr(self.ctx.lane0_tid + lane, pos);
+                // Record the address under this syntactic peek site.
+                let site = self.peek_cursor;
+                self.peek_cursor += 1;
+                if self.peek_addrs.len() <= site {
+                    self.peek_addrs.push(Vec::new());
+                }
+                self.peek_addrs[site].push((lane, addr));
+                if self.count_issue {
+                    self.issue(1); // address arithmetic
+                }
+                let elem = self.ctx.wf.input_ports()[p];
+                Ok(Scalar::from_bits(elem, self.mem.read(addr)?))
+            }
+            Expr::LoadArr { arr, index } => {
+                let i = self.eval_lane(index, lane)?.as_i32();
+                if self.count_issue {
+                    if self.array_in_local_memory() {
+                        self.local_array_access();
+                    } else {
+                        self.issue(1);
+                    }
+                }
+                let a = &self.lanes[lane as usize].arrays[arr.0 as usize];
+                usize::try_from(i)
+                    .ok()
+                    .and_then(|i| a.get(i))
+                    .copied()
+                    .ok_or_else(|| trap(format!("array load index {i} out of bounds")))
+            }
+            Expr::LoadTable { table, index } => {
+                let i = self.eval_lane(index, lane)?.as_i32();
+                if self.count_issue {
+                    self.issue(1); // constant-cache hit
+                }
+                let t = &self.ctx.wf.tables()[table.0 as usize];
+                usize::try_from(i)
+                    .ok()
+                    .and_then(|i| t.values.get(i))
+                    .copied()
+                    .ok_or_else(|| trap(format!("table load index {i} out of bounds")))
+            }
+            Expr::LoadState(id) => {
+                let base = self
+                    .ctx
+                    .state_base
+                    .ok_or_else(|| trap("state access without a state buffer"))?;
+                if self.count_issue {
+                    self.issue(1);
+                    self.stats.mem_access_insts += 1;
+                    self.stats.mem_transactions += 1; // one lane, one line
+                }
+                let ty = self.ctx.wf.states()[id.0 as usize].ty;
+                Ok(Scalar::from_bits(
+                    ty,
+                    self.mem.read(u64::from(base) + u64::from(id.0))?,
+                ))
+            }
+            Expr::Unary(op, inner) => {
+                let v = self.eval_lane(inner, lane)?;
+                if self.count_issue {
+                    self.issue(if op.is_transcendental() {
+                        TRANSCENDENTAL_ISSUE
+                    } else {
+                        1
+                    });
+                }
+                interp::eval_unary(*op, v).map_err(|e| trap(e.to_string()))
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let a = self.eval_lane(lhs, lane)?;
+                let b = self.eval_lane(rhs, lane)?;
+                if self.count_issue {
+                    self.issue(1);
+                }
+                interp::eval_binary(*op, a, b).map_err(|e| trap(e.to_string()))
+            }
+        }
+    }
+
+    fn block(&mut self, stmts: &[Stmt], mask: Mask) -> Result<()> {
+        if mask == 0 {
+            return Ok(());
+        }
+        for s in stmts {
+            self.stmt(s, mask)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt, mask: Mask) -> Result<()> {
+        match s {
+            Stmt::Assign(local, e) => {
+                let mut vals = Vec::new();
+                self.eval(e, mask, &mut vals)?;
+                self.issue(1);
+                for l in self.active_lanes(mask).collect::<Vec<_>>() {
+                    self.lanes[l as usize].locals[local.0 as usize] = vals[l as usize];
+                }
+                Ok(())
+            }
+            Stmt::StoreState(id, e) => {
+                let mut vals = Vec::new();
+                self.eval(e, mask, &mut vals)?;
+                let base = self
+                    .ctx
+                    .state_base
+                    .ok_or_else(|| trap("state store without a state buffer"))?;
+                self.issue(1);
+                self.stats.mem_access_insts += 1;
+                self.stats.mem_transactions += 1;
+                // Stateful filters run single-lane; the last active lane's
+                // value wins, matching sequential semantics.
+                for l in self.active_lanes(mask).collect::<Vec<_>>() {
+                    self.mem.write(
+                        u64::from(base) + u64::from(id.0),
+                        vals[l as usize].to_bits(),
+                    )?;
+                }
+                Ok(())
+            }
+            Stmt::Store { arr, index, value } => {
+                let mut idxs = Vec::new();
+                self.eval(index, mask, &mut idxs)?;
+                let mut vals = Vec::new();
+                self.eval(value, mask, &mut vals)?;
+                if self.array_in_local_memory() {
+                    self.local_array_access();
+                } else {
+                    self.issue(1);
+                }
+                for l in self.active_lanes(mask).collect::<Vec<_>>() {
+                    let i = idxs[l as usize].as_i32();
+                    let a = &mut self.lanes[l as usize].arrays[arr.0 as usize];
+                    let slot = usize::try_from(i)
+                        .ok()
+                        .and_then(|i| a.get_mut(i))
+                        .ok_or_else(|| trap(format!("array store index {i} out of bounds")))?;
+                    *slot = vals[l as usize];
+                }
+                Ok(())
+            }
+            Stmt::Pop { port, dst } => {
+                let p = *port as usize;
+                let binding = &self.ctx.inputs[p];
+                let elem = self.ctx.wf.input_ports()[p];
+                let mut addrs = Vec::new();
+                for l in self.active_lanes(mask) {
+                    let n = self.lanes[l as usize].pops[p];
+                    addrs.push((l, binding.addr(self.ctx.lane0_tid + l, n)));
+                }
+                self.issue(1); // address arithmetic
+                self.channel_access(&addrs);
+                for &(l, addr) in &addrs {
+                    let bits = self.mem.read(addr)?;
+                    let lane = &mut self.lanes[l as usize];
+                    lane.pops[p] += 1;
+                    if let Some(dst) = dst {
+                        lane.locals[dst.0 as usize] = Scalar::from_bits(elem, bits);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Push { port, value } => {
+                let mut vals = Vec::new();
+                self.eval(value, mask, &mut vals)?;
+                let p = *port as usize;
+                let binding = &self.ctx.outputs[p];
+                let mut addrs = Vec::new();
+                for l in self.active_lanes(mask) {
+                    let n = self.lanes[l as usize].pushes[p];
+                    addrs.push((l, binding.addr(self.ctx.lane0_tid + l, n)));
+                }
+                self.issue(1);
+                self.channel_access(&addrs);
+                for &(l, addr) in &addrs {
+                    self.mem.write(addr, vals[l as usize].to_bits())?;
+                    self.lanes[l as usize].pushes[p] += 1;
+                }
+                Ok(())
+            }
+            Stmt::For { var, lo, hi, body } => {
+                for i in *lo..*hi {
+                    self.issue(1); // induction update + branch
+                    for l in self.active_lanes(mask).collect::<Vec<_>>() {
+                        self.lanes[l as usize].locals[var.0 as usize] = Scalar::I32(i);
+                    }
+                    self.block(body, mask)?;
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let mut vals = Vec::new();
+                self.eval(cond, mask, &mut vals)?;
+                self.issue(1); // the branch itself
+                let mut t_mask: Mask = 0;
+                let mut f_mask: Mask = 0;
+                for l in self.active_lanes(mask) {
+                    if vals[l as usize].as_i32() != 0 {
+                        t_mask |= 1 << l;
+                    } else {
+                        f_mask |= 1 << l;
+                    }
+                }
+                if t_mask != 0 && f_mask != 0 {
+                    self.stats.divergent_branches += 1;
+                }
+                self.block(then_body, t_mask)?;
+                self.block(else_body, f_mask)?;
+                Ok(())
+            }
+        }
+    }
+}

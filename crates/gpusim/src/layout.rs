@@ -1,0 +1,250 @@
+//! Channel buffer layouts and endpoint bindings.
+//!
+//! A channel's tokens live in device memory in one of two layouts:
+//!
+//! * [`Layout::Sequential`] — the natural FIFO order: logical token `j` at
+//!   offset `j`. Under data-parallel execution thread `t` pops tokens
+//!   `t·o .. t·o+o`, so simultaneous accesses by a half-warp stride by `o`
+//!   words and serialize into one transaction per thread (Figure 8 of the
+//!   paper).
+//! * [`Layout::Transposed`] — the paper's optimized layout (Section IV-D):
+//!   within each chunk of `group × o` logical tokens, the `group × o`
+//!   matrix is transposed so that the `n`-th pops of `group` consecutive
+//!   firings are contiguous. A half-warp then accesses
+//!   `segment_base + lane`, which coalesces. `group` is 128, the gcd of
+//!   the considered thread-block sizes.
+//!
+//! One deliberate deviation from the paper is documented in DESIGN.md: we
+//! define the transposition once per channel in terms of the *consumer's*
+//! per-firing rate, and producers write each logical token into the slot
+//! this single bijection assigns. Exact FIFO semantics are preserved on
+//! every channel (the CPU oracle must agree bit-for-bit); reads always
+//! coalesce, and writes coalesce whenever producer and consumer chunk
+//! decompositions agree (the common case after thread-coarsening; the
+//! coalescing analyzer bills the mismatched cases truthfully).
+
+/// How logical token indices map to physical offsets within a buffer
+/// region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Natural FIFO order (used by the SWPNC baseline).
+    Sequential,
+    /// The coalescing transposition with thread-group size `group`.
+    Transposed {
+        /// Thread-group granularity (128 on the modeled device).
+        group: u32,
+    },
+}
+
+impl Layout {
+    /// Maps a logical index within a region to its physical offset, given
+    /// the consumer's per-firing rate `o` and the region size in tokens.
+    ///
+    /// The transposition works on chunks of `group` consecutive firings;
+    /// a region holding fewer than `group` firings (or a partial final
+    /// chunk) transposes over the firings actually present, keeping the
+    /// map a bijection on `[0, region_tokens)`. Callers guarantee
+    /// `region_tokens` is a multiple of `o`.
+    #[must_use]
+    pub fn slot(self, idx: u64, consumer_rate: u32, region_tokens: u64) -> u64 {
+        match self {
+            Layout::Sequential => idx,
+            Layout::Transposed { group } => {
+                let g = u64::from(group);
+                let o = u64::from(consumer_rate.max(1));
+                let f_total = (region_tokens / o).max(1);
+                let firing = idx / o;
+                let n = idx % o;
+                let chunk = firing / g;
+                let lanes = g.min(f_total - chunk * g);
+                chunk * g * o + n * lanes + (firing - chunk * g)
+            }
+        }
+    }
+}
+
+/// Binds one work-function port to a device buffer for an instance
+/// execution.
+///
+/// The binding knows everything needed to turn *(lane, token-number)* into
+/// a device word address: where the buffer lives, how big one
+/// steady-iteration region is, how many regions rotate (software-pipelined
+/// channels hold several iterations in flight), the layout, and the
+/// absolute logical index this instance starts at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferBinding {
+    /// Base device word address of the buffer.
+    pub base_word: u32,
+    /// Tokens per region (one steady iteration's traffic on the channel,
+    /// times any coarsening).
+    pub region_tokens: u64,
+    /// Number of rotating regions (`1` for flat buffers).
+    pub regions: u32,
+    /// Physical layout of each region.
+    pub layout: Layout,
+    /// Tokens per firing of the channel's *consumer* (defines the
+    /// transposition).
+    pub consumer_rate: u32,
+    /// Tokens per firing of *this endpoint* (consumer: pop rate; producer:
+    /// push rate).
+    pub endpoint_rate: u32,
+    /// Absolute logical index of lane 0's first token for this execution.
+    pub abs_start: u64,
+}
+
+impl BufferBinding {
+    /// A flat, single-region binding covering `tokens` tokens starting at
+    /// logical index 0 — what simple one-shot launches use.
+    #[must_use]
+    pub fn whole(
+        base_word: u32,
+        tokens: u32,
+        _elem: streamir::ir::ElemTy,
+        layout: Layout,
+        rate: u32,
+    ) -> BufferBinding {
+        BufferBinding {
+            base_word,
+            region_tokens: u64::from(tokens),
+            regions: 1,
+            layout,
+            consumer_rate: rate,
+            endpoint_rate: rate,
+            abs_start: 0,
+        }
+    }
+
+    /// Device word address of the `n`-th token of this endpoint's firing
+    /// executed by `lane` (for peeks, `n` may exceed the endpoint rate —
+    /// the address keeps following the logical stream).
+    #[must_use]
+    pub fn addr(&self, lane: u32, n: u64) -> u64 {
+        let j = self.abs_start + u64::from(lane) * u64::from(self.endpoint_rate) + n;
+        let region = (j / self.region_tokens) % u64::from(self.regions);
+        let offset = self
+            .layout
+            .slot(j % self.region_tokens, self.consumer_rate, self.region_tokens);
+        u64::from(self.base_word) + region * self.region_tokens + offset
+    }
+
+    /// Total words the buffer occupies (`regions × region_tokens`).
+    #[must_use]
+    pub fn size_words(&self) -> u64 {
+        self.region_tokens * u64::from(self.regions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sequential_is_identity() {
+        for i in 0..100 {
+            assert_eq!(Layout::Sequential.slot(i, 7, 700), i);
+        }
+    }
+
+    #[test]
+    fn transposed_is_a_bijection() {
+        let layout = Layout::Transposed { group: 4 };
+        let o = 3;
+        let region = 4 * 3 * 5; // 5 chunks
+        let mut seen = HashSet::new();
+        for j in 0..region {
+            let s = layout.slot(j, o, region);
+            assert!(s < region, "slot {s} out of region {region}");
+            assert!(seen.insert(s), "slot {s} assigned twice");
+        }
+        assert_eq!(seen.len() as u64, region);
+    }
+
+    #[test]
+    fn transposed_is_a_bijection_with_few_firings() {
+        // Fewer firings than the group size: the regression that once let
+        // slots escape the region.
+        let layout = Layout::Transposed { group: 128 };
+        for (o, firings) in [(1024u32, 8u64), (3, 5), (7, 130), (2, 128)] {
+            let region = u64::from(o) * firings;
+            let mut seen = HashSet::new();
+            for j in 0..region {
+                let s = layout.slot(j, o, region);
+                assert!(s < region, "slot {s} out of region {region} (o={o})");
+                assert!(seen.insert(s), "slot {s} assigned twice (o={o})");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_reads_are_contiguous_per_group() {
+        // group=4, o=2: the n-th pops of firings 0..4 must be contiguous.
+        let layout = Layout::Transposed { group: 4 };
+        for n in 0..2u64 {
+            let slots: Vec<u64> = (0..4u64).map(|f| layout.slot(f * 2 + n, 2, 8)).collect();
+            for w in slots.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "lane-consecutive slots must be adjacent");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_matches_paper_formula() {
+        // Paper eq. (10) with 128-thread groups: index of the n-th pop of
+        // thread tid with pop rate o is
+        //   128*n + (tid/128)*128*o + tid%128.
+        let layout = Layout::Transposed { group: 128 };
+        let o = 4u64;
+        let region = 384 * o; // 3 full 128-firing chunks
+        for tid in [0u64, 1, 127, 128, 200, 383] {
+            for n in 0..o {
+                let expect = 128 * n + (tid / 128) * 128 * o + tid % 128;
+                assert_eq!(layout.slot(tid * o + n, o as u32, region), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn binding_addresses_rotate_regions() {
+        let b = BufferBinding {
+            base_word: 1000,
+            region_tokens: 64,
+            regions: 3,
+            layout: Layout::Sequential,
+            consumer_rate: 1,
+            endpoint_rate: 1,
+            abs_start: 0,
+        };
+        assert_eq!(b.addr(0, 0), 1000);
+        assert_eq!(b.addr(63, 0), 1063);
+        // Token 64 belongs to the next iteration -> second region.
+        let b2 = BufferBinding {
+            abs_start: 64,
+            ..b.clone()
+        };
+        assert_eq!(b2.addr(0, 0), 1064);
+        // Token 192 wraps back to region 0.
+        let b3 = BufferBinding {
+            abs_start: 192,
+            ..b
+        };
+        assert_eq!(b3.addr(0, 0), 1000);
+        assert_eq!(b3.size_words(), 192);
+    }
+
+    #[test]
+    fn peek_addresses_continue_past_rate() {
+        // endpoint rate 2, peeking at n=2 (one past the window) lands on
+        // the next firing's first token.
+        let b = BufferBinding {
+            base_word: 0,
+            region_tokens: 1024,
+            regions: 1,
+            layout: Layout::Sequential,
+            consumer_rate: 2,
+            endpoint_rate: 2,
+            abs_start: 0,
+        };
+        assert_eq!(b.addr(3, 2), 8); // lane 3 window starts at 6; peek(2) hits 8
+    }
+}

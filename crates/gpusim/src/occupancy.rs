@@ -1,0 +1,168 @@
+//! Occupancy arithmetic: how many blocks and warps an SM can keep
+//! resident under the register, shared-memory, thread, and block limits.
+//!
+//! The paper's profiling phase searches thread counts precisely because
+//! occupancy (resident warps) controls latency hiding while the register
+//! file caps it: "Higher levels of SMT do not automatically translate to
+//! higher performance, since the number of registers in each
+//! multiprocessor is fixed."
+
+use crate::config::DeviceConfig;
+
+/// Residency of one block shape on one SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Blocks simultaneously resident on the SM.
+    pub blocks: u32,
+    /// Warps simultaneously resident (blocks × warps per block).
+    pub warps: u32,
+    /// Threads simultaneously resident.
+    pub threads: u32,
+    /// Which resource binds: the limiter.
+    pub limited_by: Limit,
+}
+
+/// The resource that caps residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limit {
+    /// The per-SM register file.
+    Registers,
+    /// Shared memory.
+    SharedMemory,
+    /// The resident-thread ceiling.
+    Threads,
+    /// The resident-block ceiling.
+    Blocks,
+    /// The block shape is infeasible on this device (zero residency).
+    Infeasible,
+}
+
+/// Computes residency for a block of `threads_per_block` threads, each
+/// holding `regs_per_thread` registers, with `shared_bytes_per_block` of
+/// shared memory.
+///
+/// # Examples
+///
+/// ```
+/// use gpusim::{occupancy, DeviceConfig};
+/// // 512 threads x 16 registers = the whole register file: one block.
+/// let o = occupancy::occupancy(&DeviceConfig::gts512(), 512, 16, 0);
+/// assert_eq!(o.blocks, 1);
+/// assert_eq!(o.threads, 512);
+/// // 64 registers per thread: a 512-thread block cannot launch at all.
+/// let o = occupancy::occupancy(&DeviceConfig::gts512(), 512, 64, 0);
+/// assert_eq!(o.blocks, 0);
+/// ```
+#[must_use]
+pub fn occupancy(
+    config: &DeviceConfig,
+    threads_per_block: u32,
+    regs_per_thread: u32,
+    shared_bytes_per_block: u32,
+) -> Occupancy {
+    if threads_per_block == 0 || threads_per_block > config.max_threads_per_block {
+        return Occupancy {
+            blocks: 0,
+            warps: 0,
+            threads: 0,
+            limited_by: Limit::Infeasible,
+        };
+    }
+    let by_regs = config
+        .registers_per_sm
+        .checked_div(regs_per_thread * threads_per_block)
+        .unwrap_or(u32::MAX);
+    let by_shared = config
+        .shared_mem_per_sm
+        .checked_div(shared_bytes_per_block)
+        .unwrap_or(u32::MAX);
+    let by_threads = config.max_threads_per_sm / threads_per_block;
+    let by_blocks = config.max_blocks_per_sm;
+
+    let blocks = by_regs.min(by_shared).min(by_threads).min(by_blocks);
+    let limited_by = if blocks == 0 {
+        Limit::Infeasible
+    } else if blocks == by_regs {
+        Limit::Registers
+    } else if blocks == by_shared {
+        Limit::SharedMemory
+    } else if blocks == by_threads {
+        Limit::Threads
+    } else {
+        Limit::Blocks
+    };
+    Occupancy {
+        blocks,
+        warps: blocks * threads_per_block.div_ceil(config.warp_size),
+        threads: blocks * threads_per_block,
+        limited_by,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gts() -> DeviceConfig {
+        DeviceConfig::gts512()
+    }
+
+    #[test]
+    fn paper_register_wall() {
+        // The paper's grid: regs x threads <= 8192 is the feasibility line.
+        for (regs, threads, feasible) in [
+            (16u32, 512u32, true),
+            (20, 384, true),
+            (32, 256, true),
+            (64, 128, true),
+            (64, 512, false),
+            (32, 384, false),
+            (20, 512, false),
+        ] {
+            let o = occupancy(&gts(), threads, regs, 0);
+            assert_eq!(
+                o.blocks > 0,
+                feasible,
+                "({regs} regs, {threads} threads) expected feasible={feasible}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_ceiling_limits_small_blocks() {
+        // 128-thread blocks with few registers: capped by 768 threads/SM
+        // (6 blocks), not by the 8-block ceiling.
+        let o = occupancy(&gts(), 128, 8, 0);
+        assert_eq!(o.blocks, 6);
+        assert_eq!(o.threads, 768);
+        assert_eq!(o.limited_by, Limit::Threads);
+    }
+
+    #[test]
+    fn block_ceiling_limits_tiny_blocks() {
+        let o = occupancy(&gts(), 64, 4, 0);
+        assert_eq!(o.blocks, 8);
+        assert_eq!(o.limited_by, Limit::Blocks);
+    }
+
+    #[test]
+    fn shared_memory_limits() {
+        // 9 KB of shared per block: only one block fits in 16 KB.
+        let o = occupancy(&gts(), 128, 8, 9 * 1024);
+        assert_eq!(o.blocks, 1);
+        assert_eq!(o.limited_by, Limit::SharedMemory);
+    }
+
+    #[test]
+    fn oversized_block_is_infeasible() {
+        let o = occupancy(&gts(), 1024, 8, 0);
+        assert_eq!(o.blocks, 0);
+        assert_eq!(o.limited_by, Limit::Infeasible);
+    }
+
+    #[test]
+    fn warps_round_up_partial_blocks() {
+        let o = occupancy(&gts(), 48, 8, 0); // 1.5 warps per block
+        assert_eq!(o.warps, o.blocks * 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! A mixed-integer linear programming solver.
+//!
+//! This crate substitutes for CPLEX in the paper's toolchain: the
+//! software-pipelining phase formulates scheduling + processor assignment
+//! as an ILP *feasibility* problem for a candidate initiation interval and
+//! hands it to a solver under a time budget (20 s in the paper), relaxing
+//! the II when the budget expires.
+//!
+//! Components:
+//!
+//! * [`Model`] — an incremental model builder: typed variables
+//!   (continuous / integer / binary) with bounds, linear constraints, an
+//!   optional linear objective.
+//! * An internal two-phase primal **simplex** over `f64` with Bland's rule
+//!   for the LP relaxations.
+//! * [`solve`] — **branch & bound** on the LP relaxation: most-fractional
+//!   branching, depth-first with best-first tie-breaking, node and
+//!   wall-clock budgets, and early exit in feasibility mode. Every
+//!   incumbent is re-verified in *exact rational arithmetic* before being
+//!   accepted, so floating-point drift in the LP cannot produce a bogus
+//!   "feasible" schedule.
+//!
+//! # Example
+//!
+//! ```
+//! use ilp::{Model, SolveOptions, SolveOutcome};
+//!
+//! // maximize x + 2y  s.t.  x + y <= 4,  x, y in {0..3} integer.
+//! let mut m = Model::new();
+//! let x = m.int_var("x", 0.0, 3.0);
+//! let y = m.int_var("y", 0.0, 3.0);
+//! m.constraint(m.expr().term(x, 1.0).term(y, 1.0), ilp::Sense::Le, 4.0);
+//! m.maximize(m.expr().term(x, 1.0).term(y, 2.0));
+//! let out = ilp::solve(&m, &SolveOptions::default());
+//! match out {
+//!     SolveOutcome::Optimal(sol) => {
+//!         assert_eq!(sol.value(y).round(), 3.0);
+//!         assert_eq!(sol.objective.round(), 7.0);
+//!     }
+//!     other => panic!("expected optimal, got {other:?}"),
+//! }
+//! ```
+
+mod model;
+mod presolve;
+mod simplex;
+mod solver;
+
+pub use model::{LinExpr, Model, Sense, VarId, VarTy};
+pub use presolve::{presolve, Presolved};
+pub use solver::{solve, solve_with_stats, Solution, SolveOptions, SolveOutcome, SolveStats};

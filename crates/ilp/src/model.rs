@@ -1,0 +1,356 @@
+//! Model building: variables, linear expressions, constraints.
+
+use std::fmt;
+
+/// Identifies a variable within one [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+/// The integrality class of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarTy {
+    /// Real-valued.
+    Continuous,
+    /// Integer-valued.
+    Integer,
+    /// Integer restricted to `{0, 1}`.
+    Binary,
+}
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `expr <= rhs`.
+    Le,
+    /// `expr >= rhs`.
+    Ge,
+    /// `expr == rhs`.
+    Eq,
+}
+
+impl fmt::Display for Sense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sense::Le => "<=",
+            Sense::Ge => ">=",
+            Sense::Eq => "==",
+        })
+    }
+}
+
+/// A linear expression `Σ cᵢ·xᵢ + constant`.
+///
+/// Build fluently: `m.expr().term(x, 2.0).term(y, -1.0).constant(3.0)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    pub(crate) terms: Vec<(VarId, f64)>,
+    pub(crate) constant: f64,
+}
+
+impl LinExpr {
+    /// The empty expression (zero).
+    #[must_use]
+    pub fn new() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// Adds `coeff · var`.
+    #[must_use]
+    pub fn term(mut self, var: VarId, coeff: f64) -> LinExpr {
+        if coeff != 0.0 {
+            self.terms.push((var, coeff));
+        }
+        self
+    }
+
+    /// Adds a constant offset.
+    #[must_use]
+    pub fn constant(mut self, c: f64) -> LinExpr {
+        self.constant += c;
+        self
+    }
+
+    /// Adds every term of `other`.
+    #[must_use]
+    pub fn plus(mut self, other: &LinExpr) -> LinExpr {
+        self.terms.extend_from_slice(&other.terms);
+        self.constant += other.constant;
+        self
+    }
+
+    /// Collapses duplicate variables, returning dense-ready terms.
+    pub(crate) fn canonical_terms(&self, n_vars: usize) -> Vec<f64> {
+        let mut row = vec![0.0; n_vars];
+        for &(v, c) in &self.terms {
+            row[v.0] += c;
+        }
+        row
+    }
+
+    /// Evaluates the expression under an assignment.
+    #[must_use]
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|&(v, c)| c * values[v.0])
+                .sum::<f64>()
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarDef {
+    pub name: String,
+    pub ty: VarTy,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ConstraintDef {
+    pub expr: LinExpr,
+    pub sense: Sense,
+    pub rhs: f64,
+    pub name: String,
+}
+
+/// Objective direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Direction {
+    Minimize,
+    Maximize,
+}
+
+/// An incrementally built MILP.
+///
+/// # Examples
+///
+/// ```
+/// use ilp::{Model, Sense};
+/// let mut m = Model::new();
+/// let x = m.binary_var("x");
+/// let y = m.cont_var("y", 0.0, 10.0);
+/// m.constraint(m.expr().term(x, 3.0).term(y, 1.0), Sense::Le, 7.5);
+/// m.minimize(m.expr().term(y, 1.0));
+/// assert_eq!(m.num_vars(), 2);
+/// assert_eq!(m.num_constraints(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) cons: Vec<ConstraintDef>,
+    pub(crate) objective: LinExpr,
+    pub(crate) direction: Option<Direction>,
+    pub(crate) sos1: Vec<Vec<VarId>>,
+}
+
+impl Model {
+    /// An empty model.
+    #[must_use]
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Adds a continuous variable with bounds `[lo, hi]`.
+    pub fn cont_var(&mut self, name: impl Into<String>, lo: f64, hi: f64) -> VarId {
+        self.add_var(name.into(), VarTy::Continuous, lo, hi)
+    }
+
+    /// Adds an integer variable with bounds `[lo, hi]`.
+    pub fn int_var(&mut self, name: impl Into<String>, lo: f64, hi: f64) -> VarId {
+        self.add_var(name.into(), VarTy::Integer, lo, hi)
+    }
+
+    /// Adds a `{0, 1}` variable.
+    pub fn binary_var(&mut self, name: impl Into<String>) -> VarId {
+        self.add_var(name.into(), VarTy::Binary, 0.0, 1.0)
+    }
+
+    fn add_var(&mut self, name: String, ty: VarTy, lo: f64, hi: f64) -> VarId {
+        assert!(lo <= hi, "variable {name} has empty bounds [{lo}, {hi}]");
+        let id = VarId(self.vars.len());
+        self.vars.push(VarDef { name, ty, lo, hi });
+        id
+    }
+
+    /// Starts a fresh expression (sugar so call sites read
+    /// `m.expr().term(x, 1.0)`).
+    #[must_use]
+    pub fn expr(&self) -> LinExpr {
+        LinExpr::new()
+    }
+
+    /// Adds a constraint `expr sense rhs`.
+    pub fn constraint(&mut self, expr: LinExpr, sense: Sense, rhs: f64) {
+        let name = format!("c{}", self.cons.len());
+        self.named_constraint(name, expr, sense, rhs);
+    }
+
+    /// Adds a named constraint (names surface in diagnostics).
+    pub fn named_constraint(
+        &mut self,
+        name: impl Into<String>,
+        expr: LinExpr,
+        sense: Sense,
+        rhs: f64,
+    ) {
+        self.cons.push(ConstraintDef {
+            expr,
+            sense,
+            rhs,
+            name: name.into(),
+        });
+    }
+
+    /// Declares a special-ordered set of type 1: at most (here: exactly,
+    /// when paired with an equality row) one of `vars` is nonzero. The
+    /// branch-and-bound search branches on whole groups — one child per
+    /// member — which keeps assignment-structured models shallow.
+    pub fn sos1(&mut self, vars: Vec<VarId>) {
+        if vars.len() > 1 {
+            self.sos1.push(vars);
+        }
+    }
+
+    /// The declared SOS1 groups.
+    #[must_use]
+    pub fn sos1_groups(&self) -> &[Vec<VarId>] {
+        &self.sos1
+    }
+
+    /// Sets a minimization objective.
+    pub fn minimize(&mut self, expr: LinExpr) {
+        self.objective = expr;
+        self.direction = Some(Direction::Minimize);
+    }
+
+    /// Sets a maximization objective.
+    pub fn maximize(&mut self, expr: LinExpr) {
+        self.objective = expr;
+        self.direction = Some(Direction::Maximize);
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Number of integer-constrained (integer or binary) variables.
+    #[must_use]
+    pub fn num_integer_vars(&self) -> usize {
+        self.vars
+            .iter()
+            .filter(|v| v.ty != VarTy::Continuous)
+            .count()
+    }
+
+    /// The declared bounds of a variable.
+    #[must_use]
+    pub fn bounds(&self, var: VarId) -> (f64, f64) {
+        let v = &self.vars[var.0];
+        (v.lo, v.hi)
+    }
+
+    /// The name of a variable.
+    #[must_use]
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.vars[var.0].name
+    }
+
+    /// Checks an assignment against every constraint, bound, and
+    /// integrality requirement using exact rational arithmetic (values are
+    /// rounded to the nearest rational with denominator `2^20` first, which
+    /// is exact for the integral assignments branch-and-bound produces).
+    /// Returns the name of the first violated requirement.
+    #[must_use]
+    pub fn violated_by(&self, values: &[f64], int_tol: f64) -> Option<String> {
+        use numeric::Rational;
+        const DENOM: i128 = 1 << 20;
+        let to_rat = |v: f64| Rational::new((v * DENOM as f64).round() as i128, DENOM);
+        let vals: Vec<Rational> = values.iter().map(|&v| to_rat(v)).collect();
+        for (i, v) in self.vars.iter().enumerate() {
+            if vals[i] < to_rat(v.lo) || vals[i] > to_rat(v.hi) {
+                return Some(format!("bounds of {}", v.name));
+            }
+            if v.ty != VarTy::Continuous && (values[i] - values[i].round()).abs() > int_tol {
+                return Some(format!("integrality of {}", v.name));
+            }
+        }
+        for c in &self.cons {
+            let mut lhs = to_rat(c.expr.constant);
+            for &(var, coeff) in &c.expr.terms {
+                lhs += to_rat(coeff) * vals[var.0];
+            }
+            let rhs = to_rat(c.rhs);
+            let ok = match c.sense {
+                Sense::Le => lhs <= rhs,
+                Sense::Ge => lhs >= rhs,
+                Sense::Eq => lhs == rhs,
+            };
+            if !ok {
+                return Some(c.name.clone());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builds_and_evaluates() {
+        let mut m = Model::new();
+        let x = m.cont_var("x", 0.0, 10.0);
+        let y = m.cont_var("y", 0.0, 10.0);
+        let e = m.expr().term(x, 2.0).term(y, -1.0).constant(3.0);
+        assert_eq!(e.eval(&[4.0, 1.0]), 10.0);
+        let sum = e.clone().plus(&m.expr().term(x, 1.0));
+        assert_eq!(sum.eval(&[4.0, 1.0]), 14.0);
+    }
+
+    #[test]
+    fn canonical_terms_merge_duplicates() {
+        let mut m = Model::new();
+        let x = m.cont_var("x", 0.0, 1.0);
+        let e = m.expr().term(x, 2.0).term(x, 3.0);
+        assert_eq!(e.canonical_terms(1), vec![5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bounds")]
+    fn inverted_bounds_panic() {
+        let mut m = Model::new();
+        let _ = m.cont_var("x", 2.0, 1.0);
+    }
+
+    #[test]
+    fn violated_by_detects_each_kind() {
+        let mut m = Model::new();
+        let x = m.int_var("x", 0.0, 5.0);
+        m.named_constraint("cap", m.expr().term(x, 1.0), Sense::Le, 3.0);
+        assert_eq!(m.violated_by(&[2.0], 1e-6), None);
+        assert_eq!(m.violated_by(&[4.0], 1e-6), Some("cap".into()));
+        assert_eq!(m.violated_by(&[2.5], 1e-6), Some("integrality of x".into()));
+        assert_eq!(m.violated_by(&[-1.0], 1e-6), Some("bounds of x".into()));
+    }
+
+    #[test]
+    fn counts() {
+        let mut m = Model::new();
+        let _x = m.binary_var("x");
+        let _y = m.cont_var("y", 0.0, 1.0);
+        let _z = m.int_var("z", -3.0, 3.0);
+        assert_eq!(m.num_vars(), 3);
+        assert_eq!(m.num_integer_vars(), 2);
+    }
+}

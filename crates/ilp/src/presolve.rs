@@ -1,0 +1,152 @@
+//! Presolve: bound tightening from singleton constraints.
+//!
+//! Constraints mentioning a single variable are really bounds in disguise;
+//! folding them into the variable's bounds before branch-and-bound shrinks
+//! every LP relaxation and often proves infeasibility outright. Scheduling
+//! formulations produce many of these (symmetry pins, stateful
+//! co-location equalities against fixed variables, wraparound limits).
+
+use crate::model::{Model, Sense, VarTy};
+
+/// The outcome of presolving a model.
+#[derive(Debug, Clone)]
+pub enum Presolved {
+    /// A reduced model (singleton constraints folded into bounds) plus the
+    /// number of constraints eliminated.
+    Reduced(Model, usize),
+    /// Presolve proved the model infeasible (conflicting bounds).
+    Infeasible,
+}
+
+/// Applies singleton-constraint bound tightening.
+///
+/// Integer variables additionally get their bounds rounded inward
+/// (`lo.ceil()`, `hi.floor()`), which can also prove infeasibility.
+#[must_use]
+pub fn presolve(model: &Model) -> Presolved {
+    let mut m = model.clone();
+    let mut removed = 0usize;
+    let mut kept = Vec::with_capacity(m.cons.len());
+
+    for c in std::mem::take(&mut m.cons) {
+        let terms = c.expr.canonical_terms(m.vars.len());
+        let nonzero: Vec<usize> = (0..terms.len()).filter(|&i| terms[i] != 0.0).collect();
+        if nonzero.len() != 1 {
+            kept.push(c);
+            continue;
+        }
+        let i = nonzero[0];
+        let a = terms[i];
+        let rhs = (c.rhs - c.expr.constant) / a;
+        let v = &mut m.vars[i];
+        // a*x <= b  =>  x <= b/a (a > 0) or x >= b/a (a < 0); Ge mirrors.
+        match (c.sense, a > 0.0) {
+            (Sense::Le, true) | (Sense::Ge, false) => v.hi = v.hi.min(rhs),
+            (Sense::Le, false) | (Sense::Ge, true) => v.lo = v.lo.max(rhs),
+            (Sense::Eq, _) => {
+                v.lo = v.lo.max(rhs);
+                v.hi = v.hi.min(rhs);
+            }
+        }
+        removed += 1;
+    }
+    m.cons = kept;
+
+    // Integrality rounding + feasibility check.
+    for v in &mut m.vars {
+        if v.ty != VarTy::Continuous {
+            v.lo = v.lo.ceil();
+            v.hi = v.hi.floor();
+        }
+        if v.lo > v.hi + 1e-9 {
+            return Presolved::Infeasible;
+        }
+    }
+    Presolved::Reduced(m, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve, SolveOptions, SolveOutcome};
+
+    #[test]
+    fn singleton_constraints_become_bounds() {
+        let mut m = Model::new();
+        let x = m.int_var("x", 0.0, 100.0);
+        m.constraint(m.expr().term(x, 2.0), Sense::Le, 13.0); // x <= 6.5
+        m.constraint(m.expr().term(x, -1.0), Sense::Le, -3.0); // x >= 3
+        match presolve(&m) {
+            Presolved::Reduced(r, removed) => {
+                assert_eq!(removed, 2);
+                assert_eq!(r.num_constraints(), 0);
+                let (lo, hi) = r.bounds(x);
+                assert_eq!(lo, 3.0);
+                assert_eq!(hi, 6.0); // floored from 6.5 (integer variable)
+            }
+            Presolved::Infeasible => panic!("feasible model"),
+        }
+    }
+
+    #[test]
+    fn conflicting_singletons_prove_infeasibility() {
+        let mut m = Model::new();
+        let x = m.int_var("x", 0.0, 10.0);
+        m.constraint(m.expr().term(x, 1.0), Sense::Ge, 7.2);
+        m.constraint(m.expr().term(x, 1.0), Sense::Le, 7.1);
+        assert!(matches!(presolve(&m), Presolved::Infeasible));
+    }
+
+    #[test]
+    fn equality_singleton_pins_variable() {
+        let mut m = Model::new();
+        let x = m.cont_var("x", 0.0, 10.0);
+        m.constraint(m.expr().term(x, 4.0), Sense::Eq, 10.0);
+        match presolve(&m) {
+            Presolved::Reduced(r, _) => {
+                assert_eq!(r.bounds(x), (2.5, 2.5));
+            }
+            Presolved::Infeasible => panic!("feasible model"),
+        }
+    }
+
+    #[test]
+    fn multi_variable_constraints_are_kept() {
+        let mut m = Model::new();
+        let x = m.binary_var("x");
+        let y = m.binary_var("y");
+        m.constraint(m.expr().term(x, 1.0).term(y, 1.0), Sense::Le, 1.0);
+        match presolve(&m) {
+            Presolved::Reduced(r, removed) => {
+                assert_eq!(removed, 0);
+                assert_eq!(r.num_constraints(), 1);
+            }
+            Presolved::Infeasible => panic!("feasible model"),
+        }
+    }
+
+    #[test]
+    fn presolved_solutions_match_unpresolved() {
+        // max x + y s.t. 2x <= 7, x + y <= 5, y <= 4.2 (singletons mixed in).
+        let mut m = Model::new();
+        let x = m.int_var("x", 0.0, 100.0);
+        let y = m.int_var("y", 0.0, 100.0);
+        m.constraint(m.expr().term(x, 2.0), Sense::Le, 7.0);
+        m.constraint(m.expr().term(x, 1.0).term(y, 1.0), Sense::Le, 5.0);
+        m.constraint(m.expr().term(y, 1.0), Sense::Le, 4.2);
+        m.maximize(m.expr().term(x, 1.0).term(y, 1.0));
+        let direct = match solve(&m, &SolveOptions::default()) {
+            SolveOutcome::Optimal(s) => s.objective,
+            other => panic!("{other:?}"),
+        };
+        let reduced = match presolve(&m) {
+            Presolved::Reduced(r, _) => match solve(&r, &SolveOptions::default()) {
+                SolveOutcome::Optimal(s) => s.objective,
+                other => panic!("{other:?}"),
+            },
+            Presolved::Infeasible => panic!("feasible model"),
+        };
+        assert_eq!(direct, reduced);
+        assert_eq!(direct, 5.0);
+    }
+}

@@ -1,0 +1,388 @@
+//! Two-phase primal simplex over `f64` (dense tableau).
+//!
+//! Solves `min cᵀx  s.t.  Ax {<=,>=,==} b,  x >= 0`. The branch-and-bound
+//! driver shifts general variable bounds into this nonnegative standard
+//! form. Dantzig pricing with an automatic switch to Bland's rule guards
+//! against cycling on the (highly degenerate) scheduling LPs.
+
+use crate::model::Sense;
+
+const EPS: f64 = 1e-9;
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum LpResult {
+    /// Optimal basic solution found.
+    Optimal {
+        /// Values of the structural variables.
+        x: Vec<f64>,
+        /// Objective value.
+        obj: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+/// A standard-form LP: `min obj·x` subject to `rows`, `x >= 0`.
+#[derive(Debug, Clone)]
+pub(crate) struct StandardLp {
+    /// Number of structural variables.
+    pub n: usize,
+    /// Constraints as `(coefficients, sense, rhs)`.
+    pub rows: Vec<(Vec<f64>, Sense, f64)>,
+    /// Objective coefficients (minimization).
+    pub obj: Vec<f64>,
+}
+
+struct Tableau {
+    /// `m x width` constraint matrix, last column is the rhs.
+    a: Vec<Vec<f64>>,
+    /// Objective row (phase-dependent), last entry is `-objective`.
+    z: Vec<f64>,
+    /// Basis: column index of the basic variable of each row.
+    basis: Vec<usize>,
+    m: usize,
+    n_struct: usize,
+    n_total: usize,
+    n_artificial: usize,
+}
+
+impl Tableau {
+    fn new(lp: &StandardLp) -> Tableau {
+        let m = lp.rows.len();
+        // Column plan: structural | slack/surplus (one per inequality) |
+        // artificial (for >= and ==).
+        let eff_senses: Vec<Sense> = lp
+            .rows
+            .iter()
+            .map(|(_, sense, rhs)| match (sense, *rhs < 0.0) {
+                (Sense::Le, false) | (Sense::Ge, true) => Sense::Le,
+                (Sense::Ge, false) | (Sense::Le, true) => Sense::Ge,
+                (Sense::Eq, _) => Sense::Eq,
+            })
+            .collect();
+        let mut n_slack = 0usize;
+        let mut n_art = 0usize;
+        for sense in &eff_senses {
+            match sense {
+                Sense::Le => n_slack += 1,
+                Sense::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Sense::Eq => n_art += 1,
+            }
+        }
+        let n_total = lp.n + n_slack + n_art;
+        let width = n_total + 1;
+        let mut a = vec![vec![0.0; width]; m];
+        let mut basis = vec![0usize; m];
+        let mut slack_col = lp.n;
+        let mut art_col = lp.n + n_slack;
+
+        for (i, (coeffs, _, rhs)) in lp.rows.iter().enumerate() {
+            let flip = *rhs < 0.0;
+            let sgn = if flip { -1.0 } else { 1.0 };
+            for (j, &c) in coeffs.iter().enumerate() {
+                a[i][j] = sgn * c;
+            }
+            a[i][n_total] = sgn * rhs;
+            match eff_senses[i] {
+                Sense::Le => {
+                    a[i][slack_col] = 1.0;
+                    basis[i] = slack_col;
+                    slack_col += 1;
+                }
+                Sense::Ge => {
+                    a[i][slack_col] = -1.0;
+                    slack_col += 1;
+                    a[i][art_col] = 1.0;
+                    basis[i] = art_col;
+                    art_col += 1;
+                }
+                Sense::Eq => {
+                    a[i][art_col] = 1.0;
+                    basis[i] = art_col;
+                    art_col += 1;
+                }
+            }
+        }
+
+        Tableau {
+            a,
+            z: vec![0.0; width],
+            basis,
+            m,
+            n_struct: lp.n,
+            n_total,
+            n_artificial: n_art,
+        }
+    }
+
+    /// Recomputes the objective row so basic variables have zero reduced
+    /// cost.
+    fn price_out_basis(&mut self) {
+        for i in 0..self.m {
+            let b = self.basis[i];
+            let coeff = self.z[b];
+            if coeff != 0.0 {
+                let width = self.n_total + 1;
+                for j in 0..width {
+                    self.z[j] -= coeff * self.a[i][j];
+                }
+            }
+        }
+    }
+
+    /// Pivots artificial variables out of the basis (or marks their rows
+    /// redundant) and forbids them from re-entering by pinning their cost.
+    fn expel_artificials(&mut self, art_start: usize) {
+        for i in 0..self.m {
+            if self.basis[i] >= art_start {
+                // Find any non-artificial column with a nonzero pivot.
+                if let Some(j) = (0..art_start).find(|&j| self.a[i][j].abs() > EPS) {
+                    self.pivot(i, j);
+                }
+                // Otherwise the row is redundant; the artificial stays
+                // basic at value 0, harmless in phase 2.
+            }
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn pivot(&mut self, row: usize, col: usize) {
+        let width = self.n_total + 1;
+        let p = self.a[row][col];
+        for j in 0..width {
+            self.a[row][j] /= p;
+        }
+        for i in 0..self.m {
+            if i != row {
+                let f = self.a[i][col];
+                if f != 0.0 {
+                    for j in 0..width {
+                        self.a[i][j] -= f * self.a[row][j];
+                    }
+                }
+            }
+        }
+        let f = self.z[col];
+        if f != 0.0 {
+            for j in 0..width {
+                self.z[j] -= f * self.a[row][j];
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    fn iterate(&mut self) -> Iteration {
+        let allowed = self.n_total;
+        let mut iters = 0usize;
+        let bland_after = 50 + 4 * self.m;
+        loop {
+            iters += 1;
+            let use_bland = iters > bland_after;
+            // Entering column.
+            let mut enter: Option<usize> = None;
+            let mut best = -EPS;
+            for j in 0..allowed {
+                let rc = self.z[j];
+                if rc < -EPS {
+                    if use_bland {
+                        enter = Some(j);
+                        break;
+                    }
+                    if rc < best {
+                        best = rc;
+                        enter = Some(j);
+                    }
+                }
+            }
+            let Some(col) = enter else {
+                return Iteration::Optimal;
+            };
+            // Ratio test.
+            let rhs = self.n_total;
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.m {
+                let aij = self.a[i][col];
+                if aij > EPS {
+                    let ratio = self.a[i][rhs] / aij;
+                    if ratio < best_ratio - EPS
+                        || (use_bland
+                            && (ratio - best_ratio).abs() <= EPS
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]))
+                    {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(row) = leave else {
+                return Iteration::Unbounded;
+            };
+            self.pivot(row, col);
+            if iters > 200_000 {
+                // Pathological cycling safety valve.
+                return Iteration::Optimal;
+            }
+        }
+    }
+
+    fn extract(&self) -> Vec<f64> {
+        let rhs = self.n_total;
+        let mut x = vec![0.0; self.n_struct];
+        for i in 0..self.m {
+            if self.basis[i] < self.n_struct {
+                x[self.basis[i]] = self.a[i][rhs];
+            }
+        }
+        x
+    }
+}
+
+#[derive(PartialEq)]
+enum Iteration {
+    Optimal,
+    Unbounded,
+}
+
+/// Full driver: phase 1 (if needed) then phase 2 with the real objective.
+pub(crate) fn run(lp: &StandardLp) -> LpResult {
+    let mut t = Tableau::new(lp);
+    let art_start = t.n_total - t.n_artificial;
+
+    if t.n_artificial > 0 {
+        t.z = vec![0.0; t.n_total + 1];
+        for j in art_start..t.n_total {
+            t.z[j] = 1.0;
+        }
+        t.price_out_basis();
+        if t.iterate() == Iteration::Unbounded {
+            return LpResult::Infeasible;
+        }
+        if -t.z[t.n_total] > 1e-7 {
+            return LpResult::Infeasible;
+        }
+        t.expel_artificials(art_start);
+    }
+
+    // Phase 2 objective: structural costs; artificial columns pinned out
+    // with a large cost so they never re-enter.
+    t.z = vec![0.0; t.n_total + 1];
+    for (j, &c) in lp.obj.iter().enumerate() {
+        t.z[j] = c;
+    }
+    for j in art_start..t.n_total {
+        t.z[j] = 1e12;
+    }
+    t.price_out_basis();
+    match t.iterate() {
+        Iteration::Unbounded => LpResult::Unbounded,
+        Iteration::Optimal => {
+            let x = t.extract();
+            let obj = lp.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+            LpResult::Optimal { x, obj }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(n: usize, rows: Vec<(Vec<f64>, Sense, f64)>, obj: Vec<f64>) -> StandardLp {
+        StandardLp { n, rows, obj }
+    }
+
+    #[test]
+    fn simple_maximization_via_min() {
+        // max x + y s.t. x + 2y <= 4, 3x + y <= 6  => min -(x+y).
+        let r = run(&lp(
+            2,
+            vec![
+                (vec![1.0, 2.0], Sense::Le, 4.0),
+                (vec![3.0, 1.0], Sense::Le, 6.0),
+            ],
+            vec![-1.0, -1.0],
+        ));
+        match r {
+            LpResult::Optimal { x, obj } => {
+                assert!((obj + 2.8).abs() < 1e-6, "obj {obj}");
+                assert!((x[0] - 1.6).abs() < 1e-6);
+                assert!((x[1] - 1.2).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x + y s.t. x + y == 5, x >= 2.
+        let r = run(&lp(
+            2,
+            vec![
+                (vec![1.0, 1.0], Sense::Eq, 5.0),
+                (vec![1.0, 0.0], Sense::Ge, 2.0),
+            ],
+            vec![1.0, 1.0],
+        ));
+        match r {
+            LpResult::Optimal { obj, .. } => assert!((obj - 5.0).abs() < 1e-6),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2.
+        let r = run(&lp(
+            1,
+            vec![
+                (vec![1.0], Sense::Le, 1.0),
+                (vec![1.0], Sense::Ge, 2.0),
+            ],
+            vec![0.0],
+        ));
+        assert_eq!(r, LpResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x with only x >= 0: unbounded.
+        let r = run(&lp(1, vec![(vec![1.0], Sense::Ge, 0.0)], vec![-1.0]));
+        assert_eq!(r, LpResult::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // -x <= -3  <=>  x >= 3; min x -> 3.
+        let r = run(&lp(1, vec![(vec![-1.0], Sense::Le, -3.0)], vec![1.0]));
+        match r {
+            LpResult::Optimal { x, obj } => {
+                assert!((x[0] - 3.0).abs() < 1e-6);
+                assert!((obj - 3.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Klee-Minty-ish degenerate rows.
+        let r = run(&lp(
+            3,
+            vec![
+                (vec![1.0, 0.0, 0.0], Sense::Le, 1.0),
+                (vec![4.0, 1.0, 0.0], Sense::Le, 8.0),
+                (vec![8.0, 4.0, 1.0], Sense::Le, 64.0),
+                (vec![1.0, 1.0, 1.0], Sense::Ge, 0.0),
+            ],
+            vec![-4.0, -2.0, -1.0],
+        ));
+        assert!(matches!(r, LpResult::Optimal { .. }));
+    }
+}

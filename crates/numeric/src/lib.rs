@@ -1,0 +1,117 @@
+//! Checked rational arithmetic.
+//!
+//! This crate provides [`Rational`], an exact fraction of two `i128`s kept in
+//! canonical form (reduced, positive denominator). It exists to support two
+//! consumers elsewhere in this workspace that must not suffer floating-point
+//! drift:
+//!
+//! * the synchronous-dataflow steady-state solver, which propagates firing
+//!   ratios along channels and needs exact equality to detect inconsistent
+//!   graphs, and
+//! * the two-phase simplex core of the MILP solver, where rounding error
+//!   would produce incorrect pivots and bogus infeasibility verdicts.
+//!
+//! All arithmetic is overflow-checked: an overflowing operation panics with a
+//! descriptive message rather than silently wrapping. For the problem sizes
+//! in this workspace (small integer rate ratios, scheduling ILPs with
+//! coefficients bounded by the initiation interval) `i128` headroom is ample,
+//! so a panic always indicates a logic error upstream.
+//!
+//! # Examples
+//!
+//! ```
+//! use numeric::Rational;
+//!
+//! let a = Rational::new(2, 3);
+//! let b = Rational::new(1, 6);
+//! assert_eq!(a + b, Rational::new(5, 6));
+//! assert_eq!((a / b), Rational::from_integer(4));
+//! assert!(a > b);
+//! ```
+
+mod rational;
+
+pub use rational::{ParseRationalError, Rational};
+
+/// Greatest common divisor of two non-negative integers.
+///
+/// `gcd(0, 0)` is defined as `0`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(numeric::gcd(12, 18), 6);
+/// assert_eq!(numeric::gcd(0, 7), 7);
+/// ```
+#[must_use]
+pub fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple of two non-negative integers.
+///
+/// # Panics
+///
+/// Panics if the result overflows `u128`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(numeric::lcm(4, 6), 12);
+/// assert_eq!(numeric::lcm(0, 6), 0);
+/// ```
+#[must_use]
+pub fn lcm(a: u128, b: u128) -> u128 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = gcd(a, b);
+    (a / g).checked_mul(b).expect("lcm overflow")
+}
+
+/// Least common multiple of a sequence of positive integers.
+///
+/// Returns `1` for an empty iterator, matching the convention that the empty
+/// product is the identity.
+///
+/// # Panics
+///
+/// Panics if the accumulated result overflows `u128`.
+#[must_use]
+pub fn lcm_all<I: IntoIterator<Item = u128>>(values: I) -> u128 {
+    values.into_iter().fold(1, lcm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(1, 1), 1);
+        assert_eq!(gcd(48, 36), 12);
+        assert_eq!(gcd(36, 48), 12);
+        assert_eq!(gcd(17, 5), 1);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(1, 1), 1);
+        assert_eq!(lcm(2, 3), 6);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 5), 0);
+    }
+
+    #[test]
+    fn lcm_all_basics() {
+        assert_eq!(lcm_all([]), 1);
+        assert_eq!(lcm_all([2, 3, 4]), 12);
+        assert_eq!(lcm_all([7]), 7);
+    }
+}

@@ -1,0 +1,483 @@
+//! The [`Rational`] type: an exact, canonical fraction of two `i128`s.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::gcd;
+
+/// An exact rational number `numer / denom` with `denom > 0` and
+/// `gcd(|numer|, denom) == 1`.
+///
+/// All operations keep the value canonical and are overflow-checked.
+///
+/// # Examples
+///
+/// ```
+/// use numeric::Rational;
+///
+/// let half = Rational::new(1, 2);
+/// let third = Rational::new(1, 3);
+/// assert_eq!(half + third, Rational::new(5, 6));
+/// assert_eq!(half.recip(), Rational::from_integer(2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    numer: i128,
+    denom: i128, // invariant: denom > 0, gcd(|numer|, denom) == 1
+}
+
+impl Rational {
+    /// The rational number zero.
+    pub const ZERO: Rational = Rational { numer: 0, denom: 1 };
+    /// The rational number one.
+    pub const ONE: Rational = Rational { numer: 1, denom: 1 };
+
+    /// Creates a rational from a numerator and denominator, reducing to
+    /// canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use numeric::Rational;
+    /// assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+    /// assert_eq!(Rational::new(3, -6), Rational::new(-1, 2));
+    /// ```
+    #[must_use]
+    pub fn new(numer: i128, denom: i128) -> Rational {
+        assert!(denom != 0, "rational with zero denominator");
+        let (numer, denom) = if denom < 0 {
+            (
+                numer.checked_neg().expect("rational numerator overflow"),
+                denom.checked_neg().expect("rational denominator overflow"),
+            )
+        } else {
+            (numer, denom)
+        };
+        let g = gcd(numer.unsigned_abs(), denom.unsigned_abs()) as i128;
+        if g == 0 {
+            return Rational { numer: 0, denom: 1 };
+        }
+        Rational {
+            numer: numer / g,
+            denom: denom / g,
+        }
+    }
+
+    /// Creates a rational representing the integer `n`.
+    #[must_use]
+    pub fn from_integer(n: i128) -> Rational {
+        Rational { numer: n, denom: 1 }
+    }
+
+    /// The numerator in canonical form (sign lives here).
+    #[must_use]
+    pub fn numer(self) -> i128 {
+        self.numer
+    }
+
+    /// The denominator in canonical form (always positive).
+    #[must_use]
+    pub fn denom(self) -> i128 {
+        self.denom
+    }
+
+    /// Returns `true` if the value is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.numer == 0
+    }
+
+    /// Returns `true` if the value is an integer (denominator one).
+    #[must_use]
+    pub fn is_integer(self) -> bool {
+        self.denom == 1
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    #[must_use]
+    pub fn is_positive(self) -> bool {
+        self.numer > 0
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.numer < 0
+    }
+
+    /// The absolute value.
+    #[must_use]
+    pub fn abs(self) -> Rational {
+        Rational {
+            numer: self.numer.checked_abs().expect("rational abs overflow"),
+            denom: self.denom,
+        }
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    #[must_use]
+    pub fn recip(self) -> Rational {
+        assert!(self.numer != 0, "reciprocal of zero rational");
+        Rational::new(self.denom, self.numer)
+    }
+
+    /// Largest integer less than or equal to the value.
+    #[must_use]
+    pub fn floor(self) -> i128 {
+        self.numer.div_euclid(self.denom)
+    }
+
+    /// Smallest integer greater than or equal to the value.
+    #[must_use]
+    pub fn ceil(self) -> i128 {
+        -(-self).floor()
+    }
+
+    /// Rounds to the nearest integer, ties away from zero.
+    #[must_use]
+    pub fn round(self) -> i128 {
+        if self.numer >= 0 {
+            (self + Rational::new(1, 2)).floor()
+        } else {
+            -((-self + Rational::new(1, 2)).floor())
+        }
+    }
+
+    /// Fractional part `self - floor(self)`, always in `[0, 1)`.
+    #[must_use]
+    pub fn fract(self) -> Rational {
+        self - Rational::from_integer(self.floor())
+    }
+
+    /// Converts to the integer it represents, if it is an integer.
+    #[must_use]
+    pub fn to_integer(self) -> Option<i128> {
+        if self.denom == 1 {
+            Some(self.numer)
+        } else {
+            None
+        }
+    }
+
+    /// Lossy conversion to `f64`, for reporting only.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.numer as f64 / self.denom as f64
+    }
+
+    fn checked_binop(self, rhs: Rational, op: fn(i128, i128, i128, i128) -> (i128, i128)) -> Rational {
+        let (n, d) = op(self.numer, self.denom, rhs.numer, rhs.denom);
+        Rational::new(n, d)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.denom == 1 {
+            write!(f, "{}", self.numer)
+        } else {
+            write!(f, "{}/{}", self.numer, self.denom)
+        }
+    }
+}
+
+/// Error returned when parsing a [`Rational`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError {
+    input: String,
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parses `"a"` or `"a/b"` forms.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use numeric::Rational;
+    /// let r: Rational = "3/4".parse()?;
+    /// assert_eq!(r, Rational::new(3, 4));
+    /// # Ok::<(), numeric::ParseRationalError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseRationalError {
+            input: s.to_owned(),
+        };
+        match s.split_once('/') {
+            None => s
+                .trim()
+                .parse::<i128>()
+                .map(Rational::from_integer)
+                .map_err(|_| err()),
+            Some((n, d)) => {
+                let n = n.trim().parse::<i128>().map_err(|_| err())?;
+                let d = d.trim().parse::<i128>().map_err(|_| err())?;
+                if d == 0 {
+                    return Err(err());
+                }
+                Ok(Rational::new(n, d))
+            }
+        }
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(n: i128) -> Self {
+        Rational::from_integer(n)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_integer(i128::from(n))
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Self {
+        Rational::from_integer(i128::from(n))
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(n: u32) -> Self {
+        Rational::from_integer(i128::from(n))
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b (b, d > 0)
+        let lhs = self.numer.checked_mul(other.denom).expect("rational cmp overflow");
+        let rhs = other.numer.checked_mul(self.denom).expect("rational cmp overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        self.checked_binop(rhs, |a, b, c, d| {
+            let n = a
+                .checked_mul(d)
+                .and_then(|ad| c.checked_mul(b).and_then(|cb| ad.checked_add(cb)))
+                .expect("rational add overflow");
+            let den = b.checked_mul(d).expect("rational add overflow");
+            (n, den)
+        })
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd(self.numer.unsigned_abs(), rhs.denom.unsigned_abs()) as i128;
+        let g2 = gcd(rhs.numer.unsigned_abs(), self.denom.unsigned_abs()) as i128;
+        let (an, bd) = if g1 != 0 {
+            (self.numer / g1, rhs.denom / g1)
+        } else {
+            (self.numer, rhs.denom)
+        };
+        let (cn, ad) = if g2 != 0 {
+            (rhs.numer / g2, self.denom / g2)
+        } else {
+            (rhs.numer, self.denom)
+        };
+        let numer = an.checked_mul(cn).expect("rational mul overflow");
+        let denom = ad.checked_mul(bd).expect("rational mul overflow");
+        Rational::new(numer, denom)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b == a * (1/b), exactly
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            numer: self.numer.checked_neg().expect("rational neg overflow"),
+            denom: self.denom,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ZERO, Add::add)
+    }
+}
+
+impl Product for Rational {
+    fn product<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ONE, Mul::mul)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form() {
+        let r = Rational::new(6, -8);
+        assert_eq!(r.numer(), -3);
+        assert_eq!(r.denom(), 4);
+        assert_eq!(Rational::new(0, -5), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::new(-1, 3));
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::from_integer(5).floor(), 5);
+        assert_eq!(Rational::from_integer(5).ceil(), 5);
+    }
+
+    #[test]
+    fn fract_in_unit_interval() {
+        assert_eq!(Rational::new(7, 2).fract(), Rational::new(1, 2));
+        assert_eq!(Rational::new(-7, 2).fract(), Rational::new(1, 2));
+        assert_eq!(Rational::from_integer(3).fract(), Rational::ZERO);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let r: Rational = "3/4".parse().unwrap();
+        assert_eq!(r, Rational::new(3, 4));
+        let r: Rational = "-5".parse().unwrap();
+        assert_eq!(r, Rational::from_integer(-5));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("abc".parse::<Rational>().is_err());
+        assert_eq!(format!("{}", Rational::new(3, 4)), "3/4");
+        assert_eq!(format!("{}", Rational::from_integer(7)), "7");
+    }
+
+    #[test]
+    fn sum_product() {
+        let vals = [Rational::new(1, 2), Rational::new(1, 3), Rational::new(1, 6)];
+        assert_eq!(vals.iter().copied().sum::<Rational>(), Rational::ONE);
+        assert_eq!(
+            vals.iter().copied().product::<Rational>(),
+            Rational::new(1, 36)
+        );
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(Rational::new(3, 4).recip(), Rational::new(4, 3));
+        assert_eq!(Rational::new(-3, 4).recip(), Rational::new(-4, 3));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Rational::from(3i32), Rational::from_integer(3));
+        assert_eq!(Rational::from_integer(4).to_integer(), Some(4));
+        assert_eq!(Rational::new(1, 2).to_integer(), None);
+        assert!((Rational::new(1, 2).to_f64() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for `Rational`: field axioms, ordering, and
+//! floor/ceil/round identities on randomly generated fractions.
+
+use numeric::Rational;
+use proptest::prelude::*;
+
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-10_000i128..10_000, 1i128..10_000).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associates(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_distributes(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn sub_is_add_neg(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a - b, a + (-b));
+    }
+
+    #[test]
+    fn div_inverts_mul(a in small_rational(), b in small_rational()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!((a / b) * b, a);
+    }
+
+    #[test]
+    fn canonical_invariants(a in small_rational()) {
+        prop_assert!(a.denom() > 0);
+        if !a.is_zero() {
+            prop_assert_eq!(
+                numeric::gcd(a.numer().unsigned_abs(), a.denom().unsigned_abs()),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn floor_le_value_lt_floor_plus_one(a in small_rational()) {
+        let f = Rational::from_integer(a.floor());
+        prop_assert!(f <= a);
+        prop_assert!(a < f + Rational::ONE);
+    }
+
+    #[test]
+    fn ceil_is_neg_floor_neg(a in small_rational()) {
+        prop_assert_eq!(a.ceil(), -(-a).floor());
+    }
+
+    #[test]
+    fn round_within_half(a in small_rational()) {
+        let r = Rational::from_integer(a.round());
+        prop_assert!((a - r).abs() <= Rational::new(1, 2));
+    }
+
+    #[test]
+    fn parse_display_round_trip(a in small_rational()) {
+        let s = a.to_string();
+        let back: Rational = s.parse().unwrap();
+        prop_assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,147 @@
+//! Runtime FIFO channels used by the CPU executor.
+
+use std::collections::VecDeque;
+
+use crate::ir::{ElemTy, Scalar};
+
+/// An unbounded FIFO of tokens of a single element type.
+///
+/// This is the reference channel implementation: the CPU executor connects
+/// filters with `Fifo`s, and its observable behaviour (order, peek
+/// semantics) defines what the GPU buffer layouts must reproduce.
+///
+/// # Examples
+///
+/// ```
+/// use streamir::channel::Fifo;
+/// use streamir::ir::{ElemTy, Scalar};
+///
+/// let mut f = Fifo::new(ElemTy::I32);
+/// f.push(Scalar::I32(1));
+/// f.push(Scalar::I32(2));
+/// assert_eq!(f.peek(1), Some(Scalar::I32(2)));
+/// assert_eq!(f.pop(), Some(Scalar::I32(1)));
+/// assert_eq!(f.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo {
+    elem: ElemTy,
+    buf: VecDeque<Scalar>,
+    /// High-water mark of `len()`, for buffer-requirement reporting.
+    peak: usize,
+}
+
+impl Fifo {
+    /// Creates an empty FIFO carrying tokens of type `elem`.
+    #[must_use]
+    pub fn new(elem: ElemTy) -> Fifo {
+        Fifo {
+            elem,
+            buf: VecDeque::new(),
+            peak: 0,
+        }
+    }
+
+    /// Element type of the channel.
+    #[must_use]
+    pub fn elem(&self) -> ElemTy {
+        self.elem
+    }
+
+    /// Number of tokens currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when no tokens are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The largest queue length ever observed.
+    #[must_use]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Appends a token.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the token's type differs from the channel
+    /// element type; validated graphs never trigger this.
+    pub fn push(&mut self, value: Scalar) {
+        debug_assert_eq!(value.ty(), self.elem, "token type mismatch on channel");
+        self.buf.push_back(value);
+        self.peak = self.peak.max(self.buf.len());
+    }
+
+    /// Removes and returns the head token, or `None` when empty.
+    pub fn pop(&mut self) -> Option<Scalar> {
+        self.buf.pop_front()
+    }
+
+    /// Reads the token `depth` positions behind the head without consuming.
+    #[must_use]
+    pub fn peek(&self, depth: u32) -> Option<Scalar> {
+        self.buf.get(depth as usize).copied()
+    }
+
+    /// Appends every token from `iter`.
+    pub fn extend<I: IntoIterator<Item = Scalar>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+
+    /// Drains all queued tokens, front first.
+    pub fn drain_all(&mut self) -> Vec<Scalar> {
+        self.buf.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut f = Fifo::new(ElemTy::I32);
+        f.extend((0..5).map(Scalar::I32));
+        for i in 0..5 {
+            assert_eq!(f.pop(), Some(Scalar::I32(i)));
+        }
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn peek_is_nondestructive() {
+        let mut f = Fifo::new(ElemTy::F32);
+        f.push(Scalar::F32(1.5));
+        assert_eq!(f.peek(0), Some(Scalar::F32(1.5)));
+        assert_eq!(f.peek(1), None);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut f = Fifo::new(ElemTy::I32);
+        f.extend((0..8).map(Scalar::I32));
+        for _ in 0..8 {
+            f.pop();
+        }
+        f.push(Scalar::I32(0));
+        assert_eq!(f.peak(), 8);
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let mut f = Fifo::new(ElemTy::I32);
+        f.extend((0..3).map(Scalar::I32));
+        let drained = f.drain_all();
+        assert_eq!(drained.len(), 3);
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,373 @@
+//! Single-threaded CPU execution of flat stream graphs.
+//!
+//! This is the reproduction's stand-in for the paper's baseline: the
+//! StreamIt uniprocessor backend compiled with `gcc -O3` and run on one
+//! thread of a Xeon. Filters execute through the reference interpreter in
+//! a minimum-latency steady-state schedule; time is derived from the
+//! dynamically counted operations through [`CpuCostModel`].
+//!
+//! The same executor doubles as the *functional oracle*: the GPU simulator
+//! must produce bit-identical outputs on every benchmark.
+
+use crate::channel::Fifo;
+use crate::graph::{FlatGraph, NodeId};
+use crate::ir::interp::{self, Channels};
+use crate::ir::{OpCensus, Scalar};
+use crate::sdf::SteadyState;
+use crate::{Error, Result};
+
+/// Per-operation-class cycle costs for the modeled host CPU.
+///
+/// The defaults ([`CpuCostModel::xeon_2_83ghz`]) model the paper's host: a
+/// 2.83 GHz Xeon running scalar code whose working set largely hits in
+/// cache. Channel traffic costs more than register arithmetic, matching the
+/// buffer-shuffling profile of StreamIt-generated uniprocessor code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuCostModel {
+    /// Core clock in Hz; converts cycles to seconds.
+    pub clock_hz: f64,
+    /// Cycles per plain ALU operation.
+    pub alu: f64,
+    /// Cycles per sin/cos/sqrt.
+    pub transcendental: f64,
+    /// Cycles per channel pop/peek (buffer load + index update).
+    pub channel_read: f64,
+    /// Cycles per channel push (buffer store + index update).
+    pub channel_write: f64,
+    /// Cycles per scratch-array access.
+    pub array_op: f64,
+    /// Cycles per constant-table load.
+    pub table_load: f64,
+    /// Cycles per control operation (loop back-edge, branch).
+    pub control: f64,
+    /// Fixed cycles per filter firing (call + schedule dispatch).
+    pub firing_overhead: f64,
+}
+
+impl CpuCostModel {
+    /// The paper's host machine: dual quad-core Xeon at 2.83 GHz, of which
+    /// the baseline uses a single thread.
+    #[must_use]
+    pub fn xeon_2_83ghz() -> CpuCostModel {
+        CpuCostModel {
+            clock_hz: 2.83e9,
+            alu: 1.0,
+            transcendental: 18.0,
+            channel_read: 2.0,
+            channel_write: 2.0,
+            array_op: 1.5,
+            table_load: 1.5,
+            control: 1.0,
+            firing_overhead: 12.0,
+        }
+    }
+
+    /// Cycles consumed by the given operation counts plus `firings` firing
+    /// overheads.
+    #[must_use]
+    pub fn cycles(&self, counts: &OpCensus, firings: u64) -> f64 {
+        counts.alu as f64 * self.alu
+            + counts.transcendental as f64 * self.transcendental
+            + counts.channel_reads as f64 * self.channel_read
+            + counts.channel_writes as f64 * self.channel_write
+            + counts.array_ops as f64 * self.array_op
+            + counts.table_loads as f64 * self.table_load
+            + counts.control as f64 * self.control
+            + firings as f64 * self.firing_overhead
+    }
+}
+
+impl Default for CpuCostModel {
+    fn default() -> Self {
+        CpuCostModel::xeon_2_83ghz()
+    }
+}
+
+/// Outcome of a CPU run.
+#[derive(Debug, Clone)]
+pub struct CpuRun {
+    /// Tokens collected at the graph output, in order.
+    pub outputs: Vec<Scalar>,
+    /// Dynamic operation counts over the *steady* iterations (the
+    /// initialization phase is excluded from timing, as it is amortized
+    /// away in the paper's long-running measurements).
+    pub counts: OpCensus,
+    /// Filter firings in the steady iterations.
+    pub firings: u64,
+    /// Modeled cycles for the steady iterations.
+    pub cycles: f64,
+    /// Modeled wall time in seconds for the steady iterations.
+    pub time_secs: f64,
+}
+
+/// Executes `iterations` steady-state iterations of `graph` (after running
+/// the initialization schedule once), consuming `input` at the graph input
+/// and collecting the graph output.
+///
+/// # Errors
+///
+/// * [`Error::InsufficientInput`] if `input` has fewer tokens than the
+///   init phase plus `iterations` iterations consume.
+/// * [`Error::Trap`] if a work function traps.
+pub fn run(
+    graph: &FlatGraph,
+    steady: &SteadyState,
+    iterations: u64,
+    input: &[Scalar],
+    model: &CpuCostModel,
+) -> Result<CpuRun> {
+    let needed = steady.input_tokens_for_init(graph)
+        + iterations * steady.input_tokens_per_iteration(graph);
+    if (input.len() as u64) < needed {
+        return Err(Error::InsufficientInput {
+            needed: needed as usize,
+            got: input.len(),
+        });
+    }
+
+    let mut fifos: Vec<Fifo> = graph
+        .edges()
+        .iter()
+        .map(|e| {
+            let mut f = Fifo::new(e.elem);
+            f.extend(e.initial.iter().copied());
+            f
+        })
+        .collect();
+    let mut states: Vec<Vec<Scalar>> = graph
+        .nodes()
+        .iter()
+        .map(|n| n.work.initial_state())
+        .collect();
+    let mut cursor = 0usize;
+    let mut outputs = Vec::new();
+
+    // Initialization phase: not timed.
+    let mut scratch = OpCensus::default();
+    for &node in steady.init_order() {
+        fire(
+            graph, node, &mut fifos, &mut states, input, &mut cursor, &mut outputs,
+            &mut scratch,
+        )?;
+    }
+
+    // Steady phase: timed.
+    let mut counts = OpCensus::default();
+    let mut firings = 0u64;
+    for _ in 0..iterations {
+        for &node in steady.firing_order() {
+            fire(
+                graph, node, &mut fifos, &mut states, input, &mut cursor, &mut outputs,
+                &mut counts,
+            )?;
+            firings += 1;
+        }
+    }
+
+    let cycles = model.cycles(&counts, firings);
+    Ok(CpuRun {
+        outputs,
+        counts,
+        firings,
+        cycles,
+        time_secs: cycles / model.clock_hz,
+    })
+}
+
+/// Where an input port reads from / an output port writes to.
+#[derive(Clone, Copy)]
+enum Binding {
+    Edge(usize),
+    External,
+}
+
+struct ExecChannels<'a> {
+    in_ports: Vec<Binding>,
+    out_ports: Vec<Binding>,
+    fifos: &'a mut [Fifo],
+    input: &'a [Scalar],
+    cursor: &'a mut usize,
+    outputs: &'a mut Vec<Scalar>,
+}
+
+impl Channels for ExecChannels<'_> {
+    fn pop(&mut self, port: u8) -> Scalar {
+        match self.in_ports[port as usize] {
+            Binding::Edge(i) => self.fifos[i].pop().expect("firing rule guarantees tokens"),
+            Binding::External => {
+                let v = self.input[*self.cursor];
+                *self.cursor += 1;
+                v
+            }
+        }
+    }
+
+    fn peek(&self, port: u8, depth: u32) -> Scalar {
+        match self.in_ports[port as usize] {
+            Binding::Edge(i) => self.fifos[i]
+                .peek(depth)
+                .expect("firing rule guarantees peek depth"),
+            Binding::External => self.input[*self.cursor + depth as usize],
+        }
+    }
+
+    fn push(&mut self, port: u8, value: Scalar) {
+        match self.out_ports[port as usize] {
+            Binding::Edge(i) => self.fifos[i].push(value),
+            Binding::External => self.outputs.push(value),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fire(
+    graph: &FlatGraph,
+    node: NodeId,
+    fifos: &mut [Fifo],
+    states: &mut [Vec<Scalar>],
+    input: &[Scalar],
+    cursor: &mut usize,
+    outputs: &mut Vec<Scalar>,
+    counts: &mut OpCensus,
+) -> Result<()> {
+    let work = &graph.node(node).work;
+    let mut in_ports = vec![Binding::External; work.input_ports().len()];
+    for e in graph.in_edges(node) {
+        let edge = graph.edge(e);
+        in_ports[edge.dst_port as usize] = Binding::Edge(e.0 as usize);
+    }
+    let mut out_ports = vec![Binding::External; work.output_ports().len()];
+    for e in graph.out_edges(node) {
+        let edge = graph.edge(e);
+        out_ports[edge.src_port as usize] = Binding::Edge(e.0 as usize);
+    }
+    let mut ch = ExecChannels {
+        in_ports,
+        out_ports,
+        fifos,
+        input,
+        cursor,
+        outputs,
+    };
+    interp::execute_stateful(work, &mut ch, &mut states[node.0 as usize], counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{FilterSpec, SplitterKind, StreamSpec};
+    use crate::ir::{ElemTy, Expr, FnBuilder};
+    use crate::sdf;
+
+    fn map_filter(name: &str, f: impl FnOnce(Expr) -> Expr) -> StreamSpec {
+        let mut b = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let x = b.local(ElemTy::I32);
+        b.pop_into(0, x);
+        b.push(0, f(Expr::local(x)));
+        StreamSpec::filter(FilterSpec::new(name, b.build().unwrap()))
+    }
+
+    #[test]
+    fn pipeline_composes_functions() {
+        // (x * 2) + 3 over 8 tokens.
+        let spec = StreamSpec::pipeline(vec![
+            map_filter("dbl", |x| x.mul(Expr::i32(2))),
+            map_filter("add3", |x| x.add(Expr::i32(3))),
+        ]);
+        let g = spec.flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        let input: Vec<Scalar> = (0..8).map(Scalar::I32).collect();
+        let run = run(&g, &s, 8, &input, &CpuCostModel::default()).unwrap();
+        let expect: Vec<Scalar> = (0..8).map(|x| Scalar::I32(x * 2 + 3)).collect();
+        assert_eq!(run.outputs, expect);
+        assert!(run.time_secs > 0.0);
+        assert_eq!(run.firings, 16);
+    }
+
+    #[test]
+    fn split_join_round_robin_reorders_correctly() {
+        // RR(1,1) split, one branch doubles, the other negates, RR(1,1) join:
+        // even-index tokens double, odd-index tokens negate.
+        let spec = StreamSpec::split_join(
+            SplitterKind::RoundRobin(vec![1, 1]),
+            vec![
+                map_filter("dbl", |x| x.mul(Expr::i32(2))),
+                map_filter("neg", |x| x.neg()),
+            ],
+            vec![1, 1],
+        );
+        let g = spec.flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        let input: Vec<Scalar> = (1..=6).map(Scalar::I32).collect();
+        let run = run(&g, &s, 3, &input, &CpuCostModel::default()).unwrap();
+        assert_eq!(
+            run.outputs,
+            vec![
+                Scalar::I32(2),
+                Scalar::I32(-2),
+                Scalar::I32(6),
+                Scalar::I32(-4),
+                Scalar::I32(10),
+                Scalar::I32(-6),
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_split_feeds_both_branches() {
+        let spec = StreamSpec::split_join(
+            SplitterKind::Duplicate,
+            vec![
+                map_filter("id", |x| x),
+                map_filter("sq", |x| x.clone().mul(x)),
+            ],
+            vec![1, 1],
+        );
+        let g = spec.flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        let input = vec![Scalar::I32(3)];
+        let run = run(&g, &s, 1, &input, &CpuCostModel::default()).unwrap();
+        assert_eq!(run.outputs, vec![Scalar::I32(3), Scalar::I32(9)]);
+    }
+
+    #[test]
+    fn peeking_moving_average() {
+        // 3-tap moving sum: out[i] = in[i] + in[i+1] + in[i+2].
+        let mut b = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        b.push(
+            0,
+            Expr::peek(0, Expr::i32(0))
+                .add(Expr::peek(0, Expr::i32(1)))
+                .add(Expr::peek(0, Expr::i32(2))),
+        );
+        b.pop(0);
+        let spec = StreamSpec::filter(FilterSpec::new("ma3", b.build().unwrap()));
+        let g = spec.flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        let input: Vec<Scalar> = (1..=10).map(Scalar::I32).collect();
+        let run = run(&g, &s, 8, &input, &CpuCostModel::default()).unwrap();
+        let expect: Vec<Scalar> = (1..=8).map(|i| Scalar::I32(i + (i + 1) + (i + 2))).collect();
+        assert_eq!(run.outputs, expect);
+    }
+
+    #[test]
+    fn insufficient_input_is_reported() {
+        let spec = map_filter("id", |x| x);
+        let g = spec.flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        let e = run(&g, &s, 10, &[Scalar::I32(1)], &CpuCostModel::default()).unwrap_err();
+        assert!(matches!(e, Error::InsufficientInput { needed: 10, got: 1 }));
+    }
+
+    #[test]
+    fn cost_model_scales_with_iterations() {
+        let spec = map_filter("id", |x| x);
+        let g = spec.flatten().unwrap();
+        let s = sdf::solve(&g).unwrap();
+        let input: Vec<Scalar> = (0..100).map(Scalar::I32).collect();
+        let m = CpuCostModel::default();
+        let t10 = run(&g, &s, 10, &input, &m).unwrap().time_secs;
+        let t100 = run(&g, &s, 100, &input, &m).unwrap().time_secs;
+        assert!((t100 / t10 - 10.0).abs() < 1e-9);
+    }
+}

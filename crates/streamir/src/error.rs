@@ -1,0 +1,60 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+/// Errors produced while building, validating, flattening, solving, or
+/// executing stream programs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A kernel-IR work function failed validation (type error, dynamic
+    /// rates, out-of-range reference, ...). The string pinpoints the cause.
+    InvalidWork(String),
+    /// A hierarchical stream composition is malformed (arity mismatch,
+    /// incompatible channel element types, empty pipeline, ...).
+    InvalidGraph(String),
+    /// The balance equations of the flattened graph have no non-trivial
+    /// solution: the graph would accumulate or starve tokens without bound.
+    InconsistentRates {
+        /// Human-readable location of the first conflicting channel.
+        channel: String,
+    },
+    /// No node can fire even though the steady-state iteration is
+    /// incomplete; feedback loops need more initial tokens.
+    Deadlock {
+        /// Firings still owed when execution stalled, as `name:remaining`.
+        stalled: Vec<String>,
+    },
+    /// A work function trapped at run time (integer division by zero,
+    /// array index out of bounds, ...).
+    Trap(String),
+    /// An executor was given fewer input tokens than the requested number of
+    /// steady-state iterations consumes.
+    InsufficientInput {
+        /// Tokens required by the run.
+        needed: usize,
+        /// Tokens actually supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidWork(msg) => write!(f, "invalid work function: {msg}"),
+            Error::InvalidGraph(msg) => write!(f, "invalid stream graph: {msg}"),
+            Error::InconsistentRates { channel } => {
+                write!(f, "inconsistent steady-state rates at channel {channel}")
+            }
+            Error::Deadlock { stalled } => {
+                write!(f, "stream graph deadlocked; stalled firings: {}", stalled.join(", "))
+            }
+            Error::Trap(msg) => write!(f, "work function trapped: {msg}"),
+            Error::InsufficientInput { needed, got } => {
+                write!(f, "insufficient input tokens: needed {needed}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}

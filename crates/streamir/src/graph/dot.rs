@@ -1,0 +1,127 @@
+//! Graphviz export of flattened stream graphs.
+
+use std::fmt::Write as _;
+
+use super::{FlatGraph, NodeId, Role};
+
+impl FlatGraph {
+    /// Renders the graph in Graphviz DOT format: filters as boxes,
+    /// splitters/joiners as trapezia, channels annotated with
+    /// `push → pop` rates (and initial-token counts on feedback edges).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use streamir::graph::{FilterSpec, StreamSpec};
+    /// use streamir::ir::{identity, ElemTy};
+    ///
+    /// let g = StreamSpec::pipeline(vec![
+    ///     StreamSpec::filter(FilterSpec::new("a", identity(ElemTy::I32))),
+    ///     StreamSpec::filter(FilterSpec::new("b", identity(ElemTy::I32))),
+    /// ])
+    /// .flatten()?;
+    /// let dot = g.to_dot("pipeline");
+    /// assert!(dot.contains("digraph pipeline"));
+    /// assert!(dot.contains("\"a\" -> \"b\""));
+    /// # Ok::<(), streamir::Error>(())
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {name} {{");
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+        for (i, node) in self.nodes().iter().enumerate() {
+            let id = NodeId(i as u32);
+            let shape = match node.role {
+                Role::Filter => "box",
+                Role::Splitter => "invtrapezium",
+                Role::Joiner => "trapezium",
+            };
+            let mut extras = String::new();
+            if node.work.is_peeking() {
+                extras.push_str("\\npeek");
+            }
+            if node.work.is_stateful() {
+                extras.push_str("\\nstateful");
+            }
+            let io = match (self.input() == Some(id), self.output() == Some(id)) {
+                (true, true) => ", style=filled, fillcolor=lightyellow",
+                (true, false) => ", style=filled, fillcolor=lightblue",
+                (false, true) => ", style=filled, fillcolor=lightgreen",
+                (false, false) => "",
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape={shape}, label=\"{}{extras}\"{io}];",
+                node.name, node.name
+            );
+        }
+        for (i, edge) in self.edges().iter().enumerate() {
+            let eid = super::EdgeId(i as u32);
+            let mut label = format!("{}:{}", self.push_rate(eid), self.pop_rate(eid));
+            if !edge.initial.is_empty() {
+                let _ = write!(label, " [+{}]", edge.initial.len());
+            }
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{label}\"];",
+                self.node(edge.src).name,
+                self.node(edge.dst).name
+            );
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::{FeedbackLoopSpec, FilterSpec, SplitterKind, StreamSpec};
+    use crate::ir::{identity, ElemTy, Scalar};
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let id = |n: &str| StreamSpec::filter(FilterSpec::new(n, identity(ElemTy::I32)));
+        let g = StreamSpec::pipeline(vec![
+            id("src"),
+            StreamSpec::split_join(
+                SplitterKind::Duplicate,
+                vec![id("top"), id("bot")],
+                vec![1, 1],
+            ),
+            id("sink"),
+        ])
+        .flatten()
+        .unwrap();
+        let dot = g.to_dot("g");
+        for name in ["src", "top", "bot", "sink", "split", "join"] {
+            assert!(dot.contains(&format!("\"{name}\"")), "missing {name}");
+        }
+        assert!(dot.contains("invtrapezium"), "splitter shape");
+        assert_eq!(dot.matches(" -> ").count(), g.edges().len());
+    }
+
+    #[test]
+    fn feedback_edges_show_initial_tokens() {
+        let body = {
+            let mut f = crate::ir::FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+            let x = f.local(ElemTy::I32);
+            f.pop_into(0, x);
+            f.push(0, crate::ir::Expr::local(x));
+            f.push(0, crate::ir::Expr::local(x));
+            StreamSpec::filter(FilterSpec::new("body", f.build().unwrap()))
+        };
+        let g = StreamSpec::feedback_loop(FeedbackLoopSpec {
+            joiner: [1, 1],
+            body: Box::new(body),
+            splitter: SplitterKind::RoundRobin(vec![1, 1]),
+            feedback: None,
+            initial: vec![Scalar::I32(0), Scalar::I32(0)],
+        })
+        .flatten()
+        .unwrap();
+        let dot = g.to_dot("loop");
+        assert!(dot.contains("[+2]"), "initial tokens annotated: {dot}");
+    }
+}

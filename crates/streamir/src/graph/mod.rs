@@ -1,0 +1,19 @@
+//! Stream graphs: hierarchical composition and the flattened form.
+//!
+//! Programs are assembled as a tree of [`StreamSpec`]s — the StreamIt
+//! constructs *pipeline*, *split-join* and *feedback loop* — whose leaves
+//! are [`FilterSpec`]s. [`StreamSpec::flatten`] lowers the tree to a
+//! [`FlatGraph`]: plain filters plus explicit splitter/joiner nodes
+//! connected by typed FIFO channels, the representation every later phase
+//! (steady-state solving, profiling, ILP scheduling, code generation)
+//! operates on.
+
+mod dot;
+mod filter;
+mod flat;
+mod flatten;
+mod spec;
+
+pub use filter::FilterSpec;
+pub use flat::{Edge, EdgeId, FlatGraph, Node, NodeId, Role};
+pub use spec::{FeedbackLoopSpec, SplitterKind, StreamSpec};

@@ -1,0 +1,161 @@
+//! Hierarchical stream composition: the StreamIt constructs.
+
+use crate::ir::Scalar;
+use crate::Result;
+
+use super::{FilterSpec, FlatGraph};
+
+/// How a splitter distributes its input among branches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SplitterKind {
+    /// Copies every input token to *every* branch (pop 1, push 1 on each
+    /// output per firing).
+    Duplicate,
+    /// Deals tokens round-robin: `weights[i]` consecutive tokens go to
+    /// branch `i` per firing.
+    RoundRobin(Vec<u32>),
+}
+
+impl SplitterKind {
+    /// A round-robin splitter with equal weight `w` for `n` branches.
+    #[must_use]
+    pub fn round_robin_uniform(n: usize, w: u32) -> SplitterKind {
+        SplitterKind::RoundRobin(vec![w; n])
+    }
+
+    /// Number of branches this splitter feeds (`None` for duplicate, which
+    /// adapts to the split-join's branch count).
+    #[must_use]
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            SplitterKind::Duplicate => None,
+            SplitterKind::RoundRobin(w) => Some(w.len()),
+        }
+    }
+}
+
+/// A feedback loop: a joiner merges external input with a feedback path,
+/// the body transforms it, and a splitter sends part of the body's output
+/// back around. `initial` tokens pre-populate the feedback channel so the
+/// loop can start. Joiners are always round-robin (as in StreamIt).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackLoopSpec {
+    /// Round-robin joiner weights `[external, feedback]`.
+    pub joiner: [u32; 2],
+    /// The forward path from joiner output to splitter input.
+    pub body: Box<StreamSpec>,
+    /// Splitter dealing the body output to `[external output, feedback]`.
+    pub splitter: SplitterKind,
+    /// Optional stream on the feedback path (splitter → joiner).
+    pub feedback: Option<Box<StreamSpec>>,
+    /// Initial tokens pre-queued on the feedback edge at the joiner.
+    pub initial: Vec<Scalar>,
+}
+
+/// A hierarchical stream program.
+///
+/// # Examples
+///
+/// A pipeline of a split-join between two filters:
+///
+/// ```
+/// use streamir::graph::{FilterSpec, SplitterKind, StreamSpec};
+/// use streamir::ir::{identity, ElemTy};
+///
+/// let id = || StreamSpec::filter(FilterSpec::new("id", identity(ElemTy::I32)));
+/// let spec = StreamSpec::pipeline(vec![
+///     id(),
+///     StreamSpec::split_join(SplitterKind::round_robin_uniform(2, 1), vec![id(), id()], vec![1, 1]),
+///     id(),
+/// ]);
+/// let flat = spec.flatten()?;
+/// assert_eq!(flat.nodes().len(), 6); // 4 filters + splitter + joiner
+/// # Ok::<(), streamir::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // specs are built once at graph
+// construction and never stored in bulk; boxing FilterSpec would only
+// complicate the builder API
+pub enum StreamSpec {
+    /// A single filter.
+    Filter(FilterSpec),
+    /// Sequential composition; each stage's output feeds the next stage.
+    Pipeline(Vec<StreamSpec>),
+    /// Parallel composition between a splitter and a (round-robin) joiner.
+    SplitJoin {
+        /// How input is distributed to the branches.
+        splitter: SplitterKind,
+        /// The parallel branches, each single-input single-output.
+        branches: Vec<StreamSpec>,
+        /// Round-robin joiner weights, one per branch.
+        joiner: Vec<u32>,
+    },
+    /// A cycle with initial tokens.
+    FeedbackLoop(FeedbackLoopSpec),
+}
+
+impl StreamSpec {
+    /// Wraps a filter.
+    #[must_use]
+    pub fn filter(f: FilterSpec) -> StreamSpec {
+        StreamSpec::Filter(f)
+    }
+
+    /// Builds a pipeline of stages.
+    #[must_use]
+    pub fn pipeline(stages: Vec<StreamSpec>) -> StreamSpec {
+        StreamSpec::Pipeline(stages)
+    }
+
+    /// Builds a split-join.
+    #[must_use]
+    pub fn split_join(
+        splitter: SplitterKind,
+        branches: Vec<StreamSpec>,
+        joiner: Vec<u32>,
+    ) -> StreamSpec {
+        StreamSpec::SplitJoin {
+            splitter,
+            branches,
+            joiner,
+        }
+    }
+
+    /// Builds a feedback loop.
+    #[must_use]
+    pub fn feedback_loop(spec: FeedbackLoopSpec) -> StreamSpec {
+        StreamSpec::FeedbackLoop(spec)
+    }
+
+    /// Lowers the hierarchy to a flat filter graph with explicit
+    /// splitter/joiner nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidGraph`] when the composition is
+    /// malformed: empty pipelines or split-joins, arity mismatches between
+    /// stages, splitter/joiner weight counts that disagree with the branch
+    /// count, channel element-type conflicts, or zero weights.
+    pub fn flatten(&self) -> Result<FlatGraph> {
+        super::flatten::flatten(self)
+    }
+
+    /// Total number of filters (excluding generated splitters/joiners) in
+    /// the hierarchy.
+    #[must_use]
+    pub fn filter_count(&self) -> usize {
+        match self {
+            StreamSpec::Filter(_) => 1,
+            StreamSpec::Pipeline(stages) => stages.iter().map(StreamSpec::filter_count).sum(),
+            StreamSpec::SplitJoin { branches, .. } => {
+                branches.iter().map(StreamSpec::filter_count).sum()
+            }
+            StreamSpec::FeedbackLoop(fl) => {
+                fl.body.filter_count()
+                    + fl.feedback
+                        .as_ref()
+                        .map_or(0, |f| f.filter_count())
+            }
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Pure expressions of the kernel IR.
+
+use super::{ArrayId, LocalId, StateId, TableId};
+
+/// Binary operators.
+///
+/// Arithmetic operators are polymorphic over `i32`/`f32` (operands must have
+/// equal types); bitwise and shift operators are `i32`-only; comparisons
+/// accept either type and produce an `i32` in `{0, 1}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition. Integer addition wraps (matching GPU scalar units).
+    Add,
+    /// Subtraction (wrapping on `i32`).
+    Sub,
+    /// Multiplication (wrapping on `i32`).
+    Mul,
+    /// Division. Integer division truncates toward zero and traps on zero.
+    Div,
+    /// Remainder (`i32` only); traps on zero divisor.
+    Rem,
+    /// Bitwise AND (`i32` only).
+    And,
+    /// Bitwise OR (`i32` only).
+    Or,
+    /// Bitwise XOR (`i32` only).
+    Xor,
+    /// Logical left shift (`i32` only); shift amount is masked to 5 bits.
+    Shl,
+    /// Arithmetic right shift (`i32` only); shift amount masked to 5 bits.
+    Shr,
+    /// Logical (unsigned) right shift (`i32` only); amount masked to 5 bits.
+    Ushr,
+    /// Equality comparison, yields `i32` 0/1.
+    Eq,
+    /// Inequality comparison, yields `i32` 0/1.
+    Ne,
+    /// Less-than, yields `i32` 0/1.
+    Lt,
+    /// Less-or-equal, yields `i32` 0/1.
+    Le,
+    /// Greater-than, yields `i32` 0/1.
+    Gt,
+    /// Greater-or-equal, yields `i32` 0/1.
+    Ge,
+    /// Minimum of the operands.
+    Min,
+    /// Maximum of the operands.
+    Max,
+}
+
+impl BinOp {
+    /// `true` for comparison operators (result type `i32` regardless of
+    /// operand type).
+    #[must_use]
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// `true` for operators restricted to `i32` operands.
+    #[must_use]
+    pub fn is_integer_only(self) -> bool {
+        matches!(
+            self,
+            BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr | BinOp::Ushr
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement (`i32` only).
+    Not,
+    /// Sine (`f32` only) — a "transcendental" op with its own cycle cost.
+    Sin,
+    /// Cosine (`f32` only).
+    Cos,
+    /// Square root (`f32` only).
+    Sqrt,
+    /// Absolute value.
+    Abs,
+    /// Floor (`f32` only, yields `f32`).
+    Floor,
+    /// Conversion `i32 -> f32`.
+    ToF32,
+    /// Conversion `f32 -> i32` (truncating; saturates at the `i32` range).
+    ToI32,
+}
+
+impl UnOp {
+    /// `true` for the operators the timing model bills at the slow
+    /// special-function-unit rate.
+    #[must_use]
+    pub fn is_transcendental(self) -> bool {
+        matches!(self, UnOp::Sin | UnOp::Cos | UnOp::Sqrt)
+    }
+}
+
+/// A pure expression.
+///
+/// `Expr` deliberately excludes `pop` (which is side-effecting and lives in
+/// [`super::Stmt::Pop`]) so that expression evaluation order can never change
+/// observable channel state; `peek` is pure and therefore allowed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// An `i32` literal.
+    I32(i32),
+    /// An `f32` literal.
+    F32(f32),
+    /// Value of a scalar local.
+    Local(LocalId),
+    /// `peek(depth)` on input port `port`: reads the `depth`-th
+    /// not-yet-popped token without consuming it.
+    Peek {
+        /// Input port index.
+        port: u8,
+        /// Depth into the FIFO; must be statically boundable.
+        depth: Box<Expr>,
+    },
+    /// Element load from a per-firing scratch array.
+    LoadArr {
+        /// The array.
+        arr: ArrayId,
+        /// Element index.
+        index: Box<Expr>,
+    },
+    /// Element load from a read-only constant table.
+    LoadTable {
+        /// The table.
+        table: TableId,
+        /// Element index.
+        index: Box<Expr>,
+    },
+    /// Value of a persistent state variable (stateful filters only).
+    LoadState(StateId),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+// The builder methods intentionally mirror Rust operator names (`add`,
+// `mul`, ...) to read like the expressions they construct; they take and
+// return `Expr` by value rather than implementing the std::ops traits,
+// which would force reference-based signatures unsuitable for a DSL.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    /// `i32` literal.
+    #[must_use]
+    pub fn i32(v: i32) -> Expr {
+        Expr::I32(v)
+    }
+
+    /// `f32` literal.
+    #[must_use]
+    pub fn f32(v: f32) -> Expr {
+        Expr::F32(v)
+    }
+
+    /// Reference to a local.
+    #[must_use]
+    pub fn local(l: LocalId) -> Expr {
+        Expr::Local(l)
+    }
+
+    /// `peek(depth)` on input port `port`.
+    #[must_use]
+    pub fn peek(port: u8, depth: Expr) -> Expr {
+        Expr::Peek {
+            port,
+            depth: Box::new(depth),
+        }
+    }
+
+    /// Array element load.
+    #[must_use]
+    pub fn load(arr: ArrayId, index: Expr) -> Expr {
+        Expr::LoadArr {
+            arr,
+            index: Box::new(index),
+        }
+    }
+
+    /// Table element load.
+    #[must_use]
+    pub fn table(table: TableId, index: Expr) -> Expr {
+        Expr::LoadTable {
+            table,
+            index: Box::new(index),
+        }
+    }
+
+    /// Persistent state read.
+    #[must_use]
+    pub fn state(id: StateId) -> Expr {
+        Expr::LoadState(id)
+    }
+
+    /// Applies a unary operator.
+    #[must_use]
+    pub fn unary(self, op: UnOp) -> Expr {
+        Expr::Unary(op, Box::new(self))
+    }
+
+    /// Applies a binary operator.
+    #[must_use]
+    pub fn binary(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self + rhs`.
+    #[must_use]
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Add, rhs)
+    }
+
+    /// `self - rhs`.
+    #[must_use]
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Sub, rhs)
+    }
+
+    /// `self * rhs`.
+    #[must_use]
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Mul, rhs)
+    }
+
+    /// `self / rhs`.
+    #[must_use]
+    pub fn div(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Div, rhs)
+    }
+
+    /// `self % rhs` (`i32`).
+    #[must_use]
+    pub fn rem(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Rem, rhs)
+    }
+
+    /// Bitwise `self & rhs`.
+    #[must_use]
+    pub fn bitand(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::And, rhs)
+    }
+
+    /// Bitwise `self | rhs`.
+    #[must_use]
+    pub fn bitor(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Or, rhs)
+    }
+
+    /// Bitwise `self ^ rhs`.
+    #[must_use]
+    pub fn bitxor(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Xor, rhs)
+    }
+
+    /// `self << rhs`.
+    #[must_use]
+    pub fn shl(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Shl, rhs)
+    }
+
+    /// Arithmetic `self >> rhs`.
+    #[must_use]
+    pub fn shr(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Shr, rhs)
+    }
+
+    /// Logical `self >>> rhs`.
+    #[must_use]
+    pub fn ushr(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Ushr, rhs)
+    }
+
+    /// `self == rhs` as 0/1.
+    #[must_use]
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Eq, rhs)
+    }
+
+    /// `self != rhs` as 0/1.
+    #[must_use]
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Ne, rhs)
+    }
+
+    /// `self < rhs` as 0/1.
+    #[must_use]
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Lt, rhs)
+    }
+
+    /// `self <= rhs` as 0/1.
+    #[must_use]
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Le, rhs)
+    }
+
+    /// `self > rhs` as 0/1.
+    #[must_use]
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Gt, rhs)
+    }
+
+    /// `self >= rhs` as 0/1.
+    #[must_use]
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Ge, rhs)
+    }
+
+    /// `min(self, rhs)`.
+    #[must_use]
+    pub fn min(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Min, rhs)
+    }
+
+    /// `max(self, rhs)`.
+    #[must_use]
+    pub fn max(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Max, rhs)
+    }
+
+    /// `-self`.
+    #[must_use]
+    pub fn neg(self) -> Expr {
+        self.unary(UnOp::Neg)
+    }
+
+    /// Converts `i32 -> f32`.
+    #[must_use]
+    pub fn to_f32(self) -> Expr {
+        self.unary(UnOp::ToF32)
+    }
+
+    /// Converts `f32 -> i32` (truncating).
+    #[must_use]
+    pub fn to_i32(self) -> Expr {
+        self.unary(UnOp::ToI32)
+    }
+}
+
+impl From<i32> for Expr {
+    fn from(v: i32) -> Self {
+        Expr::I32(v)
+    }
+}
+
+impl From<f32> for Expr {
+    fn from(v: f32) -> Self {
+        Expr::F32(v)
+    }
+}
+
+impl From<LocalId> for Expr {
+    fn from(l: LocalId) -> Self {
+        Expr::Local(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_produce_expected_trees() {
+        let e = Expr::i32(1).add(Expr::i32(2));
+        assert_eq!(
+            e,
+            Expr::Binary(BinOp::Add, Box::new(Expr::I32(1)), Box::new(Expr::I32(2)))
+        );
+        let l = LocalId(0);
+        assert_eq!(Expr::from(l), Expr::Local(l));
+    }
+
+    #[test]
+    fn op_classifications() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::Shl.is_integer_only());
+        assert!(!BinOp::Mul.is_integer_only());
+        assert!(UnOp::Sin.is_transcendental());
+        assert!(!UnOp::Neg.is_transcendental());
+    }
+}

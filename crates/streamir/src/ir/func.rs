@@ -1,0 +1,364 @@
+//! Work functions and their builder.
+
+use crate::Result;
+
+use super::validate::{self, WorkInfo};
+use super::{ArrayId, ElemTy, Expr, LocalId, Scalar, StateId, Stmt, TableId};
+
+/// A read-only constant table embedded in a work function.
+///
+/// Tables model the per-filter constant data StreamIt filters initialise in
+/// their `init` functions: FIR coefficient vectors, DES S-boxes and
+/// permutations, FFT twiddle factors, and so on. On the simulated GPU they
+/// live in constant memory and are billed at cached-access cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Element type of the table.
+    pub ty: ElemTy,
+    /// Contents; every element must have type `ty`.
+    pub values: Vec<Scalar>,
+}
+
+impl Table {
+    /// Builds an `f32` table from a slice.
+    #[must_use]
+    pub fn f32(values: &[f32]) -> Table {
+        Table {
+            ty: ElemTy::F32,
+            values: values.iter().map(|&v| Scalar::F32(v)).collect(),
+        }
+    }
+
+    /// Builds an `i32` table from a slice.
+    #[must_use]
+    pub fn i32(values: &[i32]) -> Table {
+        Table {
+            ty: ElemTy::I32,
+            values: values.iter().map(|&v| Scalar::I32(v)).collect(),
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the table has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A persistent state variable: type and initial value.
+///
+/// Declaring any state makes the filter *stateful*; its instances are
+/// serialized by the scheduler and it executes single-threaded on the
+/// device (the paper's future-work extension).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateDef {
+    /// The state variable's type.
+    pub ty: ElemTy,
+    /// Value before the first firing.
+    pub init: Scalar,
+}
+
+/// A validated filter work function.
+///
+/// Construct via [`FnBuilder`]; a `WorkFunction` value is guaranteed
+/// well-typed with static channel rates, and carries the results of that
+/// analysis in [`WorkFunction::info`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkFunction {
+    pub(crate) input_ports: Vec<ElemTy>,
+    pub(crate) output_ports: Vec<ElemTy>,
+    pub(crate) locals: Vec<ElemTy>,
+    pub(crate) arrays: Vec<(ElemTy, u32)>,
+    pub(crate) tables: Vec<Table>,
+    pub(crate) states: Vec<StateDef>,
+    pub(crate) body: Vec<Stmt>,
+    pub(crate) info: WorkInfo,
+}
+
+impl WorkFunction {
+    /// Element types of the input ports.
+    #[must_use]
+    pub fn input_ports(&self) -> &[ElemTy] {
+        &self.input_ports
+    }
+
+    /// Element types of the output ports.
+    #[must_use]
+    pub fn output_ports(&self) -> &[ElemTy] {
+        &self.output_ports
+    }
+
+    /// Types of the scalar locals.
+    #[must_use]
+    pub fn locals(&self) -> &[ElemTy] {
+        &self.locals
+    }
+
+    /// `(element type, length)` of each scratch array.
+    #[must_use]
+    pub fn arrays(&self) -> &[(ElemTy, u32)] {
+        &self.arrays
+    }
+
+    /// The constant tables.
+    #[must_use]
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// The persistent state variables.
+    #[must_use]
+    pub fn states(&self) -> &[StateDef] {
+        &self.states
+    }
+
+    /// `true` when the filter carries state across firings.
+    #[must_use]
+    pub fn is_stateful(&self) -> bool {
+        !self.states.is_empty()
+    }
+
+    /// A fresh state vector holding every state variable's initial value.
+    #[must_use]
+    pub fn initial_state(&self) -> Vec<Scalar> {
+        self.states.iter().map(|s| s.init).collect()
+    }
+
+    /// The statement list.
+    #[must_use]
+    pub fn body(&self) -> &[Stmt] {
+        &self.body
+    }
+
+    /// Results of static analysis: rates, op census, register estimate.
+    #[must_use]
+    pub fn info(&self) -> &WorkInfo {
+        &self.info
+    }
+
+    /// Tokens consumed per firing on input port `port`.
+    #[must_use]
+    pub fn pop_rate(&self, port: u8) -> u32 {
+        self.info.inputs[port as usize].pop
+    }
+
+    /// Tokens produced per firing on output port `port`.
+    #[must_use]
+    pub fn push_rate(&self, port: u8) -> u32 {
+        self.info.outputs[port as usize]
+    }
+
+    /// Peek depth (>= pop rate) on input port `port`: how many tokens must
+    /// be present for the firing rule to allow execution.
+    #[must_use]
+    pub fn peek_rate(&self, port: u8) -> u32 {
+        let r = &self.info.inputs[port as usize];
+        r.peek.max(r.pop)
+    }
+
+    /// `true` if any port peeks deeper than it pops — the property Table I
+    /// of the paper reports as "peeking filters".
+    #[must_use]
+    pub fn is_peeking(&self) -> bool {
+        self.info
+            .inputs
+            .iter()
+            .any(|r| r.peek > r.pop)
+    }
+}
+
+/// Incremental builder for [`WorkFunction`].
+///
+/// The builder hands out [`LocalId`]s, [`ArrayId`]s and [`TableId`]s, and
+/// accumulates statements; nested bodies (loops, conditionals) are built as
+/// plain `Vec<Stmt>` and attached with [`FnBuilder::for_loop`] /
+/// [`FnBuilder::if_else`] or by pushing a [`Stmt`] directly via
+/// [`FnBuilder::stmt`].
+///
+/// # Examples
+///
+/// ```
+/// use streamir::ir::{ElemTy, Expr, FnBuilder};
+///
+/// // Moving-average filter: peeks 3, pops 1, pushes the mean.
+/// let mut f = FnBuilder::new(&[ElemTy::F32], &[ElemTy::F32]);
+/// let sum = f.local(ElemTy::F32);
+/// f.assign(sum, Expr::peek(0, Expr::i32(0))
+///     .add(Expr::peek(0, Expr::i32(1)))
+///     .add(Expr::peek(0, Expr::i32(2))));
+/// f.push(0, Expr::local(sum).div(Expr::f32(3.0)));
+/// f.pop(0);
+/// let work = f.build()?;
+/// assert_eq!(work.pop_rate(0), 1);
+/// assert_eq!(work.peek_rate(0), 3);
+/// assert!(work.is_peeking());
+/// # Ok::<(), streamir::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FnBuilder {
+    input_ports: Vec<ElemTy>,
+    output_ports: Vec<ElemTy>,
+    locals: Vec<ElemTy>,
+    arrays: Vec<(ElemTy, u32)>,
+    tables: Vec<Table>,
+    states: Vec<StateDef>,
+    body: Vec<Stmt>,
+}
+
+impl FnBuilder {
+    /// Starts a work function with the given input/output port types.
+    #[must_use]
+    pub fn new(input_ports: &[ElemTy], output_ports: &[ElemTy]) -> FnBuilder {
+        FnBuilder {
+            input_ports: input_ports.to_vec(),
+            output_ports: output_ports.to_vec(),
+            locals: Vec::new(),
+            arrays: Vec::new(),
+            tables: Vec::new(),
+            states: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Declares a scalar local of type `ty`.
+    pub fn local(&mut self, ty: ElemTy) -> LocalId {
+        let id = LocalId(self.locals.len() as u32);
+        self.locals.push(ty);
+        id
+    }
+
+    /// Declares a per-firing scratch array.
+    pub fn array(&mut self, ty: ElemTy, len: u32) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push((ty, len));
+        id
+    }
+
+    /// Declares a read-only constant table.
+    pub fn table(&mut self, table: Table) -> TableId {
+        let id = TableId(self.tables.len() as u32);
+        self.tables.push(table);
+        id
+    }
+
+    /// Declares a persistent state variable with its initial value; any
+    /// state makes the filter stateful (serialized instances).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init`'s type differs from `ty`.
+    pub fn state(&mut self, ty: ElemTy, init: Scalar) -> StateId {
+        assert_eq!(init.ty(), ty, "state initial value type mismatch");
+        let id = StateId(self.states.len() as u32);
+        self.states.push(StateDef { ty, init });
+        id
+    }
+
+    /// Appends `state = expr`.
+    pub fn store_state(&mut self, id: StateId, expr: Expr) -> &mut Self {
+        self.stmt(Stmt::StoreState(id, expr))
+    }
+
+    /// Appends an arbitrary statement.
+    pub fn stmt(&mut self, s: Stmt) -> &mut Self {
+        self.body.push(s);
+        self
+    }
+
+    /// Appends `local = expr`.
+    pub fn assign(&mut self, local: LocalId, expr: Expr) -> &mut Self {
+        self.stmt(Stmt::Assign(local, expr))
+    }
+
+    /// Appends `arr[index] = value`.
+    pub fn store(&mut self, arr: ArrayId, index: Expr, value: Expr) -> &mut Self {
+        self.stmt(Stmt::Store { arr, index, value })
+    }
+
+    /// Appends a discarding `pop()` on `port`.
+    pub fn pop(&mut self, port: u8) -> &mut Self {
+        self.stmt(Stmt::Pop { port, dst: None })
+    }
+
+    /// Appends `dst = pop()` on `port`.
+    pub fn pop_into(&mut self, port: u8, dst: LocalId) -> &mut Self {
+        self.stmt(Stmt::Pop {
+            port,
+            dst: Some(dst),
+        })
+    }
+
+    /// Appends `push(value)` on `port`.
+    pub fn push(&mut self, port: u8, value: Expr) -> &mut Self {
+        self.stmt(Stmt::Push { port, value })
+    }
+
+    /// Appends `for var in lo..hi { body }`, allocating the induction
+    /// variable and passing it to `body_fn` which returns the loop body.
+    pub fn for_loop(
+        &mut self,
+        lo: i32,
+        hi: i32,
+        body_fn: impl FnOnce(&mut FnBuilder, LocalId) -> Vec<Stmt>,
+    ) -> &mut Self {
+        let var = self.local(ElemTy::I32);
+        let body = body_fn(self, var);
+        self.stmt(Stmt::For { var, lo, hi, body })
+    }
+
+    /// Appends `if cond { then_body } else { else_body }`.
+    pub fn if_else(&mut self, cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>) -> &mut Self {
+        self.stmt(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    /// Validates and produces the finished [`WorkFunction`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidWork`] if the body is ill-typed, references
+    /// undeclared locals/arrays/tables/ports, has non-static channel rates
+    /// (e.g. an `if` whose arms push different counts), writes a loop
+    /// induction variable, or peeks at an unboundable depth.
+    pub fn build(self) -> Result<WorkFunction> {
+        let mut wf = WorkFunction {
+            input_ports: self.input_ports,
+            output_ports: self.output_ports,
+            locals: self.locals,
+            arrays: self.arrays,
+            tables: self.tables,
+            states: self.states,
+            body: self.body,
+            info: WorkInfo::default(),
+        };
+        wf.info = validate::validate(&wf)?;
+        Ok(wf)
+    }
+}
+
+/// Shorthand for building the identity filter (pop one token, push it).
+///
+/// # Examples
+///
+/// ```
+/// let id = streamir::ir::identity(streamir::ir::ElemTy::F32);
+/// assert_eq!(id.pop_rate(0), 1);
+/// assert_eq!(id.push_rate(0), 1);
+/// ```
+#[must_use]
+pub fn identity(ty: ElemTy) -> WorkFunction {
+    let mut f = FnBuilder::new(&[ty], &[ty]);
+    let x = f.local(ty);
+    f.pop_into(0, x);
+    f.push(0, Expr::local(x));
+    f.build().expect("identity work function is always valid")
+}

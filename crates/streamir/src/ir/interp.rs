@@ -1,0 +1,542 @@
+//! The reference interpreter for work functions.
+//!
+//! This is the semantic ground truth: the CPU executor runs it directly, and
+//! the GPU simulator's warp-synchronous evaluator is tested for bit-exact
+//! agreement with it. Execution is strict left-to-right; because `pop` is a
+//! statement and expressions are pure, evaluation order can never change
+//! observable channel state.
+
+use crate::{Error, Result};
+
+use super::{BinOp, Expr, OpCensus, Scalar, Stmt, UnOp, WorkFunction};
+
+/// The channel endpoints a firing interacts with.
+///
+/// Implementations are provided by the executors (an in-memory FIFO for the
+/// CPU path, simulated device buffers for the GPU path). A `&mut C` also
+/// implements the trait, so executors can pass borrowed contexts.
+pub trait Channels {
+    /// Consumes and returns the next token on input `port`.
+    ///
+    /// The executor must only fire a filter whose firing rule is satisfied,
+    /// so implementations may panic when empty.
+    fn pop(&mut self, port: u8) -> Scalar;
+
+    /// Reads the `depth`-th not-yet-popped token on input `port` without
+    /// consuming it.
+    fn peek(&self, port: u8, depth: u32) -> Scalar;
+
+    /// Appends a token on output `port`.
+    fn push(&mut self, port: u8, value: Scalar);
+}
+
+impl<C: Channels + ?Sized> Channels for &mut C {
+    fn pop(&mut self, port: u8) -> Scalar {
+        (**self).pop(port)
+    }
+    fn peek(&self, port: u8, depth: u32) -> Scalar {
+        (**self).peek(port, depth)
+    }
+    fn push(&mut self, port: u8, value: Scalar) {
+        (**self).push(port, value)
+    }
+}
+
+/// Executes one firing of `wf` against `channels`, adding every dynamically
+/// executed operation to `counts` (used by the executors' cycle models).
+///
+/// # Errors
+///
+/// Returns [`Error::Trap`] on integer division/remainder by zero, a
+/// data-dependent out-of-bounds array/table index, or a negative runtime
+/// peek depth.
+pub fn execute<C: Channels>(
+    wf: &WorkFunction,
+    channels: &mut C,
+    counts: &mut OpCensus,
+) -> Result<()> {
+    if wf.is_stateful() {
+        return Err(Error::Trap(
+            "stateful work function requires execute_stateful".into(),
+        ));
+    }
+    let mut empty: Vec<Scalar> = Vec::new();
+    execute_stateful(wf, channels, &mut empty, counts)
+}
+
+/// Executes one firing of a (possibly stateful) work function; `state`
+/// must hold one value per declared state variable and persists across
+/// calls — seed it with [`WorkFunction::initial_state`].
+///
+/// # Errors
+///
+/// As for [`execute`]; additionally traps if `state` has the wrong length.
+pub fn execute_stateful<C: Channels>(
+    wf: &WorkFunction,
+    channels: &mut C,
+    state: &mut Vec<Scalar>,
+    counts: &mut OpCensus,
+) -> Result<()> {
+    if state.len() != wf.states().len() {
+        return Err(Error::Trap(format!(
+            "state vector has {} entries, filter declares {}",
+            state.len(),
+            wf.states().len()
+        )));
+    }
+    let mut st = State {
+        locals: wf
+            .locals
+            .iter()
+            .map(|&ty| Scalar::zero(ty))
+            .collect(),
+        arrays: wf
+            .arrays
+            .iter()
+            .map(|&(ty, len)| vec![Scalar::zero(ty); len as usize])
+            .collect(),
+        persistent: state,
+    };
+    run_block(wf, &wf.body, &mut st, channels, counts)
+}
+
+struct State<'a> {
+    locals: Vec<Scalar>,
+    arrays: Vec<Vec<Scalar>>,
+    persistent: &'a mut Vec<Scalar>,
+}
+
+fn trap(msg: impl Into<String>) -> Error {
+    Error::Trap(msg.into())
+}
+
+fn run_block<C: Channels>(
+    wf: &WorkFunction,
+    stmts: &[Stmt],
+    state: &mut State<'_>,
+    channels: &mut C,
+    counts: &mut OpCensus,
+) -> Result<()> {
+    for s in stmts {
+        run_stmt(wf, s, state, channels, counts)?;
+    }
+    Ok(())
+}
+
+fn run_stmt<C: Channels>(
+    wf: &WorkFunction,
+    s: &Stmt,
+    state: &mut State<'_>,
+    channels: &mut C,
+    counts: &mut OpCensus,
+) -> Result<()> {
+    match s {
+        Stmt::Assign(local, e) => {
+            let v = eval(wf, e, state, channels, counts)?;
+            state.locals[local.0 as usize] = v;
+            Ok(())
+        }
+        Stmt::StoreState(id, e) => {
+            let v = eval(wf, e, state, channels, counts)?;
+            state.persistent[id.0 as usize] = v;
+            counts.alu += 1;
+            Ok(())
+        }
+        Stmt::Store { arr, index, value } => {
+            let i = eval(wf, index, state, channels, counts)?.as_i32();
+            let v = eval(wf, value, state, channels, counts)?;
+            let a = &mut state.arrays[arr.0 as usize];
+            let slot = usize::try_from(i)
+                .ok()
+                .and_then(|i| a.get_mut(i))
+                .ok_or_else(|| trap(format!("array store index {i} out of bounds")))?;
+            *slot = v;
+            counts.array_ops += 1;
+            Ok(())
+        }
+        Stmt::Pop { port, dst } => {
+            let v = channels.pop(*port);
+            if let Some(dst) = dst {
+                state.locals[dst.0 as usize] = v;
+            }
+            counts.channel_reads += 1;
+            Ok(())
+        }
+        Stmt::Push { port, value } => {
+            let v = eval(wf, value, state, channels, counts)?;
+            channels.push(*port, v);
+            counts.channel_writes += 1;
+            Ok(())
+        }
+        Stmt::For { var, lo, hi, body } => {
+            for i in *lo..*hi {
+                state.locals[var.0 as usize] = Scalar::I32(i);
+                counts.control += 1;
+                run_block(wf, body, state, channels, counts)?;
+            }
+            Ok(())
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let c = eval(wf, cond, state, channels, counts)?.as_i32();
+            counts.control += 1;
+            if c != 0 {
+                run_block(wf, then_body, state, channels, counts)
+            } else {
+                run_block(wf, else_body, state, channels, counts)
+            }
+        }
+    }
+}
+
+fn eval<C: Channels>(
+    wf: &WorkFunction,
+    e: &Expr,
+    state: &mut State<'_>,
+    channels: &mut C,
+    counts: &mut OpCensus,
+) -> Result<Scalar> {
+    match e {
+        Expr::I32(v) => Ok(Scalar::I32(*v)),
+        Expr::F32(v) => Ok(Scalar::F32(*v)),
+        Expr::Local(l) => Ok(state.locals[l.0 as usize]),
+        Expr::Peek { port, depth } => {
+            let d = eval(wf, depth, state, channels, counts)?.as_i32();
+            let d = u32::try_from(d).map_err(|_| trap(format!("negative peek depth {d}")))?;
+            counts.channel_reads += 1;
+            Ok(channels.peek(*port, d))
+        }
+        Expr::LoadArr { arr, index } => {
+            let i = eval(wf, index, state, channels, counts)?.as_i32();
+            let a = &state.arrays[arr.0 as usize];
+            counts.array_ops += 1;
+            usize::try_from(i)
+                .ok()
+                .and_then(|i| a.get(i))
+                .copied()
+                .ok_or_else(|| trap(format!("array load index {i} out of bounds")))
+        }
+        Expr::LoadTable { table, index } => {
+            let i = eval(wf, index, state, channels, counts)?.as_i32();
+            let t = &wf.tables[table.0 as usize];
+            counts.table_loads += 1;
+            usize::try_from(i)
+                .ok()
+                .and_then(|i| t.values.get(i))
+                .copied()
+                .ok_or_else(|| trap(format!("table load index {i} out of bounds")))
+        }
+        Expr::LoadState(id) => {
+            counts.alu += 1;
+            Ok(state.persistent[id.0 as usize])
+        }
+        Expr::Unary(op, inner) => {
+            let v = eval(wf, inner, state, channels, counts)?;
+            if op.is_transcendental() {
+                counts.transcendental += 1;
+            } else {
+                counts.alu += 1;
+            }
+            eval_unary(*op, v)
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let l = eval(wf, lhs, state, channels, counts)?;
+            let r = eval(wf, rhs, state, channels, counts)?;
+            counts.alu += 1;
+            eval_binary(*op, l, r)
+        }
+    }
+}
+
+/// Applies a unary operator to an already-typed value.
+///
+/// Public so the GPU simulator's lock-step evaluator shares the exact same
+/// scalar semantics.
+pub fn eval_unary(op: UnOp, v: Scalar) -> Result<Scalar> {
+    Ok(match (op, v) {
+        (UnOp::Neg, Scalar::I32(v)) => Scalar::I32(v.wrapping_neg()),
+        (UnOp::Neg, Scalar::F32(v)) => Scalar::F32(-v),
+        (UnOp::Not, Scalar::I32(v)) => Scalar::I32(!v),
+        (UnOp::Abs, Scalar::I32(v)) => Scalar::I32(v.wrapping_abs()),
+        (UnOp::Abs, Scalar::F32(v)) => Scalar::F32(v.abs()),
+        (UnOp::Sin, Scalar::F32(v)) => Scalar::F32(v.sin()),
+        (UnOp::Cos, Scalar::F32(v)) => Scalar::F32(v.cos()),
+        (UnOp::Sqrt, Scalar::F32(v)) => Scalar::F32(v.sqrt()),
+        (UnOp::Floor, Scalar::F32(v)) => Scalar::F32(v.floor()),
+        (UnOp::ToF32, Scalar::I32(v)) => Scalar::F32(v as f32),
+        (UnOp::ToI32, Scalar::F32(v)) => Scalar::I32(v as i32),
+        (op, v) => {
+            return Err(trap(format!(
+                "unary {op:?} applied to {} operand",
+                v.ty()
+            )))
+        }
+    })
+}
+
+/// Applies a binary operator to two already-typed values.
+///
+/// Shared with the GPU simulator. Integer arithmetic wraps; shifts mask the
+/// amount to 5 bits; `f32 -> i32` saturates — all matching scalar-unit
+/// behaviour on the modeled device.
+pub fn eval_binary(op: BinOp, l: Scalar, r: Scalar) -> Result<Scalar> {
+    use BinOp::*;
+    let bool_i32 = |b: bool| Scalar::I32(i32::from(b));
+    Ok(match (l, r) {
+        (Scalar::I32(a), Scalar::I32(b)) => match op {
+            Add => Scalar::I32(a.wrapping_add(b)),
+            Sub => Scalar::I32(a.wrapping_sub(b)),
+            Mul => Scalar::I32(a.wrapping_mul(b)),
+            Div => {
+                if b == 0 {
+                    return Err(trap("integer division by zero"));
+                }
+                Scalar::I32(a.overflowing_div(b).0)
+            }
+            Rem => {
+                if b == 0 {
+                    return Err(trap("integer remainder by zero"));
+                }
+                Scalar::I32(a.overflowing_rem(b).0)
+            }
+            And => Scalar::I32(a & b),
+            Or => Scalar::I32(a | b),
+            Xor => Scalar::I32(a ^ b),
+            Shl => Scalar::I32(a.wrapping_shl(b as u32)),
+            Shr => Scalar::I32(a.wrapping_shr(b as u32)),
+            Ushr => Scalar::I32(((a as u32).wrapping_shr(b as u32)) as i32),
+            Eq => bool_i32(a == b),
+            Ne => bool_i32(a != b),
+            Lt => bool_i32(a < b),
+            Le => bool_i32(a <= b),
+            Gt => bool_i32(a > b),
+            Ge => bool_i32(a >= b),
+            Min => Scalar::I32(a.min(b)),
+            Max => Scalar::I32(a.max(b)),
+        },
+        (Scalar::F32(a), Scalar::F32(b)) => match op {
+            Add => Scalar::F32(a + b),
+            Sub => Scalar::F32(a - b),
+            Mul => Scalar::F32(a * b),
+            Div => Scalar::F32(a / b),
+            Eq => bool_i32(a == b),
+            Ne => bool_i32(a != b),
+            Lt => bool_i32(a < b),
+            Le => bool_i32(a <= b),
+            Gt => bool_i32(a > b),
+            Ge => bool_i32(a >= b),
+            Min => Scalar::F32(a.min(b)),
+            Max => Scalar::F32(a.max(b)),
+            other => {
+                return Err(trap(format!("{other:?} applied to f32 operands")))
+            }
+        },
+        _ => {
+            return Err(trap(format!(
+                "binary {op:?} applied to mixed-type operands"
+            )))
+        }
+    })
+}
+
+/// A trivially simple [`Channels`] implementation over `Vec`s, used by unit
+/// tests and the profiler's synthetic runs.
+#[derive(Debug, Clone, Default)]
+pub struct VecChannels {
+    /// Per-input-port pending tokens (index 0 is the FIFO head).
+    pub inputs: Vec<Vec<Scalar>>,
+    /// Per-input-port read cursor (tokens before it are consumed).
+    pub cursors: Vec<usize>,
+    /// Per-output-port produced tokens.
+    pub outputs: Vec<Vec<Scalar>>,
+}
+
+impl VecChannels {
+    /// Creates channels with the given per-port input contents and
+    /// `n_outputs` empty output buffers.
+    #[must_use]
+    pub fn new(inputs: Vec<Vec<Scalar>>, n_outputs: usize) -> VecChannels {
+        let cursors = vec![0; inputs.len()];
+        VecChannels {
+            inputs,
+            cursors,
+            outputs: vec![Vec::new(); n_outputs],
+        }
+    }
+}
+
+impl Channels for VecChannels {
+    fn pop(&mut self, port: u8) -> Scalar {
+        let p = port as usize;
+        let v = self.inputs[p][self.cursors[p]];
+        self.cursors[p] += 1;
+        v
+    }
+
+    fn peek(&self, port: u8, depth: u32) -> Scalar {
+        let p = port as usize;
+        self.inputs[p][self.cursors[p] + depth as usize]
+    }
+
+    fn push(&mut self, port: u8, value: Scalar) {
+        self.outputs[port as usize].push(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ElemTy, FnBuilder, Table};
+
+    fn run(wf: &WorkFunction, input: Vec<Scalar>) -> Result<Vec<Scalar>> {
+        let mut ch = VecChannels::new(vec![input], wf.output_ports().len().max(1));
+        let mut counts = OpCensus::default();
+        execute(wf, &mut ch, &mut counts)?;
+        Ok(ch.outputs.swap_remove(0))
+    }
+
+    #[test]
+    fn doubler_doubles() {
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let x = f.local(ElemTy::I32);
+        f.pop_into(0, x);
+        f.push(0, Expr::local(x).mul(Expr::i32(2)));
+        let wf = f.build().unwrap();
+        let out = run(&wf, vec![Scalar::I32(21)]).unwrap();
+        assert_eq!(out, vec![Scalar::I32(42)]);
+    }
+
+    #[test]
+    fn loop_accumulates() {
+        // Sum 4 popped values.
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let acc = f.local(ElemTy::I32);
+        let x = f.local(ElemTy::I32);
+        f.assign(acc, Expr::i32(0));
+        f.for_loop(0, 4, |_, _| {
+            vec![
+                Stmt::Pop {
+                    port: 0,
+                    dst: Some(x),
+                },
+                Stmt::Assign(acc, Expr::local(acc).add(Expr::local(x))),
+            ]
+        });
+        f.push(0, Expr::local(acc));
+        let wf = f.build().unwrap();
+        let out = run(&wf, (1..=4).map(Scalar::I32).collect()).unwrap();
+        assert_eq!(out, vec![Scalar::I32(10)]);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        f.push(0, Expr::peek(0, Expr::i32(1)));
+        f.pop(0);
+        let wf = f.build().unwrap();
+        let out = run(&wf, vec![Scalar::I32(10), Scalar::I32(20)]).unwrap();
+        assert_eq!(out, vec![Scalar::I32(20)]);
+    }
+
+    #[test]
+    fn branch_selects_arm() {
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let x = f.local(ElemTy::I32);
+        f.pop_into(0, x);
+        f.if_else(
+            Expr::local(x).ge(Expr::i32(0)),
+            vec![Stmt::Push {
+                port: 0,
+                value: Expr::local(x),
+            }],
+            vec![Stmt::Push {
+                port: 0,
+                value: Expr::local(x).neg(),
+            }],
+        );
+        let wf = f.build().unwrap();
+        assert_eq!(run(&wf, vec![Scalar::I32(5)]).unwrap(), vec![Scalar::I32(5)]);
+        assert_eq!(
+            run(&wf, vec![Scalar::I32(-5)]).unwrap(),
+            vec![Scalar::I32(5)]
+        );
+    }
+
+    #[test]
+    fn arrays_and_tables_work() {
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let a = f.array(ElemTy::I32, 4);
+        let t = f.table(Table::i32(&[100, 200, 300, 400]));
+        f.for_loop(0, 4, |_, i| {
+            vec![Stmt::Store {
+                arr: a,
+                index: Expr::local(i),
+                value: Expr::table(t, Expr::local(i)),
+            }]
+        });
+        f.pop(0);
+        f.push(0, Expr::load(a, Expr::i32(2)));
+        let wf = f.build().unwrap();
+        let out = run(&wf, vec![Scalar::I32(0)]).unwrap();
+        assert_eq!(out, vec![Scalar::I32(300)]);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let x = f.local(ElemTy::I32);
+        f.pop_into(0, x);
+        f.push(0, Expr::i32(1).div(Expr::local(x)));
+        let wf = f.build().unwrap();
+        let e = run(&wf, vec![Scalar::I32(0)]).unwrap_err();
+        assert!(matches!(e, Error::Trap(ref m) if m.contains("division by zero")));
+    }
+
+    #[test]
+    fn dynamic_oob_array_traps() {
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let a = f.array(ElemTy::I32, 2);
+        let x = f.local(ElemTy::I32);
+        f.pop_into(0, x);
+        f.push(0, Expr::load(a, Expr::local(x)));
+        let wf = f.build().unwrap();
+        let e = run(&wf, vec![Scalar::I32(7)]).unwrap_err();
+        assert!(matches!(e, Error::Trap(ref m) if m.contains("out of bounds")));
+    }
+
+    #[test]
+    fn wrapping_and_shift_semantics() {
+        assert_eq!(
+            eval_binary(BinOp::Add, Scalar::I32(i32::MAX), Scalar::I32(1)).unwrap(),
+            Scalar::I32(i32::MIN)
+        );
+        assert_eq!(
+            eval_binary(BinOp::Shl, Scalar::I32(1), Scalar::I32(33)).unwrap(),
+            Scalar::I32(2) // amount masked to 5 bits
+        );
+        assert_eq!(
+            eval_binary(BinOp::Ushr, Scalar::I32(-1), Scalar::I32(28)).unwrap(),
+            Scalar::I32(0xF)
+        );
+        assert_eq!(
+            eval_unary(UnOp::ToI32, Scalar::F32(1e20)).unwrap(),
+            Scalar::I32(i32::MAX) // saturating conversion
+        );
+    }
+
+    #[test]
+    fn dynamic_counts_match_static_census_for_straightline() {
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let x = f.local(ElemTy::I32);
+        f.pop_into(0, x);
+        f.push(0, Expr::local(x).mul(Expr::i32(3)).add(Expr::i32(1)));
+        let wf = f.build().unwrap();
+        let mut ch = VecChannels::new(vec![vec![Scalar::I32(1)]], 1);
+        let mut counts = OpCensus::default();
+        execute(&wf, &mut ch, &mut counts).unwrap();
+        assert_eq!(counts, wf.info().census);
+    }
+}

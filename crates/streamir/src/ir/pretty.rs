@@ -1,0 +1,210 @@
+//! Pretty-printing of work functions — the IR dump used when debugging
+//! filters, schedules, or simulator behaviour.
+
+use std::fmt::Write as _;
+
+use super::{BinOp, Expr, Stmt, UnOp, WorkFunction};
+
+impl WorkFunction {
+    /// Renders the work function as readable pseudo-code.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use streamir::ir::{ElemTy, Expr, FnBuilder};
+    /// let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+    /// let x = f.local(ElemTy::I32);
+    /// f.pop_into(0, x);
+    /// f.push(0, Expr::local(x).mul(Expr::i32(2)));
+    /// let text = f.build()?.to_pretty();
+    /// assert!(text.contains("l0 = pop(0)"));
+    /// assert!(text.contains("push(0, (l0 * 2))"));
+    /// # Ok::<(), streamir::Error>(())
+    /// ```
+    #[must_use]
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        let ins: Vec<String> = self.input_ports().iter().map(ToString::to_string).collect();
+        let outs: Vec<String> = self
+            .output_ports()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let _ = writeln!(out, "work ({}) -> ({}) {{", ins.join(", "), outs.join(", "));
+        for (i, &ty) in self.locals().iter().enumerate() {
+            let _ = writeln!(out, "  local l{i}: {ty};");
+        }
+        for (i, &(ty, len)) in self.arrays().iter().enumerate() {
+            let _ = writeln!(out, "  array a{i}: [{ty}; {len}];");
+        }
+        for (i, t) in self.tables().iter().enumerate() {
+            let _ = writeln!(out, "  table t{i}: [{}; {}];", t.ty, t.len());
+        }
+        for (i, st) in self.states().iter().enumerate() {
+            let _ = writeln!(out, "  state s{i}: {} = {};", st.ty, st.init);
+        }
+        for s in self.body() {
+            write_stmt(&mut out, s, 1);
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::Assign(l, e) => {
+            let _ = writeln!(out, "l{} = {};", l.0, expr(e));
+        }
+        Stmt::StoreState(id, e) => {
+            let _ = writeln!(out, "s{} = {};", id.0, expr(e));
+        }
+        Stmt::Store { arr, index, value } => {
+            let _ = writeln!(out, "a{}[{}] = {};", arr.0, expr(index), expr(value));
+        }
+        Stmt::Pop { port, dst } => match dst {
+            Some(d) => {
+                let _ = writeln!(out, "l{} = pop({port});", d.0);
+            }
+            None => {
+                let _ = writeln!(out, "pop({port});");
+            }
+        },
+        Stmt::Push { port, value } => {
+            let _ = writeln!(out, "push({port}, {});", expr(value));
+        }
+        Stmt::For { var, lo, hi, body } => {
+            let _ = writeln!(out, "for l{} in {lo}..{hi} {{", var.0);
+            for b in body {
+                write_stmt(out, b, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let _ = writeln!(out, "if {} {{", expr(cond));
+            for b in then_body {
+                write_stmt(out, b, depth + 1);
+            }
+            if !else_body.is_empty() {
+                indent(out, depth);
+                out.push_str("} else {\n");
+                for b in else_body {
+                    write_stmt(out, b, depth + 1);
+                }
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn expr(e: &Expr) -> String {
+    match e {
+        Expr::I32(v) => v.to_string(),
+        Expr::F32(v) => format!("{v:?}"),
+        Expr::Local(l) => format!("l{}", l.0),
+        Expr::Peek { port, depth } => format!("peek({port}, {})", expr(depth)),
+        Expr::LoadArr { arr, index } => format!("a{}[{}]", arr.0, expr(index)),
+        Expr::LoadTable { table, index } => format!("t{}[{}]", table.0, expr(index)),
+        Expr::LoadState(id) => format!("s{}", id.0),
+        Expr::Unary(op, inner) => {
+            let name = match op {
+                UnOp::Neg => return format!("(-{})", expr(inner)),
+                UnOp::Not => return format!("(!{})", expr(inner)),
+                UnOp::Sin => "sin",
+                UnOp::Cos => "cos",
+                UnOp::Sqrt => "sqrt",
+                UnOp::Abs => "abs",
+                UnOp::Floor => "floor",
+                UnOp::ToF32 => "f32",
+                UnOp::ToI32 => "i32",
+            };
+            format!("{name}({})", expr(inner))
+        }
+        Expr::Binary(op, l, r) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::And => "&",
+                BinOp::Or => "|",
+                BinOp::Xor => "^",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+                BinOp::Ushr => ">>>",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Min => return format!("min({}, {})", expr(l), expr(r)),
+                BinOp::Max => return format!("max({}, {})", expr(l), expr(r)),
+            };
+            format!("({} {sym} {})", expr(l), expr(r))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ir::{ElemTy, Expr, FnBuilder, Scalar, Stmt, Table};
+
+    #[test]
+    fn pretty_covers_all_constructs() {
+        let mut f = FnBuilder::new(&[ElemTy::F32], &[ElemTy::F32]);
+        let t = f.table(Table::f32(&[1.0, 2.0]));
+        let a = f.array(ElemTy::F32, 4);
+        let st = f.state(ElemTy::F32, Scalar::F32(0.5));
+        let x = f.local(ElemTy::F32);
+        f.pop_into(0, x);
+        f.store(a, Expr::i32(0), Expr::local(x));
+        f.store_state(st, Expr::state(st).add(Expr::local(x)));
+        f.for_loop(0, 2, |_, j| {
+            vec![Stmt::If {
+                cond: Expr::local(j).lt(Expr::i32(1)),
+                then_body: vec![Stmt::Push {
+                    port: 0,
+                    value: Expr::peek(0, Expr::local(j))
+                        .mul(Expr::table(t, Expr::local(j)))
+                        .max(Expr::load(a, Expr::i32(0))),
+                }],
+                else_body: vec![Stmt::Push {
+                    port: 0,
+                    value: Expr::state(st).neg(),
+                }],
+            }]
+        });
+        let text = f.build().unwrap().to_pretty();
+        for needle in [
+            "work (f32) -> (f32)",
+            "state s0: f32 = 0.5",
+            "l0 = pop(0);",
+            "a0[0] = l0;",
+            "s0 = (s0 + l0);",
+            "for l1 in 0..2 {",
+            "if (l1 < 1) {",
+            "peek(0, l1)",
+            "t0[l1]",
+            "max(",
+            "} else {",
+            "(-s0)",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Statements of the kernel IR.
+
+use super::{ArrayId, Expr, LocalId, StateId};
+
+/// A statement.
+///
+/// Control flow is structured and loop trip counts are compile-time
+/// constants, which is what makes the static rate analysis in
+/// [`super::validate`] exact rather than approximate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `local = expr`.
+    Assign(LocalId, Expr),
+    /// `state = expr` — persists across firings (stateful filters).
+    StoreState(StateId, Expr),
+    /// `arr[index] = value`.
+    Store {
+        /// Destination scratch array.
+        arr: ArrayId,
+        /// Element index.
+        index: Expr,
+        /// Value to store.
+        value: Expr,
+    },
+    /// `dst = pop()` on input port `port`; with `dst == None` the token is
+    /// consumed and discarded.
+    Pop {
+        /// Input port index.
+        port: u8,
+        /// Optional destination local.
+        dst: Option<LocalId>,
+    },
+    /// `push(value)` on output port `port`.
+    Push {
+        /// Output port index.
+        port: u8,
+        /// Token to append.
+        value: Expr,
+    },
+    /// `for var in lo..hi { body }` with constant bounds. Empty when
+    /// `hi <= lo`. The loop variable is an ordinary `i32` local that must
+    /// not be written inside the body.
+    For {
+        /// Loop induction variable.
+        var: LocalId,
+        /// Inclusive lower bound.
+        lo: i32,
+        /// Exclusive upper bound.
+        hi: i32,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `if cond != 0 { then_body } else { else_body }`.
+    ///
+    /// Both arms must push and pop identical token counts on every port so
+    /// that rates stay static (the validator enforces this).
+    If {
+        /// `i32` condition, non-zero means true.
+        cond: Expr,
+        /// Taken when `cond != 0`.
+        then_body: Vec<Stmt>,
+        /// Taken when `cond == 0`.
+        else_body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Convenience constructor for a `for` loop.
+    #[must_use]
+    pub fn for_loop(var: LocalId, lo: i32, hi: i32, body: Vec<Stmt>) -> Stmt {
+        Stmt::For { var, lo, hi, body }
+    }
+
+    /// Convenience constructor for a two-armed `if`.
+    #[must_use]
+    pub fn if_else(cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>) -> Stmt {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        }
+    }
+}

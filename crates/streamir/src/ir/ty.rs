@@ -1,0 +1,171 @@
+//! Element types and runtime scalar values.
+
+use std::fmt;
+
+/// The element type of a channel, local, array, or table.
+///
+/// The StreamIt programs in the evaluated suite only move 32-bit integers
+/// and floats, and modeling exactly 32-bit tokens keeps the buffer-size
+/// accounting (Table II of the paper) byte-accurate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemTy {
+    /// 32-bit signed integer.
+    I32,
+    /// 32-bit IEEE-754 float.
+    F32,
+}
+
+impl ElemTy {
+    /// Size of one token of this type in bytes (always 4).
+    #[must_use]
+    pub fn size_bytes(self) -> u32 {
+        4
+    }
+}
+
+impl fmt::Display for ElemTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElemTy::I32 => f.write_str("i32"),
+            ElemTy::F32 => f.write_str("f32"),
+        }
+    }
+}
+
+/// A runtime scalar value flowing through channels.
+///
+/// `Scalar` is a plain tagged 32-bit value; equality on the `F32` variant is
+/// bit-exact IEEE equality, which is what the executor-equivalence tests
+/// (CPU interpreter vs. GPU simulator) rely on: both run the identical IR
+/// with identical operation order, so results must match to the bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    /// A 32-bit signed integer token.
+    I32(i32),
+    /// A 32-bit float token.
+    F32(f32),
+}
+
+impl Scalar {
+    /// The element type of this value.
+    #[must_use]
+    pub fn ty(self) -> ElemTy {
+        match self {
+            Scalar::I32(_) => ElemTy::I32,
+            Scalar::F32(_) => ElemTy::F32,
+        }
+    }
+
+    /// The zero value of the given type.
+    #[must_use]
+    pub fn zero(ty: ElemTy) -> Scalar {
+        match ty {
+            ElemTy::I32 => Scalar::I32(0),
+            ElemTy::F32 => Scalar::F32(0.0),
+        }
+    }
+
+    /// Extracts the integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `I32`; validation guarantees this never
+    /// happens for well-typed IR.
+    #[must_use]
+    pub fn as_i32(self) -> i32 {
+        match self {
+            Scalar::I32(v) => v,
+            Scalar::F32(v) => panic!("expected i32 scalar, found f32 {v}"),
+        }
+    }
+
+    /// Extracts the float payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `F32`.
+    #[must_use]
+    pub fn as_f32(self) -> f32 {
+        match self {
+            Scalar::F32(v) => v,
+            Scalar::I32(v) => panic!("expected f32 scalar, found i32 {v}"),
+        }
+    }
+
+    /// Raw 32-bit representation, used by the simulated device memory.
+    #[must_use]
+    pub fn to_bits(self) -> u32 {
+        match self {
+            Scalar::I32(v) => v as u32,
+            Scalar::F32(v) => v.to_bits(),
+        }
+    }
+
+    /// Reconstructs a value of type `ty` from its raw 32-bit representation.
+    #[must_use]
+    pub fn from_bits(ty: ElemTy, bits: u32) -> Scalar {
+        match ty {
+            ElemTy::I32 => Scalar::I32(bits as i32),
+            ElemTy::F32 => Scalar::F32(f32::from_bits(bits)),
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::I32(v) => write!(f, "{v}"),
+            Scalar::F32(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i32> for Scalar {
+    fn from(v: i32) -> Self {
+        Scalar::I32(v)
+    }
+}
+
+impl From<f32> for Scalar {
+    fn from(v: f32) -> Self {
+        Scalar::F32(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips_through_bits() {
+        for v in [0i32, 1, -1, i32::MAX, i32::MIN, 12345] {
+            let s = Scalar::I32(v);
+            assert_eq!(Scalar::from_bits(ElemTy::I32, s.to_bits()), s);
+        }
+        for v in [0.0f32, -0.0, 1.5, f32::MAX, f32::MIN_POSITIVE, -3.25e-9] {
+            let s = Scalar::F32(v);
+            assert_eq!(Scalar::from_bits(ElemTy::F32, s.to_bits()), s);
+        }
+    }
+
+    #[test]
+    fn scalar_ty_and_zero() {
+        assert_eq!(Scalar::I32(3).ty(), ElemTy::I32);
+        assert_eq!(Scalar::F32(3.0).ty(), ElemTy::F32);
+        assert_eq!(Scalar::zero(ElemTy::I32), Scalar::I32(0));
+        assert_eq!(Scalar::zero(ElemTy::F32), Scalar::F32(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected i32")]
+    fn as_i32_panics_on_f32() {
+        let _ = Scalar::F32(1.0).as_i32();
+    }
+
+    #[test]
+    fn elem_ty_display_and_size() {
+        assert_eq!(ElemTy::I32.to_string(), "i32");
+        assert_eq!(ElemTy::F32.to_string(), "f32");
+        assert_eq!(ElemTy::I32.size_bytes(), 4);
+    }
+}

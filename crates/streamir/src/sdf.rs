@@ -1,0 +1,476 @@
+//! Synchronous-dataflow steady-state machinery.
+//!
+//! The repetition vector `k_v` assigns each node a firing count such that
+//! every channel is balanced across one *steady-state iteration*:
+//! `k_u × push(u,v) == k_v × pop(u,v)` for every channel `(u, v)`. The
+//! primitive vector (component gcd 1) is computed exactly with rational
+//! propagation; inconsistent graphs are diagnosed with the offending
+//! channel.
+//!
+//! Peeking filters consume fewer tokens than their firing rule requires, so
+//! the steady state only cycles once each such channel holds `peek - pop`
+//! slack tokens. [`solve`] therefore also computes an **initialization
+//! schedule** (StreamIt's "prework" phase): per-node firing counts that
+//! deposit exactly that slack, found as the least fixpoint of the per-edge
+//! inequalities `m_uv + init_u·push ≥ init_v·pop + (peek_v - pop_v)`.
+//! Executors run the init schedule once, then any number of steady-state
+//! iterations.
+
+use numeric::{gcd, lcm_all, Rational};
+
+use crate::graph::{EdgeId, FlatGraph, NodeId};
+use crate::{Error, Result};
+
+/// The solved steady state of a flat graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SteadyState {
+    reps: Vec<u32>,
+    init: Vec<u32>,
+    init_order: Vec<NodeId>,
+    firing_order: Vec<NodeId>,
+}
+
+impl SteadyState {
+    /// The primitive repetition vector, indexed by [`NodeId`].
+    #[must_use]
+    pub fn repetitions(&self) -> &[u32] {
+        &self.reps
+    }
+
+    /// Steady-state firing count of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn reps(&self, node: NodeId) -> u32 {
+        self.reps[node.0 as usize]
+    }
+
+    /// Initialization firing counts (all zero for non-peeking graphs).
+    #[must_use]
+    pub fn init_repetitions(&self) -> &[u32] {
+        &self.init
+    }
+
+    /// A valid firing sequence for the initialization phase.
+    #[must_use]
+    pub fn init_order(&self) -> &[NodeId] {
+        &self.init_order
+    }
+
+    /// A valid minimum-latency firing sequence for one steady-state
+    /// iteration (each node appears `k_v` times), starting from the
+    /// post-initialization channel state.
+    #[must_use]
+    pub fn firing_order(&self) -> &[NodeId] {
+        &self.firing_order
+    }
+
+    /// Tokens consumed from the external input per steady-state iteration.
+    #[must_use]
+    pub fn input_tokens_per_iteration(&self, graph: &FlatGraph) -> u64 {
+        graph.input().map_or(0, |n| {
+            u64::from(self.reps(n)) * u64::from(graph.node(n).work.pop_rate(0))
+        })
+    }
+
+    /// Tokens consumed from the external input by the initialization phase.
+    #[must_use]
+    pub fn input_tokens_for_init(&self, graph: &FlatGraph) -> u64 {
+        graph.input().map_or(0, |n| {
+            u64::from(self.init[n.0 as usize]) * u64::from(graph.node(n).work.pop_rate(0))
+        })
+    }
+
+    /// Tokens produced on the external output per steady-state iteration.
+    #[must_use]
+    pub fn output_tokens_per_iteration(&self, graph: &FlatGraph) -> u64 {
+        graph.output().map_or(0, |n| {
+            u64::from(self.reps(n)) * u64::from(graph.node(n).work.push_rate(0))
+        })
+    }
+
+    /// Tokens crossing channel `e` per steady-state iteration
+    /// (`k_u × O_uv`, equivalently `k_v × I_uv`).
+    #[must_use]
+    pub fn edge_tokens_per_iteration(&self, graph: &FlatGraph, e: EdgeId) -> u64 {
+        let edge = graph.edge(e);
+        u64::from(self.reps(edge.src)) * u64::from(graph.push_rate(e))
+    }
+
+    /// Slack tokens resident on channel `e` while the steady state cycles:
+    /// the channel's initial tokens plus whatever the init phase deposited.
+    #[must_use]
+    pub fn edge_resident_tokens(&self, graph: &FlatGraph, e: EdgeId) -> u64 {
+        let edge = graph.edge(e);
+        let produced = edge.initial.len() as u64
+            + u64::from(self.init[edge.src.0 as usize]) * u64::from(graph.push_rate(e));
+        let consumed = u64::from(self.init[edge.dst.0 as usize]) * u64::from(graph.pop_rate(e));
+        produced - consumed
+    }
+}
+
+/// Solves the balance equations, computes the initialization schedule, and
+/// verifies one steady iteration can execute.
+///
+/// # Errors
+///
+/// * [`Error::InconsistentRates`] if the balance equations conflict.
+/// * [`Error::Deadlock`] if no schedule exists with the given initial
+///   tokens (e.g. a feedback loop primed with too few tokens).
+/// * [`Error::InvalidGraph`] if the graph is disconnected.
+pub fn solve(graph: &FlatGraph) -> Result<SteadyState> {
+    let reps = repetition_vector(graph)?;
+    let init = init_vector(graph, &reps)?;
+    let mut tokens: Vec<u64> = graph.edges().iter().map(|e| e.initial.len() as u64).collect();
+    let init_order = greedy_order(graph, &init, &mut tokens)?;
+    let firing_order = greedy_order(graph, &reps, &mut tokens)?;
+    Ok(SteadyState {
+        reps,
+        init,
+        init_order,
+        firing_order,
+    })
+}
+
+/// Solves the balance equations alone.
+///
+/// # Errors
+///
+/// As for [`solve`], minus the deadlock check.
+pub fn repetition_vector(graph: &FlatGraph) -> Result<Vec<u32>> {
+    let n = graph.len();
+    assert!(n > 0, "cannot solve an empty graph");
+    let mut rates: Vec<Option<Rational>> = vec![None; n];
+    rates[0] = Some(Rational::ONE);
+    // Propagate firing-ratio constraints along channels (both directions).
+    let mut stack = vec![NodeId(0)];
+    while let Some(u) = stack.pop() {
+        let ru = rates[u.0 as usize].expect("visited nodes have rates");
+        for (i, e) in graph.edges().iter().enumerate() {
+            let eid = EdgeId(i as u32);
+            let (other, ratio) = if e.src == u {
+                // k_src * push == k_dst * pop  =>  k_dst = k_src * push/pop
+                (
+                    e.dst,
+                    Rational::from(graph.push_rate(eid)) / Rational::from(graph.pop_rate(eid)),
+                )
+            } else if e.dst == u {
+                (
+                    e.src,
+                    Rational::from(graph.pop_rate(eid)) / Rational::from(graph.push_rate(eid)),
+                )
+            } else {
+                continue;
+            };
+            let expected = ru * ratio;
+            match rates[other.0 as usize] {
+                None => {
+                    rates[other.0 as usize] = Some(expected);
+                    stack.push(other);
+                }
+                Some(existing) if existing != expected => {
+                    return Err(Error::InconsistentRates {
+                        channel: format!(
+                            "{} -> {}",
+                            graph.node(e.src).name,
+                            graph.node(e.dst).name
+                        ),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    if rates.iter().any(Option::is_none) {
+        return Err(Error::InvalidGraph("stream graph is disconnected".into()));
+    }
+    let rates: Vec<Rational> = rates.into_iter().map(|r| r.expect("checked")).collect();
+
+    // Scale to the smallest positive integer vector.
+    let denom_lcm = lcm_all(rates.iter().map(|r| r.denom().unsigned_abs()));
+    let scaled: Vec<u128> = rates
+        .iter()
+        .map(|r| {
+            let v = *r * Rational::from_integer(denom_lcm as i128);
+            let v = v.to_integer().expect("lcm clears denominators");
+            assert!(v > 0, "repetition rates are positive by construction");
+            v as u128
+        })
+        .collect();
+    let g = scaled.iter().copied().fold(0u128, gcd);
+    Ok(scaled
+        .iter()
+        .map(|&v| u32::try_from(v / g).expect("repetition count fits in u32"))
+        .collect())
+}
+
+/// Least fixpoint of the init inequalities, by round-robin relaxation.
+/// Divergence (init counts exceeding a generous bound) indicates an
+/// under-primed feedback loop and is reported as deadlock.
+fn init_vector(graph: &FlatGraph, reps: &[u32]) -> Result<Vec<u32>> {
+    let n = graph.len();
+    let mut init = vec![0u64; n];
+    // A loose certificate bound: no sound init schedule needs more firings
+    // of a node than `reps * (edges + 1)` — beyond that the relaxation is
+    // chasing an unsatisfiable cycle.
+    let bound: Vec<u64> = reps
+        .iter()
+        .map(|&r| u64::from(r) * (graph.edges().len() as u64 + 2))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (i, e) in graph.edges().iter().enumerate() {
+            let eid = EdgeId(i as u32);
+            let push = u64::from(graph.push_rate(eid));
+            let pop = u64::from(graph.pop_rate(eid));
+            let peek = u64::from(graph.peek_rate(eid));
+            let slack_needed = peek - pop;
+            let have = e.initial.len() as u64;
+            // m + init_u*push >= init_v*pop + slack
+            let rhs = init[e.dst.0 as usize] * pop + slack_needed;
+            let needed = rhs.saturating_sub(have).div_ceil(push);
+            let u = e.src.0 as usize;
+            if init[u] < needed {
+                if needed > bound[u] {
+                    return Err(Error::Deadlock {
+                        stalled: vec![format!(
+                            "{} (initialization diverges)",
+                            graph.node(e.src).name
+                        )],
+                    });
+                }
+                init[u] = needed;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(init
+        .into_iter()
+        .map(|v| u32::try_from(v).expect("init count fits in u32"))
+        .collect())
+}
+
+/// Greedy simulation that fires each node `target` times starting from
+/// `tokens`, returning a valid order and leaving `tokens` at the final
+/// state. Diagnoses deadlock when stuck.
+fn greedy_order(graph: &FlatGraph, target: &[u32], tokens: &mut [u64]) -> Result<Vec<NodeId>> {
+    let mut remaining: Vec<u32> = target.to_vec();
+    let total: u64 = target.iter().map(|&r| u64::from(r)).sum();
+    let mut order = Vec::with_capacity(total as usize);
+
+    let in_edges: Vec<Vec<EdgeId>> = (0..graph.len())
+        .map(|i| graph.in_edges(NodeId(i as u32)))
+        .collect();
+    let out_edges: Vec<Vec<EdgeId>> = (0..graph.len())
+        .map(|i| graph.out_edges(NodeId(i as u32)))
+        .collect();
+
+    let fireable = |node: usize, tokens: &[u64]| {
+        in_edges[node]
+            .iter()
+            .all(|&e| tokens[e.0 as usize] >= u64::from(graph.peek_rate(e)))
+    };
+
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for node in 0..graph.len() {
+            while remaining[node] > 0 && fireable(node, tokens) {
+                remaining[node] -= 1;
+                for &e in &in_edges[node] {
+                    tokens[e.0 as usize] -= u64::from(graph.pop_rate(e));
+                }
+                for &e in &out_edges[node] {
+                    tokens[e.0 as usize] += u64::from(graph.push_rate(e));
+                }
+                order.push(NodeId(node as u32));
+                progress = true;
+            }
+        }
+    }
+    if remaining.iter().any(|&r| r > 0) {
+        let stalled = remaining
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r > 0)
+            .map(|(i, &r)| format!("{}:{r}", graph.node(NodeId(i as u32)).name))
+            .collect();
+        return Err(Error::Deadlock { stalled });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{FeedbackLoopSpec, FilterSpec, SplitterKind, StreamSpec};
+    use crate::ir::{identity, ElemTy, Expr, FnBuilder, Scalar};
+
+    /// pop `p`, push `q` filter.
+    fn rate_filter(name: &str, p: u32, q: u32) -> StreamSpec {
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let x = f.local(ElemTy::I32);
+        for _ in 0..p {
+            f.pop_into(0, x);
+        }
+        for _ in 0..q {
+            f.push(0, Expr::local(x));
+        }
+        StreamSpec::filter(FilterSpec::new(name, f.build().unwrap()))
+    }
+
+    #[test]
+    fn paper_figure_4_rates() {
+        // Filter A pushes 2, filter B pops 3 => k = [3, 2].
+        let g = StreamSpec::pipeline(vec![rate_filter("A", 1, 2), rate_filter("B", 3, 1)])
+            .flatten()
+            .unwrap();
+        let s = solve(&g).unwrap();
+        assert_eq!(s.repetitions(), &[3, 2]);
+        assert_eq!(s.input_tokens_per_iteration(&g), 3);
+        assert_eq!(s.output_tokens_per_iteration(&g), 2);
+        assert_eq!(s.edge_tokens_per_iteration(&g, EdgeId(0)), 6);
+        assert_eq!(s.init_repetitions(), &[0, 0]);
+    }
+
+    #[test]
+    fn identity_pipeline_all_ones() {
+        let id = |n: &str| StreamSpec::filter(FilterSpec::new(n, identity(ElemTy::I32)));
+        let g = StreamSpec::pipeline(vec![id("a"), id("b"), id("c")])
+            .flatten()
+            .unwrap();
+        let s = solve(&g).unwrap();
+        assert_eq!(s.repetitions(), &[1, 1, 1]);
+        assert_eq!(s.firing_order().len(), 3);
+        assert!(s.init_order().is_empty());
+    }
+
+    #[test]
+    fn split_join_rates_balance() {
+        // RR(1,1) split into a 1->2 expander and an identity, joined (2,1).
+        let g = StreamSpec::split_join(
+            SplitterKind::RoundRobin(vec![1, 1]),
+            vec![rate_filter("up", 1, 2), rate_filter("id", 1, 1)],
+            vec![2, 1],
+        )
+        .flatten()
+        .unwrap();
+        let s = solve(&g).unwrap();
+        for (i, node) in g.nodes().iter().enumerate() {
+            assert_eq!(s.repetitions()[i], 1, "node {}", node.name);
+        }
+    }
+
+    #[test]
+    fn primitive_vector_has_gcd_one() {
+        let g = StreamSpec::pipeline(vec![rate_filter("a", 2, 4), rate_filter("b", 2, 2)])
+            .flatten()
+            .unwrap();
+        let s = solve(&g).unwrap();
+        // Balance: k_a * 4 == k_b * 2 -> k = [1, 2].
+        assert_eq!(s.repetitions(), &[1, 2]);
+    }
+
+    #[test]
+    fn inconsistent_rates_detected() {
+        // Duplicate splitter to two branches with different expansion, equal
+        // joiner weights -> inconsistent.
+        let g = StreamSpec::split_join(
+            SplitterKind::Duplicate,
+            vec![rate_filter("x1", 1, 1), rate_filter("x2", 1, 2)],
+            vec![1, 1],
+        )
+        .flatten()
+        .unwrap();
+        let e = solve(&g).unwrap_err();
+        assert!(matches!(e, Error::InconsistentRates { .. }));
+    }
+
+    #[test]
+    fn feedback_loop_with_enough_tokens_schedules() {
+        let fl = StreamSpec::feedback_loop(FeedbackLoopSpec {
+            joiner: [1, 1],
+            body: Box::new(rate_filter("body", 1, 1)),
+            splitter: SplitterKind::RoundRobin(vec![1, 1]),
+            feedback: None,
+            initial: vec![Scalar::I32(0)],
+        });
+        let g = fl.flatten().unwrap();
+        let s = solve(&g).unwrap();
+        assert!(s.firing_order().len() as u64 >= 3);
+    }
+
+    #[test]
+    fn feedback_loop_without_tokens_deadlocks() {
+        let fl = StreamSpec::feedback_loop(FeedbackLoopSpec {
+            joiner: [1, 1],
+            body: Box::new(rate_filter("body", 1, 1)),
+            splitter: SplitterKind::RoundRobin(vec![1, 1]),
+            feedback: None,
+            initial: vec![],
+        });
+        let g = fl.flatten().unwrap();
+        let e = solve(&g).unwrap_err();
+        assert!(matches!(e, Error::Deadlock { .. }));
+    }
+
+    #[test]
+    fn peeking_gets_an_init_schedule() {
+        // A peeking consumer (peek 3, pop 1) after a 1->1 producer: the init
+        // phase fires the producer twice to deposit the 2-token slack.
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        f.push(0, Expr::peek(0, Expr::i32(2)));
+        f.pop(0);
+        let peeker = StreamSpec::filter(FilterSpec::new("peek3", f.build().unwrap()));
+        let g = StreamSpec::pipeline(vec![rate_filter("src", 1, 1), peeker])
+            .flatten()
+            .unwrap();
+        let s = solve(&g).unwrap();
+        assert_eq!(s.repetitions(), &[1, 1]);
+        assert_eq!(s.init_repetitions(), &[2, 0]);
+        assert_eq!(s.init_order().len(), 2);
+        assert_eq!(s.edge_resident_tokens(&g, EdgeId(0)), 2);
+        assert_eq!(s.input_tokens_for_init(&g), 2);
+    }
+
+    #[test]
+    fn init_slack_propagates_upstream() {
+        // Two peeking stages in a row: the first stage's init firings force
+        // extra firings of the source too.
+        let peeker = |name: &str| {
+            let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+            f.push(0, Expr::peek(0, Expr::i32(1)));
+            f.pop(0);
+            StreamSpec::filter(FilterSpec::new(name, f.build().unwrap()))
+        };
+        let g = StreamSpec::pipeline(vec![rate_filter("src", 1, 1), peeker("p1"), peeker("p2")])
+            .flatten()
+            .unwrap();
+        let s = solve(&g).unwrap();
+        assert_eq!(s.init_repetitions(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn firing_order_is_a_valid_schedule() {
+        let g = StreamSpec::pipeline(vec![rate_filter("A", 1, 2), rate_filter("B", 3, 1)])
+            .flatten()
+            .unwrap();
+        let s = solve(&g).unwrap();
+        // Replay the order and check the firing rule at every step.
+        let mut tokens = vec![0u64; g.edges().len()];
+        for &node in s.firing_order() {
+            for e in g.in_edges(node) {
+                assert!(tokens[e.0 as usize] >= u64::from(g.peek_rate(e)));
+                tokens[e.0 as usize] -= u64::from(g.pop_rate(e));
+            }
+            for e in g.out_edges(node) {
+                tokens[e.0 as usize] += u64::from(g.push_rate(e));
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! DES on the simulated GPU: compile the 51-filter DES stream graph,
+//! encrypt a message under the classic FIPS-46 test key, verify every
+//! block against an independent reference implementation, and report the
+//! modeled throughput of the software-pipelined schedule.
+//!
+//! Run with: `cargo run --release --example des_encrypt`
+
+use streambench::des;
+use streamir::ir::Scalar;
+use swpipe::exec::{self, CompileOptions, Scheme};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = des::spec().flatten()?;
+    println!("DES stream graph: {} filters in a pure pipeline", graph.len());
+
+    let compiled = exec::compile(&graph, &CompileOptions::small_test())?;
+    println!(
+        "compiled: II = {}, {} pipeline stages, {} threads/block",
+        compiled.schedule.ii,
+        compiled.schedule.max_stage() + 1,
+        compiled.exec_cfg.threads_per_block,
+    );
+
+    // One steady iteration encrypts `threads` blocks in parallel; run 8.
+    let iterations = 8;
+    let n_input = exec::required_input(&compiled, iterations);
+    let message: Vec<Scalar> = (0..n_input)
+        .map(|i| Scalar::I32((0x0123_4567u32.wrapping_mul(i as u32 + 1) ^ 0x89AB) as i32))
+        .collect();
+
+    let run = exec::execute(&compiled, Scheme::Swp { coarsening: 4 }, iterations, &message)?;
+
+    // Verify every ciphertext block against the independent reference.
+    let plain: Vec<i32> = message.iter().map(|s| s.as_i32()).collect();
+    let expect = des::reference(&plain[..run.outputs.len()]);
+    let got: Vec<i32> = run.outputs.iter().map(|s| s.as_i32()).collect();
+    assert_eq!(got, expect, "GPU ciphertext must match the reference DES");
+
+    let blocks = run.outputs.len() / 2;
+    println!(
+        "encrypted {blocks} blocks ({} bytes) — all verified against the reference",
+        blocks * 8
+    );
+    println!(
+        "modeled device time {:.3e}s  ({:.1} MB/s at the modeled clock)",
+        run.time_secs,
+        blocks as f64 * 8.0 / run.time_secs / 1e6
+    );
+    println!(
+        "classic test vector: E(0x0123456789ABCDEF) = {:#018X}",
+        des::encrypt_block(0x0123_4567_89AB_CDEF)
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! The profiling and configuration-selection phases in isolation
+//! (Figures 6 and 7 of the paper): profile every filter of the FM radio
+//! over the register × thread grid, print the measured table, and show
+//! which execution configuration Algorithm 7 picks and why.
+//!
+//! Run with: `cargo run --release --example profiling`
+
+use gpusim::{DeviceConfig, TimingModel};
+use streamir::graph::NodeId;
+use swpipe::{config, profile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = streambench::fmradio::spec().flatten()?;
+    println!(
+        "FMRadio: {} nodes, {} peeking filters",
+        graph.len(),
+        graph.peeking_filter_count()
+    );
+
+    let opts = profile::ProfileOptions {
+        reg_limits: vec![16, 32],
+        thread_counts: vec![64, 128, 256],
+        ..profile::ProfileOptions::paper()
+    };
+    let device = DeviceConfig::gts512();
+    let table = profile::profile(&graph, &opts, &device, &TimingModel::gts512())?;
+
+    // Print the grid for a few representative filters.
+    println!("\nper-instance cycles (x = infeasible: register file exhausted):");
+    print!("{:>14}", "filter");
+    for &r in &table.reg_limits {
+        for &t in &table.thread_counts {
+            print!("{:>12}", format!("r{r}/t{t}"));
+        }
+    }
+    println!();
+    for (i, node) in graph.nodes().iter().enumerate().take(6) {
+        print!("{:>14}", node.name);
+        for ri in 0..table.reg_limits.len() {
+            for ti in 0..table.thread_counts.len() {
+                match table.cycles(NodeId(i as u32), ri, ti) {
+                    Some(c) => print!("{:>12.0}", c),
+                    None => print!("{:>12}", "x"),
+                }
+            }
+        }
+        println!();
+    }
+
+    // Algorithm 7: pick the work-normalised best pair.
+    let sel = config::select(&graph, &table)?;
+    println!("\ncandidate (regs, numThreads) pairs and normalised II:");
+    for ((r, t), norm) in &sel.candidates {
+        match norm {
+            Some(v) => println!("  ({r:>2}, {t:>3}) -> {v:.3}"),
+            None => println!("  ({r:>2}, {t:>3}) -> infeasible"),
+        }
+    }
+    println!(
+        "\nselected: {} registers/thread, {} threads/block (normalised II {:.3})",
+        sel.exec.regs_per_thread, sel.exec.threads_per_block, sel.normalized_ii
+    );
+    let histogram = {
+        let mut counts = std::collections::BTreeMap::new();
+        for &t in &sel.exec.threads {
+            *counts.entry(t).or_insert(0u32) += 1;
+        }
+        counts
+    };
+    println!("per-filter thread choices: {histogram:?}");
+    Ok(())
+}

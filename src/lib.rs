@@ -1,0 +1,15 @@
+//! Facade crate re-exporting the whole stream-gpu workspace.
+//!
+//! See the individual crates for details:
+//! - [`streamir`]: stream-graph IR, SDF solving, CPU execution
+//! - [`gpusim`]: the simulated GeForce-8800-class GPU
+//! - [`ilp`]: the MILP solver
+//! - [`swpipe`]: the software-pipelining compiler (the paper's contribution)
+//! - [`streambench`]: the eight StreamIt benchmarks
+
+pub use gpusim;
+pub use ilp;
+pub use numeric;
+pub use streambench;
+pub use streamir;
+pub use swpipe;

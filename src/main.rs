@@ -1,0 +1,202 @@
+//! The `stream-gpu` command-line driver: inspect, compile, and run the
+//! benchmark suite's stream programs on the simulated GPU.
+//!
+//! ```text
+//! stream-gpu list                     # the benchmark suite (Table I)
+//! stream-gpu dot <name>               # Graphviz DOT of the flattened graph
+//! stream-gpu ir <name> <filter>       # pretty-printed kernel IR of one filter
+//! stream-gpu compile <name>           # schedule + buffer plan + config report
+//! stream-gpu run <name> [iterations]  # execute on the simulated GPU vs CPU
+//! ```
+
+use streamir::cpu::{self, CpuCostModel};
+use swpipe::exec::{self, CompileOptions, Scheme};
+use swpipe::plan::{self, LayoutKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("dot") => with_benchmark(&args, 2, |b| cmd_dot(b)),
+        Some("ir") => cmd_ir(&args),
+        Some("compile") => with_benchmark(&args, 2, |b| cmd_compile(b)),
+        Some("run") => with_benchmark(&args, 2, |b| cmd_run(b, &args)),
+        _ => {
+            eprint!("{}", USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "\
+stream-gpu — software pipelined execution of stream programs on a simulated GPU
+
+USAGE:
+    stream-gpu list                     list the benchmark suite (Table I)
+    stream-gpu dot <name>               Graphviz DOT of the flattened graph
+    stream-gpu ir <name> <filter>       pretty-print one filter's kernel IR
+    stream-gpu compile <name>           schedule, buffer plan, configuration
+    stream-gpu run <name> [iterations]  execute on the simulated GPU (default 8)
+";
+
+fn with_benchmark(
+    args: &[String],
+    need: usize,
+    f: impl FnOnce(&streambench::Benchmark) -> i32,
+) -> i32 {
+    if args.len() < need {
+        eprint!("{}", USAGE);
+        return 2;
+    }
+    match streambench::by_name(&args[1]) {
+        Some(b) => f(&b),
+        None => {
+            eprintln!(
+                "error: unknown benchmark {:?} (try `stream-gpu list`)",
+                args[1]
+            );
+            2
+        }
+    }
+}
+
+fn cmd_list() -> i32 {
+    println!("{:<12} {:>6} {:>8}  description", "name", "nodes", "peeking");
+    for b in streambench::suite() {
+        let g = b.spec.flatten().expect("suite graphs flatten");
+        println!(
+            "{:<12} {:>6} {:>8}  {}",
+            b.name,
+            g.len(),
+            g.peeking_filter_count(),
+            b.description
+        );
+    }
+    0
+}
+
+fn cmd_dot(b: &streambench::Benchmark) -> i32 {
+    match b.spec.flatten() {
+        Ok(g) => {
+            print!("{}", g.to_dot(&b.name.to_lowercase()));
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_ir(args: &[String]) -> i32 {
+    if args.len() < 3 {
+        eprint!("{}", USAGE);
+        return 2;
+    }
+    with_benchmark(args, 3, |b| {
+        let g = b.spec.flatten().expect("flattens");
+        let wanted = &args[2];
+        match g.nodes().iter().find(|n| &n.name == wanted) {
+            Some(node) => {
+                println!("// {} :: {}", b.name, node.name);
+                print!("{}", node.work.to_pretty());
+                0
+            }
+            None => {
+                eprintln!("error: no filter named {wanted:?} in {}; nodes are:", b.name);
+                for n in g.nodes() {
+                    eprintln!("  {}", n.name);
+                }
+                2
+            }
+        }
+    })
+}
+
+fn compile(b: &streambench::Benchmark) -> Result<exec::Compiled, swpipe::Error> {
+    let graph = b.spec.flatten().map_err(swpipe::Error::Stream)?;
+    exec::compile(&graph, &CompileOptions::small_test())
+}
+
+fn cmd_compile(b: &streambench::Benchmark) -> i32 {
+    match compile(b) {
+        Ok(c) => {
+            println!("{}", swpipe::report::config_summary(&c));
+            println!();
+            print!("{}", swpipe::report::schedule_table(&c));
+            println!();
+            let p = plan::plan(&c.graph, &c.ig, Some(&c.schedule), 8, LayoutKind::Optimized);
+            print!("{}", swpipe::report::buffer_table(&c, &p));
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_run(b: &streambench::Benchmark, args: &[String]) -> i32 {
+    let iters: u64 = match args.get(2).map(|s| s.parse()) {
+        None => 8,
+        Some(Ok(n)) if n > 0 => n,
+        Some(_) => {
+            eprintln!("error: iterations must be a positive integer");
+            return 2;
+        }
+    };
+    let c = match compile(b) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    // Size the input to cover both the GPU run and the CPU reference
+    // (whose primitive iteration may be large).
+    let steady = streamir::sdf::solve(&c.graph).expect("steady state");
+    let per = steady.input_tokens_per_iteration(&c.graph).max(1);
+    let n_input = exec::required_input(&c, iters);
+    let input = (b.input)((n_input + 2 * per + 64) as usize);
+    let run = match exec::execute(&c, Scheme::Swp { coarsening: 1 }, iters, &input[..n_input as usize]) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+
+    // Always check against the CPU reference.
+    let cpu_iters = n_input.div_ceil(per) + 1;
+    let cpu = cpu::run(&c.graph, &steady, cpu_iters, &input, &CpuCostModel::default())
+        .expect("cpu reference runs");
+    let n = run.outputs.len().min(cpu.outputs.len());
+    if run.outputs[..n] != cpu.outputs[..n] {
+        eprintln!("MISMATCH: GPU output diverges from the CPU reference");
+        return 1;
+    }
+
+    println!(
+        "{}: {} steady iterations, {} output tokens (bit-exact vs CPU reference)",
+        b.name,
+        iters,
+        run.outputs.len()
+    );
+    println!(
+        "modeled time {:.3e}s over {} launches; {} device transactions \
+         ({:.2} per access)",
+        run.time_secs,
+        run.launches,
+        run.stats.mem_transactions,
+        run.stats.transactions_per_access().unwrap_or(0.0)
+    );
+    let first: Vec<String> = run
+        .outputs
+        .iter()
+        .take(8)
+        .map(ToString::to_string)
+        .collect();
+    println!("first outputs: [{}]", first.join(", "));
+    0
+}

@@ -1,0 +1,245 @@
+//! Property-based tests spanning the workspace: random stream programs
+//! are generated, flattened, steady-state-solved, scheduled, and executed
+//! on both the CPU reference and the simulated GPU — the fundamental
+//! invariant being that every path preserves the sequential stream
+//! semantics bit-for-bit.
+
+use proptest::prelude::*;
+use streamir::cpu::{self, CpuCostModel};
+use streamir::graph::{FilterSpec, SplitterKind, StreamSpec};
+use streamir::ir::{ElemTy, Expr, FnBuilder, Scalar, Stmt};
+use swpipe::exec::{self, CompileOptions, Scheme};
+use swpipe::instances::{self, ExecConfig};
+use swpipe::schedule::{self, SchedulerKind, SearchOptions};
+
+/// A random arithmetic map filter with the given pop/push rates.
+fn rate_filter(name: String, pop: u32, push: u32, seed: i32) -> StreamSpec {
+    let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+    let acc = f.local(ElemTy::I32);
+    let x = f.local(ElemTy::I32);
+    f.assign(acc, Expr::i32(seed));
+    f.for_loop(0, pop as i32, |_, _| {
+        vec![
+            Stmt::Pop {
+                port: 0,
+                dst: Some(x),
+            },
+            Stmt::Assign(
+                acc,
+                Expr::local(acc)
+                    .mul(Expr::i32(3))
+                    .add(Expr::local(x)),
+            ),
+        ]
+    });
+    f.for_loop(0, push as i32, |_, j| {
+        vec![Stmt::Push {
+            port: 0,
+            value: Expr::local(acc).add(Expr::local(j).mul(Expr::i32(seed | 1))),
+        }]
+    });
+    StreamSpec::filter(FilterSpec::new(name, f.build().expect("valid")))
+}
+
+/// Strategy: a random pipeline / split-join composition, depth <= 2.
+fn stream_strategy() -> impl Strategy<Value = StreamSpec> {
+    let leaf = (1u32..4, 1u32..4, -3i32..4).prop_map(|(pop, push, seed)| {
+        rate_filter(format!("f{pop}_{push}_{seed}"), pop, push, seed)
+    });
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(StreamSpec::pipeline),
+            // Branches must share an aggregate push/pop ratio for the
+            // balance equations to be consistent; replicate one branch
+            // shape (the flattener disambiguates filter names).
+            (inner, 2usize..4, 1u32..3).prop_map(|(branch, n, w)| {
+                StreamSpec::split_join(
+                    SplitterKind::round_robin_uniform(n, w),
+                    vec![branch; n],
+                    vec![w; n],
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any well-formed composition flattens, solves, and balances: for
+    /// every channel, producer tokens equal consumer tokens per iteration.
+    #[test]
+    fn steady_state_balances(spec in stream_strategy()) {
+        let g = spec.flatten().expect("flattens");
+        let s = streamir::sdf::solve(&g).expect("solves");
+        for (i, e) in g.edges().iter().enumerate() {
+            let eid = streamir::graph::EdgeId(i as u32);
+            let produced = u64::from(s.reps(e.src)) * u64::from(g.push_rate(eid));
+            let consumed = u64::from(s.reps(e.dst)) * u64::from(g.pop_rate(eid));
+            prop_assert_eq!(produced, consumed);
+        }
+    }
+
+    /// The heuristic scheduler always produces a validator-clean schedule,
+    /// whatever the graph shape.
+    #[test]
+    fn heuristic_schedules_validate(spec in stream_strategy(), sms in 1u32..5) {
+        let g = spec.flatten().expect("flattens");
+        let cfg = ExecConfig::uniform(g.len(), 4, 16, 10);
+        let ig = instances::build(&g, &cfg).expect("builds");
+        let (sched, _) = schedule::find(
+            &ig,
+            &cfg,
+            sms,
+            &SearchOptions { scheduler: SchedulerKind::Heuristic, ..SearchOptions::default() },
+        ).expect("schedules");
+        schedule::validate(&ig, &cfg, &sched, sms, 16).expect("validates");
+    }
+
+    /// CPU executor and GPU simulator agree bit-for-bit on random graphs
+    /// through the full compile-and-execute pipeline.
+    #[test]
+    fn gpu_matches_cpu_on_random_graphs(spec in stream_strategy()) {
+        let g = spec.flatten().expect("flattens");
+        let compiled = match exec::compile(&g, &CompileOptions::small_test()) {
+            Ok(c) => c,
+            Err(e) => return Err(TestCaseError::fail(format!("compile: {e}"))),
+        };
+        let iters = 2u64;
+        let n_input = exec::required_input(&compiled, iters);
+        let steady = streamir::sdf::solve(&g).expect("solves");
+        let per = steady.input_tokens_per_iteration(&g).max(1);
+        let input: Vec<Scalar> = (0..n_input + 2 * per)
+            .map(|i| Scalar::I32((i as i32).wrapping_mul(7) % 1000 - 500))
+            .collect();
+        let gpu = exec::execute(&compiled, Scheme::Swp { coarsening: 1 }, iters,
+                                &input[..n_input as usize]).expect("executes");
+        let cpu_iters = (n_input.saturating_sub(steady.input_tokens_for_init(&g)))
+            .div_ceil(per) + 1;
+        let cpu = cpu::run(&g, &steady, cpu_iters, &input, &CpuCostModel::default())
+            .expect("cpu runs");
+        prop_assert!(gpu.outputs.len() <= cpu.outputs.len());
+        prop_assert_eq!(&gpu.outputs[..], &cpu.outputs[..gpu.outputs.len()]);
+    }
+
+    /// The GPU's warp-synchronous evaluator agrees bit-for-bit with the
+    /// reference interpreter on randomly generated work functions (random
+    /// expression shapes, loops, divergent branches).
+    #[test]
+    fn warp_interpreter_matches_reference(
+        seed in 0i32..1000,
+        pop in 1u32..5,
+        push in 1u32..5,
+        taps in 0i32..6,
+    ) {
+        use gpusim::{BlockWork, BufferBinding, DeviceConfig, Gpu, InstanceExec,
+                     Launch, Layout};
+        use streamir::ir::interp::{self, VecChannels};
+        use streamir::ir::OpCensus;
+
+        // A filter mixing arithmetic, a peeking loop, and a divergent branch.
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let acc = f.local(ElemTy::I32);
+        let x = f.local(ElemTy::I32);
+        f.assign(acc, Expr::i32(seed));
+        f.for_loop(0, taps, |_, j| {
+            vec![Stmt::Assign(
+                acc,
+                Expr::local(acc)
+                    .mul(Expr::i32(5))
+                    .add(Expr::peek(0, Expr::local(j).rem(Expr::i32(pop as i32)))),
+            )]
+        });
+        f.for_loop(0, pop as i32, |_, _| {
+            vec![
+                Stmt::Pop { port: 0, dst: Some(x) },
+                Stmt::Assign(acc, Expr::local(acc).bitxor(Expr::local(x))),
+            ]
+        });
+        f.if_else(
+            Expr::local(acc).rem(Expr::i32(2)).eq(Expr::i32(0)),
+            vec![Stmt::Assign(acc, Expr::local(acc).shr(Expr::i32(1)))],
+            vec![Stmt::Assign(acc, Expr::local(acc).mul(Expr::i32(3)).add(Expr::i32(1)))],
+        );
+        f.for_loop(0, push as i32, |_, j| {
+            vec![Stmt::Push {
+                port: 0,
+                value: Expr::local(acc).add(Expr::local(j)),
+            }]
+        });
+        let wf = f.build().expect("valid");
+
+        let threads = 32u32;
+        let in_tokens = threads * pop;
+        let out_tokens = threads * push;
+        let inputs: Vec<Scalar> = (0..in_tokens)
+            .map(|i| Scalar::I32((i as i32).wrapping_mul(2654435761u32 as i32) >> 8))
+            .collect();
+
+        // Reference: thread t consumes [t*pop, (t+1)*pop).
+        let mut expect = Vec::new();
+        for t in 0..threads {
+            let window = inputs[(t * pop) as usize..((t + 1) * pop) as usize].to_vec();
+            let mut ch = VecChannels::new(vec![window], 1);
+            let mut counts = OpCensus::default();
+            interp::execute(&wf, &mut ch, &mut counts).expect("reference runs");
+            expect.extend(ch.outputs[0].clone());
+        }
+
+        // GPU: one warp over a sequential buffer.
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        let inp = gpu.alloc_tokens(in_tokens);
+        let out = gpu.alloc_tokens(out_tokens);
+        for (i, &v) in inputs.iter().enumerate() {
+            gpu.memory_mut().write_token(inp + i as u32, v);
+        }
+        let launch = Launch {
+            threads_per_block: threads,
+            regs_per_thread: 32,
+            blocks: vec![BlockWork {
+                items: vec![InstanceExec {
+                    work: &wf,
+                    active_threads: threads,
+                    inputs: vec![BufferBinding::whole(inp, in_tokens, ElemTy::I32, Layout::Sequential, pop)],
+                    outputs: vec![BufferBinding::whole(out, out_tokens, ElemTy::I32, Layout::Sequential, push)],
+                    shared_staging: false,
+                    state_base: None,
+                    label: None,
+                }],
+            }],
+        };
+        gpu.run(&launch).expect("gpu runs");
+        for (i, &e) in expect.iter().enumerate() {
+            let got = gpu.memory().read_token(out + i as u32, ElemTy::I32);
+            prop_assert_eq!(got, e, "token {}", i);
+        }
+    }
+
+    /// Buffer bindings are bijective: over one region, every (lane, token)
+    /// pair of the consumer maps to a distinct in-range address.
+    #[test]
+    fn transposed_binding_is_injective(
+        rate in 1u32..9,
+        firings in 1u64..40,
+    ) {
+        use gpusim::{BufferBinding, Layout};
+        let region = u64::from(rate) * firings;
+        let b = BufferBinding {
+            base_word: 0,
+            region_tokens: region,
+            regions: 1,
+            layout: Layout::Transposed { group: 16 },
+            consumer_rate: rate,
+            endpoint_rate: rate,
+            abs_start: 0,
+        };
+        let mut seen = std::collections::HashSet::new();
+        for lane in 0..firings as u32 {
+            for n in 0..u64::from(rate) {
+                let a = b.addr(lane, n);
+                prop_assert!(a < region, "addr {a} outside region {region}");
+                prop_assert!(seen.insert(a), "duplicate address {a}");
+            }
+        }
+    }
+}
