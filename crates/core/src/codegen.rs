@@ -63,10 +63,15 @@ impl IoBuffer {
         }
     }
 
-    /// Device word address of stream token `i`.
+    /// Device word address of stream token `i`. Indices past the buffer
+    /// wrap into it, mirroring [`BufferBinding::addr`]: scaled
+    /// measurement allocates only the simulated window, and far-future
+    /// tokens alias early slots harmlessly (their values are never
+    /// observed).
     #[must_use]
     pub fn slot_addr(&self, i: u64) -> u32 {
-        self.base_word + self.layout.slot(i, self.rate.max(1), self.tokens.max(1)) as u32
+        let region = self.tokens.max(1);
+        self.base_word + self.layout.slot(i % region, self.rate.max(1), region) as u32
     }
 }
 
@@ -89,14 +94,23 @@ pub fn allocate(
         let words = u32::try_from(words).map_err(|_| {
             Error::Api(format!("channel buffer of {words} words exceeds device size"))
         })?;
-        edge_base.push(gpu.try_alloc_tokens(words)?);
+        edge_base.push(
+            gpu.try_alloc_tokens(words)
+                .map_err(|e| Error::sim_while(e, "allocating channel buffers"))?,
+        );
     }
 
     let mut state_base = Vec::with_capacity(graph.len());
     for node in graph.nodes() {
         if node.work.is_stateful() {
             state_base.push(Some(
-                gpu.try_alloc_tokens(node.work.states().len().max(1) as u32)?,
+                gpu.try_alloc_tokens(node.work.states().len().max(1) as u32)
+                    .map_err(|e| {
+                        Error::sim_while(
+                            e,
+                            format!("allocating state buffer for filter '{}'", node.name),
+                        )
+                    })?,
             ));
         } else {
             state_base.push(None);

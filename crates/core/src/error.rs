@@ -9,8 +9,17 @@ pub enum Error {
     /// A front-end (stream IR) error: invalid graph, inconsistent rates,
     /// deadlock, execution trap.
     Stream(streamir::Error),
-    /// A simulator error: infeasible launch, device trap.
-    Sim(gpusim::SimError),
+    /// A simulator error: infeasible launch, device fault, watchdog trip.
+    #[non_exhaustive]
+    Sim {
+        /// The underlying simulator error.
+        source: gpusim::SimError,
+        /// What the compiler or executor was doing when the error was
+        /// raised — the filter being profiled, the steady-state iteration
+        /// being relaunched, the buffer being seeded. `None` when the
+        /// error crossed the boundary without an enclosing activity.
+        context: Option<String>,
+    },
     /// No execution configuration in the profiling grid is feasible for
     /// every filter.
     NoFeasibleConfiguration,
@@ -22,23 +31,93 @@ pub enum Error {
     },
     /// A produced schedule failed independent validation — always a bug,
     /// reported rather than silently accepted.
-    InvalidSchedule(String),
+    #[non_exhaustive]
+    InvalidSchedule {
+        /// The violated constraint, human-readable.
+        message: String,
+        /// The offending instance as `(node, instance index)`, when one
+        /// is identifiable.
+        instance: Option<(u32, u32)>,
+        /// The pipeline stage of the offending instance, when known.
+        stage: Option<u64>,
+    },
     /// Mis-use of the compilation API (e.g. executing before scheduling).
     Api(String),
+}
+
+impl Error {
+    /// An [`Error::InvalidSchedule`] with only a message (no instance is
+    /// identifiable).
+    #[must_use]
+    pub fn invalid_schedule(message: impl Into<String>) -> Error {
+        Error::InvalidSchedule {
+            message: message.into(),
+            instance: None,
+            stage: None,
+        }
+    }
+
+    /// An [`Error::Sim`] annotated with what was happening.
+    #[must_use]
+    pub fn sim_while(source: gpusim::SimError, context: impl Into<String>) -> Error {
+        Error::Sim {
+            source,
+            context: Some(context.into()),
+        }
+    }
+
+    /// Attaches activity context to [`Error::Sim`] (other variants pass
+    /// through unchanged; existing context is kept — the innermost frame
+    /// knows best what was happening).
+    #[must_use]
+    pub fn in_context(self, context: impl Into<String>) -> Error {
+        match self {
+            Error::Sim {
+                source,
+                context: None,
+            } => Error::Sim {
+                source,
+                context: Some(context.into()),
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Stream(e) => write!(f, "stream error: {e}"),
-            Error::Sim(e) => write!(f, "simulator error: {e}"),
+            Error::Sim { source, context } => {
+                write!(f, "simulator error: {source}")?;
+                if let Some(ctx) = context {
+                    write!(f, " (while {ctx})")?;
+                }
+                Ok(())
+            }
             Error::NoFeasibleConfiguration => {
                 f.write_str("no execution configuration is feasible for all filters")
             }
             Error::ScheduleNotFound { last_ii } => {
                 write!(f, "no schedule found up to initiation interval {last_ii}")
             }
-            Error::InvalidSchedule(msg) => write!(f, "schedule failed validation: {msg}"),
+            Error::InvalidSchedule {
+                message,
+                instance,
+                stage,
+            } => {
+                write!(f, "schedule failed validation: {message}")?;
+                if let Some((v, k)) = instance {
+                    write!(f, " [instance ({v},{k})")?;
+                    if let Some(s) = stage {
+                        write!(f, ", stage {s}")?;
+                    }
+                    write!(f, "]")?;
+                } else if let Some(s) = stage {
+                    write!(f, " [stage {s}]")?;
+                }
+                Ok(())
+            }
             Error::Api(msg) => write!(f, "api misuse: {msg}"),
         }
     }
@@ -48,7 +127,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Stream(e) => Some(e),
-            Error::Sim(e) => Some(e),
+            Error::Sim { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -62,6 +141,37 @@ impl From<streamir::Error> for Error {
 
 impl From<gpusim::SimError> for Error {
     fn from(e: gpusim::SimError) -> Self {
-        Error::Sim(e)
+        Error::Sim {
+            source: e,
+            context: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_context_is_displayed_and_preserved() {
+        let e: Error = gpusim::SimError::LaunchFailed { launch: 3 }.into();
+        let e = e.in_context("steady-state iteration 7");
+        assert!(e.to_string().contains("while steady-state iteration 7"));
+        // Innermost context wins: re-wrapping does not overwrite.
+        let e = e.in_context("outer frame");
+        assert!(e.to_string().contains("steady-state iteration 7"));
+        assert!(!e.to_string().contains("outer frame"));
+    }
+
+    #[test]
+    fn invalid_schedule_names_instance_and_stage() {
+        let e = Error::InvalidSchedule {
+            message: "wraps".into(),
+            instance: Some((2, 1)),
+            stage: Some(3),
+        };
+        let text = e.to_string();
+        assert!(text.contains("instance (2,1)"), "{text}");
+        assert!(text.contains("stage 3"), "{text}");
     }
 }

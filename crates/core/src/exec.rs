@@ -13,7 +13,9 @@
 //!   schedule, fully data-parallel within the filter, coalesced layout,
 //!   buffers constrained to a single batch in flight.
 
-use gpusim::{BlockWork, DeviceConfig, Gpu, InstanceExec, Launch, LaunchStats, TimingModel};
+use gpusim::{
+    BlockWork, DeviceConfig, FaultPlan, Gpu, InstanceExec, Launch, LaunchStats, TimingModel,
+};
 use streamir::graph::{FlatGraph, NodeId};
 use streamir::ir::Scalar;
 
@@ -87,13 +89,19 @@ pub struct Compiled {
     pub timing: TimingModel,
 }
 
-/// Compiles a graph end-to-end (Figure 5 of the paper).
-///
-/// # Errors
-///
-/// Any stage can fail: infeasible configuration grid, inconsistent rates,
-/// schedule search exhaustion. Errors carry the failing stage's context.
-pub fn compile(graph: &FlatGraph, opts: &CompileOptions) -> Result<Compiled> {
+/// The front half of the trajectory (profile → select → instance model),
+/// shared between [`compile`] and the resilient pipeline driver
+/// ([`crate::pipeline::ResilientPipeline`]), which tries several
+/// scheduling rungs over the same front-end result.
+pub(crate) struct FrontEnd {
+    pub selection: Selection,
+    pub exec_cfg: ExecConfig,
+    pub ig: InstanceGraph,
+    /// The search options with the coarsening cap already applied.
+    pub search: SearchOptions,
+}
+
+pub(crate) fn compile_front(graph: &FlatGraph, opts: &CompileOptions) -> Result<FrontEnd> {
     // Feedback graphs may need thread counts below the grid's smallest
     // entry (capped by the loop's initial-token depth): extend the grid.
     let mut profile_opts = opts.profile.clone();
@@ -119,12 +127,28 @@ pub fn compile(graph: &FlatGraph, opts: &CompileOptions) -> Result<Compiled> {
     if instances::requires_serial_iterations(graph) {
         search.coarsening_max = 1;
     }
-    let (schedule, report) = schedule::find(&ig, &exec_cfg, opts.device.num_sms, &search)?;
+    Ok(FrontEnd {
+        selection,
+        exec_cfg,
+        ig,
+        search,
+    })
+}
+
+/// Compiles a graph end-to-end (Figure 5 of the paper).
+///
+/// # Errors
+///
+/// Any stage can fail: infeasible configuration grid, inconsistent rates,
+/// schedule search exhaustion. Errors carry the failing stage's context.
+pub fn compile(graph: &FlatGraph, opts: &CompileOptions) -> Result<Compiled> {
+    let fe = compile_front(graph, opts)?;
+    let (schedule, report) = schedule::find(&fe.ig, &fe.exec_cfg, opts.device.num_sms, &fe.search)?;
     Ok(Compiled {
         graph: graph.clone(),
-        exec_cfg,
-        selection,
-        ig,
+        exec_cfg: fe.exec_cfg,
+        selection: fe.selection,
+        ig: fe.ig,
         schedule,
         report,
         device: opts.device.clone(),
@@ -161,6 +185,31 @@ pub enum Scheme {
     },
 }
 
+/// Bounded retry policy for transient device faults (injected launch
+/// failures, detected memory corruptions, watchdog kills).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per launch, including the first (1 = no retry).
+    /// A launch still faulted after this many attempts propagates its
+    /// error.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3 }
+    }
+}
+
+/// Execution-time options: fault injection and the retry policy.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Fault plan installed on the device before the first launch.
+    pub fault_plan: Option<FaultPlan>,
+    /// How many times a transiently-faulted launch is re-attempted.
+    pub retry: RetryPolicy,
+}
+
 /// The outcome of a GPU execution.
 #[derive(Debug, Clone)]
 pub struct GpuRun {
@@ -173,6 +222,10 @@ pub struct GpuRun {
     pub time_secs: f64,
     /// Kernel launches issued.
     pub launches: u64,
+    /// Launch attempts that faulted transiently and were re-run from the
+    /// last consistent buffer state (their cost is billed into
+    /// [`LaunchStats::fault_overhead_cycles`] and the total time).
+    pub retries: u64,
     /// Total channel-buffer bytes of the plan (Table II's quantity).
     pub buffer_bytes: u64,
 }
@@ -212,7 +265,26 @@ pub fn execute(
     iterations: u64,
     input: &[Scalar],
 ) -> Result<GpuRun> {
-    execute_inner(c, scheme, iterations, input, false)
+    execute_inner(c, scheme, iterations, input, false, &RunOptions::default())
+}
+
+/// [`execute`] with explicit [`RunOptions`]: install a fault plan on the
+/// device and/or bound the retry policy. With an exhausting fault plan
+/// (more consecutive transient faults on one launch than
+/// [`RetryPolicy::max_attempts`]) the transient error propagates as
+/// [`Error::Sim`].
+///
+/// # Errors
+///
+/// As for [`execute`].
+pub fn execute_with(
+    c: &Compiled,
+    scheme: Scheme,
+    iterations: u64,
+    input: &[Scalar],
+    opts: &RunOptions,
+) -> Result<GpuRun> {
+    execute_inner(c, scheme, iterations, input, false, opts)
 }
 
 fn execute_inner(
@@ -221,6 +293,7 @@ fn execute_inner(
     iterations: u64,
     input: &[Scalar],
     scaled: bool,
+    opts: &RunOptions,
 ) -> Result<GpuRun> {
     let (granule, kind) = match scheme {
         Scheme::Swp { coarsening } => (coarsening.max(1), LayoutKind::Optimized),
@@ -261,6 +334,9 @@ fn execute_inner(
         iterations
     };
     let mut gpu = Gpu::with_timing(c.device.clone(), c.timing.clone());
+    if let Some(fault_plan) = &opts.fault_plan {
+        gpu.inject_faults(fault_plan.clone());
+    }
     let buffers = codegen::allocate(&mut gpu, &c.graph, &c.ig, &c.exec_cfg, &plan, alloc_iters)?;
     check_input_len(c, &buffers, input)?;
     let init_out = buffers.seed_init_state(&mut gpu, &c.graph, &c.ig, &c.exec_cfg, input)?;
@@ -270,6 +346,7 @@ fn execute_inner(
 
     let mut totals = LaunchStats::default();
     let mut launches = 0u64;
+    let mut retries = 0u64;
     match scheme {
         Scheme::Swp { .. } | Scheme::SwpNc { .. } | Scheme::SwpRaw { .. } => {
             // Both optimized and no-coalesce schemes stage fitting working
@@ -278,12 +355,13 @@ fn execute_inner(
             let staged = !matches!(scheme, Scheme::SwpRaw { .. });
             run_swp(
                 c, &buffers, granule, iterations, staged, scaled, &mut gpu, &mut totals,
-                &mut launches,
+                &mut launches, opts.retry, &mut retries,
             )?;
         }
         Scheme::Serial { .. } => {
             run_serial(
                 c, &buffers, granule, iterations, scaled, &mut gpu, &mut totals, &mut launches,
+                opts.retry, &mut retries,
             )?;
         }
     }
@@ -297,6 +375,7 @@ fn execute_inner(
         outputs,
         time_secs: totals.time_secs,
         launches,
+        retries,
         buffer_bytes: plan.total_bytes(),
         stats: totals,
     })
@@ -322,7 +401,7 @@ pub fn measure(
     iterations: u64,
     input: &[Scalar],
 ) -> Result<GpuRun> {
-    execute_inner(c, scheme, iterations, input, true)
+    execute_inner(c, scheme, iterations, input, true, &RunOptions::default())
 }
 
 /// Input tokens [`measure`] needs: enough for the initialization phase
@@ -355,6 +434,92 @@ fn check_input_len(c: &Compiled, buffers: &ProgramBuffers, input: &[Scalar]) -> 
     Ok(())
 }
 
+/// Snapshot of the only device state a launch mutates *in place*: the
+/// stateful filters' state words. Every other word a launch writes
+/// (channel tokens, outputs) is a deterministic function of inputs the
+/// launch does not overwrite — and within one launch each block's
+/// producer→consumer instance order re-runs identically — so relaunching
+/// after a partial execution recomputes those words bit-identically.
+/// Restoring this snapshot therefore returns the device to the last
+/// consistent buffer state.
+struct StateCheckpoint {
+    regions: Vec<(u32, Vec<u32>)>,
+}
+
+impl StateCheckpoint {
+    fn capture(gpu: &Gpu, c: &Compiled, buffers: &ProgramBuffers) -> Result<StateCheckpoint> {
+        let mut regions = Vec::new();
+        for (node, base) in c.graph.nodes().iter().zip(&buffers.state_base) {
+            if let Some(base) = *base {
+                let len = node.work.states().len().max(1) as u32;
+                let mut words = Vec::with_capacity(len as usize);
+                for i in 0..len {
+                    words.push(gpu.memory().read(u64::from(base + i))?);
+                }
+                regions.push((base, words));
+            }
+        }
+        Ok(StateCheckpoint { regions })
+    }
+
+    fn restore(&self, gpu: &mut Gpu) -> Result<()> {
+        for (base, words) in &self.regions {
+            for (i, &w) in words.iter().enumerate() {
+                gpu.memory_mut().write(u64::from(base + i as u32), w)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs one launch with bounded retry-with-relaunch: on a transient fault
+/// ([`gpusim::SimError::is_transient`]) the stateful-state checkpoint is
+/// restored, the failed attempt's true cost is accumulated (billed via
+/// [`TimingModel::failed_attempt_cycles`] into the successful attempt's
+/// stats), and the launch is re-run. The fault plan draws per lifetime
+/// attempt ordinal, so a retry gets a fresh, independent draw.
+fn run_launch_retrying(
+    c: &Compiled,
+    buffers: &ProgramBuffers,
+    gpu: &mut Gpu,
+    launch: &Launch<'_>,
+    retry: RetryPolicy,
+    retries: &mut u64,
+) -> Result<LaunchStats> {
+    let checkpoint = StateCheckpoint::capture(gpu, c, buffers)?;
+    let mut fault_cycles = 0.0f64;
+    let mut attempt = 0u32;
+    loop {
+        match gpu.run(launch) {
+            Ok(mut stats) => {
+                if fault_cycles > 0.0 {
+                    stats.fault_overhead_cycles += fault_cycles;
+                    stats.cycles += fault_cycles;
+                    stats.time_secs = gpu.timing().secs(stats.cycles);
+                }
+                return Ok(stats);
+            }
+            Err(e) if e.is_transient() && attempt + 1 < retry.max_attempts.max(1) => {
+                attempt += 1;
+                *retries += 1;
+                fault_cycles += gpu.timing().failed_attempt_cycles(&e);
+                checkpoint.restore(gpu)?;
+            }
+            Err(e) if e.is_transient() => {
+                return Err(Error::sim_while(
+                    e,
+                    format!(
+                        "relaunching a faulted steady-state launch \
+                         (gave up after {} attempts)",
+                        attempt + 1
+                    ),
+                ));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
 /// The software-pipelined kernel: one launch per coarsened iteration,
 /// per-SM instance lists ordered by offset, staging predicates for fill
 /// and drain.
@@ -369,6 +534,8 @@ fn run_swp(
     gpu: &mut Gpu,
     totals: &mut LaunchStats,
     launches: &mut u64,
+    retry: RetryPolicy,
+    retries: &mut u64,
 ) -> Result<()> {
     let sched = &c.schedule;
     let num_sms = c.device.num_sms;
@@ -384,7 +551,7 @@ fn run_swp(
         order[sched.sm_of[i] as usize].push(i);
     }
 
-    let run_one = |r: u64, gpu: &mut Gpu| -> Result<LaunchStats> {
+    let run_one = |r: u64, gpu: &mut Gpu, retries: &mut u64| -> Result<LaunchStats> {
         let mut blocks = Vec::with_capacity(num_sms as usize);
         for sm_items in order.iter().take(num_sms as usize) {
             let mut items = Vec::new();
@@ -406,12 +573,13 @@ fn run_swp(
             regs_per_thread: c.exec_cfg.regs_per_thread,
             blocks,
         };
-        Ok(gpu.run(&launch)?)
+        run_launch_retrying(c, buffers, gpu, &launch, retry, retries)
+            .map_err(|e| e.in_context(format!("software-pipelined kernel iteration {r}")))
     };
 
     if !scaled || kernel_iters <= stages + 4 {
         for r in 0..kernel_iters + stages {
-            let stats = run_one(r, gpu)?;
+            let stats = run_one(r, gpu, retries)?;
             totals.merge(&stats);
             *launches += 1;
         }
@@ -421,11 +589,11 @@ fn run_swp(
     // Scaled measurement: fill exactly, two steady launches (verified
     // identical), the rest of the steady window by scaling, drain exactly.
     for r in 0..stages {
-        let stats = run_one(r, gpu)?;
+        let stats = run_one(r, gpu, retries)?;
         totals.merge(&stats);
     }
-    let steady1 = run_one(stages, gpu)?;
-    let steady2 = run_one(stages + 1, gpu)?;
+    let steady1 = run_one(stages, gpu, retries)?;
+    let steady2 = run_one(stages + 1, gpu, retries)?;
     debug_assert_eq!(
         steady1.warp_instructions, steady2.warp_instructions,
         "steady launches must be counter-identical (data-independent control flow)"
@@ -437,7 +605,7 @@ fn run_swp(
         totals.merge(&steady1);
     }
     for r in kernel_iters..kernel_iters + stages {
-        let stats = run_one(r, gpu)?;
+        let stats = run_one(r, gpu, retries)?;
         totals.merge(&stats);
     }
     *launches += kernel_iters + stages;
@@ -456,6 +624,8 @@ fn run_serial(
     gpu: &mut Gpu,
     totals: &mut LaunchStats,
     launches: &mut u64,
+    retry: RetryPolicy,
+    retries: &mut u64,
 ) -> Result<()> {
     let topo = c.graph.topo_order()?;
     let num_sms = c.device.num_sms as usize;
@@ -484,7 +654,13 @@ fn run_serial(
                 regs_per_thread: c.exec_cfg.regs_per_thread,
                 blocks,
             };
-            let stats = gpu.run(&launch)?;
+            let stats = run_launch_retrying(c, buffers, gpu, &launch, retry, retries)
+                .map_err(|e| {
+                    e.in_context(format!(
+                        "serial kernel for filter '{}' (batch {batch_no})",
+                        c.graph.node(node).name
+                    ))
+                })?;
             totals.merge(&stats);
             *launches += 1;
         }
@@ -825,5 +1001,93 @@ mod tests {
         let c = compile(&graph, &CompileOptions::small_test()).unwrap();
         let e = execute(&c, Scheme::Swp { coarsening: 4 }, 6, &[]).unwrap_err();
         assert!(matches!(e, Error::Api(_)));
+    }
+
+    fn compiled_three_stage() -> (Compiled, Vec<Scalar>, u64) {
+        let spec = StreamSpec::pipeline(vec![
+            map_filter("dbl", |x| x.mul(Expr::i32(2))),
+            map_filter("inc", |x| x.add(Expr::i32(1))),
+            map_filter("sq", |x| x.clone().mul(x)),
+        ]);
+        let graph = spec.flatten().unwrap();
+        let c = compile(&graph, &CompileOptions::small_test()).unwrap();
+        let iters = 4u64;
+        let input: Vec<Scalar> = (0..required_input(&c, iters))
+            .map(|i| Scalar::I32(i as i32 % 53 - 26))
+            .collect();
+        (c, input, iters)
+    }
+
+    #[test]
+    fn transient_faults_retry_bit_identically_with_truthful_billing() {
+        let (c, input, iters) = compiled_three_stage();
+        let scheme = Scheme::Swp { coarsening: 1 };
+        let clean = execute(&c, scheme, iters, &input).unwrap();
+        let opts = RunOptions {
+            fault_plan: Some(
+                FaultPlan::new(0xFA117)
+                    .with_launch_failures(120)
+                    .with_mem_corruptions(80)
+                    .with_hangs(40)
+                    .with_overhead_spikes(60, 6.0),
+            ),
+            retry: RetryPolicy { max_attempts: 8 },
+        };
+        let faulted = execute_with(&c, scheme, iters, &input, &opts).unwrap();
+        assert_eq!(
+            clean.outputs, faulted.outputs,
+            "retried execution must be bit-identical to the fault-free run"
+        );
+        assert!(
+            faulted.retries > 0,
+            "the plan's rates must actually exercise the retry path"
+        );
+        assert!(faulted.stats.fault_overhead_cycles > 0.0);
+        assert!(
+            faulted.time_secs > clean.time_secs,
+            "failed attempts and spikes must be billed into the total time"
+        );
+        assert_eq!(clean.retries, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_propagate_the_transient_error() {
+        let (c, input, iters) = compiled_three_stage();
+        // Three consecutive pinned failures on the first launch exhaust a
+        // 3-attempt policy.
+        let plan = FaultPlan::new(1)
+            .at_launch(0, gpusim::FaultKind::LaunchFailure)
+            .at_launch(1, gpusim::FaultKind::LaunchFailure)
+            .at_launch(2, gpusim::FaultKind::LaunchFailure);
+        let opts = RunOptions {
+            fault_plan: Some(plan.clone()),
+            retry: RetryPolicy { max_attempts: 3 },
+        };
+        let e = execute_with(&c, Scheme::Swp { coarsening: 1 }, iters, &input, &opts).unwrap_err();
+        match e {
+            Error::Sim { source, .. } => assert!(source.is_transient()),
+            other => panic!("expected a simulator error, got {other}"),
+        }
+        // One more attempt allowed: the fourth draw is unpinned and clean.
+        let opts = RunOptions {
+            fault_plan: Some(plan),
+            retry: RetryPolicy { max_attempts: 4 },
+        };
+        let run = execute_with(&c, Scheme::Swp { coarsening: 1 }, iters, &input, &opts).unwrap();
+        assert_eq!(run.retries, 3);
+    }
+
+    #[test]
+    fn serial_scheme_retries_too() {
+        let (c, input, iters) = compiled_three_stage();
+        let scheme = Scheme::Serial { batch: 1 };
+        let clean = execute(&c, scheme, iters, &input).unwrap();
+        let opts = RunOptions {
+            fault_plan: Some(FaultPlan::new(77).with_launch_failures(200)),
+            retry: RetryPolicy { max_attempts: 8 },
+        };
+        let faulted = execute_with(&c, scheme, iters, &input, &opts).unwrap();
+        assert_eq!(clean.outputs, faulted.outputs);
+        assert!(faulted.retries > 0);
     }
 }

@@ -218,11 +218,13 @@ fn ceil_div(a: i128, b: i128) -> i128 {
 /// [`Error::Stream`]), and reports under-primed feedback loops whose
 /// initialization diverges at instance granularity.
 pub fn build(graph: &FlatGraph, config: &ExecConfig) -> Result<InstanceGraph> {
-    assert_eq!(
-        config.threads.len(),
-        graph.len(),
-        "configuration covers every node"
-    );
+    if config.threads.len() != graph.len() {
+        return Err(Error::Api(format!(
+            "execution configuration covers {} nodes but the graph has {}",
+            config.threads.len(),
+            graph.len()
+        )));
+    }
     let base = sdf::repetition_vector(graph)?;
 
     // Coarsened repetition vector: k'_v = k_v * S / t_v with the smallest
@@ -235,14 +237,16 @@ pub fn build(graph: &FlatGraph, config: &ExecConfig) -> Result<InstanceGraph> {
             u128::from(t) / g
         })
         .fold(1u128, lcm);
-    let reps: Vec<u32> = base
-        .iter()
-        .zip(&config.threads)
-        .map(|(&k, &t)| {
-            let v = u128::from(k) * scale / u128::from(t);
-            u32::try_from(v).expect("coarsened repetition fits u32")
-        })
-        .collect();
+    let mut reps: Vec<u32> = Vec::with_capacity(base.len());
+    for (&k, &t) in base.iter().zip(&config.threads) {
+        let v = u128::from(k) * scale / u128::from(t);
+        reps.push(u32::try_from(v).map_err(|_| {
+            Error::Api(format!(
+                "coarsened repetition count {v} overflows u32 (thread counts too skewed)"
+            ))
+        })?);
+    }
+    let reps = reps;
 
     // Token geometry per edge (before init accounting).
     let mut edges: Vec<EdgeTokens> = graph
@@ -311,10 +315,13 @@ pub fn build(graph: &FlatGraph, config: &ExecConfig) -> Result<InstanceGraph> {
         et.resident = et.initial + et.init_prod - et.init_cons;
         debug_assert!(et.resident >= et.slack, "init must deposit the peek slack");
     }
-    let init: Vec<u32> = init
-        .into_iter()
-        .map(|v| u32::try_from(v).expect("init count fits u32"))
-        .collect();
+    let mut init_u32: Vec<u32> = Vec::with_capacity(init.len());
+    for v in init {
+        init_u32.push(u32::try_from(v).map_err(|_| {
+            Error::Api(format!("initialization firing count {v} overflows u32"))
+        })?);
+    }
+    let init = init_u32;
 
     // Flat instance list.
     let mut list = Vec::new();
@@ -355,12 +362,16 @@ pub fn build(graph: &FlatGraph, config: &ExecConfig) -> Result<InstanceGraph> {
             for p in p_first..=p_last {
                 let jlag = p.div_euclid(ku);
                 let kp = p.rem_euclid(ku);
+                let kp = u32::try_from(kp).map_err(|_| {
+                    Error::Api(format!("producer instance index {kp} overflows u32"))
+                })?;
+                let jlag = i64::try_from(jlag).map_err(|_| {
+                    Error::Api(format!("iteration lag {jlag} overflows i64"))
+                })?;
                 deps.push(Dep {
                     consumer: InstId(first[e.dst.0 as usize] + k),
-                    producer: InstId(
-                        first[e.src.0 as usize] + u32::try_from(kp).expect("fits"),
-                    ),
-                    jlag: i64::try_from(jlag).expect("fits"),
+                    producer: InstId(first[e.src.0 as usize] + kp),
+                    jlag,
                     edge: Some(EdgeId(i as u32)),
                 });
             }
@@ -376,11 +387,12 @@ pub fn build(graph: &FlatGraph, config: &ExecConfig) -> Result<InstanceGraph> {
         if !node.work.is_stateful() {
             continue;
         }
-        assert_eq!(
-            config.threads[v], 1,
-            "stateful filter {} must execute single-threaded",
-            node.name
-        );
+        if config.threads[v] != 1 {
+            return Err(Error::Api(format!(
+                "stateful filter {} must execute single-threaded, got {} threads",
+                node.name, config.threads[v]
+            )));
+        }
         let kv = reps[v];
         for k in 1..kv {
             deps.push(Dep {

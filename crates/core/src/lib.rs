@@ -37,6 +37,7 @@ pub mod exec;
 pub mod formulate;
 pub mod harness;
 pub mod instances;
+pub mod pipeline;
 pub mod plan;
 pub mod profile;
 pub mod report;

@@ -1,0 +1,519 @@
+//! The gracefully-degrading compilation driver.
+//!
+//! [`ResilientPipeline`] wraps the paper's compilation trajectory in an
+//! explicit degradation ladder. Where [`crate::exec::compile`] commits to
+//! one scheduling path and fails the whole compilation when that path
+//! fails, the resilient driver walks four rungs, each under its own time
+//! budget, and ships the first that produces a valid artifact:
+//!
+//! 1. [`LadderRung::ExactIlp`] — the ILP at the lower-bound II
+//!    (`max(ResMII, RecMII)`), no relaxation. The best schedule the
+//!    formulation admits.
+//! 2. [`LadderRung::RelaxedIlp`] — the paper's Section V loop: relax the
+//!    II by 0.5 % per failed candidate and re-solve.
+//! 3. [`LadderRung::Heuristic`] — the decomposed scheduler
+//!    ([`crate::schedule::heuristic`]): SCC grouping, LPT assignment,
+//!    monotone relaxation. Same constraint system, possibly more stages.
+//! 4. [`LadderRung::SerialSas`] — give up on software pipelining and ship
+//!    the serialized SAS executor ([`Scheme::Serial`]) with a placeholder
+//!    single-SM schedule. Always succeeds: the executor needs no
+//!    pipelined schedule.
+//!
+//! Every attempt — shipped, failed, or skipped for an exhausted budget —
+//! is recorded in a [`DegradationReport`], so a caller (or an experiment
+//! log) can state exactly which rung produced each number.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use streamir::graph::FlatGraph;
+
+use crate::exec::{compile_front, CompileOptions, Compiled, Scheme};
+use crate::schedule::{self, Schedule, SchedulerKind, SearchOptions, SearchReport};
+use crate::Result;
+
+/// One rung of the degradation ladder, from most to least preferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LadderRung {
+    /// The exact ILP at the lower-bound II.
+    ExactIlp,
+    /// The ILP with the II-relaxation loop.
+    RelaxedIlp,
+    /// The decomposed heuristic scheduler.
+    Heuristic,
+    /// Serialized SAS execution without a software pipeline.
+    SerialSas,
+}
+
+impl fmt::Display for LadderRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LadderRung::ExactIlp => "exact-ilp",
+            LadderRung::RelaxedIlp => "relaxed-ilp",
+            LadderRung::Heuristic => "heuristic",
+            LadderRung::SerialSas => "serial-sas",
+        })
+    }
+}
+
+/// What happened when one rung was tried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RungOutcome {
+    /// The rung produced the shipped artifact.
+    Shipped,
+    /// The rung ran and failed (scheduler error, validation failure, or
+    /// it finished past its budget).
+    Failed(String),
+    /// The rung was not run because its budget was already zero.
+    SkippedBudget,
+}
+
+/// One ladder attempt, for the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungAttempt {
+    /// Which rung.
+    pub rung: LadderRung,
+    /// How it went.
+    pub outcome: RungOutcome,
+    /// Wall-clock time spent on the rung.
+    pub elapsed: Duration,
+}
+
+/// The record of a resilient compilation: which rung shipped and what
+/// every earlier rung did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationReport {
+    /// The rung whose artifact shipped.
+    pub shipped: LadderRung,
+    /// Every attempt, in ladder order, including the shipped one.
+    pub attempts: Vec<RungAttempt>,
+}
+
+impl DegradationReport {
+    /// The attempt record of the shipped rung.
+    #[must_use]
+    pub fn shipped_attempt(&self) -> Option<&RungAttempt> {
+        self.attempts.iter().find(|a| a.rung == self.shipped)
+    }
+
+    /// `true` when the preferred (first) rung shipped — no degradation.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.shipped != LadderRung::ExactIlp
+    }
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shipped {}", self.shipped)?;
+        for a in &self.attempts {
+            let verdict = match &a.outcome {
+                RungOutcome::Shipped => "ok".to_string(),
+                RungOutcome::Failed(m) => format!("failed: {m}"),
+                RungOutcome::SkippedBudget => "skipped (no budget)".to_string(),
+            };
+            write!(f, "; {} {} ({:.1?})", a.rung, verdict, a.elapsed)?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-rung time budgets. A rung whose budget is zero is skipped; a rung
+/// that finishes after its budget has elapsed is discarded (its artifact
+/// would have missed a real deployment's compile-time deadline) and the
+/// ladder degrades.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageBudgets {
+    /// Budget for the exact-ILP rung.
+    pub exact_ilp: Duration,
+    /// Budget for the II-relaxation rung (the whole loop).
+    pub relaxed_ilp: Duration,
+    /// Budget for the heuristic rung.
+    pub heuristic: Duration,
+}
+
+impl Default for StageBudgets {
+    fn default() -> Self {
+        StageBudgets {
+            exact_ilp: Duration::from_secs(20),
+            relaxed_ilp: Duration::from_secs(60),
+            heuristic: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Options for [`ResilientPipeline`].
+#[derive(Debug, Clone, Default)]
+pub struct PipelineOptions {
+    /// The underlying compilation options (device, timing, profiling
+    /// grid, base search parameters). The `scheduler` field is ignored —
+    /// the ladder decides the path per rung.
+    pub compile: CompileOptions,
+    /// Per-rung time budgets.
+    pub budgets: StageBudgets,
+}
+
+/// A resiliently-compiled program: the artifact plus the ladder record.
+#[derive(Debug, Clone)]
+pub struct ResilientCompiled {
+    /// The compiled program. When the [`LadderRung::SerialSas`] rung
+    /// shipped, its schedule is a single-SM placeholder — execute with
+    /// [`ResilientCompiled::scheme`].
+    pub compiled: Compiled,
+    /// Which rung shipped, and what every rung did.
+    pub report: DegradationReport,
+    /// The execution scheme the shipped rung supports: a pipelined
+    /// scheme for rungs 1–3, [`Scheme::Serial`] for rung 4.
+    pub scheme: Scheme,
+}
+
+/// The gracefully-degrading compilation driver. See the module docs for
+/// the ladder.
+#[derive(Debug, Clone, Default)]
+pub struct ResilientPipeline {
+    opts: PipelineOptions,
+}
+
+impl ResilientPipeline {
+    /// A driver with the given options.
+    #[must_use]
+    pub fn new(opts: PipelineOptions) -> ResilientPipeline {
+        ResilientPipeline { opts }
+    }
+
+    /// A driver over [`CompileOptions::small_test`] with default budgets
+    /// (tests and examples).
+    #[must_use]
+    pub fn small_test() -> ResilientPipeline {
+        ResilientPipeline::new(PipelineOptions {
+            compile: CompileOptions::small_test(),
+            budgets: StageBudgets::default(),
+        })
+    }
+
+    /// Compiles `graph`, walking the degradation ladder.
+    ///
+    /// # Errors
+    ///
+    /// Front-end failures (profiling, configuration selection, instance
+    /// modeling) are not schedulable around and propagate. Scheduling
+    /// failures never propagate: the [`LadderRung::SerialSas`] rung
+    /// always ships.
+    pub fn compile(&self, graph: &FlatGraph) -> Result<ResilientCompiled> {
+        let opts = &self.opts.compile;
+        let fe = compile_front(graph, opts)?;
+        let num_sms = opts.device.num_sms;
+        let mut attempts = Vec::new();
+
+        // Rung 1: exact ILP — one candidate II, the lower bound.
+        let exact = SearchOptions {
+            scheduler: SchedulerKind::Ilp,
+            max_attempts: 1,
+            ilp_budget: self.opts.budgets.exact_ilp,
+            ..fe.search.clone()
+        };
+        if let Some(r) = try_rung(
+            LadderRung::ExactIlp,
+            self.opts.budgets.exact_ilp,
+            &mut attempts,
+            || schedule::find(&fe.ig, &fe.exec_cfg, num_sms, &exact),
+        ) {
+            return Ok(assemble(graph, opts, fe, r, LadderRung::ExactIlp, attempts));
+        }
+
+        // Rung 2: the II-relaxation loop.
+        let relaxed = SearchOptions {
+            scheduler: SchedulerKind::Ilp,
+            ilp_budget: self
+                .opts
+                .budgets
+                .relaxed_ilp
+                .min(fe.search.ilp_budget)
+                .max(Duration::from_millis(1)),
+            ..fe.search.clone()
+        };
+        if let Some(r) = try_rung(
+            LadderRung::RelaxedIlp,
+            self.opts.budgets.relaxed_ilp,
+            &mut attempts,
+            || schedule::find(&fe.ig, &fe.exec_cfg, num_sms, &relaxed),
+        ) {
+            return Ok(assemble(graph, opts, fe, r, LadderRung::RelaxedIlp, attempts));
+        }
+
+        // Rung 3: the decomposed heuristic.
+        let heur = SearchOptions {
+            scheduler: SchedulerKind::Heuristic,
+            ..fe.search.clone()
+        };
+        if let Some(r) = try_rung(
+            LadderRung::Heuristic,
+            self.opts.budgets.heuristic,
+            &mut attempts,
+            || schedule::find(&fe.ig, &fe.exec_cfg, num_sms, &heur),
+        ) {
+            return Ok(assemble(graph, opts, fe, r, LadderRung::Heuristic, attempts));
+        }
+
+        // Rung 4: serialized SAS. Always ships — the serial executor
+        // needs no pipelined schedule, only a placeholder.
+        let started = Instant::now();
+        let schedule = serial_placeholder(graph, &fe)?;
+        let report = SearchReport {
+            lower_bound: schedule.ii,
+            final_ii: schedule.ii,
+            relaxation_pct: 0.0,
+            attempts: 0,
+            solve_time: started.elapsed(),
+            used_ilp: false,
+            ilp_vars: 0,
+            ilp_constraints: 0,
+        };
+        attempts.push(RungAttempt {
+            rung: LadderRung::SerialSas,
+            outcome: RungOutcome::Shipped,
+            elapsed: started.elapsed(),
+        });
+        Ok(assemble(
+            graph,
+            opts,
+            fe,
+            (schedule, report),
+            LadderRung::SerialSas,
+            attempts,
+        ))
+    }
+}
+
+/// Runs one rung under its budget. Returns the schedule on success;
+/// records the attempt either way.
+fn try_rung(
+    rung: LadderRung,
+    budget: Duration,
+    attempts: &mut Vec<RungAttempt>,
+    run: impl FnOnce() -> Result<(Schedule, SearchReport)>,
+) -> Option<(Schedule, SearchReport)> {
+    if budget.is_zero() {
+        attempts.push(RungAttempt {
+            rung,
+            outcome: RungOutcome::SkippedBudget,
+            elapsed: Duration::ZERO,
+        });
+        return None;
+    }
+    let started = Instant::now();
+    let result = run();
+    let elapsed = started.elapsed();
+    match result {
+        Ok(ok) if elapsed <= budget => {
+            attempts.push(RungAttempt {
+                rung,
+                outcome: RungOutcome::Shipped,
+                elapsed,
+            });
+            Some(ok)
+        }
+        Ok(_) => {
+            attempts.push(RungAttempt {
+                rung,
+                outcome: RungOutcome::Failed(format!(
+                    "finished after the {budget:?} budget elapsed"
+                )),
+                elapsed,
+            });
+            None
+        }
+        Err(e) => {
+            attempts.push(RungAttempt {
+                rung,
+                outcome: RungOutcome::Failed(e.to_string()),
+                elapsed,
+            });
+            None
+        }
+    }
+}
+
+/// A placeholder schedule for the serial rung: every instance on SM 0 in
+/// topological order with cumulative offsets, one stage. The serial
+/// executor ignores it (it launches one kernel per filter); it exists so
+/// the [`Compiled`] artifact stays well-formed.
+fn serial_placeholder(graph: &FlatGraph, fe: &crate::exec::FrontEnd) -> Result<Schedule> {
+    let topo = graph.topo_order()?;
+    let mut rank = vec![0usize; graph.len()];
+    for (r, v) in topo.iter().enumerate() {
+        rank[v.0 as usize] = r;
+    }
+    let n = fe.ig.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| {
+        let (v, k) = fe.ig.list[i];
+        (rank[v.0 as usize], k)
+    });
+    let mut offset = vec![0u64; n];
+    let mut t = 0u64;
+    for &i in &order {
+        let (v, _) = fe.ig.list[i];
+        offset[i] = t;
+        t += fe.exec_cfg.delay[v.0 as usize];
+    }
+    Ok(Schedule {
+        ii: t.max(1),
+        sm_of: vec![0; n],
+        offset,
+        stage: vec![0; n],
+    })
+}
+
+fn assemble(
+    graph: &FlatGraph,
+    opts: &CompileOptions,
+    fe: crate::exec::FrontEnd,
+    (schedule, report): (Schedule, SearchReport),
+    shipped: LadderRung,
+    attempts: Vec<RungAttempt>,
+) -> ResilientCompiled {
+    let scheme = match shipped {
+        LadderRung::SerialSas => Scheme::Serial { batch: 1 },
+        _ => Scheme::Swp { coarsening: 1 },
+    };
+    ResilientCompiled {
+        compiled: Compiled {
+            graph: graph.clone(),
+            exec_cfg: fe.exec_cfg,
+            selection: fe.selection,
+            ig: fe.ig,
+            schedule,
+            report,
+            device: opts.device.clone(),
+            timing: opts.timing.clone(),
+        },
+        report: DegradationReport { shipped, attempts },
+        scheme,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{self, required_input};
+    use streamir::graph::{FilterSpec, StreamSpec};
+    use streamir::ir::{ElemTy, Expr, FnBuilder, Scalar};
+
+    fn map_filter(name: &str, f: impl FnOnce(Expr) -> Expr) -> StreamSpec {
+        let mut b = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let x = b.local(ElemTy::I32);
+        b.pop_into(0, x);
+        b.push(0, f(Expr::local(x)));
+        StreamSpec::filter(FilterSpec::new(name, b.build().unwrap()))
+    }
+
+    fn three_stage() -> FlatGraph {
+        StreamSpec::pipeline(vec![
+            map_filter("dbl", |x| x.mul(Expr::i32(2))),
+            map_filter("inc", |x| x.add(Expr::i32(1))),
+            map_filter("sq", |x| x.clone().mul(x)),
+        ])
+        .flatten()
+        .unwrap()
+    }
+
+    fn run(rc: &ResilientCompiled, iters: u64) -> Vec<Scalar> {
+        let input: Vec<Scalar> = (0..required_input(&rc.compiled, iters))
+            .map(|i| Scalar::I32(i as i32 % 37 - 18))
+            .collect();
+        exec::execute(&rc.compiled, rc.scheme, iters, &input)
+            .unwrap()
+            .outputs
+    }
+
+    #[test]
+    fn preferred_rung_is_an_ilp_rung_under_default_budgets() {
+        let rc = ResilientPipeline::small_test()
+            .compile(&three_stage())
+            .unwrap();
+        assert!(
+            matches!(
+                rc.report.shipped,
+                LadderRung::ExactIlp | LadderRung::RelaxedIlp
+            ),
+            "default budgets must ship an ILP rung, got {}",
+            rc.report
+        );
+        assert!(rc.compiled.report.used_ilp);
+        assert_eq!(rc.scheme, Scheme::Swp { coarsening: 1 });
+        assert!(!run(&rc, 4).is_empty());
+    }
+
+    #[test]
+    fn zero_ilp_budgets_degrade_to_the_heuristic() {
+        let pl = ResilientPipeline::new(PipelineOptions {
+            compile: CompileOptions::small_test(),
+            budgets: StageBudgets {
+                exact_ilp: Duration::ZERO,
+                relaxed_ilp: Duration::ZERO,
+                ..StageBudgets::default()
+            },
+        });
+        let rc = pl.compile(&three_stage()).unwrap();
+        assert_eq!(rc.report.shipped, LadderRung::Heuristic);
+        assert!(rc.report.degraded());
+        assert_eq!(
+            rc.report.attempts[0].outcome,
+            RungOutcome::SkippedBudget,
+            "{}",
+            rc.report
+        );
+        assert_eq!(rc.report.attempts[1].outcome, RungOutcome::SkippedBudget);
+        assert!(!rc.compiled.report.used_ilp);
+        assert!(!run(&rc, 4).is_empty());
+    }
+
+    #[test]
+    fn all_zero_budgets_ship_serial_sas() {
+        let pl = ResilientPipeline::new(PipelineOptions {
+            compile: CompileOptions::small_test(),
+            budgets: StageBudgets {
+                exact_ilp: Duration::ZERO,
+                relaxed_ilp: Duration::ZERO,
+                heuristic: Duration::ZERO,
+            },
+        });
+        let rc = pl.compile(&three_stage()).unwrap();
+        assert_eq!(rc.report.shipped, LadderRung::SerialSas);
+        assert_eq!(rc.scheme, Scheme::Serial { batch: 1 });
+        assert_eq!(rc.report.attempts.len(), 4);
+
+        // The serial artifact still computes the right stream: compare
+        // against the normally-compiled pipeline under the same scheme.
+        let iters = 4u64;
+        let reference = {
+            let c = exec::compile(&three_stage(), &CompileOptions::small_test()).unwrap();
+            let input: Vec<Scalar> = (0..required_input(&c, iters))
+                .map(|i| Scalar::I32(i as i32 % 37 - 18))
+                .collect();
+            exec::execute(&c, Scheme::Serial { batch: 1 }, iters, &input)
+                .unwrap()
+                .outputs
+        };
+        assert_eq!(run(&rc, iters), reference);
+    }
+
+    #[test]
+    fn report_display_names_every_attempt() {
+        let pl = ResilientPipeline::new(PipelineOptions {
+            compile: CompileOptions::small_test(),
+            budgets: StageBudgets {
+                exact_ilp: Duration::ZERO,
+                relaxed_ilp: Duration::ZERO,
+                heuristic: Duration::ZERO,
+            },
+        });
+        let rc = pl.compile(&three_stage()).unwrap();
+        let text = rc.report.to_string();
+        assert!(text.contains("shipped serial-sas"), "{text}");
+        assert!(text.contains("exact-ilp skipped"), "{text}");
+        assert!(text.contains("relaxed-ilp skipped"), "{text}");
+        assert!(text.contains("heuristic skipped"), "{text}");
+    }
+}

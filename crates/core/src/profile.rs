@@ -264,7 +264,13 @@ fn profile_one(
                 .fold(0.0f64, f64::max),
         )),
         Err(SimError::LaunchConfig(_)) => Ok(None),
-        Err(e) => Err(e.into()),
+        Err(e) => Err(crate::Error::sim_while(
+            e,
+            format!(
+                "profiling filter '{}' at {regs} regs x {threads} threads",
+                graph.node(node).name
+            ),
+        )),
     }
 }
 

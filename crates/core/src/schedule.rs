@@ -58,7 +58,7 @@ pub fn validate(
 ) -> Result<()> {
     let n = ig.len();
     if sched.sm_of.len() != n || sched.offset.len() != n || sched.stage.len() != n {
-        return Err(Error::InvalidSchedule("length mismatch".into()));
+        return Err(Error::invalid_schedule("length mismatch"));
     }
     let t = sched.ii;
 
@@ -67,23 +67,29 @@ pub fn validate(
     for (i, &(v, k)) in ig.list.iter().enumerate() {
         let p = sched.sm_of[i];
         if p >= num_sms {
-            return Err(Error::InvalidSchedule(format!(
-                "instance ({v:?},{k}) assigned to nonexistent SM {p}"
-            )));
+            return Err(Error::InvalidSchedule {
+                message: format!("assigned to nonexistent SM {p}"),
+                instance: Some((v.0, k)),
+                stage: Some(sched.stage[i]),
+            });
         }
         load[p as usize] += config.delay[v.0 as usize];
         // Wraparound constraint (4): o + d <= T.
         if sched.offset[i] + config.delay[v.0 as usize] > t {
-            return Err(Error::InvalidSchedule(format!(
-                "instance ({v:?},{k}) wraps: o={} d={} T={t}",
-                sched.offset[i],
-                config.delay[v.0 as usize]
-            )));
+            return Err(Error::InvalidSchedule {
+                message: format!(
+                    "wraps: o={} d={} T={t}",
+                    sched.offset[i],
+                    config.delay[v.0 as usize]
+                ),
+                instance: Some((v.0, k)),
+                stage: Some(sched.stage[i]),
+            });
         }
     }
     for (p, &l) in load.iter().enumerate() {
         if l > t {
-            return Err(Error::InvalidSchedule(format!(
+            return Err(Error::invalid_schedule(format!(
                 "SM {p} overloaded: {l} > II {t}"
             )));
         }
@@ -107,18 +113,27 @@ pub fn validate(
         let lhs = t as i128 * sched.stage[c] as i128 + sched.offset[c] as i128;
         let base = t as i128 * (jlag_eff + sched.stage[u] as i128);
         // Same-SM: result visible d(u) after the producer starts.
+        let (cnode, ck) = ig.node_of(d.consumer);
         if lhs < base + sched.offset[u] as i128 + du as i128 {
-            return Err(Error::InvalidSchedule(format!(
-                "dependence {:?} -> {:?} (jlag {}) violated in time",
-                d.producer, d.consumer, d.jlag
-            )));
+            return Err(Error::InvalidSchedule {
+                message: format!(
+                    "dependence {:?} -> {:?} (jlag {}) violated in time",
+                    d.producer, d.consumer, d.jlag
+                ),
+                instance: Some((cnode.0, ck)),
+                stage: Some(sched.stage[c]),
+            });
         }
         // Cross-SM: data only visible in the next iteration (g = 1).
         if sched.sm_of[c] != sched.sm_of[u] && lhs < base + t as i128 {
-            return Err(Error::InvalidSchedule(format!(
-                "cross-SM dependence {:?} -> {:?} (jlag {}) needs an extra stage",
-                d.producer, d.consumer, d.jlag
-            )));
+            return Err(Error::InvalidSchedule {
+                message: format!(
+                    "cross-SM dependence {:?} -> {:?} (jlag {}) needs an extra stage",
+                    d.producer, d.consumer, d.jlag
+                ),
+                instance: Some((cnode.0, ck)),
+                stage: Some(sched.stage[c]),
+            });
         }
     }
     Ok(())
@@ -171,12 +186,15 @@ pub mod heuristic {
                 .sum()
         };
         groups.sort_by_key(|g| std::cmp::Reverse(weight(g)));
+        if num_sms == 0 {
+            return Err(Error::Api("scheduling requires at least one SM".into()));
+        }
         let mut load = vec![0u64; num_sms as usize];
         let mut sm_of = vec![0u32; n];
         for g in &groups {
             let p = (0..num_sms as usize)
                 .min_by_key(|&p| load[p])
-                .expect("at least one SM");
+                .unwrap_or(0);
             for &i in g {
                 sm_of[i] = p as u32;
             }
@@ -265,11 +283,14 @@ pub mod heuristic {
                 // Shift so the earliest start is within iteration 0.
                 let min = s.iter().copied().min().unwrap_or(0);
                 let shift = min.div_euclid(t) * t;
-                return Some(
-                    s.iter()
-                        .map(|&x| u64::try_from(x - shift).expect("non-negative"))
-                        .collect(),
-                );
+                // `shift <= min <= x`, so the subtraction is non-negative;
+                // a conversion failure is treated as no fixpoint rather
+                // than a panic.
+                let mut starts = Vec::with_capacity(s.len());
+                for &x in &s {
+                    starts.push(u64::try_from(x - shift).ok()?);
+                }
+                return Some(starts);
             }
         }
         None
@@ -565,7 +586,7 @@ mod tests {
             stage: vec![0, 1, 2],
         };
         let e = validate(&ig, &cfg, &bad, 1, 1).unwrap_err();
-        assert!(matches!(e, Error::InvalidSchedule(ref m) if m.contains("overloaded")));
+        assert!(matches!(e, Error::InvalidSchedule { ref message, .. } if message.contains("overloaded")));
     }
 
     #[test]
@@ -578,7 +599,7 @@ mod tests {
             stage: vec![0, 0],
         };
         let e = validate(&ig, &cfg, &bad, 1, 1).unwrap_err();
-        assert!(matches!(e, Error::InvalidSchedule(ref m) if m.contains("dependence")));
+        assert!(matches!(e, Error::InvalidSchedule { ref message, .. } if message.contains("dependence")));
     }
 
     #[test]
@@ -591,7 +612,7 @@ mod tests {
             stage: vec![0, 0], // same iteration across SMs: illegal
         };
         let e = validate(&ig, &cfg, &bad, 2, 1).unwrap_err();
-        assert!(matches!(e, Error::InvalidSchedule(ref m) if m.contains("cross-SM")));
+        assert!(matches!(e, Error::InvalidSchedule { ref message, .. } if message.contains("cross-SM")));
     }
 
     #[test]
@@ -604,7 +625,7 @@ mod tests {
             stage: vec![0],
         };
         let e = validate(&ig, &cfg, &bad, 1, 1).unwrap_err();
-        assert!(matches!(e, Error::InvalidSchedule(ref m) if m.contains("wraps")));
+        assert!(matches!(e, Error::InvalidSchedule { ref message, .. } if message.contains("wraps")));
     }
 
     #[test]

@@ -67,6 +67,7 @@ struct Exec<'a, 'b> {
     ctx: &'b WarpCtx<'a>,
     mem: &'b mut DeviceMemory,
     stats: &'b mut InstanceStats,
+    limits: &'b mut ExecLimits,
     lanes: Vec<Lane>,
     /// Peek-site address gathers for the expression currently being
     /// evaluated: `peek_addrs[site]` holds `(lane, addr)` pairs.
@@ -84,11 +85,66 @@ fn trap(msg: impl Into<String>) -> SimError {
     SimError::Trap(msg.into())
 }
 
+/// What the watchdog reports when the instruction budget runs out.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TripKind {
+    /// A genuine (or injected-hang) watchdog kill: report this budget.
+    /// Injected hangs run on a small prefix budget so partial writes are
+    /// real, but report the device's true watchdog budget.
+    Watchdog { reported_budget: u64 },
+    /// An injected transient memory corruption: report the last device
+    /// address the kernel touched as the detection site.
+    MemFault,
+}
+
+/// Per-launch execution limits threaded through the interpreter. The
+/// budget is shared by every warp of the launch (it models wall-clock
+/// progress of the whole kernel), decremented as instructions issue and
+/// checked at statement boundaries.
+#[derive(Debug)]
+pub(crate) struct ExecLimits {
+    /// Instructions the launch may still issue before tripping.
+    pub remaining: u64,
+    /// How a trip is reported.
+    pub trip: TripKind,
+    /// Lifetime launch-attempt ordinal, for error context.
+    pub launch: u64,
+    /// Most recent device word address touched (MemFault detection site).
+    pub last_addr: u64,
+}
+
+impl ExecLimits {
+    pub(crate) fn new(budget: u64, launch: u64) -> ExecLimits {
+        ExecLimits {
+            remaining: budget,
+            trip: TripKind::Watchdog {
+                reported_budget: budget,
+            },
+            launch,
+            last_addr: 0,
+        }
+    }
+
+    pub(crate) fn trip_error(&self) -> SimError {
+        match self.trip {
+            TripKind::Watchdog { reported_budget } => SimError::WatchdogTimeout {
+                budget: reported_budget,
+                launch: self.launch,
+            },
+            TripKind::MemFault => SimError::MemFault {
+                addr: self.last_addr,
+                launch: self.launch,
+            },
+        }
+    }
+}
+
 /// Executes one warp through the whole work function.
 pub(crate) fn run_warp(
     ctx: &WarpCtx<'_>,
     mem: &mut DeviceMemory,
     stats: &mut InstanceStats,
+    limits: &mut ExecLimits,
 ) -> Result<()> {
     let lanes = (0..ctx.active)
         .map(|_| Lane {
@@ -112,6 +168,7 @@ pub(crate) fn run_warp(
         ctx,
         mem,
         stats,
+        limits,
         lanes,
         peek_addrs: Vec::new(),
         peek_cursor: 0,
@@ -135,6 +192,15 @@ impl Exec<'_, '_> {
     #[inline]
     fn issue(&mut self, n: u64) {
         self.stats.warp_instructions += n;
+        self.limits.remaining = self.limits.remaining.saturating_sub(n);
+    }
+
+    /// Records the detection site for an injected memory fault. Called
+    /// *before* the access commits, so a tripped launch never writes the
+    /// word it reports.
+    #[inline]
+    fn touch(&mut self, addr: u64) {
+        self.limits.last_addr = addr;
     }
 
     /// Bills one warp-wide channel access at the given per-lane addresses.
@@ -223,6 +289,7 @@ impl Exec<'_, '_> {
                     self.issue(1); // address arithmetic
                 }
                 let elem = self.ctx.wf.input_ports()[p];
+                self.touch(addr);
                 Ok(Scalar::from_bits(elem, self.mem.read(addr)?))
             }
             Expr::LoadArr { arr, index } => {
@@ -264,10 +331,9 @@ impl Exec<'_, '_> {
                     self.stats.mem_transactions += 1; // one lane, one line
                 }
                 let ty = self.ctx.wf.states()[id.0 as usize].ty;
-                Ok(Scalar::from_bits(
-                    ty,
-                    self.mem.read(u64::from(base) + u64::from(id.0))?,
-                ))
+                let addr = u64::from(base) + u64::from(id.0);
+                self.touch(addr);
+                Ok(Scalar::from_bits(ty, self.mem.read(addr)?))
             }
             Expr::Unary(op, inner) => {
                 let v = self.eval_lane(inner, lane)?;
@@ -302,6 +368,12 @@ impl Exec<'_, '_> {
     }
 
     fn stmt(&mut self, s: &Stmt, mask: Mask) -> Result<()> {
+        // Watchdog: the budget decrements as instructions issue and is
+        // checked here, at statement boundaries, so a tripped launch stops
+        // between statements — writes so far persist, nothing is half-done.
+        if self.limits.remaining == 0 {
+            return Err(self.limits.trip_error());
+        }
         match s {
             Stmt::Assign(local, e) => {
                 let mut vals = Vec::new();
@@ -325,10 +397,9 @@ impl Exec<'_, '_> {
                 // Stateful filters run single-lane; the last active lane's
                 // value wins, matching sequential semantics.
                 for l in self.active_lanes(mask).collect::<Vec<_>>() {
-                    self.mem.write(
-                        u64::from(base) + u64::from(id.0),
-                        vals[l as usize].to_bits(),
-                    )?;
+                    let addr = u64::from(base) + u64::from(id.0);
+                    self.touch(addr);
+                    self.mem.write(addr, vals[l as usize].to_bits())?;
                 }
                 Ok(())
             }
@@ -365,6 +436,7 @@ impl Exec<'_, '_> {
                 self.issue(1); // address arithmetic
                 self.channel_access(&addrs);
                 for &(l, addr) in &addrs {
+                    self.touch(addr);
                     let bits = self.mem.read(addr)?;
                     let lane = &mut self.lanes[l as usize];
                     lane.pops[p] += 1;
@@ -387,6 +459,7 @@ impl Exec<'_, '_> {
                 self.issue(1);
                 self.channel_access(&addrs);
                 for &(l, addr) in &addrs {
+                    self.touch(addr);
                     self.mem.write(addr, vals[l as usize].to_bits())?;
                     self.lanes[l as usize].pushes[p] += 1;
                 }

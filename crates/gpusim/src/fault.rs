@@ -1,0 +1,242 @@
+//! Deterministic, seedable fault injection for the simulated device.
+//!
+//! A [`FaultPlan`] describes the transient failures a real CUDA pipeline
+//! must tolerate, mapped onto this simulator's launch model:
+//!
+//! * **launch failures** — the driver rejects or loses a kernel launch
+//!   before any device work happens ([`SimError::LaunchFailed`]);
+//! * **transient device-memory corruptions** — a detected in-flight
+//!   corruption (parity/ECC-style) kills the launch partway through
+//!   ([`SimError::MemFault`]); detection precedes write-back, so the
+//!   corrupted value itself never commits, but the launch's earlier
+//!   writes persist (partial execution);
+//! * **kernel hangs** — the kernel stops making progress and the
+//!   instruction-budget watchdog kills it ([`SimError::WatchdogTimeout`]),
+//!   again leaving partial writes behind;
+//! * **launch-overhead spikes** — the launch completes but its fixed
+//!   overhead is multiplied (driver hiccup, queue contention); billed
+//!   truthfully through the timing model and recorded in
+//!   [`LaunchStats::fault_overhead_cycles`].
+//!
+//! Faults are drawn **per launch attempt** from a hash of
+//! `(seed, attempt ordinal)`, so a given plan is fully deterministic and
+//! a retried launch (a later ordinal) gets a fresh, independent draw —
+//! exactly the property bounded retry-with-relaunch needs. Explicit
+//! faults can also be pinned to specific attempt ordinals with
+//! [`FaultPlan::at_launch`], which tests use to script scenarios.
+//!
+//! [`SimError::LaunchFailed`]: crate::SimError::LaunchFailed
+//! [`SimError::MemFault`]: crate::SimError::MemFault
+//! [`SimError::WatchdogTimeout`]: crate::SimError::WatchdogTimeout
+//! [`LaunchStats::fault_overhead_cycles`]: crate::LaunchStats
+
+use std::collections::BTreeMap;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The launch is rejected before any device work happens.
+    LaunchFailure,
+    /// A detected transient memory corruption aborts the launch after a
+    /// prefix of its work (partial writes persist).
+    MemCorruption,
+    /// The kernel hangs; the watchdog kills it after a prefix of its
+    /// work (partial writes persist).
+    Hang,
+    /// The launch completes, but its fixed launch overhead is multiplied
+    /// by this factor.
+    OverheadSpike {
+        /// Multiplier applied to the launch-overhead cycles (> 1.0).
+        factor: f64,
+    },
+}
+
+/// A deterministic, seedable description of which launch attempts fault
+/// and how. All rates are per-mille (probability × 1000) per attempt;
+/// at most one fault fires per attempt (rates partition one uniform
+/// draw, in the order launch failure → memory corruption → hang →
+/// overhead spike).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    launch_failure_permille: u32,
+    mem_corruption_permille: u32,
+    hang_permille: u32,
+    overhead_spike_permille: u32,
+    overhead_spike_factor: f64,
+    pinned: BTreeMap<u64, FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            overhead_spike_factor: 4.0,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds random launch failures at `permille`/1000 per attempt.
+    #[must_use]
+    pub fn with_launch_failures(mut self, permille: u32) -> FaultPlan {
+        self.launch_failure_permille = permille.min(1000);
+        self
+    }
+
+    /// Adds random detected memory corruptions at `permille`/1000 per
+    /// attempt.
+    #[must_use]
+    pub fn with_mem_corruptions(mut self, permille: u32) -> FaultPlan {
+        self.mem_corruption_permille = permille.min(1000);
+        self
+    }
+
+    /// Adds random kernel hangs at `permille`/1000 per attempt.
+    #[must_use]
+    pub fn with_hangs(mut self, permille: u32) -> FaultPlan {
+        self.hang_permille = permille.min(1000);
+        self
+    }
+
+    /// Adds random launch-overhead spikes at `permille`/1000 per attempt,
+    /// multiplying the fixed overhead by `factor`.
+    #[must_use]
+    pub fn with_overhead_spikes(mut self, permille: u32, factor: f64) -> FaultPlan {
+        self.overhead_spike_permille = permille.min(1000);
+        self.overhead_spike_factor = factor.max(1.0);
+        self
+    }
+
+    /// Pins a specific fault to a specific launch-attempt ordinal
+    /// (0-based, counted across the device's lifetime including retried
+    /// attempts). Pinned faults override the random draw.
+    #[must_use]
+    pub fn at_launch(mut self, attempt: u64, fault: FaultKind) -> FaultPlan {
+        self.pinned.insert(attempt, fault);
+        self
+    }
+
+    /// The plan's seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault (if any) this plan injects into launch attempt
+    /// `attempt`. Pure: the same plan and ordinal always agree.
+    #[must_use]
+    pub fn draw(&self, attempt: u64) -> Option<FaultKind> {
+        if let Some(&f) = self.pinned.get(&attempt) {
+            return Some(f);
+        }
+        let r = (hash2(self.seed, attempt) % 1000) as u32;
+        let mut edge = self.launch_failure_permille;
+        if r < edge {
+            return Some(FaultKind::LaunchFailure);
+        }
+        edge += self.mem_corruption_permille;
+        if r < edge {
+            return Some(FaultKind::MemCorruption);
+        }
+        edge += self.hang_permille;
+        if r < edge {
+            return Some(FaultKind::Hang);
+        }
+        edge += self.overhead_spike_permille;
+        if r < edge {
+            return Some(FaultKind::OverheadSpike {
+                factor: self.overhead_spike_factor,
+            });
+        }
+        None
+    }
+
+    /// Deterministic per-attempt instruction prefix after which a
+    /// [`FaultKind::MemCorruption`] or [`FaultKind::Hang`] strikes:
+    /// varied so faults land at different points of the kernel, but
+    /// always small enough to leave the launch visibly incomplete.
+    #[must_use]
+    pub fn trip_prefix_insts(&self, attempt: u64) -> u64 {
+        16 + hash2(self.seed ^ 0x5117_ab1e, attempt) % 240
+    }
+}
+
+/// splitmix64 over a seed/ordinal pair.
+fn hash2(seed: u64, x: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(x)
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic() {
+        let p = FaultPlan::new(42)
+            .with_launch_failures(100)
+            .with_mem_corruptions(100)
+            .with_hangs(100)
+            .with_overhead_spikes(100, 8.0);
+        let a: Vec<_> = (0..512).map(|i| p.draw(i)).collect();
+        let b: Vec<_> = (0..512).map(|i| p.draw(i)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rates_partition_one_draw() {
+        // 250‰ each: every attempt faults, categories roughly balanced.
+        let p = FaultPlan::new(7)
+            .with_launch_failures(250)
+            .with_mem_corruptions(250)
+            .with_hangs(250)
+            .with_overhead_spikes(250, 2.0);
+        let draws: Vec<_> = (0..4000).map(|i| p.draw(i)).collect();
+        assert!(draws.iter().all(Option::is_some));
+        let count = |k: fn(&FaultKind) -> bool| draws.iter().flatten().filter(|f| k(f)).count();
+        let lf = count(|f| matches!(f, FaultKind::LaunchFailure));
+        let mc = count(|f| matches!(f, FaultKind::MemCorruption));
+        let hg = count(|f| matches!(f, FaultKind::Hang));
+        let os = count(|f| matches!(f, FaultKind::OverheadSpike { .. }));
+        for n in [lf, mc, hg, os] {
+            assert!((700..1300).contains(&n), "unbalanced category: {n}/4000");
+        }
+    }
+
+    #[test]
+    fn zero_rates_never_fault() {
+        let p = FaultPlan::new(3);
+        assert!((0..4096).all(|i| p.draw(i).is_none()));
+    }
+
+    #[test]
+    fn pinned_faults_override() {
+        let p = FaultPlan::new(3).at_launch(5, FaultKind::Hang);
+        assert_eq!(p.draw(5), Some(FaultKind::Hang));
+        assert_eq!(p.draw(4), None);
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a = FaultPlan::new(1).with_launch_failures(500);
+        let b = FaultPlan::new(2).with_launch_failures(500);
+        let da: Vec<_> = (0..256).map(|i| a.draw(i).is_some()).collect();
+        let db: Vec<_> = (0..256).map(|i| b.draw(i).is_some()).collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn trip_prefix_is_small_and_varied() {
+        let p = FaultPlan::new(9);
+        let prefixes: Vec<u64> = (0..64).map(|i| p.trip_prefix_insts(i)).collect();
+        assert!(prefixes.iter().all(|&n| (16..256).contains(&n)));
+        assert!(prefixes.iter().collect::<std::collections::HashSet<_>>().len() > 8);
+    }
+}

@@ -3,7 +3,8 @@
 use streamir::ir::WorkFunction;
 
 use crate::config::DeviceConfig;
-use crate::exec::{run_warp, WarpCtx, REG_ARRAY_WORDS};
+use crate::exec::{run_warp, ExecLimits, TripKind, WarpCtx, REG_ARRAY_WORDS};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::layout::BufferBinding;
 use crate::mem::{Allocator, DeviceMemory};
 use crate::stats::{InstanceStats, LaunchStats};
@@ -65,6 +66,14 @@ pub struct Gpu {
     timing: TimingModel,
     memory: DeviceMemory,
     allocator: Allocator,
+    /// Injected-fault schedule (none by default).
+    fault_plan: Option<FaultPlan>,
+    /// Lifetime launch-attempt counter; faults key on this ordinal, so a
+    /// retried launch gets a fresh, independent fault draw.
+    launches_attempted: u64,
+    /// Watchdog instruction-budget override for tests; `None` derives it
+    /// from the timing model's watchdog interval.
+    watchdog_override: Option<u64>,
 }
 
 impl Gpu {
@@ -84,6 +93,9 @@ impl Gpu {
             timing,
             memory,
             allocator,
+            fault_plan: None,
+            launches_attempted: 0,
+            watchdog_override: None,
         }
     }
 
@@ -138,6 +150,46 @@ impl Gpu {
         self.allocator.used()
     }
 
+    /// Installs a fault-injection plan: subsequent launch attempts
+    /// consult it (keyed by the lifetime attempt ordinal) and may fail
+    /// with a transient [`SimError`].
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Removes any installed fault plan.
+    pub fn clear_faults(&mut self) {
+        self.fault_plan = None;
+    }
+
+    /// The installed fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Launch attempts made over this device's lifetime, including
+    /// attempts that faulted. This is the ordinal the fault plan keys on.
+    #[must_use]
+    pub fn launches_attempted(&self) -> u64 {
+        self.launches_attempted
+    }
+
+    /// The watchdog's instruction budget for one launch: the override if
+    /// set, else derived from the timing model's watchdog interval.
+    #[must_use]
+    pub fn watchdog_budget(&self) -> u64 {
+        self.watchdog_override
+            .unwrap_or_else(|| self.timing.watchdog_budget_insts())
+    }
+
+    /// Overrides the watchdog instruction budget (`None` restores the
+    /// timing-model derivation). Tests use tiny budgets to exercise
+    /// genuine runaway-kernel kills without issuing 10⁸ instructions.
+    pub fn set_watchdog_budget(&mut self, budget: Option<u64>) {
+        self.watchdog_override = budget;
+    }
+
     /// Executes a kernel launch functionally and returns its modeled
     /// statistics.
     ///
@@ -149,8 +201,40 @@ impl Gpu {
     ///   loop records as an infeasible configuration.
     /// * [`SimError::Trap`] / [`SimError::BadAddress`] if a work function
     ///   faults during execution.
+    /// * [`SimError::LaunchFailed`] / [`SimError::MemFault`] /
+    ///   [`SimError::WatchdogTimeout`] for injected transient faults
+    ///   (see [`FaultPlan`]) or a genuine watchdog kill. These are
+    ///   [`SimError::is_transient`]; executors may retry the launch from
+    ///   a consistent buffer state.
     pub fn run(&mut self, launch: &Launch<'_>) -> Result<LaunchStats> {
+        let attempt = self.launches_attempted;
+        self.launches_attempted += 1;
+        let (fault, trip_prefix) = match &self.fault_plan {
+            Some(p) => (p.draw(attempt), p.trip_prefix_insts(attempt)),
+            None => (None, 0),
+        };
+        if matches!(fault, Some(FaultKind::LaunchFailure)) {
+            // The driver loses the launch before any device work.
+            return Err(SimError::LaunchFailed { launch: attempt });
+        }
         self.validate(launch)?;
+
+        // The watchdog budget is shared by the whole launch. Injected
+        // hangs and memory faults run on a small prefix budget so their
+        // partial writes are real, but report their true cause.
+        let true_budget = self.watchdog_budget();
+        let mut limits = ExecLimits::new(true_budget, attempt);
+        let mut spike_factor = 1.0;
+        match fault {
+            Some(FaultKind::Hang) => limits.remaining = trip_prefix,
+            Some(FaultKind::MemCorruption) => {
+                limits.remaining = trip_prefix;
+                limits.trip = TripKind::MemFault;
+            }
+            Some(FaultKind::OverheadSpike { factor }) => spike_factor = factor.max(1.0),
+            _ => {}
+        }
+
         let mut per_sm = vec![0.0f64; self.config.num_sms as usize];
         let mut totals = LaunchStats {
             per_sm_cycles: Vec::new(),
@@ -162,7 +246,7 @@ impl Gpu {
         for (b, block) in launch.blocks.iter().enumerate() {
             let sm = b % self.config.num_sms as usize;
             for inst in &block.items {
-                let stats = self.run_instance(launch, inst)?;
+                let stats = self.run_instance(launch, inst, &mut limits)?;
                 per_sm[sm] += self.timing.instance_cycles(&stats);
                 total_transactions += stats.mem_transactions + stats.spill_transactions;
                 totals.warp_instructions += stats.warp_instructions;
@@ -175,12 +259,21 @@ impl Gpu {
             }
         }
 
+        // An armed hang/corruption that the (small) prefix budget did not
+        // trip mid-run still kills the launch: the hang strikes at the
+        // kernel tail, the corruption is detected at the final sync.
+        if matches!(fault, Some(FaultKind::Hang | FaultKind::MemCorruption)) {
+            limits.remaining = 0;
+            return Err(limits.trip_error());
+        }
+
         let cycles =
             self.timing
                 .launch_cycles(&per_sm, total_transactions, launch.blocks.len() as u64);
+        totals.fault_overhead_cycles = (spike_factor - 1.0) * self.timing.launch_overhead_cycles;
         totals.per_sm_cycles = per_sm;
-        totals.cycles = cycles;
-        totals.time_secs = self.timing.secs(cycles);
+        totals.cycles = cycles + totals.fault_overhead_cycles;
+        totals.time_secs = self.timing.secs(totals.cycles);
         Ok(totals)
     }
 
@@ -248,7 +341,12 @@ impl Gpu {
         Ok(())
     }
 
-    fn run_instance(&mut self, launch: &Launch<'_>, inst: &InstanceExec<'_>) -> Result<InstanceStats> {
+    fn run_instance(
+        &mut self,
+        launch: &Launch<'_>,
+        inst: &InstanceExec<'_>,
+        limits: &mut ExecLimits,
+    ) -> Result<InstanceStats> {
         let warp = self.config.warp_size;
         let warps = inst.active_threads.div_ceil(warp);
         let mut stats = InstanceStats {
@@ -271,7 +369,7 @@ impl Gpu {
                 reg_array_words: REG_ARRAY_WORDS,
                 state_base: inst.state_base,
             };
-            run_warp(&ctx, &mut self.memory, &mut stats)?;
+            run_warp(&ctx, &mut self.memory, &mut stats, limits)?;
         }
 
         if inst.shared_staging {
@@ -697,5 +795,127 @@ mod tests {
                 Scalar::I32(2 * i as i32)
             );
         }
+    }
+
+    fn faultable_setup() -> (Gpu, WorkFunction, u32, u32, u32) {
+        let work = doubler();
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        let n = 64u32;
+        let inp = gpu.alloc_tokens(n);
+        let out = gpu.alloc_tokens(n);
+        for i in 0..n {
+            gpu.memory_mut().write_token(inp + i, Scalar::I32(i as i32));
+        }
+        (gpu, work, inp, out, n)
+    }
+
+    #[test]
+    fn injected_launch_failure_leaves_memory_untouched() {
+        let (mut gpu, work, inp, out, n) = faultable_setup();
+        gpu.inject_faults(crate::FaultPlan::new(1).at_launch(0, FaultKind::LaunchFailure));
+        let launch = simple_launch(&work, inp, out, n, Layout::Sequential);
+        let e = gpu.run(&launch).unwrap_err();
+        assert_eq!(e, SimError::LaunchFailed { launch: 0 });
+        assert!(e.is_transient());
+        // No device work happened: the output buffer is still zeroed.
+        for i in 0..n {
+            assert_eq!(gpu.memory().read_token(out + i, ElemTy::I32), Scalar::I32(0));
+        }
+        // The retry (attempt 1, no pinned fault) succeeds as-is.
+        gpu.run(&launch).unwrap();
+        assert_eq!(gpu.memory().read_token(out + 5, ElemTy::I32), Scalar::I32(10));
+        assert_eq!(gpu.launches_attempted(), 2);
+    }
+
+    #[test]
+    fn injected_hang_reports_true_watchdog_budget_and_writes_partially() {
+        let (mut gpu, work, inp, out, n) = faultable_setup();
+        gpu.inject_faults(crate::FaultPlan::new(2).at_launch(0, FaultKind::Hang));
+        let launch = simple_launch(&work, inp, out, n, Layout::Sequential);
+        let e = gpu.run(&launch).unwrap_err();
+        let true_budget = gpu.watchdog_budget();
+        assert_eq!(
+            e,
+            SimError::WatchdogTimeout {
+                budget: true_budget,
+                launch: 0
+            }
+        );
+        assert!(e.is_transient());
+        // Relaunching re-runs the same deterministic work; the earlier
+        // partial writes are overwritten identically (idempotence).
+        gpu.run(&launch).unwrap();
+        for i in 0..n {
+            assert_eq!(
+                gpu.memory().read_token(out + i, ElemTy::I32),
+                Scalar::I32(2 * i as i32)
+            );
+        }
+    }
+
+    #[test]
+    fn injected_mem_fault_reports_detection_site() {
+        let (mut gpu, work, inp, out, n) = faultable_setup();
+        gpu.inject_faults(crate::FaultPlan::new(3).at_launch(0, FaultKind::MemCorruption));
+        let launch = simple_launch(&work, inp, out, n, Layout::Sequential);
+        match gpu.run(&launch).unwrap_err() {
+            e @ SimError::MemFault { addr, launch: 0 } => {
+                assert!(e.is_transient());
+                // The detection site is a word the kernel actually touches.
+                assert!(addr < u64::from(inp) + 2 * u64::from(n) + 64);
+            }
+            other => panic!("expected MemFault, got {other}"),
+        }
+        gpu.run(&launch).unwrap();
+        assert_eq!(gpu.memory().read_token(out + 7, ElemTy::I32), Scalar::I32(14));
+    }
+
+    #[test]
+    fn overhead_spike_bills_extra_cycles_truthfully() {
+        let (mut gpu, work, inp, out, n) = faultable_setup();
+        let launch = simple_launch(&work, inp, out, n, Layout::Sequential);
+        let clean = gpu.run(&launch).unwrap();
+        assert_eq!(clean.fault_overhead_cycles, 0.0);
+        gpu.inject_faults(
+            crate::FaultPlan::new(4).at_launch(1, FaultKind::OverheadSpike { factor: 5.0 }),
+        );
+        let spiked = gpu.run(&launch).unwrap();
+        let expect = 4.0 * gpu.timing().launch_overhead_cycles;
+        assert!((spiked.fault_overhead_cycles - expect).abs() < 1e-9);
+        assert!((spiked.cycles - clean.cycles - expect).abs() < 1e-9);
+        assert!(spiked.time_secs > clean.time_secs);
+    }
+
+    #[test]
+    fn runaway_kernel_trips_the_real_watchdog() {
+        let (mut gpu, work, inp, out, n) = faultable_setup();
+        // No fault plan at all: a tiny budget models a genuinely hung
+        // kernel hitting the watchdog.
+        gpu.set_watchdog_budget(Some(2));
+        let launch = simple_launch(&work, inp, out, n, Layout::Sequential);
+        let e = gpu.run(&launch).unwrap_err();
+        assert_eq!(
+            e,
+            SimError::WatchdogTimeout {
+                budget: 2,
+                launch: 0
+            }
+        );
+        gpu.set_watchdog_budget(None);
+        gpu.run(&launch).unwrap();
+    }
+
+    #[test]
+    fn fault_draws_key_on_lifetime_attempt_ordinal() {
+        let (mut gpu, work, inp, out, n) = faultable_setup();
+        gpu.inject_faults(crate::FaultPlan::new(5).at_launch(1, FaultKind::LaunchFailure));
+        let launch = simple_launch(&work, inp, out, n, Layout::Sequential);
+        gpu.run(&launch).unwrap();
+        assert!(matches!(
+            gpu.run(&launch).unwrap_err(),
+            SimError::LaunchFailed { launch: 1 }
+        ));
+        gpu.run(&launch).unwrap();
+        assert_eq!(gpu.launches_attempted(), 3);
     }
 }

@@ -70,6 +70,7 @@
 
 mod config;
 mod exec;
+mod fault;
 mod launch;
 mod layout;
 mod mem;
@@ -79,6 +80,7 @@ mod timing;
 pub mod occupancy;
 
 pub use config::DeviceConfig;
+pub use fault::{FaultKind, FaultPlan};
 pub use launch::{BlockWork, Gpu, InstanceExec, Launch};
 pub use layout::{BufferBinding, Layout};
 pub use mem::{Allocator, DeviceMemory};
@@ -103,6 +105,50 @@ pub enum SimError {
         /// The offending word address.
         addr: u64,
     },
+    /// The driver rejected or lost the launch before any device work
+    /// happened (injected by a [`FaultPlan`]). Device memory is
+    /// untouched; the launch is safe to retry as-is.
+    LaunchFailed {
+        /// Lifetime launch-attempt ordinal that failed.
+        launch: u64,
+    },
+    /// A detected transient device-memory corruption aborted the launch
+    /// partway through (injected by a [`FaultPlan`]). Earlier writes of
+    /// the aborted launch persist; the corrupted value itself was never
+    /// committed. Retry requires restoring any non-idempotent state the
+    /// launch mutates in place.
+    MemFault {
+        /// Word address whose access detected the corruption.
+        addr: u64,
+        /// Lifetime launch-attempt ordinal that faulted.
+        launch: u64,
+    },
+    /// The kernel exceeded its instruction budget and the watchdog
+    /// killed it. Arises from an injected hang ([`FaultPlan`]) or from a
+    /// genuinely runaway kernel. Earlier writes persist, as for
+    /// [`SimError::MemFault`].
+    WatchdogTimeout {
+        /// The instruction budget that was exhausted.
+        budget: u64,
+        /// Lifetime launch-attempt ordinal that was killed.
+        launch: u64,
+    },
+}
+
+impl SimError {
+    /// Whether the error is a transient fault for which re-running the
+    /// launch (from a consistent buffer state) can succeed. Permanent
+    /// errors — bad configurations, traps, out-of-bounds accesses —
+    /// reproduce deterministically and must not be retried.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SimError::LaunchFailed { .. }
+                | SimError::MemFault { .. }
+                | SimError::WatchdogTimeout { .. }
+        )
+    }
 }
 
 impl fmt::Display for SimError {
@@ -113,6 +159,19 @@ impl fmt::Display for SimError {
             SimError::BadAddress { addr } => {
                 write!(f, "device memory access at {addr} out of bounds")
             }
+            SimError::LaunchFailed { launch } => {
+                write!(f, "launch attempt {launch} failed before device work (injected fault)")
+            }
+            SimError::MemFault { addr, launch } => write!(
+                f,
+                "transient device-memory corruption detected at word {addr} \
+                 during launch attempt {launch}"
+            ),
+            SimError::WatchdogTimeout { budget, launch } => write!(
+                f,
+                "watchdog killed launch attempt {launch} after exhausting its \
+                 instruction budget of {budget}"
+            ),
         }
     }
 }

@@ -1,0 +1,29 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy for `Vec`s whose length is drawn from `len` and whose
+/// elements come from `elem`.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// Generates vectors with lengths in `len` (half-open, as in the real
+/// crate's `SizeRange` conversion from `Range<usize>`).
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start) as u128;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,102 @@
+//! Test-runner plumbing: configuration, case errors, and the
+//! deterministic PRNG behind every strategy.
+
+/// Per-`proptest!` block configuration. Only `cases` is honoured; the
+/// other fields exist so `..ProptestConfig::default()` struct update
+/// written against the real crate keeps compiling.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must run.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; the attempt cap is derived from
+    /// `cases` instead.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case is invalid for this input and should be skipped
+    /// (`prop_assume!`).
+    Reject(String),
+    /// The property does not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+/// The result type each generated test case body produces.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A small deterministic PRNG (splitmix64), seeded from the test name
+/// so every run of a given test draws the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds from an arbitrary name (FNV-1a over the bytes).
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h)
+    }
+
+    /// Seeds directly.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`0` when `n == 0`). The modulo bias is
+    /// negligible for the small ranges test strategies use.
+    pub fn below(&mut self, n: u128) -> u128 {
+        if n == 0 {
+            return 0;
+        }
+        (u128::from(self.next_u64()) << 64 | u128::from(self.next_u64())) % n
+    }
+}

@@ -17,9 +17,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
-        Some("dot") => with_benchmark(&args, 2, |b| cmd_dot(b)),
+        Some("dot") => with_benchmark(&args, 2, cmd_dot),
         Some("ir") => cmd_ir(&args),
-        Some("compile") => with_benchmark(&args, 2, |b| cmd_compile(b)),
+        Some("compile") => with_benchmark(&args, 2, cmd_compile),
         Some("run") => with_benchmark(&args, 2, |b| cmd_run(b, &args)),
         _ => {
             eprint!("{}", USAGE);

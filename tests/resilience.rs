@@ -1,0 +1,271 @@
+//! Robustness tests: the degradation ladder of the resilient compilation
+//! driver, and the retry-with-relaunch property — under a seedable
+//! fault-injection plan (launch failures, transient memory corruptions,
+//! watchdog-killed hangs, launch-overhead spikes) every benchmark's
+//! output stream stays bit-identical to the fault-free run, with the
+//! retry cost billed truthfully into the timing model.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use gpusim::{FaultKind, FaultPlan};
+use proptest::prelude::*;
+use streamir::graph::{FilterSpec, StreamSpec};
+use streamir::ir::{ElemTy, Expr, FnBuilder, Scalar};
+use swpipe::exec::{self, CompileOptions, Compiled, RetryPolicy, RunOptions, Scheme};
+use swpipe::pipeline::{
+    LadderRung, PipelineOptions, ResilientPipeline, RungOutcome, StageBudgets,
+};
+
+// ---------------------------------------------------------------------
+// The degradation ladder: one test per rung asserting the
+// DegradationReport names that rung as the one that shipped.
+// ---------------------------------------------------------------------
+
+fn map_filter(name: &str, f: impl FnOnce(Expr) -> Expr) -> StreamSpec {
+    let mut b = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+    let x = b.local(ElemTy::I32);
+    b.pop_into(0, x);
+    b.push(0, f(Expr::local(x)));
+    StreamSpec::filter(FilterSpec::new(name, b.build().unwrap()))
+}
+
+fn ladder_graph() -> streamir::graph::FlatGraph {
+    StreamSpec::pipeline(vec![
+        map_filter("scale", |x| x.mul(Expr::i32(3))),
+        map_filter("bias", |x| x.add(Expr::i32(7))),
+        map_filter("square", |x| x.clone().mul(x)),
+    ])
+    .flatten()
+    .unwrap()
+}
+
+fn pipeline_with(budgets: StageBudgets) -> ResilientPipeline {
+    ResilientPipeline::new(PipelineOptions {
+        compile: CompileOptions::small_test(),
+        budgets,
+    })
+}
+
+fn run_resilient(rc: &swpipe::pipeline::ResilientCompiled, iters: u64) -> Vec<Scalar> {
+    let input: Vec<Scalar> = (0..exec::required_input(&rc.compiled, iters))
+        .map(|i| Scalar::I32(i as i32 % 41 - 20))
+        .collect();
+    exec::execute(&rc.compiled, rc.scheme, iters, &input)
+        .unwrap()
+        .outputs
+}
+
+#[test]
+fn rung_exact_ilp_ships_under_default_budgets() {
+    let rc = pipeline_with(StageBudgets::default())
+        .compile(&ladder_graph())
+        .unwrap();
+    assert_eq!(
+        rc.report.shipped,
+        LadderRung::ExactIlp,
+        "degradation report: {}",
+        rc.report
+    );
+    assert!(!rc.report.degraded());
+    assert!(matches!(
+        rc.report.shipped_attempt().unwrap().outcome,
+        RungOutcome::Shipped
+    ));
+    assert!(rc.compiled.report.used_ilp);
+    assert!(!run_resilient(&rc, 4).is_empty());
+}
+
+#[test]
+fn rung_relaxed_ilp_ships_when_exact_budget_is_exhausted() {
+    let rc = pipeline_with(StageBudgets {
+        exact_ilp: Duration::ZERO,
+        ..StageBudgets::default()
+    })
+    .compile(&ladder_graph())
+    .unwrap();
+    assert_eq!(
+        rc.report.shipped,
+        LadderRung::RelaxedIlp,
+        "degradation report: {}",
+        rc.report
+    );
+    assert!(rc.report.degraded());
+    assert_eq!(rc.report.attempts[0].outcome, RungOutcome::SkippedBudget);
+    assert!(rc.compiled.report.used_ilp);
+    assert!(!run_resilient(&rc, 4).is_empty());
+}
+
+#[test]
+fn rung_heuristic_ships_when_both_ilp_budgets_are_exhausted() {
+    let rc = pipeline_with(StageBudgets {
+        exact_ilp: Duration::ZERO,
+        relaxed_ilp: Duration::ZERO,
+        ..StageBudgets::default()
+    })
+    .compile(&ladder_graph())
+    .unwrap();
+    assert_eq!(
+        rc.report.shipped,
+        LadderRung::Heuristic,
+        "degradation report: {}",
+        rc.report
+    );
+    assert!(!rc.compiled.report.used_ilp);
+    assert_eq!(rc.scheme, Scheme::Swp { coarsening: 1 });
+    assert!(!run_resilient(&rc, 4).is_empty());
+}
+
+#[test]
+fn rung_serial_sas_ships_when_every_scheduler_budget_is_exhausted() {
+    let rc = pipeline_with(StageBudgets {
+        exact_ilp: Duration::ZERO,
+        relaxed_ilp: Duration::ZERO,
+        heuristic: Duration::ZERO,
+    })
+    .compile(&ladder_graph())
+    .unwrap();
+    assert_eq!(
+        rc.report.shipped,
+        LadderRung::SerialSas,
+        "degradation report: {}",
+        rc.report
+    );
+    assert_eq!(rc.scheme, Scheme::Serial { batch: 1 });
+    assert_eq!(rc.report.attempts.len(), 4);
+
+    // The last rung must still compute the right stream: compare with
+    // the CPU reference.
+    let iters = 4u64;
+    let graph = ladder_graph();
+    let steady = streamir::sdf::solve(&graph).unwrap();
+    let n_input = exec::required_input(&rc.compiled, iters);
+    let cpu_per_iter = steady.input_tokens_per_iteration(&graph).max(1);
+    let input: Vec<Scalar> = (0..n_input + 2 * cpu_per_iter + 64)
+        .map(|i| Scalar::I32(i as i32 % 41 - 20))
+        .collect();
+    let gpu = exec::execute(&rc.compiled, rc.scheme, iters, &input[..n_input as usize]).unwrap();
+    let cpu_init = steady.input_tokens_for_init(&graph);
+    let cpu_iters = (n_input.saturating_sub(cpu_init)).div_ceil(cpu_per_iter) + 1;
+    let cpu = streamir::cpu::run(
+        &graph,
+        &steady,
+        cpu_iters,
+        &input,
+        &streamir::cpu::CpuCostModel::default(),
+    )
+    .unwrap();
+    assert!(!gpu.outputs.is_empty());
+    assert!(gpu.outputs.len() <= cpu.outputs.len());
+    assert_eq!(gpu.outputs[..], cpu.outputs[..gpu.outputs.len()]);
+}
+
+// ---------------------------------------------------------------------
+// The retry property: across the whole benchmark suite, a fault-injected
+// run whose faults stay below the retry bound is bit-identical to the
+// fault-free run, and the retry cost shows up in the modeled time.
+// ---------------------------------------------------------------------
+
+struct CachedBench {
+    name: &'static str,
+    compiled: Compiled,
+    input: Vec<Scalar>,
+    iters: u64,
+    clean_outputs: Vec<Scalar>,
+    clean_cycles: f64,
+}
+
+fn suite_cache() -> &'static [CachedBench] {
+    static CACHE: OnceLock<Vec<CachedBench>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        streambench::suite()
+            .into_iter()
+            .map(|b| {
+                let graph = b.spec.flatten().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+                let compiled = exec::compile(&graph, &CompileOptions::small_test())
+                    .unwrap_or_else(|e| panic!("{}: compile: {e}", b.name));
+                let iters = 4u64;
+                let n_input = exec::required_input(&compiled, iters);
+                let input = (b.input)(n_input as usize);
+                let clean = exec::execute(&compiled, Scheme::Swp { coarsening: 1 }, iters, &input)
+                    .unwrap_or_else(|e| panic!("{}: execute: {e}", b.name));
+                assert_eq!(clean.retries, 0);
+                CachedBench {
+                    name: b.name,
+                    compiled,
+                    input,
+                    iters,
+                    clean_outputs: clean.outputs,
+                    clean_cycles: clean.stats.cycles,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// For every benchmark in the suite: inject a seeded mix of launch
+    /// failures, transient memory corruptions, a watchdog-killed hang,
+    /// and launch-overhead spikes. As long as no single launch exhausts
+    /// the retry bound, the output stream is bit-identical to the
+    /// fault-free run and the failed attempts are billed into the
+    /// modeled cycles.
+    #[test]
+    fn faulted_runs_are_bit_identical_after_retries(seed in 1u64..1_000_000) {
+        let mut total_retries = 0u64;
+        for cb in suite_cache() {
+            // Background fault rates, plus pinned faults on the first
+            // three launch attempts so every case provably exercises a
+            // launch failure, a memory fault, and a watchdog kill.
+            let plan = FaultPlan::new(seed)
+                .with_launch_failures(60)
+                .with_mem_corruptions(40)
+                .with_hangs(25)
+                .with_overhead_spikes(40, 5.0)
+                .at_launch(0, FaultKind::LaunchFailure)
+                .at_launch(1, FaultKind::MemCorruption)
+                .at_launch(2, FaultKind::Hang);
+            let opts = RunOptions {
+                fault_plan: Some(plan),
+                retry: RetryPolicy { max_attempts: 12 },
+            };
+            let faulted = exec::execute_with(
+                &cb.compiled,
+                Scheme::Swp { coarsening: 1 },
+                cb.iters,
+                &cb.input,
+                &opts,
+            );
+            let faulted = match faulted {
+                Ok(run) => run,
+                Err(e) => {
+                    return Err(TestCaseError::Fail(
+                        format!("{} (seed {seed}): {e}", cb.name),
+                    ))
+                }
+            };
+            prop_assert_eq!(
+                &faulted.outputs,
+                &cb.clean_outputs,
+                "{} (seed {}): faulted run diverged",
+                cb.name,
+                seed
+            );
+            // The three pinned faults alone force three retries.
+            prop_assert!(faulted.retries >= 3, "{}: {} retries", cb.name, faulted.retries);
+            prop_assert!(faulted.stats.fault_overhead_cycles > 0.0);
+            // Billing is truthful: the faulted run can only be slower.
+            prop_assert!(
+                faulted.stats.cycles >= cb.clean_cycles,
+                "{}: faulted {} < clean {}",
+                cb.name,
+                faulted.stats.cycles,
+                cb.clean_cycles
+            );
+            total_retries += faulted.retries;
+        }
+        prop_assert!(total_retries >= 3 * suite_cache().len() as u64);
+    }
+}

@@ -130,8 +130,11 @@ fn stateful_instances_have_serial_dependences() {
 fn stateful_requires_single_thread_in_model() {
     let graph = accumulator("acc").flatten().unwrap();
     let cfg = ExecConfig::uniform(1, 4, 16, 5); // 4 threads: invalid
-    let result = std::panic::catch_unwind(|| instances::build(&graph, &cfg));
-    assert!(result.is_err(), "multi-threaded stateful must be rejected");
+    let err = instances::build(&graph, &cfg).unwrap_err();
+    assert!(
+        matches!(err, swpipe::Error::Api(ref m) if m.contains("single-threaded")),
+        "multi-threaded stateful must be rejected with a typed error, got: {err}"
+    );
 }
 
 #[test]
