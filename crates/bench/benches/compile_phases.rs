@@ -55,7 +55,7 @@ fn bench_phases(c: &mut Criterion) {
             .res_mii(&selection.exec, 16)
             .max(selection.exec.delay.iter().copied().max().unwrap_or(1))
             .max(1);
-        bench.iter(|| black_box(formulate::build_model(&ig, &selection.exec, 16, lower, 16)));
+        bench.iter(|| black_box(formulate::build_model(&ig, &selection.exec, 16, lower, 16, 0)));
     });
     group.bench_function("buffer_plan", |bench| {
         let (sched, _) = schedule::find(

@@ -61,7 +61,7 @@ fn main() {
                     .max()
                     .unwrap_or(1),
             );
-        let (model16, _) = swpipe::formulate::build_model(&ig, &compiled.exec_cfg, 16, lower16, 16);
+        let (model16, _) = swpipe::formulate::build_model(&ig, &compiled.exec_cfg, 16, lower16, 16, 0);
 
         // Exact solve at P=4.
         let search = SearchOptions {

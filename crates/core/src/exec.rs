@@ -14,7 +14,8 @@
 //!   buffers constrained to a single batch in flight.
 
 use gpusim::{
-    BlockWork, DeviceConfig, FaultPlan, Gpu, InstanceExec, Launch, LaunchStats, TimingModel,
+    BlockWork, CheckpointMode, DeviceConfig, FaultPlan, Gpu, InstanceExec, Launch, LaunchStats,
+    TimingModel,
 };
 use streamir::graph::{FlatGraph, NodeId};
 use streamir::ir::Scalar;
@@ -201,6 +202,19 @@ impl Default for RetryPolicy {
     }
 }
 
+/// How the executor picks the checkpoint protocol protecting stateful
+/// filter state across retried launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointSpec {
+    /// Let the cost model decide ([`crate::plan::checkpoint_plan`]): the
+    /// cheaper of the two modes for this program's state footprint and
+    /// the fault plan's expected restore rate.
+    #[default]
+    Auto,
+    /// Force a specific mode (experiments and A/B tests).
+    Force(CheckpointMode),
+}
+
 /// Execution-time options: fault injection and the retry policy.
 #[derive(Debug, Clone, Default)]
 pub struct RunOptions {
@@ -208,6 +222,11 @@ pub struct RunOptions {
     pub fault_plan: Option<FaultPlan>,
     /// How many times a transiently-faulted launch is re-attempted.
     pub retry: RetryPolicy,
+    /// Checkpoint-protocol selection. Only billed (and, for the
+    /// double-buffered mode, only materialized on the device) when a
+    /// fault plan is armed; fault-free runs are byte-identical across
+    /// all settings.
+    pub checkpoint: CheckpointSpec,
 }
 
 /// The outcome of a GPU execution.
@@ -228,6 +247,14 @@ pub struct GpuRun {
     pub retries: u64,
     /// Total channel-buffer bytes of the plan (Table II's quantity).
     pub buffer_bytes: u64,
+    /// The checkpoint mode the run protected stateful state with
+    /// (cost-model choice under [`CheckpointSpec::Auto`]).
+    pub checkpoint_mode: CheckpointMode,
+    /// Modeled cycles of each completed launch, in issue order — the
+    /// per-launch trace makespan-variance experiments need. Empty for
+    /// scaled measurement runs ([`measure`]), where most launches are
+    /// extrapolated rather than simulated.
+    pub launch_cycles: Vec<f64>,
 }
 
 /// Input tokens an execution of `iterations` basic steady iterations
@@ -344,9 +371,17 @@ fn execute_inner(
         buffers.write_input(&mut gpu, input);
     }
 
+    let ckpt_plan = plan::checkpoint_plan(&c.graph, &c.timing, opts.fault_plan.as_ref());
+    let mode = match opts.checkpoint {
+        CheckpointSpec::Auto => ckpt_plan.mode,
+        CheckpointSpec::Force(m) => m,
+    };
+    let mut ckpt = Checkpointer::new(&mut gpu, c, &buffers, mode, opts.fault_plan.is_some())?;
+
     let mut totals = LaunchStats::default();
     let mut launches = 0u64;
     let mut retries = 0u64;
+    let mut trace = Vec::new();
     match scheme {
         Scheme::Swp { .. } | Scheme::SwpNc { .. } | Scheme::SwpRaw { .. } => {
             // Both optimized and no-coalesce schemes stage fitting working
@@ -355,13 +390,13 @@ fn execute_inner(
             let staged = !matches!(scheme, Scheme::SwpRaw { .. });
             run_swp(
                 c, &buffers, granule, iterations, staged, scaled, &mut gpu, &mut totals,
-                &mut launches, opts.retry, &mut retries,
+                &mut launches, opts.retry, &mut retries, &mut ckpt, &mut trace,
             )?;
         }
         Scheme::Serial { .. } => {
             run_serial(
                 c, &buffers, granule, iterations, scaled, &mut gpu, &mut totals, &mut launches,
-                opts.retry, &mut retries,
+                opts.retry, &mut retries, &mut ckpt, &mut trace,
             )?;
         }
     }
@@ -377,6 +412,8 @@ fn execute_inner(
         launches,
         retries,
         buffer_bytes: plan.total_bytes(),
+        checkpoint_mode: mode,
+        launch_cycles: if scaled { Vec::new() } else { trace },
         stats: totals,
     })
 }
@@ -434,41 +471,144 @@ fn check_input_len(c: &Compiled, buffers: &ProgramBuffers, input: &[Scalar]) -> 
     Ok(())
 }
 
-/// Snapshot of the only device state a launch mutates *in place*: the
-/// stateful filters' state words. Every other word a launch writes
-/// (channel tokens, outputs) is a deterministic function of inputs the
-/// launch does not overwrite — and within one launch each block's
-/// producer→consumer instance order re-runs identically — so relaunching
-/// after a partial execution recomputes those words bit-identically.
-/// Restoring this snapshot therefore returns the device to the last
-/// consistent buffer state.
-struct StateCheckpoint {
-    regions: Vec<(u32, Vec<u32>)>,
+/// The retry protocol's checkpoint of the only device state a launch
+/// mutates *in place*: the stateful filters' state words. Every other
+/// word a launch writes (channel tokens, outputs) is a deterministic
+/// function of inputs the launch does not overwrite — and within one
+/// launch each block's producer→consumer instance order re-runs
+/// identically — so relaunching after a partial execution recomputes
+/// those words bit-identically. Restoring the committed snapshot
+/// therefore returns the device to the last consistent buffer state.
+///
+/// Two protocols, priced by the timing model's checkpoint cost model:
+///
+/// * [`CheckpointMode::HostRoundTrip`] — capture copies the state words
+///   to the host before each launch; a restore copies them back. Both
+///   directions pay the host-transfer latency plus per-word cost.
+/// * [`CheckpointMode::DeviceDoubleBuffered`] — the state words are
+///   additionally mirrored into one of two on-device shadow buffers
+///   (alternating per launch); commit and restore are device-to-device
+///   copies at the much cheaper per-word commit cost, with no host
+///   latency. A host mirror is still kept so recovery can be *validated*
+///   bit-identical against the committed snapshot — the mirror is a
+///   correctness check, not a billed mechanism.
+///
+/// When no fault plan is armed the protocol is unbilled and the shadow
+/// buffers are never allocated, so fault-free runs are byte-identical to
+/// the pre-checkpointing executor.
+struct Checkpointer {
+    /// `(live state base, word count)` per stateful filter.
+    regions: Vec<(u32, u32)>,
+    /// Host copy of the last committed snapshot, regions concatenated.
+    committed: Vec<u32>,
+    mode: CheckpointMode,
+    /// The two on-device shadow buffers (double-buffered mode, armed).
+    shadow: Option<[u32; 2]>,
+    /// Which shadow buffer holds the last committed snapshot.
+    current: usize,
+    /// Whether a fault plan is armed (enables billing + shadow writes).
+    armed: bool,
 }
 
-impl StateCheckpoint {
-    fn capture(gpu: &Gpu, c: &Compiled, buffers: &ProgramBuffers) -> Result<StateCheckpoint> {
+impl Checkpointer {
+    fn new(
+        gpu: &mut Gpu,
+        c: &Compiled,
+        buffers: &ProgramBuffers,
+        mode: CheckpointMode,
+        armed: bool,
+    ) -> Result<Checkpointer> {
         let mut regions = Vec::new();
         for (node, base) in c.graph.nodes().iter().zip(&buffers.state_base) {
             if let Some(base) = *base {
-                let len = node.work.states().len().max(1) as u32;
-                let mut words = Vec::with_capacity(len as usize);
-                for i in 0..len {
-                    words.push(gpu.memory().read(u64::from(base + i))?);
-                }
-                regions.push((base, words));
+                regions.push((base, node.work.states().len().max(1) as u32));
             }
         }
-        Ok(StateCheckpoint { regions })
+        let words: u32 = regions.iter().map(|&(_, len)| len).sum();
+        let shadow = if armed && mode == CheckpointMode::DeviceDoubleBuffered && words > 0 {
+            Some([gpu.try_alloc_tokens(words)?, gpu.try_alloc_tokens(words)?])
+        } else {
+            None
+        };
+        Ok(Checkpointer {
+            regions,
+            committed: Vec::new(),
+            mode,
+            shadow,
+            current: 0,
+            armed,
+        })
     }
 
-    fn restore(&self, gpu: &mut Gpu) -> Result<()> {
-        for (base, words) in &self.regions {
-            for (i, &w) in words.iter().enumerate() {
-                gpu.memory_mut().write(u64::from(base + i as u32), w)?;
+    fn words(&self) -> u64 {
+        self.regions.iter().map(|&(_, len)| u64::from(len)).sum()
+    }
+
+    /// Snapshots the live state words before a launch. Returns the billed
+    /// checkpoint cycles (0 when unarmed or stateless).
+    fn commit(&mut self, gpu: &mut Gpu) -> Result<f64> {
+        let mut snap = Vec::with_capacity(self.committed.len());
+        for &(base, len) in &self.regions {
+            for i in 0..len {
+                snap.push(gpu.memory().read(u64::from(base + i))?);
             }
         }
-        Ok(())
+        self.committed = snap;
+        let words = self.words();
+        if !self.armed || words == 0 {
+            return Ok(0.0);
+        }
+        match self.mode {
+            CheckpointMode::HostRoundTrip => Ok(gpu.timing().checkpoint_capture_cycles(words)),
+            CheckpointMode::DeviceDoubleBuffered => {
+                // One extra on-device state write per launch: mirror the
+                // snapshot into the alternate shadow buffer and flip.
+                let cost = gpu.timing().state_copy_cycles(words);
+                let next = 1 - self.current;
+                if let Some(shadow) = self.shadow {
+                    for (i, &w) in self.committed.iter().enumerate() {
+                        gpu.memory_mut().write(u64::from(shadow[next]) + i as u64, w)?;
+                    }
+                }
+                self.current = next;
+                Ok(cost)
+            }
+        }
+    }
+
+    /// Restores the last committed snapshot after a transient fault.
+    /// Returns the billed restore cycles (0 when unarmed or stateless).
+    fn restore(&self, gpu: &mut Gpu) -> Result<f64> {
+        let words = self.words();
+        let mut cost = 0.0;
+        if self.armed && words > 0 {
+            cost = match self.mode {
+                CheckpointMode::HostRoundTrip => gpu.timing().checkpoint_restore_cycles(words),
+                CheckpointMode::DeviceDoubleBuffered => gpu.timing().state_copy_cycles(words),
+            };
+        }
+        // Double-buffered recovery reads the committed on-device shadow;
+        // validate it bit-identical against the host mirror before
+        // trusting it.
+        if let Some(shadow) = self.shadow {
+            for (i, &expect) in self.committed.iter().enumerate() {
+                let got = gpu.memory().read(u64::from(shadow[self.current]) + i as u64)?;
+                if got != expect {
+                    return Err(Error::Api(format!(
+                        "double-buffered checkpoint corrupt: shadow word {i} \
+                         is {got:#x}, committed mirror says {expect:#x}"
+                    )));
+                }
+            }
+        }
+        let mut it = self.committed.iter();
+        for &(base, len) in &self.regions {
+            for i in 0..len {
+                let w = *it.next().expect("committed snapshot covers all regions");
+                gpu.memory_mut().write(u64::from(base + i), w)?;
+            }
+        }
+        Ok(cost)
     }
 }
 
@@ -477,24 +617,27 @@ impl StateCheckpoint {
 /// restored, the failed attempt's true cost is accumulated (billed via
 /// [`TimingModel::failed_attempt_cycles`] into the successful attempt's
 /// stats), and the launch is re-run. The fault plan draws per lifetime
-/// attempt ordinal, so a retry gets a fresh, independent draw.
+/// attempt ordinal, so a retry gets a fresh, independent draw. Checkpoint
+/// commits and restores are billed through the timing model's checkpoint
+/// cost model into both `fault_overhead_cycles` and its
+/// `checkpoint_cycles` breakdown.
 fn run_launch_retrying(
-    c: &Compiled,
-    buffers: &ProgramBuffers,
     gpu: &mut Gpu,
     launch: &Launch<'_>,
     retry: RetryPolicy,
     retries: &mut u64,
+    ckpt: &mut Checkpointer,
 ) -> Result<LaunchStats> {
-    let checkpoint = StateCheckpoint::capture(gpu, c, buffers)?;
+    let mut ckpt_cycles = ckpt.commit(gpu)?;
     let mut fault_cycles = 0.0f64;
     let mut attempt = 0u32;
     loop {
         match gpu.run(launch) {
             Ok(mut stats) => {
-                if fault_cycles > 0.0 {
-                    stats.fault_overhead_cycles += fault_cycles;
-                    stats.cycles += fault_cycles;
+                if fault_cycles > 0.0 || ckpt_cycles > 0.0 {
+                    stats.fault_overhead_cycles += fault_cycles + ckpt_cycles;
+                    stats.checkpoint_cycles += ckpt_cycles;
+                    stats.cycles += fault_cycles + ckpt_cycles;
                     stats.time_secs = gpu.timing().secs(stats.cycles);
                 }
                 return Ok(stats);
@@ -503,7 +646,7 @@ fn run_launch_retrying(
                 attempt += 1;
                 *retries += 1;
                 fault_cycles += gpu.timing().failed_attempt_cycles(&e);
-                checkpoint.restore(gpu)?;
+                ckpt_cycles += ckpt.restore(gpu)?;
             }
             Err(e) if e.is_transient() => {
                 return Err(Error::sim_while(
@@ -536,6 +679,8 @@ fn run_swp(
     launches: &mut u64,
     retry: RetryPolicy,
     retries: &mut u64,
+    ckpt: &mut Checkpointer,
+    trace: &mut Vec<f64>,
 ) -> Result<()> {
     let sched = &c.schedule;
     let num_sms = c.device.num_sms;
@@ -551,7 +696,11 @@ fn run_swp(
         order[sched.sm_of[i] as usize].push(i);
     }
 
-    let run_one = |r: u64, gpu: &mut Gpu, retries: &mut u64| -> Result<LaunchStats> {
+    let run_one = |r: u64,
+                   gpu: &mut Gpu,
+                   retries: &mut u64,
+                   ckpt: &mut Checkpointer|
+     -> Result<LaunchStats> {
         let mut blocks = Vec::with_capacity(num_sms as usize);
         for sm_items in order.iter().take(num_sms as usize) {
             let mut items = Vec::new();
@@ -573,13 +722,14 @@ fn run_swp(
             regs_per_thread: c.exec_cfg.regs_per_thread,
             blocks,
         };
-        run_launch_retrying(c, buffers, gpu, &launch, retry, retries)
+        run_launch_retrying(gpu, &launch, retry, retries, ckpt)
             .map_err(|e| e.in_context(format!("software-pipelined kernel iteration {r}")))
     };
 
     if !scaled || kernel_iters <= stages + 4 {
         for r in 0..kernel_iters + stages {
-            let stats = run_one(r, gpu, retries)?;
+            let stats = run_one(r, gpu, retries, ckpt)?;
+            trace.push(stats.cycles);
             totals.merge(&stats);
             *launches += 1;
         }
@@ -589,11 +739,11 @@ fn run_swp(
     // Scaled measurement: fill exactly, two steady launches (verified
     // identical), the rest of the steady window by scaling, drain exactly.
     for r in 0..stages {
-        let stats = run_one(r, gpu, retries)?;
+        let stats = run_one(r, gpu, retries, ckpt)?;
         totals.merge(&stats);
     }
-    let steady1 = run_one(stages, gpu, retries)?;
-    let steady2 = run_one(stages + 1, gpu, retries)?;
+    let steady1 = run_one(stages, gpu, retries, ckpt)?;
+    let steady2 = run_one(stages + 1, gpu, retries, ckpt)?;
     debug_assert_eq!(
         steady1.warp_instructions, steady2.warp_instructions,
         "steady launches must be counter-identical (data-independent control flow)"
@@ -605,7 +755,7 @@ fn run_swp(
         totals.merge(&steady1);
     }
     for r in kernel_iters..kernel_iters + stages {
-        let stats = run_one(r, gpu, retries)?;
+        let stats = run_one(r, gpu, retries, ckpt)?;
         totals.merge(&stats);
     }
     *launches += kernel_iters + stages;
@@ -626,6 +776,8 @@ fn run_serial(
     launches: &mut u64,
     retry: RetryPolicy,
     retries: &mut u64,
+    ckpt: &mut Checkpointer,
+    trace: &mut Vec<f64>,
 ) -> Result<()> {
     let topo = c.graph.topo_order()?;
     let num_sms = c.device.num_sms as usize;
@@ -654,13 +806,16 @@ fn run_serial(
                 regs_per_thread: c.exec_cfg.regs_per_thread,
                 blocks,
             };
-            let stats = run_launch_retrying(c, buffers, gpu, &launch, retry, retries)
+            let stats = run_launch_retrying(gpu, &launch, retry, retries, ckpt)
                 .map_err(|e| {
                     e.in_context(format!(
                         "serial kernel for filter '{}' (batch {batch_no})",
                         c.graph.node(node).name
                     ))
                 })?;
+            if !scaled {
+                trace.push(stats.cycles);
+            }
             totals.merge(&stats);
             *launches += 1;
         }
@@ -1032,6 +1187,7 @@ mod tests {
                     .with_overhead_spikes(60, 6.0),
             ),
             retry: RetryPolicy { max_attempts: 8 },
+            checkpoint: CheckpointSpec::Auto,
         };
         let faulted = execute_with(&c, scheme, iters, &input, &opts).unwrap();
         assert_eq!(
@@ -1062,6 +1218,7 @@ mod tests {
         let opts = RunOptions {
             fault_plan: Some(plan.clone()),
             retry: RetryPolicy { max_attempts: 3 },
+            checkpoint: CheckpointSpec::Auto,
         };
         let e = execute_with(&c, Scheme::Swp { coarsening: 1 }, iters, &input, &opts).unwrap_err();
         match e {
@@ -1072,6 +1229,7 @@ mod tests {
         let opts = RunOptions {
             fault_plan: Some(plan),
             retry: RetryPolicy { max_attempts: 4 },
+            checkpoint: CheckpointSpec::Auto,
         };
         let run = execute_with(&c, Scheme::Swp { coarsening: 1 }, iters, &input, &opts).unwrap();
         assert_eq!(run.retries, 3);
@@ -1085,6 +1243,7 @@ mod tests {
         let opts = RunOptions {
             fault_plan: Some(FaultPlan::new(77).with_launch_failures(200)),
             retry: RetryPolicy { max_attempts: 8 },
+            checkpoint: CheckpointSpec::Auto,
         };
         let faulted = execute_with(&c, scheme, iters, &input, &opts).unwrap();
         assert_eq!(clean.outputs, faulted.outputs);

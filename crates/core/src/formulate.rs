@@ -52,10 +52,18 @@ pub fn unique_deps(ig: &InstanceGraph) -> Vec<Dep> {
 
 /// Builds the feasibility model for initiation interval `ii`.
 ///
+/// `fault_reserve` time units of every SM's capacity are held back as
+/// headroom for expected fault-retry overhead: the capacity constraint
+/// (2) becomes `Σ w·d ≤ T − fault_reserve`, so a feasible solution at
+/// the fault-adjusted II still carries only `T − reserve` units of
+/// nominal work per SM. Pass 0 for the paper's fault-oblivious model.
+///
 /// # Panics
 ///
-/// Panics if any delay exceeds `ii` (callers start the search at
-/// `max(ResMII, RecMII, max d)`, so this indicates a driver bug).
+/// Panics if any delay exceeds `ii`, or if `fault_reserve >= ii`
+/// (callers start the search at
+/// `max(ResMII, RecMII, max d) + fault_reserve`, so either indicates a
+/// driver bug).
 #[must_use]
 #[allow(clippy::needless_range_loop)] // p indexes several parallel per-SM structures
 pub fn build_model(
@@ -64,10 +72,15 @@ pub fn build_model(
     num_sms: u32,
     ii: u64,
     coarsening_max: u32,
+    fault_reserve: u64,
 ) -> (Model, VarHandles) {
     let n = ig.len();
     let p_max = num_sms as usize;
     let t = ii as f64;
+    assert!(
+        fault_reserve < ii,
+        "fault reserve {fault_reserve} leaves no capacity at II {ii}"
+    );
     let mut m = Model::new();
 
     let delay_of = |v: NodeId| config.delay[v.0 as usize];
@@ -127,13 +140,13 @@ pub fn build_model(
         );
     }
 
-    // (2): per-SM capacity.
+    // (2): per-SM capacity, minus the fault-retry reserve.
     for p in 0..p_max {
         let mut expr = m.expr();
         for (i, &(v, _)) in ig.list.iter().enumerate() {
             expr = expr.term(w[i][p], delay_of(v) as f64);
         }
-        m.named_constraint(format!("cap_{p}"), expr, Sense::Le, t);
+        m.named_constraint(format!("cap_{p}"), expr, Sense::Le, t - fault_reserve as f64);
     }
 
     // (7) + (8) per unique dependence.
@@ -253,7 +266,7 @@ mod tests {
         let cfg = ExecConfig::uniform(2, 1, 16, 5);
         let ig = instances::build(&g, &cfg).unwrap();
         let p = 2;
-        let (m, h) = build_model(&ig, &cfg, p, 20, 1);
+        let (m, h) = build_model(&ig, &cfg, p, 20, 1, 0);
         let n = ig.len(); // 5 instances
         let deps = unique_deps(&ig).len(); // 4
         assert_eq!(h.w.len(), n);
@@ -281,7 +294,7 @@ mod tests {
         let ig = instances::build(&g, &cfg).unwrap();
         // ResMII on 2 SMs: ceil((3*5 + 2*8)/2) = 16.
         assert_eq!(ig.res_mii(&cfg, 2), 16);
-        let (m, h) = build_model(&ig, &cfg, 2, 16, 1);
+        let (m, h) = build_model(&ig, &cfg, 2, 16, 1, 0);
         let out = ilp::solve(
             &m,
             &ilp::SolveOptions {
@@ -310,7 +323,7 @@ mod tests {
         .unwrap();
         let cfg = ExecConfig::uniform(3, 1, 16, 10);
         let ig = instances::build(&g, &cfg).unwrap();
-        let (m, _) = build_model(&ig, &cfg, 1, 15, 1);
+        let (m, _) = build_model(&ig, &cfg, 1, 15, 1, 0);
         let out = ilp::solve(
             &m,
             &ilp::SolveOptions {
@@ -319,6 +332,38 @@ mod tests {
             },
         );
         assert_eq!(out, ilp::SolveOutcome::Infeasible);
+    }
+
+    #[test]
+    fn fault_reserve_tightens_capacity() {
+        // Same program as `ilp_solution_is_a_valid_schedule`: feasible at
+        // II 16 with no reserve, but a 3-unit reserve shrinks each SM's
+        // capacity to 13 < the 15/16 split, so II 16 becomes infeasible
+        // and the search must climb to 19 (16 work + 3 reserve).
+        let g = StreamSpec::pipeline(vec![rate_filter("A", 1, 2), rate_filter("B", 3, 1)])
+            .flatten()
+            .unwrap();
+        let cfg = ExecConfig {
+            regs_per_thread: 16,
+            threads_per_block: 1,
+            threads: vec![1, 1],
+            delay: vec![5, 8],
+        };
+        let ig = instances::build(&g, &cfg).unwrap();
+        let feas_opts = ilp::SolveOptions {
+            feasibility_only: true,
+            ..ilp::SolveOptions::default()
+        };
+        let (m, _) = build_model(&ig, &cfg, 2, 16, 1, 3);
+        assert_eq!(ilp::solve(&m, &feas_opts), ilp::SolveOutcome::Infeasible);
+        let (m, h) = build_model(&ig, &cfg, 2, 19, 1, 3);
+        let sol = match ilp::solve(&m, &feas_opts) {
+            ilp::SolveOutcome::Optimal(s) | ilp::SolveOutcome::Feasible(s) => s,
+            other => panic!("expected feasible at reserved II 19, got {other:?}"),
+        };
+        let mut sched = extract_schedule(&ig, &h, &sol, 19);
+        sched.normalize();
+        validate(&ig, &cfg, &sched, 2, 1).unwrap();
     }
 
     #[test]

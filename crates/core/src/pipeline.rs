@@ -15,9 +15,10 @@
 //!    ([`crate::schedule::heuristic`]): SCC grouping, LPT assignment,
 //!    monotone relaxation. Same constraint system, possibly more stages.
 //! 4. [`LadderRung::SerialSas`] — give up on software pipelining and ship
-//!    the serialized SAS executor ([`Scheme::Serial`]) with a placeholder
-//!    single-SM schedule. Always succeeds: the executor needs no
-//!    pipelined schedule.
+//!    the serialized SAS executor ([`Scheme::Serial`]) with a real,
+//!    validated single-SM schedule (topological placeholder only as a
+//!    last resort). Always succeeds: the executor needs no pipelined
+//!    schedule.
 //!
 //! Every attempt — shipped, failed, or skipped for an exhausted budget —
 //! is recorded in a [`DegradationReport`], so a caller (or an experiment
@@ -26,9 +27,12 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use gpusim::FaultPlan;
 use streamir::graph::FlatGraph;
 
-use crate::exec::{compile_front, CompileOptions, Compiled, Scheme};
+use crate::exec::{compile_front, CompileOptions, Compiled, RunOptions, Scheme};
+use crate::plan::{self, CheckpointPlan};
+use crate::profile::TIME_UNIT_CYCLES;
 use crate::schedule::{self, Schedule, SchedulerKind, SearchOptions, SearchReport};
 use crate::Result;
 
@@ -77,6 +81,39 @@ pub struct RungAttempt {
     pub outcome: RungOutcome,
     /// Wall-clock time spent on the rung.
     pub elapsed: Duration,
+    /// The nominal (work-only) II of the schedule this rung produced,
+    /// `None` when it produced no schedule.
+    pub nominal_ii: Option<u64>,
+    /// The fault-adjusted II: nominal plus the fault plan's expected
+    /// per-launch retry overhead in schedule time units. Under
+    /// [`FaultPolicy::TailLatency`] this is the II actually scheduled;
+    /// under [`FaultPolicy::Throughput`] it is the predicted effective
+    /// II once retries land. Equals `nominal_ii` with no fault plan.
+    pub fault_adjusted_ii: Option<u64>,
+}
+
+/// How the fault-aware scheduler spends the fault plan's expected retry
+/// overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Schedule at the nominal II — maximum steady-state throughput;
+    /// retries surface as per-launch latency spikes.
+    #[default]
+    Throughput,
+    /// Inflate every rung's II floor by the expected per-launch retry
+    /// cycles (in schedule time units), so each SM keeps idle headroom
+    /// that absorbs retry overhead — lower makespan variance at a lower
+    /// nominal rate.
+    TailLatency,
+}
+
+impl fmt::Display for FaultPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultPolicy::Throughput => "throughput",
+            FaultPolicy::TailLatency => "tail-latency",
+        })
+    }
 }
 
 /// The record of a resilient compilation: which rung shipped and what
@@ -87,6 +124,10 @@ pub struct DegradationReport {
     pub shipped: LadderRung,
     /// Every attempt, in ladder order, including the shipped one.
     pub attempts: Vec<RungAttempt>,
+    /// The fault policy the ladder compiled under.
+    pub policy: FaultPolicy,
+    /// The cost-modeled checkpoint decision shipped with the artifact.
+    pub checkpoint: CheckpointPlan,
 }
 
 impl DegradationReport {
@@ -105,14 +146,26 @@ impl DegradationReport {
 
 impl fmt::Display for DegradationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "shipped {}", self.shipped)?;
+        write!(
+            f,
+            "shipped {} (policy {}, checkpoint {})",
+            self.shipped, self.policy, self.checkpoint.mode
+        )?;
         for a in &self.attempts {
             let verdict = match &a.outcome {
                 RungOutcome::Shipped => "ok".to_string(),
                 RungOutcome::Failed(m) => format!("failed: {m}"),
                 RungOutcome::SkippedBudget => "skipped (no budget)".to_string(),
             };
-            write!(f, "; {} {} ({:.1?})", a.rung, verdict, a.elapsed)?;
+            write!(f, "; {} {}", a.rung, verdict)?;
+            if let (Some(nom), Some(adj)) = (a.nominal_ii, a.fault_adjusted_ii) {
+                if nom == adj {
+                    write!(f, " [II {nom}]")?;
+                } else {
+                    write!(f, " [II {nom} nominal, {adj} fault-adjusted]")?;
+                }
+            }
+            write!(f, " ({:.1?})", a.elapsed)?;
         }
         Ok(())
     }
@@ -151,6 +204,13 @@ pub struct PipelineOptions {
     pub compile: CompileOptions,
     /// Per-rung time budgets.
     pub budgets: StageBudgets,
+    /// The fault plan the artifact is expected to run under. Drives the
+    /// fault-adjusted II accounting, the scheduler's fault reserve (under
+    /// [`FaultPolicy::TailLatency`]), and the checkpoint cost model; it
+    /// is also installed in [`ResilientCompiled::run_options`].
+    pub fault_plan: Option<FaultPlan>,
+    /// How the scheduler spends the expected retry overhead.
+    pub policy: FaultPolicy,
 }
 
 /// A resiliently-compiled program: the artifact plus the ladder record.
@@ -165,6 +225,12 @@ pub struct ResilientCompiled {
     /// The execution scheme the shipped rung supports: a pipelined
     /// scheme for rungs 1–3, [`Scheme::Serial`] for rung 4.
     pub scheme: Scheme,
+    /// Ready-made execution options matching the compile-time fault
+    /// assumptions: the ladder's fault plan installed, checkpoint mode
+    /// left to the (same) cost model. Pass to
+    /// [`crate::exec::execute_with`] so the artifact runs under the
+    /// conditions it was scheduled for.
+    pub run_options: RunOptions,
 }
 
 /// The gracefully-degrading compilation driver. See the module docs for
@@ -188,6 +254,7 @@ impl ResilientPipeline {
         ResilientPipeline::new(PipelineOptions {
             compile: CompileOptions::small_test(),
             budgets: StageBudgets::default(),
+            ..PipelineOptions::default()
         })
     }
 
@@ -205,20 +272,48 @@ impl ResilientPipeline {
         let num_sms = opts.device.num_sms;
         let mut attempts = Vec::new();
 
-        // Rung 1: exact ILP — one candidate II, the lower bound.
+        // Expected per-launch retry overhead of the fault plan, in
+        // schedule time units. Under TailLatency it becomes the
+        // scheduler's fault reserve (ResMII inflation); under Throughput
+        // it only feeds the fault-adjusted II accounting.
+        let reserve_units = self.opts.fault_plan.as_ref().map_or(0, |fp| {
+            let cycles =
+                fp.expected_retry_cycles(&opts.timing, opts.timing.watchdog_budget_insts());
+            (cycles / TIME_UNIT_CYCLES).ceil() as u64
+        });
+        let sched_reserve = match self.opts.policy {
+            FaultPolicy::Throughput => 0,
+            FaultPolicy::TailLatency => reserve_units,
+        };
+        let checkpoint = plan::checkpoint_plan(graph, &opts.timing, self.opts.fault_plan.as_ref());
+
+        // Rung 1: exact ILP — one candidate II, the (fault-adjusted)
+        // lower bound.
         let exact = SearchOptions {
             scheduler: SchedulerKind::Ilp,
             max_attempts: 1,
             ilp_budget: self.opts.budgets.exact_ilp,
+            fault_reserve: sched_reserve,
             ..fe.search.clone()
         };
         if let Some(r) = try_rung(
             LadderRung::ExactIlp,
             self.opts.budgets.exact_ilp,
+            reserve_units,
             &mut attempts,
             || schedule::find(&fe.ig, &fe.exec_cfg, num_sms, &exact),
         ) {
-            return Ok(assemble(graph, opts, fe, r, LadderRung::ExactIlp, attempts));
+            return Ok(assemble(
+                graph,
+                opts,
+                fe,
+                r,
+                LadderRung::ExactIlp,
+                attempts,
+                self.opts.policy,
+                checkpoint,
+                self.opts.fault_plan.clone(),
+            ));
         }
 
         // Rung 2: the II-relaxation loop.
@@ -230,38 +325,69 @@ impl ResilientPipeline {
                 .relaxed_ilp
                 .min(fe.search.ilp_budget)
                 .max(Duration::from_millis(1)),
+            fault_reserve: sched_reserve,
             ..fe.search.clone()
         };
         if let Some(r) = try_rung(
             LadderRung::RelaxedIlp,
             self.opts.budgets.relaxed_ilp,
+            reserve_units,
             &mut attempts,
             || schedule::find(&fe.ig, &fe.exec_cfg, num_sms, &relaxed),
         ) {
-            return Ok(assemble(graph, opts, fe, r, LadderRung::RelaxedIlp, attempts));
+            return Ok(assemble(
+                graph,
+                opts,
+                fe,
+                r,
+                LadderRung::RelaxedIlp,
+                attempts,
+                self.opts.policy,
+                checkpoint,
+                self.opts.fault_plan.clone(),
+            ));
         }
 
         // Rung 3: the decomposed heuristic.
         let heur = SearchOptions {
             scheduler: SchedulerKind::Heuristic,
+            fault_reserve: sched_reserve,
             ..fe.search.clone()
         };
         if let Some(r) = try_rung(
             LadderRung::Heuristic,
             self.opts.budgets.heuristic,
+            reserve_units,
             &mut attempts,
             || schedule::find(&fe.ig, &fe.exec_cfg, num_sms, &heur),
         ) {
-            return Ok(assemble(graph, opts, fe, r, LadderRung::Heuristic, attempts));
+            return Ok(assemble(
+                graph,
+                opts,
+                fe,
+                r,
+                LadderRung::Heuristic,
+                attempts,
+                self.opts.policy,
+                checkpoint,
+                self.opts.fault_plan.clone(),
+            ));
         }
 
-        // Rung 4: serialized SAS. Always ships — the serial executor
-        // needs no pipelined schedule, only a placeholder.
+        // Rung 4: serialized SAS. Always ships. Preferably a real,
+        // validated single-SM schedule from the decomposed scheduler
+        // (honest SAS II and offsets); the topological placeholder only
+        // if even that fails.
         let started = Instant::now();
-        let schedule = serial_placeholder(graph, &fe)?;
+        let (schedule, reserve_in_sched) = match serial_sas_schedule(&fe, sched_reserve) {
+            Ok(s) => (s, sched_reserve),
+            Err(_) => (serial_placeholder(graph, &fe)?, 0),
+        };
         let report = SearchReport {
             lower_bound: schedule.ii,
             final_ii: schedule.ii,
+            nominal_ii: schedule.ii - reserve_in_sched,
+            fault_reserve: reserve_in_sched,
             relaxation_pct: 0.0,
             attempts: 0,
             solve_time: started.elapsed(),
@@ -273,6 +399,8 @@ impl ResilientPipeline {
             rung: LadderRung::SerialSas,
             outcome: RungOutcome::Shipped,
             elapsed: started.elapsed(),
+            nominal_ii: Some(report.nominal_ii),
+            fault_adjusted_ii: Some(report.nominal_ii + reserve_units),
         });
         Ok(assemble(
             graph,
@@ -281,15 +409,20 @@ impl ResilientPipeline {
             (schedule, report),
             LadderRung::SerialSas,
             attempts,
+            self.opts.policy,
+            checkpoint,
+            self.opts.fault_plan.clone(),
         ))
     }
 }
 
 /// Runs one rung under its budget. Returns the schedule on success;
-/// records the attempt either way.
+/// records the attempt — including the nominal and fault-adjusted II of
+/// any schedule it produced — either way.
 fn try_rung(
     rung: LadderRung,
     budget: Duration,
+    reserve_units: u64,
     attempts: &mut Vec<RungAttempt>,
     run: impl FnOnce() -> Result<(Schedule, SearchReport)>,
 ) -> Option<(Schedule, SearchReport)> {
@@ -298,6 +431,8 @@ fn try_rung(
             rung,
             outcome: RungOutcome::SkippedBudget,
             elapsed: Duration::ZERO,
+            nominal_ii: None,
+            fault_adjusted_ii: None,
         });
         return None;
     }
@@ -310,16 +445,20 @@ fn try_rung(
                 rung,
                 outcome: RungOutcome::Shipped,
                 elapsed,
+                nominal_ii: Some(ok.1.nominal_ii),
+                fault_adjusted_ii: Some(ok.1.nominal_ii + reserve_units),
             });
             Some(ok)
         }
-        Ok(_) => {
+        Ok((_, report)) => {
             attempts.push(RungAttempt {
                 rung,
                 outcome: RungOutcome::Failed(format!(
                     "finished after the {budget:?} budget elapsed"
                 )),
                 elapsed,
+                nominal_ii: Some(report.nominal_ii),
+                fault_adjusted_ii: Some(report.nominal_ii + reserve_units),
             });
             None
         }
@@ -328,10 +467,22 @@ fn try_rung(
                 rung,
                 outcome: RungOutcome::Failed(e.to_string()),
                 elapsed,
+                nominal_ii: None,
+                fault_adjusted_ii: None,
             });
             None
         }
     }
+}
+
+/// The serial rung's preferred schedule: a real, validated single-SM SAS
+/// schedule from the decomposed scheduler — every instance on SM 0, the
+/// II an honest makespan (plus any fault reserve) rather than a blind
+/// delay sum, offsets respecting the dependence system.
+fn serial_sas_schedule(fe: &crate::exec::FrontEnd, fault_reserve: u64) -> Result<Schedule> {
+    let sched = schedule::heuristic::schedule(&fe.ig, &fe.exec_cfg, 1, 1, 1, fault_reserve)?;
+    schedule::validate(&fe.ig, &fe.exec_cfg, &sched, 1, 1)?;
+    Ok(sched)
 }
 
 /// A placeholder schedule for the serial rung: every instance on SM 0 in
@@ -365,6 +516,7 @@ fn serial_placeholder(graph: &FlatGraph, fe: &crate::exec::FrontEnd) -> Result<S
     })
 }
 
+#[allow(clippy::too_many_arguments)] // one internal assembly point
 fn assemble(
     graph: &FlatGraph,
     opts: &CompileOptions,
@@ -372,6 +524,9 @@ fn assemble(
     (schedule, report): (Schedule, SearchReport),
     shipped: LadderRung,
     attempts: Vec<RungAttempt>,
+    policy: FaultPolicy,
+    checkpoint: CheckpointPlan,
+    fault_plan: Option<FaultPlan>,
 ) -> ResilientCompiled {
     let scheme = match shipped {
         LadderRung::SerialSas => Scheme::Serial { batch: 1 },
@@ -388,8 +543,17 @@ fn assemble(
             device: opts.device.clone(),
             timing: opts.timing.clone(),
         },
-        report: DegradationReport { shipped, attempts },
+        report: DegradationReport {
+            shipped,
+            attempts,
+            policy,
+            checkpoint,
+        },
         scheme,
+        run_options: RunOptions {
+            fault_plan,
+            ..RunOptions::default()
+        },
     }
 }
 
@@ -454,6 +618,7 @@ mod tests {
                 relaxed_ilp: Duration::ZERO,
                 ..StageBudgets::default()
             },
+            ..PipelineOptions::default()
         });
         let rc = pl.compile(&three_stage()).unwrap();
         assert_eq!(rc.report.shipped, LadderRung::Heuristic);
@@ -478,6 +643,7 @@ mod tests {
                 relaxed_ilp: Duration::ZERO,
                 heuristic: Duration::ZERO,
             },
+            ..PipelineOptions::default()
         });
         let rc = pl.compile(&three_stage()).unwrap();
         assert_eq!(rc.report.shipped, LadderRung::SerialSas);
@@ -508,6 +674,7 @@ mod tests {
                 relaxed_ilp: Duration::ZERO,
                 heuristic: Duration::ZERO,
             },
+            ..PipelineOptions::default()
         });
         let rc = pl.compile(&three_stage()).unwrap();
         let text = rc.report.to_string();

@@ -11,7 +11,7 @@
 //! * the layout is either the coalescing transposition or natural FIFO
 //!   order (the SWPNC baseline).
 
-use gpusim::Layout;
+use gpusim::{CheckpointMode, FaultPlan, Layout, TimingModel};
 use streamir::graph::{EdgeId, FlatGraph};
 
 use crate::instances::InstanceGraph;
@@ -125,6 +125,82 @@ pub fn plan(
     }
 }
 
+/// The cost-modeled checkpoint decision for one program: which mode the
+/// executor should protect stateful state with, what it costs, and the
+/// numbers that drove the choice — so reports can show the tradeoff, not
+/// just the winner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointPlan {
+    /// The selected (cheaper) mode.
+    pub mode: CheckpointMode,
+    /// Total stateful state words the snapshot covers (matches the
+    /// executor's per-filter state allocation: `max(1, #states)` words
+    /// per stateful filter).
+    pub state_words: u64,
+    /// Expected restores per launch, from the fault plan's transient
+    /// rates (0 with no plan).
+    pub expected_restores: f64,
+    /// Expected per-launch cycles under [`CheckpointMode::HostRoundTrip`].
+    pub host_round_trip_cycles: f64,
+    /// Expected per-launch cycles under
+    /// [`CheckpointMode::DeviceDoubleBuffered`].
+    pub double_buffered_cycles: f64,
+}
+
+impl CheckpointPlan {
+    /// Expected per-launch cycles of the selected mode.
+    #[must_use]
+    pub fn cycles_per_launch(&self) -> f64 {
+        match self.mode {
+            CheckpointMode::HostRoundTrip => self.host_round_trip_cycles,
+            CheckpointMode::DeviceDoubleBuffered => self.double_buffered_cycles,
+        }
+    }
+}
+
+/// State words the checkpoint protocol must snapshot for `graph` —
+/// mirrors the executor's state-buffer allocation exactly.
+#[must_use]
+pub fn state_words(graph: &FlatGraph) -> u64 {
+    graph
+        .nodes()
+        .iter()
+        .filter(|n| n.work.is_stateful())
+        .map(|n| n.work.states().len().max(1) as u64)
+        .sum()
+}
+
+/// Prices both checkpoint modes for `graph` under `timing` and the
+/// (optional) fault plan's expected restore rate, and picks the cheaper
+/// one. Stateless programs have nothing to snapshot and keep the default
+/// host-round-trip label at zero cost.
+#[must_use]
+pub fn checkpoint_plan(
+    graph: &FlatGraph,
+    timing: &TimingModel,
+    fault_plan: Option<&FaultPlan>,
+) -> CheckpointPlan {
+    let words = state_words(graph);
+    let expected_restores = fault_plan.map_or(0.0, FaultPlan::expected_failed_attempts);
+    let host_round_trip_cycles = timing.checkpoint_cycles_per_launch(
+        CheckpointMode::HostRoundTrip,
+        words,
+        expected_restores,
+    );
+    let double_buffered_cycles = timing.checkpoint_cycles_per_launch(
+        CheckpointMode::DeviceDoubleBuffered,
+        words,
+        expected_restores,
+    );
+    CheckpointPlan {
+        mode: timing.preferred_checkpoint_mode(words, expected_restores),
+        state_words: words,
+        expected_restores,
+        host_round_trip_cycles,
+        double_buffered_cycles,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,7 +228,7 @@ mod tests {
             .unwrap();
         let cfg = ExecConfig::uniform(2, 4, 16, 10);
         let ig = instances::build(&g, &cfg).unwrap();
-        let sched = heuristic::schedule(&ig, &cfg, 2, 1, 1).unwrap();
+        let sched = heuristic::schedule(&ig, &cfg, 2, 1, 1, 0).unwrap();
         let p1 = plan(&g, &ig, Some(&sched), 1, LayoutKind::Optimized);
         let p8 = plan(&g, &ig, Some(&sched), 8, LayoutKind::Optimized);
         assert!(p8.total_bytes() >= 8 * p1.total_bytes() / 2);
@@ -167,7 +243,7 @@ mod tests {
         let cfg = ExecConfig::uniform(2, 4, 16, 10);
         let ig = instances::build(&g, &cfg).unwrap();
         // Heuristic on 2 SMs puts the stages one apart.
-        let sched = heuristic::schedule(&ig, &cfg, 2, 1, 1).unwrap();
+        let sched = heuristic::schedule(&ig, &cfg, 2, 1, 1, 0).unwrap();
         let p = plan(&g, &ig, Some(&sched), 1, LayoutKind::Optimized);
         if sched.sm_of[0] != sched.sm_of[1] {
             assert!(p.edges[0].regions >= 2, "cross-SM edge needs double buffering");
@@ -188,6 +264,46 @@ mod tests {
         assert_eq!(p.edges[0].layout, Layout::Sequential);
         let p = plan(&g, &ig, None, 1, LayoutKind::Optimized);
         assert_eq!(p.edges[0].layout, Layout::Transposed { group: 128 });
+    }
+
+    #[test]
+    fn checkpoint_plan_prefers_double_buffering_for_stateful_graphs() {
+        use streamir::ir::Scalar;
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let acc = f.state(ElemTy::I32, Scalar::I32(0));
+        let x = f.local(ElemTy::I32);
+        f.pop_into(0, x);
+        f.store_state(acc, Expr::state(acc).add(Expr::local(x)));
+        f.push(0, Expr::state(acc));
+        let g = StreamSpec::pipeline(vec![
+            StreamSpec::filter(FilterSpec::new("acc", f.build().unwrap())),
+            rate_filter("sink", 1, 1),
+        ])
+        .flatten()
+        .unwrap();
+        let timing = TimingModel::gts512();
+        assert_eq!(state_words(&g), 1);
+        let plan = fault_plan_with_rates();
+        let cp = checkpoint_plan(&g, &timing, Some(&plan));
+        assert_eq!(cp.mode, CheckpointMode::DeviceDoubleBuffered);
+        assert!(cp.double_buffered_cycles < cp.host_round_trip_cycles);
+        assert!(cp.expected_restores > 0.0);
+        assert_eq!(cp.cycles_per_launch(), cp.double_buffered_cycles);
+    }
+
+    #[test]
+    fn checkpoint_plan_is_free_for_stateless_graphs() {
+        let g = StreamSpec::pipeline(vec![rate_filter("A", 1, 1), rate_filter("B", 1, 1)])
+            .flatten()
+            .unwrap();
+        let cp = checkpoint_plan(&g, &TimingModel::gts512(), None);
+        assert_eq!(cp.state_words, 0);
+        assert_eq!(cp.mode, CheckpointMode::HostRoundTrip);
+        assert_eq!(cp.cycles_per_launch(), 0.0);
+    }
+
+    fn fault_plan_with_rates() -> FaultPlan {
+        FaultPlan::new(7).with_launch_failures(100).with_mem_corruptions(50)
     }
 
     #[test]

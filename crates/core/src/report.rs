@@ -6,7 +6,7 @@
 use std::fmt::Write as _;
 
 use crate::exec::Compiled;
-use crate::plan::BufferPlan;
+use crate::plan::{BufferPlan, CheckpointPlan};
 
 /// Renders the schedule as a per-SM table ordered the way the generated
 /// kernel executes (by offset, ties by instance id).
@@ -33,19 +33,38 @@ use crate::plan::BufferPlan;
 pub fn schedule_table(c: &Compiled) -> String {
     let mut out = String::new();
     let sched = &c.schedule;
-    let _ = writeln!(
-        out,
-        "II = {} (lower bound {}, {}), {} stage(s), {} instances",
-        sched.ii,
-        c.report.lower_bound,
-        if c.report.used_ilp {
-            "exact ILP"
-        } else {
-            "decomposed heuristic"
-        },
-        sched.max_stage() + 1,
-        c.ig.len(),
-    );
+    if c.report.fault_reserve > 0 {
+        let _ = writeln!(
+            out,
+            "II = {} ({} nominal + {} fault reserve, lower bound {}, {}), \
+             {} stage(s), {} instances",
+            sched.ii,
+            c.report.nominal_ii,
+            c.report.fault_reserve,
+            c.report.lower_bound,
+            if c.report.used_ilp {
+                "exact ILP"
+            } else {
+                "decomposed heuristic"
+            },
+            sched.max_stage() + 1,
+            c.ig.len(),
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "II = {} (lower bound {}, {}), {} stage(s), {} instances",
+            sched.ii,
+            c.report.lower_bound,
+            if c.report.used_ilp {
+                "exact ILP"
+            } else {
+                "decomposed heuristic"
+            },
+            sched.max_stage() + 1,
+            c.ig.len(),
+        );
+    }
     let num_sms = c.device.num_sms;
     for sm in 0..num_sms {
         let mut rows: Vec<usize> = (0..c.ig.len())
@@ -113,6 +132,26 @@ pub fn buffer_table(c: &Compiled, plan: &BufferPlan) -> String {
     out
 }
 
+/// One-line summary of a checkpoint plan: the selected mode, the amount
+/// of filter state it protects, and the per-launch price of both
+/// candidate modes so the selection is auditable.
+#[must_use]
+pub fn checkpoint_summary(plan: &CheckpointPlan) -> String {
+    if plan.state_words == 0 {
+        return "checkpoint: none (stateless graph)".to_string();
+    }
+    format!(
+        "checkpoint: {} mode, {} state word(s), {:.3} expected restore(s)/launch; \
+         per-launch cost {:.0} cycles (host-round-trip {:.0}, device-double-buffered {:.0})",
+        plan.mode,
+        plan.state_words,
+        plan.expected_restores,
+        plan.cycles_per_launch(),
+        plan.host_round_trip_cycles,
+        plan.double_buffered_cycles,
+    )
+}
+
 /// One-paragraph summary of the selected execution configuration.
 #[must_use]
 pub fn config_summary(c: &Compiled) -> String {
@@ -178,5 +217,51 @@ mod tests {
         let text = config_summary(&c);
         assert!(text.contains("registers/thread"));
         assert!(text.contains("normalised II"));
+    }
+
+    #[test]
+    fn schedule_table_breaks_out_the_fault_reserve() {
+        let mut c = compiled();
+        c.report.fault_reserve = 3;
+        c.report.nominal_ii = c.schedule.ii - 3;
+        let text = schedule_table(&c);
+        assert!(
+            text.contains(&format!(
+                "II = {} ({} nominal + 3 fault reserve",
+                c.schedule.ii,
+                c.schedule.ii - 3
+            )),
+            "missing fault-reserve breakdown in:\n{text}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_summary_names_the_mode_and_both_prices() {
+        use gpusim::{FaultPlan, TimingModel};
+        use streamir::ir::Scalar;
+
+        let timing = TimingModel::gts512();
+        let stateless = plan::checkpoint_plan(&compiled().graph, &timing, None);
+        assert_eq!(checkpoint_summary(&stateless), "checkpoint: none (stateless graph)");
+
+        let mut b = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let acc = b.state(ElemTy::I32, Scalar::I32(0));
+        let x = b.local(ElemTy::I32);
+        b.pop_into(0, x);
+        b.store_state(acc, Expr::state(acc).add(Expr::local(x)));
+        b.push(0, Expr::state(acc));
+        let g = StreamSpec::pipeline(vec![StreamSpec::filter(FilterSpec::new(
+            "acc",
+            b.build().unwrap(),
+        ))])
+        .flatten()
+        .unwrap();
+        let fp = FaultPlan::new(7).with_launch_failures(200);
+        let p = plan::checkpoint_plan(&g, &timing, Some(&fp));
+        let text = checkpoint_summary(&p);
+        assert!(text.contains(&p.mode.to_string()), "{text}");
+        assert!(text.contains("1 state word(s)"), "{text}");
+        assert!(text.contains("host-round-trip"), "{text}");
+        assert!(text.contains("device-double-buffered"), "{text}");
     }
 }

@@ -152,7 +152,10 @@ pub mod heuristic {
     use crate::{Error, Result};
 
     /// Schedules `ig` on `num_sms` processors with an II no smaller than
-    /// `min_ii`.
+    /// `min_ii`, keeping `fault_reserve` time units of every SM's II idle
+    /// as headroom for expected retry overhead (0 = fault-oblivious): the
+    /// II is raised so each SM's assigned work fits in `II −
+    /// fault_reserve`.
     ///
     /// # Errors
     ///
@@ -164,6 +167,7 @@ pub mod heuristic {
         num_sms: u32,
         min_ii: u64,
         coarsening_max: u32,
+        fault_reserve: u64,
     ) -> Result<Schedule> {
         let n = ig.len();
         // --- Assignment: longest-processing-time greedy over groups. ---
@@ -207,7 +211,13 @@ pub mod heuristic {
             .map(|&(v, _)| config.delay[v.0 as usize])
             .max()
             .unwrap_or(1);
-        let mut ii = min_ii.max(makespan).max(max_d).max(1);
+        // Fault headroom raises the II floor above both the makespan and
+        // the longest single delay, so every SM keeps `fault_reserve`
+        // idle units per interval for retries.
+        let mut ii = min_ii
+            .max(makespan + fault_reserve)
+            .max(max_d + fault_reserve)
+            .max(1);
 
         // --- Stages and offsets: monotone relaxation to a fixpoint. ---
         for _attempt in 0..8 {
@@ -383,6 +393,15 @@ pub struct SearchOptions {
     /// The largest coarsening factor the schedule must stay correct for
     /// (cross-iteration dependences tighten accordingly).
     pub coarsening_max: u32,
+    /// Fault headroom in schedule time units, reserved idle on every SM
+    /// per initiation interval: the fault plan's expected failed-attempt
+    /// cycles converted to time units (see
+    /// [`gpusim::FaultPlan::expected_retry_cycles`] and
+    /// [`crate::profile::TIME_UNIT_CYCLES`]). Inflates ResMII — the
+    /// scheduler searches from `max(ResMII, RecMII, max d) + reserve` and
+    /// caps per-SM load at `II − reserve`. Zero (the default) keeps the
+    /// search fault-oblivious.
+    pub fault_reserve: u64,
 }
 
 impl Default for SearchOptions {
@@ -394,6 +413,7 @@ impl Default for SearchOptions {
             max_attempts: 400,
             auto_ilp_var_limit: 150,
             coarsening_max: 16,
+            fault_reserve: 0,
         }
     }
 }
@@ -402,10 +422,19 @@ impl Default for SearchOptions {
 /// discussion of solve times and II relaxation).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchReport {
-    /// `max(ResMII, RecMII)` — the search's starting point.
+    /// The search's starting point: `max(ResMII, RecMII, max d)` plus the
+    /// fault reserve when one was requested.
     pub lower_bound: u64,
-    /// The II of the accepted schedule.
+    /// The II of the accepted schedule. When a fault reserve was
+    /// requested this is the *fault-adjusted* II; the work-only share is
+    /// [`SearchReport::nominal_ii`].
     pub final_ii: u64,
+    /// The shipped II minus the fault reserve — the initiation interval
+    /// chargeable to actual work. Equals [`SearchReport::final_ii`] for a
+    /// fault-oblivious search.
+    pub nominal_ii: u64,
+    /// The fault headroom (in time units) the search reserved per SM.
+    pub fault_reserve: u64,
     /// Relaxation over the lower bound, in percent.
     pub relaxation_pct: f64,
     /// Candidate IIs attempted.
@@ -424,7 +453,10 @@ pub struct SearchReport {
 /// Searches for a schedule: start at `max(ResMII, RecMII)`, try the ILP
 /// under its budget, relax the II by [`SearchOptions::relax_factor`] on
 /// failure — the exact loop of Section V — falling back to the heuristic
-/// per [`SchedulerKind`].
+/// per [`SchedulerKind`]. A nonzero [`SearchOptions::fault_reserve`]
+/// inflates the starting bound and keeps that much of every SM's II idle
+/// for retry headroom (threaded into both the ILP capacity constraints
+/// and the heuristic).
 ///
 /// # Errors
 ///
@@ -444,7 +476,8 @@ pub fn find(
         .map(|&(v, _)| config.delay[v.0 as usize])
         .max()
         .unwrap_or(1);
-    let lower = res_mii.max(rec_mii).max(max_d).max(1);
+    let reserve = opts.fault_reserve;
+    let lower = res_mii.max(rec_mii).max(max_d).max(1) + reserve;
 
     let ilp_size = ig.len() * num_sms as usize + crate::formulate::unique_deps(ig).len();
     let use_ilp = match opts.scheduler {
@@ -458,8 +491,14 @@ pub fn find(
         let mut vars = 0;
         let mut cons = 0;
         for attempt in 1..=opts.max_attempts {
-            let (model, handles) =
-                crate::formulate::build_model(ig, config, num_sms, ii, opts.coarsening_max);
+            let (model, handles) = crate::formulate::build_model(
+                ig,
+                config,
+                num_sms,
+                ii,
+                opts.coarsening_max,
+                reserve,
+            );
             vars = model.num_vars();
             cons = model.num_constraints();
             let solve_opts = ilp::SolveOptions {
@@ -476,6 +515,8 @@ pub fn find(
                     let report = SearchReport {
                         lower_bound: lower,
                         final_ii: ii,
+                        nominal_ii: ii - reserve,
+                        fault_reserve: reserve,
                         relaxation_pct: 100.0 * (ii as f64 / lower as f64 - 1.0),
                         attempts: attempt,
                         solve_time: start.elapsed(),
@@ -495,13 +536,15 @@ pub fn find(
             return Err(Error::ScheduleNotFound { last_ii: ii });
         }
         // Auto: fall through to the heuristic with everything we learned.
-        let sched = heuristic::schedule(ig, config, num_sms, lower, opts.coarsening_max)?;
+        let sched = heuristic::schedule(ig, config, num_sms, lower, opts.coarsening_max, reserve)?;
         let final_ii = sched.ii;
         return Ok((
             sched,
             SearchReport {
                 lower_bound: lower,
                 final_ii,
+                nominal_ii: final_ii - reserve,
+                fault_reserve: reserve,
                 relaxation_pct: 100.0 * (final_ii as f64 / lower as f64 - 1.0),
                 attempts: opts.max_attempts,
                 solve_time: start.elapsed(),
@@ -512,11 +555,13 @@ pub fn find(
         ));
     }
 
-    let sched = heuristic::schedule(ig, config, num_sms, lower, opts.coarsening_max)?;
+    let sched = heuristic::schedule(ig, config, num_sms, lower, opts.coarsening_max, reserve)?;
     let final_ii = sched.ii;
     let report = SearchReport {
         lower_bound: lower,
         final_ii,
+        nominal_ii: final_ii - reserve,
+        fault_reserve: reserve,
         relaxation_pct: 100.0 * (final_ii as f64 / lower as f64 - 1.0),
         attempts: 1,
         solve_time: start.elapsed(),
@@ -557,7 +602,7 @@ mod tests {
     #[test]
     fn heuristic_chain_schedules_and_validates() {
         let (ig, cfg) = chain(6);
-        let sched = heuristic::schedule(&ig, &cfg, 4, 1, 1).unwrap();
+        let sched = heuristic::schedule(&ig, &cfg, 4, 1, 1, 0).unwrap();
         validate(&ig, &cfg, &sched, 4, 1).unwrap();
         // 6 instances of weight 10 across 4 SMs: makespan 20.
         assert_eq!(sched.ii, 20);
@@ -566,9 +611,47 @@ mod tests {
     }
 
     #[test]
+    fn fault_reserve_inflates_the_heuristic_ii_and_still_validates() {
+        let (ig, cfg) = chain(6);
+        let base = heuristic::schedule(&ig, &cfg, 4, 1, 1, 0).unwrap();
+        let reserved = heuristic::schedule(&ig, &cfg, 4, 1, 1, 5).unwrap();
+        validate(&ig, &cfg, &reserved, 4, 1).unwrap();
+        // Each SM's work (20) must fit in II − 5, so the II climbs to 25.
+        assert_eq!(reserved.ii, base.ii + 5);
+    }
+
+    #[test]
+    fn search_report_accounts_nominal_and_fault_adjusted_ii() {
+        let (ig, cfg) = chain(6);
+        let opts = SearchOptions {
+            scheduler: SchedulerKind::Heuristic,
+            fault_reserve: 5,
+            ..SearchOptions::default()
+        };
+        let (sched, report) = find(&ig, &cfg, 4, &opts).unwrap();
+        validate(&ig, &cfg, &sched, 4, 1).unwrap();
+        assert_eq!(report.fault_reserve, 5);
+        assert_eq!(report.final_ii, report.nominal_ii + 5);
+        assert_eq!(sched.ii, report.final_ii);
+        let baseline = find(
+            &ig,
+            &cfg,
+            4,
+            &SearchOptions {
+                scheduler: SchedulerKind::Heuristic,
+                ..SearchOptions::default()
+            },
+        )
+        .unwrap()
+        .1;
+        assert_eq!(report.nominal_ii, baseline.final_ii);
+        assert!(report.lower_bound >= baseline.lower_bound + 5);
+    }
+
+    #[test]
     fn heuristic_single_sm_needs_no_stages_across() {
         let (ig, cfg) = chain(3);
-        let sched = heuristic::schedule(&ig, &cfg, 1, 1, 1).unwrap();
+        let sched = heuristic::schedule(&ig, &cfg, 1, 1, 1, 0).unwrap();
         validate(&ig, &cfg, &sched, 1, 1).unwrap();
         assert_eq!(sched.ii, 30);
         // All on one SM: plain in-order execution within one iteration.
@@ -673,7 +756,7 @@ mod tests {
             delay: vec![7, 13],
         };
         let ig = instances::build(&g, &cfg).unwrap();
-        let sched = heuristic::schedule(&ig, &cfg, 2, 1, 1).unwrap();
+        let sched = heuristic::schedule(&ig, &cfg, 2, 1, 1, 0).unwrap();
         validate(&ig, &cfg, &sched, 2, 1).unwrap();
     }
 

@@ -32,6 +32,9 @@
 
 use std::collections::BTreeMap;
 
+use crate::timing::TimingModel;
+use crate::SimError;
+
 /// One kind of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
@@ -153,6 +156,54 @@ impl FaultPlan {
         None
     }
 
+    /// Combined per-attempt probability (in per-mille) of a *transient*
+    /// fault — one that aborts the attempt and forces a retry: launch
+    /// failure, detected memory corruption, or watchdog-killed hang.
+    /// Overhead spikes complete the launch and are excluded. Pinned
+    /// faults are a test scripting device and do not enter the rate.
+    #[must_use]
+    pub fn transient_permille(&self) -> u32 {
+        (self.launch_failure_permille + self.mem_corruption_permille + self.hang_permille)
+            .min(1000)
+    }
+
+    /// Expected number of failed attempts before a launch succeeds, from
+    /// the geometric distribution over the transient rate: `p / (1 − p)`.
+    /// A plan that faults every attempt (1000‰) would never converge; the
+    /// rate is capped just below certainty so the expectation stays a
+    /// finite (if enormous) planning number.
+    #[must_use]
+    pub fn expected_failed_attempts(&self) -> f64 {
+        let p = (f64::from(self.transient_permille()) / 1000.0).min(0.999);
+        p / (1.0 - p)
+    }
+
+    /// Expected retry overhead cycles per launch: the expected number of
+    /// failed attempts times the mean truthful cost of one failed attempt
+    /// ([`TimingModel::failed_attempt_cycles`]), weighted by this plan's
+    /// per-kind rates. `watchdog_budget` is the instruction budget a hung
+    /// kernel burns before the watchdog kills it
+    /// ([`crate::Gpu::watchdog_budget`]). This is the quantity a
+    /// fault-aware scheduler folds into its ResMII bound.
+    #[must_use]
+    pub fn expected_retry_cycles(&self, timing: &TimingModel, watchdog_budget: u64) -> f64 {
+        let lf = f64::from(self.launch_failure_permille);
+        let mc = f64::from(self.mem_corruption_permille);
+        let hg = f64::from(self.hang_permille);
+        let total = lf + mc + hg;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let c_lf = timing.failed_attempt_cycles(&SimError::LaunchFailed { launch: 0 });
+        let c_mc = timing.failed_attempt_cycles(&SimError::MemFault { addr: 0, launch: 0 });
+        let c_hg = timing.failed_attempt_cycles(&SimError::WatchdogTimeout {
+            budget: watchdog_budget,
+            launch: 0,
+        });
+        let mean = (lf * c_lf + mc * c_mc + hg * c_hg) / total;
+        self.expected_failed_attempts() * mean
+    }
+
     /// Deterministic per-attempt instruction prefix after which a
     /// [`FaultKind::MemCorruption`] or [`FaultKind::Hang`] strikes:
     /// varied so faults land at different points of the kernel, but
@@ -230,6 +281,39 @@ mod tests {
         let da: Vec<_> = (0..256).map(|i| a.draw(i).is_some()).collect();
         let db: Vec<_> = (0..256).map(|i| b.draw(i).is_some()).collect();
         assert_ne!(da, db);
+    }
+
+    #[test]
+    fn expected_failed_attempts_follows_the_geometric_mean() {
+        let p = FaultPlan::new(1).with_launch_failures(200).with_hangs(50);
+        assert_eq!(p.transient_permille(), 250);
+        // p = 0.25 → E = 1/3.
+        assert!((p.expected_failed_attempts() - 0.25 / 0.75).abs() < 1e-12);
+        // Spikes are not transient: they complete the launch.
+        let spiky = FaultPlan::new(1).with_overhead_spikes(500, 4.0);
+        assert_eq!(spiky.transient_permille(), 0);
+        assert_eq!(spiky.expected_failed_attempts(), 0.0);
+        // Certain failure stays a finite planning number.
+        let certain = FaultPlan::new(1).with_launch_failures(1000);
+        assert!(certain.expected_failed_attempts().is_finite());
+    }
+
+    #[test]
+    fn expected_retry_cycles_weight_the_per_kind_costs() {
+        let timing = TimingModel::gts512();
+        let budget = timing.watchdog_budget_insts();
+        let lf_only = FaultPlan::new(1).with_launch_failures(100);
+        // p = 0.1 → E ≈ 0.1111 failed attempts, each one launch overhead.
+        let expect = (0.1 / 0.9) * timing.launch_overhead_cycles;
+        assert!((lf_only.expected_retry_cycles(&timing, budget) - expect).abs() < 1e-6);
+        // Hangs are far costlier per attempt, so at the same rate the
+        // expected overhead must be far larger.
+        let hg_only = FaultPlan::new(1).with_hangs(100);
+        assert!(
+            hg_only.expected_retry_cycles(&timing, budget)
+                > 100.0 * lf_only.expected_retry_cycles(&timing, budget)
+        );
+        assert_eq!(FaultPlan::new(1).expected_retry_cycles(&timing, budget), 0.0);
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub use launch::{BlockWork, Gpu, InstanceExec, Launch};
 pub use layout::{BufferBinding, Layout};
 pub use mem::{Allocator, DeviceMemory};
 pub use stats::{InstanceStats, LaunchStats};
-pub use timing::TimingModel;
+pub use timing::{CheckpointMode, TimingModel};
 
 use std::fmt;
 

@@ -8,14 +8,18 @@
 use std::sync::OnceLock;
 use std::time::Duration;
 
-use gpusim::{FaultKind, FaultPlan};
+use gpusim::{CheckpointMode, FaultKind, FaultPlan};
 use proptest::prelude::*;
 use streamir::graph::{FilterSpec, StreamSpec};
 use streamir::ir::{ElemTy, Expr, FnBuilder, Scalar};
-use swpipe::exec::{self, CompileOptions, Compiled, RetryPolicy, RunOptions, Scheme};
-use swpipe::pipeline::{
-    LadderRung, PipelineOptions, ResilientPipeline, RungOutcome, StageBudgets,
+use swpipe::exec::{
+    self, CheckpointSpec, CompileOptions, Compiled, RetryPolicy, RunOptions, Scheme,
 };
+use swpipe::pipeline::{
+    FaultPolicy, LadderRung, PipelineOptions, ResilientPipeline, RungOutcome, StageBudgets,
+};
+use swpipe::profile::TIME_UNIT_CYCLES;
+use swpipe::schedule::{self, SearchOptions};
 
 // ---------------------------------------------------------------------
 // The degradation ladder: one test per rung asserting the
@@ -44,7 +48,25 @@ fn pipeline_with(budgets: StageBudgets) -> ResilientPipeline {
     ResilientPipeline::new(PipelineOptions {
         compile: CompileOptions::small_test(),
         budgets,
+        ..PipelineOptions::default()
     })
+}
+
+/// A pipeline with a stateful running accumulator in front — the graph
+/// the checkpoint protocol actually has something to protect on.
+fn stateful_graph() -> streamir::graph::FlatGraph {
+    let mut b = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+    let acc = b.state(ElemTy::I32, Scalar::I32(0));
+    let x = b.local(ElemTy::I32);
+    b.pop_into(0, x);
+    b.store_state(acc, Expr::state(acc).add(Expr::local(x)));
+    b.push(0, Expr::state(acc));
+    StreamSpec::pipeline(vec![
+        StreamSpec::filter(FilterSpec::new("acc", b.build().unwrap())),
+        map_filter("bias", |x| x.add(Expr::i32(1))),
+    ])
+    .flatten()
+    .unwrap()
 }
 
 fn run_resilient(rc: &swpipe::pipeline::ResilientCompiled, iters: u64) -> Vec<Scalar> {
@@ -230,6 +252,7 @@ proptest! {
             let opts = RunOptions {
                 fault_plan: Some(plan),
                 retry: RetryPolicy { max_attempts: 12 },
+                checkpoint: CheckpointSpec::Auto,
             };
             let faulted = exec::execute_with(
                 &cb.compiled,
@@ -267,5 +290,299 @@ proptest! {
             total_retries += faulted.retries;
         }
         prop_assert!(total_retries >= 3 * suite_cache().len() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-aware scheduling: the reserve, the two policies, and the
+// checkpoint protocol that backs recovery.
+// ---------------------------------------------------------------------
+
+#[test]
+fn serial_sas_rung_ships_a_validated_single_sm_schedule() {
+    let rc = pipeline_with(StageBudgets {
+        exact_ilp: Duration::ZERO,
+        relaxed_ilp: Duration::ZERO,
+        heuristic: Duration::ZERO,
+    })
+    .compile(&ladder_graph())
+    .unwrap();
+    assert_eq!(rc.report.shipped, LadderRung::SerialSas);
+    let c = &rc.compiled;
+    assert!(
+        c.schedule.sm_of.iter().all(|&s| s == 0),
+        "serial SAS must place every instance on SM 0: {:?}",
+        c.schedule.sm_of
+    );
+    schedule::validate(&c.ig, &c.exec_cfg, &c.schedule, 1, 1)
+        .expect("the serial SAS rung must ship a schedule that validates on one SM");
+    let shipped = rc.report.shipped_attempt().unwrap();
+    assert_eq!(shipped.nominal_ii, Some(c.report.nominal_ii));
+    assert_eq!(shipped.fault_adjusted_ii, Some(c.report.nominal_ii));
+}
+
+#[test]
+fn armed_checkpointing_is_never_free_for_stateful_programs() {
+    let scheme = Scheme::Swp { coarsening: 1 };
+    let iters = 4u64;
+    // A zero-rate but *armed* fault plan: no fault ever fires, yet the
+    // checkpoint protocol must still bill every state capture — this is
+    // the regression test for the free-checkpoint bug.
+    let armed = RunOptions {
+        fault_plan: Some(FaultPlan::new(5)),
+        retry: RetryPolicy::default(),
+        checkpoint: CheckpointSpec::Auto,
+    };
+
+    let stateful = exec::compile(&stateful_graph(), &CompileOptions::small_test()).unwrap();
+    let input: Vec<Scalar> = (0..exec::required_input(&stateful, iters))
+        .map(|i| Scalar::I32(i as i32 % 7))
+        .collect();
+    let clean = exec::execute(&stateful, scheme, iters, &input).unwrap();
+    let run = exec::execute_with(&stateful, scheme, iters, &input, &armed).unwrap();
+    assert_eq!(run.retries, 0);
+    assert_eq!(run.outputs, clean.outputs);
+    assert!(
+        run.stats.checkpoint_cycles > 0.0,
+        "state captures must be billed even when no fault fires"
+    );
+    assert!(run.stats.fault_overhead_cycles >= run.stats.checkpoint_cycles);
+    assert!(
+        run.stats.cycles > clean.stats.cycles,
+        "fault_overhead_cycles must strictly increase total cycles: \
+         armed {} vs clean {}",
+        run.stats.cycles,
+        clean.stats.cycles
+    );
+
+    // A stateless program has nothing to snapshot: arming the plan must
+    // not invent checkpoint cost.
+    let stateless = exec::compile(&ladder_graph(), &CompileOptions::small_test()).unwrap();
+    let input: Vec<Scalar> = (0..exec::required_input(&stateless, iters))
+        .map(|i| Scalar::I32(i as i32 % 7))
+        .collect();
+    let sl_clean = exec::execute(&stateless, scheme, iters, &input).unwrap();
+    let sl_run = exec::execute_with(&stateless, scheme, iters, &input, &armed).unwrap();
+    assert_eq!(sl_run.stats.checkpoint_cycles, 0.0);
+    assert_eq!(sl_run.outputs, sl_clean.outputs);
+    assert_eq!(sl_run.stats.cycles, sl_clean.stats.cycles);
+}
+
+#[test]
+fn double_buffered_checkpoint_recovers_bit_identically_and_is_cheaper() {
+    let compiled = exec::compile(&stateful_graph(), &CompileOptions::small_test()).unwrap();
+    let scheme = Scheme::Swp { coarsening: 1 };
+    let iters = 4u64;
+    let input: Vec<Scalar> = (0..exec::required_input(&compiled, iters))
+        .map(|i| Scalar::I32(i as i32 % 7))
+        .collect();
+    let clean = exec::execute(&compiled, scheme, iters, &input).unwrap();
+
+    let plan = FaultPlan::new(21)
+        .with_launch_failures(150)
+        .with_mem_corruptions(80)
+        .at_launch(0, FaultKind::LaunchFailure)
+        .at_launch(1, FaultKind::MemCorruption);
+    let run_with = |spec: CheckpointSpec| {
+        exec::execute_with(
+            &compiled,
+            scheme,
+            iters,
+            &input,
+            &RunOptions {
+                fault_plan: Some(plan.clone()),
+                retry: RetryPolicy { max_attempts: 16 },
+                checkpoint: spec,
+            },
+        )
+        .unwrap()
+    };
+    let rt = run_with(CheckpointSpec::Force(CheckpointMode::HostRoundTrip));
+    let db = run_with(CheckpointSpec::Force(CheckpointMode::DeviceDoubleBuffered));
+    let auto = run_with(CheckpointSpec::Auto);
+
+    for (name, run) in [("host-round-trip", &rt), ("double-buffered", &db), ("auto", &auto)] {
+        assert_eq!(run.outputs, clean.outputs, "{name}: recovery diverged");
+        assert!(run.retries >= 2, "{name}: pinned faults must force retries");
+        assert!(run.stats.checkpoint_cycles > 0.0, "{name}");
+    }
+    assert_eq!(rt.checkpoint_mode, CheckpointMode::HostRoundTrip);
+    assert_eq!(db.checkpoint_mode, CheckpointMode::DeviceDoubleBuffered);
+    // The cost model must select the cheaper mode, and the billed cycles
+    // must agree with that ranking.
+    assert_eq!(auto.checkpoint_mode, CheckpointMode::DeviceDoubleBuffered);
+    assert!(
+        rt.stats.checkpoint_cycles > db.stats.checkpoint_cycles,
+        "round-trip {} must out-price double-buffered {}",
+        rt.stats.checkpoint_cycles,
+        db.stats.checkpoint_cycles
+    );
+}
+
+#[test]
+fn tail_latency_policy_reduces_makespan_variance_under_faults() {
+    let graph = ladder_graph();
+    let plan = FaultPlan::new(9)
+        .with_launch_failures(250)
+        .at_launch(2, FaultKind::LaunchFailure)
+        .at_launch(5, FaultKind::LaunchFailure);
+    let compile_under = |policy: FaultPolicy| {
+        ResilientPipeline::new(PipelineOptions {
+            compile: CompileOptions::small_test(),
+            fault_plan: Some(plan.clone()),
+            policy,
+            ..PipelineOptions::default()
+        })
+        .compile(&graph)
+        .unwrap()
+    };
+    let tp = compile_under(FaultPolicy::Throughput);
+    let tl = compile_under(FaultPolicy::TailLatency);
+    assert_eq!(tp.report.policy, FaultPolicy::Throughput);
+    assert_eq!(tl.report.policy, FaultPolicy::TailLatency);
+    assert!(
+        tl.compiled.schedule.ii > tp.compiled.schedule.ii,
+        "tail-latency must reserve headroom: II {} vs {}",
+        tl.compiled.schedule.ii,
+        tp.compiled.schedule.ii
+    );
+    assert!(tl.compiled.report.fault_reserve > 0);
+    assert_eq!(tp.compiled.report.fault_reserve, 0);
+    // Both policies predict the same fault-adjusted effect per rung.
+    let (tpa, tla) = (
+        tp.report.shipped_attempt().unwrap(),
+        tl.report.shipped_attempt().unwrap(),
+    );
+    assert!(tpa.fault_adjusted_ii.unwrap() > tpa.nominal_ii.unwrap());
+    assert!(tla.fault_adjusted_ii.unwrap() > tla.nominal_ii.unwrap());
+
+    let iters = 16u64;
+    let run = |rc: &swpipe::pipeline::ResilientCompiled| {
+        let input: Vec<Scalar> = (0..exec::required_input(&rc.compiled, iters))
+            .map(|i| Scalar::I32(i as i32 % 41 - 20))
+            .collect();
+        let opts = RunOptions {
+            retry: RetryPolicy { max_attempts: 16 },
+            ..rc.run_options.clone()
+        };
+        exec::execute_with(&rc.compiled, rc.scheme, iters, &input, &opts).unwrap()
+    };
+    let tp_run = run(&tp);
+    let tl_run = run(&tl);
+    assert_eq!(tp_run.outputs, tl_run.outputs, "policies must agree on the stream");
+    assert!(tp_run.retries >= 2, "pinned faults must fire");
+    assert!(!tp_run.launch_cycles.is_empty());
+    assert_eq!(tp_run.launch_cycles.len(), tl_run.launch_cycles.len());
+
+    // Per-launch overshoot over the *planned* launch budget (the
+    // schedule's II in cycles plus the modeled launch/block overheads).
+    // The tail-latency schedule plans for retries, so fault spikes eat
+    // into its reserve instead of blowing past the budget — its makespan
+    // variance must come out lower.
+    let overshoot_variance = |rc: &swpipe::pipeline::ResilientCompiled, run: &exec::GpuRun| {
+        let planned = rc.compiled.schedule.ii as f64 * TIME_UNIT_CYCLES
+            + rc.compiled.timing.launch_overhead_cycles
+            + f64::from(rc.compiled.device.num_sms) * rc.compiled.timing.block_overhead_cycles;
+        let over: Vec<f64> = run
+            .launch_cycles
+            .iter()
+            .map(|&c| (c - planned).max(0.0))
+            .collect();
+        let mean = over.iter().sum::<f64>() / over.len() as f64;
+        over.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / over.len() as f64
+    };
+    let tp_var = overshoot_variance(&tp, &tp_run);
+    let tl_var = overshoot_variance(&tl, &tl_run);
+    assert!(
+        tl_var < tp_var,
+        "tail-latency variance {tl_var} must be below throughput variance {tp_var}"
+    );
+}
+
+/// The CI fault matrix: one pinned fault kind per job, selected with the
+/// `SWPIPE_FAULT_MATRIX` environment variable (all three locally).
+#[test]
+fn fault_matrix_pinned_kinds_recover_bit_identically() {
+    let matrix = std::env::var("SWPIPE_FAULT_MATRIX").ok();
+    let kinds: Vec<(&str, FaultPlan)> = vec![
+        (
+            "launch-failure",
+            FaultPlan::new(11)
+                .with_launch_failures(300)
+                .at_launch(0, FaultKind::LaunchFailure),
+        ),
+        (
+            "mem-fault",
+            FaultPlan::new(12)
+                .with_mem_corruptions(300)
+                .at_launch(0, FaultKind::MemCorruption),
+        ),
+        (
+            "watchdog",
+            FaultPlan::new(13).with_hangs(200).at_launch(0, FaultKind::Hang),
+        ),
+    ];
+    let compiled = exec::compile(&stateful_graph(), &CompileOptions::small_test()).unwrap();
+    let scheme = Scheme::Swp { coarsening: 1 };
+    let iters = 4u64;
+    let input: Vec<Scalar> = (0..exec::required_input(&compiled, iters))
+        .map(|i| Scalar::I32(i as i32 % 7))
+        .collect();
+    let clean = exec::execute(&compiled, scheme, iters, &input).unwrap();
+    let mut ran = 0;
+    for (name, plan) in kinds {
+        if matrix.as_deref().is_some_and(|m| m != name) {
+            continue;
+        }
+        ran += 1;
+        let run = exec::execute_with(
+            &compiled,
+            scheme,
+            iters,
+            &input,
+            &RunOptions {
+                fault_plan: Some(plan),
+                retry: RetryPolicy { max_attempts: 16 },
+                checkpoint: CheckpointSpec::Auto,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(run.outputs, clean.outputs, "{name}: recovery diverged");
+        assert!(run.retries >= 1, "{name}: the pinned fault must force a retry");
+        assert!(run.stats.fault_overhead_cycles > 0.0, "{name}");
+    }
+    assert!(ran >= 1, "SWPIPE_FAULT_MATRIX selected no known fault kind");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// The fault-aware search: any requested reserve shows up one-for-one
+    /// in the shipped II (fault-adjusted = nominal + reserve), never
+    /// undercuts the fault-oblivious II, and the schedule still validates.
+    #[test]
+    fn fault_adjusted_ii_dominates_nominal_and_both_validate(reserve in 1u64..6) {
+        let c = exec::compile(&ladder_graph(), &CompileOptions::small_test()).unwrap();
+        let nominal = schedule::find(
+            &c.ig,
+            &c.exec_cfg,
+            c.device.num_sms,
+            &SearchOptions { fault_reserve: 0, ..SearchOptions::default() },
+        )
+        .unwrap();
+        let reserved = schedule::find(
+            &c.ig,
+            &c.exec_cfg,
+            c.device.num_sms,
+            &SearchOptions { fault_reserve: reserve, ..SearchOptions::default() },
+        )
+        .unwrap();
+        prop_assert_eq!(reserved.1.final_ii, reserved.1.nominal_ii + reserve);
+        prop_assert!(reserved.1.final_ii >= nominal.1.final_ii + reserve);
+        prop_assert_eq!(reserved.0.ii, reserved.1.final_ii);
+        schedule::validate(&c.ig, &c.exec_cfg, &nominal.0, c.device.num_sms, 1)
+            .expect("fault-oblivious schedule must validate");
+        schedule::validate(&c.ig, &c.exec_cfg, &reserved.0, c.device.num_sms, 1)
+            .expect("fault-reserved schedule must validate");
     }
 }
