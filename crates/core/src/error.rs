@@ -41,6 +41,15 @@ pub enum Error {
         /// The pipeline stage of the offending instance, when known.
         stage: Option<u64>,
     },
+    /// The static verifier rejected an artifact: at least one diagnostic
+    /// reached error severity. The artifact must not ship.
+    #[non_exhaustive]
+    Verification {
+        /// Every finding, in analysis order (schedule hazards, bounds,
+        /// coalescing). At least one has
+        /// [`crate::verify::Severity::Error`].
+        diagnostics: Vec<crate::verify::Diagnostic>,
+    },
     /// Mis-use of the compilation API (e.g. executing before scheduling).
     Api(String),
 }
@@ -55,6 +64,12 @@ impl Error {
             instance: None,
             stage: None,
         }
+    }
+
+    /// An [`Error::Verification`] from a diagnostic batch.
+    #[must_use]
+    pub fn verification(diagnostics: Vec<crate::verify::Diagnostic>) -> Error {
+        Error::Verification { diagnostics }
     }
 
     /// An [`Error::Sim`] annotated with what was happening.
@@ -115,6 +130,23 @@ impl fmt::Display for Error {
                     write!(f, "]")?;
                 } else if let Some(s) = stage {
                     write!(f, " [stage {s}]")?;
+                }
+                Ok(())
+            }
+            Error::Verification { diagnostics } => {
+                let errors = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == crate::verify::Severity::Error)
+                    .count();
+                write!(f, "static verification failed with {errors} error(s)")?;
+                if let Some(first) = diagnostics
+                    .iter()
+                    .find(|d| d.severity == crate::verify::Severity::Error)
+                {
+                    write!(f, "; first: {}", first.header())?;
+                    if let Some(loc) = first.location() {
+                        write!(f, " at {loc}")?;
+                    }
                 }
                 Ok(())
             }

@@ -314,6 +314,18 @@ pub fn execute_with(
     execute_inner(c, scheme, iterations, input, false, opts)
 }
 
+/// The (iteration granule, buffer layout) shape of a scheme. Shared by
+/// the executor and the static verifier so both plan identical buffers.
+pub(crate) fn scheme_shape(scheme: Scheme) -> (u32, LayoutKind) {
+    match scheme {
+        Scheme::Swp { coarsening } => (coarsening.max(1), LayoutKind::Optimized),
+        Scheme::SwpNc { coarsening } | Scheme::SwpRaw { coarsening } => {
+            (coarsening.max(1), LayoutKind::Sequential)
+        }
+        Scheme::Serial { batch } => (batch.max(1), LayoutKind::Optimized),
+    }
+}
+
 fn execute_inner(
     c: &Compiled,
     scheme: Scheme,
@@ -322,13 +334,7 @@ fn execute_inner(
     scaled: bool,
     opts: &RunOptions,
 ) -> Result<GpuRun> {
-    let (granule, kind) = match scheme {
-        Scheme::Swp { coarsening } => (coarsening.max(1), LayoutKind::Optimized),
-        Scheme::SwpNc { coarsening } | Scheme::SwpRaw { coarsening } => {
-            (coarsening.max(1), LayoutKind::Sequential)
-        }
-        Scheme::Serial { batch } => (batch.max(1), LayoutKind::Optimized),
-    };
+    let (granule, kind) = scheme_shape(scheme);
     if iterations == 0 || !iterations.is_multiple_of(u64::from(granule)) {
         return Err(Error::Api(format!(
             "iterations ({iterations}) must be a positive multiple of the \
@@ -686,41 +692,17 @@ fn run_swp(
     let num_sms = c.device.num_sms;
     let kernel_iters = iterations / u64::from(coarsening);
     let stages = sched.max_stage();
-
-    // Per-SM instance order: by offset, ties by instance id (the paper:
-    // "ties are broken arbitrarily").
-    let mut order: Vec<Vec<usize>> = vec![Vec::new(); num_sms as usize];
-    let mut idx: Vec<usize> = (0..c.ig.len()).collect();
-    idx.sort_by_key(|&i| (sched.offset[i], i));
-    for i in idx {
-        order[sched.sm_of[i] as usize].push(i);
-    }
+    let order = swp_sm_order(sched, num_sms, c.ig.len());
 
     let run_one = |r: u64,
                    gpu: &mut Gpu,
                    retries: &mut u64,
                    ckpt: &mut Checkpointer|
      -> Result<LaunchStats> {
-        let mut blocks = Vec::with_capacity(num_sms as usize);
-        for sm_items in order.iter().take(num_sms as usize) {
-            let mut items = Vec::new();
-            for &i in sm_items {
-                let f = sched.stage[i];
-                if r < f || r - f >= kernel_iters {
-                    continue; // staging predicate: filling or draining
-                }
-                let (v, k) = c.ig.list[i];
-                for sub in 0..u64::from(coarsening) {
-                    let b = (r - f) * u64::from(coarsening) + sub;
-                    items.push(instance_exec(c, buffers, v, k, b, staged)?);
-                }
-            }
-            blocks.push(BlockWork { items });
-        }
         let launch = Launch {
             threads_per_block: c.exec_cfg.threads_per_block,
             regs_per_thread: c.exec_cfg.regs_per_thread,
-            blocks,
+            blocks: swp_blocks(c, buffers, &order, r, coarsening, kernel_iters, staged)?,
         };
         run_launch_retrying(gpu, &launch, retry, retries, ckpt)
             .map_err(|e| e.in_context(format!("software-pipelined kernel iteration {r}")))
@@ -780,31 +762,16 @@ fn run_serial(
     trace: &mut Vec<f64>,
 ) -> Result<()> {
     let topo = c.graph.topo_order()?;
-    let num_sms = c.device.num_sms as usize;
     let batches = iterations / u64::from(batch);
     // Every batch is counter-identical (one kernel per filter over the
     // same shapes); in scaled mode simulate the first and scale.
     let sim_batches = if scaled { batches.min(1) } else { batches };
     for batch_no in 0..sim_batches {
         for &node in &topo {
-            let kv = c.ig.reps[node.0 as usize];
-            let mut blocks: Vec<BlockWork> = (0..num_sms).map(|_| BlockWork::default()).collect();
-            let mut slot = 0usize;
-            for sub in 0..u64::from(batch) {
-                let b = batch_no * u64::from(batch) + sub;
-                for k in 0..kv {
-                    // The serial baseline is coalesced too (paper Sec. V):
-                    // fitting working sets stage through shared memory.
-                    blocks[slot % num_sms]
-                        .items
-                        .push(instance_exec(c, buffers, node, k, b, true)?);
-                    slot += 1;
-                }
-            }
             let launch = Launch {
                 threads_per_block: c.exec_cfg.threads[node.0 as usize],
                 regs_per_thread: c.exec_cfg.regs_per_thread,
-                blocks,
+                blocks: serial_blocks(c, buffers, node, batch, batch_no)?,
             };
             let stats = run_launch_retrying(gpu, &launch, retry, retries, ckpt)
                 .map_err(|e| {
@@ -830,9 +797,82 @@ fn run_serial(
     Ok(())
 }
 
+/// Per-SM instance order for the software-pipelined kernel: by offset,
+/// ties by instance id (the paper: "ties are broken arbitrarily").
+/// Shared by the executor and the static verifier so both enumerate
+/// identical launches.
+pub(crate) fn swp_sm_order(sched: &Schedule, num_sms: u32, n: usize) -> Vec<Vec<usize>> {
+    let mut order: Vec<Vec<usize>> = vec![Vec::new(); num_sms as usize];
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by_key(|&i| (sched.offset[i], i));
+    for i in idx {
+        order[sched.sm_of[i] as usize].push(i);
+    }
+    order
+}
+
+/// The block list of software-pipelined kernel iteration `r`: per-SM
+/// instance lists with the fill/drain staging predicate applied and one
+/// [`InstanceExec`] per coarsened sub-iteration.
+pub(crate) fn swp_blocks<'a>(
+    c: &'a Compiled,
+    buffers: &ProgramBuffers,
+    order: &[Vec<usize>],
+    r: u64,
+    coarsening: u32,
+    kernel_iters: u64,
+    staged: bool,
+) -> Result<Vec<BlockWork<'a>>> {
+    let sched = &c.schedule;
+    let mut blocks = Vec::with_capacity(order.len());
+    for sm_items in order {
+        let mut items = Vec::new();
+        for &i in sm_items {
+            let f = sched.stage[i];
+            if r < f || r - f >= kernel_iters {
+                continue; // staging predicate: filling or draining
+            }
+            let (v, k) = c.ig.list[i];
+            for sub in 0..u64::from(coarsening) {
+                let b = (r - f) * u64::from(coarsening) + sub;
+                items.push(instance_exec(c, buffers, v, k, b, staged)?);
+            }
+        }
+        blocks.push(BlockWork { items });
+    }
+    Ok(blocks)
+}
+
+/// The block list of one serial (SAS) kernel: every instance of `node`
+/// over one batch, distributed round-robin over the SMs. The serial
+/// baseline is coalesced too (paper Sec. V): fitting working sets stage
+/// through shared memory.
+pub(crate) fn serial_blocks<'a>(
+    c: &'a Compiled,
+    buffers: &ProgramBuffers,
+    node: NodeId,
+    batch: u32,
+    batch_no: u64,
+) -> Result<Vec<BlockWork<'a>>> {
+    let num_sms = c.device.num_sms as usize;
+    let kv = c.ig.reps[node.0 as usize];
+    let mut blocks: Vec<BlockWork> = (0..num_sms).map(|_| BlockWork::default()).collect();
+    let mut slot = 0usize;
+    for sub in 0..u64::from(batch) {
+        let b = batch_no * u64::from(batch) + sub;
+        for k in 0..kv {
+            blocks[slot % num_sms]
+                .items
+                .push(instance_exec(c, buffers, node, k, b, true)?);
+            slot += 1;
+        }
+    }
+    Ok(blocks)
+}
+
 /// Builds one instance execution: bindings for every port at basic
 /// iteration `b`.
-fn instance_exec<'a>(
+pub(crate) fn instance_exec<'a>(
     c: &'a Compiled,
     buffers: &ProgramBuffers,
     node: NodeId,

@@ -16,9 +16,15 @@
 //!    monotone relaxation. Same constraint system, possibly more stages.
 //! 4. [`LadderRung::SerialSas`] — give up on software pipelining and ship
 //!    the serialized SAS executor ([`Scheme::Serial`]) with a real,
-//!    validated single-SM schedule (topological placeholder only as a
-//!    last resort). Always succeeds: the executor needs no pipelined
-//!    schedule.
+//!    validated single-SM schedule.
+//!
+//! Every rung's schedule — including the serial rung's — must pass the
+//! independent static verifier ([`crate::verify`]: re-derived dependence
+//! timing plus buffer-bounds liveness) before its artifact is accepted.
+//! A rung whose schedule is rejected fails with the diagnostics and the
+//! ladder degrades; if even the serial rung's schedule is rejected, the
+//! compilation fails with [`crate::Error::Verification`] rather than
+//! shipping an unchecked artifact.
 //!
 //! Every attempt — shipped, failed, or skipped for an exhausted budget —
 //! is recorded in a [`DegradationReport`], so a caller (or an experiment
@@ -31,10 +37,10 @@ use gpusim::FaultPlan;
 use streamir::graph::FlatGraph;
 
 use crate::exec::{compile_front, CompileOptions, Compiled, RunOptions, Scheme};
-use crate::plan::{self, CheckpointPlan};
+use crate::plan::{self, CheckpointPlan, LayoutKind};
 use crate::profile::TIME_UNIT_CYCLES;
 use crate::schedule::{self, Schedule, SchedulerKind, SearchOptions, SearchReport};
-use crate::Result;
+use crate::{verify, Error, Result};
 
 /// One rung of the degradation ladder, from most to least preferred.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -217,8 +223,8 @@ pub struct PipelineOptions {
 #[derive(Debug, Clone)]
 pub struct ResilientCompiled {
     /// The compiled program. When the [`LadderRung::SerialSas`] rung
-    /// shipped, its schedule is a single-SM placeholder — execute with
-    /// [`ResilientCompiled::scheme`].
+    /// shipped, its schedule is a real, verified single-SM SAS schedule —
+    /// execute with [`ResilientCompiled::scheme`].
     pub compiled: Compiled,
     /// Which rung shipped, and what every rung did.
     pub report: DegradationReport,
@@ -264,8 +270,11 @@ impl ResilientPipeline {
     ///
     /// Front-end failures (profiling, configuration selection, instance
     /// modeling) are not schedulable around and propagate. Scheduling
-    /// failures never propagate: the [`LadderRung::SerialSas`] rung
-    /// always ships.
+    /// failures on rungs 1–3 never propagate — the ladder degrades past
+    /// them. The [`LadderRung::SerialSas`] rung has no further fallback:
+    /// if its schedule cannot be built, or the static verifier rejects
+    /// it, the whole compilation fails ([`Error::Verification`] in the
+    /// latter case) instead of shipping an unchecked artifact.
     pub fn compile(&self, graph: &FlatGraph) -> Result<ResilientCompiled> {
         let opts = &self.opts.compile;
         let fe = compile_front(graph, opts)?;
@@ -301,7 +310,11 @@ impl ResilientPipeline {
             self.opts.budgets.exact_ilp,
             reserve_units,
             &mut attempts,
-            || schedule::find(&fe.ig, &fe.exec_cfg, num_sms, &exact),
+            || {
+                let found = schedule::find(&fe.ig, &fe.exec_cfg, num_sms, &exact)?;
+                verify_rung(graph, &fe, num_sms, &found.0, false)?;
+                Ok(found)
+            },
         ) {
             return Ok(assemble(
                 graph,
@@ -333,7 +346,11 @@ impl ResilientPipeline {
             self.opts.budgets.relaxed_ilp,
             reserve_units,
             &mut attempts,
-            || schedule::find(&fe.ig, &fe.exec_cfg, num_sms, &relaxed),
+            || {
+                let found = schedule::find(&fe.ig, &fe.exec_cfg, num_sms, &relaxed)?;
+                verify_rung(graph, &fe, num_sms, &found.0, false)?;
+                Ok(found)
+            },
         ) {
             return Ok(assemble(
                 graph,
@@ -359,7 +376,11 @@ impl ResilientPipeline {
             self.opts.budgets.heuristic,
             reserve_units,
             &mut attempts,
-            || schedule::find(&fe.ig, &fe.exec_cfg, num_sms, &heur),
+            || {
+                let found = schedule::find(&fe.ig, &fe.exec_cfg, num_sms, &heur)?;
+                verify_rung(graph, &fe, num_sms, &found.0, false)?;
+                Ok(found)
+            },
         ) {
             return Ok(assemble(
                 graph,
@@ -374,15 +395,28 @@ impl ResilientPipeline {
             ));
         }
 
-        // Rung 4: serialized SAS. Always ships. Preferably a real,
-        // validated single-SM schedule from the decomposed scheduler
-        // (honest SAS II and offsets); the topological placeholder only
-        // if even that fails.
+        // Rung 4: serialized SAS — a real, validated single-SM schedule
+        // from the decomposed scheduler (honest SAS II and offsets),
+        // gated by the same verifier as every other rung. No further
+        // fallback: a rejected schedule fails the compilation rather
+        // than shipping unchecked.
         let started = Instant::now();
-        let (schedule, reserve_in_sched) = match serial_sas_schedule(&fe, sched_reserve) {
-            Ok(s) => (s, sched_reserve),
-            Err(_) => (serial_placeholder(graph, &fe)?, 0),
+        let schedule = match serial_sas_schedule(&fe, sched_reserve)
+            .and_then(|s| verify_rung(graph, &fe, 1, &s, true).map(|()| s))
+        {
+            Ok(s) => s,
+            Err(e) => {
+                attempts.push(RungAttempt {
+                    rung: LadderRung::SerialSas,
+                    outcome: RungOutcome::Failed(e.to_string()),
+                    elapsed: started.elapsed(),
+                    nominal_ii: None,
+                    fault_adjusted_ii: None,
+                });
+                return Err(e);
+            }
         };
+        let reserve_in_sched = sched_reserve;
         let report = SearchReport {
             lower_bound: schedule.ii,
             final_ii: schedule.ii,
@@ -485,35 +519,30 @@ fn serial_sas_schedule(fe: &crate::exec::FrontEnd, fault_reserve: u64) -> Result
     Ok(sched)
 }
 
-/// A placeholder schedule for the serial rung: every instance on SM 0 in
-/// topological order with cumulative offsets, one stage. The serial
-/// executor ignores it (it launches one kernel per filter); it exists so
-/// the [`Compiled`] artifact stays well-formed.
-fn serial_placeholder(graph: &FlatGraph, fe: &crate::exec::FrontEnd) -> Result<Schedule> {
-    let topo = graph.topo_order()?;
-    let mut rank = vec![0usize; graph.len()];
-    for (r, v) in topo.iter().enumerate() {
-        rank[v.0 as usize] = r;
+/// The independent acceptance gate every rung's schedule must clear:
+/// modulo-schedule dependence timing re-derived from the graph
+/// ([`verify::check_schedule`]) plus buffer-bounds liveness over the
+/// canonical buffer plan ([`verify::check_plan`]). Any error-severity
+/// finding rejects the rung with the full diagnostic batch.
+fn verify_rung(
+    graph: &FlatGraph,
+    fe: &crate::exec::FrontEnd,
+    num_sms: u32,
+    sched: &Schedule,
+    serial: bool,
+) -> Result<()> {
+    let mut diags = verify::check_schedule(graph, &fe.ig, &fe.exec_cfg, sched, num_sms, 1);
+    // The serial executor plans its buffers without a pipeline schedule
+    // (stage span zero by construction); pipelined rungs plan against
+    // the schedule they would ship with.
+    let plan_sched = if serial { None } else { Some(sched) };
+    let plan = plan::plan(graph, &fe.ig, plan_sched, 1, LayoutKind::Optimized);
+    diags.extend(verify::check_plan(graph, &fe.ig, plan_sched, &plan));
+    if verify::passes(&diags) {
+        Ok(())
+    } else {
+        Err(Error::verification(diags))
     }
-    let n = fe.ig.len();
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by_key(|&i| {
-        let (v, k) = fe.ig.list[i];
-        (rank[v.0 as usize], k)
-    });
-    let mut offset = vec![0u64; n];
-    let mut t = 0u64;
-    for &i in &order {
-        let (v, _) = fe.ig.list[i];
-        offset[i] = t;
-        t += fe.exec_cfg.delay[v.0 as usize];
-    }
-    Ok(Schedule {
-        ii: t.max(1),
-        sm_of: vec![0; n],
-        offset,
-        stage: vec![0; n],
-    })
 }
 
 #[allow(clippy::too_many_arguments)] // one internal assembly point
@@ -663,6 +692,30 @@ mod tests {
                 .outputs
         };
         assert_eq!(run(&rc, iters), reference);
+    }
+
+    #[test]
+    fn shipped_artifacts_pass_the_full_verifier() {
+        // Both the pipelined and the serial rung ship artifacts the whole
+        // verifier (schedule hazards, bounds, coalescing proof) accepts.
+        for budgets in [
+            StageBudgets::default(),
+            StageBudgets {
+                exact_ilp: Duration::ZERO,
+                relaxed_ilp: Duration::ZERO,
+                heuristic: Duration::ZERO,
+            },
+        ] {
+            let pl = ResilientPipeline::new(PipelineOptions {
+                compile: CompileOptions::small_test(),
+                budgets,
+                ..PipelineOptions::default()
+            });
+            let rc = pl.compile(&three_stage()).unwrap();
+            let v = crate::verify::verify(&rc.compiled, rc.scheme, 4).unwrap();
+            assert!(v.passes(), "{} -> {:?}", rc.report, v.diagnostics);
+            assert!(v.prediction.exact);
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::fmt::Write as _;
 
 use crate::exec::Compiled;
 use crate::plan::{BufferPlan, CheckpointPlan};
+use crate::verify::{max_severity, Diagnostic, Severity};
 
 /// Renders the schedule as a per-SM table ordered the way the generated
 /// kernel executes (by offset, ties by instance id).
@@ -152,6 +153,76 @@ pub fn checkpoint_summary(plan: &CheckpointPlan) -> String {
     )
 }
 
+/// Renders verifier diagnostics rustc-style: a `severity[code]: message`
+/// header and a `--> location` line per finding, errors first, closed by
+/// a one-line tally.
+///
+/// ```text
+/// error[V0201]: pop[in0]#0 of filter 'fft' scatters within a transposed region ...
+///   --> filter 'fft', pop[in0]#0, channel #3
+///
+/// verification: 1 error, 0 warnings, 2 notes
+/// ```
+#[must_use]
+pub fn render_diagnostics(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    let mut ordered: Vec<&Diagnostic> = diags.iter().collect();
+    ordered.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    for d in &ordered {
+        let _ = writeln!(out, "{}", d.header());
+        if let Some(loc) = d.location() {
+            let _ = writeln!(out, "  --> {loc}");
+        }
+        out.push('\n');
+    }
+    let count = |s: Severity| diags.iter().filter(|d| d.severity == s).count();
+    let verdict = match max_severity(diags) {
+        Some(Severity::Error) => "FAIL",
+        _ => "ok",
+    };
+    let _ = writeln!(
+        out,
+        "verification: {} — {} error(s), {} warning(s), {} note(s)",
+        verdict,
+        count(Severity::Error),
+        count(Severity::Warning),
+        count(Severity::Info),
+    );
+    out
+}
+
+/// Converts verifier diagnostics into Graphviz annotations for
+/// [`streamir::graph::FlatGraph::to_dot_annotated`]: flagged nodes are
+/// filled and flagged channels stroked by their worst severity (red for
+/// errors, orange for warnings, gray for notes), each with a short
+/// `code site` note line.
+#[must_use]
+pub fn dot_annotations(diags: &[Diagnostic]) -> streamir::graph::DotAnnotations {
+    let mut ann = streamir::graph::DotAnnotations::default();
+    // Ascending severity: in the annotation struct the last color for an
+    // element wins, so the worst finding sets the final color.
+    let mut ordered: Vec<&Diagnostic> = diags.iter().collect();
+    ordered.sort_by_key(|d| d.severity);
+    for d in ordered {
+        let (node_fill, edge_color) = match d.severity {
+            Severity::Error => ("salmon", "red"),
+            Severity::Warning => ("wheat", "orange"),
+            Severity::Info => ("gray90", "gray50"),
+        };
+        let note = match &d.site {
+            Some(site) => format!("{} {site}", d.code.code()),
+            None => d.code.code().to_string(),
+        };
+        if let Some(n) = d.node {
+            ann.flag_node(n, node_fill, note.clone());
+        }
+        if let Some(e) = d.edge {
+            ann.flag_edge(e, edge_color, note);
+        }
+    }
+    ann
+}
+
 /// One-paragraph summary of the selected execution configuration.
 #[must_use]
 pub fn config_summary(c: &Compiled) -> String {
@@ -217,6 +288,43 @@ mod tests {
         let text = config_summary(&c);
         assert!(text.contains("registers/thread"));
         assert!(text.contains("normalised II"));
+    }
+
+    #[test]
+    fn diagnostics_render_rustc_style_with_tally() {
+        use crate::verify::Code;
+        let diags = vec![
+            Diagnostic::new(Code::SequentialTraffic, "expected baseline traffic"),
+            Diagnostic::new(Code::NonCoalescedAccess, "scattered reads")
+                .at_filter("fft", 2)
+                .at_site("pop[in0]#0")
+                .at_edge(3),
+        ];
+        let text = render_diagnostics(&diags);
+        // Errors sort first despite input order.
+        let err_at = text.find("error[V0201]").unwrap();
+        let info_at = text.find("info[V0203]").unwrap();
+        assert!(err_at < info_at, "{text}");
+        assert!(text.contains("--> filter 'fft', pop[in0]#0, channel #3"), "{text}");
+        assert!(text.contains("verification: FAIL — 1 error(s), 0 warning(s), 1 note(s)"), "{text}");
+        assert!(render_diagnostics(&[]).contains("verification: ok"));
+    }
+
+    #[test]
+    fn dot_annotations_color_by_worst_severity() {
+        use crate::verify::Code;
+        let diags = vec![
+            Diagnostic::new(Code::NonCoalescedAccess, "scattered")
+                .at_filter("fft", 1)
+                .at_site("pop[in0]#0")
+                .at_edge(0),
+            Diagnostic::new(Code::SequentialTraffic, "baseline").at_edge(0),
+        ];
+        let ann = dot_annotations(&diags);
+        assert_eq!(ann.edge_colors.get(&0).map(String::as_str), Some("red"));
+        assert_eq!(ann.node_fills.get(&1).map(String::as_str), Some("salmon"));
+        assert_eq!(ann.edge_notes[&0].len(), 2);
+        assert!(ann.node_notes[&1][0].contains("V0201"));
     }
 
     #[test]

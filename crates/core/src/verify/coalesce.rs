@@ -1,0 +1,970 @@
+//! Static coalescing analysis: abstract warp interpretation of every
+//! launch the executor would issue, predicting the simulator's memory
+//! counters without executing a single token.
+//!
+//! The analysis walks the exact launch sequence the executor builds
+//! ([`crate::exec`]'s `swp_blocks` / `serial_blocks` — the same
+//! functions, not a re-implementation) and, per warp of each instance,
+//! abstractly interprets the work function. Channel addresses are
+//! evaluated through [`BufferBinding::addr`] — the same lowering the
+//! simulator executes — and classified with [`count_transactions`] /
+//! [`bank_conflict_degree`] — the same analyzers the simulator bills
+//! with. Values are tracked as [`AbsVal`]: `Uniform(c)` when provably
+//! identical across lanes (constants, loop induction variables, folded
+//! arithmetic), `Varying` otherwise. Billing only depends on values
+//! through `if` conditions and peek depths, so whenever those fold the
+//! prediction is *exact*: the predicted counters equal the dynamic
+//! [`gpusim::LaunchStats`] bit-for-bit, and a cross-check test keeps the
+//! two from silently diverging.
+//!
+//! Every uncoalesced half-warp group is classified by the channel's
+//! logical token geometry:
+//!
+//! * **boundary** — the group's logical tokens straddle a region
+//!   boundary, or touch a transposed region's partial tail. Peeking
+//!   consumers legitimately read across rotation boundaries; this is
+//!   expected residue, reported as `V0202` (warning).
+//! * **misaligned** — lanes read contiguous addresses whose base is not
+//!   transaction-aligned. Happens for thread counts below a half-warp
+//!   (feedback-capped grids); expected, `V0202` (warning).
+//! * **scattered** — lanes read non-contiguous addresses inside one
+//!   region. Under the transposed layout on the consumer side this
+//!   breaks the coalescing promise the layout exists to make: `V0201`
+//!   (error), naming the access site.
+//!
+//! Uncoalesced traffic under the sequential layout is the behaviour the
+//! SWPNC baseline exists to measure: `V0203` (info).
+
+use std::collections::{BTreeSet, HashMap};
+
+use gpusim::{
+    bank_conflict_degree, count_transactions, BufferBinding, DeviceConfig, Gpu, InstanceExec,
+    LaunchStats, Layout, REG_ARRAY_WORDS, SHARED_BANKS,
+};
+use streamir::graph::NodeId;
+use streamir::ir::{access_sites, interp, AccessKind, AccessSite, Expr, Scalar, Stmt, WorkFunction};
+
+use crate::codegen;
+use crate::exec::{scheme_shape, serial_blocks, swp_blocks, swp_sm_order, Compiled, Scheme};
+use crate::instances;
+use crate::plan::{self, BufferPlan};
+use crate::verify::diag::{Code, Diagnostic};
+use crate::{Error, Result};
+
+/// The device-memory and shared-memory counters the analysis predicts —
+/// the subset of [`LaunchStats`] that is a pure function of addresses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticCounters {
+    /// Warp-wide device-memory access instructions.
+    pub mem_access_insts: u64,
+    /// Device-memory transactions after coalescing.
+    pub mem_transactions: u64,
+    /// Warp-wide shared-memory accesses (staged channel traffic).
+    pub shared_accesses: u64,
+    /// Extra shared-memory passes lost to bank conflicts.
+    pub bank_conflict_passes: u64,
+}
+
+impl StaticCounters {
+    /// The comparable slice of a dynamic run's counters.
+    #[must_use]
+    pub fn of_stats(stats: &LaunchStats) -> StaticCounters {
+        StaticCounters {
+            mem_access_insts: stats.mem_access_insts,
+            mem_transactions: stats.mem_transactions,
+            shared_accesses: stats.shared_accesses,
+            bank_conflict_passes: stats.bank_conflict_passes,
+        }
+    }
+}
+
+/// Per-access-site traffic tally, accumulated over every firing of every
+/// instance in the whole run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SiteTally {
+    /// Device-memory access instructions issued at this site.
+    pub accesses: u64,
+    /// Device-memory transactions those accesses cost.
+    pub transactions: u64,
+    /// Shared-memory accesses (when the instance stages its window).
+    pub shared_accesses: u64,
+    /// Shared-memory bank-conflict passes.
+    pub bank_conflict_passes: u64,
+    /// Uncoalesced groups scattered inside one region (contract
+    /// violation under a transposed consumer).
+    pub scattered_groups: u64,
+    /// Uncoalesced groups straddling a region boundary or partial tail.
+    pub boundary_groups: u64,
+    /// Contiguous but transaction-misaligned groups.
+    pub misaligned_groups: u64,
+    /// Whether any access went through a transposed binding.
+    pub transposed: bool,
+    /// A data-dependent peek depth made this site unpredictable.
+    pub varying_depth: bool,
+}
+
+/// One access site's predicted traffic, for reports.
+#[derive(Debug, Clone)]
+pub struct SiteReport {
+    /// Graph node of the filter.
+    pub node: u32,
+    /// Filter name.
+    pub filter: String,
+    /// Access-site name (`pop[in0]#0`).
+    pub site: String,
+    /// The tallied traffic.
+    pub tally: SiteTally,
+}
+
+/// The whole-run traffic prediction.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Predicted memory counters, summed over every launch.
+    pub counters: StaticCounters,
+    /// Whether the counters are exact (no data-dependent branch or peek
+    /// depth was encountered). When `true` the counters must equal the
+    /// dynamic run's bit-for-bit.
+    pub exact: bool,
+    /// Kernel launches the executor would issue.
+    pub launches: u64,
+    /// Per-site traffic, sorted by (node, site ordinal).
+    pub sites: Vec<SiteReport>,
+    /// Coalescing-classification diagnostics (`V02xx`).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// An abstract per-lane value: either provably identical across all
+/// lanes of a warp, or unknown/varying.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AbsVal {
+    Uniform(Scalar),
+    Varying,
+}
+
+impl AbsVal {
+    fn as_const_i32(self) -> Option<i32> {
+        match self {
+            AbsVal::Uniform(s) => Some(s.as_i32()),
+            AbsVal::Varying => None,
+        }
+    }
+}
+
+/// Pointer-keyed map from syntactic access sites to their canonical
+/// ordinal, mirroring [`access_sites`]'s walk exactly.
+struct SiteMap {
+    ord_of: HashMap<usize, u32>,
+    sites: Vec<AccessSite>,
+}
+
+fn build_site_map(wf: &WorkFunction) -> SiteMap {
+    let sites = access_sites(wf);
+    let mut ord_of = HashMap::new();
+    fn walk_expr(e: &Expr, ord_of: &mut HashMap<usize, u32>, next: &mut u32) {
+        match e {
+            Expr::Peek { depth, .. } => {
+                walk_expr(depth, ord_of, next);
+                ord_of.insert(std::ptr::from_ref(e) as usize, *next);
+                *next += 1;
+            }
+            Expr::Unary(_, inner) => walk_expr(inner, ord_of, next),
+            Expr::Binary(_, lhs, rhs) => {
+                walk_expr(lhs, ord_of, next);
+                walk_expr(rhs, ord_of, next);
+            }
+            Expr::LoadArr { index, .. } | Expr::LoadTable { index, .. } => {
+                walk_expr(index, ord_of, next);
+            }
+            Expr::I32(_) | Expr::F32(_) | Expr::Local(_) | Expr::LoadState(_) => {}
+        }
+    }
+    fn walk_block(stmts: &[Stmt], ord_of: &mut HashMap<usize, u32>, next: &mut u32) {
+        for s in stmts {
+            match s {
+                Stmt::Assign(_, e) | Stmt::StoreState(_, e) => walk_expr(e, ord_of, next),
+                Stmt::Store { index, value, .. } => {
+                    walk_expr(index, ord_of, next);
+                    walk_expr(value, ord_of, next);
+                }
+                Stmt::Pop { .. } => {
+                    ord_of.insert(std::ptr::from_ref(s) as usize, *next);
+                    *next += 1;
+                }
+                Stmt::Push { value, .. } => {
+                    walk_expr(value, ord_of, next);
+                    ord_of.insert(std::ptr::from_ref(s) as usize, *next);
+                    *next += 1;
+                }
+                Stmt::For { body, .. } => walk_block(body, ord_of, next),
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    walk_expr(cond, ord_of, next);
+                    walk_block(then_body, ord_of, next);
+                    walk_block(else_body, ord_of, next);
+                }
+            }
+        }
+    }
+    let mut next = 0u32;
+    walk_block(wf.body(), &mut ord_of, &mut next);
+    debug_assert_eq!(next as usize, sites.len(), "site walk mirrors access_sites");
+    SiteMap { ord_of, sites }
+}
+
+/// Whole-run accumulator shared by every analyzed warp.
+#[derive(Default)]
+struct Acc {
+    counters: StaticCounters,
+    exact: bool,
+    tallies: HashMap<(u32, u32), SiteTally>,
+    varying_branch: BTreeSet<u32>,
+}
+
+/// One warp's abstract interpretation state — the static twin of the
+/// simulator's `WarpCtx`/`Exec` pair.
+struct WarpAbs<'a> {
+    inst: &'a InstanceExec<'a>,
+    node: u32,
+    lane0: u32,
+    active: u32,
+    half_warp: u32,
+    txn_words: u64,
+    site_map: &'a SiteMap,
+    locals: Vec<AbsVal>,
+    arrays: Vec<Vec<AbsVal>>,
+    pops: Vec<u64>,
+    pushes: Vec<u64>,
+    /// High-water mark of peek sites traversed in any single `eval` call
+    /// of this warp so far. The simulator's per-warp `peek_addrs` vector
+    /// keeps its length across calls (slots are cleared, not truncated),
+    /// so every later call re-bills stale slots as empty channel
+    /// accesses: one access instruction, zero transactions. Mirrored
+    /// here for exactness.
+    peek_hwm: usize,
+    /// Peek sites traversed by the current statement-level `eval` call.
+    peek_count: usize,
+    acc: &'a mut Acc,
+}
+
+impl WarpAbs<'_> {
+    fn array_in_local_memory(&self) -> bool {
+        self.inst.work.info().local_array_words > REG_ARRAY_WORDS
+    }
+
+    /// One warp-wide local-memory scratch-array access (always
+    /// coalesced: per-thread interleaved).
+    fn local_array_access(&mut self) {
+        self.acc.counters.mem_access_insts += 1;
+        self.acc.counters.mem_transactions += 2;
+    }
+
+    /// One warp-wide channel access at the uniform token position `pos`,
+    /// billed and classified exactly as the simulator would.
+    fn channel_access(&mut self, binding: &BufferBinding, pos: u64, ord: u32) {
+        let addrs: Vec<(u32, u64)> = (0..self.active)
+            .map(|l| (l, binding.addr(self.lane0 + l, pos)))
+            .collect();
+        let transposed = matches!(binding.layout, Layout::Transposed { .. });
+        if self.inst.shared_staging {
+            let passes = bank_conflict_degree(&addrs, SHARED_BANKS);
+            self.acc.counters.shared_accesses += 1;
+            self.acc.counters.bank_conflict_passes += passes;
+            let t = self.acc.tallies.entry((self.node, ord)).or_default();
+            t.transposed |= transposed;
+            t.shared_accesses += 1;
+            t.bank_conflict_passes += passes;
+        } else {
+            let txns = count_transactions(&addrs, self.half_warp, self.txn_words);
+            self.acc.counters.mem_access_insts += 1;
+            self.acc.counters.mem_transactions += txns;
+            let lane0 = self.lane0;
+            let (hw, tw) = (self.half_warp, self.txn_words);
+            let t = self.acc.tallies.entry((self.node, ord)).or_default();
+            t.transposed |= transposed;
+            t.accesses += 1;
+            t.transactions += txns;
+            classify_groups(&addrs, binding, pos, lane0, hw, tw, t);
+        }
+    }
+
+    /// A statement-level expression evaluation — the granularity at which
+    /// the simulator bills its gathered peek sites, including the stale
+    /// empty slots left by an earlier call that traversed more peeks.
+    fn eval_call(&mut self, e: &Expr) -> AbsVal {
+        self.peek_count = 0;
+        let v = self.eval(e);
+        for _ in self.peek_count..self.peek_hwm {
+            if self.inst.shared_staging {
+                self.acc.counters.shared_accesses += 1;
+            } else {
+                self.acc.counters.mem_access_insts += 1;
+            }
+        }
+        self.peek_hwm = self.peek_hwm.max(self.peek_count);
+        v
+    }
+
+    fn eval(&mut self, e: &Expr) -> AbsVal {
+        match e {
+            Expr::I32(v) => AbsVal::Uniform(Scalar::I32(*v)),
+            Expr::F32(v) => AbsVal::Uniform(Scalar::F32(*v)),
+            Expr::Local(l) => self.locals[l.0 as usize],
+            Expr::Peek { port, depth } => {
+                let d = self.eval(depth);
+                let p = *port as usize;
+                self.peek_count += 1;
+                let ord = self.site_map.ord_of[&(std::ptr::from_ref(e) as usize)];
+                match d.as_const_i32().and_then(|d| u64::try_from(d).ok()) {
+                    Some(d) => {
+                        let binding = self.inst.inputs[p].clone();
+                        let pos = self.pops[p] + d;
+                        self.channel_access(&binding, pos, ord);
+                    }
+                    None => {
+                        self.acc.exact = false;
+                        let t = self.acc.tallies.entry((self.node, ord)).or_default();
+                        t.varying_depth = true;
+                    }
+                }
+                AbsVal::Varying
+            }
+            Expr::LoadArr { arr, index } => {
+                let i = self.eval(index);
+                if self.array_in_local_memory() {
+                    self.local_array_access();
+                }
+                match i.as_const_i32().and_then(|i| usize::try_from(i).ok()) {
+                    Some(i) => self.arrays[arr.0 as usize]
+                        .get(i)
+                        .copied()
+                        .unwrap_or(AbsVal::Varying),
+                    None => AbsVal::Varying,
+                }
+            }
+            Expr::LoadTable { table, index } => {
+                let i = self.eval(index);
+                match i.as_const_i32().and_then(|i| usize::try_from(i).ok()) {
+                    Some(i) => self.inst.work.tables()[table.0 as usize]
+                        .values
+                        .get(i)
+                        .map_or(AbsVal::Varying, |&v| AbsVal::Uniform(v)),
+                    None => AbsVal::Varying,
+                }
+            }
+            Expr::LoadState(_) => {
+                // State lives in device memory: one lane, one line,
+                // billed to the device counters even under staging.
+                self.acc.counters.mem_access_insts += 1;
+                self.acc.counters.mem_transactions += 1;
+                AbsVal::Varying
+            }
+            Expr::Unary(op, inner) => {
+                let v = self.eval(inner);
+                match v {
+                    AbsVal::Uniform(s) => interp::eval_unary(*op, s)
+                        .map_or(AbsVal::Varying, AbsVal::Uniform),
+                    AbsVal::Varying => AbsVal::Varying,
+                }
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let a = self.eval(lhs);
+                let b = self.eval(rhs);
+                match (a, b) {
+                    (AbsVal::Uniform(x), AbsVal::Uniform(y)) => interp::eval_binary(*op, x, y)
+                        .map_or(AbsVal::Varying, AbsVal::Uniform),
+                    _ => AbsVal::Varying,
+                }
+            }
+        }
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign(local, e) => {
+                let v = self.eval_call(e);
+                self.locals[local.0 as usize] = v;
+            }
+            Stmt::StoreState(_, e) => {
+                self.eval_call(e);
+                self.acc.counters.mem_access_insts += 1;
+                self.acc.counters.mem_transactions += 1;
+            }
+            Stmt::Store { arr, index, value } => {
+                let i = self.eval_call(index);
+                let v = self.eval_call(value);
+                if self.array_in_local_memory() {
+                    self.local_array_access();
+                }
+                let a = &mut self.arrays[arr.0 as usize];
+                match i.as_const_i32().and_then(|i| usize::try_from(i).ok()) {
+                    Some(i) if i < a.len() => a[i] = v,
+                    // Unknown index: weak update, every cell may change.
+                    _ => a.iter_mut().for_each(|c| *c = AbsVal::Varying),
+                }
+            }
+            Stmt::Pop { port, dst } => {
+                let p = *port as usize;
+                let ord = self.site_map.ord_of[&(std::ptr::from_ref(s) as usize)];
+                let binding = self.inst.inputs[p].clone();
+                let pos = self.pops[p];
+                self.channel_access(&binding, pos, ord);
+                self.pops[p] += 1;
+                if let Some(dst) = dst {
+                    self.locals[dst.0 as usize] = AbsVal::Varying;
+                }
+            }
+            Stmt::Push { port, value } => {
+                self.eval_call(value);
+                let p = *port as usize;
+                let ord = self.site_map.ord_of[&(std::ptr::from_ref(s) as usize)];
+                let binding = self.inst.outputs[p].clone();
+                let pos = self.pushes[p];
+                self.channel_access(&binding, pos, ord);
+                self.pushes[p] += 1;
+            }
+            Stmt::For { var, lo, hi, body } => {
+                for i in *lo..*hi {
+                    self.locals[var.0 as usize] = AbsVal::Uniform(Scalar::I32(i));
+                    self.block(body);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.eval_call(cond);
+                match c.as_const_i32() {
+                    Some(c) => self.block(if c != 0 { then_body } else { else_body }),
+                    None => {
+                        // Data-dependent branch: which lanes take which
+                        // arm is unknown. Traverse both (the simulator
+                        // issues both under divergence) but the counters
+                        // are approximate from here on.
+                        self.acc.exact = false;
+                        self.acc.varying_branch.insert(self.node);
+                        self.block(then_body);
+                        self.block(else_body);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Classifies every uncoalesced half-warp group of one warp-wide access,
+/// mirroring [`count_transactions`]'s grouping and coalescing test.
+fn classify_groups(
+    addrs: &[(u32, u64)],
+    binding: &BufferBinding,
+    pos: u64,
+    lane0_tid: u32,
+    half_warp: u32,
+    txn_words: u64,
+    t: &mut SiteTally,
+) {
+    let rt = binding.region_tokens.max(1);
+    let logical = |l: u32| {
+        binding.abs_start + u64::from(lane0_tid + l) * u64::from(binding.endpoint_rate) + pos
+    };
+    let mut i = 0;
+    while i < addrs.len() {
+        let g = addrs[i].0 / half_warp;
+        let mut j = i + 1;
+        while j < addrs.len() && addrs[j].0 / half_warp == g {
+            j += 1;
+        }
+        let group = &addrs[i..j];
+        i = j;
+        if group.len() <= 1 {
+            continue;
+        }
+        let base = group[0].1.wrapping_sub(u64::from(group[0].0 % half_warp));
+        let aligned = base % txn_words == 0;
+        let in_pattern = group
+            .iter()
+            .all(|&(l, a)| a == base + u64::from(l % half_warp));
+        if aligned && in_pattern {
+            continue;
+        }
+        let r0 = logical(group[0].0) / rt;
+        let crosses = group.iter().any(|&(l, _)| logical(l) / rt != r0);
+        let tail = match binding.layout {
+            Layout::Transposed { .. } => {
+                let o = u64::from(binding.consumer_rate.max(1));
+                let f_full = rt / o;
+                group.iter().any(|&(l, _)| (logical(l) % rt) / o >= f_full)
+            }
+            Layout::Sequential => false,
+        };
+        if crosses || tail {
+            t.boundary_groups += 1;
+        } else if !in_pattern {
+            t.scattered_groups += 1;
+        } else {
+            t.misaligned_groups += 1;
+        }
+    }
+}
+
+/// Analyzes one instance execution: every warp, plus the staging bulk
+/// copy the simulator bills per staged instance.
+fn analyze_instance(
+    inst: &InstanceExec<'_>,
+    node: u32,
+    device: &DeviceConfig,
+    site_map: &SiteMap,
+    acc: &mut Acc,
+) {
+    let warp = device.warp_size;
+    let warps = inst.active_threads.div_ceil(warp);
+    for w in 0..warps {
+        let lane0 = w * warp;
+        let active = warp.min(inst.active_threads - lane0);
+        let mut wa = WarpAbs {
+            inst,
+            node,
+            lane0,
+            active,
+            half_warp: warp / 2,
+            txn_words: u64::from(device.transaction_words()),
+            site_map,
+            locals: inst
+                .work
+                .locals()
+                .iter()
+                .map(|&ty| AbsVal::Uniform(Scalar::zero(ty)))
+                .collect(),
+            arrays: inst
+                .work
+                .arrays()
+                .iter()
+                .map(|&(ty, len)| vec![AbsVal::Uniform(Scalar::zero(ty)); len as usize])
+                .collect(),
+            pops: vec![0; inst.work.input_ports().len()],
+            pushes: vec![0; inst.work.output_ports().len()],
+            peek_hwm: 0,
+            peek_count: 0,
+            acc,
+        };
+        wa.block(inst.work.body());
+    }
+    if inst.shared_staging {
+        // One coalesced bulk copy each way: window tokens in, pushes
+        // out; each warp-wide step is one access and two transactions.
+        let t = u64::from(inst.active_threads);
+        let wf = inst.work;
+        let in_tokens: u64 = (0..wf.input_ports().len() as u8)
+            .map(|p| t * u64::from(wf.peek_rate(p)))
+            .sum();
+        let out_tokens: u64 = (0..wf.output_ports().len() as u8)
+            .map(|p| t * u64::from(wf.push_rate(p)))
+            .sum();
+        let steps = (in_tokens + out_tokens).div_ceil(u64::from(warp));
+        acc.counters.mem_access_insts += steps;
+        acc.counters.mem_transactions += steps * 2;
+    }
+}
+
+/// Predicts the memory counters of `execute(c, scheme, iterations)` with
+/// the canonical buffer plan, and classifies every access site.
+///
+/// # Errors
+///
+/// The same shape errors as [`crate::exec::execute`] (iteration granule,
+/// coarsening constraints), plus allocation failures.
+pub fn predict(c: &Compiled, scheme: Scheme, iterations: u64) -> Result<Prediction> {
+    let (granule, kind) = scheme_shape(scheme);
+    let sched = match scheme {
+        Scheme::Serial { .. } => None,
+        _ => Some(&c.schedule),
+    };
+    let plan = plan::plan(&c.graph, &c.ig, sched, granule, kind);
+    predict_with_plan(c, scheme, iterations, &plan)
+}
+
+/// [`predict`] over an explicit buffer plan. Exposed so tests can verify
+/// that a deliberately skewed plan is caught by the classification.
+///
+/// # Errors
+///
+/// As for [`predict`].
+pub fn predict_with_plan(
+    c: &Compiled,
+    scheme: Scheme,
+    iterations: u64,
+    plan: &BufferPlan,
+) -> Result<Prediction> {
+    let (granule, _) = scheme_shape(scheme);
+    if iterations == 0 || !iterations.is_multiple_of(u64::from(granule)) {
+        return Err(Error::Api(format!(
+            "iterations ({iterations}) must be a positive multiple of the \
+             coarsening/batch factor ({granule})"
+        )));
+    }
+    if granule > 1
+        && !matches!(scheme, Scheme::Serial { .. })
+        && instances::requires_serial_iterations(&c.graph)
+    {
+        return Err(Error::Api(
+            "stateful filters and feedback loops cannot be coarsened".into(),
+        ));
+    }
+    // A fresh device makes codegen's allocation deterministic, so the
+    // analyzed bindings are address-identical to the executed ones.
+    let mut gpu = Gpu::with_timing(c.device.clone(), c.timing.clone());
+    let buffers = codegen::allocate(&mut gpu, &c.graph, &c.ig, &c.exec_cfg, plan, iterations)?;
+
+    let node_of: HashMap<usize, u32> = c
+        .graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (std::ptr::from_ref(&n.work) as usize, i as u32))
+        .collect();
+    let mut site_maps: HashMap<u32, SiteMap> = HashMap::new();
+    let mut acc = Acc {
+        exact: true,
+        ..Acc::default()
+    };
+    let mut launches = 0u64;
+    {
+        let mut analyze_blocks = |blocks: &[gpusim::BlockWork<'_>], acc: &mut Acc| {
+            for block in blocks {
+                for inst in &block.items {
+                    let node = node_of[&(std::ptr::from_ref(inst.work) as usize)];
+                    let sm = site_maps
+                        .entry(node)
+                        .or_insert_with(|| build_site_map(inst.work));
+                    analyze_instance(inst, node, &c.device, sm, acc);
+                }
+            }
+        };
+        match scheme {
+            Scheme::Swp { .. } | Scheme::SwpNc { .. } | Scheme::SwpRaw { .. } => {
+                let staged = !matches!(scheme, Scheme::SwpRaw { .. });
+                let order = swp_sm_order(&c.schedule, c.device.num_sms, c.ig.len());
+                let kernel_iters = iterations / u64::from(granule);
+                let stages = c.schedule.max_stage();
+                for r in 0..kernel_iters + stages {
+                    let blocks =
+                        swp_blocks(c, &buffers, &order, r, granule, kernel_iters, staged)?;
+                    launches += 1;
+                    analyze_blocks(&blocks, &mut acc);
+                }
+            }
+            Scheme::Serial { .. } => {
+                let topo = c.graph.topo_order()?;
+                for batch_no in 0..iterations / u64::from(granule) {
+                    for &node in &topo {
+                        let blocks = serial_blocks(c, &buffers, node, granule, batch_no)?;
+                        launches += 1;
+                        analyze_blocks(&blocks, &mut acc);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut diagnostics = Vec::new();
+    let mut sites = Vec::new();
+    let mut keys: Vec<_> = acc.tallies.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let t = acc.tallies[&key];
+        let (node, ord) = key;
+        let name = c.graph.nodes()[node as usize].name.clone();
+        let site = site_maps[&node].sites[ord as usize];
+        let locate = |d: Diagnostic| {
+            let d = d.at_filter(&name, node).at_site(site);
+            match edge_of(c, node, site) {
+                Some(e) => d.at_edge(e),
+                None => d,
+            }
+        };
+        if t.varying_depth {
+            diagnostics.push(locate(Diagnostic::new(
+                Code::DataDependentPeekDepth,
+                format!(
+                    "peek depth at {site} of filter '{name}' is data-dependent; \
+                     its traffic cannot be predicted statically"
+                ),
+            )));
+        }
+        let uncoalesced = t.scattered_groups + t.boundary_groups + t.misaligned_groups;
+        if uncoalesced > 0 {
+            if t.transposed {
+                let consumer_side = matches!(site.kind, AccessKind::Pop | AccessKind::Peek);
+                if t.scattered_groups > 0 && consumer_side {
+                    diagnostics.push(locate(Diagnostic::new(
+                        Code::NonCoalescedAccess,
+                        format!(
+                            "{site} of filter '{name}' scatters within a transposed \
+                             region in {} half-warp groups ({} transactions over {} \
+                             accesses): the layout's coalescing promise is broken",
+                            t.scattered_groups, t.transactions, t.accesses
+                        ),
+                    )));
+                } else if t.scattered_groups > 0 {
+                    diagnostics.push(locate(Diagnostic::new(
+                        Code::UncoalescedTraffic,
+                        format!(
+                            "{site} of filter '{name}' scatters in {} half-warp groups \
+                             on the producer side ({} transactions over {} accesses)",
+                            t.scattered_groups, t.transactions, t.accesses
+                        ),
+                    )));
+                } else {
+                    diagnostics.push(locate(Diagnostic::new(
+                        Code::UncoalescedTraffic,
+                        format!(
+                            "{site} of filter '{name}' serializes in {} half-warp \
+                             groups at region boundaries/misaligned bases ({} \
+                             transactions over {} accesses) — expected residue",
+                            t.boundary_groups + t.misaligned_groups,
+                            t.transactions,
+                            t.accesses
+                        ),
+                    )));
+                }
+            } else {
+                diagnostics.push(locate(Diagnostic::new(
+                    Code::SequentialTraffic,
+                    format!(
+                        "{site} of filter '{name}' serializes under the sequential \
+                         layout ({} transactions over {} accesses)",
+                        t.transactions, t.accesses
+                    ),
+                )));
+            }
+        }
+        sites.push(SiteReport {
+            node,
+            filter: name,
+            site: site.to_string(),
+            tally: t,
+        });
+    }
+    for &node in &acc.varying_branch {
+        let name = c.graph.nodes()[node as usize].name.clone();
+        diagnostics.push(
+            Diagnostic::new(
+                Code::DataDependentBranch,
+                format!(
+                    "filter '{name}' branches on data; predicted counters are \
+                     approximate"
+                ),
+            )
+            .at_filter(&name, node),
+        );
+    }
+
+    Ok(Prediction {
+        counters: acc.counters,
+        exact: acc.exact,
+        launches,
+        sites,
+        diagnostics,
+    })
+}
+
+/// The graph edge an access site reads or writes, if it is a channel
+/// (rather than the program's external input/output buffer).
+fn edge_of(c: &Compiled, node: u32, site: AccessSite) -> Option<u32> {
+    let nid = NodeId(node);
+    match site.kind {
+        AccessKind::Pop | AccessKind::Peek => c
+            .graph
+            .in_edges(nid)
+            .into_iter()
+            .find(|&e| c.graph.edge(e).dst_port == site.port)
+            .map(|e| e.0),
+        AccessKind::Push => c
+            .graph
+            .out_edges(nid)
+            .into_iter()
+            .find(|&e| c.graph.edge(e).src_port == site.port)
+            .map(|e| e.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{compile, execute, required_input, CompileOptions};
+    use streamir::graph::{FilterSpec, StreamSpec};
+    use streamir::ir::{ElemTy, Expr, FnBuilder};
+
+    fn rate_filter(name: &str, p: u32, q: u32) -> StreamSpec {
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let x = f.local(ElemTy::I32);
+        let acc = f.local(ElemTy::I32);
+        f.assign(acc, Expr::i32(0));
+        for _ in 0..p {
+            f.pop_into(0, x);
+            f.assign(acc, Expr::local(acc).add(Expr::local(x)));
+        }
+        for i in 0..q {
+            f.push(0, Expr::local(acc).add(Expr::i32(i as i32)));
+        }
+        StreamSpec::filter(FilterSpec::new(name, f.build().unwrap()))
+    }
+
+    fn compiled(spec: &StreamSpec) -> Compiled {
+        let graph = spec.flatten().unwrap();
+        compile(&graph, &CompileOptions::small_test()).unwrap()
+    }
+
+    fn input_for(c: &Compiled, iters: u64) -> Vec<Scalar> {
+        (0..required_input(c, iters))
+            .map(|i| Scalar::I32(i as i32 % 97 - 48))
+            .collect()
+    }
+
+    fn assert_prediction_exact(c: &Compiled, scheme: Scheme, iters: u64) -> Prediction {
+        let pred = predict(c, scheme, iters).unwrap();
+        assert!(pred.exact, "suite control flow is data-independent");
+        let run = execute(c, scheme, iters, &input_for(c, iters)).unwrap();
+        assert_eq!(
+            pred.counters,
+            StaticCounters::of_stats(&run.stats),
+            "static prediction must equal dynamic counters"
+        );
+        assert_eq!(pred.launches, run.launches);
+        pred
+    }
+
+    #[test]
+    fn prediction_matches_execution_across_schemes() {
+        let spec = StreamSpec::pipeline(vec![
+            rate_filter("A", 1, 2),
+            rate_filter("B", 2, 3),
+            rate_filter("C", 3, 1),
+        ]);
+        let c = compiled(&spec);
+        for scheme in [
+            Scheme::Swp { coarsening: 1 },
+            Scheme::Swp { coarsening: 2 },
+            Scheme::SwpNc { coarsening: 1 },
+            Scheme::SwpRaw { coarsening: 1 },
+            Scheme::Serial { batch: 2 },
+        ] {
+            assert_prediction_exact(&c, scheme, 4);
+        }
+    }
+
+    #[test]
+    fn canonical_transposed_plan_has_no_errors() {
+        let spec = StreamSpec::pipeline(vec![rate_filter("A", 1, 4), rate_filter("B", 4, 1)]);
+        let c = compiled(&spec);
+        let pred = assert_prediction_exact(&c, Scheme::Swp { coarsening: 1 }, 4);
+        assert!(
+            !pred
+                .diagnostics
+                .iter()
+                .any(|d| d.code == Code::NonCoalescedAccess),
+            "{:?}",
+            pred.diagnostics
+        );
+        // Even unstaged, the transposed layout keeps matched-rate
+        // endpoints coalesced in device memory: the proof, not staging,
+        // prevents V0201.
+        let plan = plan::plan(
+            &c.graph,
+            &c.ig,
+            Some(&c.schedule),
+            1,
+            crate::plan::LayoutKind::Optimized,
+        );
+        let raw = predict_with_plan(&c, Scheme::SwpRaw { coarsening: 1 }, 4, &plan).unwrap();
+        assert!(
+            !raw.diagnostics
+                .iter()
+                .any(|d| d.code == Code::NonCoalescedAccess),
+            "{:?}",
+            raw.diagnostics
+        );
+    }
+
+    #[test]
+    fn peeking_filter_stays_exact() {
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        f.push(
+            0,
+            Expr::peek(0, Expr::i32(0))
+                .add(Expr::peek(0, Expr::i32(1)))
+                .add(Expr::peek(0, Expr::i32(2))),
+        );
+        f.pop(0);
+        let spec = StreamSpec::pipeline(vec![
+            rate_filter("gen", 1, 1),
+            StreamSpec::filter(FilterSpec::new("ma3", f.build().unwrap())),
+        ]);
+        let c = compiled(&spec);
+        assert_prediction_exact(&c, Scheme::Swp { coarsening: 1 }, 4);
+        assert_prediction_exact(&c, Scheme::SwpNc { coarsening: 1 }, 4);
+    }
+
+    #[test]
+    fn skewed_transpose_rate_is_a_coalescing_error() {
+        // Consumer pops 4 per firing; re-plan the channel as if it popped
+        // 2: consumer reads scatter within regions -> V0201 at the site.
+        // The raw (unstaged) variant keeps the scatter in device memory,
+        // where the classifier sees it.
+        let spec = StreamSpec::pipeline(vec![rate_filter("A", 1, 4), rate_filter("B", 4, 1)]);
+        let c = compiled(&spec);
+        let scheme = Scheme::SwpRaw { coarsening: 1 };
+        let (granule, kind) = (1, crate::plan::LayoutKind::Optimized);
+        let mut plan = plan::plan(&c.graph, &c.ig, Some(&c.schedule), granule, kind);
+        let skewed = plan
+            .edges
+            .iter_mut()
+            .find(|e| e.consumer_rate == 4)
+            .expect("the 4-popping consumer's channel");
+        skewed.consumer_rate = 2;
+        let pred = predict_with_plan(&c, scheme, 4, &plan).unwrap();
+        let err = pred
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::NonCoalescedAccess)
+            .unwrap_or_else(|| panic!("V0201 expected, got {:?}", pred.diagnostics));
+        assert_eq!(err.filter.as_deref(), Some("B"));
+        assert!(
+            err.site.as_deref().is_some_and(|s| s.starts_with("pop[in0]")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn sequential_layout_traffic_is_informational() {
+        let spec = StreamSpec::pipeline(vec![rate_filter("A", 1, 4), rate_filter("B", 4, 1)]);
+        let c = compiled(&spec);
+        // The raw variant never stages, so the strided consumer hits
+        // device memory uncoalesced -> V0203, never V0201.
+        let pred = assert_prediction_exact(&c, Scheme::SwpRaw { coarsening: 1 }, 4);
+        assert!(
+            pred.diagnostics
+                .iter()
+                .any(|d| d.code == Code::SequentialTraffic),
+            "{:?}",
+            pred.diagnostics
+        );
+        assert!(
+            !pred
+                .diagnostics
+                .iter()
+                .any(|d| d.code == Code::NonCoalescedAccess),
+            "{:?}",
+            pred.diagnostics
+        );
+    }
+}

@@ -1,0 +1,342 @@
+//! Modulo-schedule hazard checking.
+//!
+//! [`check_schedule`] proves — independently of whichever scheduler
+//! produced the schedule — that every consumer instance reads FIFO slots
+//! its producers have already written, across pipeline stages and SM
+//! assignments. The dependence set is **re-derived here from the channel
+//! token geometry** (rates, residents, peek slack), not read back from
+//! [`InstanceGraph::deps`]: a scheduler and an enumeration bug would have
+//! to agree byte-for-byte to slip a hazard past this pass.
+//!
+//! The timing model mirrors [`crate::schedule::validate`]'s constraint
+//! system (Section III of the paper): with initiation interval `T`, stage
+//! `f`, and offset `o`, instance start time is `T·(j + f) + o`. A
+//! dependence with iteration lag `jlag ≤ 0` under coarsening `C` requires
+//!
+//! * same SM:   `T·f_c + o_c ≥ T·(jlag/C + f_u) + o_u + d(u)`
+//! * cross SM:  additionally `T·f_c + o_c ≥ T·(jlag/C + f_u) + T`
+//!
+//! (truncating division, matching the executor's worst case over
+//! sub-iteration phases).
+
+use streamir::graph::{EdgeId, FlatGraph};
+
+use crate::instances::{ExecConfig, InstanceGraph};
+use crate::schedule::Schedule;
+use crate::verify::diag::{Code, Diagnostic};
+
+/// A dependence re-derived from channel geometry: instance `consumer`
+/// needs instance `producer` of steady iteration `j + jlag` done first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DerivedDep {
+    pub consumer: usize,
+    pub producer: usize,
+    pub jlag: i64,
+    pub edge: Option<EdgeId>,
+}
+
+fn ceil_div(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    a.div_euclid(b) + i128::from(a.rem_euclid(b) != 0)
+}
+
+/// Re-derives the instance-level dependence set from per-edge token
+/// geometry: consumer instance `k` on an edge reads produced-token
+/// positions `[k·I − m, (k+1)·I + slack − m)`; producer instance `p`
+/// covers `[p·O, (p+1)·O)`; `p` maps to `(kp, jlag)` by Euclidean
+/// division by the producer's repetition count. Stateful filters add the
+/// strict serial chain between successive instances plus the iteration
+/// wrap-around.
+pub(crate) fn derive_deps(graph: &FlatGraph, ig: &InstanceGraph) -> Vec<DerivedDep> {
+    let mut deps = Vec::new();
+    for (i, e) in graph.edges().iter().enumerate() {
+        let et = &ig.edges[i];
+        let ku = i128::from(ig.reps[e.src.0 as usize]);
+        let kv = ig.reps[e.dst.0 as usize];
+        let big_i = i128::from(et.i_per_inst);
+        let big_o = i128::from(et.o_per_inst);
+        let m = i128::from(et.resident);
+        let slack = i128::from(et.slack);
+        let cons0 = ig.first[e.dst.0 as usize] as usize;
+        let prod0 = ig.first[e.src.0 as usize] as usize;
+        for k in 0..kv {
+            let lo = i128::from(k) * big_i - m;
+            let hi = (i128::from(k) + 1) * big_i + slack - m;
+            let p_first = lo.div_euclid(big_o);
+            let p_last = ceil_div(hi, big_o) - 1;
+            for p in p_first..=p_last {
+                deps.push(DerivedDep {
+                    consumer: cons0 + k as usize,
+                    producer: prod0 + usize::try_from(p.rem_euclid(ku)).unwrap_or(0),
+                    jlag: i64::try_from(p.div_euclid(ku)).unwrap_or(i64::MIN),
+                    edge: Some(EdgeId(i as u32)),
+                });
+            }
+        }
+    }
+    for (v, &stateful) in ig.stateful.iter().enumerate() {
+        if !stateful {
+            continue;
+        }
+        let kv = ig.reps[v];
+        let base = ig.first[v] as usize;
+        for k in 1..kv as usize {
+            deps.push(DerivedDep {
+                consumer: base + k,
+                producer: base + k - 1,
+                jlag: 0,
+                edge: None,
+            });
+        }
+        if kv > 1 {
+            deps.push(DerivedDep {
+                consumer: base,
+                producer: base + kv as usize - 1,
+                jlag: -1,
+                edge: None,
+            });
+        }
+    }
+    deps
+}
+
+/// Checks a schedule against the re-derived dependence set and the
+/// structural constraints. Returns every violation found (not just the
+/// first), as `V01xx` diagnostics.
+#[must_use]
+pub fn check_schedule(
+    graph: &FlatGraph,
+    ig: &InstanceGraph,
+    config: &ExecConfig,
+    sched: &Schedule,
+    num_sms: u32,
+    coarsening_max: u32,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = ig.len();
+    if sched.sm_of.len() != n || sched.offset.len() != n || sched.stage.len() != n {
+        diags.push(Diagnostic::new(
+            Code::ScheduleShape,
+            format!(
+                "schedule covers {}/{}/{} instances but the graph has {n}",
+                sched.sm_of.len(),
+                sched.offset.len(),
+                sched.stage.len()
+            ),
+        ));
+        return diags; // indexing below would be meaningless
+    }
+    let t = sched.ii;
+
+    let name_of = |inst: usize| -> (String, u32, u32) {
+        let (v, k) = ig.node_of(crate::instances::InstId(inst as u32));
+        (graph.node(v).name.clone(), v.0, k)
+    };
+
+    // Structural checks: SM range, offset wraparound, per-SM capacity.
+    let mut load = vec![0u64; num_sms as usize];
+    for (i, &(v, k)) in ig.list.iter().enumerate() {
+        let d = config.delay[v.0 as usize];
+        let sm = sched.sm_of[i];
+        if sm >= num_sms {
+            diags.push(
+                Diagnostic::new(
+                    Code::SmOutOfRange,
+                    format!(
+                        "instance {}[{k}] assigned to SM {sm} but the device has {num_sms}",
+                        graph.node(v).name
+                    ),
+                )
+                .at_filter(graph.node(v).name.clone(), v.0),
+            );
+        } else {
+            load[sm as usize] += d;
+        }
+        if sched.offset[i] + d > t {
+            diags.push(
+                Diagnostic::new(
+                    Code::OffsetOverflow,
+                    format!(
+                        "instance {}[{k}] wraps the initiation interval: offset {} + delay {d} > II {t}",
+                        graph.node(v).name,
+                        sched.offset[i]
+                    ),
+                )
+                .at_filter(graph.node(v).name.clone(), v.0),
+            );
+        }
+    }
+    for (sm, &l) in load.iter().enumerate() {
+        if l > t {
+            diags.push(Diagnostic::new(
+                Code::CapacityExceeded,
+                format!("SM {sm} is assigned {l} time units of work but the II is only {t}"),
+            ));
+        }
+    }
+
+    // Timing of every re-derived dependence.
+    let cmax = i128::from(coarsening_max.max(1));
+    for d in derive_deps(graph, ig) {
+        if d.consumer == d.producer {
+            continue; // in-order sub-firing execution satisfies self-deps
+        }
+        let (unode, _) = ig.node_of(crate::instances::InstId(d.producer as u32));
+        let du = config.delay[unode.0 as usize];
+        let jlag_eff = i128::from(d.jlag) / cmax;
+        let lhs = t as i128 * sched.stage[d.consumer] as i128 + sched.offset[d.consumer] as i128;
+        let base = t as i128 * (jlag_eff + sched.stage[d.producer] as i128);
+        let (cname, cnode, ck) = name_of(d.consumer);
+        let (uname, _, uk) = name_of(d.producer);
+        if lhs < base + sched.offset[d.producer] as i128 + du as i128 {
+            let mut diag = Diagnostic::new(
+                Code::UnsatisfiedDependence,
+                format!(
+                    "{cname}[{ck}] (stage {}, offset {}) starts before {uname}[{uk}] \
+                     (stage {}, offset {}, delay {du}, jlag {}) finishes",
+                    sched.stage[d.consumer],
+                    sched.offset[d.consumer],
+                    sched.stage[d.producer],
+                    sched.offset[d.producer],
+                    d.jlag
+                ),
+            )
+            .at_filter(cname.clone(), cnode);
+            if let Some(e) = d.edge {
+                diag = diag.at_edge(e.0);
+            }
+            diags.push(diag);
+        } else if sched.sm_of[d.consumer] != sched.sm_of[d.producer] && lhs < base + t as i128 {
+            let mut diag = Diagnostic::new(
+                Code::CrossSmHazard,
+                format!(
+                    "{cname}[{ck}] on SM {} reads {uname}[{uk}] on SM {} within the same \
+                     pipeline iteration; cross-SM data is only visible one iteration later",
+                    sched.sm_of[d.consumer], sched.sm_of[d.producer]
+                ),
+            )
+            .at_filter(cname.clone(), cnode);
+            if let Some(e) = d.edge {
+                diag = diag.at_edge(e.0);
+            }
+            diags.push(diag);
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances;
+    use crate::schedule::heuristic;
+    use streamir::graph::{FilterSpec, StreamSpec};
+    use streamir::ir::{ElemTy, Expr, FnBuilder};
+
+    fn rate_filter(name: &str, p: u32, q: u32) -> StreamSpec {
+        let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+        let x = f.local(ElemTy::I32);
+        for _ in 0..p {
+            f.pop_into(0, x);
+        }
+        for _ in 0..q {
+            f.push(0, Expr::local(x));
+        }
+        StreamSpec::filter(FilterSpec::new(name, f.build().unwrap()))
+    }
+
+    fn fixture() -> (FlatGraph, ExecConfig, InstanceGraph, Schedule) {
+        let g = StreamSpec::pipeline(vec![rate_filter("A", 1, 2), rate_filter("B", 3, 1)])
+            .flatten()
+            .unwrap();
+        let cfg = ExecConfig::uniform(2, 4, 16, 10);
+        let ig = instances::build(&g, &cfg).unwrap();
+        let sched = heuristic::schedule(&ig, &cfg, 4, 1, 1, 0).unwrap();
+        (g, cfg, ig, sched)
+    }
+
+    #[test]
+    fn derived_deps_match_instance_graph_enumeration() {
+        let (g, _, ig, _) = fixture();
+        let mut derived: Vec<(usize, usize, i64, Option<u32>)> = derive_deps(&g, &ig)
+            .iter()
+            .map(|d| (d.consumer, d.producer, d.jlag, d.edge.map(|e| e.0)))
+            .collect();
+        let mut built: Vec<(usize, usize, i64, Option<u32>)> = ig
+            .deps
+            .iter()
+            .map(|d| {
+                (
+                    d.consumer.0 as usize,
+                    d.producer.0 as usize,
+                    d.jlag,
+                    d.edge.map(|e| e.0),
+                )
+            })
+            .collect();
+        derived.sort_unstable();
+        built.sort_unstable();
+        assert_eq!(derived, built);
+    }
+
+    #[test]
+    fn valid_schedule_is_clean() {
+        let (g, cfg, ig, sched) = fixture();
+        assert!(check_schedule(&g, &ig, &cfg, &sched, 4, 1).is_empty());
+    }
+
+    #[test]
+    fn corrupted_stage_raises_unsatisfied_dependence() {
+        let (g, cfg, ig, mut sched) = fixture();
+        // Pull the consumer B's first instance to stage 0 at offset 0 —
+        // before its producers can possibly have finished.
+        let b0 = ig.first[1] as usize;
+        sched.stage[b0] = 0;
+        sched.offset[b0] = 0;
+        let diags = check_schedule(&g, &ig, &cfg, &sched, 4, 1);
+        assert!(
+            diags
+                .iter()
+                .any(|d| matches!(d.code, Code::UnsatisfiedDependence | Code::CrossSmHazard)),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn structural_violations_are_reported() {
+        let (g, cfg, ig, sched) = fixture();
+        let mut bad_sm = sched.clone();
+        bad_sm.sm_of[0] = 99;
+        assert!(check_schedule(&g, &ig, &cfg, &bad_sm, 4, 1)
+            .iter()
+            .any(|d| d.code == Code::SmOutOfRange));
+
+        let mut bad_off = sched.clone();
+        bad_off.offset[0] = bad_off.ii; // offset + delay > II
+        assert!(check_schedule(&g, &ig, &cfg, &bad_off, 4, 1)
+            .iter()
+            .any(|d| d.code == Code::OffsetOverflow));
+
+        let mut short = sched;
+        short.stage.pop();
+        assert!(check_schedule(&g, &ig, &cfg, &short, 4, 1)
+            .iter()
+            .any(|d| d.code == Code::ScheduleShape));
+    }
+
+    #[test]
+    fn overloaded_sm_raises_capacity() {
+        let (g, cfg, ig, mut sched) = fixture();
+        // Cram everything on SM 0 without adjusting the II: load exceeds T
+        // unless the heuristic already found a serial-width II.
+        for s in &mut sched.sm_of {
+            *s = 0;
+        }
+        let total: u64 = ig.list.iter().map(|&(v, _)| cfg.delay[v.0 as usize]).sum();
+        if total > sched.ii {
+            assert!(check_schedule(&g, &ig, &cfg, &sched, 4, 1)
+                .iter()
+                .any(|d| d.code == Code::CapacityExceeded));
+        }
+    }
+}

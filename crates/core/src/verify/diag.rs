@@ -1,0 +1,280 @@
+//! Structured verifier diagnostics: stable codes, severities, and
+//! locations, rendered rustc-style by [`crate::report::render_diagnostics`].
+//!
+//! Code families:
+//!
+//! * `V01xx` — modulo-schedule hazards (dependence timing, SM capacity,
+//!   offset wraparound).
+//! * `V02xx` — memory-access classification (coalescing contract
+//!   violations, expected-uncoalesced notes, analysis-precision warnings).
+//! * `V03xx` — buffer-bounds liveness (rotation capacity, region
+//!   geometry).
+
+use std::fmt;
+
+/// How bad a diagnostic is. Ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Expected behaviour worth surfacing (e.g. the sequential baseline's
+    /// uncoalesced accesses).
+    Info,
+    /// The analysis is imprecise or the artifact deviates from the ideal
+    /// without breaking correctness.
+    Warning,
+    /// The plan violates a property the compiler promised; it must not
+    /// ship.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Every diagnostic the verifier can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Code {
+    /// A same-SM dependence is not satisfied by the schedule's timing.
+    UnsatisfiedDependence,
+    /// A cross-SM dependence lacks the extra pipeline stage data
+    /// visibility requires.
+    CrossSmHazard,
+    /// An instance's offset plus its delay exceeds the initiation
+    /// interval.
+    OffsetOverflow,
+    /// An instance is assigned to a nonexistent SM.
+    SmOutOfRange,
+    /// An SM's assigned work exceeds the initiation interval.
+    CapacityExceeded,
+    /// The schedule vectors do not cover the instance list.
+    ScheduleShape,
+    /// A device-memory channel access the transposed layout promises to
+    /// coalesce is predicted to serialize.
+    NonCoalescedAccess,
+    /// A device-memory channel access predicted to serialize where the
+    /// layout makes no coalescing promise (producer-side chunk mismatch,
+    /// region-boundary peek tails).
+    UncoalescedTraffic,
+    /// Uncoalesced traffic under the sequential (SWPNC baseline) layout —
+    /// the expected behaviour that scheme exists to measure.
+    SequentialTraffic,
+    /// A data-dependent branch makes the static counters approximate.
+    DataDependentBranch,
+    /// A data-dependent peek depth makes an access site's addresses
+    /// statically unknown.
+    DataDependentPeekDepth,
+    /// A channel buffer rotates fewer regions than the schedule's stage
+    /// span plus resident tokens require: a producer would overwrite
+    /// tokens before their last read.
+    BufferUnderCapacity,
+    /// Channel-buffer region geometry deviates from the canonical plan
+    /// (partial-firing tails, mismatched consumer rate).
+    RegionGeometry,
+}
+
+impl Code {
+    /// The stable `Vnnnn` identifier.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Code::UnsatisfiedDependence => "V0101",
+            Code::CrossSmHazard => "V0102",
+            Code::OffsetOverflow => "V0103",
+            Code::SmOutOfRange => "V0104",
+            Code::CapacityExceeded => "V0105",
+            Code::ScheduleShape => "V0106",
+            Code::NonCoalescedAccess => "V0201",
+            Code::UncoalescedTraffic => "V0202",
+            Code::SequentialTraffic => "V0203",
+            Code::DataDependentBranch => "V0210",
+            Code::DataDependentPeekDepth => "V0211",
+            Code::BufferUnderCapacity => "V0301",
+            Code::RegionGeometry => "V0302",
+        }
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Code::UnsatisfiedDependence => "UnsatisfiedDependence",
+            Code::CrossSmHazard => "CrossSmHazard",
+            Code::OffsetOverflow => "OffsetOverflow",
+            Code::SmOutOfRange => "SmOutOfRange",
+            Code::CapacityExceeded => "CapacityExceeded",
+            Code::ScheduleShape => "ScheduleShape",
+            Code::NonCoalescedAccess => "NonCoalescedAccess",
+            Code::UncoalescedTraffic => "UncoalescedTraffic",
+            Code::SequentialTraffic => "SequentialTraffic",
+            Code::DataDependentBranch => "DataDependentBranch",
+            Code::DataDependentPeekDepth => "DataDependentPeekDepth",
+            Code::BufferUnderCapacity => "BufferUnderCapacity",
+            Code::RegionGeometry => "RegionGeometry",
+        }
+    }
+
+    /// The severity a diagnostic of this code carries.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::UnsatisfiedDependence
+            | Code::CrossSmHazard
+            | Code::OffsetOverflow
+            | Code::SmOutOfRange
+            | Code::CapacityExceeded
+            | Code::ScheduleShape
+            | Code::NonCoalescedAccess
+            | Code::BufferUnderCapacity => Severity::Error,
+            Code::UncoalescedTraffic
+            | Code::DataDependentBranch
+            | Code::DataDependentPeekDepth
+            | Code::RegionGeometry => Severity::Warning,
+            Code::SequentialTraffic => Severity::Info,
+        }
+    }
+}
+
+/// One verifier finding, with enough location to render a rustc-style
+/// report and to color the offending node/edge in a dot dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// What went wrong.
+    pub code: Code,
+    /// Effective severity (normally `code.severity()`).
+    pub severity: Severity,
+    /// The finding, one sentence.
+    pub message: String,
+    /// Filter name, when the finding is located in one.
+    pub filter: Option<String>,
+    /// Access-site name (e.g. `push[out0]#1`), when applicable.
+    pub site: Option<String>,
+    /// Graph node id, for dot annotation.
+    pub node: Option<u32>,
+    /// Graph edge id, for dot annotation.
+    pub edge: Option<u32>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's default severity and no location.
+    #[must_use]
+    pub fn new(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            filter: None,
+            site: None,
+            node: None,
+            edge: None,
+        }
+    }
+
+    /// Attaches a filter location.
+    #[must_use]
+    pub fn at_filter(mut self, name: impl Into<String>, node: u32) -> Diagnostic {
+        self.filter = Some(name.into());
+        self.node = Some(node);
+        self
+    }
+
+    /// Attaches an access-site location.
+    #[must_use]
+    pub fn at_site(mut self, site: impl fmt::Display) -> Diagnostic {
+        self.site = Some(site.to_string());
+        self
+    }
+
+    /// Attaches a channel location.
+    #[must_use]
+    pub fn at_edge(mut self, edge: u32) -> Diagnostic {
+        self.edge = Some(edge);
+        self
+    }
+
+    /// The one-line `severity[code]: message` header.
+    #[must_use]
+    pub fn header(&self) -> String {
+        format!("{}[{}]: {}", self.severity, self.code.code(), self.message)
+    }
+
+    /// The `--> location` line, if the diagnostic has any location.
+    #[must_use]
+    pub fn location(&self) -> Option<String> {
+        let mut parts = Vec::new();
+        if let Some(f) = &self.filter {
+            parts.push(format!("filter '{f}'"));
+        }
+        if let Some(s) = &self.site {
+            parts.push(s.clone());
+        }
+        if let Some(e) = self.edge {
+            parts.push(format!("channel #{e}"));
+        }
+        if parts.is_empty() {
+            None
+        } else {
+            Some(parts.join(", "))
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.header())?;
+        if let Some(loc) = self.location() {
+            write!(f, "\n  --> {loc}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The highest severity in a batch, `None` when empty.
+#[must_use]
+pub fn max_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).max()
+}
+
+/// `true` when no diagnostic reaches [`Severity::Error`].
+#[must_use]
+pub fn passes(diags: &[Diagnostic]) -> bool {
+    max_severity(diags) < Some(Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_named() {
+        assert_eq!(Code::UnsatisfiedDependence.code(), "V0101");
+        assert_eq!(Code::NonCoalescedAccess.code(), "V0201");
+        assert_eq!(Code::BufferUnderCapacity.code(), "V0301");
+        assert_eq!(Code::UnsatisfiedDependence.name(), "UnsatisfiedDependence");
+    }
+
+    #[test]
+    fn display_includes_code_and_location() {
+        let d = Diagnostic::new(Code::NonCoalescedAccess, "16 transactions where 1 expected")
+            .at_filter("fft", 3)
+            .at_site("pop[in0]#0");
+        let text = d.to_string();
+        assert!(text.starts_with("error[V0201]:"), "{text}");
+        assert!(text.contains("--> filter 'fft', pop[in0]#0"), "{text}");
+    }
+
+    #[test]
+    fn severity_ordering_drives_passes() {
+        let info = Diagnostic::new(Code::SequentialTraffic, "expected");
+        let warn = Diagnostic::new(Code::DataDependentBranch, "approx");
+        let err = Diagnostic::new(Code::BufferUnderCapacity, "overwrite");
+        assert!(passes(&[]));
+        assert!(passes(&[info.clone(), warn.clone()]));
+        assert!(!passes(&[info, warn, err.clone()]));
+        assert_eq!(max_severity(&[err]), Some(Severity::Error));
+    }
+}

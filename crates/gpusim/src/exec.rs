@@ -28,10 +28,10 @@ const TRANSCENDENTAL_ISSUE: u64 = 4;
 /// Scratch arrays up to this many words per thread stay in the register
 /// file; larger ones live in (coalesced, per-thread-interleaved) local
 /// memory, like nvcc places them.
-pub(crate) const REG_ARRAY_WORDS: u32 = 16;
+pub const REG_ARRAY_WORDS: u32 = 16;
 
 /// Shared-memory banks on the modeled device.
-const SHARED_BANKS: u64 = 16;
+pub const SHARED_BANKS: u64 = 16;
 
 /// Static description of one warp's slice of an instance execution.
 pub(crate) struct WarpCtx<'a> {

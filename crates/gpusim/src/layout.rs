@@ -43,8 +43,11 @@ impl Layout {
     /// The transposition works on chunks of `group` consecutive firings;
     /// a region holding fewer than `group` firings (or a partial final
     /// chunk) transposes over the firings actually present, keeping the
-    /// map a bijection on `[0, region_tokens)`. Callers guarantee
-    /// `region_tokens` is a multiple of `o`.
+    /// map a bijection on `[0, region_tokens)`. When `region_tokens` is
+    /// not a multiple of `o` the trailing partial firing (and, when the
+    /// region holds less than one full firing, the whole region) is
+    /// stored in natural order: only complete firings participate in the
+    /// transposition, so the map stays a bijection for any geometry.
     #[must_use]
     pub fn slot(self, idx: u64, consumer_rate: u32, region_tokens: u64) -> u64 {
         match self {
@@ -52,11 +55,17 @@ impl Layout {
             Layout::Transposed { group } => {
                 let g = u64::from(group);
                 let o = u64::from(consumer_rate.max(1));
-                let f_total = (region_tokens / o).max(1);
+                let f_full = region_tokens / o;
                 let firing = idx / o;
+                if firing >= f_full {
+                    // Partial tail: tokens past the last complete firing
+                    // keep their natural offsets, disjoint from the
+                    // transposed range `[0, f_full*o)`.
+                    return idx;
+                }
                 let n = idx % o;
                 let chunk = firing / g;
-                let lanes = g.min(f_total - chunk * g);
+                let lanes = g.min(f_full - chunk * g);
                 chunk * g * o + n * lanes + (firing - chunk * g)
             }
         }
@@ -174,6 +183,65 @@ mod tests {
                 assert!(seen.insert(s), "slot {s} assigned twice (o={o})");
             }
         }
+    }
+
+    #[test]
+    fn transposed_is_a_bijection_with_partial_tail() {
+        // region_tokens not a multiple of o: the old formula mapped both
+        // idx=1 and idx=9 to slot 3 here (region=10, o=3, g=4). Complete
+        // firings transpose; the partial tail keeps natural order.
+        let layout = Layout::Transposed { group: 4 };
+        for (o, region) in [(3u32, 10u64), (3, 11), (7, 13), (4, 9), (5, 128)] {
+            let mut seen = HashSet::new();
+            for j in 0..region {
+                let s = layout.slot(j, o, region);
+                assert!(s < region, "slot {s} out of region {region} (o={o})");
+                assert!(seen.insert(s), "slot {s} assigned twice (o={o}, region={region})");
+            }
+            assert_eq!(seen.len() as u64, region);
+        }
+    }
+
+    #[test]
+    fn transposed_with_rate_exceeding_region_is_identity() {
+        // consumer_rate > region_tokens: no complete firing fits, so the
+        // whole region stays in natural order.
+        let layout = Layout::Transposed { group: 128 };
+        for region in [1u64, 5, 16, 100] {
+            for j in 0..region {
+                assert_eq!(layout.slot(j, region as u32 + 1, region), j);
+                assert_eq!(layout.slot(j, u32::MAX, region), j);
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_addresses_wrap_cleanly_at_region_boundary() {
+        // A rotating transposed binding: logical indices crossing the
+        // region boundary must land in the next region (and wrap back),
+        // never aliasing another region's words.
+        let b = BufferBinding {
+            base_word: 512,
+            region_tokens: 12,
+            regions: 3,
+            layout: Layout::Transposed { group: 4 },
+            consumer_rate: 3,
+            endpoint_rate: 3,
+            abs_start: 0,
+        };
+        let mut seen = HashSet::new();
+        for j in 0..36u64 {
+            let region = j / 12;
+            let a = b.addr(0, j);
+            assert!(
+                (512 + region * 12..512 + (region + 1) * 12).contains(&a),
+                "token {j} escaped region {region}: addr {a}"
+            );
+            assert!(seen.insert(a), "address {a} aliased (token {j})");
+        }
+        // Token 36 wraps back onto region 0's words.
+        let a = b.addr(0, 36);
+        assert!((512..524).contains(&a), "wrap-around addr {a}");
     }
 
     #[test]

@@ -80,10 +80,11 @@ mod timing;
 pub mod occupancy;
 
 pub use config::DeviceConfig;
+pub use exec::{REG_ARRAY_WORDS, SHARED_BANKS};
 pub use fault::{FaultKind, FaultPlan};
 pub use launch::{BlockWork, Gpu, InstanceExec, Launch};
 pub use layout::{BufferBinding, Layout};
-pub use mem::{Allocator, DeviceMemory};
+pub use mem::{bank_conflict_degree, count_transactions, Allocator, DeviceMemory};
 pub use stats::{InstanceStats, LaunchStats};
 pub use timing::{CheckpointMode, TimingModel};
 

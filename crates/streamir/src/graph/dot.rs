@@ -1,8 +1,54 @@
 //! Graphviz export of flattened stream graphs.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use super::{FlatGraph, NodeId, Role};
+
+/// Visual annotations for [`FlatGraph::to_dot_annotated`]: per-node and
+/// per-edge colors and extra label lines, keyed by node/edge id. Built by
+/// analysis layers (e.g. a verifier flagging hazardous channels) without
+/// this crate knowing their diagnostic types.
+#[derive(Debug, Clone, Default)]
+pub struct DotAnnotations {
+    /// Fill color per flagged node (`style=filled`), e.g. `"salmon"`.
+    pub node_fills: BTreeMap<u32, String>,
+    /// Extra label lines per node, rendered below the name.
+    pub node_notes: BTreeMap<u32, Vec<String>>,
+    /// Stroke/font color per flagged edge, e.g. `"red"`.
+    pub edge_colors: BTreeMap<u32, String>,
+    /// Extra label lines per edge, rendered below the rate annotation.
+    pub edge_notes: BTreeMap<u32, Vec<String>>,
+}
+
+impl DotAnnotations {
+    /// `true` when nothing is flagged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.node_fills.is_empty()
+            && self.node_notes.is_empty()
+            && self.edge_colors.is_empty()
+            && self.edge_notes.is_empty()
+    }
+
+    /// Flags a node with a fill color and a note line. A later color for
+    /// the same node wins; notes accumulate.
+    pub fn flag_node(&mut self, node: u32, color: &str, note: impl Into<String>) {
+        self.node_fills.insert(node, color.to_string());
+        self.node_notes.entry(node).or_default().push(note.into());
+    }
+
+    /// Flags an edge with a color and a note line. A later color for the
+    /// same edge wins; notes accumulate.
+    pub fn flag_edge(&mut self, edge: u32, color: &str, note: impl Into<String>) {
+        self.edge_colors.insert(edge, color.to_string());
+        self.edge_notes.entry(edge).or_default().push(note.into());
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
 
 impl FlatGraph {
     /// Renders the graph in Graphviz DOT format: filters as boxes,
@@ -27,6 +73,15 @@ impl FlatGraph {
     /// ```
     #[must_use]
     pub fn to_dot(&self, name: &str) -> String {
+        self.to_dot_annotated(name, &DotAnnotations::default())
+    }
+
+    /// [`FlatGraph::to_dot`] with analysis annotations: flagged nodes are
+    /// filled with their annotation color (overriding the input/output
+    /// tint), flagged edges are stroked in theirs, and note lines are
+    /// appended to the labels.
+    #[must_use]
+    pub fn to_dot_annotated(&self, name: &str, ann: &DotAnnotations) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "digraph {name} {{");
         let _ = writeln!(out, "  rankdir=TB;");
@@ -45,11 +100,21 @@ impl FlatGraph {
             if node.work.is_stateful() {
                 extras.push_str("\\nstateful");
             }
-            let io = match (self.input() == Some(id), self.output() == Some(id)) {
-                (true, true) => ", style=filled, fillcolor=lightyellow",
-                (true, false) => ", style=filled, fillcolor=lightblue",
-                (false, true) => ", style=filled, fillcolor=lightgreen",
-                (false, false) => "",
+            if let Some(notes) = ann.node_notes.get(&(i as u32)) {
+                for n in notes {
+                    extras.push_str("\\n");
+                    extras.push_str(&escape(n));
+                }
+            }
+            let io = if let Some(fill) = ann.node_fills.get(&(i as u32)) {
+                format!(", style=filled, fillcolor=\"{}\"", escape(fill))
+            } else {
+                match (self.input() == Some(id), self.output() == Some(id)) {
+                    (true, true) => ", style=filled, fillcolor=lightyellow".to_string(),
+                    (true, false) => ", style=filled, fillcolor=lightblue".to_string(),
+                    (false, true) => ", style=filled, fillcolor=lightgreen".to_string(),
+                    (false, false) => String::new(),
+                }
             };
             let _ = writeln!(
                 out,
@@ -63,9 +128,18 @@ impl FlatGraph {
             if !edge.initial.is_empty() {
                 let _ = write!(label, " [+{}]", edge.initial.len());
             }
+            if let Some(notes) = ann.edge_notes.get(&(i as u32)) {
+                for n in notes {
+                    label.push_str("\\n");
+                    label.push_str(&escape(n));
+                }
+            }
+            let color = ann.edge_colors.get(&(i as u32)).map_or(String::new(), |c| {
+                format!(", color=\"{0}\", fontcolor=\"{0}\", penwidth=2", escape(c))
+            });
             let _ = writeln!(
                 out,
-                "  \"{}\" -> \"{}\" [label=\"{label}\"];",
+                "  \"{}\" -> \"{}\" [label=\"{label}\"{color}];",
                 self.node(edge.src).name,
                 self.node(edge.dst).name
             );
@@ -100,6 +174,25 @@ mod tests {
         }
         assert!(dot.contains("invtrapezium"), "splitter shape");
         assert_eq!(dot.matches(" -> ").count(), g.edges().len());
+    }
+
+    #[test]
+    fn annotations_color_and_note_flagged_elements() {
+        use super::DotAnnotations;
+        let id = |n: &str| StreamSpec::filter(FilterSpec::new(n, identity(ElemTy::I32)));
+        let g = StreamSpec::pipeline(vec![id("a"), id("b")]).flatten().unwrap();
+        let mut ann = DotAnnotations::default();
+        assert!(ann.is_empty());
+        ann.flag_node(1, "salmon", "V0201 NonCoalescedAccess");
+        ann.flag_edge(0, "red", "error[V0201]: \"scattered\"");
+        let dot = g.to_dot_annotated("g", &ann);
+        assert!(dot.contains("fillcolor=\"salmon\""), "{dot}");
+        assert!(dot.contains("V0201 NonCoalescedAccess"), "{dot}");
+        assert!(dot.contains("color=\"red\""), "{dot}");
+        assert!(dot.contains("penwidth=2"), "{dot}");
+        assert!(dot.contains("\\\"scattered\\\""), "escaped quotes: {dot}");
+        // Unannotated rendering is unchanged by the default annotations.
+        assert_eq!(g.to_dot("g"), g.to_dot_annotated("g", &DotAnnotations::default()));
     }
 
     #[test]

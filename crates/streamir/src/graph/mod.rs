@@ -14,6 +14,7 @@ mod flat;
 mod flatten;
 mod spec;
 
+pub use dot::DotAnnotations;
 pub use filter::FilterSpec;
 pub use flat::{Edge, EdgeId, FlatGraph, Node, NodeId, Role};
 pub use spec::{FeedbackLoopSpec, SplitterKind, StreamSpec};

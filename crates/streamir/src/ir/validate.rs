@@ -100,6 +100,120 @@ pub struct WorkInfo {
 /// mirroring the fixed overhead nvcc-generated kernels exhibit.
 pub const REG_OVERHEAD: u32 = 6;
 
+/// What a channel-access site does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Consumes one token from an input port.
+    Pop,
+    /// Reads an input-port token at a depth without consuming.
+    Peek,
+    /// Produces one token on an output port.
+    Push,
+}
+
+/// One *syntactic* channel-access site in a work-function body.
+///
+/// Sites are enumerated in the canonical pre-order of [`access_sites`]; a
+/// site inside a loop is still one site (it executes many times). The
+/// `ordinal` numbers sites of the same kind and port, so diagnostics can
+/// name an access stably ("push\[out0\]#1") across tools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessSite {
+    /// Pop, peek, or push.
+    pub kind: AccessKind,
+    /// The input port (pop/peek) or output port (push).
+    pub port: u8,
+    /// 0-based index among sites with the same kind and port, in
+    /// canonical pre-order.
+    pub ordinal: u32,
+}
+
+impl std::fmt::Display for AccessSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (kind, dir) = match self.kind {
+            AccessKind::Pop => ("pop", "in"),
+            AccessKind::Peek => ("peek", "in"),
+            AccessKind::Push => ("push", "out"),
+        };
+        write!(f, "{kind}[{dir}{}]#{}", self.port, self.ordinal)
+    }
+}
+
+/// Enumerates every syntactic channel-access site of a work function in
+/// canonical pre-order: statements in source order, a `for` body once
+/// (syntactic, not unrolled), `if` then-arm before else-arm; within a
+/// statement sub-expressions depth-first left-to-right, a peek's depth
+/// subtree before the peek itself, and a push's value expression before
+/// the push site — the same order the warp interpreter first reaches each
+/// site, so consumers can zip their own identical walk against this list.
+#[must_use]
+pub fn access_sites(wf: &WorkFunction) -> Vec<AccessSite> {
+    let mut sites = Vec::new();
+    let mut counters: HashMap<(AccessKind, u8), u32> = HashMap::new();
+    let mut emit = |sites: &mut Vec<AccessSite>, kind: AccessKind, port: u8| {
+        let ordinal = counters.entry((kind, port)).or_insert(0);
+        sites.push(AccessSite {
+            kind,
+            port,
+            ordinal: *ordinal,
+        });
+        *ordinal += 1;
+    };
+    fn walk_expr(
+        e: &Expr,
+        sites: &mut Vec<AccessSite>,
+        emit: &mut impl FnMut(&mut Vec<AccessSite>, AccessKind, u8),
+    ) {
+        match e {
+            Expr::Peek { port, depth } => {
+                walk_expr(depth, sites, emit);
+                emit(sites, AccessKind::Peek, *port);
+            }
+            Expr::Unary(_, inner) => walk_expr(inner, sites, emit),
+            Expr::Binary(_, lhs, rhs) => {
+                walk_expr(lhs, sites, emit);
+                walk_expr(rhs, sites, emit);
+            }
+            Expr::LoadArr { index, .. } | Expr::LoadTable { index, .. } => {
+                walk_expr(index, sites, emit);
+            }
+            Expr::I32(_) | Expr::F32(_) | Expr::Local(_) | Expr::LoadState(_) => {}
+        }
+    }
+    fn walk_block(
+        stmts: &[Stmt],
+        sites: &mut Vec<AccessSite>,
+        emit: &mut impl FnMut(&mut Vec<AccessSite>, AccessKind, u8),
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::Assign(_, e) | Stmt::StoreState(_, e) => walk_expr(e, sites, emit),
+                Stmt::Store { index, value, .. } => {
+                    walk_expr(index, sites, emit);
+                    walk_expr(value, sites, emit);
+                }
+                Stmt::Pop { port, .. } => emit(sites, AccessKind::Pop, *port),
+                Stmt::Push { port, value } => {
+                    walk_expr(value, sites, emit);
+                    emit(sites, AccessKind::Push, *port);
+                }
+                Stmt::For { body, .. } => walk_block(body, sites, emit),
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    walk_expr(cond, sites, emit);
+                    walk_block(then_body, sites, emit);
+                    walk_block(else_body, sites, emit);
+                }
+            }
+        }
+    }
+    walk_block(&wf.body, &mut sites, &mut emit);
+    sites
+}
+
 /// An inclusive integer interval, `None` meaning "unknown".
 type Range = Option<(i64, i64)>;
 
@@ -787,6 +901,40 @@ mod tests {
         assert_eq!(c.channel_reads, 1);
         assert_eq!(c.channel_writes, 1);
         assert_eq!(c.alu, 2);
+    }
+
+    #[test]
+    fn access_sites_enumerate_in_preorder_with_per_port_ordinals() {
+        let mut f = simple_builder();
+        let x = f.local(ElemTy::I32);
+        f.pop_into(0, x);
+        // push(peek(0, 0) + peek(0, 1)): depth subtrees carry no sites, the
+        // two peeks precede their enclosing push.
+        f.push(
+            0,
+            Expr::peek(0, Expr::i32(0)).add(Expr::peek(0, Expr::i32(1))),
+        );
+        f.for_loop(0, 4, |_, _| {
+            vec![Stmt::Push {
+                port: 0,
+                value: Expr::i32(7),
+            }]
+        });
+        let wf = f.build().unwrap();
+        let sites = access_sites(&wf);
+        let expect = [
+            (AccessKind::Pop, 0u8, 0u32),
+            (AccessKind::Peek, 0, 0),
+            (AccessKind::Peek, 0, 1),
+            (AccessKind::Push, 0, 0),
+            (AccessKind::Push, 0, 1), // loop body is one syntactic site
+        ];
+        assert_eq!(sites.len(), expect.len());
+        for (s, &(kind, port, ordinal)) in sites.iter().zip(&expect) {
+            assert_eq!((s.kind, s.port, s.ordinal), (kind, port, ordinal));
+        }
+        assert_eq!(sites[1].to_string(), "peek[in0]#0");
+        assert_eq!(sites[4].to_string(), "push[out0]#1");
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! `verify-all`: sweep the whole benchmark suite through the static
+//! verifier and cross-check its coalescing prediction against the
+//! simulator's dynamic memory counters.
+//!
+//! ```text
+//! verify-all [-v] [--dot <dir>] [iterations]
+//! ```
+//!
+//! For every benchmark × execution scheme the tool:
+//!
+//! 1. compiles the benchmark and runs the full verifier (modulo-schedule
+//!    hazards, buffer-bounds liveness, coalescing classification);
+//! 2. executes the same compilation on the simulator and asserts the
+//!    predicted memory counters equal the measured ones **exactly** —
+//!    any divergence between the static model and the simulator fails
+//!    the sweep;
+//! 3. fails on any error-severity (`V0101`/`V0201`/`V0301`-class)
+//!    diagnostic.
+//!
+//! `-v` prints every diagnostic (by default only failures are rendered);
+//! `--dot <dir>` writes an annotated Graphviz file per benchmark with
+//! flagged filters and channels colored by severity.
+
+use swpipe::exec::{self, CompileOptions, Scheme};
+use swpipe::report;
+use swpipe::verify::{self, StaticCounters};
+
+fn main() {
+    let mut verbose = false;
+    let mut dot_dir: Option<String> = None;
+    let mut iterations = 4u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-v" | "--verbose" => verbose = true,
+            "--dot" => match args.next() {
+                Some(d) => dot_dir = Some(d),
+                None => return usage(),
+            },
+            other => match other.parse() {
+                Ok(n) if n > 0 => iterations = n,
+                _ => return usage(),
+            },
+        }
+    }
+
+    let schemes = [
+        ("swp", Scheme::Swp { coarsening: 1 }),
+        ("swpnc", Scheme::SwpNc { coarsening: 1 }),
+        ("swp-raw", Scheme::SwpRaw { coarsening: 1 }),
+        ("serial", Scheme::Serial { batch: 1 }),
+    ];
+    let mut failures = 0u32;
+    for b in streambench::suite() {
+        let graph = match b.spec.flatten() {
+            Ok(g) => g,
+            Err(e) => {
+                println!("{:<12} FLATTEN FAILED: {e}", b.name);
+                failures += 1;
+                continue;
+            }
+        };
+        let c = match exec::compile(&graph, &CompileOptions::small_test()) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("{:<12} COMPILE FAILED: {e}", b.name);
+                failures += 1;
+                continue;
+            }
+        };
+        let mut bench_diags = Vec::new();
+        for (label, scheme) in schemes {
+            match check(&c, scheme, iterations, &b) {
+                Ok((v, verdict)) => {
+                    println!("{:<12} {label:<8} {verdict}", b.name);
+                    if verbose || !v.passes() {
+                        let text = report::render_diagnostics(&v.diagnostics);
+                        for line in text.lines() {
+                            println!("    {line}");
+                        }
+                    }
+                    if !v.passes() || verdict.starts_with("FAIL") {
+                        failures += 1;
+                    }
+                    bench_diags.extend(v.diagnostics);
+                }
+                Err(e) => {
+                    println!("{:<12} {label:<8} FAIL ({e})", b.name);
+                    failures += 1;
+                }
+            }
+        }
+        if let Some(dir) = &dot_dir {
+            let ann = report::dot_annotations(&bench_diags);
+            let dot = c.graph.to_dot_annotated(b.name, &ann);
+            let path = format!("{dir}/{}.dot", b.name);
+            if let Err(e) = std::fs::write(&path, dot) {
+                eprintln!("error: cannot write {path}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        println!("verify-all: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("verify-all: ok — every prediction matched the simulator exactly");
+}
+
+/// Verifies one (compilation, scheme) pair and cross-checks the counter
+/// prediction against a real simulated run.
+fn check(
+    c: &exec::Compiled,
+    scheme: Scheme,
+    iterations: u64,
+    b: &streambench::Benchmark,
+) -> Result<(verify::Verification, String), swpipe::Error> {
+    let v = verify::verify(c, scheme, iterations)?;
+    let n_input = exec::required_input(c, iterations);
+    let input = (b.input)(n_input as usize);
+    let run = exec::execute(c, scheme, iterations, &input[..n_input as usize])?;
+    let measured = StaticCounters::of_stats(&run.stats);
+    let p = &v.prediction;
+    let verdict = if !p.exact {
+        // No benchmark takes this path today (the suite is branch-free);
+        // it exists so a future data-dependent benchmark degrades loudly.
+        format!("INEXACT (predicted {:?}, measured {measured:?})", p.counters)
+    } else if p.counters != measured {
+        format!(
+            "FAIL: prediction diverged from the simulator \
+             (predicted {:?}, measured {measured:?})",
+            p.counters
+        )
+    } else {
+        format!(
+            "ok: {} mem txns, {} shared accesses over {} launches predicted exactly{}",
+            p.counters.mem_transactions,
+            p.counters.shared_accesses,
+            p.launches,
+            match verify::max_severity(&v.diagnostics) {
+                None => String::new(),
+                Some(s) => format!(" ({} finding(s), worst {s})", v.diagnostics.len()),
+            }
+        )
+    };
+    Ok((v, verdict))
+}
+
+fn usage() {
+    eprint!(
+        "verify-all — static verification sweep with simulator cross-check\n\n\
+         USAGE:\n    verify-all [-v] [--dot <dir>] [iterations]\n"
+    );
+    std::process::exit(2);
+}

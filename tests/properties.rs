@@ -243,3 +243,122 @@ proptest! {
         }
     }
 }
+
+/// A random (possibly branching, peeking, array/table-using) work
+/// function for the validator-vs-interpreter agreement property below.
+#[allow(clippy::too_many_arguments)]
+fn random_work(
+    pop: u32,
+    push: u32,
+    peek_extra: u32,
+    use_array: bool,
+    use_table: bool,
+    branch: u8,
+    seed: i32,
+) -> streamir::ir::WorkFunction {
+    use streamir::ir::Table;
+    let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
+    let acc = f.local(ElemTy::I32);
+    let x = f.local(ElemTy::I32);
+    f.assign(acc, Expr::i32(seed));
+    let arr = use_array.then(|| f.array(ElemTy::I32, 4));
+    let tab = use_table.then(|| f.table(Table::i32(&[2, 3, 5, 7])));
+    for d in 0..peek_extra {
+        f.assign(acc, Expr::local(acc).add(Expr::peek(0, Expr::i32(d as i32))));
+    }
+    f.for_loop(0, pop as i32, |_, _| {
+        vec![
+            Stmt::Pop { port: 0, dst: Some(x) },
+            Stmt::Assign(acc, Expr::local(acc).mul(Expr::i32(3)).add(Expr::local(x))),
+        ]
+    });
+    if let Some(a) = arr {
+        f.store(a, Expr::i32(1), Expr::local(acc));
+        f.assign(acc, Expr::local(acc).add(Expr::load(a, Expr::i32(1))));
+    }
+    if let Some(t) = tab {
+        f.assign(acc, Expr::local(acc).add(Expr::table(t, Expr::i32(2))));
+    }
+    match branch {
+        // A constant branch: still a branch to the validator.
+        1 => {
+            f.if_else(
+                Expr::i32(1),
+                vec![Stmt::Assign(acc, Expr::local(acc).add(Expr::i32(1)))],
+                vec![],
+            );
+        }
+        // A data-dependent branch with asymmetric arms, so the static
+        // worst-case census strictly dominates one dynamic path.
+        2 => {
+            f.if_else(
+                Expr::local(acc).lt(Expr::i32(0)),
+                vec![Stmt::Assign(acc, Expr::local(acc).neg())],
+                vec![
+                    Stmt::Assign(acc, Expr::local(acc).add(Expr::i32(5))),
+                    Stmt::Assign(x, Expr::local(acc).mul(Expr::i32(2))),
+                ],
+            );
+        }
+        _ => {}
+    }
+    f.for_loop(0, push as i32, |_, j| {
+        vec![Stmt::Push { port: 0, value: Expr::local(acc).add(Expr::local(j)) }]
+    });
+    f.build().expect("generated work function validates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The validator's static channel rates equal the interpreter's
+    /// dynamic pop/push counts, and its op census equals the dynamic
+    /// operation counts exactly on branch-free bodies (and dominates
+    /// them per class when the body branches).
+    #[test]
+    fn static_rates_and_census_agree_with_dynamic_execution(
+        pop in 1u32..4,
+        push in 1u32..4,
+        peek_extra in 0u32..4,
+        array_sel in 0u8..2,
+        table_sel in 0u8..2,
+        branch in 0u8..3,
+        seed in -10i32..10,
+    ) {
+        use streamir::ir::{interp, OpCensus};
+        let wf = random_work(pop, push, peek_extra, array_sel == 1, table_sel == 1, branch, seed);
+        let info = wf.info().clone();
+
+        let supply = (pop.max(peek_extra) + 4) as usize;
+        let tokens: Vec<Scalar> = (0..supply).map(|i| Scalar::I32(i as i32 - 3)).collect();
+        let mut ch = interp::VecChannels::new(vec![tokens], 1);
+        let mut counts = OpCensus::default();
+        interp::execute(&wf, &mut ch, &mut counts).expect("firing runs");
+
+        // Static rates = dynamic consumption/production.
+        prop_assert_eq!(ch.cursors[0] as u32, info.inputs[0].pop);
+        prop_assert_eq!(ch.cursors[0] as u32, wf.pop_rate(0));
+        prop_assert_eq!(ch.outputs[0].len() as u32, info.outputs[0]);
+        prop_assert_eq!(wf.push_rate(0), info.outputs[0]);
+        prop_assert_eq!(wf.peek_rate(0), pop.max(peek_extra));
+        prop_assert_eq!(wf.is_peeking(), peek_extra > pop);
+        prop_assert_eq!(info.has_branches, branch != 0);
+
+        // Static census: exact without branches, a per-class upper bound
+        // (worst case over arms) with them.
+        if info.has_branches {
+            prop_assert!(counts.alu <= info.census.alu);
+            prop_assert!(counts.transcendental <= info.census.transcendental);
+            prop_assert!(counts.channel_reads <= info.census.channel_reads);
+            prop_assert!(counts.channel_writes <= info.census.channel_writes);
+            prop_assert!(counts.array_ops <= info.census.array_ops);
+            prop_assert!(counts.table_loads <= info.census.table_loads);
+            prop_assert!(counts.control <= info.census.control);
+            // Channel traffic is rate-static even under branches.
+            prop_assert_eq!(counts.channel_reads, info.census.channel_reads);
+            prop_assert_eq!(counts.channel_writes, info.census.channel_writes);
+        } else {
+            prop_assert_eq!(&counts, &info.census);
+        }
+    }
+}
