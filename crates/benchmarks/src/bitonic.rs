@@ -218,10 +218,7 @@ mod tests {
         let rec = spec_recursive().flatten().unwrap();
         // 24 comparators each (6 substages x 4), plus routing nodes.
         let ce = |g: &streamir::graph::FlatGraph| {
-            g.nodes()
-                .iter()
-                .filter(|n| n.name.contains("ce"))
-                .count()
+            g.nodes().iter().filter(|n| n.name.contains("ce")).count()
         };
         assert_eq!(ce(&it), 24);
         assert_eq!(ce(&rec), 24);

@@ -174,8 +174,8 @@ mod tests {
     use super::*;
     use crate::util::{as_f32, signal_input};
     use streamir::cpu::{self, CpuCostModel};
-    use streamir::sdf;
     use streamir::ir::Scalar;
+    use streamir::sdf;
 
     #[test]
     fn graph_matches_table_one_exactly() {

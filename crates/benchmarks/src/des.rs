@@ -20,8 +20,8 @@ pub const KEY: u64 = 0x1334_5779_9BBC_DFF1;
 
 const IP: [u8; 64] = [
     58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4, 62, 54, 46, 38, 30, 22, 14, 6,
-    64, 56, 48, 40, 32, 24, 16, 8, 57, 49, 41, 33, 25, 17, 9, 1, 59, 51, 43, 35, 27, 19, 11, 3,
-    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
+    64, 56, 48, 40, 32, 24, 16, 8, 57, 49, 41, 33, 25, 17, 9, 1, 59, 51, 43, 35, 27, 19, 11, 3, 61,
+    53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
 ];
 
 const FP: [u8; 64] = [
@@ -31,8 +31,8 @@ const FP: [u8; 64] = [
 ];
 
 const E: [u8; 48] = [
-    32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9, 8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17, 16, 17,
-    18, 19, 20, 21, 20, 21, 22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
+    32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9, 8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18,
+    19, 20, 21, 20, 21, 22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
 ];
 
 const P: [u8; 32] = [
@@ -41,14 +41,14 @@ const P: [u8; 32] = [
 ];
 
 const PC1: [u8; 56] = [
-    57, 49, 41, 33, 25, 17, 9, 1, 58, 50, 42, 34, 26, 18, 10, 2, 59, 51, 43, 35, 27, 19, 11, 3,
-    60, 52, 44, 36, 63, 55, 47, 39, 31, 23, 15, 7, 62, 54, 46, 38, 30, 22, 14, 6, 61, 53, 45, 37,
-    29, 21, 13, 5, 28, 20, 12, 4,
+    57, 49, 41, 33, 25, 17, 9, 1, 58, 50, 42, 34, 26, 18, 10, 2, 59, 51, 43, 35, 27, 19, 11, 3, 60,
+    52, 44, 36, 63, 55, 47, 39, 31, 23, 15, 7, 62, 54, 46, 38, 30, 22, 14, 6, 61, 53, 45, 37, 29,
+    21, 13, 5, 28, 20, 12, 4,
 ];
 
 const PC2: [u8; 48] = [
-    14, 17, 11, 24, 1, 5, 3, 28, 15, 6, 21, 10, 23, 19, 12, 4, 26, 8, 16, 7, 27, 20, 13, 2, 41,
-    52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
+    14, 17, 11, 24, 1, 5, 3, 28, 15, 6, 21, 10, 23, 19, 12, 4, 26, 8, 16, 7, 27, 20, 13, 2, 41, 52,
+    31, 37, 47, 55, 30, 40, 51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
 ];
 
 const SHIFTS: [u8; 16] = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1];
@@ -209,7 +209,9 @@ fn sbox_filter(round: usize) -> StreamSpec {
             .add(col);
         f.assign(
             s,
-            Expr::local(s).shl(Expr::i32(4)).bitor(Expr::table(t, index)),
+            Expr::local(s)
+                .shl(Expr::i32(4))
+                .bitor(Expr::table(t, index)),
         );
     }
     f.push(0, Expr::local(s));
@@ -355,8 +357,8 @@ mod tests {
     use super::*;
     use crate::util::{as_i32, int_input};
     use streamir::cpu::{self, CpuCostModel};
-    use streamir::sdf;
     use streamir::ir::Scalar;
+    use streamir::sdf;
 
     #[test]
     fn known_test_vector() {
@@ -370,7 +372,10 @@ mod tests {
         assert_eq!(ks.len(), 16);
         // First subkey for this key (well-known): 0b000110110000001011101111111111000111000001110010.
         let k1 = (u64::from(ks[0].0) << 24) | u64::from(ks[0].1);
-        assert_eq!(k1, 0b000110_110000_001011_101111_111111_000111_000001_110010);
+        assert_eq!(
+            k1,
+            0b000110_110000_001011_101111_111111_000111_000001_110010
+        );
         for (hi, lo) in ks {
             assert!(hi < (1 << 24) && lo < (1 << 24));
         }

@@ -84,12 +84,7 @@ fn combine_dft(m: usize, tag: &str) -> StreamSpec {
     let g_re = |k: Expr| Expr::load(buf, k.mul(Expr::i32(2)));
     let g_im = |k: Expr| Expr::load(buf, k.mul(Expr::i32(2)).add(Expr::i32(1)));
     let h_re = |k: Expr| Expr::load(buf, k.mul(Expr::i32(2)).add(Expr::i32(m as i32)));
-    let h_im = |k: Expr| {
-        Expr::load(
-            buf,
-            k.mul(Expr::i32(2)).add(Expr::i32(m as i32 + 1)),
-        )
-    };
+    let h_im = |k: Expr| Expr::load(buf, k.mul(Expr::i32(2)).add(Expr::i32(m as i32 + 1)));
     let w_re = |k: Expr| Expr::table(t, k.mul(Expr::i32(2)));
     let w_im = |k: Expr| Expr::table(t, k.mul(Expr::i32(2)).add(Expr::i32(1)));
     // out[k] = G[k] + W^k H[k]  (stored back into the H slots' scratch via
@@ -227,8 +222,8 @@ mod tests {
     use super::*;
     use crate::util::{as_f32, signal_input};
     use streamir::cpu::{self, CpuCostModel};
-    use streamir::sdf;
     use streamir::ir::Scalar;
+    use streamir::sdf;
 
     #[test]
     fn fft_matches_naive_dft() {

@@ -98,10 +98,7 @@ pub fn spec() -> StreamSpec {
 #[must_use]
 pub fn reference(input: &[f32], out_len: usize) -> Vec<f32> {
     let front = util::fir_reference(&lowpass_coeffs(TAPS, 0.45), input);
-    let demod: Vec<f32> = front
-        .windows(2)
-        .map(|w| w[0] * w[1] * DEMOD_GAIN)
-        .collect();
+    let demod: Vec<f32> = front.windows(2).map(|w| w[0] * w[1] * DEMOD_GAIN).collect();
     let edges = band_edges();
     let mut total = vec![0.0f32; out_len];
     for b in 0..BANDS {

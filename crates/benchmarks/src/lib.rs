@@ -122,7 +122,10 @@ mod tests {
     #[test]
     fn every_benchmark_flattens_and_solves() {
         for b in suite() {
-            let g = b.spec.flatten().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let g = b
+                .spec
+                .flatten()
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             let s = streamir::sdf::solve(&g).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(!s.firing_order().is_empty(), "{}", b.name);
         }

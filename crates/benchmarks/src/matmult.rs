@@ -66,8 +66,7 @@ fn row_mult(name: &str) -> StreamSpec {
                     },
                     Stmt::Assign(
                         acc,
-                        Expr::local(acc)
-                            .add(Expr::load(row, Expr::local(j)).mul(Expr::local(x))),
+                        Expr::local(acc).add(Expr::load(row, Expr::local(j)).mul(Expr::local(x))),
                     ),
                 ],
             },
@@ -152,8 +151,8 @@ mod tests {
     use super::*;
     use crate::util::{as_f32, signal_input};
     use streamir::cpu::{self, CpuCostModel};
-    use streamir::sdf;
     use streamir::ir::Scalar;
+    use streamir::sdf;
 
     #[test]
     fn multiplies_matrices() {

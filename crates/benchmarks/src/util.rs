@@ -41,9 +41,7 @@ pub fn fir(name: &str, coeffs: &[f32]) -> StreamSpec {
     f.for_loop(0, taps, |_, j| {
         vec![Stmt::Assign(
             acc,
-            Expr::local(acc).add(
-                Expr::table(t, Expr::local(j)).mul(Expr::peek(0, Expr::local(j))),
-            ),
+            Expr::local(acc).add(Expr::table(t, Expr::local(j)).mul(Expr::peek(0, Expr::local(j)))),
         )]
     });
     f.push(0, Expr::local(acc));

@@ -92,7 +92,9 @@ pub fn allocate(
     for ep in &plan.edges {
         let words = ep.region_tokens * u64::from(ep.regions);
         let words = u32::try_from(words).map_err(|_| {
-            Error::Api(format!("channel buffer of {words} words exceeds device size"))
+            Error::Api(format!(
+                "channel buffer of {words} words exceeds device size"
+            ))
         })?;
         edge_base.push(
             gpu.try_alloc_tokens(words)
@@ -188,7 +190,8 @@ impl ProgramBuffers {
     ) -> BufferBinding {
         let et = &ig.edges[edge_idx];
         let ep = &self.plan.edges[edge_idx];
-        let abs = et.init_cons + (b * u64::from(reps_of(ig, et, true)) + u64::from(k)) * et.i_per_inst;
+        let abs =
+            et.init_cons + (b * u64::from(reps_of(ig, et, true)) + u64::from(k)) * et.i_per_inst;
         BufferBinding {
             base_word: self.edge_base[edge_idx],
             region_tokens: ep.region_tokens,
@@ -272,13 +275,7 @@ impl ProgramBuffers {
     ///
     /// Panics if the graph has no output buffer.
     #[must_use]
-    pub fn read_output(
-        &self,
-        gpu: &Gpu,
-        graph: &FlatGraph,
-        start: u64,
-        count: u64,
-    ) -> Vec<Scalar> {
+    pub fn read_output(&self, gpu: &Gpu, graph: &FlatGraph, start: u64, count: u64) -> Vec<Scalar> {
         let io = self.output.as_ref().expect("graph has an output buffer");
         let exit = graph.output().expect("graph has an output");
         let ty = graph.node(exit).work.output_ports()[0];
@@ -319,9 +316,9 @@ impl ProgramBuffers {
             for (j, &tok) in tokens.iter().enumerate() {
                 let abs = et.init_cons + j as u64;
                 let region = (abs / ep.region_tokens) % u64::from(ep.regions);
-                let off = ep
-                    .layout
-                    .slot(abs % ep.region_tokens, ep.consumer_rate, ep.region_tokens);
+                let off =
+                    ep.layout
+                        .slot(abs % ep.region_tokens, ep.consumer_rate, ep.region_tokens);
                 let addr = base + (region * ep.region_tokens + off) as u32;
                 gpu.memory_mut().write_token(addr, tok);
             }

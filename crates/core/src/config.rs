@@ -143,11 +143,7 @@ fn sink_tokens_per_iteration(
 
 /// Threads per instance of `node` implied by the instance graph's edge
 /// geometry (falls back to 1 for isolated nodes).
-fn exec_threads(
-    ig: &crate::instances::InstanceGraph,
-    graph: &FlatGraph,
-    node: NodeId,
-) -> u32 {
+fn exec_threads(ig: &crate::instances::InstanceGraph, graph: &FlatGraph, node: NodeId) -> u32 {
     for (i, e) in graph.edges().iter().enumerate() {
         if e.dst == node {
             let pop = ig.edges[i].pop_thread.max(1);
@@ -204,7 +200,11 @@ mod tests {
         )
         .unwrap();
         let sel = select(&g, &table).unwrap();
-        assert!(sel.exec.threads.iter().all(|&t| t <= sel.exec.threads_per_block));
+        assert!(sel
+            .exec
+            .threads
+            .iter()
+            .all(|&t| t <= sel.exec.threads_per_block));
         assert!(sel.exec.delay.iter().all(|&d| d >= 1));
         assert!(sel.normalized_ii > 0.0);
         // The paper's grid: every candidate pair is reported.

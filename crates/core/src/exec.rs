@@ -215,6 +215,22 @@ pub enum CheckpointSpec {
     Force(CheckpointMode),
 }
 
+/// Pins a compiled program onto a contiguous SM slice of a larger
+/// physical device: a program compiled for `k` SMs executes its `k`
+/// blocks on SMs `[base_sm, base_sm + k)` of `device`. The multi-tenant
+/// runtime uses this to co-schedule tenants on disjoint slices; because
+/// both the functional semantics and the launch timing bound are
+/// placement-invariant, a sliced run is byte- and cycle-identical to a
+/// solo run on a `k`-SM device.
+#[derive(Debug, Clone)]
+pub struct SmPlacement {
+    /// The physical device executed on (its SM count may exceed the
+    /// compiled device's).
+    pub device: DeviceConfig,
+    /// First SM of this program's slice.
+    pub base_sm: u32,
+}
+
 /// Execution-time options: fault injection and the retry policy.
 #[derive(Debug, Clone, Default)]
 pub struct RunOptions {
@@ -227,6 +243,10 @@ pub struct RunOptions {
     /// fault plan is armed; fault-free runs are byte-identical across
     /// all settings.
     pub checkpoint: CheckpointSpec,
+    /// Execute on an SM slice of a larger device instead of the compiled
+    /// device (multi-tenant co-scheduling). `None` runs on the compiled
+    /// device at offset 0.
+    pub placement: Option<SmPlacement>,
 }
 
 /// The outcome of a GPU execution.
@@ -286,12 +306,7 @@ pub fn required_input(c: &Compiled, iterations: u64) -> u64 {
 ///   coarsening/batch factor.
 /// * [`Error::Stream`] for insufficient input.
 /// * [`Error::Sim`] for device faults.
-pub fn execute(
-    c: &Compiled,
-    scheme: Scheme,
-    iterations: u64,
-    input: &[Scalar],
-) -> Result<GpuRun> {
+pub fn execute(c: &Compiled, scheme: Scheme, iterations: u64, input: &[Scalar]) -> Result<GpuRun> {
     execute_inner(c, scheme, iterations, input, false, &RunOptions::default())
 }
 
@@ -349,7 +364,7 @@ fn execute_inner(
             "stateful filters and feedback loops cannot be coarsened: \
              sub-firing interleaving would break their cross-iteration \
              serial order (run with coarsening 1)"
-            .into(),
+                .into(),
         ));
     }
     let sched = match scheme {
@@ -366,7 +381,21 @@ fn execute_inner(
     } else {
         iterations
     };
-    let mut gpu = Gpu::with_timing(c.device.clone(), c.timing.clone());
+    let (exec_device, sm_offset) = match &opts.placement {
+        Some(p) => {
+            if p.base_sm + c.device.num_sms > p.device.num_sms {
+                return Err(Error::Api(format!(
+                    "SM slice [{}, {}) does not fit the {}-SM execution device",
+                    p.base_sm,
+                    p.base_sm + c.device.num_sms,
+                    p.device.num_sms
+                )));
+            }
+            (p.device.clone(), p.base_sm)
+        }
+        None => (c.device.clone(), 0),
+    };
+    let mut gpu = Gpu::with_timing(exec_device, c.timing.clone());
     if let Some(fault_plan) = &opts.fault_plan {
         gpu.inject_faults(fault_plan.clone());
     }
@@ -395,17 +424,44 @@ fn execute_inner(
             // not); the layouts differ for everything that does not fit.
             let staged = !matches!(scheme, Scheme::SwpRaw { .. });
             run_swp(
-                c, &buffers, granule, iterations, staged, scaled, &mut gpu, &mut totals,
-                &mut launches, opts.retry, &mut retries, &mut ckpt, &mut trace,
+                c,
+                &buffers,
+                granule,
+                iterations,
+                staged,
+                scaled,
+                sm_offset,
+                &mut gpu,
+                &mut totals,
+                &mut launches,
+                opts.retry,
+                &mut retries,
+                &mut ckpt,
+                &mut trace,
             )?;
         }
         Scheme::Serial { .. } => {
             run_serial(
-                c, &buffers, granule, iterations, scaled, &mut gpu, &mut totals, &mut launches,
-                opts.retry, &mut retries, &mut ckpt, &mut trace,
+                c,
+                &buffers,
+                granule,
+                iterations,
+                scaled,
+                sm_offset,
+                &mut gpu,
+                &mut totals,
+                &mut launches,
+                opts.retry,
+                &mut retries,
+                &mut ckpt,
+                &mut trace,
             )?;
         }
     }
+
+    // The simulated-retry counter is exact even in scaled mode (where
+    // merged steady-window stats are extrapolated, not re-simulated).
+    totals.retries = retries;
 
     let outputs = if scaled {
         Vec::new()
@@ -438,12 +494,7 @@ fn execute_inner(
 /// # Errors
 ///
 /// As for [`execute`].
-pub fn measure(
-    c: &Compiled,
-    scheme: Scheme,
-    iterations: u64,
-    input: &[Scalar],
-) -> Result<GpuRun> {
+pub fn measure(c: &Compiled, scheme: Scheme, iterations: u64, input: &[Scalar]) -> Result<GpuRun> {
     execute_inner(c, scheme, iterations, input, true, &RunOptions::default())
 }
 
@@ -573,7 +624,8 @@ impl Checkpointer {
                 let next = 1 - self.current;
                 if let Some(shadow) = self.shadow {
                     for (i, &w) in self.committed.iter().enumerate() {
-                        gpu.memory_mut().write(u64::from(shadow[next]) + i as u64, w)?;
+                        gpu.memory_mut()
+                            .write(u64::from(shadow[next]) + i as u64, w)?;
                     }
                 }
                 self.current = next;
@@ -598,7 +650,9 @@ impl Checkpointer {
         // trusting it.
         if let Some(shadow) = self.shadow {
             for (i, &expect) in self.committed.iter().enumerate() {
-                let got = gpu.memory().read(u64::from(shadow[self.current]) + i as u64)?;
+                let got = gpu
+                    .memory()
+                    .read(u64::from(shadow[self.current]) + i as u64)?;
                 if got != expect {
                     return Err(Error::Api(format!(
                         "double-buffered checkpoint corrupt: shadow word {i} \
@@ -640,6 +694,7 @@ fn run_launch_retrying(
     loop {
         match gpu.run(launch) {
             Ok(mut stats) => {
+                stats.retries = u64::from(attempt);
                 if fault_cycles > 0.0 || ckpt_cycles > 0.0 {
                     stats.fault_overhead_cycles += fault_cycles + ckpt_cycles;
                     stats.checkpoint_cycles += ckpt_cycles;
@@ -680,6 +735,7 @@ fn run_swp(
     iterations: u64,
     staged: bool,
     scaled: bool,
+    sm_offset: u32,
     gpu: &mut Gpu,
     totals: &mut LaunchStats,
     launches: &mut u64,
@@ -703,6 +759,7 @@ fn run_swp(
             threads_per_block: c.exec_cfg.threads_per_block,
             regs_per_thread: c.exec_cfg.regs_per_thread,
             blocks: swp_blocks(c, buffers, &order, r, coarsening, kernel_iters, staged)?,
+            sm_offset,
         };
         run_launch_retrying(gpu, &launch, retry, retries, ckpt)
             .map_err(|e| e.in_context(format!("software-pipelined kernel iteration {r}")))
@@ -753,6 +810,7 @@ fn run_serial(
     batch: u32,
     iterations: u64,
     scaled: bool,
+    sm_offset: u32,
     gpu: &mut Gpu,
     totals: &mut LaunchStats,
     launches: &mut u64,
@@ -772,14 +830,14 @@ fn run_serial(
                 threads_per_block: c.exec_cfg.threads[node.0 as usize],
                 regs_per_thread: c.exec_cfg.regs_per_thread,
                 blocks: serial_blocks(c, buffers, node, batch, batch_no)?,
+                sm_offset,
             };
-            let stats = run_launch_retrying(gpu, &launch, retry, retries, ckpt)
-                .map_err(|e| {
-                    e.in_context(format!(
-                        "serial kernel for filter '{}' (batch {batch_no})",
-                        c.graph.node(node).name
-                    ))
-                })?;
+            let stats = run_launch_retrying(gpu, &launch, retry, retries, ckpt).map_err(|e| {
+                e.in_context(format!(
+                    "serial kernel for filter '{}' (batch {batch_no})",
+                    c.graph.node(node).name
+                ))
+            })?;
             if !scaled {
                 trace.push(stats.cycles);
             }
@@ -884,14 +942,12 @@ pub(crate) fn instance_exec<'a>(
     let mut inputs = vec![None; work.input_ports().len()];
     for e in c.graph.in_edges(node) {
         let edge = c.graph.edge(e);
-        inputs[edge.dst_port as usize] =
-            Some(buffers.consumer_binding(&c.ig, e.0 as usize, b, k));
+        inputs[edge.dst_port as usize] = Some(buffers.consumer_binding(&c.ig, e.0 as usize, b, k));
     }
     let mut outputs = vec![None; work.output_ports().len()];
     for e in c.graph.out_edges(node) {
         let edge = c.graph.edge(e);
-        outputs[edge.src_port as usize] =
-            Some(buffers.producer_binding(&c.ig, e.0 as usize, b, k));
+        outputs[edge.src_port as usize] = Some(buffers.producer_binding(&c.ig, e.0 as usize, b, k));
     }
     if c.graph.input() == Some(node) {
         inputs[0] = Some(buffers.input_binding(b, k));
@@ -1007,10 +1063,7 @@ mod tests {
             &CpuCostModel::default(),
         )
         .unwrap();
-        assert!(
-            !run.outputs.is_empty(),
-            "the GPU run must produce output"
-        );
+        assert!(!run.outputs.is_empty(), "the GPU run must produce output");
         assert!(
             run.outputs.len() <= cpu_run.outputs.len(),
             "CPU run covers the GPU emission"
@@ -1087,7 +1140,10 @@ mod tests {
             b.for_loop(0, 1024, |f, _| {
                 let x = f.local(ElemTy::I32);
                 vec![
-                    streamir::ir::Stmt::Pop { port: 0, dst: Some(x) },
+                    streamir::ir::Stmt::Pop {
+                        port: 0,
+                        dst: Some(x),
+                    },
                     streamir::ir::Stmt::Assign(acc, Expr::local(acc).add(Expr::local(x))),
                 ]
             });
@@ -1228,6 +1284,7 @@ mod tests {
             ),
             retry: RetryPolicy { max_attempts: 8 },
             checkpoint: CheckpointSpec::Auto,
+            placement: None,
         };
         let faulted = execute_with(&c, scheme, iters, &input, &opts).unwrap();
         assert_eq!(
@@ -1259,6 +1316,7 @@ mod tests {
             fault_plan: Some(plan.clone()),
             retry: RetryPolicy { max_attempts: 3 },
             checkpoint: CheckpointSpec::Auto,
+            placement: None,
         };
         let e = execute_with(&c, Scheme::Swp { coarsening: 1 }, iters, &input, &opts).unwrap_err();
         match e {
@@ -1270,6 +1328,7 @@ mod tests {
             fault_plan: Some(plan),
             retry: RetryPolicy { max_attempts: 4 },
             checkpoint: CheckpointSpec::Auto,
+            placement: None,
         };
         let run = execute_with(&c, Scheme::Swp { coarsening: 1 }, iters, &input, &opts).unwrap();
         assert_eq!(run.retries, 3);
@@ -1284,6 +1343,7 @@ mod tests {
             fault_plan: Some(FaultPlan::new(77).with_launch_failures(200)),
             retry: RetryPolicy { max_attempts: 8 },
             checkpoint: CheckpointSpec::Auto,
+            placement: None,
         };
         let faulted = execute_with(&c, scheme, iters, &input, &opts).unwrap();
         assert_eq!(clean.outputs, faulted.outputs);

@@ -132,12 +132,7 @@ pub fn build_model(
 
     // Symmetry breaking: pin instance 0 to SM 0 (WLOG under SM renaming).
     if n > 0 && p_max > 1 {
-        m.named_constraint(
-            "sym",
-            m.expr().term(w[0][0], 1.0),
-            Sense::Eq,
-            1.0,
-        );
+        m.named_constraint("sym", m.expr().term(w[0][0], 1.0), Sense::Eq, 1.0);
     }
 
     // (2): per-SM capacity, minus the fault-retry reserve.
@@ -146,7 +141,12 @@ pub fn build_model(
         for (i, &(v, _)) in ig.list.iter().enumerate() {
             expr = expr.term(w[i][p], delay_of(v) as f64);
         }
-        m.named_constraint(format!("cap_{p}"), expr, Sense::Le, t - fault_reserve as f64);
+        m.named_constraint(
+            format!("cap_{p}"),
+            expr,
+            Sense::Le,
+            t - fault_reserve as f64,
+        );
     }
 
     // (7) + (8) per unique dependence.
@@ -164,20 +164,31 @@ pub fn build_model(
                 // g >= w_c,p - w_u,p  and  g >= w_u,p - w_c,p.
                 m.named_constraint(
                     format!("g{di}_p{p}_a"),
-                    m.expr().term(w[c][p], 1.0).term(w[u][p], -1.0).term(gv, -1.0),
+                    m.expr()
+                        .term(w[c][p], 1.0)
+                        .term(w[u][p], -1.0)
+                        .term(gv, -1.0),
                     Sense::Le,
                     0.0,
                 );
                 m.named_constraint(
                     format!("g{di}_p{p}_b"),
-                    m.expr().term(w[u][p], 1.0).term(w[c][p], -1.0).term(gv, -1.0),
+                    m.expr()
+                        .term(w[u][p], 1.0)
+                        .term(w[c][p], -1.0)
+                        .term(gv, -1.0),
                     Sense::Le,
                     0.0,
                 );
             }
         } else {
             // Self-dependence (tight recurrence): always same SM.
-            m.named_constraint(format!("g{di}_self"), m.expr().term(gv, 1.0), Sense::Eq, 0.0);
+            m.named_constraint(
+                format!("g{di}_self"),
+                m.expr().term(gv, 1.0),
+                Sense::Eq,
+                0.0,
+            );
         }
         // Iteration lags tighten for coarsened execution (see
         // schedule::validate): truncating division = ceiling on negatives.

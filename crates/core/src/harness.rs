@@ -12,7 +12,7 @@ use streamir::cpu::{self, CpuCostModel};
 use streamir::graph::FlatGraph;
 use streamir::ir::Scalar;
 
-use crate::exec::{self, Compiled, CompileOptions, GpuRun, Scheme};
+use crate::exec::{self, CompileOptions, Compiled, GpuRun, Scheme};
 use crate::plan::{self, LayoutKind};
 use crate::schedule::SearchReport;
 use crate::{Error, Result};
@@ -201,10 +201,7 @@ pub fn run(
             .max(1);
         let max_batch = (table2_bytes / per_iter_bytes).max(1);
         let mut b = 1u64;
-        while b * 2 <= max_batch
-            && opts.iterations.is_multiple_of(b * 2)
-            && b < 256
-        {
+        while b * 2 <= max_batch && opts.iterations.is_multiple_of(b * 2) && b < 256 {
             b *= 2;
         }
         b as u32
@@ -227,19 +224,23 @@ pub fn run(
     let gpu_input = input_gen(max_need as usize);
     let measure = |scheme: Scheme, label: &str| -> Result<SchemeResult> {
         let run = exec::measure(&compiled, scheme, opts.iterations, &gpu_input)?;
-        Ok(scheme_result(label, &compiled, &run, cpu_secs_per_token, opts))
+        Ok(scheme_result(
+            label,
+            &compiled,
+            &run,
+            cpu_secs_per_token,
+            opts,
+        ))
     };
 
     let mut swp = Vec::new();
     for &c in &opts.coarsenings {
-        swp.push((c, measure(Scheme::Swp { coarsening: c }, &format!("SWP{c}"))?));
+        swp.push((
+            c,
+            measure(Scheme::Swp { coarsening: c }, &format!("SWP{c}"))?,
+        ));
     }
-    let swpnc = measure(
-        Scheme::SwpNc {
-            coarsening: 8,
-        },
-        "SWPNC",
-    )?;
+    let swpnc = measure(Scheme::SwpNc { coarsening: 8 }, "SWPNC")?;
     let serial = measure(
         Scheme::Serial {
             batch: serial_batch,

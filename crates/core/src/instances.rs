@@ -11,13 +11,14 @@
 //! at most `⌈I/O⌉ + 1` per edge and consumer instance).
 
 use numeric::lcm;
+use serde::Serialize;
 use streamir::graph::{EdgeId, FlatGraph, NodeId};
 use streamir::sdf;
 
 use crate::{Error, Result};
 
 /// The execution configuration the profiling phase selects (Figure 7).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct ExecConfig {
     /// Register limit per thread (uniform: all filters compile as one unit).
     pub regs_per_thread: u32,
@@ -120,7 +121,10 @@ impl InstanceGraph {
     /// Panics if `k >= reps[node]`.
     #[must_use]
     pub fn inst(&self, node: NodeId, k: u32) -> InstId {
-        assert!(k < self.reps[node.0 as usize], "instance index out of range");
+        assert!(
+            k < self.reps[node.0 as usize],
+            "instance index out of range"
+        );
         InstId(self.first[node.0 as usize] + k)
     }
 
@@ -271,7 +275,9 @@ pub fn build(graph: &FlatGraph, config: &ExecConfig) -> Result<InstanceGraph> {
                 init_prod: 0,
                 init_cons: 0,
                 resident: e.initial.len() as u64,
-                tokens_per_iter: u64::from(reps[e.dst.0 as usize]) * u64::from(pop) * u64::from(t_v),
+                tokens_per_iter: u64::from(reps[e.dst.0 as usize])
+                    * u64::from(pop)
+                    * u64::from(t_v),
             }
         })
         .collect();
@@ -317,9 +323,11 @@ pub fn build(graph: &FlatGraph, config: &ExecConfig) -> Result<InstanceGraph> {
     }
     let mut init_u32: Vec<u32> = Vec::with_capacity(init.len());
     for v in init {
-        init_u32.push(u32::try_from(v).map_err(|_| {
-            Error::Api(format!("initialization firing count {v} overflows u32"))
-        })?);
+        init_u32.push(
+            u32::try_from(v).map_err(|_| {
+                Error::Api(format!("initialization firing count {v} overflows u32"))
+            })?,
+        );
     }
     let init = init_u32;
 
@@ -349,14 +357,14 @@ pub fn build(graph: &FlatGraph, config: &ExecConfig) -> Result<InstanceGraph> {
         for k in 0..kv {
             let lo_token = i128::from(k) * big_i - m; // first needed, 0-based
             let hi_token = (i128::from(k) + 1) * big_i + slack - m; // one past last
-            // A window at or below zero is covered by resident tokens —
-            // but in the steady state those residents were produced by
-            // *earlier pipeline iterations*, so the dependences still
-            // exist, with negative producer indices (jlag < 0).
-            // Note: lo_token may be negative — those tokens are resident,
-            // produced by earlier pipeline iterations (jlag < 0). The
-            // dependence still constrains the schedule, exactly as the
-            // paper's l ∈ [1, I] enumeration does.
+                                                                    // A window at or below zero is covered by resident tokens —
+                                                                    // but in the steady state those residents were produced by
+                                                                    // *earlier pipeline iterations*, so the dependences still
+                                                                    // exist, with negative producer indices (jlag < 0).
+                                                                    // Note: lo_token may be negative — those tokens are resident,
+                                                                    // produced by earlier pipeline iterations (jlag < 0). The
+                                                                    // dependence still constrains the schedule, exactly as the
+                                                                    // paper's l ∈ [1, I] enumeration does.
             let p_first = lo_token.div_euclid(big_o);
             let p_last = ceil_div(hi_token, big_o) - 1;
             for p in p_first..=p_last {
@@ -365,9 +373,8 @@ pub fn build(graph: &FlatGraph, config: &ExecConfig) -> Result<InstanceGraph> {
                 let kp = u32::try_from(kp).map_err(|_| {
                     Error::Api(format!("producer instance index {kp} overflows u32"))
                 })?;
-                let jlag = i64::try_from(jlag).map_err(|_| {
-                    Error::Api(format!("iteration lag {jlag} overflows i64"))
-                })?;
+                let jlag = i64::try_from(jlag)
+                    .map_err(|_| Error::Api(format!("iteration lag {jlag} overflows i64")))?;
                 deps.push(Dep {
                     consumer: InstId(first[e.dst.0 as usize] + k),
                     producer: InstId(first[e.src.0 as usize] + kp),
@@ -412,11 +419,7 @@ pub fn build(graph: &FlatGraph, config: &ExecConfig) -> Result<InstanceGraph> {
         }
     }
 
-    let stateful = graph
-        .nodes()
-        .iter()
-        .map(|n| n.work.is_stateful())
-        .collect();
+    let stateful = graph.nodes().iter().map(|n| n.work.is_stateful()).collect();
     Ok(InstanceGraph {
         reps,
         init,

@@ -42,6 +42,7 @@ pub mod plan;
 pub mod profile;
 pub mod report;
 pub mod schedule;
+pub mod serve;
 pub mod verify;
 
 mod error;

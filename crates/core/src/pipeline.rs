@@ -34,6 +34,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use gpusim::FaultPlan;
+use serde::Serialize;
 use streamir::graph::FlatGraph;
 
 use crate::exec::{compile_front, CompileOptions, Compiled, RunOptions, Scheme};
@@ -43,7 +44,7 @@ use crate::schedule::{self, Schedule, SchedulerKind, SearchOptions, SearchReport
 use crate::{verify, Error, Result};
 
 /// One rung of the degradation ladder, from most to least preferred.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
 pub enum LadderRung {
     /// The exact ILP at the lower-bound II.
     ExactIlp,
@@ -67,7 +68,7 @@ impl fmt::Display for LadderRung {
 }
 
 /// What happened when one rung was tried.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub enum RungOutcome {
     /// The rung produced the shipped artifact.
     Shipped,
@@ -79,7 +80,7 @@ pub enum RungOutcome {
 }
 
 /// One ladder attempt, for the report.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RungAttempt {
     /// Which rung.
     pub rung: LadderRung,
@@ -100,7 +101,7 @@ pub struct RungAttempt {
 
 /// How the fault-aware scheduler spends the fault plan's expected retry
 /// overhead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
 pub enum FaultPolicy {
     /// Schedule at the nominal II — maximum steady-state throughput;
     /// retries surface as per-launch latency spikes.
@@ -124,7 +125,7 @@ impl fmt::Display for FaultPolicy {
 
 /// The record of a resilient compilation: which rung shipped and what
 /// every earlier rung did.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DegradationReport {
     /// The rung whose artifact shipped.
     pub shipped: LadderRung,

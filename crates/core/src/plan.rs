@@ -12,6 +12,7 @@
 //!   order (the SWPNC baseline).
 
 use gpusim::{CheckpointMode, FaultPlan, Layout, TimingModel};
+use serde::Serialize;
 use streamir::graph::{EdgeId, FlatGraph};
 
 use crate::instances::InstanceGraph;
@@ -129,7 +130,7 @@ pub fn plan(
 /// executor should protect stateful state with, what it costs, and the
 /// numbers that drove the choice — so reports can show the tradeoff, not
 /// just the winner.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CheckpointPlan {
     /// The selected (cheaper) mode.
     pub mode: CheckpointMode,
@@ -246,7 +247,10 @@ mod tests {
         let sched = heuristic::schedule(&ig, &cfg, 2, 1, 1, 0).unwrap();
         let p = plan(&g, &ig, Some(&sched), 1, LayoutKind::Optimized);
         if sched.sm_of[0] != sched.sm_of[1] {
-            assert!(p.edges[0].regions >= 2, "cross-SM edge needs double buffering");
+            assert!(
+                p.edges[0].regions >= 2,
+                "cross-SM edge needs double buffering"
+            );
         }
         // Serial plan (no schedule) stays single-buffered.
         let ps = plan(&g, &ig, None, 1, LayoutKind::Sequential);
@@ -303,7 +307,9 @@ mod tests {
     }
 
     fn fault_plan_with_rates() -> FaultPlan {
-        FaultPlan::new(7).with_launch_failures(100).with_mem_corruptions(50)
+        FaultPlan::new(7)
+            .with_launch_failures(100)
+            .with_mem_corruptions(50)
     }
 
     #[test]

@@ -102,12 +102,7 @@ impl ProfileTable {
     /// normalisation is what actually drives the paper's preference for
     /// high thread counts — until register pressure (spills) pushes back.
     #[must_use]
-    pub fn best_thread_idx(
-        &self,
-        node: NodeId,
-        reg_idx: usize,
-        max_threads: u32,
-    ) -> Option<usize> {
+    pub fn best_thread_idx(&self, node: NodeId, reg_idx: usize, max_threads: u32) -> Option<usize> {
         (0..self.thread_counts.len())
             .filter(|&ti| self.thread_counts[ti] <= max_threads)
             .filter_map(|ti| {
@@ -154,7 +149,9 @@ pub fn profile(
         for &regs in &opts.reg_limits {
             let mut per_thr = Vec::with_capacity(opts.thread_counts.len());
             for &threads in &opts.thread_counts {
-                per_thr.push(profile_one(graph, node, regs, threads, opts, device, timing)?);
+                per_thr.push(profile_one(
+                    graph, node, regs, threads, opts, device, timing,
+                )?);
             }
             per_reg.push(per_thr);
         }
@@ -204,9 +201,7 @@ fn profile_one(
             abs_start: 0,
         };
         for i in 0..u64::from(tokens) {
-            let slot = binding
-                .layout
-                .slot(i, pop.max(1), u64::from(tokens));
+            let slot = binding.layout.slot(i, pop.max(1), u64::from(tokens));
             gpu.memory_mut()
                 .write_token(base + slot as u32, synthetic_token(ty, i));
         }
@@ -254,14 +249,11 @@ fn profile_one(
                 label: Some(format!("profile:{}", graph.node(node).name)),
             }],
         }],
+        sm_offset: 0,
     };
     match gpu.run(&launch) {
         Ok(stats) => Ok(Some(
-            stats
-                .per_sm_cycles
-                .iter()
-                .copied()
-                .fold(0.0f64, f64::max),
+            stats.per_sm_cycles.iter().copied().fold(0.0f64, f64::max),
         )),
         Err(SimError::LaunchConfig(_)) => Ok(None),
         Err(e) => Err(crate::Error::sim_while(

@@ -68,9 +68,7 @@ pub fn schedule_table(c: &Compiled) -> String {
     }
     let num_sms = c.device.num_sms;
     for sm in 0..num_sms {
-        let mut rows: Vec<usize> = (0..c.ig.len())
-            .filter(|&i| sched.sm_of[i] == sm)
-            .collect();
+        let mut rows: Vec<usize> = (0..c.ig.len()).filter(|&i| sched.sm_of[i] == sm).collect();
         if rows.is_empty() {
             continue;
         }
@@ -305,8 +303,14 @@ mod tests {
         let err_at = text.find("error[V0201]").unwrap();
         let info_at = text.find("info[V0203]").unwrap();
         assert!(err_at < info_at, "{text}");
-        assert!(text.contains("--> filter 'fft', pop[in0]#0, channel #3"), "{text}");
-        assert!(text.contains("verification: FAIL — 1 error(s), 0 warning(s), 1 note(s)"), "{text}");
+        assert!(
+            text.contains("--> filter 'fft', pop[in0]#0, channel #3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("verification: FAIL — 1 error(s), 0 warning(s), 1 note(s)"),
+            "{text}"
+        );
         assert!(render_diagnostics(&[]).contains("verification: ok"));
     }
 
@@ -350,7 +354,10 @@ mod tests {
 
         let timing = TimingModel::gts512();
         let stateless = plan::checkpoint_plan(&compiled().graph, &timing, None);
-        assert_eq!(checkpoint_summary(&stateless), "checkpoint: none (stateless graph)");
+        assert_eq!(
+            checkpoint_summary(&stateless),
+            "checkpoint: none (stateless graph)"
+        );
 
         let mut b = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);
         let acc = b.state(ElemTy::I32, Scalar::I32(0));

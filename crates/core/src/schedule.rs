@@ -1,14 +1,33 @@
 //! Schedules, validation, the heuristic scheduler, and the II search loop.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+use serde::Serialize;
 
 use crate::instances::{ExecConfig, InstanceGraph};
 use crate::{Error, Result};
 
+/// Process-wide count of scheduler entries ([`find`] calls and direct
+/// [`heuristic::schedule`] calls). The compilation cache's tests assert
+/// this stays flat across a cache hit — the observable proof that a hit
+/// served a stored schedule instead of re-running the search.
+static SEARCH_INVOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+fn note_search_invocation() {
+    SEARCH_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Scheduler entries since process start (monotone; never reset).
+#[must_use]
+pub fn search_invocations() -> u64 {
+    SEARCH_INVOCATIONS.load(Ordering::Relaxed)
+}
+
 /// A software-pipelined schedule: for every instance, its SM assignment
 /// (`w`), its offset within the kernel (`o`), and its pipeline stage (`f`)
 /// — the linear-form schedule `σ(j,k,v) = T·(j + f) + o` of the paper.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Schedule {
     /// The initiation interval `T`.
     pub ii: u64,
@@ -79,8 +98,7 @@ pub fn validate(
             return Err(Error::InvalidSchedule {
                 message: format!(
                     "wraps: o={} d={} T={t}",
-                    sched.offset[i],
-                    config.delay[v.0 as usize]
+                    sched.offset[i], config.delay[v.0 as usize]
                 ),
                 instance: Some((v.0, k)),
                 stage: Some(sched.stage[i]),
@@ -169,6 +187,7 @@ pub mod heuristic {
         coarsening_max: u32,
         fault_reserve: u64,
     ) -> Result<Schedule> {
+        super::note_search_invocation();
         let n = ig.len();
         // --- Assignment: longest-processing-time greedy over groups. ---
         // Instances on a dependence cycle (stateful chains with their
@@ -196,9 +215,7 @@ pub mod heuristic {
         let mut load = vec![0u64; num_sms as usize];
         let mut sm_of = vec![0u32; n];
         for g in &groups {
-            let p = (0..num_sms as usize)
-                .min_by_key(|&p| load[p])
-                .unwrap_or(0);
+            let p = (0..num_sms as usize).min_by_key(|&p| load[p]).unwrap_or(0);
             for &i in g {
                 sm_of[i] = p as u32;
             }
@@ -420,7 +437,7 @@ impl Default for SearchOptions {
 
 /// How the schedule was found, for reporting (the paper's Section V
 /// discussion of solve times and II relaxation).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SearchReport {
     /// The search's starting point: `max(ResMII, RecMII, max d)` plus the
     /// fault reserve when one was requested.
@@ -467,6 +484,7 @@ pub fn find(
     num_sms: u32,
     opts: &SearchOptions,
 ) -> Result<(Schedule, SearchReport)> {
+    note_search_invocation();
     let start = Instant::now();
     let res_mii = ig.res_mii(config, num_sms);
     let rec_mii = ig.rec_mii(config);
@@ -508,8 +526,7 @@ pub fn find(
             };
             match ilp::solve(&model, &solve_opts) {
                 ilp::SolveOutcome::Optimal(sol) | ilp::SolveOutcome::Feasible(sol) => {
-                    let mut sched =
-                        crate::formulate::extract_schedule(ig, &handles, &sol, ii);
+                    let mut sched = crate::formulate::extract_schedule(ig, &handles, &sol, ii);
                     sched.normalize();
                     validate(ig, config, &sched, num_sms, opts.coarsening_max)?;
                     let report = SearchReport {
@@ -592,7 +609,9 @@ mod tests {
     }
 
     fn chain(n: usize) -> (InstanceGraph, ExecConfig) {
-        let stages: Vec<StreamSpec> = (0..n).map(|i| rate_filter(&format!("f{i}"), 1, 1)).collect();
+        let stages: Vec<StreamSpec> = (0..n)
+            .map(|i| rate_filter(&format!("f{i}"), 1, 1))
+            .collect();
         let g = StreamSpec::pipeline(stages).flatten().unwrap();
         let cfg = ExecConfig::uniform(n, 4, 16, 10);
         let ig = instances::build(&g, &cfg).unwrap();
@@ -669,7 +688,9 @@ mod tests {
             stage: vec![0, 1, 2],
         };
         let e = validate(&ig, &cfg, &bad, 1, 1).unwrap_err();
-        assert!(matches!(e, Error::InvalidSchedule { ref message, .. } if message.contains("overloaded")));
+        assert!(
+            matches!(e, Error::InvalidSchedule { ref message, .. } if message.contains("overloaded"))
+        );
     }
 
     #[test]
@@ -682,7 +703,9 @@ mod tests {
             stage: vec![0, 0],
         };
         let e = validate(&ig, &cfg, &bad, 1, 1).unwrap_err();
-        assert!(matches!(e, Error::InvalidSchedule { ref message, .. } if message.contains("dependence")));
+        assert!(
+            matches!(e, Error::InvalidSchedule { ref message, .. } if message.contains("dependence"))
+        );
     }
 
     #[test]
@@ -695,7 +718,9 @@ mod tests {
             stage: vec![0, 0], // same iteration across SMs: illegal
         };
         let e = validate(&ig, &cfg, &bad, 2, 1).unwrap_err();
-        assert!(matches!(e, Error::InvalidSchedule { ref message, .. } if message.contains("cross-SM")));
+        assert!(
+            matches!(e, Error::InvalidSchedule { ref message, .. } if message.contains("cross-SM"))
+        );
     }
 
     #[test]
@@ -708,7 +733,9 @@ mod tests {
             stage: vec![0],
         };
         let e = validate(&ig, &cfg, &bad, 1, 1).unwrap_err();
-        assert!(matches!(e, Error::InvalidSchedule { ref message, .. } if message.contains("wraps")));
+        assert!(
+            matches!(e, Error::InvalidSchedule { ref message, .. } if message.contains("wraps"))
+        );
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Admission control with bounded queues and compile-effort shedding.
+//!
+//! Each tenant's backlog (admitted jobs not yet finished at the arrival
+//! instant) is bounded; a job arriving at a full queue is rejected with
+//! a `retry_after` hint instead of growing the queue without bound, so
+//! p99 latency stays finite under saturating arrivals.
+//!
+//! Below the hard bound, queue pressure degrades *compile effort* before
+//! it degrades *admission*: an elevated queue compiles at the heuristic
+//! rung (ILP budgets zeroed) and a near-saturated queue compiles at the
+//! serial-SAS rung (all ladder budgets zeroed), trading schedule quality
+//! for compile latency exactly the way
+//! [`crate::pipeline::ResilientPipeline`]'s degradation ladder already
+//! knows how to do.
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+use crate::pipeline::StageBudgets;
+
+/// Queue pressure at the arrival instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Pressure {
+    /// Below half the bound: full ladder.
+    Nominal,
+    /// At or above half the bound: skip the ILP rungs.
+    Elevated,
+    /// At or above three quarters of the bound: serial-SAS only.
+    Saturated,
+}
+
+/// The admission verdict for one arrival.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// Admit, compiling under the pressure's budget preset.
+    Admit(Pressure),
+    /// Queue full: come back after the backlog drains a slot.
+    Reject {
+        /// Seconds until a queue slot is expected to free.
+        retry_after_secs: f64,
+    },
+}
+
+/// Bounded-queue admission controller (per-tenant bound).
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    /// Maximum jobs a tenant may have in flight (queued + running).
+    pub max_queue: usize,
+}
+
+impl AdmissionController {
+    /// A controller bounding each tenant at `max_queue` in-flight jobs
+    /// (floored at 1).
+    #[must_use]
+    pub fn new(max_queue: usize) -> AdmissionController {
+        AdmissionController {
+            max_queue: max_queue.max(1),
+        }
+    }
+
+    /// Decides one arrival given the tenant's current `backlog` and, for
+    /// the reject hint, the seconds until its earliest in-flight job
+    /// finishes.
+    #[must_use]
+    pub fn decide(&self, backlog: usize, earliest_finish_in: f64) -> Decision {
+        if backlog >= self.max_queue {
+            return Decision::Reject {
+                retry_after_secs: earliest_finish_in.max(0.0),
+            };
+        }
+        Decision::Admit(self.pressure(backlog))
+    }
+
+    /// The pressure band for a backlog below the bound.
+    #[must_use]
+    pub fn pressure(&self, backlog: usize) -> Pressure {
+        if backlog * 4 >= self.max_queue * 3 {
+            Pressure::Saturated
+        } else if backlog * 2 >= self.max_queue {
+            Pressure::Elevated
+        } else {
+            Pressure::Nominal
+        }
+    }
+}
+
+/// The ladder budgets a pressure band compiles under. Zero budgets make
+/// [`crate::pipeline::ResilientPipeline`] skip rungs: `Elevated` lands on
+/// the heuristic rung, `Saturated` on serial SAS (which has no budget
+/// gate and always runs).
+#[must_use]
+pub fn budgets_for(pressure: Pressure, base: &StageBudgets) -> StageBudgets {
+    match pressure {
+        Pressure::Nominal => base.clone(),
+        Pressure::Elevated => StageBudgets {
+            exact_ilp: Duration::ZERO,
+            relaxed_ilp: Duration::ZERO,
+            heuristic: base.heuristic,
+        },
+        Pressure::Saturated => StageBudgets {
+            exact_ilp: Duration::ZERO,
+            relaxed_ilp: Duration::ZERO,
+            heuristic: Duration::ZERO,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_bands_partition_the_queue() {
+        let a = AdmissionController::new(8);
+        assert_eq!(a.pressure(0), Pressure::Nominal);
+        assert_eq!(a.pressure(3), Pressure::Nominal);
+        assert_eq!(a.pressure(4), Pressure::Elevated);
+        assert_eq!(a.pressure(5), Pressure::Elevated);
+        assert_eq!(a.pressure(6), Pressure::Saturated);
+        assert_eq!(a.pressure(7), Pressure::Saturated);
+        assert!(matches!(a.decide(8, 1.5), Decision::Reject { .. }));
+    }
+
+    #[test]
+    fn reject_carries_the_drain_hint() {
+        let a = AdmissionController::new(2);
+        match a.decide(2, 3.25) {
+            Decision::Reject { retry_after_secs } => {
+                assert!((retry_after_secs - 3.25).abs() < 1e-12);
+            }
+            other => panic!("expected reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_presets_zero_the_right_rungs() {
+        let base = StageBudgets::default();
+        let nominal = budgets_for(Pressure::Nominal, &base);
+        assert_eq!(nominal, base);
+        let elevated = budgets_for(Pressure::Elevated, &base);
+        assert_eq!(elevated.exact_ilp, Duration::ZERO);
+        assert_eq!(elevated.relaxed_ilp, Duration::ZERO);
+        assert_eq!(elevated.heuristic, base.heuristic);
+        let saturated = budgets_for(Pressure::Saturated, &base);
+        assert_eq!(saturated.heuristic, Duration::ZERO);
+    }
+}

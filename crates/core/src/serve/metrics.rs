@@ -1,0 +1,196 @@
+//! Per-tenant serving metrics and the serializable serve report.
+//!
+//! Counters accumulate as jobs finish; [`ServeReport`] snapshots them
+//! into percentiles, rates, and utilization shares for JSON export
+//! (`BENCH_serve.json`, dashboards, tests).
+
+use serde::Serialize;
+
+use crate::pipeline::FaultPolicy;
+use crate::serve::cache::CacheStats;
+use crate::serve::partition::Slice;
+
+/// Running counters for one tenant.
+#[derive(Debug, Clone, Default)]
+pub struct ServeMetrics {
+    /// Jobs admitted and completed.
+    pub jobs_accepted: u64,
+    /// Jobs rejected by admission control.
+    pub jobs_rejected: u64,
+    /// Output tokens produced across completed jobs.
+    pub tokens_out: u64,
+    /// Seconds the tenant's slice spent busy (modeled service time).
+    pub busy_secs: f64,
+    /// Kernel launches issued.
+    pub launches: u64,
+    /// Launch attempts that faulted and were re-issued.
+    pub retries: u64,
+    /// Simulated cycles across completed jobs.
+    pub cycles: u64,
+    /// The subset of `cycles` attributable to faults (retries,
+    /// checkpoint restores and their protocol overhead).
+    pub fault_overhead_cycles: u64,
+    /// End-to-end latency (arrival → finish) of each completed job.
+    pub latencies: Vec<f64>,
+    /// Compilations served from the cache.
+    pub compile_hits: u64,
+    /// Compilations that ran the ladder.
+    pub compile_misses: u64,
+}
+
+impl ServeMetrics {
+    /// Observed retries per launch — the serving-time measurement of the
+    /// fault rate the compile-time [`FaultPolicy`] reasons about.
+    #[must_use]
+    pub fn retry_rate(&self) -> f64 {
+        if self.launches == 0 {
+            0.0
+        } else {
+            self.retries as f64 / self.launches as f64
+        }
+    }
+
+    /// When the tenant compiles under [`FaultPolicy::Throughput`] but its
+    /// observed retry rate exceeds `threshold`, recommends switching to
+    /// [`FaultPolicy::TailLatency`] (recommendation only — nothing is
+    /// changed). Returns the human-readable recommendation.
+    #[must_use]
+    pub fn recommendation(&self, policy: FaultPolicy, threshold: f64) -> Option<String> {
+        if policy == FaultPolicy::Throughput && self.retry_rate() > threshold {
+            Some(format!(
+                "observed retry rate {:.3} retries/launch exceeds {threshold:.3}; \
+                 consider FaultPolicy::TailLatency so the schedule reserves \
+                 headroom for retries instead of taking latency spikes",
+                self.retry_rate()
+            ))
+        } else {
+            None
+        }
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+}
+
+/// One tenant's row of the serve report.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub tenant: String,
+    /// The SM slice the tenant held when the report was taken.
+    pub slice: Slice,
+    /// Jobs admitted and completed.
+    pub jobs_accepted: u64,
+    /// Jobs rejected by admission control.
+    pub jobs_rejected: u64,
+    /// Output tokens per second of makespan.
+    pub throughput_tokens_per_sec: f64,
+    /// Median end-to-end latency in seconds.
+    pub p50_latency_secs: f64,
+    /// 99th-percentile end-to-end latency in seconds.
+    pub p99_latency_secs: f64,
+    /// Fraction of the makespan the slice was busy.
+    pub slice_utilization: f64,
+    /// Observed retries per launch ([`ServeMetrics::retry_rate`]).
+    pub retry_rate: f64,
+    /// Fraction of simulated cycles spent on fault handling.
+    pub fault_overhead_share: f64,
+    /// Compilations served from the cache.
+    pub compile_hits: u64,
+    /// Compilations that ran the ladder.
+    pub compile_misses: u64,
+    /// The fault-policy recommendation, when one fired.
+    pub recommendation: Option<String>,
+}
+
+/// The whole serving run, serializable to `BENCH_serve.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    /// Virtual seconds from first arrival to last finish.
+    pub makespan_secs: f64,
+    /// Compilation-cache counters.
+    pub cache: CacheStats,
+    /// Aggregate cache hit rate, duplicated out of `cache` for easy
+    /// plotting.
+    pub cache_hit_rate: f64,
+    /// Partition recuts performed by the demand-driven rebalancer.
+    pub rebalances: u64,
+    /// Per-tenant rows, in tenant-name order.
+    pub tenants: Vec<TenantReport>,
+}
+
+impl TenantReport {
+    /// Builds one tenant's row from its counters.
+    #[must_use]
+    pub fn of(
+        tenant: &str,
+        metrics: &ServeMetrics,
+        slice: Slice,
+        makespan_secs: f64,
+        policy: FaultPolicy,
+        retry_warn_threshold: f64,
+    ) -> TenantReport {
+        let span = makespan_secs.max(f64::MIN_POSITIVE);
+        TenantReport {
+            tenant: tenant.to_string(),
+            slice,
+            jobs_accepted: metrics.jobs_accepted,
+            jobs_rejected: metrics.jobs_rejected,
+            throughput_tokens_per_sec: metrics.tokens_out as f64 / span,
+            p50_latency_secs: metrics.percentile(0.50),
+            p99_latency_secs: metrics.percentile(0.99),
+            slice_utilization: metrics.busy_secs / span,
+            retry_rate: metrics.retry_rate(),
+            fault_overhead_share: if metrics.cycles == 0 {
+                0.0
+            } else {
+                metrics.fault_overhead_cycles as f64 / metrics.cycles as f64
+            },
+            compile_hits: metrics.compile_hits,
+            compile_misses: metrics.compile_misses,
+            recommendation: metrics.recommendation(policy, retry_warn_threshold),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_rate_and_recommendation() {
+        let mut m = ServeMetrics {
+            launches: 100,
+            retries: 7,
+            ..ServeMetrics::default()
+        };
+        assert!((m.retry_rate() - 0.07).abs() < 1e-12);
+        assert!(m.recommendation(FaultPolicy::Throughput, 0.05).is_some());
+        assert!(m.recommendation(FaultPolicy::Throughput, 0.10).is_none());
+        // TailLatency already reserves headroom: never recommended again.
+        assert!(m.recommendation(FaultPolicy::TailLatency, 0.0).is_none());
+        m.launches = 0;
+        m.retries = 0;
+        assert_eq!(m.retry_rate(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_from_latencies() {
+        let m = ServeMetrics {
+            latencies: (1..=100).map(f64::from).collect(),
+            ..ServeMetrics::default()
+        };
+        let p50 = m.percentile(0.50);
+        let p99 = m.percentile(0.99);
+        assert!((49.0..=52.0).contains(&p50), "p50 = {p50}");
+        assert!((98.0..=100.0).contains(&p99), "p99 = {p99}");
+        assert!(p99.is_finite());
+    }
+}

@@ -1,0 +1,386 @@
+//! Multi-tenant stream-serving runtime.
+//!
+//! [`Server`] accepts jobs — a stream graph, an input batch, a QoS
+//! class — from named tenants and runs them on spatially-partitioned
+//! slices of one simulated device:
+//!
+//! * **Compilation cache** ([`cache`]): content-addressed by a stable
+//!   hash of the graph and every compile option; hits re-run the static
+//!   verifier but never the scheduler; LRU-bounded in memory with an
+//!   optional JSON disk tier.
+//! * **SM partitioning** ([`partition`]): disjoint contiguous slices per
+//!   tenant, demand-rebalanced from EWMA arrival-rate estimates. Slice
+//!   placement is semantics-preserving: a tenant on a `k`-SM slice gets
+//!   byte- and cycle-identical results to a solo `k`-SM device.
+//! * **Admission control** ([`admission`]): bounded per-tenant queues
+//!   with reject-and-retry-after backpressure; below the bound, queue
+//!   pressure sheds *compile effort* down
+//!   [`crate::pipeline::ResilientPipeline`]'s degradation ladder before
+//!   it sheds jobs.
+//! * **Metrics** ([`metrics`]): per-tenant throughput, p50/p99 latency,
+//!   cache hit rate, slice utilization, retry rate and fault-overhead
+//!   share, exported as a serializable [`ServeReport`].
+//!
+//! Time is virtual: each submitted job is simulated eagerly and its
+//! modeled service time advances a per-tenant busy horizon, so a whole
+//! arrival trace can be served deterministically in one process without
+//! wall-clock sleeps.
+
+pub mod admission;
+pub mod cache;
+pub mod metrics;
+pub mod partition;
+
+use std::collections::BTreeMap;
+
+use gpusim::{DeviceConfig, FaultPlan, TimingModel};
+use streamir::graph::FlatGraph;
+use streamir::ir::Scalar;
+
+use crate::exec::{execute_with, required_input, CompileOptions, RunOptions, SmPlacement};
+use crate::pipeline::{FaultPolicy, LadderRung, PipelineOptions, StageBudgets};
+use crate::profile::ProfileOptions;
+use crate::schedule::{SchedulerKind, SearchOptions};
+use crate::Result;
+
+pub use admission::{budgets_for, AdmissionController, Decision, Pressure};
+pub use cache::{cache_key, CacheOptions, CacheStats, CompilationCache};
+pub use metrics::{ServeMetrics, ServeReport, TenantReport};
+pub use partition::{Partitioner, RateEstimator, Slice};
+
+/// The quality-of-service class a tenant submits under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QosClass {
+    /// Latency-sensitive: compiles under [`FaultPolicy::TailLatency`] so
+    /// the schedule reserves retry headroom.
+    Interactive,
+    /// Throughput-oriented: compiles under [`FaultPolicy::Throughput`].
+    Batch,
+}
+
+impl QosClass {
+    /// The fault policy this class compiles under.
+    #[must_use]
+    pub fn policy(self) -> FaultPolicy {
+        match self {
+            QosClass::Interactive => FaultPolicy::TailLatency,
+            QosClass::Batch => FaultPolicy::Throughput,
+        }
+    }
+}
+
+/// One unit of work: a graph to compile (or hit in the cache) and run
+/// for `iterations` steady-state iterations.
+pub struct Job {
+    /// The submitting tenant.
+    pub tenant: String,
+    /// The stream program.
+    pub graph: FlatGraph,
+    /// Input generator: called with the exact token count the compiled
+    /// program needs for `iterations`.
+    pub input: fn(usize) -> Vec<Scalar>,
+    /// Steady-state iterations to run.
+    pub iterations: u64,
+    /// QoS class (selects the compile-time fault policy).
+    pub qos: QosClass,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// The physical device all tenants share.
+    pub device: DeviceConfig,
+    /// Its timing calibration.
+    pub timing: TimingModel,
+    /// Profiling grid for compilations.
+    pub profile: ProfileOptions,
+    /// Base II-search options (scheduler kind, relaxation loop).
+    pub search: SearchOptions,
+    /// Ladder budgets under nominal queue pressure. The default zeroes
+    /// the ILP rungs: on a serving path a compile is charged against job
+    /// latency, and the heuristic rung compiles the benchmark suite in
+    /// ~100 ms where the ILP rungs take tens of seconds per slice width.
+    /// Deployments that can afford offline compiles (warming a
+    /// persistent cache) can restore [`StageBudgets::default`].
+    pub budgets: StageBudgets,
+    /// Fault plan tenants run under (also baked into compilations).
+    pub fault_plan: Option<FaultPlan>,
+    /// Per-tenant in-flight job bound for admission control.
+    pub max_queue: usize,
+    /// Compilation-cache sizing and persistence.
+    pub cache: CacheOptions,
+    /// Virtual seconds charged for a cache-miss compilation (models the
+    /// compile latency a real deployment would pay on the serving path).
+    pub compile_penalty_secs: f64,
+    /// Retry-rate threshold above which a Throughput tenant gets a
+    /// TailLatency recommendation.
+    pub retry_warn_threshold: f64,
+    /// EWMA weight for arrival-rate estimation.
+    pub rate_alpha: f64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            device: DeviceConfig::gts512(),
+            timing: TimingModel::gts512(),
+            profile: ProfileOptions::small(&[16, 32]),
+            search: SearchOptions {
+                scheduler: SchedulerKind::Heuristic,
+                ..SearchOptions::default()
+            },
+            budgets: StageBudgets {
+                exact_ilp: std::time::Duration::ZERO,
+                relaxed_ilp: std::time::Duration::ZERO,
+                heuristic: std::time::Duration::from_secs(10),
+            },
+            fault_plan: None,
+            max_queue: 8,
+            cache: CacheOptions::default(),
+            compile_penalty_secs: 0.5,
+            retry_warn_threshold: 0.05,
+            rate_alpha: 0.3,
+        }
+    }
+}
+
+/// What happened to a submitted job.
+#[derive(Debug)]
+pub enum Verdict {
+    /// Admitted, compiled (or cache-hit), executed.
+    Completed(Box<JobResult>),
+    /// Rejected by admission control; retry after the hinted delay.
+    Rejected {
+        /// Virtual seconds until a queue slot is expected to free.
+        retry_after_secs: f64,
+    },
+}
+
+/// The record of one completed job.
+#[derive(Debug)]
+pub struct JobResult {
+    /// The program's output stream.
+    pub outputs: Vec<Scalar>,
+    /// Arrival instant (virtual seconds).
+    pub arrival_secs: f64,
+    /// When service began (arrival, or later if the slice was busy).
+    pub start_secs: f64,
+    /// When service finished.
+    pub finish_secs: f64,
+    /// `finish - arrival`.
+    pub latency_secs: f64,
+    /// The modeled execution time alone (no compile penalty, no queue
+    /// wait) — exactly the simulator's total for this run, so a sliced
+    /// run can be compared cycle-exactly against a solo reference.
+    pub exec_secs: f64,
+    /// Whether compilation was served from the cache.
+    pub cache_hit: bool,
+    /// The ladder rung whose artifact ran.
+    pub shipped: LadderRung,
+    /// The SM slice the job ran on.
+    pub slice: Slice,
+    /// Launch attempts that faulted and were re-issued during the run.
+    pub retries: u64,
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    metrics: ServeMetrics,
+    busy_until: f64,
+    /// Finish times of admitted jobs, pruned at each arrival.
+    inflight: Vec<f64>,
+    qos: Option<QosClass>,
+}
+
+/// The multi-tenant serving runtime.
+pub struct Server {
+    opts: ServeOptions,
+    cache: CompilationCache,
+    partitioner: Partitioner,
+    admission: AdmissionController,
+    tenants: BTreeMap<String, TenantState>,
+    now: f64,
+    first_arrival: Option<f64>,
+    last_finish: f64,
+}
+
+impl Server {
+    /// A fresh server over `opts.device`.
+    #[must_use]
+    pub fn new(opts: ServeOptions) -> Server {
+        let cache = CompilationCache::new(opts.cache.clone());
+        let partitioner = Partitioner::new(opts.device.num_sms, opts.rate_alpha);
+        let admission = AdmissionController::new(opts.max_queue);
+        Server {
+            opts,
+            cache,
+            partitioner,
+            admission,
+            tenants: BTreeMap::new(),
+            now: 0.0,
+            first_arrival: None,
+            last_finish: 0.0,
+        }
+    }
+
+    /// Submits a job arriving at virtual time `arrival_secs` (arrivals
+    /// must be non-decreasing; earlier instants are clamped to the
+    /// current clock). The job is simulated eagerly; the verdict carries
+    /// either the completed result or the admission rejection.
+    ///
+    /// # Errors
+    ///
+    /// Compilation or execution errors, and [`crate::Error::Api`] when
+    /// the tenant population would exceed one tenant per SM.
+    pub fn submit(&mut self, job: &Job, arrival_secs: f64) -> Result<Verdict> {
+        let now = arrival_secs.max(self.now);
+        self.now = now;
+        self.first_arrival.get_or_insert(now);
+        self.partitioner.observe(&job.tenant, now)?;
+        let slice = self
+            .partitioner
+            .slice(&job.tenant)
+            .expect("observed tenant has a slice");
+
+        let state = self.tenants.entry(job.tenant.clone()).or_default();
+        state.qos = Some(job.qos);
+        state.inflight.retain(|&f| f > now);
+        let backlog = state.inflight.len();
+        let earliest = state.inflight.iter().copied().fold(f64::INFINITY, f64::min);
+        let decision = self.admission.decide(
+            backlog,
+            if earliest.is_finite() {
+                earliest - now
+            } else {
+                0.0
+            },
+        );
+        let pressure = match decision {
+            Decision::Reject { retry_after_secs } => {
+                state.metrics.jobs_rejected += 1;
+                return Ok(Verdict::Rejected { retry_after_secs });
+            }
+            Decision::Admit(p) => p,
+        };
+
+        let popts = PipelineOptions {
+            compile: CompileOptions {
+                device: DeviceConfig {
+                    num_sms: slice.num_sms,
+                    ..self.opts.device.clone()
+                },
+                timing: self.opts.timing.clone(),
+                profile: self.opts.profile.clone(),
+                search: self.opts.search.clone(),
+            },
+            budgets: budgets_for(pressure, &self.opts.budgets),
+            fault_plan: self.opts.fault_plan.clone(),
+            policy: job.qos.policy(),
+        };
+        let (artifact, cache_hit) = self.cache.get_or_compile(&job.graph, &popts)?;
+
+        let needed = required_input(&artifact.compiled, job.iterations);
+        let input = (job.input)(needed as usize);
+        let run_opts = RunOptions {
+            placement: Some(SmPlacement {
+                device: self.opts.device.clone(),
+                base_sm: slice.base_sm,
+            }),
+            ..artifact.run_options.clone()
+        };
+        let run = execute_with(
+            &artifact.compiled,
+            artifact.scheme,
+            job.iterations,
+            &input,
+            &run_opts,
+        )?;
+
+        let compile_cost = if cache_hit {
+            0.0
+        } else {
+            self.opts.compile_penalty_secs
+        };
+        let state = self
+            .tenants
+            .get_mut(&job.tenant)
+            .expect("tenant state exists");
+        let start = now.max(state.busy_until);
+        let finish = start + compile_cost + run.time_secs;
+        state.busy_until = finish;
+        state.inflight.push(finish);
+        self.last_finish = self.last_finish.max(finish);
+
+        let m = &mut state.metrics;
+        m.jobs_accepted += 1;
+        m.tokens_out += run.outputs.len() as u64;
+        m.busy_secs += compile_cost + run.time_secs;
+        m.launches += run.launches;
+        m.retries += run.retries;
+        m.cycles += run.stats.cycles.round() as u64;
+        m.fault_overhead_cycles += run.stats.fault_overhead_cycles.round() as u64;
+        m.latencies.push(finish - now);
+        if cache_hit {
+            m.compile_hits += 1;
+        } else {
+            m.compile_misses += 1;
+        }
+
+        Ok(Verdict::Completed(Box::new(JobResult {
+            outputs: run.outputs,
+            arrival_secs: now,
+            start_secs: start,
+            finish_secs: finish,
+            latency_secs: finish - now,
+            exec_secs: run.time_secs,
+            cache_hit,
+            shipped: artifact.report.shipped,
+            slice,
+            retries: run.retries,
+        })))
+    }
+
+    /// Compilation-cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// The tenant's current SM slice.
+    #[must_use]
+    pub fn slice(&self, tenant: &str) -> Option<Slice> {
+        self.partitioner.slice(tenant)
+    }
+
+    /// Snapshots the serving run into a serializable report.
+    #[must_use]
+    pub fn report(&self) -> ServeReport {
+        let makespan = (self.last_finish - self.first_arrival.unwrap_or(0.0)).max(0.0);
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|(name, state)| {
+                let slice = self.partitioner.slice(name).unwrap_or(Slice {
+                    base_sm: 0,
+                    num_sms: 0,
+                });
+                let policy = state.qos.map_or(FaultPolicy::Throughput, QosClass::policy);
+                TenantReport::of(
+                    name,
+                    &state.metrics,
+                    slice,
+                    makespan,
+                    policy,
+                    self.opts.retry_warn_threshold,
+                )
+            })
+            .collect();
+        ServeReport {
+            makespan_secs: makespan,
+            cache: self.cache.stats().clone(),
+            cache_hit_rate: self.cache.stats().hit_rate(),
+            rebalances: self.partitioner.rebalances,
+            tenants,
+        }
+    }
+}

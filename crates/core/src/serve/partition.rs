@@ -1,0 +1,305 @@
+//! Spatial SM partitioning across tenants.
+//!
+//! The physical device's SMs are divided into disjoint contiguous slices,
+//! one per tenant; each tenant's programs are compiled by the decomposed
+//! scheduler at its slice width and pinned onto the slice with
+//! [`crate::exec::SmPlacement`]. Because simulated launch timing is
+//! placement-invariant, a tenant on a `k`-SM slice behaves byte- and
+//! cycle-identically to a solo run on a `k`-SM device — partitioning
+//! changes *capacity*, never *semantics*.
+//!
+//! Slice widths track demand: an EWMA estimator per tenant turns
+//! observed inter-arrival gaps into an arrival-rate estimate, and a
+//! largest-remainder apportionment converts rate shares into SM quotas
+//! (every admitted tenant keeps at least one SM). Rebalancing is
+//! hysteretic — the partition is recut only when some tenant's ideal
+//! quota has drifted more than one full SM from its current allocation —
+//! so a noisy arrival process does not thrash the compilation cache with
+//! new slice widths.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::{Error, Result};
+
+/// A contiguous slice of the physical device's SMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Slice {
+    /// First SM of the slice.
+    pub base_sm: u32,
+    /// SMs in the slice (the width the tenant's programs compile at).
+    pub num_sms: u32,
+}
+
+/// EWMA estimator of a tenant's arrival rate from inter-arrival gaps.
+#[derive(Debug, Clone)]
+pub struct RateEstimator {
+    alpha: f64,
+    last_arrival: Option<f64>,
+    ewma_gap: Option<f64>,
+    arrivals: u64,
+}
+
+impl RateEstimator {
+    /// A fresh estimator; `alpha` is the EWMA smoothing weight of the
+    /// newest gap (clamped to `(0, 1]`).
+    #[must_use]
+    pub fn new(alpha: f64) -> RateEstimator {
+        RateEstimator {
+            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            last_arrival: None,
+            ewma_gap: None,
+            arrivals: 0,
+        }
+    }
+
+    /// Records an arrival at `now` seconds (monotone per tenant).
+    pub fn observe(&mut self, now: f64) {
+        self.arrivals += 1;
+        if let Some(last) = self.last_arrival {
+            let gap = (now - last).max(1e-9);
+            self.ewma_gap = Some(match self.ewma_gap {
+                Some(g) => (1.0 - self.alpha) * g + self.alpha * gap,
+                None => gap,
+            });
+        }
+        self.last_arrival = Some(now);
+    }
+
+    /// Estimated arrivals per second. A tenant with fewer than two
+    /// arrivals has no gap yet and reports a nominal rate of 1.0 so it
+    /// participates in apportionment without dominating it.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        match self.ewma_gap {
+            Some(g) => 1.0 / g,
+            None => 1.0,
+        }
+    }
+
+    /// Arrivals observed so far.
+    #[must_use]
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+}
+
+/// The current partition of the device plus the demand estimators that
+/// drive it.
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    total_sms: u32,
+    alpha: f64,
+    rates: BTreeMap<String, RateEstimator>,
+    slices: BTreeMap<String, Slice>,
+    /// Partition recuts performed (including the initial cut per tenant
+    /// set), for the metrics layer.
+    pub rebalances: u64,
+}
+
+impl Partitioner {
+    /// A partitioner over a `total_sms`-SM device.
+    #[must_use]
+    pub fn new(total_sms: u32, alpha: f64) -> Partitioner {
+        Partitioner {
+            total_sms,
+            alpha,
+            rates: BTreeMap::new(),
+            slices: BTreeMap::new(),
+            rebalances: 0,
+        }
+    }
+
+    /// Records an arrival for `tenant` at virtual time `now`, admitting
+    /// the tenant to the partition if new, and recuts the partition when
+    /// the demand estimate has drifted past the hysteresis band.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Api`] when admitting the tenant would exceed one tenant
+    /// per SM.
+    pub fn observe(&mut self, tenant: &str, now: f64) -> Result<()> {
+        let is_new = !self.rates.contains_key(tenant);
+        if is_new && self.rates.len() as u32 >= self.total_sms {
+            return Err(Error::Api(format!(
+                "cannot admit tenant '{tenant}': {} tenants already hold all {} SMs",
+                self.rates.len(),
+                self.total_sms
+            )));
+        }
+        self.rates
+            .entry(tenant.to_string())
+            .or_insert_with(|| RateEstimator::new(self.alpha))
+            .observe(now);
+        if is_new || self.drifted() {
+            self.recut();
+        }
+        Ok(())
+    }
+
+    /// The tenant's current slice.
+    #[must_use]
+    pub fn slice(&self, tenant: &str) -> Option<Slice> {
+        self.slices.get(tenant).copied()
+    }
+
+    /// Every tenant's slice, in deterministic (name) order.
+    #[must_use]
+    pub fn slices(&self) -> Vec<(String, Slice)> {
+        self.slices.iter().map(|(t, s)| (t.clone(), *s)).collect()
+    }
+
+    /// Ideal fractional SM quotas by rate share, with every tenant
+    /// floored at 1.0 SM (floors are carved out first; the remaining SMs
+    /// are split by rate share).
+    fn ideal_quotas(&self) -> BTreeMap<String, f64> {
+        let n = self.rates.len() as f64;
+        let spare = f64::from(self.total_sms) - n;
+        let total_rate: f64 = self.rates.values().map(RateEstimator::rate).sum();
+        self.rates
+            .iter()
+            .map(|(t, r)| {
+                let share = if total_rate > 0.0 {
+                    r.rate() / total_rate
+                } else {
+                    1.0 / n
+                };
+                (t.clone(), 1.0 + spare * share)
+            })
+            .collect()
+    }
+
+    /// Whether any tenant's ideal quota is more than one full SM away
+    /// from its current slice width.
+    fn drifted(&self) -> bool {
+        self.ideal_quotas().iter().any(|(t, &q)| {
+            let have = self.slices.get(t).map_or(0.0, |s| f64::from(s.num_sms));
+            (q - have).abs() > 1.0
+        })
+    }
+
+    /// Largest-remainder apportionment of the device, then contiguous
+    /// base-SM assignment in tenant-name order.
+    fn recut(&mut self) {
+        let quotas = self.ideal_quotas();
+        if quotas.is_empty() {
+            self.slices.clear();
+            return;
+        }
+        let mut widths: BTreeMap<&String, u32> = quotas
+            .iter()
+            .map(|(t, &q)| (t, (q.floor() as u32).max(1)))
+            .collect();
+        let assigned: u32 = widths.values().sum();
+        let mut leftover = self.total_sms.saturating_sub(assigned);
+        // Hand leftover SMs to the largest fractional remainders;
+        // tenant-name order breaks ties deterministically.
+        let mut by_remainder: Vec<(&String, f64)> =
+            quotas.iter().map(|(t, &q)| (t, q - q.floor())).collect();
+        by_remainder.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        for (t, _) in by_remainder {
+            if leftover == 0 {
+                break;
+            }
+            *widths.get_mut(t).expect("tenant in widths") += 1;
+            leftover -= 1;
+        }
+        let mut base = 0;
+        let mut slices = BTreeMap::new();
+        for (t, w) in widths {
+            slices.insert(
+                t.clone(),
+                Slice {
+                    base_sm: base,
+                    num_sms: w,
+                },
+            );
+            base += w;
+        }
+        self.slices = slices;
+        self.rebalances += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_are_disjoint_and_cover_at_most_the_device() {
+        let mut p = Partitioner::new(16, 0.3);
+        for (i, t) in ["a", "b", "c"].iter().enumerate() {
+            p.observe(t, i as f64).unwrap();
+        }
+        let slices = p.slices();
+        assert_eq!(slices.len(), 3);
+        let mut covered = 0;
+        let mut last_end = 0;
+        for (_, s) in &slices {
+            assert!(s.base_sm >= last_end, "slices overlap: {slices:?}");
+            assert!(s.num_sms >= 1);
+            last_end = s.base_sm + s.num_sms;
+            covered += s.num_sms;
+        }
+        assert!(covered <= 16);
+        assert_eq!(covered, 16, "largest-remainder should use every SM");
+    }
+
+    #[test]
+    fn hot_tenant_gains_sms() {
+        let mut p = Partitioner::new(16, 0.5);
+        // "hot" arrives every 0.1s, "cold" every 10s.
+        let mut now = 0.0;
+        for _ in 0..50 {
+            p.observe("hot", now).unwrap();
+            now += 0.1;
+        }
+        let mut cold_now = 0.0;
+        for _ in 0..4 {
+            p.observe("cold", cold_now).unwrap();
+            cold_now += 10.0;
+        }
+        // Interleave more hot arrivals so the estimator sees both.
+        for _ in 0..50 {
+            p.observe("hot", now).unwrap();
+            now += 0.1;
+        }
+        let hot = p.slice("hot").unwrap();
+        let cold = p.slice("cold").unwrap();
+        assert!(
+            hot.num_sms > cold.num_sms,
+            "hot {hot:?} should out-provision cold {cold:?}"
+        );
+        assert!(cold.num_sms >= 1);
+    }
+
+    #[test]
+    fn admission_is_bounded_by_sm_count() {
+        let mut p = Partitioner::new(2, 0.3);
+        p.observe("a", 0.0).unwrap();
+        p.observe("b", 0.0).unwrap();
+        assert!(p.observe("c", 0.0).is_err());
+    }
+
+    #[test]
+    fn stable_demand_does_not_thrash() {
+        let mut p = Partitioner::new(16, 0.3);
+        let mut now = 0.0;
+        for _ in 0..10 {
+            p.observe("a", now).unwrap();
+            p.observe("b", now + 0.01).unwrap();
+            now += 1.0;
+        }
+        let after_warmup = p.rebalances;
+        for _ in 0..100 {
+            p.observe("a", now).unwrap();
+            p.observe("b", now + 0.01).unwrap();
+            now += 1.0;
+        }
+        assert_eq!(
+            p.rebalances, after_warmup,
+            "steady equal demand must not recut the partition"
+        );
+    }
+}

@@ -42,7 +42,9 @@ use gpusim::{
     LaunchStats, Layout, REG_ARRAY_WORDS, SHARED_BANKS,
 };
 use streamir::graph::NodeId;
-use streamir::ir::{access_sites, interp, AccessKind, AccessSite, Expr, Scalar, Stmt, WorkFunction};
+use streamir::ir::{
+    access_sites, interp, AccessKind, AccessSite, Expr, Scalar, Stmt, WorkFunction,
+};
 
 use crate::codegen;
 use crate::exec::{scheme_shape, serial_blocks, swp_blocks, swp_sm_order, Compiled, Scheme};
@@ -364,8 +366,9 @@ impl WarpAbs<'_> {
             Expr::Unary(op, inner) => {
                 let v = self.eval(inner);
                 match v {
-                    AbsVal::Uniform(s) => interp::eval_unary(*op, s)
-                        .map_or(AbsVal::Varying, AbsVal::Uniform),
+                    AbsVal::Uniform(s) => {
+                        interp::eval_unary(*op, s).map_or(AbsVal::Varying, AbsVal::Uniform)
+                    }
                     AbsVal::Varying => AbsVal::Varying,
                 }
             }
@@ -373,8 +376,9 @@ impl WarpAbs<'_> {
                 let a = self.eval(lhs);
                 let b = self.eval(rhs);
                 match (a, b) {
-                    (AbsVal::Uniform(x), AbsVal::Uniform(y)) => interp::eval_binary(*op, x, y)
-                        .map_or(AbsVal::Varying, AbsVal::Uniform),
+                    (AbsVal::Uniform(x), AbsVal::Uniform(y)) => {
+                        interp::eval_binary(*op, x, y).map_or(AbsVal::Varying, AbsVal::Uniform)
+                    }
                     _ => AbsVal::Varying,
                 }
             }
@@ -656,8 +660,7 @@ pub fn predict_with_plan(
                 let kernel_iters = iterations / u64::from(granule);
                 let stages = c.schedule.max_stage();
                 for r in 0..kernel_iters + stages {
-                    let blocks =
-                        swp_blocks(c, &buffers, &order, r, granule, kernel_iters, staged)?;
+                    let blocks = swp_blocks(c, &buffers, &order, r, granule, kernel_iters, staged)?;
                     launches += 1;
                     analyze_blocks(&blocks, &mut acc);
                 }
@@ -939,7 +942,9 @@ mod tests {
             .unwrap_or_else(|| panic!("V0201 expected, got {:?}", pred.diagnostics));
         assert_eq!(err.filter.as_deref(), Some("B"));
         assert!(
-            err.site.as_deref().is_some_and(|s| s.starts_with("pop[in0]")),
+            err.site
+                .as_deref()
+                .is_some_and(|s| s.starts_with("pop[in0]")),
             "{err:?}"
         );
     }

@@ -148,12 +148,7 @@ pub(crate) fn run_warp(
 ) -> Result<()> {
     let lanes = (0..ctx.active)
         .map(|_| Lane {
-            locals: ctx
-                .wf
-                .locals()
-                .iter()
-                .map(|&ty| Scalar::zero(ty))
-                .collect(),
+            locals: ctx.wf.locals().iter().map(|&ty| Scalar::zero(ty)).collect(),
             arrays: ctx
                 .wf
                 .arrays()

@@ -163,8 +163,7 @@ impl FaultPlan {
     /// faults are a test scripting device and do not enter the rate.
     #[must_use]
     pub fn transient_permille(&self) -> u32 {
-        (self.launch_failure_permille + self.mem_corruption_permille + self.hang_permille)
-            .min(1000)
+        (self.launch_failure_permille + self.mem_corruption_permille + self.hang_permille).min(1000)
     }
 
     /// Expected number of failed attempts before a launch succeeds, from
@@ -313,7 +312,10 @@ mod tests {
             hg_only.expected_retry_cycles(&timing, budget)
                 > 100.0 * lf_only.expected_retry_cycles(&timing, budget)
         );
-        assert_eq!(FaultPlan::new(1).expected_retry_cycles(&timing, budget), 0.0);
+        assert_eq!(
+            FaultPlan::new(1).expected_retry_cycles(&timing, budget),
+            0.0
+        );
     }
 
     #[test]
@@ -321,6 +323,12 @@ mod tests {
         let p = FaultPlan::new(9);
         let prefixes: Vec<u64> = (0..64).map(|i| p.trip_prefix_insts(i)).collect();
         assert!(prefixes.iter().all(|&n| (16..256).contains(&n)));
-        assert!(prefixes.iter().collect::<std::collections::HashSet<_>>().len() > 8);
+        assert!(
+            prefixes
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                > 8
+        );
     }
 }

@@ -50,13 +50,21 @@ pub struct BlockWork<'a> {
 /// thread).
 #[derive(Debug, Clone)]
 pub struct Launch<'a> {
-    /// Per-block work; block `b` runs on SM `b % num_sms`.
+    /// Per-block work; block `b` runs on SM `(b + sm_offset) % num_sms`.
     pub blocks: Vec<BlockWork<'a>>,
     /// Threads per block (128/256/384/512 in the paper's search).
     pub threads_per_block: u32,
     /// Register limit per thread (16/20/32/64 in the paper's search);
     /// work functions needing more spill to local memory.
     pub regs_per_thread: u32,
+    /// Rotates the block→SM mapping: block `b` runs on SM
+    /// `(b + sm_offset) % num_sms`. Zero is the classic round-robin; a
+    /// multi-tenant executor pins a program compiled for `k` SMs (which
+    /// issues `k` blocks) to the SM slice `[sm_offset, sm_offset + k)`
+    /// of a larger device. Timing is offset-invariant — the launch bound
+    /// is the slowest SM — so a sliced run models identically to a solo
+    /// run on a `k`-SM device.
+    pub sm_offset: u32,
 }
 
 /// The simulated device: configuration, memory, allocator, and timing.
@@ -244,7 +252,7 @@ impl Gpu {
         let mut total_transactions = 0u64;
 
         for (b, block) in launch.blocks.iter().enumerate() {
-            let sm = b % self.config.num_sms as usize;
+            let sm = (b + launch.sm_offset as usize) % self.config.num_sms as usize;
             for inst in &block.items {
                 let stats = self.run_instance(launch, inst, &mut limits)?;
                 per_sm[sm] += self.timing.instance_cycles(&stats);
@@ -291,10 +299,7 @@ impl Gpu {
         if regs_needed > cfg.registers_per_sm {
             return Err(SimError::LaunchConfig(format!(
                 "register file exhausted: {} regs/thread x {} threads = {} > {}",
-                launch.regs_per_thread,
-                launch.threads_per_block,
-                regs_needed,
-                cfg.registers_per_sm
+                launch.regs_per_thread, launch.threads_per_block, regs_needed, cfg.registers_per_sm
             )));
         }
         for block in &launch.blocks {
@@ -450,6 +455,7 @@ mod tests {
                     label: None,
                 }],
             }],
+            sm_offset: 0,
         }
     }
 
@@ -533,12 +539,19 @@ mod tests {
                             endpoint_rate: 4,
                             abs_start: 0,
                         }],
-                        outputs: vec![BufferBinding::whole(out, n, ElemTy::I32, Layout::Sequential, 1)],
+                        outputs: vec![BufferBinding::whole(
+                            out,
+                            n,
+                            ElemTy::I32,
+                            Layout::Sequential,
+                            1,
+                        )],
                         shared_staging: false,
                         state_base: None,
                         label: None,
                     }],
                 }],
+                sm_offset: 0,
             };
             let stats = gpu.run(&launch).unwrap();
             // Functional check: thread t sums logical 4t..4t+4.
@@ -685,7 +698,8 @@ mod tests {
         let inp = gpu.alloc_tokens(4);
         let out = gpu.alloc_tokens(4);
         for i in 0..4 {
-            gpu.memory_mut().write_token(inp + i, Scalar::I32(10 * i as i32));
+            gpu.memory_mut()
+                .write_token(inp + i, Scalar::I32(10 * i as i32));
         }
         let item = |abs: u64, active: u32, state_base: Option<u32>| InstanceExec {
             work: &work,
@@ -719,6 +733,7 @@ mod tests {
             blocks: vec![BlockWork {
                 items: vec![item(0, 1, None)],
             }],
+            sm_offset: 0,
         };
         let e = gpu.run(&launch).unwrap_err();
         assert!(matches!(e, SimError::LaunchConfig(ref m) if m.contains("state")));
@@ -736,8 +751,14 @@ mod tests {
         gpu.run(&launch).unwrap();
         // Firing 1: 5 + 0 = 5; firing 2: 6 + 10 = 16.
         assert_eq!(gpu.memory().read_token(out, ElemTy::I32), Scalar::I32(5));
-        assert_eq!(gpu.memory().read_token(out + 1, ElemTy::I32), Scalar::I32(16));
-        assert_eq!(gpu.memory().read_token(st_base, ElemTy::I32), Scalar::I32(7));
+        assert_eq!(
+            gpu.memory().read_token(out + 1, ElemTy::I32),
+            Scalar::I32(16)
+        );
+        assert_eq!(
+            gpu.memory().read_token(st_base, ElemTy::I32),
+            Scalar::I32(7)
+        );
     }
 
     #[test]
@@ -783,6 +804,7 @@ mod tests {
                     }],
                 })
                 .collect(),
+            sm_offset: 0,
         };
         let stats = gpu.run(&launch).unwrap();
         // 8 blocks over 4 SMs: each SM got 2 blocks' cycles.
@@ -795,6 +817,34 @@ mod tests {
                 Scalar::I32(2 * i as i32)
             );
         }
+    }
+
+    #[test]
+    fn sm_offset_shifts_placement_without_changing_outputs_or_time() {
+        let work = doubler();
+        let n = 32u32;
+        let run_at = |offset: u32| {
+            let mut gpu = Gpu::new(DeviceConfig::small_test()); // 4 SMs
+            let inp = gpu.alloc_tokens(n);
+            let out = gpu.alloc_tokens(n);
+            for i in 0..n {
+                gpu.memory_mut().write_token(inp + i, Scalar::I32(i as i32));
+            }
+            let mut launch = simple_launch(&work, inp, out, n, Layout::Sequential);
+            launch.sm_offset = offset;
+            let stats = gpu.run(&launch).unwrap();
+            let outputs: Vec<_> = (0..n)
+                .map(|i| gpu.memory().read_token(out + i, ElemTy::I32))
+                .collect();
+            (stats, outputs)
+        };
+        let (base, base_out) = run_at(0);
+        let (shifted, shifted_out) = run_at(2);
+        assert_eq!(base_out, shifted_out);
+        assert_eq!(base.cycles, shifted.cycles);
+        // The single block landed on SM 0 at offset 0 and SM 2 at offset 2.
+        assert!(base.per_sm_cycles[0] > 0.0 && base.per_sm_cycles[2] == 0.0);
+        assert!(shifted.per_sm_cycles[2] > 0.0 && shifted.per_sm_cycles[0] == 0.0);
     }
 
     fn faultable_setup() -> (Gpu, WorkFunction, u32, u32, u32) {
@@ -819,11 +869,17 @@ mod tests {
         assert!(e.is_transient());
         // No device work happened: the output buffer is still zeroed.
         for i in 0..n {
-            assert_eq!(gpu.memory().read_token(out + i, ElemTy::I32), Scalar::I32(0));
+            assert_eq!(
+                gpu.memory().read_token(out + i, ElemTy::I32),
+                Scalar::I32(0)
+            );
         }
         // The retry (attempt 1, no pinned fault) succeeds as-is.
         gpu.run(&launch).unwrap();
-        assert_eq!(gpu.memory().read_token(out + 5, ElemTy::I32), Scalar::I32(10));
+        assert_eq!(
+            gpu.memory().read_token(out + 5, ElemTy::I32),
+            Scalar::I32(10)
+        );
         assert_eq!(gpu.launches_attempted(), 2);
     }
 
@@ -867,7 +923,10 @@ mod tests {
             other => panic!("expected MemFault, got {other}"),
         }
         gpu.run(&launch).unwrap();
-        assert_eq!(gpu.memory().read_token(out + 7, ElemTy::I32), Scalar::I32(14));
+        assert_eq!(
+            gpu.memory().read_token(out + 7, ElemTy::I32),
+            Scalar::I32(14)
+        );
     }
 
     #[test]

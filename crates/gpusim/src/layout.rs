@@ -130,9 +130,11 @@ impl BufferBinding {
     pub fn addr(&self, lane: u32, n: u64) -> u64 {
         let j = self.abs_start + u64::from(lane) * u64::from(self.endpoint_rate) + n;
         let region = (j / self.region_tokens) % u64::from(self.regions);
-        let offset = self
-            .layout
-            .slot(j % self.region_tokens, self.consumer_rate, self.region_tokens);
+        let offset = self.layout.slot(
+            j % self.region_tokens,
+            self.consumer_rate,
+            self.region_tokens,
+        );
         u64::from(self.base_word) + region * self.region_tokens + offset
     }
 
@@ -196,7 +198,10 @@ mod tests {
             for j in 0..region {
                 let s = layout.slot(j, o, region);
                 assert!(s < region, "slot {s} out of region {region} (o={o})");
-                assert!(seen.insert(s), "slot {s} assigned twice (o={o}, region={region})");
+                assert!(
+                    seen.insert(s),
+                    "slot {s} assigned twice (o={o}, region={region})"
+                );
             }
             assert_eq!(seen.len() as u64, region);
         }

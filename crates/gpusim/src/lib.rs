@@ -61,6 +61,7 @@
 //!             label: None,
 //!         }],
 //!     }],
+//!     sm_offset: 0,
 //! };
 //! let stats = gpu.run(&launch)?;
 //! assert_eq!(gpu.memory().read_token(out + 5, ElemTy::I32), Scalar::I32(10));
@@ -161,7 +162,10 @@ impl fmt::Display for SimError {
                 write!(f, "device memory access at {addr} out of bounds")
             }
             SimError::LaunchFailed { launch } => {
-                write!(f, "launch attempt {launch} failed before device work (injected fault)")
+                write!(
+                    f,
+                    "launch attempt {launch} failed before device work (injected fault)"
+                )
             }
             SimError::MemFault { addr, launch } => write!(
                 f,

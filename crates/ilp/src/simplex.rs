@@ -341,10 +341,7 @@ mod tests {
         // x <= 1 and x >= 2.
         let r = run(&lp(
             1,
-            vec![
-                (vec![1.0], Sense::Le, 1.0),
-                (vec![1.0], Sense::Ge, 2.0),
-            ],
+            vec![(vec![1.0], Sense::Le, 1.0), (vec![1.0], Sense::Ge, 2.0)],
             vec![0.0],
         ));
         assert_eq!(r, LpResult::Infeasible);

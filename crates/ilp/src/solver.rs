@@ -145,12 +145,7 @@ pub fn solve_with_stats(model: &Model, opts: &SolveOptions) -> (SolveOutcome, So
         };
         // Un-shift to model space.
         let values: Vec<f64> = x.iter().zip(&node.lo).map(|(&v, &l)| v + l).collect();
-        let lp_obj = lp_obj
-            + obj
-                .iter()
-                .zip(&node.lo)
-                .map(|(&c, &l)| c * l)
-                .sum::<f64>();
+        let lp_obj = lp_obj + obj.iter().zip(&node.lo).map(|(&c, &l)| c * l).sum::<f64>();
 
         if let Some((_, best)) = &incumbent {
             if !opts.feasibility_only && lp_obj >= *best - 1e-9 {
@@ -455,7 +450,10 @@ mod tests {
         let mut m = Model::new();
         let x = m.int_var("x", 0.0, 10.0);
         m.constraint(m.expr().term(x, 2.0), Sense::Eq, 3.0);
-        assert_eq!(solve(&m, &SolveOptions::default()), SolveOutcome::Infeasible);
+        assert_eq!(
+            solve(&m, &SolveOptions::default()),
+            SolveOutcome::Infeasible
+        );
     }
 
     #[test]

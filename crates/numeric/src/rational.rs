@@ -176,7 +176,11 @@ impl Rational {
         self.numer as f64 / self.denom as f64
     }
 
-    fn checked_binop(self, rhs: Rational, op: fn(i128, i128, i128, i128) -> (i128, i128)) -> Rational {
+    fn checked_binop(
+        self,
+        rhs: Rational,
+        op: fn(i128, i128, i128, i128) -> (i128, i128),
+    ) -> Rational {
         let (n, d) = op(self.numer, self.denom, rhs.numer, rhs.denom);
         Rational::new(n, d)
     }
@@ -286,8 +290,14 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b ? c/d  <=>  a*d ? c*b (b, d > 0)
-        let lhs = self.numer.checked_mul(other.denom).expect("rational cmp overflow");
-        let rhs = other.numer.checked_mul(self.denom).expect("rational cmp overflow");
+        let lhs = self
+            .numer
+            .checked_mul(other.denom)
+            .expect("rational cmp overflow");
+        let rhs = other
+            .numer
+            .checked_mul(self.denom)
+            .expect("rational cmp overflow");
         lhs.cmp(&rhs)
     }
 }
@@ -459,7 +469,11 @@ mod tests {
 
     #[test]
     fn sum_product() {
-        let vals = [Rational::new(1, 2), Rational::new(1, 3), Rational::new(1, 6)];
+        let vals = [
+            Rational::new(1, 2),
+            Rational::new(1, 3),
+            Rational::new(1, 6),
+        ];
         assert_eq!(vals.iter().copied().sum::<Rational>(), Rational::ONE);
         assert_eq!(
             vals.iter().copied().product::<Rational>(),

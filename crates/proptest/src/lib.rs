@@ -25,7 +25,9 @@ pub mod prelude {
     pub use crate as prop;
     pub use crate::strategy::{BoxedStrategy, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Declares property tests. Supports an optional leading
@@ -144,12 +146,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($a:expr, $b:expr $(,)?) => {{
         let (__a, __b) = (&$a, &$b);
-        $crate::prop_assert!(
-            *__a != *__b,
-            "assertion failed: {:?} == {:?}",
-            __a,
-            __b
-        );
+        $crate::prop_assert!(*__a != *__b, "assertion failed: {:?} == {:?}", __a, __b);
     }};
 }
 
@@ -223,9 +220,11 @@ mod tests {
                 Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = (0i32..10).prop_map(Tree::Leaf).prop_recursive(2, 12, 3, |inner| {
-            crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
-        });
+        let strat = (0i32..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(2, 12, 3, |inner| {
+                crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
         let mut rng = TestRng::for_test("recursive_strategies");
         let mut max_depth = 0;
         for _ in 0..64 {
@@ -243,7 +242,9 @@ mod tests {
         let strat = (0u64..1_000_000, -500i32..500);
         let sample = |name: &str| {
             let mut rng = TestRng::for_test(name);
-            (0..16).map(|_| strat.generate(&mut rng)).collect::<Vec<_>>()
+            (0..16)
+                .map(|_| strat.generate(&mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(sample("a"), sample("a"));
         assert_ne!(sample("a"), sample("b"));

@@ -118,7 +118,10 @@ impl<T> Union<T> {
     /// Builds a union; panics if `branches` is empty.
     #[must_use]
     pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
-        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
         Union(branches)
     }
 }

@@ -1,0 +1,267 @@
+//! `#[derive(Serialize)]` for the in-tree `serde` shim.
+//!
+//! The real `serde_derive` needs `syn`/`quote`, which cannot be fetched
+//! in the offline build environment; this crate parses the item's token
+//! stream by hand. The supported surface is exactly what this workspace
+//! derives on:
+//!
+//! * structs with named fields, tuple structs, and unit structs;
+//! * enums whose variants are unit, tuple, or struct-like.
+//!
+//! Generic items are rejected with a compile error — nothing in the
+//! workspace needs them. Field serialization follows `serde_json`'s
+//! externally-tagged conventions: a struct becomes an object in field
+//! order, a unit variant becomes its name as a string, a data-carrying
+//! variant becomes a one-key object `{ "Variant": payload }`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the shim's `to_value` method).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match generate(&tokens) {
+        Ok(code) => code.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    skip_attrs_and_vis(tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected struct or enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive(Serialize) shim does not support generic item `{name}`"
+        ));
+    }
+    if kind == "struct" {
+        match tokens.get(i) {
+            // Unit struct: `struct X;`
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(impl_for(
+                &name,
+                "::serde::Value::Object(::std::vec::Vec::new())".to_string(),
+            )),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(&group_tokens(g))?;
+                let entries = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from({f:?}), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                Ok(impl_for(
+                    &name,
+                    format!("::serde::Value::Object(::std::vec![{entries}])"),
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(&group_tokens(g))?;
+                let items = (0..n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let body = if n == 1 {
+                    // Newtype struct: serialize transparently, as serde does.
+                    "::serde::Serialize::to_value(&self.0)".to_string()
+                } else {
+                    format!("::serde::Value::Array(::std::vec![{items}])")
+                };
+                Ok(impl_for(&name, body))
+            }
+            other => Err(format!("unsupported struct body: {other:?}")),
+        }
+    } else {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                enum_match_body(&name, &group_tokens(g))?
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        };
+        Ok(impl_for(&name, format!("match self {{ {body} }}")))
+    }
+}
+
+fn impl_for(name: &str, body: String) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn group_tokens(g: &proc_macro::Group) -> Vec<TokenTree> {
+    g.stream().into_iter().collect()
+}
+
+/// Skips `#[...]` attributes (including doc comments) and a `pub` /
+/// `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Advances past a type (or expression) until a top-level comma,
+/// tracking `<...>` nesting so commas inside generics don't split.
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i64 = 0;
+    let mut prev_dash = false;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            let c = p.as_char();
+            if c == ',' && angle == 0 {
+                return;
+            }
+            if c == '<' {
+                angle += 1;
+            } else if c == '>' && !prev_dash {
+                angle -= 1;
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field, found {other:?}")),
+        }
+        skip_to_comma(tokens, &mut i);
+        i += 1; // the comma (or past the end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> Result<usize, String> {
+    let mut n = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_to_comma(tokens, &mut i);
+        i += 1;
+        n += 1;
+    }
+    Ok(n)
+}
+
+fn enum_match_body(name: &str, tokens: &[TokenTree]) -> Result<String, String> {
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(&group_tokens(g))?;
+                let binders = (0..n)
+                    .map(|k| format!("f{k}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let payload = if n == 1 {
+                    "::serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let items = (0..n)
+                        .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("::serde::Value::Array(::std::vec![{items}])")
+                };
+                arms.push(format!(
+                    "{name}::{variant}({binders}) => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from({variant:?}), {payload})])"
+                ));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(&group_tokens(g))?;
+                let binders = fields.join(", ");
+                let entries = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from({f:?}), \
+                             ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                arms.push(format!(
+                    "{name}::{variant} {{ {binders} }} => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from({variant:?}), \
+                      ::serde::Value::Object(::std::vec![{entries}]))])"
+                ));
+                i += 1;
+            }
+            _ => {
+                arms.push(format!(
+                    "{name}::{variant} => ::serde::Value::Str(::std::string::String::from({variant:?}))"
+                ));
+            }
+        }
+        // Skip an optional `= discriminant` and the trailing comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_to_comma(tokens, &mut i);
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(arms.join(",\n"))
+}

@@ -1,0 +1,342 @@
+//! JSON rendering and parsing over the in-tree `serde` shim's
+//! [`Value`] tree: `to_string` / `to_string_pretty` for anything
+//! implementing `serde::Serialize`, and `from_str` back into a
+//! [`Value`] (there is no typed `Deserialize`; callers pick fields out
+//! of the tree).
+
+pub use serde::Value;
+
+use serde::Serialize;
+use std::fmt;
+
+/// A JSON syntax error from [`from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the error.
+    pub offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Renders a value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    out
+}
+
+/// Renders a value as indented JSON (2 spaces, like the real crate).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    out
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_number(*n, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => write_seq(out, indent, depth, "[", "]", items.len(), |out, i| {
+            write_value(&items[i], out, indent, depth + 1);
+        }),
+        Value::Object(fields) => write_seq(out, indent, depth, "{", "}", fields.len(), |out, i| {
+            let (k, fv) = &fields[i];
+            write_string(k, out);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(fv, out, indent, depth + 1);
+        }),
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: &str,
+    close: &str,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push_str(open);
+    if len == 0 {
+        out.push_str(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push_str(close);
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if n.is_finite() {
+        if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+            out.push_str(&format!("{}", n as i64));
+        } else {
+            out.push_str(&format!("{n}"));
+        }
+    } else {
+        // JSON has no NaN/Infinity; the real crate errors — a report
+        // shim is more useful rendering a null than refusing.
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses JSON text into a [`Value`].
+///
+/// # Errors
+///
+/// [`Error`] with a byte offset on malformed input or trailing garbage.
+pub fn from_str(text: &str) -> Result<Value> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters"));
+    }
+    Ok(value)
+}
+
+fn err(offset: usize, message: &str) -> Error {
+    Error {
+        message: message.to_string(),
+        offset,
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, "invalid literal"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if matches!(bytes.get(*pos), Some(b'-')) {
+        *pos += 1;
+    }
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    ) {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Num)
+        .ok_or_else(|| err(start, "invalid number"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| err(*pos, "invalid \\u escape"))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| err(*pos, "invalid UTF-8"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if matches!(bytes.get(*pos), Some(b']')) {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    *pos += 1; // '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if matches!(bytes.get(*pos), Some(b'}')) {
+        *pos += 1;
+        return Ok(Value::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if !matches!(bytes.get(*pos), Some(b'"')) {
+            return Err(err(*pos, "expected object key"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if !matches!(bytes.get(*pos), Some(b':')) {
+            return Err(err(*pos, "expected ':'"));
+        }
+        *pos += 1;
+        fields.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact_and_pretty() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Num(1.0)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("s".into(), Value::Str("x\"y\n".into())),
+        ]);
+        for text in [to_string(&v), to_string_pretty(&v)] {
+            assert_eq!(from_str(&text).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(to_string(&Value::Num(42.0)), "42");
+        assert_eq!(to_string(&Value::Num(0.5)), "0.5");
+        assert_eq!(to_string(&Value::Num(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let e = from_str("{\"a\": }").unwrap_err();
+        assert_eq!(e.offset, 6);
+        assert!(from_str("[1,2").is_err());
+        assert!(from_str("07x").is_err());
+        assert!(from_str("[] junk").is_err());
+    }
+
+    #[test]
+    fn parses_nested_and_escapes() {
+        let v = from_str(r#"{"k": [1, -2.5e1, "aAb"], "e": {}}"#).unwrap();
+        let arr = v.get("k").and_then(Value::as_array).unwrap();
+        assert_eq!(arr[1].as_f64(), Some(-25.0));
+        assert_eq!(arr[2].as_str(), Some("aAb"));
+        assert_eq!(v.get("e"), Some(&Value::Object(vec![])));
+    }
+}

@@ -1,0 +1,84 @@
+//! End-to-end check of the in-tree `serde_derive` proc-macro through
+//! JSON rendering — the derive generates `::serde::Serialize` impls, so
+//! it can only be exercised from a crate that depends on `serde`.
+
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Named {
+    count: u64,
+    label: String,
+    ratio: Option<f64>,
+    nested: Vec<Pair>,
+}
+
+#[derive(Serialize)]
+struct Pair(u32, u32);
+
+#[derive(Serialize)]
+struct Wrapper(String);
+
+#[derive(Serialize)]
+struct Unit;
+
+#[derive(Serialize)]
+#[allow(dead_code)]
+enum Kind {
+    Plain,
+    Tagged(u32),
+    Pairish(u32, u32),
+    Structured { x: u64, why: String },
+}
+
+#[test]
+fn named_struct_renders_in_field_order() {
+    let v = Named {
+        count: 3,
+        label: "a\"b".into(),
+        ratio: None,
+        nested: vec![Pair(1, 2)],
+    };
+    assert_eq!(
+        serde_json::to_string(&v),
+        r#"{"count":3,"label":"a\"b","ratio":null,"nested":[[1,2]]}"#
+    );
+}
+
+#[test]
+fn newtype_is_transparent_and_unit_is_empty_object() {
+    assert_eq!(serde_json::to_string(&Wrapper("w".into())), "\"w\"");
+    assert_eq!(serde_json::to_string(&Unit), "{}");
+}
+
+#[test]
+fn enum_variants_are_externally_tagged() {
+    assert_eq!(serde_json::to_string(&Kind::Plain), "\"Plain\"");
+    assert_eq!(serde_json::to_string(&Kind::Tagged(7)), r#"{"Tagged":7}"#);
+    assert_eq!(
+        serde_json::to_string(&Kind::Pairish(1, 2)),
+        r#"{"Pairish":[1,2]}"#
+    );
+    assert_eq!(
+        serde_json::to_string(&Kind::Structured {
+            x: 9,
+            why: "z".into()
+        }),
+        r#"{"Structured":{"x":9,"why":"z"}}"#
+    );
+}
+
+#[test]
+fn derived_output_reparses() {
+    let text = serde_json::to_string(&Named {
+        count: 1,
+        label: "ok".into(),
+        ratio: Some(0.25),
+        nested: vec![],
+    });
+    let v = serde_json::from_str(&text).unwrap();
+    assert_eq!(v.get("count").and_then(serde_json::Value::as_u64), Some(1));
+    assert_eq!(
+        v.get("ratio").and_then(serde_json::Value::as_f64),
+        Some(0.25)
+    );
+}

@@ -116,8 +116,8 @@ pub fn run(
     input: &[Scalar],
     model: &CpuCostModel,
 ) -> Result<CpuRun> {
-    let needed = steady.input_tokens_for_init(graph)
-        + iterations * steady.input_tokens_per_iteration(graph);
+    let needed =
+        steady.input_tokens_for_init(graph) + iterations * steady.input_tokens_per_iteration(graph);
     if (input.len() as u64) < needed {
         return Err(Error::InsufficientInput {
             needed: needed as usize,
@@ -146,7 +146,13 @@ pub fn run(
     let mut scratch = OpCensus::default();
     for &node in steady.init_order() {
         fire(
-            graph, node, &mut fifos, &mut states, input, &mut cursor, &mut outputs,
+            graph,
+            node,
+            &mut fifos,
+            &mut states,
+            input,
+            &mut cursor,
+            &mut outputs,
             &mut scratch,
         )?;
     }
@@ -157,7 +163,13 @@ pub fn run(
     for _ in 0..iterations {
         for &node in steady.firing_order() {
             fire(
-                graph, node, &mut fifos, &mut states, input, &mut cursor, &mut outputs,
+                graph,
+                node,
+                &mut fifos,
+                &mut states,
+                input,
+                &mut cursor,
+                &mut outputs,
                 &mut counts,
             )?;
             firings += 1;
@@ -346,7 +358,9 @@ mod tests {
         let s = sdf::solve(&g).unwrap();
         let input: Vec<Scalar> = (1..=10).map(Scalar::I32).collect();
         let run = run(&g, &s, 8, &input, &CpuCostModel::default()).unwrap();
-        let expect: Vec<Scalar> = (1..=8).map(|i| Scalar::I32(i + (i + 1) + (i + 2))).collect();
+        let expect: Vec<Scalar> = (1..=8)
+            .map(|i| Scalar::I32(i + (i + 1) + (i + 2)))
+            .collect();
         assert_eq!(run.outputs, expect);
     }
 

@@ -47,7 +47,11 @@ impl fmt::Display for Error {
                 write!(f, "inconsistent steady-state rates at channel {channel}")
             }
             Error::Deadlock { stalled } => {
-                write!(f, "stream graph deadlocked; stalled firings: {}", stalled.join(", "))
+                write!(
+                    f,
+                    "stream graph deadlocked; stalled firings: {}",
+                    stalled.join(", ")
+                )
             }
             Error::Trap(msg) => write!(f, "work function trapped: {msg}"),
             Error::InsufficientInput { needed, got } => {

@@ -180,7 +180,9 @@ mod tests {
     fn annotations_color_and_note_flagged_elements() {
         use super::DotAnnotations;
         let id = |n: &str| StreamSpec::filter(FilterSpec::new(n, identity(ElemTy::I32)));
-        let g = StreamSpec::pipeline(vec![id("a"), id("b")]).flatten().unwrap();
+        let g = StreamSpec::pipeline(vec![id("a"), id("b")])
+            .flatten()
+            .unwrap();
         let mut ann = DotAnnotations::default();
         assert!(ann.is_empty());
         ann.flag_node(1, "salmon", "V0201 NonCoalescedAccess");
@@ -192,7 +194,10 @@ mod tests {
         assert!(dot.contains("penwidth=2"), "{dot}");
         assert!(dot.contains("\\\"scattered\\\""), "escaped quotes: {dot}");
         // Unannotated rendering is unchanged by the default annotations.
-        assert_eq!(g.to_dot("g"), g.to_dot_annotated("g", &DotAnnotations::default()));
+        assert_eq!(
+            g.to_dot("g"),
+            g.to_dot_annotated("g", &DotAnnotations::default())
+        );
     }
 
     #[test]

@@ -157,12 +157,10 @@ impl Flattener {
                 let mut branch_ports = Vec::with_capacity(branches.len());
                 for (i, b) in branches.iter().enumerate() {
                     let (entry, exit) = self.spec(b)?;
-                    let entry = entry.ok_or_else(|| {
-                        bad(format!("split-join branch {i} consumes no input"))
-                    })?;
-                    let exit = exit.ok_or_else(|| {
-                        bad(format!("split-join branch {i} produces no output"))
-                    })?;
+                    let entry = entry
+                        .ok_or_else(|| bad(format!("split-join branch {i} consumes no input")))?;
+                    let exit = exit
+                        .ok_or_else(|| bad(format!("split-join branch {i} produces no output")))?;
                     branch_ports.push((entry, exit));
                 }
                 let in_ty = self.nodes[branch_ports[0].0 .0 .0 as usize]
@@ -187,10 +185,10 @@ impl Flattener {
                     body_entry.ok_or_else(|| bad("feedback-loop body consumes no input"))?;
                 let body_exit =
                     body_exit.ok_or_else(|| bad("feedback-loop body produces no output"))?;
-                let in_ty = self.nodes[body_entry.0 .0 as usize].work.input_ports()
-                    [body_entry.1 as usize];
-                let out_ty = self.nodes[body_exit.0 .0 as usize].work.output_ports()
-                    [body_exit.1 as usize];
+                let in_ty =
+                    self.nodes[body_entry.0 .0 as usize].work.input_ports()[body_entry.1 as usize];
+                let out_ty =
+                    self.nodes[body_exit.0 .0 as usize].work.output_ports()[body_exit.1 as usize];
                 if in_ty != out_ty {
                     return Err(bad(format!(
                         "feedback-loop body input type {in_ty} differs from output type {out_ty}"
@@ -214,10 +212,10 @@ impl Flattener {
                     None => (split_id, 1),
                     Some(fb) => {
                         let (fb_entry, fb_exit) = self.spec(fb)?;
-                        let fb_entry = fb_entry
-                            .ok_or_else(|| bad("feedback stream consumes no input"))?;
-                        let fb_exit = fb_exit
-                            .ok_or_else(|| bad("feedback stream produces no output"))?;
+                        let fb_entry =
+                            fb_entry.ok_or_else(|| bad("feedback stream consumes no input"))?;
+                        let fb_exit =
+                            fb_exit.ok_or_else(|| bad("feedback stream produces no output"))?;
                         self.connect((split_id, 1), fb_entry)?;
                         fb_exit
                     }
@@ -408,11 +406,7 @@ mod tests {
         )
         .flatten()
         .unwrap();
-        let split = g
-            .nodes()
-            .iter()
-            .find(|n| n.role == Role::Splitter)
-            .unwrap();
+        let split = g.nodes().iter().find(|n| n.role == Role::Splitter).unwrap();
         assert_eq!(split.work.pop_rate(0), 1);
         for p in 0..3 {
             assert_eq!(split.work.push_rate(p), 1);
@@ -430,13 +424,9 @@ mod tests {
         .unwrap_err();
         assert!(matches!(e, Error::InvalidGraph(_)));
 
-        let e = StreamSpec::split_join(
-            SplitterKind::Duplicate,
-            vec![id_filter("a")],
-            vec![1, 1],
-        )
-        .flatten()
-        .unwrap_err();
+        let e = StreamSpec::split_join(SplitterKind::Duplicate, vec![id_filter("a")], vec![1, 1])
+            .flatten()
+            .unwrap_err();
         assert!(matches!(e, Error::InvalidGraph(_)));
     }
 

@@ -74,8 +74,8 @@ pub struct FeedbackLoopSpec {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 #[allow(clippy::large_enum_variant)] // specs are built once at graph
-// construction and never stored in bulk; boxing FilterSpec would only
-// complicate the builder API
+                                     // construction and never stored in bulk; boxing FilterSpec would only
+                                     // complicate the builder API
 pub enum StreamSpec {
     /// A single filter.
     Filter(FilterSpec),
@@ -151,10 +151,7 @@ impl StreamSpec {
                 branches.iter().map(StreamSpec::filter_count).sum()
             }
             StreamSpec::FeedbackLoop(fl) => {
-                fl.body.filter_count()
-                    + fl.feedback
-                        .as_ref()
-                        .map_or(0, |f| f.filter_count())
+                fl.body.filter_count() + fl.feedback.as_ref().map_or(0, |f| f.filter_count())
             }
         }
     }

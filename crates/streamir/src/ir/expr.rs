@@ -65,7 +65,13 @@ impl BinOp {
     pub fn is_integer_only(self) -> bool {
         matches!(
             self,
-            BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr | BinOp::Ushr
+            BinOp::Rem
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::Shl
+                | BinOp::Shr
+                | BinOp::Ushr
         )
     }
 }

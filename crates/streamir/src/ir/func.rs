@@ -166,10 +166,7 @@ impl WorkFunction {
     /// of the paper reports as "peeking filters".
     #[must_use]
     pub fn is_peeking(&self) -> bool {
-        self.info
-            .inputs
-            .iter()
-            .any(|r| r.peek > r.pop)
+        self.info.inputs.iter().any(|r| r.peek > r.pop)
     }
 }
 

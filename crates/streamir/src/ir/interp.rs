@@ -85,11 +85,7 @@ pub fn execute_stateful<C: Channels>(
         )));
     }
     let mut st = State {
-        locals: wf
-            .locals
-            .iter()
-            .map(|&ty| Scalar::zero(ty))
-            .collect(),
+        locals: wf.locals.iter().map(|&ty| Scalar::zero(ty)).collect(),
         arrays: wf
             .arrays
             .iter()
@@ -268,12 +264,7 @@ pub fn eval_unary(op: UnOp, v: Scalar) -> Result<Scalar> {
         (UnOp::Floor, Scalar::F32(v)) => Scalar::F32(v.floor()),
         (UnOp::ToF32, Scalar::I32(v)) => Scalar::F32(v as f32),
         (UnOp::ToI32, Scalar::F32(v)) => Scalar::I32(v as i32),
-        (op, v) => {
-            return Err(trap(format!(
-                "unary {op:?} applied to {} operand",
-                v.ty()
-            )))
-        }
+        (op, v) => return Err(trap(format!("unary {op:?} applied to {} operand", v.ty()))),
     })
 }
 
@@ -330,9 +321,7 @@ pub fn eval_binary(op: BinOp, l: Scalar, r: Scalar) -> Result<Scalar> {
             Ge => bool_i32(a >= b),
             Min => Scalar::F32(a.min(b)),
             Max => Scalar::F32(a.max(b)),
-            other => {
-                return Err(trap(format!("{other:?} applied to f32 operands")))
-            }
+            other => return Err(trap(format!("{other:?} applied to f32 operands"))),
         },
         _ => {
             return Err(trap(format!(
@@ -458,7 +447,10 @@ mod tests {
             }],
         );
         let wf = f.build().unwrap();
-        assert_eq!(run(&wf, vec![Scalar::I32(5)]).unwrap(), vec![Scalar::I32(5)]);
+        assert_eq!(
+            run(&wf, vec![Scalar::I32(5)]).unwrap(),
+            vec![Scalar::I32(5)]
+        );
         assert_eq!(
             run(&wf, vec![Scalar::I32(-5)]).unwrap(),
             vec![Scalar::I32(5)]

@@ -508,9 +508,8 @@ impl<'a> Analyzer<'a> {
                 }
                 let out = match op {
                     UnOp::Neg => {
-                        let r = irange.and_then(|(lo, hi)| {
-                            Some((hi.checked_neg()?, lo.checked_neg()?))
-                        });
+                        let r = irange
+                            .and_then(|(lo, hi)| Some((hi.checked_neg()?, lo.checked_neg()?)));
                         return Ok((ity, if ity == ElemTy::I32 { r } else { None }));
                     }
                     UnOp::Abs => return Ok((ity, None)),
@@ -635,9 +634,7 @@ fn fold_i32(op: BinOp, l: Range, r: Range) -> Range {
         BinOp::Shl if rl == rh && (0..31).contains(&rl) && ll >= 0 => {
             Some((ll.checked_shl(rl as u32)?, lh.checked_shl(rl as u32)?))
         }
-        BinOp::Shr if rl == rh && (0..31).contains(&rl) && ll >= 0 => {
-            Some((ll >> rl, lh >> rl))
-        }
+        BinOp::Shr if rl == rh && (0..31).contains(&rl) && ll >= 0 => Some((ll >> rl, lh >> rl)),
         BinOp::And if rl == rh && rl >= 0 && ll >= 0 => Some((0, rl.min(lh))),
         BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
             // Fold comparisons over disjoint ranges to a constant.

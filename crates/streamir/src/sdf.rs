@@ -123,7 +123,11 @@ impl SteadyState {
 pub fn solve(graph: &FlatGraph) -> Result<SteadyState> {
     let reps = repetition_vector(graph)?;
     let init = init_vector(graph, &reps)?;
-    let mut tokens: Vec<u64> = graph.edges().iter().map(|e| e.initial.len() as u64).collect();
+    let mut tokens: Vec<u64> = graph
+        .edges()
+        .iter()
+        .map(|e| e.initial.len() as u64)
+        .collect();
     let init_order = greedy_order(graph, &init, &mut tokens)?;
     let firing_order = greedy_order(graph, &reps, &mut tokens)?;
     Ok(SteadyState {

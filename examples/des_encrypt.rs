@@ -11,7 +11,10 @@ use swpipe::exec::{self, CompileOptions, Scheme};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = des::spec().flatten()?;
-    println!("DES stream graph: {} filters in a pure pipeline", graph.len());
+    println!(
+        "DES stream graph: {} filters in a pure pipeline",
+        graph.len()
+    );
 
     let compiled = exec::compile(&graph, &CompileOptions::small_test())?;
     println!(
@@ -28,7 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|i| Scalar::I32((0x0123_4567u32.wrapping_mul(i as u32 + 1) ^ 0x89AB) as i32))
         .collect();
 
-    let run = exec::execute(&compiled, Scheme::Swp { coarsening: 4 }, iterations, &message)?;
+    let run = exec::execute(
+        &compiled,
+        Scheme::Swp { coarsening: 4 },
+        iterations,
+        &message,
+    )?;
 
     // Verify every ciphertext block against the independent reference.
     let plain: Vec<i32> = message.iter().map(|s| s.as_i32()).collect();

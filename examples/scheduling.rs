@@ -25,7 +25,11 @@ fn rate_filter(name: &str, pop: u32, push: u32) -> StreamSpec {
     StreamSpec::filter(FilterSpec::new(name, f.build().expect("valid")))
 }
 
-fn print_schedule(tag: &str, ig: &swpipe::instances::InstanceGraph, s: &swpipe::schedule::Schedule) {
+fn print_schedule(
+    tag: &str,
+    ig: &swpipe::instances::InstanceGraph,
+    s: &swpipe::schedule::Schedule,
+) {
     println!("{tag}: II = {}, stages = {}", s.ii, s.max_stage() + 1);
     for (i, &(v, k)) in ig.list.iter().enumerate() {
         println!(
@@ -38,8 +42,8 @@ fn print_schedule(tag: &str, ig: &swpipe::instances::InstanceGraph, s: &swpipe::
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 4's multirate pair: A pushes 2/firing, B pops 3/firing, so
     // one steady iteration fires A three times and B twice.
-    let graph = StreamSpec::pipeline(vec![rate_filter("A", 1, 2), rate_filter("B", 3, 1)])
-        .flatten()?;
+    let graph =
+        StreamSpec::pipeline(vec![rate_filter("A", 1, 2), rate_filter("B", 3, 1)]).flatten()?;
     let config = ExecConfig {
         regs_per_thread: 16,
         threads_per_block: 4,

@@ -28,14 +28,13 @@ fn agc() -> StreamSpec {
     f.pop_into(0, x);
     f.store_state(
         env,
-        Expr::state(env)
-            .mul(Expr::f32(0.9))
-            .add(Expr::local(x).unary(streamir::ir::UnOp::Abs).mul(Expr::f32(0.1))),
+        Expr::state(env).mul(Expr::f32(0.9)).add(
+            Expr::local(x)
+                .unary(streamir::ir::UnOp::Abs)
+                .mul(Expr::f32(0.1)),
+        ),
     );
-    f.push(
-        0,
-        Expr::local(x).div(Expr::state(env).max(Expr::f32(0.05))),
-    );
+    f.push(0, Expr::local(x).div(Expr::state(env).max(Expr::f32(0.05))));
     StreamSpec::filter(FilterSpec::new("agc", f.build().expect("valid")))
 }
 
@@ -92,9 +91,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "coarsening is rejected for stateful graphs: {:?}",
-        exec::execute(&compiled, Scheme::Swp { coarsening: 4 }, 8, &input[..n_input as usize])
-            .err()
-            .map(|e| e.to_string())
+        exec::execute(
+            &compiled,
+            Scheme::Swp { coarsening: 4 },
+            8,
+            &input[..n_input as usize]
+        )
+        .err()
+        .map(|e| e.to_string())
     );
     Ok(())
 }

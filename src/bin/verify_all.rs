@@ -124,7 +124,10 @@ fn check(
     let verdict = if !p.exact {
         // No benchmark takes this path today (the suite is branch-free);
         // it exists so a future data-dependent benchmark degrades loudly.
-        format!("INEXACT (predicted {:?}, measured {measured:?})", p.counters)
+        format!(
+            "INEXACT (predicted {:?}, measured {measured:?})",
+            p.counters
+        )
     } else if p.counters != measured {
         format!(
             "FAIL: prediction diverged from the simulator \

@@ -13,3 +13,5 @@ pub use numeric;
 pub use streambench;
 pub use streamir;
 pub use swpipe;
+
+pub mod serve_bench;

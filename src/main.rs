@@ -62,7 +62,10 @@ fn with_benchmark(
 }
 
 fn cmd_list() -> i32 {
-    println!("{:<12} {:>6} {:>8}  description", "name", "nodes", "peeking");
+    println!(
+        "{:<12} {:>6} {:>8}  description",
+        "name", "nodes", "peeking"
+    );
     for b in streambench::suite() {
         let g = b.spec.flatten().expect("suite graphs flatten");
         println!(
@@ -104,7 +107,10 @@ fn cmd_ir(args: &[String]) -> i32 {
                 0
             }
             None => {
-                eprintln!("error: no filter named {wanted:?} in {}; nodes are:", b.name);
+                eprintln!(
+                    "error: no filter named {wanted:?} in {}; nodes are:",
+                    b.name
+                );
                 for n in g.nodes() {
                     eprintln!("  {}", n.name);
                 }
@@ -159,7 +165,12 @@ fn cmd_run(b: &streambench::Benchmark, args: &[String]) -> i32 {
     let per = steady.input_tokens_per_iteration(&c.graph).max(1);
     let n_input = exec::required_input(&c, iters);
     let input = (b.input)((n_input + 2 * per + 64) as usize);
-    let run = match exec::execute(&c, Scheme::Swp { coarsening: 1 }, iters, &input[..n_input as usize]) {
+    let run = match exec::execute(
+        &c,
+        Scheme::Swp { coarsening: 1 },
+        iters,
+        &input[..n_input as usize],
+    ) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -169,8 +180,14 @@ fn cmd_run(b: &streambench::Benchmark, args: &[String]) -> i32 {
 
     // Always check against the CPU reference.
     let cpu_iters = n_input.div_ceil(per) + 1;
-    let cpu = cpu::run(&c.graph, &steady, cpu_iters, &input, &CpuCostModel::default())
-        .expect("cpu reference runs");
+    let cpu = cpu::run(
+        &c.graph,
+        &steady,
+        cpu_iters,
+        &input,
+        &CpuCostModel::default(),
+    )
+    .expect("cpu reference runs");
     let n = run.outputs.len().min(cpu.outputs.len());
     if run.outputs[..n] != cpu.outputs[..n] {
         eprintln!("MISMATCH: GPU output diverges from the CPU reference");

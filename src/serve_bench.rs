@@ -1,0 +1,109 @@
+//! The multi-tenant serving benchmark behind `cargo run --bin serve_bench`.
+//!
+//! Serves the eight StreamIt benchmarks as eight tenants of one
+//! [`swpipe::serve::Server`] over a deterministic arrival trace: one
+//! warm-up round that admits every tenant (and recuts the SM partition
+//! as each joins), one round compiled at the settled slice widths, then
+//! repeat rounds that should hit the compilation cache. A mild fault
+//! plan keeps the retry-rate metric exercised.
+//!
+//! Writes `BENCH_serve.json` — per-benchmark throughput, p99 latency,
+//! and cache hit rate — for the CI artifact upload.
+
+use gpusim::FaultPlan;
+use swpipe::serve::{Job, QosClass, ServeOptions, ServeReport, Server, Verdict};
+
+/// Rounds the full benchmark runs: two cold rounds (tenant admission
+/// recuts the partition, then the settled widths compile once more) plus
+/// four rounds that should mostly hit the compilation cache.
+pub const FULL_ROUNDS: usize = 6;
+/// Steady-state iterations per job in the full benchmark.
+pub const FULL_ITERATIONS: u64 = 4;
+
+/// Serves every benchmark as its own tenant for `rounds` round-robin
+/// arrival rounds of `iterations`-iteration jobs, returning the report.
+///
+/// # Panics
+///
+/// Panics when a benchmark fails to compile or execute, or is rejected —
+/// the trace is paced below saturation, so either is a runtime bug and
+/// the bench must fail loudly.
+#[must_use]
+pub fn run_trace(rounds: usize, iterations: u64) -> ServeReport {
+    let opts = ServeOptions {
+        // A mild transient-fault environment (3% of launch attempts)
+        // so retry-rate and fault-overhead metrics are non-trivial.
+        fault_plan: Some(FaultPlan::new(0x5EB7E).with_launch_failures(30)),
+        ..ServeOptions::default()
+    };
+    let mut server = Server::new(opts);
+
+    let suite = streambench::suite();
+    let mut now = 0.0;
+    for round in 0..rounds {
+        for b in &suite {
+            let job = Job {
+                tenant: b.name.to_string(),
+                graph: b.spec.flatten().expect("benchmark flattens"),
+                input: b.input,
+                iterations,
+                // Alternate QoS classes so both fault policies serve.
+                qos: if round % 2 == 0 {
+                    QosClass::Batch
+                } else {
+                    QosClass::Interactive
+                },
+            };
+            match server.submit(&job, now).expect("benchmark job serves") {
+                Verdict::Completed(r) => {
+                    assert!(!r.outputs.is_empty(), "{}: no output", b.name);
+                }
+                Verdict::Rejected { retry_after_secs } => {
+                    panic!("{}: rejected (retry in {retry_after_secs}s)", b.name);
+                }
+            }
+            now += 0.05;
+        }
+        now += 1.0;
+    }
+    server.report()
+}
+
+/// Serializes a report to `path` as pretty JSON.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written.
+pub fn write_report(report: &ServeReport, path: &str) {
+    let json = serde_json::to_string_pretty(report);
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
+/// Entry point for the `serve_bench` binary.
+pub fn main() {
+    let report = run_trace(FULL_ROUNDS, FULL_ITERATIONS);
+    for t in &report.tenants {
+        println!(
+            "{:>18}  slice [{:>2}+{:<2}]  {:>8.1} tok/s  p50 {:.4}s  p99 {:.4}s  \
+             retries/launch {:.4}  hits {}/{}",
+            t.tenant,
+            t.slice.base_sm,
+            t.slice.num_sms,
+            t.throughput_tokens_per_sec,
+            t.p50_latency_secs,
+            t.p99_latency_secs,
+            t.retry_rate,
+            t.compile_hits,
+            t.compile_hits + t.compile_misses,
+        );
+        if let Some(rec) = &t.recommendation {
+            println!("{:>18}  note: {rec}", "");
+        }
+    }
+    println!(
+        "cache: {} hits / {} misses / {} evictions (hit rate {:.2})",
+        report.cache.hits, report.cache.misses, report.cache.evictions, report.cache_hit_rate
+    );
+    write_report(&report, "BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

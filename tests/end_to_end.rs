@@ -13,12 +13,11 @@ use swpipe::exec::{self, CompileOptions, Scheme};
 
 /// Compiles and runs `iters` iterations under `scheme`, returning the GPU
 /// output stream and the CPU output stream covering it.
-fn run_both(
-    b: &streambench::Benchmark,
-    scheme: Scheme,
-    iters: u64,
-) -> (Vec<Scalar>, Vec<Scalar>) {
-    let graph = b.spec.flatten().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+fn run_both(b: &streambench::Benchmark, scheme: Scheme, iters: u64) -> (Vec<Scalar>, Vec<Scalar>) {
+    let graph = b
+        .spec
+        .flatten()
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
     let compiled = exec::compile(&graph, &CompileOptions::small_test())
         .unwrap_or_else(|e| panic!("{}: compile: {e}", b.name));
 
@@ -64,17 +63,32 @@ macro_rules! e2e {
 }
 
 e2e!(bitonic_swp, "Bitonic", Scheme::Swp { coarsening: 2 }, 4);
-e2e!(bitonic_rec_swp, "BitonicRec", Scheme::Swp { coarsening: 2 }, 4);
+e2e!(
+    bitonic_rec_swp,
+    "BitonicRec",
+    Scheme::Swp { coarsening: 2 },
+    4
+);
 e2e!(dct_swp, "DCT", Scheme::Swp { coarsening: 2 }, 4);
 e2e!(des_swp, "DES", Scheme::Swp { coarsening: 2 }, 4);
 e2e!(fft_swp, "FFT", Scheme::Swp { coarsening: 2 }, 4);
-e2e!(filterbank_swp, "Filterbank", Scheme::Swp { coarsening: 2 }, 4);
+e2e!(
+    filterbank_swp,
+    "Filterbank",
+    Scheme::Swp { coarsening: 2 },
+    4
+);
 e2e!(fmradio_swp, "FMRadio", Scheme::Swp { coarsening: 2 }, 4);
 e2e!(matmult_swp, "MatrixMult", Scheme::Swp { coarsening: 2 }, 4);
 
 e2e!(des_swpnc, "DES", Scheme::SwpNc { coarsening: 2 }, 4);
 e2e!(fft_swpnc, "FFT", Scheme::SwpNc { coarsening: 2 }, 4);
-e2e!(filterbank_serial, "Filterbank", Scheme::Serial { batch: 2 }, 4);
+e2e!(
+    filterbank_serial,
+    "Filterbank",
+    Scheme::Serial { batch: 2 },
+    4
+);
 e2e!(dct_serial, "DCT", Scheme::Serial { batch: 2 }, 4);
 e2e!(fft_swp_raw, "FFT", Scheme::SwpRaw { coarsening: 2 }, 4);
 
@@ -133,7 +147,12 @@ fn scaled_measurement_equals_full_simulation() {
     assert_eq!(full.stats.warp_instructions, meas.stats.warp_instructions);
     assert_eq!(full.stats.mem_transactions, meas.stats.mem_transactions);
     let rel = (full.time_secs - meas.time_secs).abs() / full.time_secs;
-    assert!(rel < 1e-9, "times must agree: {} vs {}", full.time_secs, meas.time_secs);
+    assert!(
+        rel < 1e-9,
+        "times must agree: {} vs {}",
+        full.time_secs,
+        meas.time_secs
+    );
 }
 
 /// Buffer requirements (Table II machinery) must grow with coarsening and
@@ -145,7 +164,14 @@ fn buffer_plans_scale_with_coarsening() {
     let graph = b.spec.flatten().unwrap();
     let compiled = exec::compile(&graph, &CompileOptions::small_test()).unwrap();
     let bytes = |c: u32, kind| {
-        plan::plan(&compiled.graph, &compiled.ig, Some(&compiled.schedule), c, kind).total_bytes()
+        plan::plan(
+            &compiled.graph,
+            &compiled.ig,
+            Some(&compiled.schedule),
+            c,
+            kind,
+        )
+        .total_bytes()
     };
     assert!(bytes(8, LayoutKind::Optimized) > bytes(1, LayoutKind::Optimized));
     assert_eq!(

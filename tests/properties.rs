@@ -24,12 +24,7 @@ fn rate_filter(name: String, pop: u32, push: u32, seed: i32) -> StreamSpec {
                 port: 0,
                 dst: Some(x),
             },
-            Stmt::Assign(
-                acc,
-                Expr::local(acc)
-                    .mul(Expr::i32(3))
-                    .add(Expr::local(x)),
-            ),
+            Stmt::Assign(acc, Expr::local(acc).mul(Expr::i32(3)).add(Expr::local(x))),
         ]
     });
     f.for_loop(0, push as i32, |_, j| {
@@ -207,6 +202,7 @@ proptest! {
                     label: None,
                 }],
             }],
+            sm_offset: 0,
         };
         gpu.run(&launch).expect("gpu runs");
         for (i, &e) in expect.iter().enumerate() {
@@ -264,11 +260,17 @@ fn random_work(
     let arr = use_array.then(|| f.array(ElemTy::I32, 4));
     let tab = use_table.then(|| f.table(Table::i32(&[2, 3, 5, 7])));
     for d in 0..peek_extra {
-        f.assign(acc, Expr::local(acc).add(Expr::peek(0, Expr::i32(d as i32))));
+        f.assign(
+            acc,
+            Expr::local(acc).add(Expr::peek(0, Expr::i32(d as i32))),
+        );
     }
     f.for_loop(0, pop as i32, |_, _| {
         vec![
-            Stmt::Pop { port: 0, dst: Some(x) },
+            Stmt::Pop {
+                port: 0,
+                dst: Some(x),
+            },
             Stmt::Assign(acc, Expr::local(acc).mul(Expr::i32(3)).add(Expr::local(x))),
         ]
     });
@@ -303,7 +305,10 @@ fn random_work(
         _ => {}
     }
     f.for_loop(0, push as i32, |_, j| {
-        vec![Stmt::Push { port: 0, value: Expr::local(acc).add(Expr::local(j)) }]
+        vec![Stmt::Push {
+            port: 0,
+            value: Expr::local(acc).add(Expr::local(j)),
+        }]
     });
     f.build().expect("generated work function validates")
 }

@@ -203,7 +203,10 @@ fn suite_cache() -> &'static [CachedBench] {
         streambench::suite()
             .into_iter()
             .map(|b| {
-                let graph = b.spec.flatten().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+                let graph = b
+                    .spec
+                    .flatten()
+                    .unwrap_or_else(|e| panic!("{}: {e}", b.name));
                 let compiled = exec::compile(&graph, &CompileOptions::small_test())
                     .unwrap_or_else(|e| panic!("{}: compile: {e}", b.name));
                 let iters = 4u64;
@@ -253,6 +256,7 @@ proptest! {
                 fault_plan: Some(plan),
                 retry: RetryPolicy { max_attempts: 12 },
                 checkpoint: CheckpointSpec::Auto,
+                placement: None,
             };
             let faulted = exec::execute_with(
                 &cb.compiled,
@@ -332,6 +336,7 @@ fn armed_checkpointing_is_never_free_for_stateful_programs() {
         fault_plan: Some(FaultPlan::new(5)),
         retry: RetryPolicy::default(),
         checkpoint: CheckpointSpec::Auto,
+        placement: None,
     };
 
     let stateful = exec::compile(&stateful_graph(), &CompileOptions::small_test()).unwrap();
@@ -393,6 +398,7 @@ fn double_buffered_checkpoint_recovers_bit_identically_and_is_cheaper() {
                 fault_plan: Some(plan.clone()),
                 retry: RetryPolicy { max_attempts: 16 },
                 checkpoint: spec,
+                placement: None,
             },
         )
         .unwrap()
@@ -401,7 +407,11 @@ fn double_buffered_checkpoint_recovers_bit_identically_and_is_cheaper() {
     let db = run_with(CheckpointSpec::Force(CheckpointMode::DeviceDoubleBuffered));
     let auto = run_with(CheckpointSpec::Auto);
 
-    for (name, run) in [("host-round-trip", &rt), ("double-buffered", &db), ("auto", &auto)] {
+    for (name, run) in [
+        ("host-round-trip", &rt),
+        ("double-buffered", &db),
+        ("auto", &auto),
+    ] {
         assert_eq!(run.outputs, clean.outputs, "{name}: recovery diverged");
         assert!(run.retries >= 2, "{name}: pinned faults must force retries");
         assert!(run.stats.checkpoint_cycles > 0.0, "{name}");
@@ -469,7 +479,10 @@ fn tail_latency_policy_reduces_makespan_variance_under_faults() {
     };
     let tp_run = run(&tp);
     let tl_run = run(&tl);
-    assert_eq!(tp_run.outputs, tl_run.outputs, "policies must agree on the stream");
+    assert_eq!(
+        tp_run.outputs, tl_run.outputs,
+        "policies must agree on the stream"
+    );
     assert!(tp_run.retries >= 2, "pinned faults must fire");
     assert!(!tp_run.launch_cycles.is_empty());
     assert_eq!(tp_run.launch_cycles.len(), tl_run.launch_cycles.len());
@@ -519,7 +532,9 @@ fn fault_matrix_pinned_kinds_recover_bit_identically() {
         ),
         (
             "watchdog",
-            FaultPlan::new(13).with_hangs(200).at_launch(0, FaultKind::Hang),
+            FaultPlan::new(13)
+                .with_hangs(200)
+                .at_launch(0, FaultKind::Hang),
         ),
     ];
     let compiled = exec::compile(&stateful_graph(), &CompileOptions::small_test()).unwrap();
@@ -544,11 +559,15 @@ fn fault_matrix_pinned_kinds_recover_bit_identically() {
                 fault_plan: Some(plan),
                 retry: RetryPolicy { max_attempts: 16 },
                 checkpoint: CheckpointSpec::Auto,
+                placement: None,
             },
         )
         .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(run.outputs, clean.outputs, "{name}: recovery diverged");
-        assert!(run.retries >= 1, "{name}: the pinned fault must force a retry");
+        assert!(
+            run.retries >= 1,
+            "{name}: the pinned fault must force a retry"
+        );
         assert!(run.stats.fault_overhead_cycles > 0.0, "{name}");
     }
     assert!(ran >= 1, "SWPIPE_FAULT_MATRIX selected no known fault kind");

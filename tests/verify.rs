@@ -74,16 +74,33 @@ fn site_reports_are_consistent_with_the_transaction_total() {
         let graph = b.spec.flatten().expect("benchmark flattens");
         let c = exec::compile(&graph, &CompileOptions::small_test()).expect("compiles");
         let v = verify::verify(&c, Scheme::SwpRaw { coarsening: 1 }, 3).expect("verifies");
-        let site_txns: u64 = v.prediction.sites.iter().map(|s| s.tally.transactions).sum();
+        let site_txns: u64 = v
+            .prediction
+            .sites
+            .iter()
+            .map(|s| s.tally.transactions)
+            .sum();
         assert!(
             site_txns <= v.prediction.counters.mem_transactions,
             "{}: per-site transaction tallies exceed the run total",
             b.name
         );
-        assert!(!v.prediction.sites.is_empty(), "{}: no site reports", b.name);
+        assert!(
+            !v.prediction.sites.is_empty(),
+            "{}: no site reports",
+            b.name
+        );
         for s in &v.prediction.sites {
-            assert!(!s.filter.is_empty(), "{}: site report without a filter name", b.name);
-            assert!(!s.site.is_empty(), "{}: site report without an access site", b.name);
+            assert!(
+                !s.filter.is_empty(),
+                "{}: site report without a filter name",
+                b.name
+            );
+            assert!(
+                !s.site.is_empty(),
+                "{}: site report without an access site",
+                b.name
+            );
         }
     }
 }
@@ -93,7 +110,10 @@ fn site_reports_are_consistent_with_the_transaction_total() {
 /// reflect that (raw: no channel shared traffic beyond state; swp: some).
 #[test]
 fn staging_shows_up_only_under_staged_schemes() {
-    let b = streambench::suite().into_iter().find(|b| b.name == "MatrixMult").expect("suite");
+    let b = streambench::suite()
+        .into_iter()
+        .find(|b| b.name == "MatrixMult")
+        .expect("suite");
     let graph = b.spec.flatten().expect("flattens");
     let c = exec::compile(&graph, &CompileOptions::small_test()).expect("compiles");
     let raw = verify::verify(&c, Scheme::SwpRaw { coarsening: 1 }, 3).expect("verifies");
@@ -107,7 +127,10 @@ fn staging_shows_up_only_under_staged_schemes() {
 /// hazard diagnostic (V01xx) naming both filters.
 #[test]
 fn corrupted_schedule_is_rejected_with_a_hazard_diagnostic() {
-    let b = streambench::suite().into_iter().next().expect("non-empty suite");
+    let b = streambench::suite()
+        .into_iter()
+        .next()
+        .expect("non-empty suite");
     let graph = b.spec.flatten().expect("flattens");
     let c = exec::compile(&graph, &CompileOptions::small_test()).expect("compiles");
     let mut bad = c.schedule.clone();
@@ -119,10 +142,10 @@ fn corrupted_schedule_is_rejected_with_a_hazard_diagnostic() {
     bad.stage.iter_mut().for_each(|st| *st = 0);
     let diags = verify::check_schedule(&c.graph, &c.ig, &c.exec_cfg, &bad, 1, 1);
     assert!(
-        diags.iter().any(|d| matches!(
-            d.code,
-            Code::UnsatisfiedDependence | Code::CrossSmHazard
-        ) && d.severity == Severity::Error),
+        diags.iter().any(
+            |d| matches!(d.code, Code::UnsatisfiedDependence | Code::CrossSmHazard)
+                && d.severity == Severity::Error
+        ),
         "collapsed schedule not rejected: {diags:?}"
     );
 }
