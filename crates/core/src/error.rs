@@ -50,6 +50,14 @@ pub enum Error {
         /// [`crate::verify::Severity::Error`].
         diagnostics: Vec<crate::verify::Diagnostic>,
     },
+    /// A cooperative preemption handle was raised while a compile phase
+    /// was running: the phase aborted so a cheaper degradation-ladder
+    /// rung (or the caller) can take over. Not a failure of the phase
+    /// itself — the work was interrupted, not wrong.
+    Preempted {
+        /// The compile phase that was interrupted.
+        phase: String,
+    },
     /// Mis-use of the compilation API (e.g. executing before scheduling).
     Api(String),
 }
@@ -132,6 +140,9 @@ impl fmt::Display for Error {
                     write!(f, " [stage {s}]")?;
                 }
                 Ok(())
+            }
+            Error::Preempted { phase } => {
+                write!(f, "preempted: {phase} interrupted by the caller")
             }
             Error::Verification { diagnostics } => {
                 let errors = diagnostics

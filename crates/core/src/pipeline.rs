@@ -310,6 +310,7 @@ impl ResilientPipeline {
             LadderRung::ExactIlp,
             self.opts.budgets.exact_ilp,
             reserve_units,
+            &fe.search.interrupt,
             &mut attempts,
             || {
                 let found = schedule::find(&fe.ig, &fe.exec_cfg, num_sms, &exact)?;
@@ -346,6 +347,7 @@ impl ResilientPipeline {
             LadderRung::RelaxedIlp,
             self.opts.budgets.relaxed_ilp,
             reserve_units,
+            &fe.search.interrupt,
             &mut attempts,
             || {
                 let found = schedule::find(&fe.ig, &fe.exec_cfg, num_sms, &relaxed)?;
@@ -376,6 +378,7 @@ impl ResilientPipeline {
             LadderRung::Heuristic,
             self.opts.budgets.heuristic,
             reserve_units,
+            &fe.search.interrupt,
             &mut attempts,
             || {
                 let found = schedule::find(&fe.ig, &fe.exec_cfg, num_sms, &heur)?;
@@ -454,10 +457,18 @@ impl ResilientPipeline {
 /// Runs one rung under its budget. Returns the schedule on success;
 /// records the attempt — including the nominal and fault-adjusted II of
 /// any schedule it produced — either way.
+///
+/// A raised [`schedule::SearchInterrupt`] short-circuits the rung before
+/// any scheduling work starts (and aborts a running search at its next
+/// poll point): the rung records [`RungOutcome::Failed`] with the
+/// preemption message and the ladder degrades toward the serial rung,
+/// which never consults the interrupt — a preempted compile always
+/// ships *something*.
 fn try_rung(
     rung: LadderRung,
     budget: Duration,
     reserve_units: u64,
+    interrupt: &schedule::SearchInterrupt,
     attempts: &mut Vec<RungAttempt>,
     run: impl FnOnce() -> Result<(Schedule, SearchReport)>,
 ) -> Option<(Schedule, SearchReport)> {
@@ -465,6 +476,21 @@ fn try_rung(
         attempts.push(RungAttempt {
             rung,
             outcome: RungOutcome::SkippedBudget,
+            elapsed: Duration::ZERO,
+            nominal_ii: None,
+            fault_adjusted_ii: None,
+        });
+        return None;
+    }
+    if interrupt.is_raised() {
+        attempts.push(RungAttempt {
+            rung,
+            outcome: RungOutcome::Failed(
+                Error::Preempted {
+                    phase: format!("{rung} rung"),
+                }
+                .to_string(),
+            ),
             elapsed: Duration::ZERO,
             nominal_ii: None,
             fault_adjusted_ii: None,
@@ -717,6 +743,51 @@ mod tests {
             assert!(v.passes(), "{} -> {:?}", rc.report, v.diagnostics);
             assert!(v.prediction.exact);
         }
+    }
+
+    #[test]
+    fn raised_interrupt_preempts_to_the_serial_rung() {
+        // A compile whose preemption handle is raised before it starts
+        // never runs a scheduler search: every preemptible rung records
+        // a preemption failure and the serial rung (which ignores the
+        // interrupt) still ships a valid artifact.
+        let mut compile = CompileOptions::small_test();
+        let interrupt = schedule::SearchInterrupt::armed();
+        compile.search.interrupt = interrupt.clone();
+        interrupt.raise();
+        let rc = ResilientPipeline::new(PipelineOptions {
+            compile,
+            budgets: StageBudgets::default(),
+            ..PipelineOptions::default()
+        })
+        .compile(&three_stage())
+        .unwrap();
+        assert_eq!(rc.report.shipped, LadderRung::SerialSas, "{}", rc.report);
+        for a in &rc.report.attempts {
+            if a.rung == LadderRung::SerialSas {
+                continue;
+            }
+            match &a.outcome {
+                RungOutcome::Failed(m) => {
+                    assert!(m.contains("preempted"), "{}: {m}", a.rung);
+                }
+                other => panic!("{}: expected preemption, got {other:?}", a.rung),
+            }
+        }
+        assert!(!run(&rc, 4).is_empty());
+    }
+
+    #[test]
+    fn interrupt_is_invisible_to_cache_keys_and_equality() {
+        // The handle is control plumbing: options with and without an
+        // armed interrupt compare equal and debug-format identically, so
+        // content-addressed compilation caching cannot observe it.
+        let plain = SearchOptions::default();
+        let mut armed = SearchOptions::default();
+        armed.interrupt = schedule::SearchInterrupt::armed();
+        armed.interrupt.raise();
+        assert_eq!(plain, armed);
+        assert_eq!(format!("{plain:?}"), format!("{armed:?}"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Schedules, validation, the heuristic scheduler, and the II search loop.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::Serialize;
@@ -382,6 +383,74 @@ pub mod heuristic {
     }
 }
 
+/// A cooperative preemption handle for a running II search.
+///
+/// The search checks the flag between candidate IIs (and at heuristic
+/// entry) and aborts with [`Error::Preempted`] once it is raised — the
+/// mechanism the serving engine uses to demote a long compile down the
+/// degradation ladder when queue pressure rises.
+///
+/// The handle is deliberately *invisible* to everything that treats
+/// [`SearchOptions`] as compile-request content: its `Debug` output is a
+/// constant (so content-addressed cache keys, which hash the options'
+/// debug form, do not depend on whether a search was preemptible) and
+/// any two handles compare equal (so options equality still means "same
+/// search parameters").
+#[derive(Clone, Default)]
+pub struct SearchInterrupt(Option<Arc<AtomicBool>>);
+
+impl SearchInterrupt {
+    /// A fresh, un-raised interrupt handle.
+    #[must_use]
+    pub fn armed() -> SearchInterrupt {
+        SearchInterrupt(Some(Arc::new(AtomicBool::new(false))))
+    }
+
+    /// Raises the interrupt: the next poll point in any search carrying
+    /// a clone of this handle aborts with [`Error::Preempted`].
+    pub fn raise(&self) {
+        if let Some(flag) = &self.0 {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the interrupt has been raised. An unarmed (default)
+    /// handle is never interrupted.
+    #[must_use]
+    pub fn is_raised(&self) -> bool {
+        self.0
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    /// Errors with [`Error::Preempted`] when raised — the poll point
+    /// searches call between units of work.
+    fn check(&self, phase: &str) -> Result<()> {
+        if self.is_raised() {
+            Err(Error::Preempted {
+                phase: phase.to_string(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl std::fmt::Debug for SearchInterrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Constant regardless of arming or state: the handle is control
+        // plumbing, not compile-request content (cache keys hash the
+        // options' debug form).
+        f.write_str("SearchInterrupt")
+    }
+}
+
+impl PartialEq for SearchInterrupt {
+    fn eq(&self, _: &SearchInterrupt) -> bool {
+        true
+    }
+}
+
 /// Which scheduling path to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulerKind {
@@ -419,6 +488,11 @@ pub struct SearchOptions {
     /// caps per-SM load at `II − reserve`. Zero (the default) keeps the
     /// search fault-oblivious.
     pub fault_reserve: u64,
+    /// Cooperative preemption handle, polled between candidate IIs and
+    /// at heuristic entry. The default is unarmed (never interrupts);
+    /// the handle does not participate in options equality or in the
+    /// compilation cache key.
+    pub interrupt: SearchInterrupt,
 }
 
 impl Default for SearchOptions {
@@ -431,6 +505,7 @@ impl Default for SearchOptions {
             auto_ilp_var_limit: 150,
             coarsening_max: 16,
             fault_reserve: 0,
+            interrupt: SearchInterrupt::default(),
         }
     }
 }
@@ -477,7 +552,9 @@ pub struct SearchReport {
 ///
 /// # Errors
 ///
-/// [`Error::ScheduleNotFound`] when the attempt budget is exhausted.
+/// [`Error::ScheduleNotFound`] when the attempt budget is exhausted;
+/// [`Error::Preempted`] when [`SearchOptions::interrupt`] is raised at a
+/// poll point (between candidate IIs, or before the heuristic runs).
 pub fn find(
     ig: &InstanceGraph,
     config: &ExecConfig,
@@ -509,6 +586,7 @@ pub fn find(
         let mut vars = 0;
         let mut cons = 0;
         for attempt in 1..=opts.max_attempts {
+            opts.interrupt.check("ilp II search")?;
             let (model, handles) = crate::formulate::build_model(
                 ig,
                 config,
@@ -553,6 +631,7 @@ pub fn find(
             return Err(Error::ScheduleNotFound { last_ii: ii });
         }
         // Auto: fall through to the heuristic with everything we learned.
+        opts.interrupt.check("heuristic fallback")?;
         let sched = heuristic::schedule(ig, config, num_sms, lower, opts.coarsening_max, reserve)?;
         let final_ii = sched.ii;
         return Ok((
@@ -572,6 +651,7 @@ pub fn find(
         ));
     }
 
+    opts.interrupt.check("heuristic scheduling")?;
     let sched = heuristic::schedule(ig, config, num_sms, lower, opts.coarsening_max, reserve)?;
     let final_ii = sched.ii;
     let report = SearchReport {

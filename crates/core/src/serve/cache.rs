@@ -132,9 +132,35 @@ impl CacheStats {
     }
 }
 
+/// What an in-memory cache slot holds. `Reserved` is the asynchronous
+/// compile protocol's placeholder: the key has been claimed by a compile
+/// in flight (the event engine's worker pool), it participates in LRU
+/// accounting exactly as a ready entry would, and a lookup that lands on
+/// it is a *hit* — the artifact is deterministic, only its wall-clock
+/// availability lags.
+enum Slot {
+    Ready(Box<ResilientCompiled>),
+    Reserved,
+}
+
 struct Entry {
-    artifact: ResilientCompiled,
+    slot: Slot,
     last_used: u64,
+}
+
+/// The outcome of [`CompilationCache::lookup_or_reserve`].
+pub enum Lookup {
+    /// A ready artifact, already re-verified — serve it.
+    Hit(Box<ResilientCompiled>),
+    /// The key is reserved by a compile still in flight: a hit for
+    /// accounting purposes, but the caller must wait for the compile it
+    /// (or another tenant) dispatched earlier and re-verify the artifact
+    /// before serving it.
+    PendingHit(u64),
+    /// A miss. The key is now reserved: the caller must compile and then
+    /// [`CompilationCache::fulfill`] (or [`CompilationCache::abandon`]
+    /// on failure).
+    Miss(u64),
 }
 
 /// The content-addressed, LRU-bounded compilation cache.
@@ -197,30 +223,100 @@ impl CompilationCache {
         graph: &FlatGraph,
         opts: &PipelineOptions,
     ) -> Result<(ResilientCompiled, bool)> {
+        match self.lookup_or_reserve(graph, opts)? {
+            Lookup::Hit(artifact) => Ok((*artifact, true)),
+            Lookup::PendingHit(key) => Err(Error::Api(format!(
+                "cache entry {key:016x} is reserved by an in-flight compile; \
+                 synchronous get_or_compile cannot wait on it"
+            ))),
+            Lookup::Miss(key) => {
+                let artifact = match ResilientPipeline::new(opts.clone()).compile(graph) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        self.abandon(key);
+                        return Err(e);
+                    }
+                };
+                self.fulfill(key, &artifact);
+                Ok((artifact, false))
+            }
+        }
+    }
+
+    /// One cache transaction of the asynchronous compile protocol: a
+    /// ready entry (memory or disk) is returned verified; a reserved
+    /// entry reports a pending hit; a miss reserves the key — claiming
+    /// its LRU slot *now*, so the eviction sequence is identical to the
+    /// synchronous path's — and obliges the caller to compile and
+    /// [`CompilationCache::fulfill`].
+    ///
+    /// Hit/miss counters are charged here (a miss at reservation time,
+    /// not at compile completion), which is what makes the event-driven
+    /// engine's cache statistics bit-identical to the eager server's.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Verification`] when a stored artifact no longer passes
+    /// the verifier; corrupt disk entries as for `get_or_compile`.
+    pub fn lookup_or_reserve(
+        &mut self,
+        graph: &FlatGraph,
+        opts: &PipelineOptions,
+    ) -> Result<Lookup> {
         let key = cache_key(graph, opts);
         self.tick += 1;
         if let Some(e) = self.entries.get_mut(&key) {
             e.last_used = self.tick;
-            let artifact = e.artifact.clone();
-            verify_artifact(&artifact)?;
-            self.stats.hits += 1;
-            return Ok((artifact, true));
+            match &e.slot {
+                Slot::Ready(artifact) => {
+                    let artifact = artifact.clone();
+                    verify_artifact(&artifact)?;
+                    self.stats.hits += 1;
+                    return Ok(Lookup::Hit(artifact));
+                }
+                Slot::Reserved => {
+                    self.stats.hits += 1;
+                    return Ok(Lookup::PendingHit(key));
+                }
+            }
         }
         if let Some(artifact) = self.try_disk_load(key, graph, opts)? {
             verify_artifact(&artifact)?;
             self.stats.hits += 1;
             self.stats.disk_loads += 1;
-            self.insert(key, artifact.clone());
-            return Ok((artifact, true));
+            self.insert(key, Slot::Ready(Box::new(artifact.clone())));
+            return Ok(Lookup::Hit(Box::new(artifact)));
         }
-        let artifact = ResilientPipeline::new(opts.clone()).compile(graph)?;
         self.stats.misses += 1;
-        self.persist(key, &artifact);
-        self.insert(key, artifact.clone());
-        Ok((artifact, false))
+        self.insert(key, Slot::Reserved);
+        Ok(Lookup::Miss(key))
     }
 
-    fn insert(&mut self, key: u64, artifact: ResilientCompiled) {
+    /// Completes a reservation: persists the artifact to the disk tier
+    /// and makes the slot servable. A reservation that was evicted in
+    /// the meantime still persists (matching the synchronous path, which
+    /// wrote the disk entry before the eviction could have happened) but
+    /// is not re-inserted.
+    pub fn fulfill(&mut self, key: u64, artifact: &ResilientCompiled) {
+        self.persist(key, artifact);
+        if let Some(e) = self.entries.get_mut(&key) {
+            if matches!(e.slot, Slot::Reserved) {
+                e.slot = Slot::Ready(Box::new(artifact.clone()));
+            }
+        }
+    }
+
+    /// Drops a reservation whose compile failed, so the key misses (and
+    /// recompiles) instead of dangling as a permanent pending hit.
+    pub fn abandon(&mut self, key: u64) {
+        if let Some(e) = self.entries.get(&key) {
+            if matches!(e.slot, Slot::Reserved) {
+                self.entries.remove(&key);
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u64, slot: Slot) {
         if self.opts.capacity == 0 {
             return;
         }
@@ -240,7 +336,7 @@ impl CompilationCache {
         self.entries.insert(
             key,
             Entry {
-                artifact,
+                slot,
                 last_used: self.tick,
             },
         );
@@ -288,8 +384,10 @@ impl CompilationCache {
 
 /// The acceptance gate a cached artifact must clear before it is served:
 /// the same schedule- and plan-level static checks the pipeline runs on
-/// a freshly compiled rung.
-fn verify_artifact(artifact: &ResilientCompiled) -> Result<()> {
+/// a freshly compiled rung. The event engine also runs it on artifacts
+/// joined from pending reservations, so a hit is verified-on-serve on
+/// both serving paths.
+pub(super) fn verify_artifact(artifact: &ResilientCompiled) -> Result<()> {
     let c = &artifact.compiled;
     let serial = matches!(artifact.scheme, Scheme::Serial { .. });
     let num_sms = if serial { 1 } else { c.device.num_sms };
@@ -551,6 +649,52 @@ mod tests {
         assert!(cache.contains(cache_key(&g1, &opts)));
         assert!(!cache.contains(cache_key(&g2, &opts)));
         assert!(cache.contains(cache_key(&g3, &opts)));
+    }
+
+    #[test]
+    fn reservation_protocol_mirrors_the_synchronous_path() {
+        let g = chain(&[("a", 2), ("b", 3)]);
+        let opts = small_opts();
+        let mut cache = CompilationCache::new(CacheOptions::default());
+
+        // First lookup misses and reserves the key.
+        let key = match cache.lookup_or_reserve(&g, &opts).unwrap() {
+            Lookup::Miss(k) => k,
+            _ => panic!("fresh cache must miss"),
+        };
+        assert_eq!(cache.stats().misses, 1);
+        assert!(cache.contains(key), "reservation claims the slot");
+
+        // A second lookup before the compile lands is a pending hit —
+        // the artifact is deterministic, only wall-clock availability
+        // lags — and is charged as a hit.
+        assert!(matches!(
+            cache.lookup_or_reserve(&g, &opts).unwrap(),
+            Lookup::PendingHit(k) if k == key
+        ));
+        assert_eq!(cache.stats().hits, 1);
+
+        // Fulfilling makes the slot servable.
+        let artifact = ResilientPipeline::new(opts.clone()).compile(&g).unwrap();
+        cache.fulfill(key, &artifact);
+        match cache.lookup_or_reserve(&g, &opts).unwrap() {
+            Lookup::Hit(got) => assert_eq!(got.compiled.schedule, artifact.compiled.schedule),
+            _ => panic!("fulfilled reservation must hit"),
+        }
+
+        // An abandoned reservation misses (and re-reserves) instead of
+        // dangling as a permanent pending hit.
+        let g2 = chain(&[("c", 5)]);
+        let key2 = match cache.lookup_or_reserve(&g2, &opts).unwrap() {
+            Lookup::Miss(k) => k,
+            _ => panic!("new graph must miss"),
+        };
+        cache.abandon(key2);
+        assert!(!cache.contains(key2));
+        assert!(matches!(
+            cache.lookup_or_reserve(&g2, &opts).unwrap(),
+            Lookup::Miss(k) if k == key2
+        ));
     }
 
     #[test]

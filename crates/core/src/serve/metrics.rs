@@ -32,10 +32,19 @@ pub struct ServeMetrics {
     pub fault_overhead_cycles: u64,
     /// End-to-end latency (arrival → finish) of each completed job.
     pub latencies: Vec<f64>,
+    /// Queue wait (arrival → service start) of each completed job.
+    pub queue_waits: Vec<f64>,
     /// Compilations served from the cache.
     pub compile_hits: u64,
     /// Compilations that ran the ladder.
     pub compile_misses: u64,
+    /// Virtual seconds of this tenant's compile penalty that overlapped
+    /// other tenants' execution. The eager server pays every compile
+    /// inline, so it always reports zero; the event engine credits the
+    /// intersection of each cache-miss compile window with the union of
+    /// every *other* tenant's service intervals — the virtual-time
+    /// measure of compilation hidden behind execution.
+    pub compile_overlap_secs: f64,
 }
 
 impl ServeMetrics {
@@ -69,14 +78,22 @@ impl ServeMetrics {
     }
 
     fn percentile(&self, p: f64) -> f64 {
-        if self.latencies.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.latencies.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let rank = (p * (sorted.len() - 1) as f64).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
+        percentile_of(&self.latencies, p)
     }
+}
+
+/// The `p`-quantile of `samples` by nearest-rank on a sorted copy
+/// (0.0 when empty). Order-insensitive, so both serving paths can push
+/// samples in whatever order their clocks produce them.
+#[must_use]
+pub fn percentile_of(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
 }
 
 /// One tenant's row of the serve report.
@@ -106,6 +123,11 @@ pub struct TenantReport {
     pub compile_hits: u64,
     /// Compilations that ran the ladder.
     pub compile_misses: u64,
+    /// 99th-percentile queue wait (arrival → service start) in seconds.
+    pub queue_wait_p99_secs: f64,
+    /// Virtual seconds of compile penalty hidden behind other tenants'
+    /// execution ([`ServeMetrics::compile_overlap_secs`]).
+    pub compile_overlap_secs: f64,
     /// The fault-policy recommendation, when one fired.
     pub recommendation: Option<String>,
 }
@@ -122,6 +144,11 @@ pub struct ServeReport {
     pub cache_hit_rate: f64,
     /// Partition recuts performed by the demand-driven rebalancer.
     pub rebalances: u64,
+    /// Total compile penalty hidden behind execution across all tenants
+    /// (sum of the per-tenant [`TenantReport::compile_overlap_secs`]).
+    /// Zero under the eager server; positive whenever the event engine
+    /// overlapped a cache-miss compile with another tenant's run.
+    pub compile_overlap_secs: f64,
     /// Per-tenant rows, in tenant-name order.
     pub tenants: Vec<TenantReport>,
 }
@@ -155,6 +182,8 @@ impl TenantReport {
             },
             compile_hits: metrics.compile_hits,
             compile_misses: metrics.compile_misses,
+            queue_wait_p99_secs: percentile_of(&metrics.queue_waits, 0.99),
+            compile_overlap_secs: metrics.compile_overlap_secs,
             recommendation: metrics.recommendation(policy, retry_warn_threshold),
         }
     }
@@ -192,5 +221,36 @@ mod tests {
         assert!((49.0..=52.0).contains(&p50), "p50 = {p50}");
         assert!((98.0..=100.0).contains(&p99), "p99 = {p99}");
         assert!(p99.is_finite());
+    }
+
+    #[test]
+    fn percentile_is_order_insensitive_and_report_carries_overlap() {
+        let forward: Vec<f64> = (1..=50).map(f64::from).collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        assert_eq!(
+            percentile_of(&forward, 0.99),
+            percentile_of(&reversed, 0.99)
+        );
+        assert_eq!(percentile_of(&[], 0.5), 0.0);
+
+        let m = ServeMetrics {
+            queue_waits: vec![0.1, 0.9, 0.4],
+            compile_overlap_secs: 1.25,
+            ..ServeMetrics::default()
+        };
+        let row = TenantReport::of(
+            "t",
+            &m,
+            Slice {
+                base_sm: 0,
+                num_sms: 4,
+            },
+            10.0,
+            FaultPolicy::Throughput,
+            0.05,
+        );
+        assert!((row.queue_wait_p99_secs - 0.9).abs() < 1e-12);
+        assert!((row.compile_overlap_secs - 1.25).abs() < 1e-12);
     }
 }

@@ -28,6 +28,7 @@
 
 pub mod admission;
 pub mod cache;
+pub mod engine;
 pub mod metrics;
 pub mod partition;
 
@@ -37,16 +38,17 @@ use gpusim::{DeviceConfig, FaultPlan, TimingModel};
 use streamir::graph::FlatGraph;
 use streamir::ir::Scalar;
 
-use crate::exec::{execute_with, required_input, CompileOptions, RunOptions, SmPlacement};
-use crate::pipeline::{FaultPolicy, LadderRung, PipelineOptions, StageBudgets};
+use crate::exec::{execute_with, required_input, CompileOptions, GpuRun, RunOptions, SmPlacement};
+use crate::pipeline::{FaultPolicy, LadderRung, PipelineOptions, ResilientCompiled, StageBudgets};
 use crate::profile::ProfileOptions;
 use crate::schedule::{SchedulerKind, SearchOptions};
 use crate::Result;
 
 pub use admission::{budgets_for, AdmissionController, Decision, Pressure};
-pub use cache::{cache_key, CacheOptions, CacheStats, CompilationCache};
+pub use cache::{cache_key, CacheOptions, CacheStats, CompilationCache, Lookup};
+pub use engine::{EventEngine, EventKind, TraceEvent};
 pub use metrics::{ServeMetrics, ServeReport, TenantReport};
-pub use partition::{Partitioner, RateEstimator, Slice};
+pub use partition::{Partitioner, RateEstimator, RecutRecord, Slice};
 
 /// The quality-of-service class a tenant submits under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +73,7 @@ impl QosClass {
 
 /// One unit of work: a graph to compile (or hit in the cache) and run
 /// for `iterations` steady-state iterations.
+#[derive(Clone)]
 pub struct Job {
     /// The submitting tenant.
     pub tenant: String,
@@ -183,13 +186,69 @@ pub struct JobResult {
     pub retries: u64,
 }
 
+/// The exact compile configuration one job compiles under on a slice of
+/// `slice_sms` SMs at queue `pressure`. Both serving paths — the eager
+/// [`Server::submit`] and the event engine's compile tasks — build their
+/// options here, so a given `(job, slice, pressure)` is content-addressed
+/// identically by the cache no matter which path compiles it.
+pub(crate) fn pipeline_options_for(
+    opts: &ServeOptions,
+    job: &Job,
+    slice_sms: u32,
+    pressure: Pressure,
+) -> PipelineOptions {
+    PipelineOptions {
+        compile: CompileOptions {
+            device: DeviceConfig {
+                num_sms: slice_sms,
+                ..opts.device.clone()
+            },
+            timing: opts.timing.clone(),
+            profile: opts.profile.clone(),
+            search: opts.search.clone(),
+        },
+        budgets: budgets_for(pressure, &opts.budgets),
+        fault_plan: opts.fault_plan.clone(),
+        policy: job.qos.policy(),
+    }
+}
+
+/// Runs one job's artifact on its slice: generates exactly the input the
+/// compiled program needs, places it at `base_sm` on the shared device,
+/// and executes under the artifact's own run options (fault plan,
+/// retry, checkpoint). Shared by both serving paths so per-job results
+/// are byte-identical by construction.
+pub(crate) fn run_artifact(
+    artifact: &ResilientCompiled,
+    job: &Job,
+    device: &DeviceConfig,
+    base_sm: u32,
+) -> Result<GpuRun> {
+    let needed = required_input(&artifact.compiled, job.iterations);
+    let input = (job.input)(needed as usize);
+    let run_opts = RunOptions {
+        placement: Some(SmPlacement {
+            device: device.clone(),
+            base_sm,
+        }),
+        ..artifact.run_options.clone()
+    };
+    execute_with(
+        &artifact.compiled,
+        artifact.scheme,
+        job.iterations,
+        &input,
+        &run_opts,
+    )
+}
+
 #[derive(Debug, Default)]
-struct TenantState {
-    metrics: ServeMetrics,
-    busy_until: f64,
+pub(crate) struct TenantState {
+    pub(crate) metrics: ServeMetrics,
+    pub(crate) busy_until: f64,
     /// Finish times of admitted jobs, pruned at each arrival.
-    inflight: Vec<f64>,
-    qos: Option<QosClass>,
+    pub(crate) inflight: Vec<f64>,
+    pub(crate) qos: Option<QosClass>,
 }
 
 /// The multi-tenant serving runtime.
@@ -245,17 +304,7 @@ impl Server {
         let state = self.tenants.entry(job.tenant.clone()).or_default();
         state.qos = Some(job.qos);
         state.inflight.retain(|&f| f > now);
-        let backlog = state.inflight.len();
-        let earliest = state.inflight.iter().copied().fold(f64::INFINITY, f64::min);
-        let decision = self.admission.decide(
-            backlog,
-            if earliest.is_finite() {
-                earliest - now
-            } else {
-                0.0
-            },
-        );
-        let pressure = match decision {
+        let pressure = match self.admission.decide_event(&state.inflight, now) {
             Decision::Reject { retry_after_secs } => {
                 state.metrics.jobs_rejected += 1;
                 return Ok(Verdict::Rejected { retry_after_secs });
@@ -263,38 +312,9 @@ impl Server {
             Decision::Admit(p) => p,
         };
 
-        let popts = PipelineOptions {
-            compile: CompileOptions {
-                device: DeviceConfig {
-                    num_sms: slice.num_sms,
-                    ..self.opts.device.clone()
-                },
-                timing: self.opts.timing.clone(),
-                profile: self.opts.profile.clone(),
-                search: self.opts.search.clone(),
-            },
-            budgets: budgets_for(pressure, &self.opts.budgets),
-            fault_plan: self.opts.fault_plan.clone(),
-            policy: job.qos.policy(),
-        };
+        let popts = pipeline_options_for(&self.opts, job, slice.num_sms, pressure);
         let (artifact, cache_hit) = self.cache.get_or_compile(&job.graph, &popts)?;
-
-        let needed = required_input(&artifact.compiled, job.iterations);
-        let input = (job.input)(needed as usize);
-        let run_opts = RunOptions {
-            placement: Some(SmPlacement {
-                device: self.opts.device.clone(),
-                base_sm: slice.base_sm,
-            }),
-            ..artifact.run_options.clone()
-        };
-        let run = execute_with(
-            &artifact.compiled,
-            artifact.scheme,
-            job.iterations,
-            &input,
-            &run_opts,
-        )?;
+        let run = run_artifact(&artifact, job, &self.opts.device, slice.base_sm)?;
 
         let compile_cost = if cache_hit {
             0.0
@@ -320,6 +340,7 @@ impl Server {
         m.cycles += run.stats.cycles.round() as u64;
         m.fault_overhead_cycles += run.stats.fault_overhead_cycles.round() as u64;
         m.latencies.push(finish - now);
+        m.queue_waits.push(start - now);
         if cache_hit {
             m.compile_hits += 1;
         } else {
@@ -380,6 +401,11 @@ impl Server {
             cache: self.cache.stats().clone(),
             cache_hit_rate: self.cache.stats().hit_rate(),
             rebalances: self.partitioner.rebalances,
+            compile_overlap_secs: self
+                .tenants
+                .values()
+                .map(|s| s.metrics.compile_overlap_secs)
+                .sum(),
             tenants,
         }
     }

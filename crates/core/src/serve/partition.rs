@@ -85,6 +85,16 @@ impl RateEstimator {
     }
 }
 
+/// One partition recut, for the audit log: when it happened and the
+/// slice widths it produced, in tenant-name order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecutRecord {
+    /// Virtual time of the arrival that triggered the recut.
+    pub at_secs: f64,
+    /// `(tenant, slice width)` after the recut, in tenant-name order.
+    pub widths: Vec<(String, u32)>,
+}
+
 /// The current partition of the device plus the demand estimators that
 /// drive it.
 #[derive(Debug, Clone)]
@@ -96,6 +106,9 @@ pub struct Partitioner {
     /// Partition recuts performed (including the initial cut per tenant
     /// set), for the metrics layer.
     pub rebalances: u64,
+    /// Every recut, in order — the audit trail the event engine's
+    /// determinism tests lock down.
+    pub recut_log: Vec<RecutRecord>,
 }
 
 impl Partitioner {
@@ -108,6 +121,7 @@ impl Partitioner {
             rates: BTreeMap::new(),
             slices: BTreeMap::new(),
             rebalances: 0,
+            recut_log: Vec::new(),
         }
     }
 
@@ -115,11 +129,36 @@ impl Partitioner {
     /// the tenant to the partition if new, and recuts the partition when
     /// the demand estimate has drifted past the hysteresis band.
     ///
+    /// The eager server calls this inline from `submit` — which records
+    /// the EWMA observation at *simulation* time (arrivals clamped to
+    /// the server's monotone clock). The event engine instead calls
+    /// [`Partitioner::record_arrival`] at arrival-event dequeue and
+    /// [`Partitioner::recut_at`] from the rebalance event, so demand is
+    /// always observed in true arrival order at true arrival times.
+    ///
     /// # Errors
     ///
     /// [`Error::Api`] when admitting the tenant would exceed one tenant
     /// per SM.
     pub fn observe(&mut self, tenant: &str, now: f64) -> Result<()> {
+        if self.record_arrival(tenant, now)? {
+            self.recut_at(now);
+        }
+        Ok(())
+    }
+
+    /// The arrival-recording half of [`Partitioner::observe`]: feeds the
+    /// tenant's EWMA estimator (admitting the tenant if new) and reports
+    /// whether the partition needs a recut — either the tenant has no
+    /// slice yet or some tenant's ideal quota has drifted more than one
+    /// full SM from its allocation. The caller decides *when* the recut
+    /// event runs; [`Partitioner::recut_at`] performs it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Api`] when admitting the tenant would exceed one tenant
+    /// per SM.
+    pub fn record_arrival(&mut self, tenant: &str, now: f64) -> Result<bool> {
         let is_new = !self.rates.contains_key(tenant);
         if is_new && self.rates.len() as u32 >= self.total_sms {
             return Err(Error::Api(format!(
@@ -132,10 +171,21 @@ impl Partitioner {
             .entry(tenant.to_string())
             .or_insert_with(|| RateEstimator::new(self.alpha))
             .observe(now);
-        if is_new || self.drifted() {
-            self.recut();
-        }
-        Ok(())
+        Ok(is_new || self.drifted())
+    }
+
+    /// Recuts the partition from the current demand estimates, logging
+    /// the result at virtual time `now`.
+    pub fn recut_at(&mut self, now: f64) {
+        self.recut();
+        self.recut_log.push(RecutRecord {
+            at_secs: now,
+            widths: self
+                .slices
+                .iter()
+                .map(|(t, s)| (t.clone(), s.num_sms))
+                .collect(),
+        });
     }
 
     /// The tenant's current slice.
@@ -272,6 +322,63 @@ mod tests {
             "hot {hot:?} should out-provision cold {cold:?}"
         );
         assert!(cold.num_sms >= 1);
+    }
+
+    #[test]
+    fn recut_log_locks_the_sequence_and_true_arrival_order_matters() {
+        // Demand observed in true arrival order: "hot" floods, "cold"
+        // trickles. The recut log pins the exact sequence of cuts.
+        let trace: Vec<(&str, f64)> = {
+            let mut t: Vec<(&str, f64)> = (0..40).map(|i| ("hot", 0.1 * f64::from(i))).collect();
+            t.push(("cold", 0.05));
+            t.push(("cold", 3.95));
+            t.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(b.0)));
+            t
+        };
+        let mut in_order = Partitioner::new(16, 0.5);
+        for &(tenant, at) in &trace {
+            in_order.observe(tenant, at).unwrap();
+        }
+        // The same arrivals replayed at *simulation* time — the eager
+        // server's clamping: "cold"'s early arrival is recorded late, at
+        // whatever the clock had advanced to (here: after the whole hot
+        // burst). The estimators see a different demand history, so the
+        // recut sequence differs — the bug the event engine fixes by
+        // recording at arrival-event dequeue.
+        let mut clamped = Partitioner::new(16, 0.5);
+        let mut clock = 0.0f64;
+        for &(tenant, at) in trace.iter().filter(|(t, _)| *t == "hot") {
+            clock = clock.max(at);
+            clamped.observe(tenant, clock).unwrap();
+        }
+        for &(tenant, at) in trace.iter().filter(|(t, _)| *t == "cold") {
+            clock = clock.max(at);
+            clamped.observe(tenant, clock).unwrap();
+        }
+
+        // Replaying the true-order trace is bit-reproducible: the log
+        // locks both the times and the widths of every cut.
+        let mut replay = Partitioner::new(16, 0.5);
+        for &(tenant, at) in &trace {
+            replay.observe(tenant, at).unwrap();
+        }
+        assert_eq!(in_order.recut_log, replay.recut_log);
+        assert!(
+            in_order.recut_log.len() >= 2,
+            "admitting two tenants must cut at least twice: {:?}",
+            in_order.recut_log
+        );
+        // First cut: hot alone owns the device.
+        assert_eq!(in_order.recut_log[0].widths, vec![("hot".to_string(), 16)]);
+        // Demand order changes the outcome: the clamped replay distorts
+        // cold's inter-arrival gaps, so the final widths diverge.
+        assert_ne!(
+            in_order.recut_log.last().unwrap().widths,
+            clamped.recut_log.last().unwrap().widths,
+            "simulation-time recording must be observably wrong: {:?} vs {:?}",
+            in_order.recut_log,
+            clamped.recut_log,
+        );
     }
 
     #[test]

@@ -1,17 +1,24 @@
 //! The multi-tenant serving benchmark behind `cargo run --bin serve_bench`.
 //!
 //! Serves the eight StreamIt benchmarks as eight tenants of one
-//! [`swpipe::serve::Server`] over a deterministic arrival trace: one
-//! warm-up round that admits every tenant (and recuts the SM partition
-//! as each joins), one round compiled at the settled slice widths, then
-//! repeat rounds that should hit the compilation cache. A mild fault
-//! plan keeps the retry-rate metric exercised.
+//! [`swpipe::serve::EventEngine`] over a deterministic arrival trace:
+//! one warm-up round that admits every tenant (and recuts the SM
+//! partition as each joins), one round compiled at the settled slice
+//! widths, then repeat rounds that should hit the compilation cache. A
+//! mild fault plan keeps the retry-rate metric exercised.
+//!
+//! The event engine overlaps cache-miss compilations with other
+//! tenants' execution on a bounded worker pool; per-job results stay
+//! byte-identical to the eager [`swpipe::serve::Server`] (the
+//! `serve_engine` differential suite proves it), and the report gains
+//! the overlap observables: `compile_overlap_secs` per tenant and in
+//! total, plus a queue-wait p99.
 //!
 //! Writes `BENCH_serve.json` — per-benchmark throughput, p99 latency,
-//! and cache hit rate — for the CI artifact upload.
+//! cache hit rate, and compile overlap — for the CI artifact upload.
 
 use gpusim::FaultPlan;
-use swpipe::serve::{Job, QosClass, ServeOptions, ServeReport, Server, Verdict};
+use swpipe::serve::{EventEngine, Job, QosClass, ServeOptions, ServeReport, Verdict};
 
 /// Rounds the full benchmark runs: two cold rounds (tenant admission
 /// recuts the partition, then the settled widths compile once more) plus
@@ -36,9 +43,10 @@ pub fn run_trace(rounds: usize, iterations: u64) -> ServeReport {
         fault_plan: Some(FaultPlan::new(0x5EB7E).with_launch_failures(30)),
         ..ServeOptions::default()
     };
-    let mut server = Server::new(opts);
+    let mut engine = EventEngine::new(opts).with_checkpoint_period(1.0);
 
     let suite = streambench::suite();
+    let mut trace = Vec::new();
     let mut now = 0.0;
     for round in 0..rounds {
         for b in &suite {
@@ -54,19 +62,23 @@ pub fn run_trace(rounds: usize, iterations: u64) -> ServeReport {
                     QosClass::Interactive
                 },
             };
-            match server.submit(&job, now).expect("benchmark job serves") {
-                Verdict::Completed(r) => {
-                    assert!(!r.outputs.is_empty(), "{}: no output", b.name);
-                }
-                Verdict::Rejected { retry_after_secs } => {
-                    panic!("{}: rejected (retry in {retry_after_secs}s)", b.name);
-                }
-            }
+            trace.push((job, now));
             now += 0.05;
         }
         now += 1.0;
     }
-    server.report()
+    let verdicts = engine.serve_trace(&trace).expect("benchmark trace serves");
+    for (verdict, (job, _)) in verdicts.iter().zip(&trace) {
+        match verdict {
+            Verdict::Completed(r) => {
+                assert!(!r.outputs.is_empty(), "{}: no output", job.tenant);
+            }
+            Verdict::Rejected { retry_after_secs } => {
+                panic!("{}: rejected (retry in {retry_after_secs}s)", job.tenant);
+            }
+        }
+    }
+    engine.report()
 }
 
 /// Serializes a report to `path` as pretty JSON.
@@ -85,13 +97,15 @@ pub fn main() {
     for t in &report.tenants {
         println!(
             "{:>18}  slice [{:>2}+{:<2}]  {:>8.1} tok/s  p50 {:.4}s  p99 {:.4}s  \
-             retries/launch {:.4}  hits {}/{}",
+             qwait-p99 {:.4}s  overlap {:.3}s  retries/launch {:.4}  hits {}/{}",
             t.tenant,
             t.slice.base_sm,
             t.slice.num_sms,
             t.throughput_tokens_per_sec,
             t.p50_latency_secs,
             t.p99_latency_secs,
+            t.queue_wait_p99_secs,
+            t.compile_overlap_secs,
             t.retry_rate,
             t.compile_hits,
             t.compile_hits + t.compile_misses,
@@ -103,6 +117,10 @@ pub fn main() {
     println!(
         "cache: {} hits / {} misses / {} evictions (hit rate {:.2})",
         report.cache.hits, report.cache.misses, report.cache.evictions, report.cache_hit_rate
+    );
+    println!(
+        "compile overlap hidden behind execution: {:.3}s",
+        report.compile_overlap_secs
     );
     write_report(&report, "BENCH_serve.json");
     println!("wrote BENCH_serve.json");
