@@ -247,6 +247,34 @@ pub struct RunOptions {
     /// device (multi-tenant co-scheduling). `None` runs on the compiled
     /// device at offset 0.
     pub placement: Option<SmPlacement>,
+    /// Commit the stateful-state checkpoint every `k` launches instead of
+    /// every launch (`0` and `1` both mean every launch). Recovery from a
+    /// transient fault then restores the last committed snapshot and
+    /// *replays* the up-to-`k − 1` launches completed since it, with the
+    /// replays truthfully billed into [`LaunchStats::replay_cycles`].
+    /// Channel buffers gain `k − 1` extra live windows per channel
+    /// ([`crate::plan::plan_with_replay_slack`]) so replayed launches
+    /// never read overwritten regions. Only takes effect when a fault
+    /// plan is armed; fault-free and scaled-measurement runs always
+    /// commit per launch and plan canonical buffers.
+    pub checkpoint_interval: u32,
+    /// Adaptive hang-detection margin (the tail-latency watchdog). When
+    /// set, each successful launch tightens the device's watchdog
+    /// instruction budget to `margin ×` the largest instruction count
+    /// any successful launch has issued, so a hang is killed after a
+    /// small multiple of a legitimate launch instead of burning the
+    /// full display-watchdog interval
+    /// ([`gpusim::timing::WATCHDOG_SECS`]). A kill that was the
+    /// tightened budget's own fault — a later launch legitimately
+    /// bigger than everything seen so far — self-corrects: every kill
+    /// at a tightened budget doubles the armed budget before the retry
+    /// and is billed but *not* counted against
+    /// [`RetryPolicy::max_attempts`], so a wrongly-killed launch always
+    /// makes progress and only kills at the device's true budget can
+    /// exhaust the retry bound. Only takes effect when a fault plan is
+    /// armed; fault-free and scaled-measurement runs keep the device
+    /// default. `None` (the default) never tightens.
+    pub watchdog_margin: Option<u32>,
 }
 
 /// The outcome of a GPU execution.
@@ -270,6 +298,10 @@ pub struct GpuRun {
     /// The checkpoint mode the run protected stateful state with
     /// (cost-model choice under [`CheckpointSpec::Auto`]).
     pub checkpoint_mode: CheckpointMode,
+    /// The commit interval the run actually used: state committed every
+    /// this-many launches (1 unless a fault plan was armed and
+    /// [`RunOptions::checkpoint_interval`] asked for more).
+    pub checkpoint_interval: u32,
     /// Modeled cycles of each completed launch, in issue order — the
     /// per-launch trace makespan-variance experiments need. Empty for
     /// scaled measurement runs ([`measure`]), where most launches are
@@ -371,7 +403,24 @@ fn execute_inner(
         Scheme::Serial { .. } => None,
         _ => Some(&c.schedule),
     };
-    let plan = plan::plan(&c.graph, &c.ig, sched, granule, kind);
+    // k-launch checkpointing only matters (and is only billed) under an
+    // armed fault plan; scaled measurement extrapolates merged steady
+    // launches, so it always commits per launch over canonical buffers.
+    let interval = if opts.fault_plan.is_some() && !scaled {
+        opts.checkpoint_interval.max(1)
+    } else {
+        1
+    };
+    // The adaptive watchdog has the same gate: fault-free runs must be
+    // byte- and cycle-identical across all settings, and scaled
+    // measurement merges steady launches into outsized composites the
+    // tightened budget would wrongly kill.
+    let watchdog_margin = if opts.fault_plan.is_some() && !scaled {
+        u64::from(opts.watchdog_margin.unwrap_or(0))
+    } else {
+        0
+    };
+    let plan = plan::plan_with_replay_slack(&c.graph, &c.ig, sched, granule, kind, interval - 1);
 
     // In scaled mode only a bounded window of launches is simulated, so
     // buffers (and the required input) cover just that window; addresses
@@ -437,6 +486,8 @@ fn execute_inner(
                 opts.retry,
                 &mut retries,
                 &mut ckpt,
+                interval,
+                watchdog_margin,
                 &mut trace,
             )?;
         }
@@ -454,6 +505,8 @@ fn execute_inner(
                 opts.retry,
                 &mut retries,
                 &mut ckpt,
+                interval,
+                watchdog_margin,
                 &mut trace,
             )?;
         }
@@ -462,6 +515,9 @@ fn execute_inner(
     // The simulated-retry counter is exact even in scaled mode (where
     // merged steady-window stats are extrapolated, not re-simulated).
     totals.retries = retries;
+    // Fault billing must account: the disjoint overhead components sum
+    // to the fault overhead, which never exceeds the wall cycles.
+    totals.assert_billing();
 
     let outputs = if scaled {
         Vec::new()
@@ -475,6 +531,7 @@ fn execute_inner(
         retries,
         buffer_bytes: plan.total_bytes(),
         checkpoint_mode: mode,
+        checkpoint_interval: interval,
         launch_cycles: if scaled { Vec::new() } else { trace },
         stats: totals,
     })
@@ -672,52 +729,197 @@ impl Checkpointer {
     }
 }
 
-/// Runs one launch with bounded retry-with-relaunch: on a transient fault
+/// The adaptive hang-detection tuner behind
+/// [`RunOptions::watchdog_margin`]: tracks the largest instruction count
+/// any successful launch has issued and keeps the device's watchdog
+/// budget at `margin ×` that evidence. Inert at margin 0.
+struct WatchdogTuner {
+    /// Tightening factor (0 = disabled, the device default stands).
+    margin: u64,
+    /// The device's true (display-interval) watchdog budget.
+    default_budget: u64,
+    /// Largest warp-instruction count a successful launch has issued.
+    max_insts: u64,
+}
+
+impl WatchdogTuner {
+    fn new(margin: u64, default_budget: u64) -> WatchdogTuner {
+        WatchdogTuner {
+            margin,
+            default_budget,
+            max_insts: 0,
+        }
+    }
+
+    /// Re-tightens the budget from a successful launch's true size.
+    fn observe_success(&mut self, gpu: &mut Gpu, stats: &LaunchStats) {
+        if self.margin == 0 {
+            return;
+        }
+        self.max_insts = self.max_insts.max(stats.warp_instructions);
+        let tight = self
+            .max_insts
+            .saturating_mul(self.margin)
+            .clamp(1, self.default_budget);
+        gpu.set_watchdog_budget(Some(tight));
+    }
+
+    /// Reacts to a transient fault. Returns whether the failure counts
+    /// against the retry budget: a watchdog kill at a *tightened* budget
+    /// may be the tuner's own false positive (a launch legitimately
+    /// bigger than `margin ×` everything seen so far), so the armed
+    /// budget doubles and the attempt is billed but not counted —
+    /// progress is guaranteed because the budget reaches the device
+    /// default after finitely many doublings, where kills count again.
+    fn absorb_fault(&mut self, gpu: &mut Gpu, err: &gpusim::SimError) -> bool {
+        if self.margin == 0 || !matches!(err, gpusim::SimError::WatchdogTimeout { .. }) {
+            return true;
+        }
+        let armed = gpu.watchdog_budget();
+        if armed >= self.default_budget {
+            return true;
+        }
+        gpu.set_watchdog_budget(Some(armed.saturating_mul(2).min(self.default_budget)));
+        false
+    }
+}
+
+/// The k-launch commit window: which launch ordinals have completed since
+/// the last checkpoint commit. At `interval == 1` the window drains after
+/// every launch and the sequencer degenerates exactly to per-launch
+/// commit-and-retry; at `interval == k > 1` the checkpoint commits every
+/// k launches and recovery replays the window.
+struct CommitWindow {
+    interval: u32,
+    pending: Vec<u64>,
+}
+
+impl CommitWindow {
+    fn new(interval: u32) -> CommitWindow {
+        CommitWindow {
+            interval: interval.max(1),
+            pending: Vec::new(),
+        }
+    }
+}
+
+/// Runs one launch with bounded retry-with-replay: on a transient fault
 /// ([`gpusim::SimError::is_transient`]) the stateful-state checkpoint is
 /// restored, the failed attempt's true cost is accumulated (billed via
 /// [`TimingModel::failed_attempt_cycles`] into the successful attempt's
-/// stats), and the launch is re-run. The fault plan draws per lifetime
-/// attempt ordinal, so a retry gets a fresh, independent draw. Checkpoint
-/// commits and restores are billed through the timing model's checkpoint
-/// cost model into both `fault_overhead_cycles` and its
-/// `checkpoint_cycles` breakdown.
-fn run_launch_retrying(
+/// stats), every launch completed since the last commit is *replayed*
+/// from its (still-live, replay-slack-planned) inputs, and the faulted
+/// launch is re-run. The fault plan draws per lifetime attempt ordinal,
+/// so every retry and every replay gets a fresh, independent draw; a
+/// fault during replay restarts the window replay under the same bounded
+/// attempts budget.
+///
+/// Billing is truthful and disjoint: failed attempts into
+/// [`LaunchStats::failed_attempt_cycles`], commit/restore copies into
+/// [`LaunchStats::checkpoint_cycles`], replayed launches' full cost into
+/// [`LaunchStats::replay_cycles`] — all folded into
+/// `fault_overhead_cycles` and the wall cycles.
+#[allow(clippy::too_many_arguments)] // one internal dispatch point
+fn run_launch_windowed<'a, F>(
     gpu: &mut Gpu,
-    launch: &Launch<'_>,
+    ordinal: u64,
+    build: &F,
     retry: RetryPolicy,
     retries: &mut u64,
     ckpt: &mut Checkpointer,
-) -> Result<LaunchStats> {
-    let mut ckpt_cycles = ckpt.commit(gpu)?;
+    window: &mut CommitWindow,
+    tuner: &mut WatchdogTuner,
+) -> Result<LaunchStats>
+where
+    F: Fn(u64) -> Result<Launch<'a>>,
+{
+    // The checkpoint commits only at window boundaries: every k-th
+    // launch opens a fresh window over a just-committed snapshot.
+    let mut ckpt_cycles = if window.pending.is_empty() {
+        ckpt.commit(gpu)?
+    } else {
+        0.0
+    };
     let mut fault_cycles = 0.0f64;
+    let mut replay_cycles = 0.0f64;
+    // Attempts counted against the retry budget; kills at a tightened
+    // watchdog budget retry for free (see [`WatchdogTuner`]) but still
+    // show up in `tries` (and the retry counters and the billing).
     let mut attempt = 0u32;
+    let mut tries = 0u64;
+    let max_attempts = retry.max_attempts.max(1);
+    let launch = build(ordinal)?;
+    let give_up = |e: gpusim::SimError, attempts: u32| {
+        Error::sim_while(
+            e,
+            format!(
+                "relaunching a faulted steady-state launch \
+                 (gave up after {attempts} attempts)"
+            ),
+        )
+    };
     loop {
-        match gpu.run(launch) {
+        match gpu.run(&launch) {
             Ok(mut stats) => {
-                stats.retries = u64::from(attempt);
-                if fault_cycles > 0.0 || ckpt_cycles > 0.0 {
-                    stats.fault_overhead_cycles += fault_cycles + ckpt_cycles;
+                tuner.observe_success(gpu, &stats);
+                stats.retries = tries;
+                let overhead = fault_cycles + ckpt_cycles + replay_cycles;
+                if overhead > 0.0 {
+                    stats.fault_overhead_cycles += overhead;
+                    stats.failed_attempt_cycles += fault_cycles;
                     stats.checkpoint_cycles += ckpt_cycles;
-                    stats.cycles += fault_cycles + ckpt_cycles;
+                    stats.replay_cycles += replay_cycles;
+                    stats.cycles += overhead;
                     stats.time_secs = gpu.timing().secs(stats.cycles);
+                }
+                window.pending.push(ordinal);
+                if window.pending.len() >= window.interval as usize {
+                    window.pending.clear();
                 }
                 return Ok(stats);
             }
-            Err(e) if e.is_transient() && attempt + 1 < retry.max_attempts.max(1) => {
-                attempt += 1;
+            Err(e) if e.is_transient() => {
+                let counted = tuner.absorb_fault(gpu, &e);
+                if counted && attempt + 1 >= max_attempts {
+                    return Err(give_up(e, attempt + 1));
+                }
+                if counted {
+                    attempt += 1;
+                }
+                tries += 1;
                 *retries += 1;
                 fault_cycles += gpu.timing().failed_attempt_cycles(&e);
                 ckpt_cycles += ckpt.restore(gpu)?;
-            }
-            Err(e) if e.is_transient() => {
-                return Err(Error::sim_while(
-                    e,
-                    format!(
-                        "relaunching a faulted steady-state launch \
-                         (gave up after {} attempts)",
-                        attempt + 1
-                    ),
-                ));
+                // Replay the window from the restored snapshot before
+                // retrying the faulted launch. A replay that itself
+                // faults restores again and restarts the whole window,
+                // spending the same bounded attempts budget.
+                let mut i = 0usize;
+                while i < window.pending.len() {
+                    let replay = build(window.pending[i])?;
+                    match gpu.run(&replay) {
+                        Ok(s) => {
+                            tuner.observe_success(gpu, &s);
+                            replay_cycles += s.cycles;
+                            i += 1;
+                        }
+                        Err(e2) if e2.is_transient() => {
+                            let counted = tuner.absorb_fault(gpu, &e2);
+                            if counted && attempt + 1 >= max_attempts {
+                                return Err(give_up(e2, attempt + 1));
+                            }
+                            if counted {
+                                attempt += 1;
+                            }
+                            tries += 1;
+                            *retries += 1;
+                            fault_cycles += gpu.timing().failed_attempt_cycles(&e2);
+                            ckpt_cycles += ckpt.restore(gpu)?;
+                            i = 0;
+                        }
+                        Err(e2) => return Err(e2.into()),
+                    }
+                }
             }
             Err(e) => return Err(e.into()),
         }
@@ -742,6 +944,8 @@ fn run_swp(
     retry: RetryPolicy,
     retries: &mut u64,
     ckpt: &mut Checkpointer,
+    interval: u32,
+    watchdog_margin: u64,
     trace: &mut Vec<f64>,
 ) -> Result<()> {
     let sched = &c.schedule;
@@ -750,19 +954,32 @@ fn run_swp(
     let stages = sched.max_stage();
     let order = swp_sm_order(sched, num_sms, c.ig.len());
 
-    let run_one = |r: u64,
-                   gpu: &mut Gpu,
-                   retries: &mut u64,
-                   ckpt: &mut Checkpointer|
-     -> Result<LaunchStats> {
-        let launch = Launch {
+    let build = |r: u64| -> Result<Launch<'_>> {
+        Ok(Launch {
             threads_per_block: c.exec_cfg.threads_per_block,
             regs_per_thread: c.exec_cfg.regs_per_thread,
             blocks: swp_blocks(c, buffers, &order, r, coarsening, kernel_iters, staged)?,
             sm_offset,
-        };
-        run_launch_retrying(gpu, &launch, retry, retries, ckpt)
-            .map_err(|e| e.in_context(format!("software-pipelined kernel iteration {r}")))
+        })
+    };
+    let mut window = CommitWindow::new(interval);
+    let mut tuner = WatchdogTuner::new(watchdog_margin, gpu.watchdog_budget());
+    let mut run_one = |r: u64,
+                       gpu: &mut Gpu,
+                       retries: &mut u64,
+                       ckpt: &mut Checkpointer|
+     -> Result<LaunchStats> {
+        run_launch_windowed(
+            gpu,
+            r,
+            &build,
+            retry,
+            retries,
+            ckpt,
+            &mut window,
+            &mut tuner,
+        )
+        .map_err(|e| e.in_context(format!("software-pipelined kernel iteration {r}")))
     };
 
     if !scaled || kernel_iters <= stages + 4 {
@@ -817,22 +1034,43 @@ fn run_serial(
     retry: RetryPolicy,
     retries: &mut u64,
     ckpt: &mut Checkpointer,
+    interval: u32,
+    watchdog_margin: u64,
     trace: &mut Vec<f64>,
 ) -> Result<()> {
     let topo = c.graph.topo_order()?;
     let batches = iterations / u64::from(batch);
+    // The serial scheme's launch ordinal enumerates (batch, node) pairs
+    // in issue order, so a replay window can rebuild any launch.
+    let build = |ordinal: u64| -> Result<Launch<'_>> {
+        let batch_no = ordinal / topo.len() as u64;
+        let node = topo[(ordinal % topo.len() as u64) as usize];
+        Ok(Launch {
+            threads_per_block: c.exec_cfg.threads[node.0 as usize],
+            regs_per_thread: c.exec_cfg.regs_per_thread,
+            blocks: serial_blocks(c, buffers, node, batch, batch_no)?,
+            sm_offset,
+        })
+    };
+    let mut window = CommitWindow::new(interval);
+    let mut tuner = WatchdogTuner::new(watchdog_margin, gpu.watchdog_budget());
     // Every batch is counter-identical (one kernel per filter over the
     // same shapes); in scaled mode simulate the first and scale.
     let sim_batches = if scaled { batches.min(1) } else { batches };
     for batch_no in 0..sim_batches {
-        for &node in &topo {
-            let launch = Launch {
-                threads_per_block: c.exec_cfg.threads[node.0 as usize],
-                regs_per_thread: c.exec_cfg.regs_per_thread,
-                blocks: serial_blocks(c, buffers, node, batch, batch_no)?,
-                sm_offset,
-            };
-            let stats = run_launch_retrying(gpu, &launch, retry, retries, ckpt).map_err(|e| {
+        for (step, &node) in topo.iter().enumerate() {
+            let ordinal = batch_no * topo.len() as u64 + step as u64;
+            let stats = run_launch_windowed(
+                gpu,
+                ordinal,
+                &build,
+                retry,
+                retries,
+                ckpt,
+                &mut window,
+                &mut tuner,
+            )
+            .map_err(|e| {
                 e.in_context(format!(
                     "serial kernel for filter '{}' (batch {batch_no})",
                     c.graph.node(node).name
@@ -1285,6 +1523,8 @@ mod tests {
             retry: RetryPolicy { max_attempts: 8 },
             checkpoint: CheckpointSpec::Auto,
             placement: None,
+            checkpoint_interval: 1,
+            watchdog_margin: None,
         };
         let faulted = execute_with(&c, scheme, iters, &input, &opts).unwrap();
         assert_eq!(
@@ -1317,6 +1557,8 @@ mod tests {
             retry: RetryPolicy { max_attempts: 3 },
             checkpoint: CheckpointSpec::Auto,
             placement: None,
+            checkpoint_interval: 1,
+            watchdog_margin: None,
         };
         let e = execute_with(&c, Scheme::Swp { coarsening: 1 }, iters, &input, &opts).unwrap_err();
         match e {
@@ -1329,6 +1571,8 @@ mod tests {
             retry: RetryPolicy { max_attempts: 4 },
             checkpoint: CheckpointSpec::Auto,
             placement: None,
+            checkpoint_interval: 1,
+            watchdog_margin: None,
         };
         let run = execute_with(&c, Scheme::Swp { coarsening: 1 }, iters, &input, &opts).unwrap();
         assert_eq!(run.retries, 3);
@@ -1344,9 +1588,172 @@ mod tests {
             retry: RetryPolicy { max_attempts: 8 },
             checkpoint: CheckpointSpec::Auto,
             placement: None,
+            checkpoint_interval: 1,
+            watchdog_margin: None,
         };
         let faulted = execute_with(&c, scheme, iters, &input, &opts).unwrap();
         assert_eq!(clean.outputs, faulted.outputs);
         assert!(faulted.retries > 0);
+    }
+
+    #[test]
+    fn k_launch_replay_is_byte_identical_across_intervals() {
+        let (c, input, iters) = compiled_three_stage();
+        for scheme in [Scheme::Swp { coarsening: 1 }, Scheme::Serial { batch: 1 }] {
+            let clean = execute(&c, scheme, iters, &input).unwrap();
+            for k in 1..=4u32 {
+                let opts = RunOptions {
+                    fault_plan: Some(
+                        FaultPlan::new(0xFA117)
+                            .with_launch_failures(120)
+                            .with_mem_corruptions(80)
+                            .with_hangs(40),
+                    ),
+                    retry: RetryPolicy { max_attempts: 12 },
+                    checkpoint: CheckpointSpec::Auto,
+                    placement: None,
+                    checkpoint_interval: k,
+                    watchdog_margin: None,
+                };
+                let run = execute_with(&c, scheme, iters, &input, &opts)
+                    .unwrap_or_else(|e| panic!("{scheme:?} k={k}: {e}"));
+                assert_eq!(
+                    clean.outputs, run.outputs,
+                    "{scheme:?}: k={k} replay must be byte-identical to fault-free"
+                );
+                assert_eq!(run.checkpoint_interval, k);
+                run.stats.assert_billing();
+                if k == 1 {
+                    assert_eq!(run.stats.replay_cycles, 0.0, "k=1 never replays");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replay_after_in_window_fault_is_billed_and_exact() {
+        let (c, input, iters) = compiled_three_stage();
+        let scheme = Scheme::Swp { coarsening: 1 };
+        let clean = execute(&c, scheme, iters, &input).unwrap();
+        // One pinned failure on the second lifetime attempt: launch 0
+        // succeeds (window of one committed launch), launch 1 faults, so
+        // a k=4 window must restore and replay launch 0 before retrying.
+        let opts = RunOptions {
+            fault_plan: Some(FaultPlan::new(9).at_launch(1, gpusim::FaultKind::LaunchFailure)),
+            retry: RetryPolicy { max_attempts: 4 },
+            checkpoint: CheckpointSpec::Auto,
+            placement: None,
+            checkpoint_interval: 4,
+            watchdog_margin: None,
+        };
+        let run = execute_with(&c, scheme, iters, &input, &opts).unwrap();
+        assert_eq!(clean.outputs, run.outputs);
+        assert_eq!(run.retries, 1);
+        assert!(
+            run.stats.replay_cycles > 0.0,
+            "the committed in-window launch must be replayed and billed"
+        );
+        assert!(
+            run.stats.failed_attempt_cycles > 0.0,
+            "the pinned failure must be billed as a failed attempt"
+        );
+        run.stats.assert_billing();
+    }
+
+    #[test]
+    fn watchdog_tuner_tightens_doubles_on_false_kill_and_saturates() {
+        let (c, _, _) = compiled_three_stage();
+        let mut gpu = Gpu::with_timing(c.device.clone(), c.timing.clone());
+        let default = gpu.watchdog_budget();
+        let mut tuner = WatchdogTuner::new(4, default);
+
+        // A success with 100 warp instructions tightens the budget to
+        // margin × max observed.
+        let stats = gpusim::LaunchStats {
+            warp_instructions: 100,
+            ..gpusim::LaunchStats::default()
+        };
+        tuner.observe_success(&mut gpu, &stats);
+        assert_eq!(gpu.watchdog_budget(), 400);
+
+        // A larger success re-tightens upward; a smaller one does not
+        // loosen (max is sticky).
+        let bigger = gpusim::LaunchStats {
+            warp_instructions: 150,
+            ..gpusim::LaunchStats::default()
+        };
+        tuner.observe_success(&mut gpu, &bigger);
+        assert_eq!(gpu.watchdog_budget(), 600);
+        tuner.observe_success(&mut gpu, &stats);
+        assert_eq!(gpu.watchdog_budget(), 600);
+
+        // A watchdog kill below the default budget may be a false
+        // positive: the attempt is uncounted and the budget doubles.
+        let kill = gpusim::SimError::WatchdogTimeout {
+            budget: 600,
+            launch: 0,
+        };
+        assert!(!tuner.absorb_fault(&mut gpu, &kill));
+        assert_eq!(gpu.watchdog_budget(), 1200);
+
+        // Doubling saturates at the default budget, where kills count
+        // against the retry bound again — guaranteed progress.
+        for _ in 0..64 {
+            tuner.absorb_fault(&mut gpu, &kill);
+        }
+        assert_eq!(gpu.watchdog_budget(), default);
+        assert!(tuner.absorb_fault(&mut gpu, &kill));
+
+        // Non-watchdog transients always count.
+        assert!(tuner.absorb_fault(&mut gpu, &gpusim::SimError::LaunchFailed { launch: 0 }));
+
+        // A disarmed tuner (margin 0) never touches the budget.
+        gpu.set_watchdog_budget(None);
+        let mut off = WatchdogTuner::new(0, gpu.watchdog_budget());
+        off.observe_success(&mut gpu, &stats);
+        assert_eq!(gpu.watchdog_budget(), default);
+        assert!(off.absorb_fault(&mut gpu, &kill));
+    }
+
+    #[test]
+    fn tightened_watchdog_detects_hangs_cheaper_with_identical_outputs() {
+        let (c, input, iters) = compiled_three_stage();
+        let scheme = Scheme::Swp { coarsening: 1 };
+        let clean = execute(&c, scheme, iters, &input).unwrap();
+        // Hangs pinned after the first success, so the tuner has armed a
+        // tightened budget by the time each one fires.
+        let plan = FaultPlan::new(3)
+            .at_launch(2, gpusim::FaultKind::Hang)
+            .at_launch(5, gpusim::FaultKind::Hang);
+        let run_with = |margin: Option<u32>| {
+            execute_with(
+                &c,
+                scheme,
+                iters,
+                &input,
+                &RunOptions {
+                    fault_plan: Some(plan.clone()),
+                    retry: RetryPolicy { max_attempts: 8 },
+                    checkpoint: CheckpointSpec::Auto,
+                    placement: None,
+                    checkpoint_interval: 1,
+                    watchdog_margin: margin,
+                },
+            )
+            .unwrap()
+        };
+        let loose = run_with(None);
+        let tight = run_with(Some(4));
+        assert_eq!(loose.outputs, clean.outputs);
+        assert_eq!(tight.outputs, clean.outputs);
+        assert!(loose.retries >= 2 && tight.retries >= 2);
+        assert!(
+            tight.stats.failed_attempt_cycles < loose.stats.failed_attempt_cycles,
+            "a tightened watchdog must bill hangs cheaper: {} vs {}",
+            tight.stats.failed_attempt_cycles,
+            loose.stats.failed_attempt_cycles
+        );
+        assert!(tight.stats.cycles < loose.stats.cycles);
+        tight.stats.assert_billing();
     }
 }

@@ -606,10 +606,33 @@ fn assemble(
             checkpoint,
         },
         scheme,
-        run_options: RunOptions {
-            fault_plan,
-            ..RunOptions::default()
+        run_options: run_options_for(policy, fault_plan),
+    }
+}
+
+/// Watchdog tightening factor TailLatency artifacts run with: a hang is
+/// killed after at most this multiple of the largest legitimate launch
+/// observed, instead of the full display-watchdog interval.
+pub const TAIL_LATENCY_WATCHDOG_MARGIN: u32 = 4;
+
+/// The run options an artifact compiled under `policy` ships with: the
+/// ladder's fault plan installed, and — the policy's runtime half —
+/// the adaptive watchdog armed for [`FaultPolicy::TailLatency`]
+/// ([`RunOptions::watchdog_margin`]). Throughput artifacts keep the
+/// device's generous display watchdog: a tightened watchdog spends
+/// billed false-kill retries to buy hang-detection latency, which is
+/// exactly the tail-for-throughput trade the policy axis encodes.
+/// Shared by the ladder and the serving cache's disk-reload path so a
+/// rebuilt artifact runs byte-identically to a fresh one.
+#[must_use]
+pub fn run_options_for(policy: FaultPolicy, fault_plan: Option<FaultPlan>) -> RunOptions {
+    RunOptions {
+        fault_plan,
+        watchdog_margin: match policy {
+            FaultPolicy::Throughput => None,
+            FaultPolicy::TailLatency => Some(TAIL_LATENCY_WATCHDOG_MARGIN),
         },
+        ..RunOptions::default()
     }
 }
 

@@ -87,6 +87,31 @@ pub fn plan(
     coarsening: u32,
     kind: LayoutKind,
 ) -> BufferPlan {
+    plan_with_replay_slack(graph, ig, schedule, coarsening, kind, 0)
+}
+
+/// Builds the plan with `slack` extra live windows per channel.
+///
+/// A k-launch checkpointing executor may replay up to `k − 1` committed
+/// launches after a transient fault, so every region an in-window launch
+/// read must survive until the window commits. Widening each channel
+/// from `span + 1` to `span + 1 + slack` windows (with `slack = k − 1`)
+/// guarantees no launch in the replay window ever aliases a region that
+/// a later in-window launch — or the faulted launch's partial writes —
+/// overwrote: the modular distance between a window's oldest live read
+/// and its newest write never exceeds the region count. For the serial
+/// scheme (`span = 0`, `coarsening` = batch) the same formula keeps
+/// `batch × k` regions live, so a replayed batch's inputs survive k
+/// batches. `slack = 0` is the canonical plan.
+#[must_use]
+pub fn plan_with_replay_slack(
+    graph: &FlatGraph,
+    ig: &InstanceGraph,
+    schedule: Option<&Schedule>,
+    coarsening: u32,
+    kind: LayoutKind,
+    slack: u32,
+) -> BufferPlan {
     let c = u64::from(coarsening.max(1));
     let mut edges = Vec::with_capacity(graph.edges().len());
     for (i, et) in ig.edges.iter().enumerate() {
@@ -108,7 +133,7 @@ pub fn plan(
                 .max()
                 .unwrap_or(0),
         };
-        let regions = c * (span + 1) + et.resident.div_ceil(w);
+        let regions = c * (span + 1 + u64::from(slack)) + et.resident.div_ceil(w);
         let regions = u32::try_from(regions).expect("region count fits u32");
         edges.push(EdgePlan {
             edge: eid,
@@ -310,6 +335,35 @@ mod tests {
         FaultPlan::new(7)
             .with_launch_failures(100)
             .with_mem_corruptions(50)
+    }
+
+    #[test]
+    fn replay_slack_widens_every_channel_and_zero_slack_is_canonical() {
+        let g = StreamSpec::pipeline(vec![rate_filter("A", 1, 1), rate_filter("B", 1, 1)])
+            .flatten()
+            .unwrap();
+        let cfg = ExecConfig::uniform(2, 4, 16, 10);
+        let ig = instances::build(&g, &cfg).unwrap();
+        let sched = heuristic::schedule(&ig, &cfg, 2, 1, 1, 0).unwrap();
+        for c in [1u32, 4] {
+            let base = plan(&g, &ig, Some(&sched), c, LayoutKind::Optimized);
+            let same = plan_with_replay_slack(&g, &ig, Some(&sched), c, LayoutKind::Optimized, 0);
+            assert_eq!(base, same, "slack 0 must be the canonical plan");
+            for slack in [1u32, 3] {
+                let wide =
+                    plan_with_replay_slack(&g, &ig, Some(&sched), c, LayoutKind::Optimized, slack);
+                for (b, w) in base.edges.iter().zip(&wide.edges) {
+                    assert_eq!(
+                        u64::from(w.regions),
+                        u64::from(b.regions) + u64::from(c) * u64::from(slack),
+                        "each channel gains c x slack windows"
+                    );
+                }
+            }
+        }
+        // Serial (no schedule): batch data must survive k batches.
+        let serial = plan_with_replay_slack(&g, &ig, None, 2, LayoutKind::Sequential, 3);
+        assert_eq!(serial.edges[0].regions, 2 * 4);
     }
 
     #[test]

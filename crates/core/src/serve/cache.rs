@@ -27,7 +27,7 @@ use serde_json::Value;
 use streamir::graph::FlatGraph;
 
 use crate::config::Selection;
-use crate::exec::{Compiled, RunOptions, Scheme};
+use crate::exec::{Compiled, Scheme};
 use crate::instances::{self, ExecConfig};
 use crate::pipeline::{
     DegradationReport, LadderRung, PipelineOptions, ResilientCompiled, ResilientPipeline,
@@ -543,10 +543,7 @@ fn rebuild(value: &Value, graph: &FlatGraph, opts: &PipelineOptions) -> Result<R
             checkpoint,
         },
         scheme,
-        run_options: RunOptions {
-            fault_plan: opts.fault_plan.clone(),
-            ..RunOptions::default()
-        },
+        run_options: crate::pipeline::run_options_for(opts.policy, opts.fault_plan.clone()),
     })
 }
 

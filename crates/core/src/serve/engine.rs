@@ -60,9 +60,10 @@ use crate::schedule::SearchInterrupt;
 use crate::serve::cache::{verify_artifact, CacheStats, CompilationCache, Lookup};
 use crate::serve::metrics::{ServeMetrics, ServeReport, TenantReport};
 use crate::serve::partition::{Partitioner, Slice};
+use crate::serve::resilience::{BrownoutSpec, ControllerDecision, FaultController};
 use crate::serve::{
-    pipeline_options_for, run_artifact, AdmissionController, Decision, Job, JobResult, QosClass,
-    ServeOptions, TenantState, Verdict,
+    pipeline_options_for, run_artifact, AdmissionController, Decision, Job, JobResult, Pressure,
+    QosClass, ServeOptions, TenantState, Verdict,
 };
 use crate::{Error, Result};
 
@@ -81,6 +82,12 @@ pub enum EventKind {
     LaunchFinish,
     /// A periodic observability tick (when enabled).
     Checkpoint,
+    /// The resilience controller switched a tenant's fault policy and
+    /// the recompile was pre-spawned on the worker pool.
+    PolicySwitch,
+    /// A device brownout shrank (or restored) the usable SM range and
+    /// forced a partition recut.
+    Brownout,
 }
 
 /// One processed event, in processing order.
@@ -114,6 +121,11 @@ enum EvKind {
     CompileFinish,
     LaunchFinish,
     Checkpoint,
+    /// Carries the index of the job whose completion triggered the
+    /// switch — its graph is what gets recompiled under the new policy.
+    PolicySwitch(usize),
+    /// Carries the post-brownout device capacity in SMs.
+    Brownout(u32),
 }
 
 #[derive(Debug, Clone)]
@@ -225,6 +237,8 @@ pub struct EventEngine {
     checkpoint_period_secs: f64,
     trace: Vec<TraceEvent>,
     completed: Vec<CompletedJob>,
+    controller: FaultController,
+    brownouts: Vec<BrownoutSpec>,
 }
 
 impl EventEngine {
@@ -235,6 +249,11 @@ impl EventEngine {
         let cache = CompilationCache::new(opts.cache.clone());
         let partitioner = Partitioner::new(opts.device.num_sms, opts.rate_alpha);
         let admission = AdmissionController::new(opts.max_queue);
+        let controller = FaultController::new(
+            opts.resilience.clone(),
+            opts.timing.clone(),
+            opts.retry_warn_threshold,
+        );
         EventEngine {
             opts,
             cache,
@@ -248,6 +267,8 @@ impl EventEngine {
             checkpoint_period_secs: 0.0,
             trace: Vec::new(),
             completed: Vec::new(),
+            controller,
+            brownouts: Vec::new(),
         }
     }
 
@@ -268,6 +289,18 @@ impl EventEngine {
     #[must_use]
     pub fn with_checkpoint_period(mut self, secs: f64) -> EventEngine {
         self.checkpoint_period_secs = secs;
+        self
+    }
+
+    /// Schedules a device brownout: at `spec.at_secs` of virtual time
+    /// the usable SM range shrinks to `spec.total_sms` and the
+    /// partition is recut into it. Later dispatches see the smaller
+    /// slices, so their compiles are content-addressed at the new
+    /// widths. May be called several times (e.g. brownout then
+    /// recovery).
+    #[must_use]
+    pub fn with_brownout(mut self, spec: BrownoutSpec) -> EventEngine {
+        self.brownouts.push(spec);
         self
     }
 
@@ -301,6 +334,15 @@ impl EventEngine {
                 tenant: job.tenant.clone(),
                 seq: i as u64 * SEQ_STRIDE,
                 kind: EvKind::Arrival(i),
+            });
+        }
+        for spec in self.brownouts.clone() {
+            let seq = run.next_seq();
+            run.heap.push(Ev {
+                time: spec.at_secs,
+                tenant: String::new(),
+                seq,
+                kind: EvKind::Brownout(spec.total_sms),
             });
         }
         if self.checkpoint_period_secs > 0.0 {
@@ -357,6 +399,13 @@ impl EventEngine {
                 .map(|(t, _)| t.clone())
                 .collect();
             if waiting.is_empty() {
+                // Pre-spawned policy-switch recompiles may outlive every
+                // dispatch; join them (oldest first) so their cache
+                // reservations are fulfilled before the trace returns.
+                while !run.pending.is_empty() {
+                    let oldest = run.pending.remove(0);
+                    self.join_and_fulfill(run, oldest)?;
+                }
                 return Ok(());
             }
             for tenant in waiting {
@@ -414,7 +463,56 @@ impl EventEngine {
                 }
                 Ok(())
             }
+            EvKind::PolicySwitch(i) => self.on_policy_switch(run, &ev, i),
+            EvKind::Brownout(total_sms) => {
+                self.partitioner.set_capacity(total_sms, ev.time)?;
+                let widths = self
+                    .partitioner
+                    .slices()
+                    .iter()
+                    .map(|(t, s)| format!("{t}:{}", s.num_sms))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                self.log(
+                    &ev,
+                    EventKind::Brownout,
+                    format!("sms={total_sms} {widths}"),
+                );
+                Ok(())
+            }
         }
+    }
+
+    /// Applies a controller-ordered policy switch: re-addresses the
+    /// triggering job's graph under the new policy and, on a cache
+    /// miss, pre-spawns the recompile on the worker pool so the new
+    /// artifact is (being) built before the tenant's next dispatch asks
+    /// for it — the switch overlaps serving instead of stalling it.
+    /// Both policies' artifacts stay cached under distinct keys.
+    /// Pre-warming uses nominal budgets; a dispatch under elevated
+    /// pressure addresses a different key and simply compiles then.
+    fn on_policy_switch(&mut self, run: &mut RunState, ev: &Ev, i: usize) -> Result<()> {
+        let Some(slice) = self.partitioner.slice(&ev.tenant) else {
+            self.log(ev, EventKind::PolicySwitch, format!("job={i} no-slice"));
+            return Ok(());
+        };
+        let job = run.jobs[i].clone();
+        let policy = self.controller.policy_for(&ev.tenant, job.qos.policy());
+        let popts = pipeline_options_for(&self.opts, slice.num_sms, Pressure::Nominal, policy);
+        let outcome = match self.cache.lookup_or_reserve(&job.graph, &popts)? {
+            Lookup::Hit(_) => "cached",
+            Lookup::PendingHit(_) => "compiling",
+            Lookup::Miss(key) => {
+                self.spawn_compile(run, key, &job.graph, &popts)?;
+                "recompile"
+            }
+        };
+        self.log(
+            ev,
+            EventKind::PolicySwitch,
+            format!("job={i} policy={policy} {outcome}"),
+        );
+        Ok(())
     }
 
     fn on_arrival(&mut self, run: &mut RunState, ev: &Ev, i: usize) -> Result<()> {
@@ -465,7 +563,11 @@ impl EventEngine {
             Decision::Admit(p) => p,
         };
 
-        let popts = pipeline_options_for(&self.opts, &run.jobs[i], slice.num_sms, pressure);
+        // The compile policy is the controller's effective choice for
+        // this tenant — the job's own QoS policy unless an adaptive
+        // switch is in force.
+        let policy = self.controller.policy_for(&ev.tenant, qos.policy());
+        let popts = pipeline_options_for(&self.opts, slice.num_sms, pressure, policy);
         match self.cache.lookup_or_reserve(&run.jobs[i].graph, &popts)? {
             Lookup::Hit(artifact) => {
                 self.complete_job(run, i, &artifact, true, slice, now)?;
@@ -587,7 +689,15 @@ impl EventEngine {
         arrival: f64,
     ) -> Result<()> {
         let job = &run.jobs[i];
-        let gpu_run = run_artifact(artifact, job, &self.opts.device, slice.base_sm)?;
+        let default_policy = job.qos.policy();
+        let gpu_run = run_artifact(
+            artifact,
+            job,
+            &self.opts.device,
+            slice.base_sm,
+            self.controller.interval_for(&job.tenant),
+            self.controller.max_attempts_override(),
+        )?;
         let compile_cost = if cache_hit {
             0.0
         } else {
@@ -626,6 +736,29 @@ impl EventEngine {
             compile_cost,
             finish,
         });
+        // Close the control loop: feed the run's observed retry rate
+        // and launch cost into the controller at the job's finish
+        // instant. A switch decision becomes an explicit engine event
+        // (at `finish`, with an aux sequence number) so the recompile
+        // is pre-spawned in deterministic event order.
+        let switched = self.controller.observe_job(
+            &tenant,
+            finish,
+            gpu_run.launches,
+            gpu_run.retries,
+            gpu_run.stats.productive_cycles(),
+            &artifact.report.checkpoint,
+            default_policy,
+        );
+        if switched.is_some() {
+            let seq = run.next_seq();
+            run.heap.push(Ev {
+                time: finish,
+                tenant: tenant.clone(),
+                seq,
+                kind: EvKind::PolicySwitch(i),
+            });
+        }
         if !cache_hit {
             let seq = run.next_seq();
             run.heap.push(Ev {
@@ -717,6 +850,14 @@ impl EventEngine {
         &self.partitioner.recut_log
     }
 
+    /// The resilience controller's decision log, in virtual-time order.
+    /// Empty when the controller is disabled. Deterministic: the same
+    /// trace and fault seed always produce a byte-identical log.
+    #[must_use]
+    pub fn decisions(&self) -> &[ControllerDecision] {
+        self.controller.decisions()
+    }
+
     /// Snapshots the serving run into a serializable report. Identical
     /// to the eager server's report over the same trace except for the
     /// overlap and queue-wait observables the event model adds.
@@ -732,17 +873,24 @@ impl EventEngine {
                     base_sm: 0,
                     num_sms: 0,
                 });
-                let policy = state.qos.map_or(FaultPolicy::Throughput, QosClass::policy);
+                // The row reports the controller's *effective* policy:
+                // a recommendation the controller already acted on is
+                // resolved, not re-issued.
+                let default = state.qos.map_or(FaultPolicy::Throughput, QosClass::policy);
+                let policy = self.controller.policy_for(name, default);
                 let mut metrics: ServeMetrics = state.metrics.clone();
                 metrics.compile_overlap_secs = overlaps.get(name).copied().unwrap_or(0.0);
-                TenantReport::of(
+                let mut row = TenantReport::of(
                     name,
                     &metrics,
                     slice,
                     makespan,
                     policy,
                     self.opts.retry_warn_threshold,
-                )
+                );
+                row.policy_switches = self.controller.switches_for(name);
+                row.checkpoint_interval = self.controller.interval_for(name);
+                row
             })
             .collect();
         ServeReport {
@@ -750,6 +898,7 @@ impl EventEngine {
             cache: self.cache.stats().clone(),
             cache_hit_rate: self.cache.stats().hit_rate(),
             rebalances: self.partitioner.rebalances,
+            policy_switches: tenants.iter().map(|t| t.policy_switches).sum(),
             compile_overlap_secs: tenants.iter().map(|t| t.compile_overlap_secs).sum(),
             tenants,
         }

@@ -128,8 +128,17 @@ pub struct TenantReport {
     /// Virtual seconds of compile penalty hidden behind other tenants'
     /// execution ([`ServeMetrics::compile_overlap_secs`]).
     pub compile_overlap_secs: f64,
-    /// The fault-policy recommendation, when one fired.
+    /// The fault-policy recommendation, when one fired. When the
+    /// resilience controller is enabled the row's `policy` is the
+    /// controller's *effective* policy, so a recommendation the
+    /// controller already acted on disappears from the report.
     pub recommendation: Option<String>,
+    /// Fault-policy switches the resilience controller performed for
+    /// this tenant (0 under the eager server or a disabled controller).
+    pub policy_switches: u64,
+    /// The checkpoint commit interval the tenant currently runs at —
+    /// the controller's observed-rate cost-model choice, or 1.
+    pub checkpoint_interval: u32,
 }
 
 /// The whole serving run, serializable to `BENCH_serve.json`.
@@ -144,6 +153,9 @@ pub struct ServeReport {
     pub cache_hit_rate: f64,
     /// Partition recuts performed by the demand-driven rebalancer.
     pub rebalances: u64,
+    /// Fault-policy switches across all tenants (sum of the per-tenant
+    /// [`TenantReport::policy_switches`]).
+    pub policy_switches: u64,
     /// Total compile penalty hidden behind execution across all tenants
     /// (sum of the per-tenant [`TenantReport::compile_overlap_secs`]).
     /// Zero under the eager server; positive whenever the event engine
@@ -185,6 +197,8 @@ impl TenantReport {
             queue_wait_p99_secs: percentile_of(&metrics.queue_waits, 0.99),
             compile_overlap_secs: metrics.compile_overlap_secs,
             recommendation: metrics.recommendation(policy, retry_warn_threshold),
+            policy_switches: 0,
+            checkpoint_interval: 1,
         }
     }
 }

@@ -31,6 +31,7 @@ pub mod cache;
 pub mod engine;
 pub mod metrics;
 pub mod partition;
+pub mod resilience;
 
 use std::collections::BTreeMap;
 
@@ -49,6 +50,9 @@ pub use cache::{cache_key, CacheOptions, CacheStats, CompilationCache, Lookup};
 pub use engine::{EventEngine, EventKind, TraceEvent};
 pub use metrics::{ServeMetrics, ServeReport, TenantReport};
 pub use partition::{Partitioner, RateEstimator, RecutRecord, Slice};
+pub use resilience::{
+    BrownoutSpec, ChaosStorm, ControllerDecision, FaultController, ResilienceOptions,
+};
 
 /// The quality-of-service class a tenant submits under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,10 +120,16 @@ pub struct ServeOptions {
     /// compile latency a real deployment would pay on the serving path).
     pub compile_penalty_secs: f64,
     /// Retry-rate threshold above which a Throughput tenant gets a
-    /// TailLatency recommendation.
+    /// TailLatency recommendation — and, when the resilience controller
+    /// is enabled, the controller's upper hysteresis band, so the
+    /// recommendation and the actual decision share one threshold.
     pub retry_warn_threshold: f64,
     /// EWMA weight for arrival-rate estimation.
     pub rate_alpha: f64,
+    /// Online fault-rate controller configuration (event engine only;
+    /// disabled by default, in which case the engine is byte- and
+    /// cycle-identical to one without a controller).
+    pub resilience: ResilienceOptions,
 }
 
 impl Default for ServeOptions {
@@ -143,6 +153,7 @@ impl Default for ServeOptions {
             compile_penalty_secs: 0.5,
             retry_warn_threshold: 0.05,
             rate_alpha: 0.3,
+            resilience: ResilienceOptions::default(),
         }
     }
 }
@@ -187,15 +198,19 @@ pub struct JobResult {
 }
 
 /// The exact compile configuration one job compiles under on a slice of
-/// `slice_sms` SMs at queue `pressure`. Both serving paths — the eager
-/// [`Server::submit`] and the event engine's compile tasks — build their
-/// options here, so a given `(job, slice, pressure)` is content-addressed
-/// identically by the cache no matter which path compiles it.
+/// `slice_sms` SMs at queue `pressure` with fault policy `policy`. Both
+/// serving paths — the eager [`Server::submit`] and the event engine's
+/// compile tasks — build their options here, so a given
+/// `(job, slice, pressure, policy)` is content-addressed identically by
+/// the cache no matter which path compiles it. The policy is explicit
+/// (rather than read off the job's QoS class) because the resilience
+/// controller may override it; both policies' artifacts then coexist in
+/// the cache under distinct keys.
 pub(crate) fn pipeline_options_for(
     opts: &ServeOptions,
-    job: &Job,
     slice_sms: u32,
     pressure: Pressure,
+    policy: FaultPolicy,
 ) -> PipelineOptions {
     PipelineOptions {
         compile: CompileOptions {
@@ -209,30 +224,39 @@ pub(crate) fn pipeline_options_for(
         },
         budgets: budgets_for(pressure, &opts.budgets),
         fault_plan: opts.fault_plan.clone(),
-        policy: job.qos.policy(),
+        policy,
     }
 }
 
 /// Runs one job's artifact on its slice: generates exactly the input the
 /// compiled program needs, places it at `base_sm` on the shared device,
 /// and executes under the artifact's own run options (fault plan,
-/// retry, checkpoint). Shared by both serving paths so per-job results
-/// are byte-identical by construction.
+/// retry, checkpoint) with the caller's commit interval and optional
+/// retry-budget override layered on top. Shared by both serving paths so
+/// per-job results are byte-identical by construction; the eager server
+/// always passes `(1, None)`, the event engine passes the resilience
+/// controller's choices.
 pub(crate) fn run_artifact(
     artifact: &ResilientCompiled,
     job: &Job,
     device: &DeviceConfig,
     base_sm: u32,
+    checkpoint_interval: u32,
+    max_attempts: Option<u32>,
 ) -> Result<GpuRun> {
     let needed = required_input(&artifact.compiled, job.iterations);
     let input = (job.input)(needed as usize);
-    let run_opts = RunOptions {
+    let mut run_opts = RunOptions {
         placement: Some(SmPlacement {
             device: device.clone(),
             base_sm,
         }),
+        checkpoint_interval,
         ..artifact.run_options.clone()
     };
+    if let Some(attempts) = max_attempts {
+        run_opts.retry.max_attempts = attempts.max(1);
+    }
     execute_with(
         &artifact.compiled,
         artifact.scheme,
@@ -312,9 +336,9 @@ impl Server {
             Decision::Admit(p) => p,
         };
 
-        let popts = pipeline_options_for(&self.opts, job, slice.num_sms, pressure);
+        let popts = pipeline_options_for(&self.opts, slice.num_sms, pressure, job.qos.policy());
         let (artifact, cache_hit) = self.cache.get_or_compile(&job.graph, &popts)?;
-        let run = run_artifact(&artifact, job, &self.opts.device, slice.base_sm)?;
+        let run = run_artifact(&artifact, job, &self.opts.device, slice.base_sm, 1, None)?;
 
         let compile_cost = if cache_hit {
             0.0
@@ -401,6 +425,7 @@ impl Server {
             cache: self.cache.stats().clone(),
             cache_hit_rate: self.cache.stats().hit_rate(),
             rebalances: self.partitioner.rebalances,
+            policy_switches: 0,
             compile_overlap_secs: self
                 .tenants
                 .values()

@@ -188,6 +188,37 @@ impl Partitioner {
         });
     }
 
+    /// The device capacity currently being partitioned.
+    #[must_use]
+    pub fn capacity(&self) -> u32 {
+        self.total_sms
+    }
+
+    /// Resizes the device capacity to `total_sms` — the brownout hook:
+    /// a mid-trace loss (or recovery) of SMs changes what there is to
+    /// apportion, so the partition is recut immediately at `now` and the
+    /// recut logged. Admitted tenants keep their floor of one SM each,
+    /// which bounds how far a brownout can shrink the device.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Api`] when `total_sms` is zero or smaller than the
+    /// number of admitted tenants.
+    pub fn set_capacity(&mut self, total_sms: u32, now: f64) -> Result<()> {
+        if total_sms == 0 || (self.rates.len() as u32) > total_sms {
+            return Err(Error::Api(format!(
+                "cannot resize device to {total_sms} SM(s): {} tenant(s) admitted and every \
+                 tenant keeps at least one SM",
+                self.rates.len()
+            )));
+        }
+        self.total_sms = total_sms;
+        if !self.rates.is_empty() {
+            self.recut_at(now);
+        }
+        Ok(())
+    }
+
     /// The tenant's current slice.
     #[must_use]
     pub fn slice(&self, tenant: &str) -> Option<Slice> {
@@ -294,6 +325,30 @@ mod tests {
         }
         assert!(covered <= 16);
         assert_eq!(covered, 16, "largest-remainder should use every SM");
+    }
+
+    #[test]
+    fn brownout_recuts_into_the_shrunk_device_and_rejects_impossible_sizes() {
+        let mut p = Partitioner::new(16, 0.3);
+        for (i, t) in ["a", "b", "c"].iter().enumerate() {
+            p.observe(t, i as f64).unwrap();
+        }
+        let recuts_before = p.recut_log.len();
+        p.set_capacity(6, 10.0).unwrap();
+        assert_eq!(p.capacity(), 6);
+        assert_eq!(p.recut_log.len(), recuts_before + 1);
+        let covered: u32 = p.slices().iter().map(|(_, s)| s.num_sms).sum();
+        assert_eq!(covered, 6, "recut apportions exactly the shrunk device");
+        for (_, s) in p.slices() {
+            assert!(
+                s.base_sm + s.num_sms <= 6,
+                "slice escapes the brownout range"
+            );
+        }
+        // Three tenants cannot fit two SMs, and zero is never valid.
+        assert!(p.set_capacity(2, 11.0).is_err());
+        assert!(p.set_capacity(0, 11.0).is_err());
+        assert_eq!(p.capacity(), 6, "failed resizes must not change capacity");
     }
 
     #[test]

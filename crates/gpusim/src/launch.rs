@@ -279,6 +279,7 @@ impl Gpu {
             self.timing
                 .launch_cycles(&per_sm, total_transactions, launch.blocks.len() as u64);
         totals.fault_overhead_cycles = (spike_factor - 1.0) * self.timing.launch_overhead_cycles;
+        totals.spike_cycles = totals.fault_overhead_cycles;
         totals.per_sm_cycles = per_sm;
         totals.cycles = cycles + totals.fault_overhead_cycles;
         totals.time_secs = self.timing.secs(totals.cycles);

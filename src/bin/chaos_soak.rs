@@ -1,0 +1,3 @@
+fn main() {
+    stream_gpu::chaos_soak::main();
+}

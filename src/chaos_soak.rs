@@ -1,0 +1,330 @@
+//! The chaos soak harness behind `cargo run --bin chaos_soak`.
+//!
+//! Serves the StreamIt benchmark suite through the event engine under a
+//! seeded fault storm ([`swpipe::serve::ChaosStorm`]): bursty hang
+//! trains, correlated corruption clusters, a background transient
+//! failure rate, and a mid-trace device brownout that shrinks the
+//! usable SM range and forces a partition recut. The online resilience
+//! controller runs live — retry-rate EWMAs switch noisy tenants to the
+//! tail-latency policy and pick per-tenant checkpoint commit intervals.
+//!
+//! After the storm, the harness asserts the global soak invariants:
+//!
+//! 1. **No job lost or double-counted** — every submitted job gets
+//!    exactly one verdict, and accepted + rejected counts reconcile
+//!    with the trace.
+//! 2. **Truthful billing** — per-job billing is asserted inside the
+//!    executor ([`gpusim::LaunchStats::check_billing`]: the disjoint
+//!    fault components sum to the fault overhead, which never exceeds
+//!    wall cycles); the report level re-checks that no tenant's fault
+//!    overhead exceeds its total cycles and that token counts
+//!    reconcile with the delivered outputs.
+//! 3. **Byte-identical survivors** — every job that completes under
+//!    the storm produces output byte-identical to a fault-free golden
+//!    run of the same trace (faults and brownouts may change *when*,
+//!    never *what*).
+//! 4. **Deterministic replay** — re-running the same storm seed
+//!    reproduces the controller's decision log and the engine's event
+//!    trace byte-for-byte.
+//!
+//! Writes `CHAOS_soak.json` — the decision log and headline counters —
+//! for the CI artifact upload.
+
+use streamir::ir::Scalar;
+use swpipe::serve::{
+    BrownoutSpec, ChaosStorm, ControllerDecision, EventEngine, Job, QosClass, ResilienceOptions,
+    ServeOptions, ServeReport, TraceEvent, Verdict,
+};
+
+/// One soak configuration: which storm, how much trace, which knobs.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Storm seed (drives burst placement and the background draws).
+    pub seed: u64,
+    /// Round-robin arrival rounds over the benchmark suite.
+    pub rounds: usize,
+    /// Steady-state iterations per job.
+    pub iterations: u64,
+    /// Whether the adaptive controller may switch policies (interval
+    /// selection and the raised retry budget are always on — a storm
+    /// pins fault trains the default budget of 3 could exhaust).
+    pub adaptive: bool,
+    /// Whether a mid-trace brownout shrinks the device.
+    pub brownout: bool,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            seed: 0xC4A0_55EE,
+            rounds: 2,
+            iterations: 4,
+            adaptive: true,
+            brownout: true,
+        }
+    }
+}
+
+/// Everything one soak run produces, for invariant checking.
+pub struct SoakRun {
+    /// Per input job: `Some(outputs)` when completed, `None` when
+    /// rejected by admission.
+    pub outputs: Vec<Option<Vec<Scalar>>>,
+    /// The serve report.
+    pub report: ServeReport,
+    /// The controller's decision log.
+    pub decisions: Vec<ControllerDecision>,
+    /// The engine's processed-event trace.
+    pub events: Vec<TraceEvent>,
+}
+
+/// The storm a soak config injects. The horizon is pulled in close to
+/// a job's actual attempt count so the pinned bursts land inside real
+/// runs (and, because attempt ordinals restart per run, hit every job
+/// the same way — correlated faults, not independent noise).
+#[must_use]
+pub fn storm_for(cfg: &SoakConfig) -> ChaosStorm {
+    ChaosStorm {
+        seed: cfg.seed,
+        horizon_attempts: 24,
+        ..ChaosStorm::default()
+    }
+}
+
+/// The deterministic arrival trace: every benchmark as its own tenant,
+/// `rounds` round-robin rounds, stable per-tenant QoS.
+#[must_use]
+pub fn build_trace(rounds: usize, iterations: u64) -> Vec<(Job, f64)> {
+    let suite = streambench::suite();
+    let mut trace = Vec::new();
+    let mut now = 0.0;
+    for _ in 0..rounds {
+        for (i, b) in suite.iter().enumerate() {
+            trace.push((
+                Job {
+                    tenant: b.name.to_string(),
+                    graph: b.spec.flatten().expect("benchmark flattens"),
+                    input: b.input,
+                    iterations,
+                    qos: if i % 2 == 0 {
+                        QosClass::Batch
+                    } else {
+                        QosClass::Interactive
+                    },
+                },
+                now,
+            ));
+            now += 0.05;
+        }
+        now += 1.0;
+    }
+    trace
+}
+
+/// Runs one soak: the storm's fault plan armed, the controller per
+/// `cfg`, and (optionally) a brownout to 10 of the 16 SMs halfway
+/// through the arrival window.
+///
+/// # Panics
+///
+/// Panics when the engine errors — under the retry budget the soak
+/// arms, a storm the harness ships must be survivable, so an executor
+/// give-up is a harness bug.
+#[must_use]
+pub fn run_soak(cfg: &SoakConfig) -> SoakRun {
+    run_with_plan(cfg, true)
+}
+
+/// The fault-free golden twin of [`run_soak`]: same trace, same
+/// engine configuration, no fault plan and no brownout. Survivor
+/// outputs from the storm run must be byte-identical to this.
+///
+/// # Panics
+///
+/// Panics when the engine errors (fault-free runs must serve).
+#[must_use]
+pub fn run_golden(cfg: &SoakConfig) -> SoakRun {
+    run_with_plan(cfg, false)
+}
+
+fn run_with_plan(cfg: &SoakConfig, stormy: bool) -> SoakRun {
+    let opts = ServeOptions {
+        fault_plan: stormy.then(|| storm_for(cfg).fault_plan()),
+        resilience: ResilienceOptions {
+            enabled: true,
+            // Policy switching is gated by the upper band; pushing it
+            // out of reach freezes policies while keeping interval
+            // adaptation and the raised budget.
+            retry_max_attempts: Some(8),
+            ..ResilienceOptions::default()
+        },
+        retry_warn_threshold: if cfg.adaptive { 0.05 } else { f64::INFINITY },
+        ..ServeOptions::default()
+    };
+    let mut engine = EventEngine::new(opts);
+    if stormy && cfg.brownout {
+        let last_arrival = cfg.rounds as f64 * (streambench::suite().len() as f64 * 0.05 + 1.0);
+        engine = engine.with_brownout(BrownoutSpec {
+            at_secs: last_arrival / 2.0,
+            total_sms: 10,
+        });
+    }
+    let trace = build_trace(cfg.rounds, cfg.iterations);
+    let verdicts = engine.serve_trace(&trace).expect("soak trace serves");
+    let outputs = verdicts
+        .into_iter()
+        .map(|v| match v {
+            Verdict::Completed(r) => Some(r.outputs),
+            Verdict::Rejected { .. } => None,
+        })
+        .collect();
+    SoakRun {
+        outputs,
+        report: engine.report(),
+        decisions: engine.decisions().to_vec(),
+        events: engine.trace().to_vec(),
+    }
+}
+
+/// Runs the storm, its golden twin, and a same-seed replay, and checks
+/// every soak invariant. Returns the storm run for reporting.
+///
+/// # Panics
+///
+/// Panics with a description of the first violated invariant.
+#[must_use]
+pub fn assert_invariants(cfg: &SoakConfig) -> SoakRun {
+    let stormy = run_soak(cfg);
+    let golden = run_golden(cfg);
+    let replay = run_soak(cfg);
+    let n_jobs = build_trace(cfg.rounds, cfg.iterations).len();
+
+    // 1. No job lost or double-counted.
+    assert_eq!(stormy.outputs.len(), n_jobs, "one verdict per input job");
+    let completed = stormy.outputs.iter().filter(|o| o.is_some()).count();
+    let accepted: u64 = stormy.report.tenants.iter().map(|t| t.jobs_accepted).sum();
+    let rejected: u64 = stormy.report.tenants.iter().map(|t| t.jobs_rejected).sum();
+    assert_eq!(accepted, completed as u64, "accepted == completed verdicts");
+    assert_eq!(
+        accepted + rejected,
+        n_jobs as u64,
+        "accepted + rejected == submitted"
+    );
+
+    // 2. Truthful billing: fault overhead within wall cycles per
+    // tenant, and token counts reconcile with delivered outputs.
+    for t in &stormy.report.tenants {
+        assert!(
+            (0.0..=1.0).contains(&t.fault_overhead_share),
+            "{}: fault overhead exceeds wall cycles (share {})",
+            t.tenant,
+            t.fault_overhead_share
+        );
+    }
+    let tokens_delivered: u64 = stormy
+        .outputs
+        .iter()
+        .flatten()
+        .map(|o| o.len() as u64)
+        .sum();
+    let tokens_billed: f64 = stormy
+        .report
+        .tenants
+        .iter()
+        .map(|t| t.throughput_tokens_per_sec * stormy.report.makespan_secs)
+        .sum();
+    assert!(
+        (tokens_billed - tokens_delivered as f64).abs() < 1e-6 * (1.0 + tokens_delivered as f64),
+        "billed tokens {tokens_billed} != delivered {tokens_delivered}"
+    );
+
+    // 3. Surviving outputs byte-identical to the fault-free golden run.
+    assert_eq!(golden.outputs.len(), stormy.outputs.len());
+    let mut compared = 0;
+    for (i, (s, g)) in stormy.outputs.iter().zip(&golden.outputs).enumerate() {
+        if let (Some(s), Some(g)) = (s, g) {
+            assert_eq!(s, g, "job {i}: storm output diverges from golden");
+            compared += 1;
+        }
+    }
+    assert!(compared > 0, "no surviving jobs to compare");
+
+    // 4. Same-seed replay reproduces decisions and events exactly.
+    assert_eq!(
+        stormy.decisions, replay.decisions,
+        "controller decisions must replay deterministically"
+    );
+    assert_eq!(
+        stormy.events, replay.events,
+        "event trace must replay deterministically"
+    );
+    stormy
+}
+
+/// Serializable summary for `CHAOS_soak.json`.
+#[derive(serde::Serialize)]
+struct SoakSummary {
+    seed: u64,
+    jobs: usize,
+    completed: usize,
+    policy_switches: u64,
+    rebalances: u64,
+    cache_hit_rate: f64,
+    makespan_secs: f64,
+    decisions: Vec<ControllerDecision>,
+}
+
+/// Entry point for the `chaos_soak` binary: a small storm matrix of
+/// seeds, each soaked and invariant-checked, with the last seed's
+/// decision log exported.
+///
+/// # Panics
+///
+/// Panics when any soak invariant is violated or the report cannot be
+/// written.
+pub fn main() {
+    let seeds: Vec<u64> = {
+        let args: Vec<u64> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![0xC4A0_55EE, 0x0005_EED5]
+        } else {
+            args
+        }
+    };
+    let mut last: Option<(u64, SoakRun)> = None;
+    for seed in seeds {
+        let cfg = SoakConfig {
+            seed,
+            ..SoakConfig::default()
+        };
+        let run = assert_invariants(&cfg);
+        let completed = run.outputs.iter().filter(|o| o.is_some()).count();
+        println!(
+            "seed {seed:#x}: {} jobs, {completed} completed, {} policy switch(es), \
+             {} rebalance(s), {} controller decision(s), makespan {:.3}s — invariants hold",
+            run.outputs.len(),
+            run.report.policy_switches,
+            run.report.rebalances,
+            run.decisions.len(),
+            run.report.makespan_secs,
+        );
+        last = Some((seed, run));
+    }
+    let (seed, run) = last.expect("at least one seed soaked");
+    let summary = SoakSummary {
+        seed,
+        jobs: run.outputs.len(),
+        completed: run.outputs.iter().filter(|o| o.is_some()).count(),
+        policy_switches: run.report.policy_switches,
+        rebalances: run.report.rebalances,
+        cache_hit_rate: run.report.cache_hit_rate,
+        makespan_secs: run.report.makespan_secs,
+        decisions: run.decisions,
+    };
+    let json = serde_json::to_string_pretty(&summary);
+    std::fs::write("CHAOS_soak.json", json).expect("write CHAOS_soak.json");
+    println!("wrote CHAOS_soak.json");
+}

@@ -14,4 +14,5 @@ pub use streambench;
 pub use streamir;
 pub use swpipe;
 
+pub mod chaos_soak;
 pub mod serve_bench;

@@ -257,6 +257,8 @@ proptest! {
                 retry: RetryPolicy { max_attempts: 12 },
                 checkpoint: CheckpointSpec::Auto,
                 placement: None,
+                checkpoint_interval: 1,
+                watchdog_margin: None,
             };
             let faulted = exec::execute_with(
                 &cb.compiled,
@@ -337,6 +339,8 @@ fn armed_checkpointing_is_never_free_for_stateful_programs() {
         retry: RetryPolicy::default(),
         checkpoint: CheckpointSpec::Auto,
         placement: None,
+        checkpoint_interval: 1,
+        watchdog_margin: None,
     };
 
     let stateful = exec::compile(&stateful_graph(), &CompileOptions::small_test()).unwrap();
@@ -399,6 +403,8 @@ fn double_buffered_checkpoint_recovers_bit_identically_and_is_cheaper() {
                 retry: RetryPolicy { max_attempts: 16 },
                 checkpoint: spec,
                 placement: None,
+                checkpoint_interval: 1,
+                watchdog_margin: None,
             },
         )
         .unwrap()
@@ -560,6 +566,8 @@ fn fault_matrix_pinned_kinds_recover_bit_identically() {
                 retry: RetryPolicy { max_attempts: 16 },
                 checkpoint: CheckpointSpec::Auto,
                 placement: None,
+                checkpoint_interval: 1,
+                watchdog_margin: None,
             },
         )
         .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -571,6 +579,125 @@ fn fault_matrix_pinned_kinds_recover_bit_identically() {
         assert!(run.stats.fault_overhead_cycles > 0.0, "{name}");
     }
     assert!(ran >= 1, "SWPIPE_FAULT_MATRIX selected no known fault kind");
+}
+
+// ---------------------------------------------------------------------
+// k-launch commit intervals: the cost model's chosen interval must beat
+// the every-launch baseline at low fault rates, and every interval must
+// replay to the same stream.
+// ---------------------------------------------------------------------
+
+fn stateful_cache() -> &'static (Compiled, Vec<Scalar>, Vec<Scalar>) {
+    static CACHE: OnceLock<(Compiled, Vec<Scalar>, Vec<Scalar>)> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let compiled = exec::compile(&stateful_graph(), &CompileOptions::small_test()).unwrap();
+        let input: Vec<Scalar> = (0..exec::required_input(&compiled, 12))
+            .map(|i| Scalar::I32(i as i32 % 7))
+            .collect();
+        let clean = exec::execute(&compiled, Scheme::Swp { coarsening: 1 }, 12, &input).unwrap();
+        (compiled, input, clean.outputs)
+    })
+}
+
+fn run_at_interval(plan: &FaultPlan, k: u32) -> exec::GpuRun {
+    let (compiled, input, _) = stateful_cache();
+    exec::execute_with(
+        compiled,
+        Scheme::Swp { coarsening: 1 },
+        12,
+        input,
+        &RunOptions {
+            fault_plan: Some(plan.clone()),
+            retry: RetryPolicy { max_attempts: 12 },
+            checkpoint: CheckpointSpec::Auto,
+            placement: None,
+            checkpoint_interval: k,
+            watchdog_margin: None,
+        },
+    )
+    .unwrap()
+}
+
+/// Acceptance criterion (c): probe the device at `k = 1`, feed the
+/// *observed* fault rate and mean launch cost back into the cost model,
+/// and the interval it picks must spend fewer checkpoint + replay cycles
+/// than committing every launch — with a bit-identical stream.
+#[test]
+fn model_chosen_commit_interval_beats_k1_at_low_fault_rates() {
+    let (compiled, _, clean_outputs) = stateful_cache();
+    // A low background fault rate: rare enough that commits dominate
+    // replays, which is exactly the regime where spacing commits wins.
+    let plan = FaultPlan::new(77).with_launch_failures(8);
+
+    let probe = run_at_interval(&plan, 1);
+    assert_eq!(&probe.outputs, clean_outputs, "probe diverged");
+    assert_eq!(probe.checkpoint_interval, 1);
+
+    let observed_rate = probe.retries as f64 / probe.launches as f64;
+    let mean_launch = probe.stats.productive_cycles() / probe.launches as f64;
+    let words = swpipe::plan::state_words(&compiled.graph);
+    assert!(words > 0, "the stateful graph must have state to protect");
+    let k_star = compiled.timing.preferred_checkpoint_interval(
+        probe.checkpoint_mode,
+        words,
+        observed_rate,
+        mean_launch,
+        4,
+    );
+    assert!(
+        k_star > 1,
+        "at observed rate {observed_rate} the model must space commits, chose k={k_star}"
+    );
+
+    let tuned = run_at_interval(&plan, u32::try_from(k_star).unwrap());
+    assert_eq!(&tuned.outputs, clean_outputs, "k={k_star} run diverged");
+    assert_eq!(u64::from(tuned.checkpoint_interval), k_star);
+    let probe_cost = probe.stats.checkpoint_cycles + probe.stats.replay_cycles;
+    let tuned_cost = tuned.stats.checkpoint_cycles + tuned.stats.replay_cycles;
+    assert!(
+        tuned_cost < probe_cost,
+        "k={k_star} must be cheaper: {tuned_cost} vs k=1's {probe_cost}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Replay-from-input correctness: under a seeded fault storm, every
+    /// commit interval `k ∈ 2..=4` produces the byte-identical stream the
+    /// `k = 1` run (and the fault-free run) produces — replayed launches
+    /// re-execute from the last committed state without double-billing
+    /// the stream.
+    #[test]
+    fn any_commit_interval_replays_to_the_same_stream(
+        seed in 1u64..1_000_000,
+        k in 2u32..5,
+    ) {
+        let (_, _, clean_outputs) = stateful_cache();
+        let plan = FaultPlan::new(seed)
+            .with_launch_failures(80)
+            .with_mem_corruptions(50)
+            .with_hangs(25)
+            .at_launch(1, FaultKind::LaunchFailure)
+            .at_launch(3, FaultKind::MemCorruption);
+        let base = run_at_interval(&plan, 1);
+        let spaced = run_at_interval(&plan, k);
+        prop_assert_eq!(&base.outputs, clean_outputs, "k=1 (seed {}) diverged", seed);
+        prop_assert_eq!(
+            &spaced.outputs,
+            clean_outputs,
+            "k={} (seed {}) diverged",
+            k,
+            seed
+        );
+        prop_assert!(spaced.retries >= 2, "pinned faults must fire (k={})", k);
+        prop_assert_eq!(base.stats.replay_cycles, 0.0, "k=1 never replays");
+        // A fault after the first committed launch of a window forces a
+        // replay, and that replay is billed.
+        if spaced.stats.replay_cycles > 0.0 {
+            prop_assert!(spaced.stats.fault_overhead_cycles >= spaced.stats.replay_cycles);
+        }
+    }
 }
 
 proptest! {
