@@ -34,6 +34,7 @@
 pub mod codegen;
 pub mod config;
 pub mod exec;
+pub mod fleet;
 pub mod formulate;
 pub mod harness;
 pub mod instances;

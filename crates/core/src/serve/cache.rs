@@ -387,7 +387,7 @@ impl CompilationCache {
 /// a freshly compiled rung. The event engine also runs it on artifacts
 /// joined from pending reservations, so a hit is verified-on-serve on
 /// both serving paths.
-pub(super) fn verify_artifact(artifact: &ResilientCompiled) -> Result<()> {
+pub(crate) fn verify_artifact(artifact: &ResilientCompiled) -> Result<()> {
     let c = &artifact.compiled;
     let serial = matches!(artifact.scheme, Scheme::Serial { .. });
     let num_sms = if serial { 1 } else { c.device.num_sms };

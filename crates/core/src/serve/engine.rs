@@ -226,6 +226,8 @@ impl RunState {
 /// The deterministic discrete-event serving engine.
 pub struct EventEngine {
     opts: ServeOptions,
+    /// The one device this engine schedules onto, as a value.
+    device: gpusim::Device,
     cache: CompilationCache,
     partitioner: Partitioner,
     admission: AdmissionController,
@@ -246,8 +248,9 @@ impl EventEngine {
     /// compile pool and no checkpoint ticks.
     #[must_use]
     pub fn new(opts: ServeOptions) -> EventEngine {
+        let device = opts.device_value();
         let cache = CompilationCache::new(opts.cache.clone());
-        let partitioner = Partitioner::new(opts.device.num_sms, opts.rate_alpha);
+        let partitioner = Partitioner::new(device.config.num_sms, opts.rate_alpha);
         let admission = AdmissionController::new(opts.max_queue);
         let controller = FaultController::new(
             opts.resilience.clone(),
@@ -256,6 +259,7 @@ impl EventEngine {
         );
         EventEngine {
             opts,
+            device,
             cache,
             partitioner,
             admission,
@@ -693,7 +697,7 @@ impl EventEngine {
         let gpu_run = run_artifact(
             artifact,
             job,
-            &self.opts.device,
+            &self.device.config,
             slice.base_sm,
             self.controller.interval_for(&job.tenant),
             self.controller.max_attempts_override(),

@@ -206,6 +206,43 @@ impl TenantReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+        /// `percentile_of` — the one percentile helper every consumer
+        /// (serve report, event engine, fleet bench, chaos harness)
+        /// shares — agrees with a sort-based nearest-rank oracle on any
+        /// sample multiset, at any quantile, under any input order.
+        #[test]
+        fn percentile_matches_sort_oracle(
+            raw in prop::collection::vec(0u32..10_000, 0..64),
+            pm in 0u32..101,
+            rot in 0usize..64,
+        ) {
+            let p = f64::from(pm) / 100.0;
+            let samples: Vec<f64> = raw.iter().map(|&v| f64::from(v) / 97.0).collect();
+            let oracle = if samples.is_empty() {
+                0.0
+            } else {
+                let mut s = samples.clone();
+                s.sort_by(f64::total_cmp);
+                s[((p * (s.len() - 1) as f64).round() as usize).min(s.len() - 1)]
+            };
+            prop_assert_eq!(percentile_of(&samples, p), oracle);
+            // Order-insensitivity: rotations and reversals of the same
+            // multiset answer identically.
+            let mut rotated = samples.clone();
+            if !rotated.is_empty() {
+                let k = rot % rotated.len();
+                rotated.rotate_left(k);
+            }
+            prop_assert_eq!(percentile_of(&rotated, p), oracle);
+            let mut rev = samples;
+            rev.reverse();
+            prop_assert_eq!(percentile_of(&rev, p), oracle);
+        }
+    }
 
     #[test]
     fn retry_rate_and_recommendation() {

@@ -35,7 +35,7 @@ pub mod resilience;
 
 use std::collections::BTreeMap;
 
-use gpusim::{DeviceConfig, FaultPlan, TimingModel};
+use gpusim::{Device, DeviceConfig, FaultPlan, TimingModel};
 use streamir::graph::FlatGraph;
 use streamir::ir::Scalar;
 
@@ -45,7 +45,7 @@ use crate::profile::ProfileOptions;
 use crate::schedule::{SchedulerKind, SearchOptions};
 use crate::Result;
 
-pub use admission::{budgets_for, AdmissionController, Decision, Pressure};
+pub use admission::{budgets_for, AdmissionController, Decision, Pressure, RouteDecision};
 pub use cache::{cache_key, CacheOptions, CacheStats, CompilationCache, Lookup};
 pub use engine::{EventEngine, EventKind, TraceEvent};
 pub use metrics::{ServeMetrics, ServeReport, TenantReport};
@@ -130,6 +130,19 @@ pub struct ServeOptions {
     /// disabled by default, in which case the engine is byte- and
     /// cycle-identical to one without a controller).
     pub resilience: ResilienceOptions,
+}
+
+impl ServeOptions {
+    /// The configured hardware as a [`Device`] *value* with the solo
+    /// identity (id 0). Single-device paths hold exactly one of these;
+    /// the fleet stamps out one per member with distinct ids. Having
+    /// every executor reach hardware through a `Device` value (rather
+    /// than ambient `device`/`timing` fields) is what lets N of them
+    /// coexist in one event loop.
+    #[must_use]
+    pub fn device_value(&self) -> Device {
+        Device::solo(self.device.clone(), self.timing.clone())
+    }
 }
 
 impl Default for ServeOptions {
@@ -278,6 +291,8 @@ pub(crate) struct TenantState {
 /// The multi-tenant serving runtime.
 pub struct Server {
     opts: ServeOptions,
+    /// The one device this server owns, as a value.
+    device: Device,
     cache: CompilationCache,
     partitioner: Partitioner,
     admission: AdmissionController,
@@ -291,11 +306,13 @@ impl Server {
     /// A fresh server over `opts.device`.
     #[must_use]
     pub fn new(opts: ServeOptions) -> Server {
+        let device = opts.device_value();
         let cache = CompilationCache::new(opts.cache.clone());
-        let partitioner = Partitioner::new(opts.device.num_sms, opts.rate_alpha);
+        let partitioner = Partitioner::new(device.config.num_sms, opts.rate_alpha);
         let admission = AdmissionController::new(opts.max_queue);
         Server {
             opts,
+            device,
             cache,
             partitioner,
             admission,
@@ -338,7 +355,7 @@ impl Server {
 
         let popts = pipeline_options_for(&self.opts, slice.num_sms, pressure, job.qos.policy());
         let (artifact, cache_hit) = self.cache.get_or_compile(&job.graph, &popts)?;
-        let run = run_artifact(&artifact, job, &self.opts.device, slice.base_sm, 1, None)?;
+        let run = run_artifact(&artifact, job, &self.device.config, slice.base_sm, 1, None)?;
 
         let compile_cost = if cache_hit {
             0.0

@@ -1,4 +1,63 @@
-//! Device shape parameters.
+//! Device shape parameters and device identity.
+
+use std::fmt;
+
+use crate::timing::TimingModel;
+
+/// Identity of one simulated device in a fleet. Device 0 is the
+/// conventional identity of a solo device, so single-device code that
+/// never names a device still has a well-defined one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    /// The index as a plain integer (for report rows and event keys).
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// One simulated device as a *value*: identity, hardware shape, and
+/// timing model bundled together so callers can hold N of them instead
+/// of treating "the device" as an ambient singleton. Fleet code routes
+/// jobs between `Device` values; solo code wraps its configuration in
+/// [`Device::solo`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// Fleet-unique identity.
+    pub id: DeviceId,
+    /// Hardware shape.
+    pub config: DeviceConfig,
+    /// Cycle/seconds conversion and overhead cost model.
+    pub timing: TimingModel,
+}
+
+impl Device {
+    /// A device value with an explicit fleet identity.
+    #[must_use]
+    pub fn new(id: DeviceId, config: DeviceConfig, timing: TimingModel) -> Device {
+        Device { id, config, timing }
+    }
+
+    /// The conventional solo device (id 0) for single-device serving.
+    #[must_use]
+    pub fn solo(config: DeviceConfig, timing: TimingModel) -> Device {
+        Device::new(DeviceId(0), config, timing)
+    }
+
+    /// Seconds for `cycles` under this device's clock.
+    #[must_use]
+    pub fn secs(&self, cycles: f64) -> f64 {
+        self.timing.secs(cycles)
+    }
+}
 
 /// The hardware shape of the simulated GPU.
 ///

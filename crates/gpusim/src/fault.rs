@@ -213,6 +213,130 @@ impl FaultPlan {
     }
 }
 
+/// A device-grain fault: strikes a whole device (or its router link)
+/// rather than one launch attempt. Where [`FaultKind`] models the
+/// transient failures a retrying executor absorbs *inside* a device,
+/// these model the failures a fleet must route *around*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviceFaultKind {
+    /// The device is lost permanently: every in-flight job must fail
+    /// over to a healthy replica (checkpoint shipping), and the router
+    /// must stop placing work on it.
+    Loss,
+    /// The device browns out to `total_sms` usable SMs, forcing a
+    /// partition recut; optionally heals back to full capacity after
+    /// `heal_secs`.
+    Brownout {
+        /// Usable SMs while browned out.
+        total_sms: u32,
+        /// Seconds until capacity is restored (`None` = no heal).
+        heal_secs: Option<f64>,
+    },
+    /// The router↔device link partitions: the device keeps running what
+    /// it has, but the router cannot place new work on it until the
+    /// partition heals after `heal_secs`.
+    LinkPartition {
+        /// Seconds until the link heals.
+        heal_secs: f64,
+    },
+}
+
+/// One timed device-grain fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceFaultEvent {
+    /// Virtual time at which the fault strikes.
+    pub at_secs: f64,
+    /// The struck device.
+    pub device: crate::DeviceId,
+    /// What happens to it.
+    pub kind: DeviceFaultKind,
+}
+
+/// A deterministic schedule of device-grain faults, kept sorted by
+/// `(at_secs, device)` so a fleet event loop consumes it in a total
+/// order and same-plan runs replay bit-identically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceFaultPlan {
+    events: Vec<DeviceFaultEvent>,
+}
+
+impl DeviceFaultPlan {
+    /// An empty plan (no device faults).
+    #[must_use]
+    pub fn new() -> DeviceFaultPlan {
+        DeviceFaultPlan::default()
+    }
+
+    /// Adds a whole-device loss at `at_secs`.
+    #[must_use]
+    pub fn with_loss(mut self, device: crate::DeviceId, at_secs: f64) -> DeviceFaultPlan {
+        self.push(DeviceFaultEvent {
+            at_secs,
+            device,
+            kind: DeviceFaultKind::Loss,
+        });
+        self
+    }
+
+    /// Adds a device brownout to `total_sms` SMs at `at_secs`, healing
+    /// after `heal_secs` when given.
+    #[must_use]
+    pub fn with_brownout(
+        mut self,
+        device: crate::DeviceId,
+        at_secs: f64,
+        total_sms: u32,
+        heal_secs: Option<f64>,
+    ) -> DeviceFaultPlan {
+        self.push(DeviceFaultEvent {
+            at_secs,
+            device,
+            kind: DeviceFaultKind::Brownout {
+                total_sms,
+                heal_secs,
+            },
+        });
+        self
+    }
+
+    /// Adds a router↔device link partition at `at_secs` that heals
+    /// after `heal_secs`.
+    #[must_use]
+    pub fn with_partition(
+        mut self,
+        device: crate::DeviceId,
+        at_secs: f64,
+        heal_secs: f64,
+    ) -> DeviceFaultPlan {
+        self.push(DeviceFaultEvent {
+            at_secs,
+            device,
+            kind: DeviceFaultKind::LinkPartition { heal_secs },
+        });
+        self
+    }
+
+    /// Inserts an event, maintaining the `(at_secs, device)` sort.
+    pub fn push(&mut self, ev: DeviceFaultEvent) {
+        let at = self
+            .events
+            .partition_point(|e| (e.at_secs, e.device) <= (ev.at_secs, ev.device));
+        self.events.insert(at, ev);
+    }
+
+    /// The events in `(at_secs, device)` order.
+    #[must_use]
+    pub fn events(&self) -> &[DeviceFaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan schedules no faults.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
 /// splitmix64 over a seed/ordinal pair.
 fn hash2(seed: u64, x: u64) -> u64 {
     let mut z = seed
@@ -316,6 +440,24 @@ mod tests {
             FaultPlan::new(1).expected_retry_cycles(&timing, budget),
             0.0
         );
+    }
+
+    #[test]
+    fn device_fault_plan_keeps_events_in_time_device_order() {
+        use crate::DeviceId;
+        let plan = DeviceFaultPlan::new()
+            .with_loss(DeviceId(3), 2.0)
+            .with_partition(DeviceId(1), 0.5, 1.0)
+            .with_brownout(DeviceId(2), 2.0, 8, Some(3.0))
+            .with_loss(DeviceId(0), 0.5);
+        let order: Vec<(f64, u32)> = plan
+            .events()
+            .iter()
+            .map(|e| (e.at_secs, e.device.index()))
+            .collect();
+        assert_eq!(order, vec![(0.5, 0), (0.5, 1), (2.0, 2), (2.0, 3)]);
+        assert!(!plan.is_empty());
+        assert!(DeviceFaultPlan::new().is_empty());
     }
 
     #[test]

@@ -80,9 +80,9 @@ mod timing;
 
 pub mod occupancy;
 
-pub use config::DeviceConfig;
+pub use config::{Device, DeviceConfig, DeviceId};
 pub use exec::{REG_ARRAY_WORDS, SHARED_BANKS};
-pub use fault::{FaultKind, FaultPlan};
+pub use fault::{DeviceFaultEvent, DeviceFaultKind, DeviceFaultPlan, FaultKind, FaultPlan};
 pub use launch::{BlockWork, Gpu, InstanceExec, Launch};
 pub use layout::{BufferBinding, Layout};
 pub use mem::{bank_conflict_degree, count_transactions, Allocator, DeviceMemory};

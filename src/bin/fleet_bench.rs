@@ -1,0 +1,6 @@
+//! Thin binary wrapper; the benchmark lives in the library so the
+//! integration tests can drive the exact same trace.
+
+fn main() {
+    stream_gpu::fleet_bench::main();
+}

@@ -41,8 +41,13 @@ use swpipe::serve::{
 pub struct SoakConfig {
     /// Storm seed (drives burst placement and the background draws).
     pub seed: u64,
+    /// Named storm profile (see [`storm_profile`]).
+    pub profile: String,
     /// Round-robin arrival rounds over the benchmark suite.
     pub rounds: usize,
+    /// Cap on the number of jobs served (the trace is truncated);
+    /// `None` serves every job the rounds generate.
+    pub jobs: Option<usize>,
     /// Steady-state iterations per job.
     pub iterations: u64,
     /// Whether the adaptive controller may switch policies (interval
@@ -57,11 +62,54 @@ impl Default for SoakConfig {
     fn default() -> Self {
         SoakConfig {
             seed: 0xC4A0_55EE,
+            profile: "default".to_string(),
             rounds: 2,
+            jobs: None,
             iterations: 4,
             adaptive: true,
             brownout: true,
         }
+    }
+}
+
+/// The named storm profiles the CI matrix and local repro share:
+/// `default` (bursts + background), `hangs` (hang trains only),
+/// `corruption` (corruption clusters only), `quiet` (background noise
+/// only, no pinned bursts). Returns `None` for an unknown name so the
+/// CLI can fail loudly.
+///
+/// The emphasized profiles zero out the other burst category and keep
+/// their own worst-case pinned chain (all bursts landing adjacent) at
+/// six consecutive faults — below the soak's retry budget of 8, so
+/// every storm the harness ships is survivable regardless of where
+/// the seed places the bursts.
+#[must_use]
+pub fn storm_profile(name: &str, seed: u64) -> Option<ChaosStorm> {
+    let base = ChaosStorm {
+        seed,
+        horizon_attempts: 24,
+        ..ChaosStorm::default()
+    };
+    match name {
+        "default" => Some(base),
+        "hangs" => Some(ChaosStorm {
+            hang_trains: 3,
+            train_len: 2,
+            corruption_clusters: 0,
+            ..base
+        }),
+        "corruption" => Some(ChaosStorm {
+            corruption_clusters: 3,
+            cluster_len: 2,
+            hang_trains: 0,
+            ..base
+        }),
+        "quiet" => Some(ChaosStorm {
+            hang_trains: 0,
+            corruption_clusters: 0,
+            ..base
+        }),
+        _ => None,
     }
 }
 
@@ -78,17 +126,19 @@ pub struct SoakRun {
     pub events: Vec<TraceEvent>,
 }
 
-/// The storm a soak config injects. The horizon is pulled in close to
-/// a job's actual attempt count so the pinned bursts land inside real
-/// runs (and, because attempt ordinals restart per run, hit every job
-/// the same way — correlated faults, not independent noise).
+/// The storm a soak config injects: the config's named profile at the
+/// config's seed. All profiles keep `horizon_attempts` pulled in close
+/// to a job's actual attempt count so the pinned bursts land inside
+/// real runs (and, because attempt ordinals restart per run, hit every
+/// job the same way — correlated faults, not independent noise).
+///
+/// # Panics
+///
+/// Panics on an unknown profile name.
 #[must_use]
 pub fn storm_for(cfg: &SoakConfig) -> ChaosStorm {
-    ChaosStorm {
-        seed: cfg.seed,
-        horizon_attempts: 24,
-        ..ChaosStorm::default()
-    }
+    storm_profile(&cfg.profile, cfg.seed)
+        .unwrap_or_else(|| panic!("unknown storm profile {:?}", cfg.profile))
 }
 
 /// The deterministic arrival trace: every benchmark as its own tenant,
@@ -117,6 +167,17 @@ pub fn build_trace(rounds: usize, iterations: u64) -> Vec<(Job, f64)> {
             now += 0.05;
         }
         now += 1.0;
+    }
+    trace
+}
+
+/// The trace a soak config serves: [`build_trace`] over the config's
+/// rounds, truncated to the config's job cap when one is set.
+#[must_use]
+pub fn trace_for(cfg: &SoakConfig) -> Vec<(Job, f64)> {
+    let mut trace = build_trace(cfg.rounds, cfg.iterations);
+    if let Some(cap) = cfg.jobs {
+        trace.truncate(cap);
     }
     trace
 }
@@ -169,7 +230,7 @@ fn run_with_plan(cfg: &SoakConfig, stormy: bool) -> SoakRun {
             total_sms: 10,
         });
     }
-    let trace = build_trace(cfg.rounds, cfg.iterations);
+    let trace = trace_for(cfg);
     let verdicts = engine.serve_trace(&trace).expect("soak trace serves");
     let outputs = verdicts
         .into_iter()
@@ -197,7 +258,7 @@ pub fn assert_invariants(cfg: &SoakConfig) -> SoakRun {
     let stormy = run_soak(cfg);
     let golden = run_golden(cfg);
     let replay = run_soak(cfg);
-    let n_jobs = build_trace(cfg.rounds, cfg.iterations).len();
+    let n_jobs = trace_for(cfg).len();
 
     // 1. No job lost or double-counted.
     assert_eq!(stormy.outputs.len(), n_jobs, "one verdict per input job");
@@ -265,6 +326,7 @@ pub fn assert_invariants(cfg: &SoakConfig) -> SoakRun {
 #[derive(serde::Serialize)]
 struct SoakSummary {
     seed: u64,
+    profile: String,
     jobs: usize,
     completed: usize,
     policy_switches: u64,
@@ -274,37 +336,76 @@ struct SoakSummary {
     decisions: Vec<ControllerDecision>,
 }
 
-/// Entry point for the `chaos_soak` binary: a small storm matrix of
-/// seeds, each soaked and invariant-checked, with the last seed's
-/// decision log exported.
+fn parse_u64(s: &str) -> Option<u64> {
+    s.strip_prefix("0x")
+        .map_or_else(|| s.parse().ok(), |h| u64::from_str_radix(h, 16).ok())
+}
+
+/// Entry point for the `chaos_soak` binary: a storm matrix of seeds,
+/// each soaked and invariant-checked, with the last seed's decision
+/// log exported.
+///
+/// Flags — one invocation path for the CI matrix and local repro:
+/// `--seed N` (repeatable; decimal or `0x` hex), `--profile NAME`
+/// (see [`storm_profile`]), `--rounds N`, `--jobs N` (truncate the
+/// trace to the first N jobs). Bare integer arguments are still
+/// accepted as seeds for back-compat with older scripts.
 ///
 /// # Panics
 ///
-/// Panics when any soak invariant is violated or the report cannot be
-/// written.
+/// Panics on a malformed flag, an unknown profile, a violated soak
+/// invariant, or when the report cannot be written.
 pub fn main() {
-    let seeds: Vec<u64> = {
-        let args: Vec<u64> = std::env::args()
-            .skip(1)
-            .filter_map(|a| a.parse().ok())
-            .collect();
-        if args.is_empty() {
-            vec![0xC4A0_55EE, 0x0005_EED5]
-        } else {
-            args
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut base = SoakConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--seed" => {
+                let v = val("--seed");
+                seeds.push(parse_u64(&v).unwrap_or_else(|| panic!("bad --seed {v:?}")));
+            }
+            "--profile" => {
+                let name = val("--profile");
+                assert!(
+                    storm_profile(&name, 0).is_some(),
+                    "unknown storm profile {name:?} (try default, hangs, corruption, quiet)"
+                );
+                base.profile = name;
+            }
+            "--rounds" => {
+                let v = val("--rounds");
+                base.rounds = v.parse().unwrap_or_else(|_| panic!("bad --rounds {v:?}"));
+            }
+            "--jobs" => {
+                let v = val("--jobs");
+                base.jobs = Some(v.parse().unwrap_or_else(|_| panic!("bad --jobs {v:?}")));
+            }
+            other => match parse_u64(other) {
+                Some(seed) => seeds.push(seed),
+                None => panic!("unknown flag {other}"),
+            },
         }
-    };
+    }
+    if seeds.is_empty() {
+        seeds = vec![0xC4A0_55EE, 0x0005_EED5];
+    }
     let mut last: Option<(u64, SoakRun)> = None;
     for seed in seeds {
         let cfg = SoakConfig {
             seed,
-            ..SoakConfig::default()
+            ..base.clone()
         };
         let run = assert_invariants(&cfg);
         let completed = run.outputs.iter().filter(|o| o.is_some()).count();
         println!(
-            "seed {seed:#x}: {} jobs, {completed} completed, {} policy switch(es), \
+            "seed {seed:#x} ({} storm): {} jobs, {completed} completed, {} policy switch(es), \
              {} rebalance(s), {} controller decision(s), makespan {:.3}s — invariants hold",
+            cfg.profile,
             run.outputs.len(),
             run.report.policy_switches,
             run.report.rebalances,
@@ -316,6 +417,7 @@ pub fn main() {
     let (seed, run) = last.expect("at least one seed soaked");
     let summary = SoakSummary {
         seed,
+        profile: base.profile,
         jobs: run.outputs.len(),
         completed: run.outputs.iter().filter(|o| o.is_some()).count(),
         policy_switches: run.report.policy_switches,
@@ -327,4 +429,52 @@ pub fn main() {
     let json = serde_json::to_string_pretty(&summary);
     std::fs::write("CHAOS_soak.json", json).expect("write CHAOS_soak.json");
     println!("wrote CHAOS_soak.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_resolve_and_unknown_names_do_not() {
+        for name in ["default", "hangs", "corruption", "quiet"] {
+            let storm = storm_profile(name, 7).expect(name);
+            assert_eq!(storm.seed, 7, "{name}: seed must pass through");
+        }
+        assert!(storm_profile("meteor", 7).is_none());
+        let quiet = storm_profile("quiet", 7).unwrap();
+        assert_eq!(quiet.hang_trains, 0);
+        assert_eq!(quiet.corruption_clusters, 0);
+        // Emphasized profiles must keep their worst-case pinned chain
+        // (every burst adjacent) below the soak's retry budget of 8.
+        for name in ["hangs", "corruption"] {
+            let s = storm_profile(name, 7).unwrap();
+            let chain = s.hang_trains * s.train_len + s.corruption_clusters * s.cluster_len;
+            assert!(
+                chain < 8,
+                "{name}: worst-case chain {chain} >= retry budget"
+            );
+        }
+    }
+
+    #[test]
+    fn job_cap_truncates_the_trace() {
+        let cfg = SoakConfig {
+            jobs: Some(3),
+            ..SoakConfig::default()
+        };
+        assert_eq!(trace_for(&cfg).len(), 3);
+        let uncapped = SoakConfig::default();
+        assert_eq!(
+            trace_for(&uncapped).len(),
+            build_trace(uncapped.rounds, uncapped.iterations).len()
+        );
+    }
+
+    #[test]
+    fn seed_parsing_accepts_decimal_and_hex() {
+        assert_eq!(parse_u64("42"), Some(42));
+        assert_eq!(parse_u64("0xC4A055EE"), Some(0xC4A0_55EE));
+        assert_eq!(parse_u64("--flag"), None);
+    }
 }

@@ -1,0 +1,325 @@
+//! The fleet serving benchmark behind `cargo run --bin fleet_bench`.
+//!
+//! Serves the eight StreamIt benchmarks as eight tenants of a
+//! [`swpipe::fleet::FleetEngine`] under three configurations:
+//!
+//! 1. **solo** — one device, hedging off, replication 1: the
+//!    single-device disk-tier baseline the fleet's cross-device hit
+//!    rate is judged against;
+//! 2. **fleet** — N devices, hedging on, replication 2, no faults:
+//!    the nominal fleet;
+//! 3. **storm** — the same fleet under a seeded [`FleetStorm`]
+//!    (rolling device kills, a rack brownout, a partition train),
+//!    proving completion-or-rejection: zero jobs lost.
+//!
+//! Writes `BENCH_fleet.json` with all three reports, and in `--chaos`
+//! mode writes `FLEET_chaos.json` carrying the router's full decision
+//! log — the determinism witness the CI chaos job uploads.
+
+use serde::Serialize;
+use swpipe::fleet::{
+    FleetEngine, FleetOptions, FleetReport, FleetStorm, FleetVerdict, HedgeOptions, RackBrownout,
+    RouterDecision,
+};
+use swpipe::serve::{Job, QosClass, ServeOptions};
+
+/// Arrival rounds of the full benchmark (each round submits all eight
+/// benchmarks once).
+pub const FULL_ROUNDS: usize = 6;
+/// Steady-state iterations per job in the full benchmark.
+pub const FULL_ITERATIONS: u64 = 4;
+/// Fleet size of the full benchmark. Eight devices give the eight
+/// benchmark tenants one-to-two-tenant homes, so slice widths settle
+/// fast and the replicated store's cross-device hits dominate; smaller
+/// fleets (more tenants per home) see more width churn from demand
+/// rebalancing and correspondingly more honest compile misses.
+pub const FULL_DEVICES: u32 = 8;
+/// Default storm seed. Chosen so the rolling kills land on devices
+/// with jobs in flight — the storm run must actually exercise
+/// checkpoint-shipping failover, not just kill idle fleet members.
+pub const FULL_SEED: u64 = 0xF1EE_700B;
+
+/// The deterministic arrival trace: `rounds` round-robin rounds over
+/// the benchmark suite, 50 ms apart within a round, 1 s between rounds,
+/// QoS alternating across the suite so both fault policies serve.
+#[must_use]
+pub fn fleet_trace(rounds: usize, iterations: u64) -> Vec<(Job, f64)> {
+    let suite = streambench::suite();
+    let mut trace = Vec::new();
+    let mut now = 0.0;
+    for _round in 0..rounds {
+        for (i, b) in suite.iter().enumerate() {
+            trace.push((
+                Job {
+                    tenant: b.name.to_string(),
+                    graph: b.spec.flatten().expect("benchmark flattens"),
+                    input: b.input,
+                    iterations,
+                    qos: if i % 2 == 0 {
+                        QosClass::Batch
+                    } else {
+                        QosClass::Interactive
+                    },
+                },
+                now,
+            ));
+            now += 0.05;
+        }
+        now += 1.0;
+    }
+    trace
+}
+
+/// The per-device serving configuration all three runs share. No
+/// launch-grain fault plan: device-grain faults are the fleet's own
+/// axis, and keeping launches fault-free makes the solo run a clean
+/// byte-identical reference for the differential tests.
+#[must_use]
+pub fn base_serve_options() -> ServeOptions {
+    ServeOptions::default()
+}
+
+/// The single-device baseline: no replication to lean on, no second
+/// device to hedge to.
+#[must_use]
+pub fn solo_options() -> FleetOptions {
+    FleetOptions {
+        devices: 1,
+        base: base_serve_options(),
+        replication: 1,
+        hedge: HedgeOptions {
+            enabled: false,
+            ..HedgeOptions::default()
+        },
+        ..FleetOptions::default()
+    }
+}
+
+/// The nominal fleet: `devices` members, replication 2, hedging on.
+#[must_use]
+pub fn fleet_options(devices: u32) -> FleetOptions {
+    FleetOptions {
+        devices,
+        base: base_serve_options(),
+        replication: 2,
+        ..FleetOptions::default()
+    }
+}
+
+/// The seeded storm the chaos configuration runs under: two rolling
+/// kills (never below two live devices), a partition train, and a
+/// one-device rack brownout mid-trace.
+#[must_use]
+pub fn bench_storm(seed: u64) -> FleetStorm {
+    FleetStorm {
+        seed,
+        kills: 2,
+        // Land the kills inside the arrival bursts (rounds start at
+        // 0.0, 1.4, 2.8, …; cache-miss jobs stay in flight for the
+        // 0.5 s compile penalty) so in-flight jobs actually fail over
+        // instead of the storm only hitting idle devices.
+        kill_start_secs: 0.25,
+        kill_every_secs: 1.4,
+        min_alive: 2,
+        partitions: 2,
+        partition_start_secs: 2.9,
+        partition_every_secs: 1.4,
+        partition_heal_secs: 0.6,
+        rack: Some(RackBrownout {
+            at_secs: 4.3,
+            devices: 1,
+            total_sms: 8,
+            heal_secs: 1.0,
+        }),
+    }
+}
+
+/// The storm configuration: the nominal fleet plus `bench_storm(seed)`.
+#[must_use]
+pub fn storm_options(devices: u32, seed: u64) -> FleetOptions {
+    FleetOptions {
+        device_faults: bench_storm(seed).device_fault_plan(devices),
+        ..fleet_options(devices)
+    }
+}
+
+/// Runs one fleet configuration over a trace, returning the report,
+/// the router's decision log, and the verdicts.
+///
+/// # Panics
+///
+/// Panics when compilation or execution fails — the trace is paced
+/// below saturation, so a hard error is a runtime bug.
+#[must_use]
+pub fn run_fleet(
+    opts: FleetOptions,
+    trace: &[(Job, f64)],
+) -> (FleetReport, Vec<RouterDecision>, Vec<FleetVerdict>) {
+    let mut engine = FleetEngine::new(opts);
+    let verdicts = engine.run(trace).expect("fleet trace serves");
+    (engine.report(), engine.router_log().to_vec(), verdicts)
+}
+
+/// The three-configuration benchmark artifact (`BENCH_fleet.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetBenchReport {
+    /// Arrival rounds served.
+    pub rounds: u64,
+    /// Iterations per job.
+    pub iterations: u64,
+    /// Fleet size of the fleet/storm configurations.
+    pub devices: u32,
+    /// Storm seed.
+    pub storm_seed: u64,
+    /// Single-device baseline.
+    pub solo: FleetReport,
+    /// Nominal fleet.
+    pub fleet: FleetReport,
+    /// Fleet under the storm.
+    pub storm: FleetReport,
+}
+
+/// Runs all three configurations and checks the fleet acceptance
+/// criteria.
+///
+/// # Panics
+///
+/// Panics when the fleet's cross-device artifact-store hit rate fails
+/// to beat the solo disk-tier hit rate, or when the storm loses a job.
+#[must_use]
+pub fn run_bench(rounds: usize, iterations: u64, devices: u32, seed: u64) -> FleetBenchReport {
+    let trace = fleet_trace(rounds, iterations);
+
+    let (solo, _, _) = run_fleet(solo_options(), &trace);
+    let (fleet, _, _) = run_fleet(fleet_options(devices), &trace);
+    let (storm, _, _) = run_fleet(storm_options(devices, seed), &trace);
+
+    assert!(
+        fleet.store.hit_rate() > solo.store.hit_rate(),
+        "cross-device hit rate {:.3} must beat solo disk tier {:.3}",
+        fleet.store.hit_rate(),
+        solo.store.hit_rate()
+    );
+    assert_eq!(
+        storm.jobs_lost, 0,
+        "storm lost jobs: every job must complete or be rejected"
+    );
+    assert!(
+        storm.failovers > 0,
+        "the storm must catch at least one in-flight job (failover path unexercised)"
+    );
+
+    FleetBenchReport {
+        rounds: rounds as u64,
+        iterations,
+        devices,
+        storm_seed: seed,
+        solo,
+        fleet,
+        storm,
+    }
+}
+
+/// The chaos artifact (`FLEET_chaos.json`): the storm report plus the
+/// router's full decision log.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetChaosArtifact {
+    /// Storm seed.
+    pub seed: u64,
+    /// Fleet size.
+    pub devices: u32,
+    /// The storm-run report.
+    pub report: FleetReport,
+    /// Every router decision, in order — byte-identical across
+    /// same-seed replays.
+    pub decisions: Vec<RouterDecision>,
+}
+
+/// Serializes any report to `path` as pretty JSON.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written.
+pub fn write_json<T: Serialize>(value: &T, path: &str) {
+    let json = serde_json::to_string_pretty(value);
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
+fn print_report(name: &str, r: &FleetReport) {
+    println!(
+        "{name:>6}: {} dev ({} alive)  {} done / {} rejected / {} lost  \
+         {:>8.1} tok/s  p99 {:.4}s  store hit {:.3} (remote {:.3})  \
+         failovers {} (p99 +{:.4}s)  hedges {}/{}",
+        r.devices,
+        r.devices_alive,
+        r.jobs_completed,
+        r.jobs_rejected,
+        r.jobs_lost,
+        r.throughput_tokens_per_sec,
+        r.p99_latency_secs,
+        r.store.hit_rate(),
+        r.store.remote_hit_rate(),
+        r.failovers,
+        r.failover_p99_secs,
+        r.hedge_wins,
+        r.hedges,
+    );
+}
+
+/// Entry point for the `fleet_bench` binary.
+///
+/// Flags: `--chaos` (write `FLEET_chaos.json` with the decision log),
+/// `--seed N`, `--devices N`, `--rounds N`, `--iterations N`.
+///
+/// # Panics
+///
+/// Panics on malformed flags or when an acceptance assertion fails.
+pub fn main() {
+    let mut chaos = false;
+    let mut seed: u64 = FULL_SEED;
+    let mut devices = FULL_DEVICES;
+    let mut rounds = FULL_ROUNDS;
+    let mut iterations = FULL_ITERATIONS;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a number"))
+        };
+        match a.as_str() {
+            "--chaos" => chaos = true,
+            "--seed" => seed = num("--seed"),
+            "--devices" => devices = num("--devices") as u32,
+            "--rounds" => rounds = num("--rounds") as usize,
+            "--iterations" => iterations = num("--iterations"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    if chaos {
+        let trace = fleet_trace(rounds, iterations);
+        let (report, decisions, _) = run_fleet(storm_options(devices, seed), &trace);
+        assert_eq!(report.jobs_lost, 0, "chaos run lost jobs");
+        print_report("storm", &report);
+        let artifact = FleetChaosArtifact {
+            seed,
+            devices,
+            report,
+            decisions,
+        };
+        write_json(&artifact, "FLEET_chaos.json");
+        println!(
+            "wrote FLEET_chaos.json ({} decisions)",
+            artifact.decisions.len()
+        );
+        return;
+    }
+
+    let report = run_bench(rounds, iterations, devices, seed);
+    print_report("solo", &report.solo);
+    print_report("fleet", &report.fleet);
+    print_report("storm", &report.storm);
+    write_json(&report, "BENCH_fleet.json");
+    println!("wrote BENCH_fleet.json");
+}

@@ -15,4 +15,5 @@ pub use streamir;
 pub use swpipe;
 
 pub mod chaos_soak;
+pub mod fleet_bench;
 pub mod serve_bench;

@@ -104,8 +104,141 @@ pub fn write_report(report: &ServeReport, path: &str) {
     std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
 }
 
+/// Collects every object key path in a JSON tree (array elements
+/// contribute under a `[]` segment), for schema comparison.
+fn schema_paths(v: &serde_json::Value, prefix: &str, out: &mut Vec<String>) {
+    match v {
+        serde_json::Value::Object(fields) => {
+            for (k, fv) in fields {
+                let p = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                out.push(p.clone());
+                schema_paths(fv, &p, out);
+            }
+        }
+        serde_json::Value::Array(items) => {
+            if let Some(first) = items.first() {
+                schema_paths(first, &format!("{prefix}[]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn lookup<'v>(v: &'v serde_json::Value, path: &str) -> Option<&'v serde_json::Value> {
+    path.split('.').try_fold(v, |v, seg| v.get(seg))
+}
+
+/// Compares the committed benchmark artifact against a fresh run.
+/// Drift is either **schema drift** (the committed file's recursive
+/// key structure differs from what the current code emits) or
+/// **headline-counter drift** (cache hits/misses/evictions, hit rate,
+/// policy switches, rebalances, tenant count, or total accepted /
+/// rejected jobs differ — the trace is deterministic in virtual time,
+/// so these must reproduce exactly).
+///
+/// # Errors
+///
+/// Returns every drift found, one human-readable line each.
+pub fn check_drift(fresh: &ServeReport, committed: &str) -> Result<(), Vec<String>> {
+    let fresh_v =
+        serde_json::from_str(&serde_json::to_string(fresh)).expect("fresh report renders as JSON");
+    let committed_v = match serde_json::from_str(committed) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("committed artifact is not valid JSON: {e}")]),
+    };
+    let mut drifts = Vec::new();
+
+    let mut want = Vec::new();
+    schema_paths(&fresh_v, "", &mut want);
+    let mut have = Vec::new();
+    schema_paths(&committed_v, "", &mut have);
+    want.sort();
+    want.dedup();
+    have.sort();
+    have.dedup();
+    for p in want.iter().filter(|p| !have.contains(p)) {
+        drifts.push(format!("schema: committed file is missing key {p}"));
+    }
+    for p in have.iter().filter(|p| !want.contains(p)) {
+        drifts.push(format!("schema: committed file has stale key {p}"));
+    }
+
+    for path in [
+        "cache.hits",
+        "cache.misses",
+        "cache.evictions",
+        "cache_hit_rate",
+        "policy_switches",
+        "rebalances",
+    ] {
+        let f = lookup(&fresh_v, path).and_then(serde_json::Value::as_f64);
+        let c = lookup(&committed_v, path).and_then(serde_json::Value::as_f64);
+        match (f, c) {
+            (Some(f), Some(c)) if (f - c).abs() > 1e-9 * (1.0 + f.abs()) => {
+                drifts.push(format!("counter {path}: committed {c} != fresh {f}"));
+            }
+            (Some(f), None) => drifts.push(format!("counter {path}: missing (fresh has {f})")),
+            _ => {}
+        }
+    }
+
+    let jobs = |v: &serde_json::Value| -> Option<(usize, u64, u64)> {
+        let tenants = v.get("tenants")?.as_array()?;
+        let mut acc = (tenants.len(), 0, 0);
+        for t in tenants {
+            acc.1 += t.get("jobs_accepted")?.as_u64()?;
+            acc.2 += t.get("jobs_rejected")?.as_u64()?;
+        }
+        Some(acc)
+    };
+    match (jobs(&fresh_v), jobs(&committed_v)) {
+        (Some(f), Some(c)) if f != c => drifts.push(format!(
+            "tenants (count, accepted, rejected): committed {c:?} != fresh {f:?}"
+        )),
+        (Some(f), None) => drifts.push(format!("tenant rows unreadable (fresh has {f:?})")),
+        _ => {}
+    }
+
+    if drifts.is_empty() {
+        Ok(())
+    } else {
+        Err(drifts)
+    }
+}
+
 /// Entry point for the `serve_bench` binary.
+///
+/// With no arguments, runs the full benchmark and writes
+/// `BENCH_serve.json`. With `--check <path>`, runs the same benchmark
+/// and exits non-zero if the committed artifact at `path` has drifted
+/// from the fresh run (see [`check_drift`]) — the CI gate that keeps
+/// the committed numbers honest.
 pub fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args.get(1).expect("--check needs a path");
+        let committed =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let fresh = run_trace(FULL_ROUNDS, FULL_ITERATIONS);
+        match check_drift(&fresh, &committed) {
+            Ok(()) => println!("{path}: no drift against a fresh run"),
+            Err(drifts) => {
+                eprintln!("{path} has drifted from a fresh run:");
+                for d in &drifts {
+                    eprintln!("  - {d}");
+                }
+                eprintln!("regenerate with: cargo run --release --bin serve_bench");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    assert!(args.is_empty(), "unknown arguments {args:?}");
+
     let report = run_trace(FULL_ROUNDS, FULL_ITERATIONS);
     for t in &report.tenants {
         println!(
@@ -141,4 +274,43 @@ pub fn main() {
     println!("adaptive policy switches: {}", report.policy_switches);
     write_report(&report, "BENCH_serve.json");
     println!("wrote BENCH_serve.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_check_accepts_a_faithful_artifact() {
+        let report = run_trace(2, 1);
+        let json = serde_json::to_string_pretty(&report);
+        assert_eq!(check_drift(&report, &json), Ok(()));
+    }
+
+    #[test]
+    fn drift_check_catches_schema_and_counter_drift() {
+        let report = run_trace(2, 1);
+        let json = serde_json::to_string_pretty(&report);
+
+        let renamed = json.replacen("\"hits\"", "\"hits_old\"", 1);
+        let drifts = check_drift(&report, &renamed).unwrap_err();
+        assert!(
+            drifts.iter().any(|d| d.contains("schema")),
+            "renamed key must read as schema drift: {drifts:?}"
+        );
+
+        let mut stale = report.clone();
+        stale.cache.hits += 1;
+        let drifts = check_drift(&stale, &json).unwrap_err();
+        assert!(
+            drifts.iter().any(|d| d.contains("cache.hits")),
+            "stale counter must be flagged: {drifts:?}"
+        );
+    }
+
+    #[test]
+    fn drift_check_rejects_garbage() {
+        let report = run_trace(2, 1);
+        assert!(check_drift(&report, "{not json").is_err());
+    }
 }
