@@ -222,6 +222,12 @@ pub struct FleetReport {
     pub failover_cycles: u64,
     /// The hedge share of the overhead.
     pub hedge_cycles: u64,
+    /// Artifacts dispatched across the fleet.
+    pub artifacts: u64,
+    /// The subset of `artifacts` carrying a verified tenant-isolation
+    /// certificate; dispatch refuses the rest, so this equals
+    /// `artifacts` on any completed run.
+    pub certified: u64,
     /// Artifact-store counters (hit rates, read-repairs, losses).
     pub store: StoreStats,
     /// Router decision-log length (the full log is available via
@@ -346,6 +352,10 @@ pub struct FleetEngine {
     fault_overhead_cycles: f64,
     failover_cycles: f64,
     hedge_cycles: f64,
+    /// Artifacts dispatched, and the subset carrying a verified
+    /// isolation certificate (see [`crate::serve::run_artifact`]).
+    artifacts: u64,
+    certified: u64,
 }
 
 impl FleetEngine {
@@ -393,6 +403,8 @@ impl FleetEngine {
             fault_overhead_cycles: 0.0,
             failover_cycles: 0.0,
             hedge_cycles: 0.0,
+            artifacts: 0,
+            certified: 0,
             opts,
         }
     }
@@ -629,6 +641,10 @@ impl FleetEngine {
                 (a, self.opts.base.compile_penalty_secs)
             }
         };
+        self.artifacts += 1;
+        if artifact.isolation.is_some() {
+            self.certified += 1;
+        }
         let run = run_artifact(
             &artifact,
             job,
@@ -1000,6 +1016,8 @@ impl FleetEngine {
             fault_overhead_cycles: self.fault_overhead_cycles.round() as u64,
             failover_cycles: self.failover_cycles.round() as u64,
             hedge_cycles: self.hedge_cycles.round() as u64,
+            artifacts: self.artifacts,
+            certified: self.certified,
             store: self.store.stats().clone(),
             router_decisions: self.router.log().len() as u64,
             per_device: self

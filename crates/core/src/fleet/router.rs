@@ -21,6 +21,8 @@
 use gpusim::DeviceId;
 use serde::Serialize;
 
+use crate::hash::fnv1a;
+
 /// Health of one device, from the router's point of view.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Health {
@@ -201,17 +203,6 @@ impl Router {
     pub fn log(&self) -> &[RouterDecision] {
         &self.log
     }
-}
-
-/// FNV-1a over bytes (the same seedless construction the compilation
-/// cache keys with, so routing and content addressing share idioms).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// Rendezvous score of `(key, device)` — splitmix64 finalizer over the

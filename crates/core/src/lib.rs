@@ -37,6 +37,7 @@ pub mod exec;
 pub mod fleet;
 pub mod formulate;
 pub mod harness;
+pub mod hash;
 pub mod instances;
 pub mod pipeline;
 pub mod plan;

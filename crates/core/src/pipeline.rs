@@ -238,6 +238,11 @@ pub struct ResilientCompiled {
     /// [`crate::exec::execute_with`] so the artifact runs under the
     /// conditions it was scheduled for.
     pub run_options: RunOptions,
+    /// Tenant-isolation certificate ([`verify::isolate`]): proof that
+    /// every access of this artifact stays inside its own arena under
+    /// any SM placement. `None` when the proof failed — the serving
+    /// layer refuses to dispatch such an artifact onto a shared device.
+    pub isolation: Option<verify::IsolationCertificate>,
 }
 
 /// The gracefully-degrading compilation driver. See the module docs for
@@ -588,17 +593,24 @@ fn assemble(
         LadderRung::SerialSas => Scheme::Serial { batch: 1 },
         _ => Scheme::Swp { coarsening: 1 },
     };
+    let compiled = Compiled {
+        graph: graph.clone(),
+        exec_cfg: fe.exec_cfg,
+        selection: fe.selection,
+        ig: fe.ig,
+        schedule,
+        report,
+        device: opts.device.clone(),
+        timing: opts.timing.clone(),
+    };
+    // Run the tenant-isolation prover at the scheme's canonical granule.
+    // A failed or errored proof ships `None`: the artifact still runs on
+    // a dedicated device, but shared devices refuse to dispatch it.
+    let isolation = crate::verify::isolate::certify(&compiled, scheme)
+        .ok()
+        .and_then(|iso| iso.certificate);
     ResilientCompiled {
-        compiled: Compiled {
-            graph: graph.clone(),
-            exec_cfg: fe.exec_cfg,
-            selection: fe.selection,
-            ig: fe.ig,
-            schedule,
-            report,
-            device: opts.device.clone(),
-            timing: opts.timing.clone(),
-        },
+        compiled,
         report: DegradationReport {
             shipped,
             attempts,
@@ -607,6 +619,7 @@ fn assemble(
         },
         scheme,
         run_options: run_options_for(policy, fault_plan),
+        isolation,
     }
 }
 

@@ -332,6 +332,24 @@ mod tests {
     }
 
     #[test]
+    fn isolation_diagnostics_color_as_errors() {
+        use crate::verify::Code;
+        let diags = vec![
+            Diagnostic::new(Code::ForeignRegionAccess, "aliases channel #2")
+                .at_filter("des", 4)
+                .at_site("push[out0]#0")
+                .at_edge(2),
+        ];
+        let ann = dot_annotations(&diags);
+        assert_eq!(ann.edge_colors.get(&2).map(String::as_str), Some("red"));
+        assert_eq!(ann.node_fills.get(&4).map(String::as_str), Some("salmon"));
+        assert!(ann.node_notes[&4][0].contains("V0402"));
+        let text = render_diagnostics(&diags);
+        assert!(text.contains("error[V0402]: aliases channel #2"), "{text}");
+        assert!(text.contains("verification: FAIL"), "{text}");
+    }
+
+    #[test]
     fn schedule_table_breaks_out_the_fault_reserve() {
         let mut c = compiled();
         c.report.fault_reserve = 3;

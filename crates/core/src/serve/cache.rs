@@ -28,6 +28,7 @@ use streamir::graph::FlatGraph;
 
 use crate::config::Selection;
 use crate::exec::{Compiled, Scheme};
+use crate::hash::Fnv;
 use crate::instances::{self, ExecConfig};
 use crate::pipeline::{
     DegradationReport, LadderRung, PipelineOptions, ResilientCompiled, ResilientPipeline,
@@ -35,28 +36,6 @@ use crate::pipeline::{
 use crate::plan::{self, LayoutKind};
 use crate::schedule::{Schedule, SearchReport};
 use crate::{verify, Error, Result};
-
-/// Seedless FNV-1a (64-bit): deterministic across processes and
-/// platforms, unlike `std`'s randomly-keyed `DefaultHasher`.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Fnv {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    fn str(&mut self, s: &str) {
-        self.write(s.as_bytes());
-        self.write(&[0xff]); // field separator
-    }
-}
 
 /// The stable content hash of a compilation request: graph + device +
 /// timing + profiling grid + search options + ladder budgets + fault
@@ -83,7 +62,7 @@ pub fn cache_key(graph: &FlatGraph, opts: &PipelineOptions) -> u64 {
     h.str(&format!("{:?}", opts.budgets));
     h.str(&format!("{:?}", opts.policy));
     h.str(&format!("{:?}", opts.fault_plan));
-    h.0
+    h.finish()
 }
 
 /// Cache sizing and persistence options.
@@ -395,10 +374,20 @@ pub(crate) fn verify_artifact(artifact: &ResilientCompiled) -> Result<()> {
     let plan_sched = if serial { None } else { Some(&c.schedule) };
     let plan = plan::plan(&c.graph, &c.ig, plan_sched, 1, LayoutKind::Optimized);
     diags.extend(verify::check_plan(&c.graph, &c.ig, plan_sched, &plan));
-    if verify::passes(&diags) {
-        Ok(())
-    } else {
-        Err(Error::verification(diags))
+    if !verify::passes(&diags) {
+        return Err(Error::verification(diags));
+    }
+    // A served artifact must additionally carry a valid tenant-isolation
+    // certificate: serving multiplexes tenants onto shared devices, and
+    // the cheap digest re-check here stands in for re-running the full
+    // isolation proof on every hit.
+    match &artifact.isolation {
+        Some(cert) => verify::verify_certificate(c, artifact.scheme, cert),
+        None => Err(Error::Api(
+            "artifact carries no tenant-isolation certificate; \
+             refusing to serve it onto a shared device"
+                .into(),
+        )),
     }
 }
 
@@ -519,21 +508,28 @@ fn rebuild(value: &Value, graph: &FlatGraph, opts: &PipelineOptions) -> Result<R
         _ => Scheme::Swp { coarsening: 1 },
     };
     let checkpoint = plan::checkpoint_plan(graph, &opts.compile.timing, opts.fault_plan.as_ref());
-    Ok(ResilientCompiled {
-        compiled: Compiled {
-            graph: graph.clone(),
-            selection: Selection {
-                exec: exec_cfg.clone(),
-                normalized_ii,
-                candidates: Vec::new(),
-            },
-            exec_cfg,
-            ig,
-            schedule,
-            report,
-            device: opts.compile.device.clone(),
-            timing: opts.compile.timing.clone(),
+    let compiled = Compiled {
+        graph: graph.clone(),
+        selection: Selection {
+            exec: exec_cfg.clone(),
+            normalized_ii,
+            candidates: Vec::new(),
         },
+        exec_cfg,
+        ig,
+        schedule,
+        report,
+        device: opts.compile.device.clone(),
+        timing: opts.compile.timing.clone(),
+    };
+    // Disk entries never store the certificate: the isolation proof is a
+    // deterministic function of (graph, exec_cfg, scheme) and is re-run
+    // on load, so a tampered entry cannot smuggle in a stale proof.
+    let isolation = verify::isolate::certify(&compiled, scheme)
+        .ok()
+        .and_then(|iso| iso.certificate);
+    Ok(ResilientCompiled {
+        compiled,
         report: DegradationReport {
             shipped,
             // Disk entries do not replay the original ladder walk; an
@@ -544,6 +540,7 @@ fn rebuild(value: &Value, graph: &FlatGraph, opts: &PipelineOptions) -> Result<R
         },
         scheme,
         run_options: crate::pipeline::run_options_for(opts.policy, opts.fault_plan.clone()),
+        isolation,
     })
 }
 

@@ -241,6 +241,10 @@ pub struct EventEngine {
     completed: Vec<CompletedJob>,
     controller: FaultController,
     brownouts: Vec<BrownoutSpec>,
+    /// Artifacts dispatched, and the subset carrying a verified
+    /// isolation certificate (see [`super::run_artifact`]).
+    artifacts: u64,
+    certified: u64,
 }
 
 impl EventEngine {
@@ -273,6 +277,8 @@ impl EventEngine {
             completed: Vec::new(),
             controller,
             brownouts: Vec::new(),
+            artifacts: 0,
+            certified: 0,
         }
     }
 
@@ -694,6 +700,10 @@ impl EventEngine {
     ) -> Result<()> {
         let job = &run.jobs[i];
         let default_policy = job.qos.policy();
+        self.artifacts += 1;
+        if artifact.isolation.is_some() {
+            self.certified += 1;
+        }
         let gpu_run = run_artifact(
             artifact,
             job,
@@ -903,6 +913,8 @@ impl EventEngine {
             cache_hit_rate: self.cache.stats().hit_rate(),
             rebalances: self.partitioner.rebalances,
             policy_switches: tenants.iter().map(|t| t.policy_switches).sum(),
+            artifacts: self.artifacts,
+            certified: self.certified,
             compile_overlap_secs: tenants.iter().map(|t| t.compile_overlap_secs).sum(),
             tenants,
         }

@@ -156,6 +156,13 @@ pub struct ServeReport {
     /// Fault-policy switches across all tenants (sum of the per-tenant
     /// [`TenantReport::policy_switches`]).
     pub policy_switches: u64,
+    /// Artifacts dispatched onto the shared device.
+    pub artifacts: u64,
+    /// The subset of `artifacts` carrying a verified tenant-isolation
+    /// certificate ([`crate::verify::isolate`]). Dispatch refuses
+    /// uncertified artifacts, so this equals `artifacts` on any run that
+    /// completed.
+    pub certified: u64,
     /// Total compile penalty hidden behind execution across all tenants
     /// (sum of the per-tenant [`TenantReport::compile_overlap_secs`]).
     /// Zero under the eager server; positive whenever the event engine

@@ -49,7 +49,7 @@ pub use admission::{budgets_for, AdmissionController, Decision, Pressure, RouteD
 pub use cache::{cache_key, CacheOptions, CacheStats, CompilationCache, Lookup};
 pub use engine::{EventEngine, EventKind, TraceEvent};
 pub use metrics::{ServeMetrics, ServeReport, TenantReport};
-pub use partition::{Partitioner, RateEstimator, RecutRecord, Slice};
+pub use partition::{placement_universe, Partitioner, RateEstimator, RecutRecord, Slice};
 pub use resilience::{
     BrownoutSpec, ChaosStorm, ControllerDecision, FaultController, ResilienceOptions,
 };
@@ -249,6 +249,11 @@ pub(crate) fn pipeline_options_for(
 /// per-job results are byte-identical by construction; the eager server
 /// always passes `(1, None)`, the event engine passes the resilience
 /// controller's choices.
+///
+/// Serving shares one device across tenants, so an artifact is refused
+/// here unless it carries a tenant-isolation certificate
+/// ([`crate::verify::isolate`]) proving its accesses stay inside its own
+/// arena under any placement.
 pub(crate) fn run_artifact(
     artifact: &ResilientCompiled,
     job: &Job,
@@ -257,6 +262,13 @@ pub(crate) fn run_artifact(
     checkpoint_interval: u32,
     max_attempts: Option<u32>,
 ) -> Result<GpuRun> {
+    if artifact.isolation.is_none() {
+        return Err(crate::Error::Api(format!(
+            "tenant '{}': artifact carries no tenant-isolation certificate; \
+             refusing to dispatch it onto a shared device",
+            job.tenant
+        )));
+    }
     let needed = required_input(&artifact.compiled, job.iterations);
     let input = (job.input)(needed as usize);
     let mut run_opts = RunOptions {
@@ -300,6 +312,11 @@ pub struct Server {
     now: f64,
     first_arrival: Option<f64>,
     last_finish: f64,
+    /// Artifacts dispatched, and the subset carrying a verified
+    /// isolation certificate. `run_artifact` refuses uncertified
+    /// dispatches, so a healthy run keeps these equal.
+    artifacts: u64,
+    certified: u64,
 }
 
 impl Server {
@@ -320,6 +337,8 @@ impl Server {
             now: 0.0,
             first_arrival: None,
             last_finish: 0.0,
+            artifacts: 0,
+            certified: 0,
         }
     }
 
@@ -355,6 +374,10 @@ impl Server {
 
         let popts = pipeline_options_for(&self.opts, slice.num_sms, pressure, job.qos.policy());
         let (artifact, cache_hit) = self.cache.get_or_compile(&job.graph, &popts)?;
+        self.artifacts += 1;
+        if artifact.isolation.is_some() {
+            self.certified += 1;
+        }
         let run = run_artifact(&artifact, job, &self.device.config, slice.base_sm, 1, None)?;
 
         let compile_cost = if cache_hit {
@@ -443,6 +466,8 @@ impl Server {
             cache_hit_rate: self.cache.stats().hit_rate(),
             rebalances: self.partitioner.rebalances,
             policy_switches: 0,
+            artifacts: self.artifacts,
+            certified: self.certified,
             compile_overlap_secs: self
                 .tenants
                 .values()

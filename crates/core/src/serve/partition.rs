@@ -32,6 +32,21 @@ pub struct Slice {
     pub num_sms: u32,
 }
 
+/// Every base SM the partitioner could hand a `width`-SM slice of a
+/// `total_sms`-SM device: recuts pack slices contiguously from SM 0, so
+/// the universe is exactly `0..=total_sms - width` (empty when the slice
+/// cannot fit). The isolation prover ([`crate::verify::isolate`])
+/// quantifies over this whole set at once — placement moves *compute*,
+/// never *addresses* — so one certificate covers every recut and
+/// failover placement the partitioner may ever choose.
+#[must_use]
+pub fn placement_universe(total_sms: u32, width: u32) -> Vec<u32> {
+    if width == 0 || width > total_sms {
+        return Vec::new();
+    }
+    (0..=total_sms - width).collect()
+}
+
 /// EWMA estimator of a tenant's arrival rate from inter-arrival gaps.
 #[derive(Debug, Clone)]
 pub struct RateEstimator {
@@ -434,6 +449,22 @@ mod tests {
             in_order.recut_log,
             clamped.recut_log,
         );
+    }
+
+    #[test]
+    fn placement_universe_contains_every_cut_the_partitioner_makes() {
+        assert_eq!(placement_universe(8, 3), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(placement_universe(4, 4), vec![0]);
+        assert!(placement_universe(4, 5).is_empty());
+        assert!(placement_universe(4, 0).is_empty());
+        // Every slice the partitioner cuts has its base in the universe.
+        let mut p = Partitioner::new(16, 0.5);
+        for (i, t) in ["a", "b", "c"].iter().enumerate() {
+            p.observe(t, i as f64).unwrap();
+        }
+        for (_, s) in p.slices() {
+            assert!(placement_universe(16, s.num_sms).contains(&s.base_sm));
+        }
     }
 
     #[test]

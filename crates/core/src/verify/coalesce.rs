@@ -5,17 +5,17 @@
 //! The analysis walks the exact launch sequence the executor builds
 //! ([`crate::exec`]'s `swp_blocks` / `serial_blocks` — the same
 //! functions, not a re-implementation) and, per warp of each instance,
-//! abstractly interprets the work function. Channel addresses are
-//! evaluated through [`BufferBinding::addr`] — the same lowering the
-//! simulator executes — and classified with [`count_transactions`] /
+//! abstractly interprets the work function through the shared
+//! interpreter in [`super::absint`] (also the engine behind the
+//! tenant-isolation prover). Channel addresses are evaluated through
+//! [`BufferBinding::addr`] — the same lowering the simulator executes —
+//! and classified with [`count_transactions`] /
 //! [`bank_conflict_degree`] — the same analyzers the simulator bills
-//! with. Values are tracked as [`AbsVal`]: `Uniform(c)` when provably
-//! identical across lanes (constants, loop induction variables, folded
-//! arithmetic), `Varying` otherwise. Billing only depends on values
-//! through `if` conditions and peek depths, so whenever those fold the
-//! prediction is *exact*: the predicted counters equal the dynamic
-//! [`gpusim::LaunchStats`] bit-for-bit, and a cross-check test keeps the
-//! two from silently diverging.
+//! with. Billing only depends on values through `if` conditions and
+//! peek depths, so whenever those fold the prediction is *exact*: the
+//! predicted counters equal the dynamic [`gpusim::LaunchStats`]
+//! bit-for-bit, and a cross-check test keeps the two from silently
+//! diverging.
 //!
 //! Every uncoalesced half-warp group is classified by the channel's
 //! logical token geometry:
@@ -38,18 +38,17 @@
 use std::collections::{BTreeSet, HashMap};
 
 use gpusim::{
-    bank_conflict_degree, count_transactions, BufferBinding, DeviceConfig, Gpu, InstanceExec,
-    LaunchStats, Layout, REG_ARRAY_WORDS, SHARED_BANKS,
+    bank_conflict_degree, count_transactions, BufferBinding, Gpu, InstanceExec, LaunchStats,
+    Layout, SHARED_BANKS,
 };
 use streamir::graph::NodeId;
-use streamir::ir::{
-    access_sites, interp, AccessKind, AccessSite, Expr, Scalar, Stmt, WorkFunction,
-};
+use streamir::ir::{AccessKind, AccessSite};
 
 use crate::codegen;
 use crate::exec::{scheme_shape, serial_blocks, swp_blocks, swp_sm_order, Compiled, Scheme};
 use crate::instances;
 use crate::plan::{self, BufferPlan};
+use crate::verify::absint::{self, AccessSink, SiteMap, WarpCtx};
 use crate::verify::diag::{Code, Diagnostic};
 use crate::{Error, Result};
 
@@ -135,88 +134,9 @@ pub struct Prediction {
     pub diagnostics: Vec<Diagnostic>,
 }
 
-/// An abstract per-lane value: either provably identical across all
-/// lanes of a warp, or unknown/varying.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum AbsVal {
-    Uniform(Scalar),
-    Varying,
-}
-
-impl AbsVal {
-    fn as_const_i32(self) -> Option<i32> {
-        match self {
-            AbsVal::Uniform(s) => Some(s.as_i32()),
-            AbsVal::Varying => None,
-        }
-    }
-}
-
-/// Pointer-keyed map from syntactic access sites to their canonical
-/// ordinal, mirroring [`access_sites`]'s walk exactly.
-struct SiteMap {
-    ord_of: HashMap<usize, u32>,
-    sites: Vec<AccessSite>,
-}
-
-fn build_site_map(wf: &WorkFunction) -> SiteMap {
-    let sites = access_sites(wf);
-    let mut ord_of = HashMap::new();
-    fn walk_expr(e: &Expr, ord_of: &mut HashMap<usize, u32>, next: &mut u32) {
-        match e {
-            Expr::Peek { depth, .. } => {
-                walk_expr(depth, ord_of, next);
-                ord_of.insert(std::ptr::from_ref(e) as usize, *next);
-                *next += 1;
-            }
-            Expr::Unary(_, inner) => walk_expr(inner, ord_of, next),
-            Expr::Binary(_, lhs, rhs) => {
-                walk_expr(lhs, ord_of, next);
-                walk_expr(rhs, ord_of, next);
-            }
-            Expr::LoadArr { index, .. } | Expr::LoadTable { index, .. } => {
-                walk_expr(index, ord_of, next);
-            }
-            Expr::I32(_) | Expr::F32(_) | Expr::Local(_) | Expr::LoadState(_) => {}
-        }
-    }
-    fn walk_block(stmts: &[Stmt], ord_of: &mut HashMap<usize, u32>, next: &mut u32) {
-        for s in stmts {
-            match s {
-                Stmt::Assign(_, e) | Stmt::StoreState(_, e) => walk_expr(e, ord_of, next),
-                Stmt::Store { index, value, .. } => {
-                    walk_expr(index, ord_of, next);
-                    walk_expr(value, ord_of, next);
-                }
-                Stmt::Pop { .. } => {
-                    ord_of.insert(std::ptr::from_ref(s) as usize, *next);
-                    *next += 1;
-                }
-                Stmt::Push { value, .. } => {
-                    walk_expr(value, ord_of, next);
-                    ord_of.insert(std::ptr::from_ref(s) as usize, *next);
-                    *next += 1;
-                }
-                Stmt::For { body, .. } => walk_block(body, ord_of, next),
-                Stmt::If {
-                    cond,
-                    then_body,
-                    else_body,
-                } => {
-                    walk_expr(cond, ord_of, next);
-                    walk_block(then_body, ord_of, next);
-                    walk_block(else_body, ord_of, next);
-                }
-            }
-        }
-    }
-    let mut next = 0u32;
-    walk_block(wf.body(), &mut ord_of, &mut next);
-    debug_assert_eq!(next as usize, sites.len(), "site walk mirrors access_sites");
-    SiteMap { ord_of, sites }
-}
-
-/// Whole-run accumulator shared by every analyzed warp.
+/// Whole-run accumulator shared by every analyzed warp: the coalescing
+/// analysis's [`AccessSink`], billing each event exactly as the
+/// simulator would.
 #[derive(Default)]
 struct Acc {
     counters: StaticCounters,
@@ -225,243 +145,75 @@ struct Acc {
     varying_branch: BTreeSet<u32>,
 }
 
-/// One warp's abstract interpretation state — the static twin of the
-/// simulator's `WarpCtx`/`Exec` pair.
-struct WarpAbs<'a> {
-    inst: &'a InstanceExec<'a>,
-    node: u32,
-    lane0: u32,
-    active: u32,
-    half_warp: u32,
-    txn_words: u64,
-    site_map: &'a SiteMap,
-    locals: Vec<AbsVal>,
-    arrays: Vec<Vec<AbsVal>>,
-    pops: Vec<u64>,
-    pushes: Vec<u64>,
-    /// High-water mark of peek sites traversed in any single `eval` call
-    /// of this warp so far. The simulator's per-warp `peek_addrs` vector
-    /// keeps its length across calls (slots are cleared, not truncated),
-    /// so every later call re-bills stale slots as empty channel
-    /// accesses: one access instruction, zero transactions. Mirrored
-    /// here for exactness.
-    peek_hwm: usize,
-    /// Peek sites traversed by the current statement-level `eval` call.
-    peek_count: usize,
-    acc: &'a mut Acc,
-}
-
-impl WarpAbs<'_> {
-    fn array_in_local_memory(&self) -> bool {
-        self.inst.work.info().local_array_words > REG_ARRAY_WORDS
-    }
-
-    /// One warp-wide local-memory scratch-array access (always
-    /// coalesced: per-thread interleaved).
-    fn local_array_access(&mut self) {
-        self.acc.counters.mem_access_insts += 1;
-        self.acc.counters.mem_transactions += 2;
-    }
-
-    /// One warp-wide channel access at the uniform token position `pos`,
-    /// billed and classified exactly as the simulator would.
-    fn channel_access(&mut self, binding: &BufferBinding, pos: u64, ord: u32) {
-        let addrs: Vec<(u32, u64)> = (0..self.active)
-            .map(|l| (l, binding.addr(self.lane0 + l, pos)))
-            .collect();
+impl AccessSink for Acc {
+    fn channel(&mut self, ctx: &WarpCtx<'_>, binding: &BufferBinding, pos: u64, ord: u32) {
+        let addrs = ctx.lane_addrs(binding, pos);
         let transposed = matches!(binding.layout, Layout::Transposed { .. });
-        if self.inst.shared_staging {
+        if ctx.inst.shared_staging {
             let passes = bank_conflict_degree(&addrs, SHARED_BANKS);
-            self.acc.counters.shared_accesses += 1;
-            self.acc.counters.bank_conflict_passes += passes;
-            let t = self.acc.tallies.entry((self.node, ord)).or_default();
+            self.counters.shared_accesses += 1;
+            self.counters.bank_conflict_passes += passes;
+            let t = self.tallies.entry((ctx.node, ord)).or_default();
             t.transposed |= transposed;
             t.shared_accesses += 1;
             t.bank_conflict_passes += passes;
         } else {
-            let txns = count_transactions(&addrs, self.half_warp, self.txn_words);
-            self.acc.counters.mem_access_insts += 1;
-            self.acc.counters.mem_transactions += txns;
-            let lane0 = self.lane0;
-            let (hw, tw) = (self.half_warp, self.txn_words);
-            let t = self.acc.tallies.entry((self.node, ord)).or_default();
+            let txns = count_transactions(&addrs, ctx.half_warp, ctx.txn_words);
+            self.counters.mem_access_insts += 1;
+            self.counters.mem_transactions += txns;
+            let t = self.tallies.entry((ctx.node, ord)).or_default();
             t.transposed |= transposed;
             t.accesses += 1;
             t.transactions += txns;
-            classify_groups(&addrs, binding, pos, lane0, hw, tw, t);
+            classify_groups(
+                &addrs,
+                binding,
+                pos,
+                ctx.lane0,
+                ctx.half_warp,
+                ctx.txn_words,
+                t,
+            );
         }
     }
 
-    /// A statement-level expression evaluation — the granularity at which
-    /// the simulator bills its gathered peek sites, including the stale
-    /// empty slots left by an earlier call that traversed more peeks.
-    fn eval_call(&mut self, e: &Expr) -> AbsVal {
-        self.peek_count = 0;
-        let v = self.eval(e);
-        for _ in self.peek_count..self.peek_hwm {
-            if self.inst.shared_staging {
-                self.acc.counters.shared_accesses += 1;
-            } else {
-                self.acc.counters.mem_access_insts += 1;
-            }
-        }
-        self.peek_hwm = self.peek_hwm.max(self.peek_count);
-        v
-    }
-
-    fn eval(&mut self, e: &Expr) -> AbsVal {
-        match e {
-            Expr::I32(v) => AbsVal::Uniform(Scalar::I32(*v)),
-            Expr::F32(v) => AbsVal::Uniform(Scalar::F32(*v)),
-            Expr::Local(l) => self.locals[l.0 as usize],
-            Expr::Peek { port, depth } => {
-                let d = self.eval(depth);
-                let p = *port as usize;
-                self.peek_count += 1;
-                let ord = self.site_map.ord_of[&(std::ptr::from_ref(e) as usize)];
-                match d.as_const_i32().and_then(|d| u64::try_from(d).ok()) {
-                    Some(d) => {
-                        let binding = self.inst.inputs[p].clone();
-                        let pos = self.pops[p] + d;
-                        self.channel_access(&binding, pos, ord);
-                    }
-                    None => {
-                        self.acc.exact = false;
-                        let t = self.acc.tallies.entry((self.node, ord)).or_default();
-                        t.varying_depth = true;
-                    }
-                }
-                AbsVal::Varying
-            }
-            Expr::LoadArr { arr, index } => {
-                let i = self.eval(index);
-                if self.array_in_local_memory() {
-                    self.local_array_access();
-                }
-                match i.as_const_i32().and_then(|i| usize::try_from(i).ok()) {
-                    Some(i) => self.arrays[arr.0 as usize]
-                        .get(i)
-                        .copied()
-                        .unwrap_or(AbsVal::Varying),
-                    None => AbsVal::Varying,
-                }
-            }
-            Expr::LoadTable { table, index } => {
-                let i = self.eval(index);
-                match i.as_const_i32().and_then(|i| usize::try_from(i).ok()) {
-                    Some(i) => self.inst.work.tables()[table.0 as usize]
-                        .values
-                        .get(i)
-                        .map_or(AbsVal::Varying, |&v| AbsVal::Uniform(v)),
-                    None => AbsVal::Varying,
-                }
-            }
-            Expr::LoadState(_) => {
-                // State lives in device memory: one lane, one line,
-                // billed to the device counters even under staging.
-                self.acc.counters.mem_access_insts += 1;
-                self.acc.counters.mem_transactions += 1;
-                AbsVal::Varying
-            }
-            Expr::Unary(op, inner) => {
-                let v = self.eval(inner);
-                match v {
-                    AbsVal::Uniform(s) => {
-                        interp::eval_unary(*op, s).map_or(AbsVal::Varying, AbsVal::Uniform)
-                    }
-                    AbsVal::Varying => AbsVal::Varying,
-                }
-            }
-            Expr::Binary(op, lhs, rhs) => {
-                let a = self.eval(lhs);
-                let b = self.eval(rhs);
-                match (a, b) {
-                    (AbsVal::Uniform(x), AbsVal::Uniform(y)) => {
-                        interp::eval_binary(*op, x, y).map_or(AbsVal::Varying, AbsVal::Uniform)
-                    }
-                    _ => AbsVal::Varying,
-                }
-            }
+    fn stale_peek(&mut self, ctx: &WarpCtx<'_>) {
+        // An empty peek slot: one access instruction, zero transactions.
+        if ctx.inst.shared_staging {
+            self.counters.shared_accesses += 1;
+        } else {
+            self.counters.mem_access_insts += 1;
         }
     }
 
-    fn block(&mut self, stmts: &[Stmt]) {
-        for s in stmts {
-            self.stmt(s);
-        }
+    fn state(&mut self, _ctx: &WarpCtx<'_>, _store: bool) {
+        // State lives in device memory: one lane, one line, billed to
+        // the device counters even under staging.
+        self.counters.mem_access_insts += 1;
+        self.counters.mem_transactions += 1;
     }
 
-    fn stmt(&mut self, s: &Stmt) {
-        match s {
-            Stmt::Assign(local, e) => {
-                let v = self.eval_call(e);
-                self.locals[local.0 as usize] = v;
-            }
-            Stmt::StoreState(_, e) => {
-                self.eval_call(e);
-                self.acc.counters.mem_access_insts += 1;
-                self.acc.counters.mem_transactions += 1;
-            }
-            Stmt::Store { arr, index, value } => {
-                let i = self.eval_call(index);
-                let v = self.eval_call(value);
-                if self.array_in_local_memory() {
-                    self.local_array_access();
-                }
-                let a = &mut self.arrays[arr.0 as usize];
-                match i.as_const_i32().and_then(|i| usize::try_from(i).ok()) {
-                    Some(i) if i < a.len() => a[i] = v,
-                    // Unknown index: weak update, every cell may change.
-                    _ => a.iter_mut().for_each(|c| *c = AbsVal::Varying),
-                }
-            }
-            Stmt::Pop { port, dst } => {
-                let p = *port as usize;
-                let ord = self.site_map.ord_of[&(std::ptr::from_ref(s) as usize)];
-                let binding = self.inst.inputs[p].clone();
-                let pos = self.pops[p];
-                self.channel_access(&binding, pos, ord);
-                self.pops[p] += 1;
-                if let Some(dst) = dst {
-                    self.locals[dst.0 as usize] = AbsVal::Varying;
-                }
-            }
-            Stmt::Push { port, value } => {
-                self.eval_call(value);
-                let p = *port as usize;
-                let ord = self.site_map.ord_of[&(std::ptr::from_ref(s) as usize)];
-                let binding = self.inst.outputs[p].clone();
-                let pos = self.pushes[p];
-                self.channel_access(&binding, pos, ord);
-                self.pushes[p] += 1;
-            }
-            Stmt::For { var, lo, hi, body } => {
-                for i in *lo..*hi {
-                    self.locals[var.0 as usize] = AbsVal::Uniform(Scalar::I32(i));
-                    self.block(body);
-                }
-            }
-            Stmt::If {
-                cond,
-                then_body,
-                else_body,
-            } => {
-                let c = self.eval_call(cond);
-                match c.as_const_i32() {
-                    Some(c) => self.block(if c != 0 { then_body } else { else_body }),
-                    None => {
-                        // Data-dependent branch: which lanes take which
-                        // arm is unknown. Traverse both (the simulator
-                        // issues both under divergence) but the counters
-                        // are approximate from here on.
-                        self.acc.exact = false;
-                        self.acc.varying_branch.insert(self.node);
-                        self.block(then_body);
-                        self.block(else_body);
-                    }
-                }
-            }
-        }
+    fn local_array(&mut self, _ctx: &WarpCtx<'_>) {
+        self.counters.mem_access_insts += 1;
+        self.counters.mem_transactions += 2;
+    }
+
+    fn varying_depth(&mut self, ctx: &WarpCtx<'_>, ord: u32) {
+        self.exact = false;
+        let t = self.tallies.entry((ctx.node, ord)).or_default();
+        t.varying_depth = true;
+    }
+
+    fn varying_branch(&mut self, ctx: &WarpCtx<'_>) {
+        // Which lanes take which arm is unknown; the counters are
+        // approximate from here on.
+        self.exact = false;
+        self.varying_branch.insert(ctx.node);
+    }
+
+    fn staging_copy(&mut self, _inst: &InstanceExec<'_>, _node: u32, steps: u64) {
+        self.counters.mem_access_insts += steps;
+        self.counters.mem_transactions += steps * 2;
     }
 }
 
@@ -517,65 +269,6 @@ fn classify_groups(
         } else {
             t.misaligned_groups += 1;
         }
-    }
-}
-
-/// Analyzes one instance execution: every warp, plus the staging bulk
-/// copy the simulator bills per staged instance.
-fn analyze_instance(
-    inst: &InstanceExec<'_>,
-    node: u32,
-    device: &DeviceConfig,
-    site_map: &SiteMap,
-    acc: &mut Acc,
-) {
-    let warp = device.warp_size;
-    let warps = inst.active_threads.div_ceil(warp);
-    for w in 0..warps {
-        let lane0 = w * warp;
-        let active = warp.min(inst.active_threads - lane0);
-        let mut wa = WarpAbs {
-            inst,
-            node,
-            lane0,
-            active,
-            half_warp: warp / 2,
-            txn_words: u64::from(device.transaction_words()),
-            site_map,
-            locals: inst
-                .work
-                .locals()
-                .iter()
-                .map(|&ty| AbsVal::Uniform(Scalar::zero(ty)))
-                .collect(),
-            arrays: inst
-                .work
-                .arrays()
-                .iter()
-                .map(|&(ty, len)| vec![AbsVal::Uniform(Scalar::zero(ty)); len as usize])
-                .collect(),
-            pops: vec![0; inst.work.input_ports().len()],
-            pushes: vec![0; inst.work.output_ports().len()],
-            peek_hwm: 0,
-            peek_count: 0,
-            acc,
-        };
-        wa.block(inst.work.body());
-    }
-    if inst.shared_staging {
-        // One coalesced bulk copy each way: window tokens in, pushes
-        // out; each warp-wide step is one access and two transactions.
-        let t = u64::from(inst.active_threads);
-        let wf = inst.work;
-        let in_tokens: u64 = (0..wf.input_ports().len() as u8)
-            .map(|p| t * u64::from(wf.peek_rate(p)))
-            .sum();
-        let out_tokens: u64 = (0..wf.output_ports().len() as u8)
-            .map(|p| t * u64::from(wf.push_rate(p)))
-            .sum();
-        let steps = (in_tokens + out_tokens).div_ceil(u64::from(warp));
-        acc.counters.mem_access_insts += steps;
-        acc.counters.mem_transactions += steps * 2;
     }
 }
 
@@ -648,8 +341,8 @@ pub fn predict_with_plan(
                     let node = node_of[&(std::ptr::from_ref(inst.work) as usize)];
                     let sm = site_maps
                         .entry(node)
-                        .or_insert_with(|| build_site_map(inst.work));
-                    analyze_instance(inst, node, &c.device, sm, acc);
+                        .or_insert_with(|| absint::build_site_map(inst.work));
+                    absint::analyze_instance(inst, node, &c.device, sm, acc);
                 }
             }
         };
@@ -805,7 +498,7 @@ mod tests {
     use super::*;
     use crate::exec::{compile, execute, required_input, CompileOptions};
     use streamir::graph::{FilterSpec, StreamSpec};
-    use streamir::ir::{ElemTy, Expr, FnBuilder};
+    use streamir::ir::{ElemTy, Expr, FnBuilder, Scalar};
 
     fn rate_filter(name: &str, p: u32, q: u32) -> StreamSpec {
         let mut f = FnBuilder::new(&[ElemTy::I32], &[ElemTy::I32]);

@@ -9,6 +9,9 @@
 //!   violations, expected-uncoalesced notes, analysis-precision warnings).
 //! * `V03xx` — buffer-bounds liveness (rotation capacity, region
 //!   geometry).
+//! * `V04xx` — tenant isolation (accesses escaping the artifact's
+//!   arena, aliasing a foreign region, checkpoint words shipped outside
+//!   their shadow, unprovable data-dependent addressing).
 
 use std::fmt;
 
@@ -75,6 +78,19 @@ pub enum Code {
     /// Channel-buffer region geometry deviates from the canonical plan
     /// (partial-firing tails, mismatched consumer rate).
     RegionGeometry,
+    /// An access resolves outside every region the artifact's tenant
+    /// owns — the kernel can address another tenant's memory.
+    IsolationEscape,
+    /// An access resolves inside the tenant's arena but into a region
+    /// owned by a different buffer than the one it goes through —
+    /// intra-arena aliasing the layout never authorized.
+    ForeignRegionAccess,
+    /// A checkpoint region, shadow buffer, or commit-window ship target
+    /// covers words outside the state allocation it mirrors.
+    CheckpointEscape,
+    /// An access's tenant ownership cannot be proven: its address is
+    /// data-dependent, so the isolation proof must reject the artifact.
+    UnprovableTenantAccess,
 }
 
 impl Code {
@@ -95,6 +111,10 @@ impl Code {
             Code::DataDependentPeekDepth => "V0211",
             Code::BufferUnderCapacity => "V0301",
             Code::RegionGeometry => "V0302",
+            Code::IsolationEscape => "V0401",
+            Code::ForeignRegionAccess => "V0402",
+            Code::CheckpointEscape => "V0403",
+            Code::UnprovableTenantAccess => "V0404",
         }
     }
 
@@ -115,6 +135,10 @@ impl Code {
             Code::DataDependentPeekDepth => "DataDependentPeekDepth",
             Code::BufferUnderCapacity => "BufferUnderCapacity",
             Code::RegionGeometry => "RegionGeometry",
+            Code::IsolationEscape => "IsolationEscape",
+            Code::ForeignRegionAccess => "ForeignRegionAccess",
+            Code::CheckpointEscape => "CheckpointEscape",
+            Code::UnprovableTenantAccess => "UnprovableTenantAccess",
         }
     }
 
@@ -129,7 +153,11 @@ impl Code {
             | Code::CapacityExceeded
             | Code::ScheduleShape
             | Code::NonCoalescedAccess
-            | Code::BufferUnderCapacity => Severity::Error,
+            | Code::BufferUnderCapacity
+            | Code::IsolationEscape
+            | Code::ForeignRegionAccess
+            | Code::CheckpointEscape
+            | Code::UnprovableTenantAccess => Severity::Error,
             Code::UncoalescedTraffic
             | Code::DataDependentBranch
             | Code::DataDependentPeekDepth
@@ -265,6 +293,42 @@ mod tests {
         let text = d.to_string();
         assert!(text.starts_with("error[V0201]:"), "{text}");
         assert!(text.contains("--> filter 'fft', pop[in0]#0"), "{text}");
+    }
+
+    #[test]
+    fn isolation_codes_are_stable_errors() {
+        for (code, id, name) in [
+            (Code::IsolationEscape, "V0401", "IsolationEscape"),
+            (Code::ForeignRegionAccess, "V0402", "ForeignRegionAccess"),
+            (Code::CheckpointEscape, "V0403", "CheckpointEscape"),
+            (
+                Code::UnprovableTenantAccess,
+                "V0404",
+                "UnprovableTenantAccess",
+            ),
+        ] {
+            assert_eq!(code.code(), id);
+            assert_eq!(code.name(), name);
+            assert_eq!(code.severity(), Severity::Error, "{id} must refuse to ship");
+        }
+    }
+
+    #[test]
+    fn isolation_diagnostic_renders_exactly() {
+        // Snapshot of the full rustc-style rendering: the V04xx family
+        // must keep this shape stable for log scrapers and CI greps.
+        let d = Diagnostic::new(
+            Code::IsolationEscape,
+            "address 4242 resolves outside the tenant arena of 4096 words",
+        )
+        .at_filter("fft", 3)
+        .at_site("push[out0]#1")
+        .at_edge(7);
+        assert_eq!(
+            d.to_string(),
+            "error[V0401]: address 4242 resolves outside the tenant arena of 4096 words\n\
+             \x20 --> filter 'fft', push[out0]#1, channel #7"
+        );
     }
 
     #[test]

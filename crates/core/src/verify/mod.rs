@@ -1,6 +1,7 @@
 //! Whole-program static verification of compiled stream pipelines.
 //!
-//! Three analyses, one entry point ([`verify`]):
+//! Four analyses, one entry point ([`verify`]) plus a standalone
+//! isolation prover ([`isolate::prove`]):
 //!
 //! * [`deps`] — modulo-schedule dependence checking: every consumer
 //!   firing reads FIFO slots already written under the schedule's
@@ -13,20 +14,30 @@
 //!   interpretation of every launch the executor would issue, predicting
 //!   the simulator's memory counters exactly and classifying every
 //!   uncoalesced access site (`V02xx`).
+//! * [`isolate`] — tenant-isolation proof: the same abstract warp
+//!   interpretation (shared via [`absint`]), but checking that every
+//!   resolved address stays inside the region its access site owns,
+//!   under every placement the partitioner may assign (`V04xx`).
+//!   Successful proofs are stamped into an
+//!   [`isolate::IsolationCertificate`] that serving re-verifies cheaply
+//!   instead of re-running the proof.
 //!
 //! The predicted counters are cross-checked against the simulator's
 //! dynamic counters in the test suite and by the `verify-all` binary, so
 //! the static model and the simulator can never silently diverge.
 
+pub(crate) mod absint;
 pub mod bounds;
 pub mod coalesce;
 pub mod deps;
 pub mod diag;
+pub mod isolate;
 
 pub use bounds::check_plan;
 pub use coalesce::{predict, predict_with_plan, Prediction, SiteReport, StaticCounters};
 pub use deps::check_schedule;
 pub use diag::{max_severity, passes, Code, Diagnostic, Severity};
+pub use isolate::{prove, verify_certificate, Isolation, IsolationCertificate};
 
 use crate::exec::{scheme_shape, Compiled, Scheme};
 use crate::plan;

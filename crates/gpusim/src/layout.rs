@@ -143,6 +143,21 @@ impl BufferBinding {
     pub fn size_words(&self) -> u64 {
         self.region_tokens * u64::from(self.regions)
     }
+
+    /// The half-open device word span `[base, base + words)` this binding
+    /// can ever address.
+    ///
+    /// This is a theorem, not a convention: [`BufferBinding::addr`]
+    /// computes `base + (region % regions)·region_tokens + slot(j %
+    /// region_tokens)`, and [`Layout::slot`] is a bijection on
+    /// `[0, region_tokens)`, so every address falls inside the span for
+    /// *any* lane, token number, and `abs_start` — the property the
+    /// tenant-isolation prover in `swpipe::verify::isolate` quantifies
+    /// over all iterations with.
+    #[must_use]
+    pub fn span(&self) -> (u64, u64) {
+        (u64::from(self.base_word), self.size_words())
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +318,32 @@ mod tests {
         };
         assert_eq!(b3.addr(0, 0), 1000);
         assert_eq!(b3.size_words(), 192);
+    }
+
+    #[test]
+    fn span_contains_every_address() {
+        // Exhaustively check the span theorem on an awkward geometry:
+        // transposed layout, partial-tail region, nonzero abs_start.
+        let b = BufferBinding {
+            base_word: 300,
+            region_tokens: 10,
+            regions: 3,
+            layout: Layout::Transposed { group: 4 },
+            consumer_rate: 3,
+            endpoint_rate: 3,
+            abs_start: 17,
+        };
+        let (base, words) = b.span();
+        assert_eq!((base, words), (300, 30));
+        for lane in 0..8 {
+            for n in 0..100 {
+                let a = b.addr(lane, n);
+                assert!(
+                    (base..base + words).contains(&a),
+                    "lane {lane} token {n}: addr {a} outside span"
+                );
+            }
+        }
     }
 
     #[test]

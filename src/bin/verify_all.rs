@@ -3,7 +3,7 @@
 //! simulator's dynamic memory counters.
 //!
 //! ```text
-//! verify-all [-v] [--dot <dir>] [iterations]
+//! verify-all [-v] [--dot <dir>] [--isolation] [--json] [iterations]
 //! ```
 //!
 //! For every benchmark × execution scheme the tool:
@@ -19,20 +19,46 @@
 //!
 //! `-v` prints every diagnostic (by default only failures are rendered);
 //! `--dot <dir>` writes an annotated Graphviz file per benchmark with
-//! flagged filters and channels colored by severity.
+//! flagged filters and channels colored by severity;
+//! `--isolation` additionally runs the tenant-isolation prover
+//! ([`swpipe::verify::isolate`]) and fails the sweep unless every
+//! benchmark × scheme earns a certificate;
+//! `--json` dumps every diagnostic (and, with `--isolation`, every
+//! certificate) as one JSON document on stdout after the sweep.
 
+use serde_json::Value;
 use swpipe::exec::{self, CompileOptions, Scheme};
 use swpipe::report;
 use swpipe::verify::{self, StaticCounters};
 
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+fn num(n: u64) -> Value {
+    Value::Num(n as f64)
+}
+
+fn opt_str(s: &Option<String>) -> Value {
+    s.as_ref().map_or(Value::Null, |v| Value::Str(v.clone()))
+}
+
+fn opt_num(n: Option<u32>) -> Value {
+    n.map_or(Value::Null, |v| num(u64::from(v)))
+}
+
 fn main() {
     let mut verbose = false;
     let mut dot_dir: Option<String> = None;
+    let mut isolation = false;
+    let mut json = false;
     let mut iterations = 4u64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "-v" | "--verbose" => verbose = true,
+            "--isolation" => isolation = true,
+            "--json" => json = true,
             "--dot" => match args.next() {
                 Some(d) => dot_dir = Some(d),
                 None => return usage(),
@@ -51,6 +77,7 @@ fn main() {
         ("serial", Scheme::Serial { batch: 1 }),
     ];
     let mut failures = 0u32;
+    let mut json_rows: Vec<Value> = Vec::new();
     for b in streambench::suite() {
         let graph = match b.spec.flatten() {
             Ok(g) => g,
@@ -82,11 +109,45 @@ fn main() {
                     if !v.passes() || verdict.starts_with("FAIL") {
                         failures += 1;
                     }
+                    let mut row = vec![
+                        ("benchmark", Value::Str(b.name.into())),
+                        ("scheme", Value::Str(label.into())),
+                        ("verdict", Value::Str(verdict.clone())),
+                        ("diagnostics", diagnostics_json(&v.diagnostics)),
+                    ];
+                    if isolation {
+                        let (cert, iso_diags, iso_verdict) = prove_isolation(&c, scheme);
+                        println!("{:<12} {label:<8} {iso_verdict}", b.name);
+                        if verbose || cert.is_none() {
+                            let text = report::render_diagnostics(&iso_diags);
+                            for line in text.lines() {
+                                println!("    {line}");
+                            }
+                        }
+                        if cert.is_none() {
+                            failures += 1;
+                        }
+                        row.push((
+                            "isolation",
+                            obj(vec![
+                                ("certificate", certificate_json(cert.as_ref())),
+                                ("diagnostics", diagnostics_json(&iso_diags)),
+                            ]),
+                        ));
+                        bench_diags.extend(iso_diags);
+                    }
+                    json_rows.push(obj(row));
                     bench_diags.extend(v.diagnostics);
                 }
                 Err(e) => {
                     println!("{:<12} {label:<8} FAIL ({e})", b.name);
                     failures += 1;
+                    json_rows.push(obj(vec![
+                        ("benchmark", Value::Str(b.name.into())),
+                        ("scheme", Value::Str(label.into())),
+                        ("verdict", Value::Str(format!("FAIL ({e})"))),
+                        ("diagnostics", Value::Array(Vec::new())),
+                    ]));
                 }
             }
         }
@@ -100,11 +161,37 @@ fn main() {
             }
         }
     }
+    if json {
+        let doc = obj(vec![
+            ("iterations", num(iterations)),
+            ("isolation", Value::Bool(isolation)),
+            ("failures", num(u64::from(failures))),
+            ("results", Value::Array(json_rows)),
+        ]);
+        println!("{}", serde_json::to_string_pretty(&doc));
+    }
+    // In --json mode the document must be the last thing on stdout, so
+    // the human summary moves to stderr.
+    let summary = |line: String| {
+        if json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
     if failures > 0 {
-        println!("verify-all: {failures} failure(s)");
+        summary(format!("verify-all: {failures} failure(s)"));
         std::process::exit(1);
     }
-    println!("verify-all: ok — every prediction matched the simulator exactly");
+    if isolation {
+        summary(
+            "verify-all: ok — every prediction matched the simulator exactly \
+             and every artifact earned an isolation certificate"
+                .to_string(),
+        );
+    } else {
+        summary("verify-all: ok — every prediction matched the simulator exactly".to_string());
+    }
 }
 
 /// Verifies one (compilation, scheme) pair and cross-checks the counter
@@ -149,10 +236,80 @@ fn check(
     Ok((v, verdict))
 }
 
+/// Runs the isolation prover at the scheme's canonical granule and
+/// renders a one-line verdict.
+fn prove_isolation(
+    c: &exec::Compiled,
+    scheme: Scheme,
+) -> (
+    Option<verify::IsolationCertificate>,
+    Vec<verify::Diagnostic>,
+    String,
+) {
+    match verify::isolate::certify(c, scheme) {
+        Ok(iso) => {
+            let verdict = match &iso.certificate {
+                Some(cert) => format!(
+                    "isolated: {} accesses over {} launches proven in-arena \
+                     ({} regions, digest {:016x})",
+                    cert.accesses_checked, cert.launches, cert.regions, cert.digest
+                ),
+                None => format!(
+                    "FAIL: isolation proof rejected the artifact \
+                     ({} finding(s))",
+                    iso.diagnostics.len()
+                ),
+            };
+            (iso.certificate, iso.diagnostics, verdict)
+        }
+        Err(e) => (None, Vec::new(), format!("FAIL: isolation prover ({e})")),
+    }
+}
+
+/// Manual JSON encoding of diagnostics (`Diagnostic` carries rendering
+/// state and does not implement `Serialize`).
+fn diagnostics_json(diags: &[verify::Diagnostic]) -> Value {
+    Value::Array(
+        diags
+            .iter()
+            .map(|d| {
+                obj(vec![
+                    ("code", Value::Str(d.code.code().into())),
+                    ("name", Value::Str(d.code.name().into())),
+                    ("severity", Value::Str(d.severity.to_string())),
+                    ("message", Value::Str(d.message.clone())),
+                    ("filter", opt_str(&d.filter)),
+                    ("site", opt_str(&d.site)),
+                    ("node", opt_num(d.node)),
+                    ("edge", opt_num(d.edge)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Manual JSON encoding of a certificate. The digest is a full 64-bit
+/// hash, outside JSON's exact-integer range, so it is emitted as hex.
+fn certificate_json(cert: Option<&verify::IsolationCertificate>) -> Value {
+    match cert {
+        None => Value::Null,
+        Some(c) => obj(vec![
+            ("version", num(u64::from(c.version))),
+            ("digest", Value::Str(format!("{:016x}", c.digest))),
+            ("iterations", num(c.iterations)),
+            ("arena_words", num(c.arena_words)),
+            ("regions", num(u64::from(c.regions))),
+            ("accesses_checked", num(c.accesses_checked)),
+            ("launches", num(c.launches)),
+            ("exact", Value::Bool(c.exact)),
+        ]),
+    }
+}
+
 fn usage() {
     eprint!(
         "verify-all — static verification sweep with simulator cross-check\n\n\
-         USAGE:\n    verify-all [-v] [--dot <dir>] [iterations]\n"
+         USAGE:\n    verify-all [-v] [--dot <dir>] [--isolation] [--json] [iterations]\n"
     );
     std::process::exit(2);
 }

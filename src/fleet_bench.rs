@@ -208,6 +208,13 @@ pub fn run_bench(rounds: usize, iterations: u64, devices: u32, seed: u64) -> Fle
         storm.failovers > 0,
         "the storm must catch at least one in-flight job (failover path unexercised)"
     );
+    for (name, r) in [("solo", &solo), ("fleet", &fleet), ("storm", &storm)] {
+        assert!(r.artifacts > 0, "{name}: no artifacts dispatched");
+        assert_eq!(
+            r.certified, r.artifacts,
+            "{name}: every dispatched artifact must carry a verified isolation certificate"
+        );
+    }
 
     FleetBenchReport {
         rounds: rounds as u64,

@@ -91,7 +91,13 @@ pub fn run_trace(rounds: usize, iterations: u64) -> ServeReport {
             }
         }
     }
-    engine.report()
+    let report = engine.report();
+    assert!(report.artifacts > 0, "trace dispatched no artifacts");
+    assert_eq!(
+        report.certified, report.artifacts,
+        "every dispatched artifact must carry a verified isolation certificate"
+    );
+    report
 }
 
 /// Serializes a report to `path` as pretty JSON.
