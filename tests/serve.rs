@@ -203,8 +203,14 @@ fn serve_bench_report_is_produced_and_parses() {
         let _g = guard();
         stream_gpu::serve_bench::run_trace(2, 1)
     };
-    stream_gpu::serve_bench::write_report(&report, "BENCH_serve.json");
-    let text = std::fs::read_to_string("BENCH_serve.json").unwrap();
+    // Write to a scratch path: the committed BENCH_serve.json is the
+    // verbatim output of the full serve_bench run and is drift-checked
+    // against a fresh full run in CI, so a shortened test trace must
+    // never overwrite it.
+    let path = std::env::temp_dir().join("stream_gpu_test_BENCH_serve.json");
+    let path = path.to_str().unwrap();
+    stream_gpu::serve_bench::write_report(&report, path);
+    let text = std::fs::read_to_string(path).unwrap();
     let v = serde_json::from_str(&text).expect("BENCH_serve.json parses");
 
     assert!(v.get("makespan_secs").and_then(|m| m.as_f64()).unwrap() > 0.0);
