@@ -178,6 +178,8 @@ pub struct DeviceReport {
     pub jobs_completed: u64,
     /// Virtual seconds of service it delivered.
     pub busy_secs: f64,
+    /// Scheduler searches its store-miss compiles paid for.
+    pub search_invocations: u64,
 }
 
 /// Aggregate fleet counters, serialized into `BENCH_fleet.json`.
@@ -228,6 +230,10 @@ pub struct FleetReport {
     /// certificate; dispatch refuses the rest, so this equals
     /// `artifacts` on any completed run.
     pub certified: u64,
+    /// Scheduler searches paid for across the fleet's store-miss
+    /// compiles (sum of the per-device rows). Warming pushes this
+    /// toward zero for a covered trace.
+    pub search_invocations: u64,
     /// Artifact-store counters (hit rates, read-repairs, losses).
     pub store: StoreStats,
     /// Router decision-log length (the full log is available via
@@ -251,6 +257,13 @@ struct DeviceState {
     busy: BTreeMap<String, f64>,
     jobs_completed: u64,
     busy_secs: f64,
+    /// Scheduler searches this device paid for on its serving path
+    /// (summed [`DegradationReport::search_invocations`] over its
+    /// store-miss compiles; warming compiles are offline and excluded).
+    ///
+    /// [`DegradationReport::search_invocations`]:
+    /// crate::pipeline::DegradationReport::search_invocations
+    search_invocations: u64,
 }
 
 /// One in-flight (already simulated, not yet finished in virtual time)
@@ -378,6 +391,7 @@ impl FleetEngine {
                     busy: BTreeMap::new(),
                     jobs_completed: 0,
                     busy_secs: 0.0,
+                    search_invocations: 0,
                 }
             })
             .collect();
@@ -420,6 +434,69 @@ impl FleetEngine {
     #[must_use]
     pub fn store_stats(&self) -> &StoreStats {
         self.store.stats()
+    }
+
+    /// Pre-compiles `graphs` into the artifact store at every plausible
+    /// slice width for up to `max_tenants` tenants per device, under
+    /// both fault policies — the fleet counterpart of
+    /// [`crate::serve::warm_cache`]. Each warmed artifact is inserted
+    /// as if compiled on its top rendezvous-scored usable device, so
+    /// replica placement matches what an organic miss would produce.
+    /// Warming is offline: it charges no device's
+    /// `search_invocations`, and the store's lookup counters are left
+    /// untouched ([`ArtifactStore::contains`] does not count).
+    pub fn warm(
+        &mut self,
+        graphs: &[streamir::graph::FlatGraph],
+        max_tenants: usize,
+    ) -> crate::serve::WarmReport {
+        let widths =
+            crate::serve::partition::plausible_widths(self.opts.base.device.num_sms, max_tenants);
+        // The artifact store is unbounded (replication, not LRU, governs
+        // residency), so fleet warming can never evict itself.
+        let mut report = crate::serve::WarmReport {
+            widths: widths.clone(),
+            compiled: 0,
+            already_cached: 0,
+            failed: 0,
+            evictions: 0,
+        };
+        for graph in graphs {
+            for &width in &widths {
+                for policy in [
+                    crate::pipeline::FaultPolicy::Throughput,
+                    crate::pipeline::FaultPolicy::TailLatency,
+                ] {
+                    let popts = pipeline_options_for(
+                        &self.opts.base,
+                        width,
+                        crate::serve::Pressure::Nominal,
+                        policy,
+                    );
+                    let key = cache_key(graph, &popts);
+                    if self.store.contains(key) {
+                        report.already_cached += 1;
+                        continue;
+                    }
+                    let usable = self.router.usable_devices();
+                    let Some(&home) = usable
+                        .iter()
+                        .max_by_key(|&&d| (router::score(key, d), std::cmp::Reverse(d)))
+                    else {
+                        report.failed += 1;
+                        continue;
+                    };
+                    match ResilientPipeline::new(popts).compile(graph) {
+                        Ok(a) => {
+                            self.store.insert(key, a, DeviceId(home), &usable);
+                            report.compiled += 1;
+                        }
+                        Err(_) => report.failed += 1,
+                    }
+                }
+            }
+        }
+        report
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -637,6 +714,7 @@ impl FleetEngine {
             (Fetch::RemoteHit, Some(a)) => (a, self.opts.fetch_penalty_secs),
             _ => {
                 let a = ResilientPipeline::new(popts).compile(&job.graph)?;
+                self.devices[dev.0 as usize].search_invocations += a.report.search_invocations();
                 self.store.insert(key, a.clone(), dev, &usable);
                 (a, self.opts.base.compile_penalty_secs)
             }
@@ -1018,6 +1096,7 @@ impl FleetEngine {
             hedge_cycles: self.hedge_cycles.round() as u64,
             artifacts: self.artifacts,
             certified: self.certified,
+            search_invocations: self.devices.iter().map(|d| d.search_invocations).sum(),
             store: self.store.stats().clone(),
             router_decisions: self.router.log().len() as u64,
             per_device: self
@@ -1029,6 +1108,7 @@ impl FleetEngine {
                     alive: s.alive,
                     jobs_completed: s.jobs_completed,
                     busy_secs: s.busy_secs,
+                    search_invocations: s.search_invocations,
                 })
                 .collect(),
         }

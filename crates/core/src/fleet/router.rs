@@ -205,17 +205,17 @@ impl Router {
     }
 }
 
-/// Rendezvous score of `(key, device)` — splitmix64 finalizer over the
-/// pair, so each device draws an independent uniform weight per key.
+/// Rendezvous score of `(key, device)` — one [`crate::hash::splitmix64`]
+/// step over the pair, so each device draws an independent uniform
+/// weight per key. The key itself is always an FNV-1a digest (tenant
+/// name or cache key), so routing and content addressing share the one
+/// hash module and its known-answer vectors.
 #[must_use]
 pub(crate) fn score(key: u64, device: u32) -> u64 {
-    let mut z = key
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(u64::from(device))
-        .wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    crate::hash::splitmix64(
+        key.wrapping_mul(crate::hash::SPLITMIX_GOLDEN)
+            .wrapping_add(u64::from(device)),
+    )
 }
 
 #[cfg(test)]

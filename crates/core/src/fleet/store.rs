@@ -333,6 +333,44 @@ mod tests {
         assert!(art.is_none());
     }
 
+    /// Cross-module agreement: the replica set the store picks for a
+    /// *real* cache key must equal the top-`R` devices by rendezvous
+    /// score, with the score recomputed here from first principles —
+    /// `splitmix64(key · GOLDEN + device)` over the [`crate::hash`]
+    /// primitives. A drift in either the cache-key hash or the router's
+    /// score function shows up as a placement disagreement.
+    #[test]
+    fn replica_placement_agrees_with_splitmix_scores_of_the_cache_key() {
+        let (key, a) = artifact();
+        let usable: Vec<u32> = (0..8).collect();
+        let compiling = DeviceId(3);
+        let mut s = ArtifactStore::new(3);
+        s.insert(key, a, compiling, &usable);
+
+        let score_of = |d: u32| {
+            crate::hash::splitmix64(
+                key.wrapping_mul(crate::hash::SPLITMIX_GOLDEN)
+                    .wrapping_add(u64::from(d)),
+            )
+        };
+        let mut others: Vec<u32> = usable.iter().copied().filter(|&d| d != 3).collect();
+        others.sort_by_key(|&d| std::cmp::Reverse(score_of(d)));
+        let mut expected = vec![3u32];
+        expected.extend(&others[..2]);
+        expected.sort_unstable();
+
+        assert_eq!(
+            s.replicas(key),
+            expected,
+            "store placement must follow the splitmix rendezvous scores \
+             of the cache key"
+        );
+        // And the router's own score function is that same expression.
+        for &d in &usable {
+            assert_eq!(score(key, d), score_of(d));
+        }
+    }
+
     #[test]
     fn unreachable_replicas_are_an_honest_miss() {
         let (key, a) = artifact();

@@ -1,0 +1,111 @@
+//! The learned cost model for schedule search (the ROADMAP's "learned
+//! cost model → warm caches" item).
+//!
+//! Schedule search is the compile-time bottleneck: every cache miss pays
+//! the full degradation ladder, whose exact-ILP rungs dominate. Following
+//! the Halide GPU autoscheduler's recipe (beam search over a learned cost
+//! model at near-equal schedule quality), this subsystem replaces the
+//! exhaustive search with a model-guided beam — with one asset the Halide
+//! authors lacked: the exact simulator generates unlimited *perfectly
+//! labeled* (schedule features → cycles) data offline.
+//!
+//! The layer splits four ways:
+//!
+//! * [`dataset`] — offline generation of labeled training points: every
+//!   candidate (assignment, II) point the beam could construct, across
+//!   the benchmark suite plus seeded random stream graphs, executed on
+//!   the simulator and labeled with measured cycles per steady
+//!   iteration. Versioned, serde-serializable, stable feature schema.
+//! * [`features`] — the deterministic feature extractor shared verbatim
+//!   by training and serving (one function, no skew).
+//! * [`model`] — a small pure-Rust ridge regression over hand-crossed
+//!   features: deterministic trainer (normal equations + Gaussian
+//!   elimination), JSON save/load, content digest. No external deps.
+//! * the beam itself lives in [`crate::schedule`] (`find_beam` and the
+//!   `SearchOptions::cost_model` gate in `find`): the model only *ranks*
+//!   candidates; every winner passes the exact constraint validator and
+//!   the static verifier, so correctness never depends on the model.
+
+pub mod dataset;
+pub mod features;
+pub mod model;
+
+pub use dataset::{Dataset, LabeledPoint, Source};
+pub use model::CostModel;
+
+use std::sync::Arc;
+
+/// A shared, content-addressed handle to a trained [`CostModel`], the
+/// form [`crate::schedule::SearchOptions::cost_model`] takes.
+///
+/// Unlike [`crate::schedule::SearchInterrupt`] (which is invisible to
+/// options equality), the handle *does* participate in `PartialEq` and —
+/// via its `Debug` form, which prints only the content digest — in the
+/// compilation cache key: two compiles guided by different models are
+/// different compilations and must not share artifacts.
+#[derive(Clone)]
+pub struct CostModelHandle {
+    model: Arc<CostModel>,
+    digest: u64,
+}
+
+impl CostModelHandle {
+    /// Wraps a trained model, capturing its content digest.
+    #[must_use]
+    pub fn new(model: CostModel) -> CostModelHandle {
+        let digest = model.digest();
+        CostModelHandle {
+            model: Arc::new(model),
+            digest,
+        }
+    }
+
+    /// The FNV-1a digest of the model's canonical JSON form.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Predicted cycles per steady iteration for a feature vector.
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        self.model.predict(features)
+    }
+
+    /// The underlying model.
+    #[must_use]
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+}
+
+impl std::fmt::Debug for CostModelHandle {
+    /// Prints only the content digest — the stable form the compilation
+    /// cache key hashes.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CostModel#{:016x}", self.digest)
+    }
+}
+
+impl PartialEq for CostModelHandle {
+    fn eq(&self, other: &Self) -> bool {
+        self.digest == other.digest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_equality_and_debug_follow_the_digest() {
+        let a = CostModelHandle::new(CostModel::constant(&["bias"], 1.0));
+        let b = CostModelHandle::new(CostModel::constant(&["bias"], 1.0));
+        let c = CostModelHandle::new(CostModel::constant(&["bias"], 2.0));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+        assert!(format!("{a:?}").starts_with("CostModel#"));
+    }
+}

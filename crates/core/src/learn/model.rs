@@ -1,0 +1,348 @@
+//! The cost model: ridge regression over the hand-crossed features of
+//! [`crate::learn::features`], trained deterministically and persisted
+//! as a committed JSON artifact.
+//!
+//! Design constraints, in order:
+//!
+//! * **No external deps** — the registry is offline. The trainer is
+//!   normal equations (`XᵀX + λI`) solved by Gaussian elimination with
+//!   partial pivoting; ~60 lines, no linear-algebra crate.
+//! * **Deterministic** — same dataset bytes in, same model bytes out.
+//!   Every operation is straight-line f64 arithmetic in a fixed order;
+//!   CI retrains from the fixed-seed dataset and asserts the committed
+//!   artifact is byte-identical.
+//! * **Content-addressed** — [`CostModel::digest`] is FNV-1a over the
+//!   canonical (compact) JSON form; the compilation cache key includes
+//!   it via [`crate::learn::CostModelHandle`]'s `Debug`.
+//!
+//! The model predicts **cycles per steady iteration** for a candidate
+//! (assignment, II) point. It only ever *ranks* candidates — the exact
+//! validator and the static verifier gate what ships — so a bad model
+//! costs schedule quality, never correctness.
+
+use serde::Serialize;
+
+use crate::{Error, Result};
+
+/// The on-disk model format version. Bump together with
+/// [`crate::learn::dataset::DATASET_VERSION`] when the feature schema
+/// changes.
+pub const MODEL_VERSION: u32 = 1;
+
+/// A trained ridge regression over the fixed feature schema.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CostModel {
+    /// Format version ([`MODEL_VERSION`]).
+    pub version: u32,
+    /// The feature schema the weights are aligned to — must equal
+    /// [`crate::learn::features::FEATURE_NAMES`] at load time.
+    pub feature_names: Vec<String>,
+    /// One weight per feature (the bias rides as feature 0).
+    pub weights: Vec<f64>,
+    /// The ridge penalty the trainer used.
+    pub l2: f64,
+    /// Training points the weights were fit on.
+    pub train_points: u64,
+}
+
+impl CostModel {
+    /// A model that predicts `value` everywhere (weight on the bias
+    /// feature only) — the seed model for tests and for bootstrapping
+    /// before a dataset exists.
+    #[must_use]
+    pub fn constant(feature_names: &[&str], value: f64) -> CostModel {
+        let mut weights = vec![0.0; feature_names.len()];
+        if !weights.is_empty() {
+            weights[0] = value;
+        }
+        CostModel {
+            version: MODEL_VERSION,
+            feature_names: feature_names.iter().map(|s| (*s).to_string()).collect(),
+            weights,
+            l2: 0.0,
+            train_points: 0,
+        }
+    }
+
+    /// Predicted cycles per steady iteration: the dot product of the
+    /// weights with the feature vector. Mismatched lengths score the
+    /// common prefix (cannot happen when schema versions agree).
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        self.weights.iter().zip(features).map(|(w, x)| w * x).sum()
+    }
+
+    /// Fits ridge weights on `(xs, ys)` by normal equations. The bias
+    /// column (feature 0) is not penalized. Deterministic: fixed
+    /// accumulation order, partial-pivot Gaussian elimination.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Api`] on an empty dataset, inconsistent feature widths,
+    /// or a singular (unsolvable) system.
+    pub fn train(
+        feature_names: &[&str],
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        l2: f64,
+    ) -> Result<CostModel> {
+        let d = feature_names.len();
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(Error::Api(format!(
+                "training needs matched points, got {} features rows and {} labels",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        if xs.iter().any(|x| x.len() != d) {
+            return Err(Error::Api(
+                "training row width does not match the feature schema".into(),
+            ));
+        }
+        // A = XᵀX + λI (bias unpenalized), b = Xᵀy.
+        let mut a = vec![vec![0.0f64; d]; d];
+        let mut b = vec![0.0f64; d];
+        for (x, &y) in xs.iter().zip(ys) {
+            for i in 0..d {
+                b[i] += x[i] * y;
+                for j in 0..d {
+                    a[i][j] += x[i] * x[j];
+                }
+            }
+        }
+        for (i, row) in a.iter_mut().enumerate().skip(1) {
+            row[i] += l2;
+        }
+        let weights = solve(&mut a, &mut b)?;
+        Ok(CostModel {
+            version: MODEL_VERSION,
+            feature_names: feature_names.iter().map(|s| (*s).to_string()).collect(),
+            weights,
+            l2,
+            train_points: xs.len() as u64,
+        })
+    }
+
+    /// Mean absolute error of the model over `(xs, ys)`.
+    #[must_use]
+    pub fn mean_abs_error(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, &y)| (self.predict(x) - y).abs())
+            .sum();
+        total / xs.len() as f64
+    }
+
+    /// The canonical pretty-printed JSON form — what `learn_train`
+    /// commits as `models/cost_model.json`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self);
+        s.push('\n');
+        s
+    }
+
+    /// FNV-1a digest of the canonical *compact* JSON form. This is the
+    /// identity the compilation cache key sees: retraining on different
+    /// data changes every key, re-loading the same artifact does not.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        crate::hash::fnv1a(serde_json::to_string(self).as_bytes())
+    }
+
+    /// Parses a model from its JSON form ([`CostModel::to_json`] or any
+    /// JSON with the same fields).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Api`] on malformed JSON, a missing field, or a version
+    /// other than [`MODEL_VERSION`].
+    pub fn from_json(text: &str) -> Result<CostModel> {
+        let v =
+            serde_json::from_str(text).map_err(|e| Error::Api(format!("cost model JSON: {e}")))?;
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| Error::Api(format!("cost model JSON missing `{k}`")))
+        };
+        let version = field("version")?
+            .as_u64()
+            .ok_or_else(|| Error::Api("cost model `version` must be an integer".into()))?
+            as u32;
+        if version != MODEL_VERSION {
+            return Err(Error::Api(format!(
+                "cost model version {version} unsupported (expected {MODEL_VERSION})"
+            )));
+        }
+        let names = field("feature_names")?
+            .as_array()
+            .ok_or_else(|| Error::Api("cost model `feature_names` must be an array".into()))?
+            .iter()
+            .map(|n| {
+                n.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| Error::Api("feature name must be a string".into()))
+            })
+            .collect::<Result<Vec<String>>>()?;
+        let weights = field("weights")?
+            .as_array()
+            .ok_or_else(|| Error::Api("cost model `weights` must be an array".into()))?
+            .iter()
+            .map(|w| {
+                w.as_f64()
+                    .ok_or_else(|| Error::Api("weight must be a number".into()))
+            })
+            .collect::<Result<Vec<f64>>>()?;
+        if names.len() != weights.len() {
+            return Err(Error::Api(format!(
+                "cost model has {} names but {} weights",
+                names.len(),
+                weights.len()
+            )));
+        }
+        let l2 = field("l2")?
+            .as_f64()
+            .ok_or_else(|| Error::Api("cost model `l2` must be a number".into()))?;
+        let train_points = field("train_points")?
+            .as_u64()
+            .ok_or_else(|| Error::Api("cost model `train_points` must be an integer".into()))?;
+        Ok(CostModel {
+            version,
+            feature_names: names,
+            weights,
+            l2,
+            train_points,
+        })
+    }
+
+    /// Asserts the model was trained against the current feature schema.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Api`] naming the first mismatched feature.
+    pub fn check_schema(&self) -> Result<()> {
+        let current = crate::learn::features::FEATURE_NAMES;
+        if self.feature_names.len() != current.len() {
+            return Err(Error::Api(format!(
+                "cost model has {} features, the extractor has {}",
+                self.feature_names.len(),
+                current.len()
+            )));
+        }
+        for (got, want) in self.feature_names.iter().zip(current) {
+            if got != want {
+                return Err(Error::Api(format!(
+                    "cost model feature `{got}` does not match extractor feature `{want}`"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Solves `A·w = b` in place by Gaussian elimination with partial
+/// pivoting. Deterministic; errors on a (numerically) singular system.
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>> {
+    let d = b.len();
+    for col in 0..d {
+        let pivot = (col..d)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .unwrap_or(col);
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(Error::Api(
+                "ridge system is singular; raise l2 or add training data".into(),
+            ));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let (pivot_rows, rest) = a.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        for (off, row) in rest.iter_mut().enumerate() {
+            let f = row[col] / pivot_row[col];
+            if f == 0.0 {
+                continue;
+            }
+            for (x, &p) in row[col..].iter_mut().zip(&pivot_row[col..]) {
+                *x -= f * p;
+            }
+            b[col + 1 + off] -= f * b[col];
+        }
+    }
+    let mut w = vec![0.0f64; d];
+    for col in (0..d).rev() {
+        let mut acc = b[col];
+        for k in col + 1..d {
+            acc -= a[col][k] * w[k];
+        }
+        w[col] = acc / a[col][col];
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NAMES: &[&str] = &["bias", "x", "y"];
+
+    fn toy_points() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 2 + 3x - z over a small deterministic grid.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..12i32 {
+            let x = f64::from(i);
+            let z = f64::from(i % 4);
+            xs.push(vec![1.0, x, z]);
+            ys.push(2.0 + 3.0 * x - z);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn ridge_recovers_a_linear_law() {
+        let (xs, ys) = toy_points();
+        let m = CostModel::train(NAMES, &xs, &ys, 1e-9).unwrap();
+        assert!((m.weights[0] - 2.0).abs() < 1e-6, "bias: {:?}", m.weights);
+        assert!((m.weights[1] - 3.0).abs() < 1e-6);
+        assert!((m.weights[2] + 1.0).abs() < 1e-6);
+        assert!(m.mean_abs_error(&xs, &ys) < 1e-6);
+    }
+
+    #[test]
+    fn training_is_deterministic_to_the_byte() {
+        let (xs, ys) = toy_points();
+        let a = CostModel::train(NAMES, &xs, &ys, 0.5).unwrap();
+        let b = CostModel::train(NAMES, &xs, &ys, 0.5).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let (xs, ys) = toy_points();
+        let m = CostModel::train(NAMES, &xs, &ys, 0.25).unwrap();
+        let back = CostModel::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(m.digest(), back.digest());
+    }
+
+    #[test]
+    fn singular_systems_are_rejected() {
+        // Two identical columns with no ridge: singular.
+        let xs = vec![vec![1.0, 1.0, 1.0], vec![1.0, 2.0, 2.0]];
+        let ys = vec![1.0, 2.0];
+        assert!(CostModel::train(NAMES, &xs, &ys, 0.0).is_err());
+        // With a ridge penalty the system is solvable.
+        assert!(CostModel::train(NAMES, &xs, &ys, 0.1).is_ok());
+    }
+
+    #[test]
+    fn schema_check_tracks_the_extractor() {
+        let m = CostModel::constant(crate::learn::features::FEATURE_NAMES, 1.0);
+        m.check_schema().unwrap();
+        assert!(CostModel::constant(&["bias"], 1.0).check_schema().is_err());
+    }
+}

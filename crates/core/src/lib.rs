@@ -39,6 +39,7 @@ pub mod formulate;
 pub mod harness;
 pub mod hash;
 pub mod instances;
+pub mod learn;
 pub mod pipeline;
 pub mod plan;
 pub mod profile;

@@ -3,9 +3,14 @@
 //! [`ResilientPipeline`] wraps the paper's compilation trajectory in an
 //! explicit degradation ladder. Where [`crate::exec::compile`] commits to
 //! one scheduling path and fails the whole compilation when that path
-//! fails, the resilient driver walks four rungs, each under its own time
+//! fails, the resilient driver walks the rungs, each under its own time
 //! budget, and ships the first that produces a valid artifact:
 //!
+//! 0. [`LadderRung::Beam`] — model-guided beam search
+//!    ([`crate::schedule::find_beam`]), tried only when a learned cost
+//!    model is installed in `SearchOptions::cost_model`. One scheduler
+//!    entry instead of the full ladder's several; candidates are ranked
+//!    by the model but gated by the same exact validator and verifier.
 //! 1. [`LadderRung::ExactIlp`] — the ILP at the lower-bound II
 //!    (`max(ResMII, RecMII)`), no relaxation. The best schedule the
 //!    formulation admits.
@@ -46,6 +51,9 @@ use crate::{verify, Error, Result};
 /// One rung of the degradation ladder, from most to least preferred.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
 pub enum LadderRung {
+    /// Model-guided beam search (requires a cost model; see
+    /// [`crate::learn`]).
+    Beam,
     /// The exact ILP at the lower-bound II.
     ExactIlp,
     /// The ILP with the II-relaxation loop.
@@ -59,6 +67,7 @@ pub enum LadderRung {
 impl fmt::Display for LadderRung {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            LadderRung::Beam => "beam",
             LadderRung::ExactIlp => "exact-ilp",
             LadderRung::RelaxedIlp => "relaxed-ilp",
             LadderRung::Heuristic => "heuristic",
@@ -144,10 +153,29 @@ impl DegradationReport {
         self.attempts.iter().find(|a| a.rung == self.shipped)
     }
 
-    /// `true` when the preferred (first) rung shipped — no degradation.
+    /// `true` when a rung below the preferred ones shipped. The exact
+    /// ILP is the preferred classic rung; the beam (when a cost model is
+    /// installed) is the preferred cheap rung — neither counts as
+    /// degradation.
     #[must_use]
     pub fn degraded(&self) -> bool {
-        self.shipped != LadderRung::ExactIlp
+        !matches!(self.shipped, LadderRung::ExactIlp | LadderRung::Beam)
+    }
+
+    /// Scheduler runs this compilation actually spent: one per rung
+    /// that ran (shipped or failed); budget-skipped rungs cost nothing.
+    /// The per-artifact, attributable cousin of the process-wide
+    /// [`crate::schedule::search_invocations`] counter — the serving
+    /// reports aggregate this per tenant to make cache warming
+    /// observable as scheduler work saved, not just as hit rate. A
+    /// disk-rebuilt artifact has no attempt records and reports zero,
+    /// which is exact: its compilation cost nothing this process.
+    #[must_use]
+    pub fn search_invocations(&self) -> u64 {
+        self.attempts
+            .iter()
+            .filter(|a| a.outcome != RungOutcome::SkippedBudget)
+            .count() as u64
     }
 }
 
@@ -184,6 +212,10 @@ impl fmt::Display for DegradationReport {
 /// ladder degrades.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageBudgets {
+    /// Budget for the beam rung (only consulted when a cost model is
+    /// installed; the beam constructs `beam_width` candidates, so this
+    /// is generously above its real cost).
+    pub beam: Duration,
     /// Budget for the exact-ILP rung.
     pub exact_ilp: Duration,
     /// Budget for the II-relaxation rung (the whole loop).
@@ -195,6 +227,7 @@ pub struct StageBudgets {
 impl Default for StageBudgets {
     fn default() -> Self {
         StageBudgets {
+            beam: Duration::from_secs(10),
             exact_ilp: Duration::from_secs(20),
             relaxed_ilp: Duration::from_secs(60),
             heuristic: Duration::from_secs(10),
@@ -301,6 +334,41 @@ impl ResilientPipeline {
             FaultPolicy::TailLatency => reserve_units,
         };
         let checkpoint = plan::checkpoint_plan(graph, &opts.timing, self.opts.fault_plan.as_ref());
+
+        // Rung 0: model-guided beam — only when a cost model is
+        // installed. One scheduler entry instead of the exact ladder's
+        // several; `find_beam` never falls through to the exact path, so
+        // a `Beam`-labeled artifact really came from the beam.
+        if fe.search.cost_model.is_some() {
+            let beam = SearchOptions {
+                fault_reserve: sched_reserve,
+                ..fe.search.clone()
+            };
+            if let Some(r) = try_rung(
+                LadderRung::Beam,
+                self.opts.budgets.beam,
+                reserve_units,
+                &fe.search.interrupt,
+                &mut attempts,
+                || {
+                    let found = schedule::find_beam(&fe.ig, &fe.exec_cfg, num_sms, &beam)?;
+                    verify_rung(graph, &fe, num_sms, &found.0, false)?;
+                    Ok(found)
+                },
+            ) {
+                return Ok(assemble(
+                    graph,
+                    opts,
+                    fe,
+                    r,
+                    LadderRung::Beam,
+                    attempts,
+                    self.opts.policy,
+                    checkpoint,
+                    self.opts.fault_plan.clone(),
+                ));
+            }
+        }
 
         // Rung 1: exact ILP — one candidate II, the (fault-adjusted)
         // lower bound.
@@ -734,6 +802,7 @@ mod tests {
                 exact_ilp: Duration::ZERO,
                 relaxed_ilp: Duration::ZERO,
                 heuristic: Duration::ZERO,
+                ..StageBudgets::default()
             },
             ..PipelineOptions::default()
         });
@@ -767,6 +836,7 @@ mod tests {
                 exact_ilp: Duration::ZERO,
                 relaxed_ilp: Duration::ZERO,
                 heuristic: Duration::ZERO,
+                ..StageBudgets::default()
             },
         ] {
             let pl = ResilientPipeline::new(PipelineOptions {
@@ -834,6 +904,7 @@ mod tests {
                 exact_ilp: Duration::ZERO,
                 relaxed_ilp: Duration::ZERO,
                 heuristic: Duration::ZERO,
+                ..StageBudgets::default()
             },
             ..PipelineOptions::default()
         });

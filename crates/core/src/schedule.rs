@@ -260,7 +260,10 @@ pub mod heuristic {
 
     /// Computes absolute start times satisfying every dependence and the
     /// wraparound rule, or `None` if the relaxation diverges at this II.
-    fn relax(
+    /// Also the beam search's candidate constructor ([`super::beam`]):
+    /// a candidate is a pinned (assignment, II) pair and this monotone
+    /// relaxation either realizes it or rejects it.
+    pub(crate) fn relax(
         ig: &InstanceGraph,
         config: &ExecConfig,
         sm_of: &[u32],
@@ -326,7 +329,7 @@ pub mod heuristic {
 
     /// Strongly connected components of the instance dependence graph
     /// (Kosaraju), returned as a component id per instance.
-    fn scc_components(n: usize, deps: &[crate::instances::Dep]) -> Vec<usize> {
+    pub(crate) fn scc_components(n: usize, deps: &[crate::instances::Dep]) -> Vec<usize> {
         let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
         for d in deps {
@@ -493,6 +496,23 @@ pub struct SearchOptions {
     /// the handle does not participate in options equality or in the
     /// compilation cache key.
     pub interrupt: SearchInterrupt,
+    /// Learned cost model for the beam-search mode ([`find_beam`]).
+    /// When set (and the scheduler is not pinned to `Ilp`/`Heuristic`),
+    /// [`find`] enumerates candidate (assignment, II) points, ranks
+    /// them with the model, and constructs only the top
+    /// [`SearchOptions::beam_width`] — falling back to the exact path
+    /// when no candidate validates, so correctness never depends on the
+    /// model. Unlike [`SearchInterrupt`], the handle *does* participate
+    /// in options equality and in the compilation cache key (via its
+    /// content digest): two compiles guided by different models are
+    /// different compilations.
+    pub cost_model: Option<crate::learn::CostModelHandle>,
+    /// Candidate points the beam search constructs and validates per
+    /// compile (the model ranks the rest away). The anchor candidate —
+    /// the LPT assignment at its load floor, i.e. exactly what the
+    /// heuristic scheduler would build — is always constructed, so the
+    /// beam is never worse than the heuristic.
+    pub beam_width: usize,
 }
 
 impl Default for SearchOptions {
@@ -506,6 +526,8 @@ impl Default for SearchOptions {
             coarsening_max: 16,
             fault_reserve: 0,
             interrupt: SearchInterrupt::default(),
+            cost_model: None,
+            beam_width: 4,
         }
     }
 }
@@ -573,6 +595,23 @@ pub fn find(
         .unwrap_or(1);
     let reserve = opts.fault_reserve;
     let lower = res_mii.max(rec_mii).max(max_d).max(1) + reserve;
+
+    // Model-guided beam search: when a cost model is installed and the
+    // scheduler is not pinned to an exact path, rank candidate
+    // (assignment, II) points with the model and construct only the top
+    // beam. A beam winner has already passed [`validate`] — the exact
+    // constraint system — so correctness never depends on the model; an
+    // empty beam falls through to the exact search below.
+    if let Some(model) = &opts.cost_model {
+        if !matches!(
+            opts.scheduler,
+            SchedulerKind::Ilp | SchedulerKind::Heuristic
+        ) {
+            if let Some(found) = beam::search(ig, config, num_sms, opts, lower, model, start)? {
+                return Ok(found);
+            }
+        }
+    }
 
     let ilp_size = ig.len() * num_sms as usize + crate::formulate::unique_deps(ig).len();
     let use_ilp = match opts.scheduler {
@@ -667,6 +706,253 @@ pub fn find(
         ilp_constraints: 0,
     };
     Ok((sched, report))
+}
+
+/// Beam-only search: like [`find`] with a cost model installed, but with
+/// *no* exact-path fallback — an empty beam is
+/// [`Error::ScheduleNotFound`] instead of a silent escalation to the
+/// ILP/heuristic. The degradation ladder's beam rung uses this so the
+/// rung label stays honest (`Beam` never ships an exact-path schedule);
+/// callers that want the fallback call [`find`].
+///
+/// # Errors
+///
+/// [`Error::Api`] when no cost model is installed;
+/// [`Error::ScheduleNotFound`] when no beam candidate validates;
+/// [`Error::Preempted`] at an interrupt poll point.
+pub fn find_beam(
+    ig: &InstanceGraph,
+    config: &ExecConfig,
+    num_sms: u32,
+    opts: &SearchOptions,
+) -> Result<(Schedule, SearchReport)> {
+    note_search_invocation();
+    let start = Instant::now();
+    let Some(model) = &opts.cost_model else {
+        return Err(Error::Api(
+            "beam search requires SearchOptions::cost_model".into(),
+        ));
+    };
+    let res_mii = ig.res_mii(config, num_sms);
+    let rec_mii = ig.rec_mii(config);
+    let max_d = ig
+        .list
+        .iter()
+        .map(|&(v, _)| config.delay[v.0 as usize])
+        .max()
+        .unwrap_or(1);
+    let lower = res_mii.max(rec_mii).max(max_d).max(1) + opts.fault_reserve;
+    beam::search(ig, config, num_sms, opts, lower, model, start)?
+        .ok_or(Error::ScheduleNotFound { last_ii: lower })
+}
+
+/// The model-guided beam: enumerate candidate (assignment, II) points,
+/// rank with the learned cost model, construct only the top
+/// [`SearchOptions::beam_width`], and return the best *validated*
+/// schedule. Candidate construction reuses the heuristic's monotone
+/// relaxation and the winner passes [`validate`] — the exact constraint
+/// system — so the model can only mis-rank, never mis-schedule.
+pub(crate) mod beam {
+    use super::{heuristic, validate, Result, Schedule, SearchOptions, SearchReport};
+    use crate::instances::{ExecConfig, InstanceGraph};
+    use crate::learn::{features, CostModelHandle};
+    use std::time::Instant;
+
+    /// One candidate point: a full SM assignment pinned at one II.
+    struct Point {
+        sm_of: Vec<u32>,
+        ii: u64,
+    }
+
+    /// Candidate SM assignments over the SCC groups (cycles must share
+    /// an SM, exactly as in the heuristic). Strategy 0 is always the
+    /// heuristic's own LPT assignment — the beam's anchor. The rest
+    /// diversify: first-index order round-robin (pipeline locality),
+    /// first-index min-load, and two deterministically seeded LPT
+    /// shuffles (tie-breaks the greedy packing cannot reach).
+    pub(crate) fn assignments(
+        ig: &InstanceGraph,
+        config: &ExecConfig,
+        num_sms: u32,
+    ) -> Vec<Vec<u32>> {
+        let n = ig.len();
+        let comp = heuristic::scc_components(n, &ig.deps);
+        let mut by_comp: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, &c) in comp.iter().enumerate() {
+            by_comp.entry(c).or_default().push(i);
+        }
+        let mut groups: Vec<Vec<usize>> = by_comp.into_values().collect();
+        groups.sort_by_key(|g| g.first().copied());
+        let weight = |g: &[usize]| -> u64 {
+            g.iter()
+                .map(|&i| config.delay[ig.list[i].0 .0 as usize])
+                .sum()
+        };
+        let pack_min_load = |order: &[usize]| -> Vec<u32> {
+            let mut load = vec![0u64; num_sms as usize];
+            let mut sm_of = vec![0u32; n];
+            for &gi in order {
+                let g = &groups[gi];
+                let p = (0..num_sms as usize).min_by_key(|&p| load[p]).unwrap_or(0);
+                for &i in g {
+                    sm_of[i] = p as u32;
+                }
+                load[p] += weight(g);
+            }
+            sm_of
+        };
+        let by_weight_desc = |mut idx: Vec<usize>| -> Vec<usize> {
+            idx.sort_by_key(|&gi| std::cmp::Reverse(weight(&groups[gi])));
+            idx
+        };
+        let all: Vec<usize> = (0..groups.len()).collect();
+
+        let mut out = Vec::new();
+        // Anchor: LPT, identical to heuristic::schedule's assignment.
+        out.push(pack_min_load(&by_weight_desc(all.clone())));
+        // First-index order, round-robin across SMs.
+        let mut rr = vec![0u32; n];
+        for (k, &gi) in all.iter().enumerate() {
+            for &i in &groups[gi] {
+                rr[i] = (k as u32) % num_sms;
+            }
+        }
+        out.push(rr);
+        // First-index order, min-load packing.
+        out.push(pack_min_load(&all));
+        // Seeded LPT shuffles: deterministic splitmix64 Fisher–Yates
+        // over the group order before greedy packing.
+        for seed in [1u64, 2] {
+            let mut order = all.clone();
+            let mut state = seed;
+            for i in (1..order.len()).rev() {
+                state = crate::hash::splitmix64(state);
+                order.swap(i, (state % (i as u64 + 1)) as usize);
+            }
+            out.push(pack_min_load(&by_weight_desc(order)));
+        }
+        out.dedup();
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn search(
+        ig: &InstanceGraph,
+        config: &ExecConfig,
+        num_sms: u32,
+        opts: &SearchOptions,
+        lower: u64,
+        model: &CostModelHandle,
+        start: Instant,
+    ) -> Result<Option<(Schedule, SearchReport)>> {
+        if num_sms == 0 {
+            return Ok(None);
+        }
+        let reserve = opts.fault_reserve;
+        let max_d = ig
+            .list
+            .iter()
+            .map(|&(v, _)| config.delay[v.0 as usize])
+            .max()
+            .unwrap_or(1);
+        // Candidate universe: every assignment at a short ladder of IIs
+        // above its own load floor.
+        let mut points = Vec::new();
+        for sm_of in assignments(ig, config, num_sms) {
+            let mut load = vec![0u64; num_sms as usize];
+            for (i, &(v, _)) in ig.list.iter().enumerate() {
+                load[sm_of[i] as usize] += config.delay[v.0 as usize];
+            }
+            let makespan = load.iter().copied().max().unwrap_or(0);
+            let floor = lower.max(makespan + reserve).max(max_d + reserve);
+            for mult in [1.0f64, 1.02, 1.05] {
+                let ii = ((floor as f64 * mult).ceil() as u64).max(floor);
+                if points
+                    .iter()
+                    .all(|p: &Point| p.ii != ii || p.sm_of != sm_of)
+                {
+                    points.push(Point {
+                        sm_of: sm_of.clone(),
+                        ii,
+                    });
+                }
+            }
+        }
+        // Rank by predicted cycles; index tie-break keeps the order
+        // deterministic under equal predictions.
+        let mut ranked: Vec<(f64, usize)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let feats = features::extract(ig, config, num_sms, &p.sm_of, p.ii);
+                (model.predict(&feats), i)
+            })
+            .collect();
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        // Prune to the top beam, but always keep the anchor (point 0:
+        // LPT at its floor) — the guarantee that the beam is never worse
+        // than the heuristic, whatever the model says.
+        let width = opts.beam_width.max(1);
+        let mut chosen: Vec<usize> = ranked.iter().take(width).map(|&(_, i)| i).collect();
+        if !chosen.contains(&0) {
+            chosen.pop();
+            chosen.push(0);
+        }
+        let mut constructed = 0u32;
+        let mut best: Option<(Schedule, f64)> = None;
+        for idx in chosen {
+            opts.interrupt.check("beam candidate construction")?;
+            let p = &points[idx];
+            let Some(starts) = heuristic::relax(ig, config, &p.sm_of, p.ii, opts.coarsening_max)
+            else {
+                continue;
+            };
+            let stage: Vec<u64> = starts.iter().map(|&x| x / p.ii).collect();
+            let offset: Vec<u64> = starts.iter().map(|&x| x % p.ii).collect();
+            let mut sched = Schedule {
+                ii: p.ii,
+                sm_of: p.sm_of.clone(),
+                offset,
+                stage,
+            };
+            sched.normalize();
+            if validate(ig, config, &sched, num_sms, opts.coarsening_max).is_err() {
+                continue;
+            }
+            constructed += 1;
+            let predicted = ranked
+                .iter()
+                .find(|&&(_, i)| i == idx)
+                .map_or(f64::INFINITY, |&(c, _)| c);
+            let better = match &best {
+                None => true,
+                Some((b, bp)) => {
+                    (sched.ii, predicted).partial_cmp(&(b.ii, *bp))
+                        == Some(std::cmp::Ordering::Less)
+                }
+            };
+            if better {
+                best = Some((sched, predicted));
+            }
+        }
+        Ok(best.map(|(sched, _)| {
+            let final_ii = sched.ii;
+            let report = SearchReport {
+                lower_bound: lower,
+                final_ii,
+                nominal_ii: final_ii - reserve,
+                fault_reserve: reserve,
+                relaxation_pct: 100.0 * (final_ii as f64 / lower as f64 - 1.0),
+                attempts: constructed,
+                solve_time: start.elapsed(),
+                used_ilp: false,
+                ilp_vars: 0,
+                ilp_constraints: 0,
+            };
+            (sched, report)
+        }))
+    }
 }
 
 #[cfg(test)]

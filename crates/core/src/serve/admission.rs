@@ -178,12 +178,17 @@ impl AdmissionController {
 pub fn budgets_for(pressure: Pressure, base: &StageBudgets) -> StageBudgets {
     match pressure {
         Pressure::Nominal => base.clone(),
+        // The beam rung keeps its budget under elevated pressure: when a
+        // cost model is installed it is the *cheap* path, exactly what a
+        // loaded server wants.
         Pressure::Elevated => StageBudgets {
+            beam: base.beam,
             exact_ilp: Duration::ZERO,
             relaxed_ilp: Duration::ZERO,
             heuristic: base.heuristic,
         },
         Pressure::Saturated => StageBudgets {
+            beam: Duration::ZERO,
             exact_ilp: Duration::ZERO,
             relaxed_ilp: Duration::ZERO,
             heuristic: Duration::ZERO,

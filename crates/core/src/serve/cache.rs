@@ -168,6 +168,13 @@ impl CompilationCache {
         &self.stats
     }
 
+    /// Zeroes the hit/miss/eviction counters while keeping every entry
+    /// resident. Cache warming uses this so its own deliberate misses do
+    /// not pollute the serving-phase hit rate the reports publish.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
     /// In-memory entries currently resident.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -455,6 +462,7 @@ fn duration_field(v: &Value, key: &str) -> Result<Duration> {
 
 fn rung_from_str(s: &str) -> Result<LadderRung> {
     match s {
+        "Beam" => Ok(LadderRung::Beam),
         "ExactIlp" => Ok(LadderRung::ExactIlp),
         "RelaxedIlp" => Ok(LadderRung::RelaxedIlp),
         "Heuristic" => Ok(LadderRung::Heuristic),

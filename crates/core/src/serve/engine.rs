@@ -66,6 +66,7 @@ use crate::serve::{
     QosClass, ServeOptions, TenantState, Verdict,
 };
 use crate::{Error, Result};
+use streamir::graph::FlatGraph;
 
 /// The kind of a processed event, for the audit trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -290,6 +291,16 @@ impl EventEngine {
     pub fn with_workers(mut self, n: usize) -> EventEngine {
         self.workers = n.max(1);
         self
+    }
+
+    /// Pre-compiles `graphs` into this engine's cache at every
+    /// plausible slice width for up to `max_tenants` tenants, under
+    /// both fault policies (see [`super::warm::warm_cache`]). Call
+    /// before [`EventEngine::serve_trace`] to take first-submission
+    /// compiles off the serving path; statistics are reset so the
+    /// subsequent trace reports its own hit rate.
+    pub fn warm(&mut self, graphs: &[FlatGraph], max_tenants: usize) -> super::warm::WarmReport {
+        super::warm::warm_cache(&mut self.cache, &self.opts, graphs, max_tenants)
     }
 
     /// Enables periodic checkpoint events every `secs` of virtual time
@@ -741,6 +752,7 @@ impl EventEngine {
             m.compile_hits += 1;
         } else {
             m.compile_misses += 1;
+            m.search_invocations += artifact.report.search_invocations();
         }
 
         let tenant = job.tenant.clone();

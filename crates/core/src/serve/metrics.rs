@@ -38,6 +38,13 @@ pub struct ServeMetrics {
     pub compile_hits: u64,
     /// Compilations that ran the ladder.
     pub compile_misses: u64,
+    /// Scheduler runs actually spent on this tenant's compilations
+    /// (sum of [`crate::pipeline::DegradationReport::search_invocations`]
+    /// over its cache-miss compiles; hits and disk reloads cost zero).
+    /// The observable that cache warming and the beam rung both move —
+    /// hit rate shows *whether* a compile was avoided, this shows how
+    /// much scheduler work the misses that remained actually cost.
+    pub search_invocations: u64,
     /// Virtual seconds of this tenant's compile penalty that overlapped
     /// other tenants' execution. The eager server pays every compile
     /// inline, so it always reports zero; the event engine credits the
@@ -123,6 +130,9 @@ pub struct TenantReport {
     pub compile_hits: u64,
     /// Compilations that ran the ladder.
     pub compile_misses: u64,
+    /// Scheduler runs spent on this tenant's compiles
+    /// ([`ServeMetrics::search_invocations`]).
+    pub search_invocations: u64,
     /// 99th-percentile queue wait (arrival → service start) in seconds.
     pub queue_wait_p99_secs: f64,
     /// Virtual seconds of compile penalty hidden behind other tenants'
@@ -201,6 +211,7 @@ impl TenantReport {
             },
             compile_hits: metrics.compile_hits,
             compile_misses: metrics.compile_misses,
+            search_invocations: metrics.search_invocations,
             queue_wait_p99_secs: percentile_of(&metrics.queue_waits, 0.99),
             compile_overlap_secs: metrics.compile_overlap_secs,
             recommendation: metrics.recommendation(policy, retry_warn_threshold),

@@ -32,6 +32,7 @@ pub mod engine;
 pub mod metrics;
 pub mod partition;
 pub mod resilience;
+pub mod warm;
 
 use std::collections::BTreeMap;
 
@@ -53,6 +54,7 @@ pub use partition::{placement_universe, Partitioner, RateEstimator, RecutRecord,
 pub use resilience::{
     BrownoutSpec, ChaosStorm, ControllerDecision, FaultController, ResilienceOptions,
 };
+pub use warm::{warm_cache, WarmReport};
 
 /// The quality-of-service class a tenant submits under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +161,7 @@ impl Default for ServeOptions {
                 exact_ilp: std::time::Duration::ZERO,
                 relaxed_ilp: std::time::Duration::ZERO,
                 heuristic: std::time::Duration::from_secs(10),
+                ..StageBudgets::default()
             },
             fault_plan: None,
             max_queue: 8,
@@ -342,6 +345,15 @@ impl Server {
         }
     }
 
+    /// Pre-compiles `graphs` into this server's cache at every
+    /// plausible slice width for up to `max_tenants` tenants, under
+    /// both fault policies. Warmed entries are key-identical to the
+    /// serving path's lookups; the cache's hit/miss statistics are
+    /// reset afterwards so the serving run reports its own hit rate.
+    pub fn warm(&mut self, graphs: &[FlatGraph], max_tenants: usize) -> warm::WarmReport {
+        warm::warm_cache(&mut self.cache, &self.opts, graphs, max_tenants)
+    }
+
     /// Submits a job arriving at virtual time `arrival_secs` (arrivals
     /// must be non-decreasing; earlier instants are clamped to the
     /// current clock). The job is simulated eagerly; the verdict carries
@@ -409,6 +421,7 @@ impl Server {
             m.compile_hits += 1;
         } else {
             m.compile_misses += 1;
+            m.search_invocations += artifact.report.search_invocations();
         }
 
         Ok(Verdict::Completed(Box::new(JobResult {

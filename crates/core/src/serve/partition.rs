@@ -47,6 +47,21 @@ pub fn placement_universe(total_sms: u32, width: u32) -> Vec<u32> {
     (0..=total_sms - width).collect()
 }
 
+/// Every slice width the partitioner could ever cut for one tenant on a
+/// `total_sms`-SM device shared by up to `max_tenants` tenants: each
+/// *other* tenant is floored at one SM by the apportionment, so widths
+/// run `1..=total_sms - (max_tenants - 1)`. Cache warming compiles the
+/// suite over exactly this set — any width the rebalancer later picks is
+/// already in the disk tier.
+#[must_use]
+pub fn plausible_widths(total_sms: u32, max_tenants: usize) -> Vec<u32> {
+    let others = (max_tenants.max(1) - 1) as u32;
+    if total_sms <= others {
+        return Vec::new();
+    }
+    (1..=total_sms - others).collect()
+}
+
 /// EWMA estimator of a tenant's arrival rate from inter-arrival gaps.
 #[derive(Debug, Clone)]
 pub struct RateEstimator {

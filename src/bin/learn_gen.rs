@@ -1,0 +1,6 @@
+//! Thin binary wrapper; the generator lives in the library so the
+//! tests can drive the exact same dataset build.
+
+fn main() {
+    stream_gpu::learn_gen::main();
+}

@@ -1,0 +1,6 @@
+//! Thin binary wrapper; the trainer lives in the library so the tests
+//! can drive the exact same fit.
+
+fn main() {
+    stream_gpu::learn_train::main();
+}

@@ -242,6 +242,77 @@ pub struct FleetChaosArtifact {
     pub decisions: Vec<RouterDecision>,
 }
 
+/// Compares the committed `BENCH_fleet.json` against a fresh
+/// three-configuration run — the fleet counterpart of
+/// `serve_bench --check`. Drift is **schema drift** (recursive key
+/// structure differs) or **headline-counter drift**: job accounting,
+/// artifact-store hits/misses, failovers, and scheduler
+/// `search_invocations` are all deterministic in virtual time, so they
+/// must reproduce exactly per configuration.
+///
+/// # Errors
+///
+/// Returns every drift found, one human-readable line each.
+pub fn check_drift(fresh: &FleetBenchReport, committed: &str) -> Result<(), Vec<String>> {
+    use crate::serve_bench::{lookup, schema_paths};
+    let fresh_v =
+        serde_json::from_str(&serde_json::to_string(fresh)).expect("fresh report renders as JSON");
+    let committed_v = match serde_json::from_str(committed) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("committed artifact is not valid JSON: {e}")]),
+    };
+    let mut drifts = Vec::new();
+
+    let mut want = Vec::new();
+    schema_paths(&fresh_v, "", &mut want);
+    let mut have = Vec::new();
+    schema_paths(&committed_v, "", &mut have);
+    want.sort();
+    want.dedup();
+    have.sort();
+    have.dedup();
+    for p in want.iter().filter(|p| !have.contains(p)) {
+        drifts.push(format!("schema: committed file is missing key {p}"));
+    }
+    for p in have.iter().filter(|p| !want.contains(p)) {
+        drifts.push(format!("schema: committed file has stale key {p}"));
+    }
+
+    for config in ["solo", "fleet", "storm"] {
+        for counter in [
+            "jobs_submitted",
+            "jobs_completed",
+            "jobs_rejected",
+            "jobs_lost",
+            "failovers",
+            "artifacts",
+            "certified",
+            "search_invocations",
+            "store.lookups",
+            "store.local_hits",
+            "store.remote_hits",
+            "store.misses",
+        ] {
+            let path = format!("{config}.{counter}");
+            let f = lookup(&fresh_v, &path).and_then(serde_json::Value::as_f64);
+            let c = lookup(&committed_v, &path).and_then(serde_json::Value::as_f64);
+            match (f, c) {
+                (Some(f), Some(c)) if (f - c).abs() > 1e-9 * (1.0 + f.abs()) => {
+                    drifts.push(format!("counter {path}: committed {c} != fresh {f}"));
+                }
+                (Some(f), None) => drifts.push(format!("counter {path}: missing (fresh has {f})")),
+                _ => {}
+            }
+        }
+    }
+
+    if drifts.is_empty() {
+        Ok(())
+    } else {
+        Err(drifts)
+    }
+}
+
 /// Serializes any report to `path` as pretty JSON.
 ///
 /// # Panics
@@ -276,13 +347,17 @@ fn print_report(name: &str, r: &FleetReport) {
 /// Entry point for the `fleet_bench` binary.
 ///
 /// Flags: `--chaos` (write `FLEET_chaos.json` with the decision log),
-/// `--seed N`, `--devices N`, `--rounds N`, `--iterations N`.
+/// `--check <path>` (exit non-zero if the committed artifact at `path`
+/// has drifted from a fresh run — the CI gate mirroring
+/// `serve_bench --check`), `--seed N`, `--devices N`, `--rounds N`,
+/// `--iterations N`.
 ///
 /// # Panics
 ///
 /// Panics on malformed flags or when an acceptance assertion fails.
 pub fn main() {
     let mut chaos = false;
+    let mut check: Option<String> = None;
     let mut seed: u64 = FULL_SEED;
     let mut devices = FULL_DEVICES;
     let mut rounds = FULL_ROUNDS;
@@ -296,12 +371,31 @@ pub fn main() {
         };
         match a.as_str() {
             "--chaos" => chaos = true,
+            "--check" => check = Some(args.next().expect("--check needs a path")),
             "--seed" => seed = num("--seed"),
             "--devices" => devices = num("--devices") as u32,
             "--rounds" => rounds = num("--rounds") as usize,
             "--iterations" => iterations = num("--iterations"),
             other => panic!("unknown flag {other}"),
         }
+    }
+
+    if let Some(path) = check {
+        let committed =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let fresh = run_bench(rounds, iterations, devices, seed);
+        match check_drift(&fresh, &committed) {
+            Ok(()) => println!("{path}: no drift against a fresh run"),
+            Err(drifts) => {
+                eprintln!("{path} has drifted from a fresh run:");
+                for d in &drifts {
+                    eprintln!("  - {d}");
+                }
+                eprintln!("regenerate with: cargo run --release --bin fleet_bench");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
 
     if chaos {
@@ -329,4 +423,50 @@ pub fn main() {
     print_report("storm", &report.storm);
     write_json(&report, "BENCH_fleet.json");
     println!("wrote BENCH_fleet.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cheap report for drift-gate tests: one tiny solo run stands in
+    /// for all three configurations (the gate compares JSON trees; it
+    /// does not care that the configurations coincide).
+    fn tiny_report() -> FleetBenchReport {
+        let trace = fleet_trace(1, 1);
+        let (solo, _, _) = run_fleet(solo_options(), &trace);
+        FleetBenchReport {
+            rounds: 1,
+            iterations: 1,
+            devices: 1,
+            storm_seed: 0,
+            fleet: solo.clone(),
+            storm: solo.clone(),
+            solo,
+        }
+    }
+
+    #[test]
+    fn drift_check_accepts_a_faithful_artifact_and_catches_drift() {
+        let report = tiny_report();
+        let json = serde_json::to_string_pretty(&report);
+        assert_eq!(check_drift(&report, &json), Ok(()));
+
+        let renamed = json.replacen("\"search_invocations\"", "\"search_invocs\"", 1);
+        let drifts = check_drift(&report, &renamed).unwrap_err();
+        assert!(
+            drifts.iter().any(|d| d.contains("schema")),
+            "renamed key must read as schema drift: {drifts:?}"
+        );
+
+        let mut stale = report.clone();
+        stale.fleet.jobs_completed += 1;
+        let drifts = check_drift(&stale, &json).unwrap_err();
+        assert!(
+            drifts.iter().any(|d| d.contains("fleet.jobs_completed")),
+            "stale counter must be flagged: {drifts:?}"
+        );
+
+        assert!(check_drift(&report, "{not json").is_err());
+    }
 }

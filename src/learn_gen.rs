@@ -1,0 +1,130 @@
+//! The cost-model dataset generator behind `cargo run --bin learn_gen`.
+//!
+//! Enumerates candidate `(assignment, II)` schedule points — the same
+//! beam-strategy assignments and II grid the online search ranks — for
+//! the eight StreamIt benchmarks plus seeded random stream graphs,
+//! labels every point with simulated steady-state cycles/iteration, and
+//! writes a versioned [`swpipe::learn::Dataset`] JSON artifact.
+//!
+//! Generation is deterministic end to end (fixed seeds, fixed
+//! enumeration order, simulator labels), so the CI `learn` job can
+//! regenerate the small dataset from scratch and demand byte-identical
+//! output.
+
+use swpipe::learn::dataset::{generate, random_sources, GenOptions};
+use swpipe::learn::{Dataset, Source};
+
+/// Seed of the random stream graphs in both dataset flavors.
+pub const SEED: u64 = 0x5EED_DA7A;
+/// Random graphs in the full dataset (the suite rides along).
+pub const FULL_RANDOM: usize = 6;
+/// Random graphs in the small (CI) dataset.
+pub const SMALL_RANDOM: usize = 2;
+/// Default output path of the full dataset.
+pub const FULL_PATH: &str = "datasets/learn_full.json";
+/// Output path of the small (CI, committed) dataset.
+pub const SMALL_PATH: &str = "datasets/learn_small.json";
+
+/// The eight StreamIt benchmarks as labeling sources.
+///
+/// # Panics
+///
+/// Panics when a benchmark spec fails to flatten (a suite bug).
+#[must_use]
+pub fn suite_sources() -> Vec<Source> {
+    streambench::suite()
+        .iter()
+        .map(|b| Source {
+            name: b.name.to_string(),
+            graph: b.spec.flatten().expect("benchmark flattens"),
+            input: b.input,
+        })
+        .collect()
+}
+
+/// Generates the dataset. `small` restricts the sources (two random
+/// graphs plus the first three benchmarks) and the candidate grid so
+/// the CI job finishes in seconds; the full flavor covers the whole
+/// suite plus [`FULL_RANDOM`] random graphs on the default grid.
+///
+/// # Panics
+///
+/// Panics when generation fails (profile or schedule construction on a
+/// fixed, known-good source set — a generator bug).
+#[must_use]
+pub fn gen(small: bool) -> Dataset {
+    let (sources, opts) = if small {
+        let mut sources = random_sources(SMALL_RANDOM, SEED);
+        sources.extend(suite_sources().into_iter().take(3));
+        let opts = GenOptions {
+            sms_grid: vec![2, 4],
+            ii_multipliers: vec![1.0, 1.15],
+            ..GenOptions::default()
+        };
+        (sources, opts)
+    } else {
+        let mut sources = suite_sources();
+        sources.extend(random_sources(FULL_RANDOM, SEED));
+        (sources, GenOptions::default())
+    };
+    generate(&sources, &opts).expect("dataset generation on known-good sources")
+}
+
+/// Entry point for the `learn_gen` binary.
+///
+/// Flags: `--small` (CI flavor: fewer sources, coarser grid, writes
+/// `datasets/learn_small.json`), `--out <path>` (override the output
+/// path).
+///
+/// # Panics
+///
+/// Panics on malformed flags or an unwritable output path.
+pub fn main() {
+    let mut small = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--small" => small = true,
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let path = out.unwrap_or_else(|| {
+        if small {
+            SMALL_PATH.to_string()
+        } else {
+            FULL_PATH.to_string()
+        }
+    });
+    let dataset = gen(small);
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+        }
+    }
+    std::fs::write(&path, dataset.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!(
+        "wrote {path}: {} points over {} features",
+        dataset.points.len(),
+        dataset.feature_names.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_dataset_is_deterministic_and_trainable() {
+        let a = gen(true);
+        let b = gen(true);
+        assert_eq!(a.to_json(), b.to_json(), "small dataset must be replayable");
+        assert!(a.points.len() >= 10, "too few points: {}", a.points.len());
+        let (xs, ys) = a.xy();
+        let model =
+            swpipe::learn::CostModel::train(swpipe::learn::features::FEATURE_NAMES, &xs, &ys, 1e-3)
+                .expect("small dataset trains");
+        assert!(model.mean_abs_error(&xs, &ys).is_finite());
+    }
+}

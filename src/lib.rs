@@ -16,4 +16,6 @@ pub use swpipe;
 
 pub mod chaos_soak;
 pub mod fleet_bench;
+pub mod learn_gen;
+pub mod learn_train;
 pub mod serve_bench;

@@ -39,6 +39,24 @@ pub const FULL_ITERATIONS: u64 = 4;
 /// the bench must fail loudly.
 #[must_use]
 pub fn run_trace(rounds: usize, iterations: u64) -> ServeReport {
+    run_trace_outputs(rounds, iterations, false).0
+}
+
+/// [`run_trace`], returning every job's output stream alongside the
+/// report, and optionally warming the compilation cache first
+/// ([`EventEngine::warm`] over the whole suite at every slice width).
+/// The outputs let `--warm` prove cache warming is semantics-neutral:
+/// per-job output streams must be byte-identical cold vs. warm.
+///
+/// # Panics
+///
+/// See [`run_trace`].
+#[must_use]
+pub fn run_trace_outputs(
+    rounds: usize,
+    iterations: u64,
+    warm: bool,
+) -> (ServeReport, Vec<Vec<streamir::ir::Scalar>>) {
     let opts = ServeOptions {
         // A mild transient-fault environment (3% of launch attempts)
         // so retry-rate and fault-overhead metrics are non-trivial.
@@ -50,11 +68,37 @@ pub fn run_trace(rounds: usize, iterations: u64) -> ServeReport {
             enabled: true,
             ..ResilienceOptions::default()
         },
+        // Large enough to hold the full `--warm` sweep (8 graphs × 16
+        // widths × 2 policies = 256 points): at the default 32-entry
+        // bound the sweep evicts its own earliest entries and the
+        // serving path's reservations displace the rest before any
+        // tenant dispatches — a warm start indistinguishable from cold.
+        // The cold trace touches only 14 distinct keys, so the wider
+        // bound leaves the committed cold baseline byte-identical.
+        cache: swpipe::serve::CacheOptions {
+            capacity: 512,
+            ..swpipe::serve::CacheOptions::default()
+        },
         ..ServeOptions::default()
     };
     let mut engine = EventEngine::new(opts).with_checkpoint_period(1.0);
 
     let suite = streambench::suite();
+    if warm {
+        let graphs: Vec<_> = suite
+            .iter()
+            .map(|b| b.spec.flatten().expect("benchmark flattens"))
+            .collect();
+        // `max_tenants = 1` warms *every* width 1..=num_sms, covering
+        // the wide slices early arrivals compile at before the
+        // partition settles — not just the steady-state widths.
+        let report = engine.warm(&graphs, 1);
+        assert_eq!(report.failed, 0, "warming must compile every point");
+        assert_eq!(
+            report.evictions, 0,
+            "the warm sweep must fit the cache bound or the warm start is fictional"
+        );
+    }
     let mut trace = Vec::new();
     let mut now = 0.0;
     for _round in 0..rounds {
@@ -81,10 +125,12 @@ pub fn run_trace(rounds: usize, iterations: u64) -> ServeReport {
         now += 1.0;
     }
     let verdicts = engine.serve_trace(&trace).expect("benchmark trace serves");
+    let mut outputs = Vec::with_capacity(verdicts.len());
     for (verdict, (job, _)) in verdicts.iter().zip(&trace) {
         match verdict {
             Verdict::Completed(r) => {
                 assert!(!r.outputs.is_empty(), "{}: no output", job.tenant);
+                outputs.push(r.outputs.clone());
             }
             Verdict::Rejected { retry_after_secs } => {
                 panic!("{}: rejected (retry in {retry_after_secs}s)", job.tenant);
@@ -97,7 +143,7 @@ pub fn run_trace(rounds: usize, iterations: u64) -> ServeReport {
         report.certified, report.artifacts,
         "every dispatched artifact must carry a verified isolation certificate"
     );
-    report
+    (report, outputs)
 }
 
 /// Serializes a report to `path` as pretty JSON.
@@ -111,8 +157,9 @@ pub fn write_report(report: &ServeReport, path: &str) {
 }
 
 /// Collects every object key path in a JSON tree (array elements
-/// contribute under a `[]` segment), for schema comparison.
-fn schema_paths(v: &serde_json::Value, prefix: &str, out: &mut Vec<String>) {
+/// contribute under a `[]` segment), for schema comparison. Shared
+/// with `fleet_bench`'s drift gate.
+pub(crate) fn schema_paths(v: &serde_json::Value, prefix: &str, out: &mut Vec<String>) {
     match v {
         serde_json::Value::Object(fields) => {
             for (k, fv) in fields {
@@ -134,7 +181,7 @@ fn schema_paths(v: &serde_json::Value, prefix: &str, out: &mut Vec<String>) {
     }
 }
 
-fn lookup<'v>(v: &'v serde_json::Value, path: &str) -> Option<&'v serde_json::Value> {
+pub(crate) fn lookup<'v>(v: &'v serde_json::Value, path: &str) -> Option<&'v serde_json::Value> {
     path.split('.').try_fold(v, |v, seg| v.get(seg))
 }
 
@@ -216,15 +263,68 @@ pub fn check_drift(fresh: &ServeReport, committed: &str) -> Result<(), Vec<Strin
     }
 }
 
+/// Runs the warm-started differential: the full trace cold, then the
+/// same trace on a cache pre-warmed across the whole suite
+/// ([`EventEngine::warm`]). Warming must be semantics-neutral (per-job
+/// outputs byte-identical) and must pay off (strictly higher hit rate
+/// than both the fresh cold run and the committed `baseline` artifact).
+/// Returns the warm report.
+///
+/// # Panics
+///
+/// Panics when any of those acceptance properties fails.
+#[must_use]
+pub fn run_warm_differential(rounds: usize, iterations: u64, baseline: &str) -> ServeReport {
+    let (cold, cold_outputs) = run_trace_outputs(rounds, iterations, false);
+    let (warm, warm_outputs) = run_trace_outputs(rounds, iterations, true);
+    assert_eq!(
+        cold_outputs, warm_outputs,
+        "cache warming must not change any job's output stream"
+    );
+    assert!(
+        warm.cache_hit_rate > cold.cache_hit_rate,
+        "warm hit rate {:.3} must beat the cold run's {:.3}",
+        warm.cache_hit_rate,
+        cold.cache_hit_rate
+    );
+    let committed: serde_json::Value =
+        serde_json::from_str(baseline).expect("committed baseline parses as JSON");
+    let committed_rate = lookup(&committed, "cache_hit_rate")
+        .and_then(serde_json::Value::as_f64)
+        .expect("committed baseline has cache_hit_rate");
+    assert!(
+        warm.cache_hit_rate > committed_rate,
+        "warm hit rate {:.3} must beat the committed baseline's {committed_rate:.3}",
+        warm.cache_hit_rate
+    );
+    warm
+}
+
 /// Entry point for the `serve_bench` binary.
 ///
 /// With no arguments, runs the full benchmark and writes
 /// `BENCH_serve.json`. With `--check <path>`, runs the same benchmark
 /// and exits non-zero if the committed artifact at `path` has drifted
 /// from the fresh run (see [`check_drift`]) — the CI gate that keeps
-/// the committed numbers honest.
+/// the committed numbers honest. With `--warm [baseline]`, runs the
+/// warm-started differential against the committed baseline (default
+/// `BENCH_serve.json`; see [`run_warm_differential`]) and writes
+/// `BENCH_serve_warm.json`.
 pub fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--warm") {
+        let path = args.get(1).map_or("BENCH_serve.json", String::as_str);
+        let committed =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let warm = run_warm_differential(FULL_ROUNDS, FULL_ITERATIONS, &committed);
+        println!(
+            "warm-started: cache {} hits / {} misses (hit rate {:.3})",
+            warm.cache.hits, warm.cache.misses, warm.cache_hit_rate
+        );
+        write_report(&warm, "BENCH_serve_warm.json");
+        println!("wrote BENCH_serve_warm.json");
+        return;
+    }
     if args.first().map(String::as_str) == Some("--check") {
         let path = args.get(1).expect("--check needs a path");
         let committed =

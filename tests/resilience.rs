@@ -144,6 +144,7 @@ fn rung_serial_sas_ships_when_every_scheduler_budget_is_exhausted() {
         exact_ilp: Duration::ZERO,
         relaxed_ilp: Duration::ZERO,
         heuristic: Duration::ZERO,
+        ..StageBudgets::default()
     })
     .compile(&ladder_graph())
     .unwrap();
@@ -310,6 +311,7 @@ fn serial_sas_rung_ships_a_validated_single_sm_schedule() {
         exact_ilp: Duration::ZERO,
         relaxed_ilp: Duration::ZERO,
         heuristic: Duration::ZERO,
+        ..StageBudgets::default()
     })
     .compile(&ladder_graph())
     .unwrap();
