@@ -14,7 +14,110 @@ use streamir::ir::{OpCensus, Scalar};
 
 use crate::instances::{ExecConfig, InstanceGraph};
 use crate::plan::BufferPlan;
+use crate::schedule::Schedule;
 use crate::{Error, Result};
+
+/// One event edge of a captured steady-state graph: at every replay `r`,
+/// the `consumer` node's start is gated on the completion event the
+/// `producer` node signaled at replay `r - lag`.
+///
+/// Only **cross-SM** dependences need an explicit edge: each SM's node
+/// sequence is captured as one serial stream, so same-SM ordering (within
+/// a replay and across successive replays) is implicit in stream order.
+/// An edge with lag `L` also covers any dependence that would be
+/// satisfied by a larger lag `L' ≥ L` — the producer's replays complete
+/// in order, so waiting on a more recent one implies the older ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventEdge {
+    /// Instance id of the signaling node.
+    pub producer: u32,
+    /// Instance id of the gated node.
+    pub consumer: u32,
+    /// How many replays back the awaited completion event is. `0` gates
+    /// on the same replay (events make intra-replay cross-SM waits
+    /// expressible; schedules verified hazard-free never need them).
+    pub lag: u64,
+}
+
+/// The captured steady-state graph of one modulo schedule: one node per
+/// filter instance (placed on its scheduled SM at its scheduled stage)
+/// and the minimal event-edge set gating cross-SM dependences. Capture is
+/// paid once ([`gpusim::TimingModel::graph_capture_cycles`]); every
+/// steady-state launch thereafter is a replay at doorbell cost instead of
+/// a host-driven launch. Prologue (fill) and epilogue (drain) launches
+/// stay host-launched — their staging predicates change per iteration, so
+/// they are not a fixed replayable graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapturedGraph {
+    /// Scheduled SM of each instance node (the capture's stream of node
+    /// `i` lives on SM `sm_of[i]`).
+    pub sm_of: Vec<u32>,
+    /// Scheduled pipeline stage of each instance node.
+    pub stage: Vec<u64>,
+    /// Cross-SM event edges, deduplicated to the minimal (strictest
+    /// required) lag per `(producer, consumer)` pair, in sorted order.
+    pub edges: Vec<EventEdge>,
+}
+
+impl CapturedGraph {
+    /// Instance nodes in the capture.
+    #[must_use]
+    pub fn node_count(&self) -> u64 {
+        self.sm_of.len() as u64
+    }
+
+    /// Event edges in the capture.
+    #[must_use]
+    pub fn edge_count(&self) -> u64 {
+        self.edges.len() as u64
+    }
+}
+
+/// Emits the captured steady-state graph for `sched` from the instance
+/// model's dependence set.
+///
+/// A dependence `consumer ← producer` with iteration lag `jlag` requires,
+/// at consumer replay `r`, the producer's work of replay
+/// `r - (stage[c] - stage[u] - jlag/C)` (truncating division by the
+/// coarsening granule `C`, matching the executor's and the verifier's
+/// timing model). Same-SM dependences ride the implicit per-SM stream
+/// order; cross-SM dependences each contribute a candidate lag, and the
+/// emitted edge per pair keeps the minimum (strictest) one. A negative
+/// candidate lag means the schedule itself is hazardous — that is
+/// `V01xx`'s finding, so emission clamps to 0 and lets the schedule
+/// checker own the rejection.
+#[must_use]
+pub fn capture_graph(ig: &InstanceGraph, sched: &Schedule, coarsening_max: u32) -> CapturedGraph {
+    use std::collections::BTreeMap;
+    let cmax = i128::from(coarsening_max.max(1));
+    let mut min_lag: BTreeMap<(u32, u32), i128> = BTreeMap::new();
+    for d in &ig.deps {
+        let u = d.producer.0 as usize;
+        let c = d.consumer.0 as usize;
+        if u == c || sched.sm_of[u] == sched.sm_of[c] {
+            continue;
+        }
+        let jlag_eff = i128::from(d.jlag) / cmax;
+        let lag = sched.stage[c] as i128 - sched.stage[u] as i128 - jlag_eff;
+        min_lag
+            .entry((u as u32, c as u32))
+            .and_modify(|l| *l = (*l).min(lag))
+            .or_insert(lag);
+    }
+    let edges = min_lag
+        .into_iter()
+        .map(|((producer, consumer), lag)| EventEdge {
+            producer,
+            consumer,
+            lag: u64::try_from(lag).unwrap_or(0),
+        })
+        .collect();
+    CapturedGraph {
+        sm_of: sched.sm_of.clone(),
+        stage: sched.stage.clone(),
+        edges,
+    }
+}
 
 /// Allocated device buffers for one execution.
 #[derive(Debug, Clone)]

@@ -14,8 +14,8 @@
 //!   buffers constrained to a single batch in flight.
 
 use gpusim::{
-    BlockWork, CheckpointMode, DeviceConfig, FaultPlan, Gpu, InstanceExec, Launch, LaunchStats,
-    TimingModel,
+    BlockWork, CheckpointMode, DeviceConfig, Dispatch, FaultPlan, Gpu, InstanceExec, Launch,
+    LaunchStats, TimingModel,
 };
 use streamir::graph::{FlatGraph, NodeId};
 use streamir::ir::Scalar;
@@ -275,6 +275,20 @@ pub struct RunOptions {
     /// armed; fault-free and scaled-measurement runs keep the device
     /// default. `None` (the default) never tightens.
     pub watchdog_margin: Option<u32>,
+    /// Dispatch the steady-state window of SWP-family schemes as replays
+    /// of a captured graph instead of host-driven launches. The capture
+    /// ([`crate::codegen::capture_graph`]) is billed once at steady
+    /// entry; every steady launch then pays the doorbell
+    /// ([`gpusim::TimingModel::graph_replay_overhead_cycles`]) instead of
+    /// the host launch overhead. Prologue (fill) and epilogue (drain)
+    /// launches stay host-launched — their staging predicates differ per
+    /// iteration. Checkpoint-window recovery re-enters the captured
+    /// graph for steady ordinals: a replayed steady launch is replayed
+    /// *as a graph replay*, billed into the same disjoint fault buckets.
+    /// Functionally inert — per-job outputs are byte-identical to
+    /// host-launch mode — and ignored by the serial scheme, which has no
+    /// fixed steady-state graph to capture.
+    pub graph_dispatch: bool,
 }
 
 /// The outcome of a GPU execution.
@@ -480,6 +494,7 @@ fn execute_inner(
                 staged,
                 scaled,
                 sm_offset,
+                opts.graph_dispatch,
                 &mut gpu,
                 &mut totals,
                 &mut launches,
@@ -820,10 +835,11 @@ impl CommitWindow {
 /// [`LaunchStats::replay_cycles`] — all folded into
 /// `fault_overhead_cycles` and the wall cycles.
 #[allow(clippy::too_many_arguments)] // one internal dispatch point
-fn run_launch_windowed<'a, F>(
+fn run_launch_windowed<'a, F, D>(
     gpu: &mut Gpu,
     ordinal: u64,
     build: &F,
+    dispatch_of: &D,
     retry: RetryPolicy,
     retries: &mut u64,
     ckpt: &mut Checkpointer,
@@ -832,7 +848,14 @@ fn run_launch_windowed<'a, F>(
 ) -> Result<LaunchStats>
 where
     F: Fn(u64) -> Result<Launch<'a>>,
+    D: Fn(u64) -> Dispatch,
 {
+    // A faulted attempt's sunk cost depends on the path it took: a
+    // rejected replay burned a doorbell, not a host launch.
+    let failed_cycles = |gpu: &Gpu, ordinal: u64, e: &gpusim::SimError| match dispatch_of(ordinal) {
+        Dispatch::HostLaunch => gpu.timing().failed_attempt_cycles(e),
+        Dispatch::GraphReplay => gpu.timing().failed_replay_attempt_cycles(e),
+    };
     // The checkpoint commits only at window boundaries: every k-th
     // launch opens a fresh window over a just-committed snapshot.
     let mut ckpt_cycles = if window.pending.is_empty() {
@@ -859,7 +882,7 @@ where
         )
     };
     loop {
-        match gpu.run(&launch) {
+        match gpu.run_dispatched(&launch, dispatch_of(ordinal)) {
             Ok(mut stats) => {
                 tuner.observe_success(gpu, &stats);
                 stats.retries = tries;
@@ -888,16 +911,19 @@ where
                 }
                 tries += 1;
                 *retries += 1;
-                fault_cycles += gpu.timing().failed_attempt_cycles(&e);
+                fault_cycles += failed_cycles(gpu, ordinal, &e);
                 ckpt_cycles += ckpt.restore(gpu)?;
                 // Replay the window from the restored snapshot before
                 // retrying the faulted launch. A replay that itself
                 // faults restores again and restarts the whole window,
-                // spending the same bounded attempts budget.
+                // spending the same bounded attempts budget. Window
+                // entries re-enter the captured graph when their ordinal
+                // was graph-dispatched: recovery replays the same path
+                // the original launch took, at the same cost.
                 let mut i = 0usize;
                 while i < window.pending.len() {
                     let replay = build(window.pending[i])?;
-                    match gpu.run(&replay) {
+                    match gpu.run_dispatched(&replay, dispatch_of(window.pending[i])) {
                         Ok(s) => {
                             tuner.observe_success(gpu, &s);
                             replay_cycles += s.cycles;
@@ -913,7 +939,7 @@ where
                             }
                             tries += 1;
                             *retries += 1;
-                            fault_cycles += gpu.timing().failed_attempt_cycles(&e2);
+                            fault_cycles += failed_cycles(gpu, window.pending[i], &e2);
                             ckpt_cycles += ckpt.restore(gpu)?;
                             i = 0;
                         }
@@ -938,6 +964,7 @@ fn run_swp(
     staged: bool,
     scaled: bool,
     sm_offset: u32,
+    graph_dispatch: bool,
     gpu: &mut Gpu,
     totals: &mut LaunchStats,
     launches: &mut u64,
@@ -953,6 +980,29 @@ fn run_swp(
     let kernel_iters = iterations / u64::from(coarsening);
     let stages = sched.max_stage();
     let order = swp_sm_order(sched, num_sms, c.ig.len());
+
+    // The steady window [stages, kernel_iters) is the only region where
+    // every instance's staging predicate holds, i.e. where launches are a
+    // fixed graph. Capture it once (billed as productive cycles, not
+    // fault overhead) and replay it; fill and drain stay host-launched.
+    let graph = graph_dispatch && kernel_iters > stages;
+    if graph {
+        let cap = codegen::capture_graph(&c.ig, sched, coarsening);
+        let cost = gpu
+            .timing()
+            .graph_capture_cycles(cap.node_count(), cap.edge_count());
+        totals.graph_captures += 1;
+        totals.graph_capture_cycles += cost;
+        totals.cycles += cost;
+        totals.time_secs += gpu.timing().secs(cost);
+    }
+    let dispatch_of = move |r: u64| -> Dispatch {
+        if graph && r >= stages && r < kernel_iters {
+            Dispatch::GraphReplay
+        } else {
+            Dispatch::HostLaunch
+        }
+    };
 
     let build = |r: u64| -> Result<Launch<'_>> {
         Ok(Launch {
@@ -973,6 +1023,7 @@ fn run_swp(
             gpu,
             r,
             &build,
+            &dispatch_of,
             retry,
             retries,
             ckpt,
@@ -1064,6 +1115,7 @@ fn run_serial(
                 gpu,
                 ordinal,
                 &build,
+                &|_| Dispatch::HostLaunch,
                 retry,
                 retries,
                 ckpt,
@@ -1508,6 +1560,84 @@ mod tests {
     }
 
     #[test]
+    fn graph_dispatch_is_byte_identical_and_cheaper() {
+        let (c, input, iters) = compiled_three_stage();
+        let scheme = Scheme::Swp { coarsening: 1 };
+        let host = execute(&c, scheme, iters, &input).unwrap();
+        let opts = RunOptions {
+            graph_dispatch: true,
+            ..RunOptions::default()
+        };
+        let replayed = execute_with(&c, scheme, iters, &input, &opts).unwrap();
+        assert_eq!(host.outputs, replayed.outputs);
+        assert_eq!(host.launches, replayed.launches);
+        assert_eq!(replayed.stats.graph_captures, 1);
+        let kernel_iters = iters; // coarsening 1
+        let steady = kernel_iters - c.schedule.max_stage();
+        assert_eq!(replayed.stats.graph_replays, steady);
+        assert_eq!(host.stats.graph_replays, 0);
+        // Every steady launch trades the host launch overhead for the
+        // replay doorbell; the fixed launch tax shrinks by exactly the
+        // per-replay savings (the capture cost is billed separately).
+        let saved = steady as f64 * c.timing.replay_savings_cycles();
+        assert!(
+            (host.stats.launch_path_cycles - replayed.stats.launch_path_cycles - saved).abs()
+                < 1e-6,
+            "host tax {} replay tax {} expected saving {saved}",
+            host.stats.launch_path_cycles,
+            replayed.stats.launch_path_cycles
+        );
+        assert!(
+            replayed.stats.cycles + 1e-9
+                < host.stats.cycles - saved + replayed.stats.graph_capture_cycles + 1e-6,
+            "replay run must be cheaper by the savings minus the capture"
+        );
+        replayed.stats.assert_billing();
+        // Serial has no steady-state graph: the flag is inert.
+        let serial_host = execute(&c, Scheme::Serial { batch: 1 }, iters, &input).unwrap();
+        let serial_graph =
+            execute_with(&c, Scheme::Serial { batch: 1 }, iters, &input, &opts).unwrap();
+        assert_eq!(serial_host.outputs, serial_graph.outputs);
+        assert_eq!(serial_graph.stats.graph_replays, 0);
+        assert_eq!(serial_graph.stats.graph_captures, 0);
+        assert_eq!(
+            serial_host.stats.launch_path_cycles,
+            serial_graph.stats.launch_path_cycles
+        );
+    }
+
+    #[test]
+    fn graph_dispatch_recovers_faults_byte_identically() {
+        let (c, input, iters) = compiled_three_stage();
+        let scheme = Scheme::Swp { coarsening: 1 };
+        let clean = execute(&c, scheme, iters, &input).unwrap();
+        for k in [1u32, 3] {
+            let mk = |graph_dispatch: bool| RunOptions {
+                fault_plan: Some(
+                    FaultPlan::new(0xFA117)
+                        .with_launch_failures(120)
+                        .with_mem_corruptions(80)
+                        .with_hangs(40),
+                ),
+                retry: RetryPolicy { max_attempts: 12 },
+                checkpoint_interval: k,
+                graph_dispatch,
+                ..RunOptions::default()
+            };
+            let host = execute_with(&c, scheme, iters, &input, &mk(false)).unwrap();
+            let graph = execute_with(&c, scheme, iters, &input, &mk(true)).unwrap();
+            // The fault plan draws per lifetime attempt ordinal and both
+            // modes issue attempts in the same order, so recovery behaves
+            // identically and outputs match the fault-free run.
+            assert_eq!(clean.outputs, host.outputs, "k={k}");
+            assert_eq!(clean.outputs, graph.outputs, "k={k}");
+            assert_eq!(host.retries, graph.retries, "k={k}");
+            host.stats.assert_billing();
+            graph.stats.assert_billing();
+        }
+    }
+
+    #[test]
     fn transient_faults_retry_bit_identically_with_truthful_billing() {
         let (c, input, iters) = compiled_three_stage();
         let scheme = Scheme::Swp { coarsening: 1 };
@@ -1525,6 +1655,7 @@ mod tests {
             placement: None,
             checkpoint_interval: 1,
             watchdog_margin: None,
+            graph_dispatch: false,
         };
         let faulted = execute_with(&c, scheme, iters, &input, &opts).unwrap();
         assert_eq!(
@@ -1559,6 +1690,7 @@ mod tests {
             placement: None,
             checkpoint_interval: 1,
             watchdog_margin: None,
+            graph_dispatch: false,
         };
         let e = execute_with(&c, Scheme::Swp { coarsening: 1 }, iters, &input, &opts).unwrap_err();
         match e {
@@ -1573,6 +1705,7 @@ mod tests {
             placement: None,
             checkpoint_interval: 1,
             watchdog_margin: None,
+            graph_dispatch: false,
         };
         let run = execute_with(&c, Scheme::Swp { coarsening: 1 }, iters, &input, &opts).unwrap();
         assert_eq!(run.retries, 3);
@@ -1590,6 +1723,7 @@ mod tests {
             placement: None,
             checkpoint_interval: 1,
             watchdog_margin: None,
+            graph_dispatch: false,
         };
         let faulted = execute_with(&c, scheme, iters, &input, &opts).unwrap();
         assert_eq!(clean.outputs, faulted.outputs);
@@ -1614,6 +1748,7 @@ mod tests {
                     placement: None,
                     checkpoint_interval: k,
                     watchdog_margin: None,
+                    graph_dispatch: false,
                 };
                 let run = execute_with(&c, scheme, iters, &input, &opts)
                     .unwrap_or_else(|e| panic!("{scheme:?} k={k}: {e}"));
@@ -1645,6 +1780,7 @@ mod tests {
             placement: None,
             checkpoint_interval: 4,
             watchdog_margin: None,
+            graph_dispatch: false,
         };
         let run = execute_with(&c, scheme, iters, &input, &opts).unwrap();
         assert_eq!(clean.outputs, run.outputs);
@@ -1738,6 +1874,7 @@ mod tests {
                     placement: None,
                     checkpoint_interval: 1,
                     watchdog_margin: margin,
+                    graph_dispatch: false,
                 },
             )
             .unwrap()

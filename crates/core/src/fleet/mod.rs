@@ -224,6 +224,19 @@ pub struct FleetReport {
     pub failover_cycles: u64,
     /// The hedge share of the overhead.
     pub hedge_cycles: u64,
+    /// Launch-path cycles across completed jobs: host launch overhead
+    /// for host-launched rounds, replay doorbells for captured-graph
+    /// rounds. Graph dispatch shrinks this; compare against a
+    /// host-launched run of the same trace for the savings.
+    pub launch_path_cycles: u64,
+    /// Steady-state rounds dispatched as captured-graph replays.
+    pub graph_replays: u64,
+    /// Graph captures paid for (one per graph-dispatched run, plus
+    /// re-captures billed into `failover_cycles` when a device dies
+    /// mid-replay and the survivor must rebuild the capture).
+    pub graph_captures: u64,
+    /// Cycles spent building captured graphs.
+    pub graph_capture_cycles: u64,
     /// Artifacts dispatched across the fleet.
     pub artifacts: u64,
     /// The subset of `artifacts` carrying a verified tenant-isolation
@@ -365,6 +378,10 @@ pub struct FleetEngine {
     fault_overhead_cycles: f64,
     failover_cycles: f64,
     hedge_cycles: f64,
+    launch_path_cycles: f64,
+    graph_replays: u64,
+    graph_captures: u64,
+    graph_capture_cycles: f64,
     /// Artifacts dispatched, and the subset carrying a verified
     /// isolation certificate (see [`crate::serve::run_artifact`]).
     artifacts: u64,
@@ -417,6 +434,10 @@ impl FleetEngine {
             fault_overhead_cycles: 0.0,
             failover_cycles: 0.0,
             hedge_cycles: 0.0,
+            launch_path_cycles: 0.0,
+            graph_replays: 0,
+            graph_captures: 0,
+            graph_capture_cycles: 0.0,
             artifacts: 0,
             certified: 0,
             opts,
@@ -592,6 +613,10 @@ impl FleetEngine {
             self.fault_overhead_cycles += r.run.stats.fault_overhead_cycles;
             self.failover_cycles += r.run.stats.failover_cycles;
             self.hedge_cycles += r.run.stats.hedge_cycles;
+            self.launch_path_cycles += r.run.stats.launch_path_cycles;
+            self.graph_replays += r.run.stats.graph_replays;
+            self.graph_captures += r.run.stats.graph_captures;
+            self.graph_capture_cycles += r.run.stats.graph_capture_cycles;
             let d = &mut self.devices[r.device as usize];
             d.jobs_completed += 1;
             d.busy_secs += r.finish - r.exec_start;
@@ -1021,7 +1046,21 @@ impl FleetEngine {
                 let replay: f64 = r.run.launch_cycles[committed..completed].iter().sum();
                 let ship = timing.host_transfer_latency_cycles
                     + r.state_words as f64 * timing.host_transfer_cycles_per_word;
-                let overhead = ship + replay;
+                // A graph-dispatched run re-enters its captured graph at
+                // the committed node, but the capture itself was
+                // device-resident state the dead device took with it:
+                // re-entry on the replacement pays one fresh capture,
+                // billed as failover overhead (the original capture
+                // stays billed as productive cycles). The per-launch
+                // trace already carries replay-path costs for steady
+                // launches, so the window replay below re-enters at
+                // doorbell cost, exactly as the original run paid.
+                let recapture = if r.run.stats.graph_captures > 0 {
+                    r.run.stats.graph_capture_cycles / r.run.stats.graph_captures as f64
+                } else {
+                    0.0
+                };
+                let overhead = ship + replay + recapture;
                 r.run.stats.cycles += overhead;
                 r.run.stats.fault_overhead_cycles += overhead;
                 r.run.stats.failover_cycles += overhead;
@@ -1094,6 +1133,10 @@ impl FleetEngine {
             fault_overhead_cycles: self.fault_overhead_cycles.round() as u64,
             failover_cycles: self.failover_cycles.round() as u64,
             hedge_cycles: self.hedge_cycles.round() as u64,
+            launch_path_cycles: self.launch_path_cycles.round() as u64,
+            graph_replays: self.graph_replays,
+            graph_captures: self.graph_captures,
+            graph_capture_cycles: self.graph_capture_cycles.round() as u64,
             artifacts: self.artifacts,
             certified: self.certified,
             search_invocations: self.devices.iter().map(|d| d.search_invocations).sum(),

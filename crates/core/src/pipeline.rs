@@ -251,6 +251,11 @@ pub struct PipelineOptions {
     pub fault_plan: Option<FaultPlan>,
     /// How the scheduler spends the expected retry overhead.
     pub policy: FaultPolicy,
+    /// Ship artifacts that dispatch their steady state as a captured
+    /// graph ([`RunOptions::graph_dispatch`]). Part of the artifact's
+    /// identity: the serving cache keys on it, so graph-dispatched and
+    /// host-launched artifacts of the same program coexist.
+    pub graph_dispatch: bool,
 }
 
 /// A resiliently-compiled program: the artifact plus the ladder record.
@@ -366,6 +371,7 @@ impl ResilientPipeline {
                     self.opts.policy,
                     checkpoint,
                     self.opts.fault_plan.clone(),
+                    self.opts.graph_dispatch,
                 ));
             }
         }
@@ -401,6 +407,7 @@ impl ResilientPipeline {
                 self.opts.policy,
                 checkpoint,
                 self.opts.fault_plan.clone(),
+                self.opts.graph_dispatch,
             ));
         }
 
@@ -438,6 +445,7 @@ impl ResilientPipeline {
                 self.opts.policy,
                 checkpoint,
                 self.opts.fault_plan.clone(),
+                self.opts.graph_dispatch,
             ));
         }
 
@@ -469,6 +477,7 @@ impl ResilientPipeline {
                 self.opts.policy,
                 checkpoint,
                 self.opts.fault_plan.clone(),
+                self.opts.graph_dispatch,
             ));
         }
 
@@ -523,6 +532,7 @@ impl ResilientPipeline {
             self.opts.policy,
             checkpoint,
             self.opts.fault_plan.clone(),
+            self.opts.graph_dispatch,
         ))
     }
 }
@@ -632,6 +642,15 @@ fn verify_rung(
     serial: bool,
 ) -> Result<()> {
     let mut diags = verify::check_schedule(graph, &fe.ig, &fe.exec_cfg, sched, num_sms, 1);
+    // Pipelined rungs must also ship a sound steady-state capture: the
+    // event-edge set the codegen would emit for this schedule is checked
+    // against the independently re-derived dependence set (V05xx), so an
+    // artifact can be flipped to graph dispatch at serve time without
+    // re-verification.
+    if !serial {
+        let cap = crate::codegen::capture_graph(&fe.ig, sched, 1);
+        diags.extend(verify::check_capture(graph, &fe.ig, sched, 1, &cap));
+    }
     // The serial executor plans its buffers without a pipeline schedule
     // (stage span zero by construction); pipelined rungs plan against
     // the schedule they would ship with.
@@ -656,6 +675,7 @@ fn assemble(
     policy: FaultPolicy,
     checkpoint: CheckpointPlan,
     fault_plan: Option<FaultPlan>,
+    graph_dispatch: bool,
 ) -> ResilientCompiled {
     let scheme = match shipped {
         LadderRung::SerialSas => Scheme::Serial { batch: 1 },
@@ -686,7 +706,7 @@ fn assemble(
             checkpoint,
         },
         scheme,
-        run_options: run_options_for(policy, fault_plan),
+        run_options: run_options_for(policy, fault_plan, graph_dispatch),
         isolation,
     }
 }
@@ -705,10 +725,18 @@ pub const TAIL_LATENCY_WATCHDOG_MARGIN: u32 = 4;
 /// exactly the tail-for-throughput trade the policy axis encodes.
 /// Shared by the ladder and the serving cache's disk-reload path so a
 /// rebuilt artifact runs byte-identically to a fresh one.
+/// `graph_dispatch` arms [`RunOptions::graph_dispatch`]: the artifact's
+/// steady state replays its captured graph instead of host-launching
+/// (functionally inert; serial artifacts ignore it).
 #[must_use]
-pub fn run_options_for(policy: FaultPolicy, fault_plan: Option<FaultPlan>) -> RunOptions {
+pub fn run_options_for(
+    policy: FaultPolicy,
+    fault_plan: Option<FaultPlan>,
+    graph_dispatch: bool,
+) -> RunOptions {
     RunOptions {
         fault_plan,
+        graph_dispatch,
         watchdog_margin: match policy {
             FaultPolicy::Throughput => None,
             FaultPolicy::TailLatency => Some(TAIL_LATENCY_WATCHDOG_MARGIN),

@@ -62,6 +62,10 @@ pub fn cache_key(graph: &FlatGraph, opts: &PipelineOptions) -> u64 {
     h.str(&format!("{:?}", opts.budgets));
     h.str(&format!("{:?}", opts.policy));
     h.str(&format!("{:?}", opts.fault_plan));
+    // Dispatch mode is part of the artifact's identity: its run options
+    // differ, so graph-dispatched and host-launched artifacts of the same
+    // program must occupy distinct cache slots.
+    h.str(&format!("graph_dispatch={}", opts.graph_dispatch));
     h.finish()
 }
 
@@ -547,7 +551,11 @@ fn rebuild(value: &Value, graph: &FlatGraph, opts: &PipelineOptions) -> Result<R
             checkpoint,
         },
         scheme,
-        run_options: crate::pipeline::run_options_for(opts.policy, opts.fault_plan.clone()),
+        run_options: crate::pipeline::run_options_for(
+            opts.policy,
+            opts.fault_plan.clone(),
+            opts.graph_dispatch,
+        ),
         isolation,
     })
 }

@@ -746,6 +746,10 @@ impl EventEngine {
         m.retries += gpu_run.retries;
         m.cycles += gpu_run.stats.cycles.round() as u64;
         m.fault_overhead_cycles += gpu_run.stats.fault_overhead_cycles.round() as u64;
+        m.launch_path_cycles += gpu_run.stats.launch_path_cycles.round() as u64;
+        m.graph_replays += gpu_run.stats.graph_replays;
+        m.graph_captures += gpu_run.stats.graph_captures;
+        m.graph_capture_cycles += gpu_run.stats.graph_capture_cycles.round() as u64;
         m.latencies.push(finish - arrival);
         m.queue_waits.push(start - arrival);
         if cache_hit {
@@ -928,6 +932,8 @@ impl EventEngine {
             artifacts: self.artifacts,
             certified: self.certified,
             compile_overlap_secs: tenants.iter().map(|t| t.compile_overlap_secs).sum(),
+            launch_path_cycles: tenants.iter().map(|t| t.launch_path_cycles).sum(),
+            graph_replays: tenants.iter().map(|t| t.graph_replays).sum(),
             tenants,
         }
     }

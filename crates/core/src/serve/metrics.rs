@@ -52,6 +52,18 @@ pub struct ServeMetrics {
     /// every *other* tenant's service intervals — the virtual-time
     /// measure of compilation hidden behind execution.
     pub compile_overlap_secs: f64,
+    /// Cycles spent on the launch path across completed jobs: full host
+    /// launch overhead for host-launched rounds, the doorbell cost for
+    /// graph replays. The observable graph dispatch exists to shrink.
+    pub launch_path_cycles: u64,
+    /// Steady-state rounds dispatched as captured-graph replays.
+    pub graph_replays: u64,
+    /// One-time graph captures performed (once per graph-dispatched
+    /// run, plus re-captures after device-loss failover).
+    pub graph_captures: u64,
+    /// Cycles spent building captured graphs — the one-time cost the
+    /// replay savings must amortize.
+    pub graph_capture_cycles: u64,
 }
 
 impl ServeMetrics {
@@ -138,6 +150,18 @@ pub struct TenantReport {
     /// Virtual seconds of compile penalty hidden behind other tenants'
     /// execution ([`ServeMetrics::compile_overlap_secs`]).
     pub compile_overlap_secs: f64,
+    /// Launch-path cycles across this tenant's completed jobs
+    /// ([`ServeMetrics::launch_path_cycles`]): host launch overhead
+    /// plus graph-replay doorbells. Compare a graph-dispatched run
+    /// against a host-launched run of the same trace to read off the
+    /// launch-overhead savings.
+    pub launch_path_cycles: u64,
+    /// Steady-state rounds dispatched as captured-graph replays.
+    pub graph_replays: u64,
+    /// One-time graph captures performed for this tenant.
+    pub graph_captures: u64,
+    /// Cycles spent on graph capture (amortized by the replays above).
+    pub graph_capture_cycles: u64,
     /// The fault-policy recommendation, when one fired. When the
     /// resilience controller is enabled the row's `policy` is the
     /// controller's *effective* policy, so a recommendation the
@@ -178,6 +202,11 @@ pub struct ServeReport {
     /// Zero under the eager server; positive whenever the event engine
     /// overlapped a cache-miss compile with another tenant's run.
     pub compile_overlap_secs: f64,
+    /// Total launch-path cycles across all tenants (sum of the
+    /// per-tenant [`TenantReport::launch_path_cycles`]).
+    pub launch_path_cycles: u64,
+    /// Total captured-graph replays across all tenants.
+    pub graph_replays: u64,
     /// Per-tenant rows, in tenant-name order.
     pub tenants: Vec<TenantReport>,
 }
@@ -214,6 +243,10 @@ impl TenantReport {
             search_invocations: metrics.search_invocations,
             queue_wait_p99_secs: percentile_of(&metrics.queue_waits, 0.99),
             compile_overlap_secs: metrics.compile_overlap_secs,
+            launch_path_cycles: metrics.launch_path_cycles,
+            graph_replays: metrics.graph_replays,
+            graph_captures: metrics.graph_captures,
+            graph_capture_cycles: metrics.graph_capture_cycles,
             recommendation: metrics.recommendation(policy, retry_warn_threshold),
             policy_switches: 0,
             checkpoint_interval: 1,

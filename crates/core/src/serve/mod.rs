@@ -132,6 +132,13 @@ pub struct ServeOptions {
     /// disabled by default, in which case the engine is byte- and
     /// cycle-identical to one without a controller).
     pub resilience: ResilienceOptions,
+    /// Compile every tenant's artifact for captured-graph steady-state
+    /// dispatch ([`crate::exec::RunOptions::graph_dispatch`]): one
+    /// capture billed at steady entry, then doorbell-cost replays instead
+    /// of host launches. Keyed into the compilation cache, so flipping it
+    /// never aliases host-launched artifacts. Per-job outputs are
+    /// byte-identical either way.
+    pub graph_dispatch: bool,
 }
 
 impl ServeOptions {
@@ -170,6 +177,7 @@ impl Default for ServeOptions {
             retry_warn_threshold: 0.05,
             rate_alpha: 0.3,
             resilience: ResilienceOptions::default(),
+            graph_dispatch: false,
         }
     }
 }
@@ -241,6 +249,7 @@ pub(crate) fn pipeline_options_for(
         budgets: budgets_for(pressure, &opts.budgets),
         fault_plan: opts.fault_plan.clone(),
         policy,
+        graph_dispatch: opts.graph_dispatch,
     }
 }
 
@@ -415,6 +424,10 @@ impl Server {
         m.retries += run.retries;
         m.cycles += run.stats.cycles.round() as u64;
         m.fault_overhead_cycles += run.stats.fault_overhead_cycles.round() as u64;
+        m.launch_path_cycles += run.stats.launch_path_cycles.round() as u64;
+        m.graph_replays += run.stats.graph_replays;
+        m.graph_captures += run.stats.graph_captures;
+        m.graph_capture_cycles += run.stats.graph_capture_cycles.round() as u64;
         m.latencies.push(finish - now);
         m.queue_waits.push(start - now);
         if cache_hit {
@@ -486,6 +499,12 @@ impl Server {
                 .values()
                 .map(|s| s.metrics.compile_overlap_secs)
                 .sum(),
+            launch_path_cycles: self
+                .tenants
+                .values()
+                .map(|s| s.metrics.launch_path_cycles)
+                .sum(),
+            graph_replays: self.tenants.values().map(|s| s.metrics.graph_replays).sum(),
             tenants,
         }
     }

@@ -12,6 +12,11 @@
 //! * `V04xx` — tenant isolation (accesses escaping the artifact's
 //!   arena, aliasing a foreign region, checkpoint words shipped outside
 //!   their shadow, unprovable data-dependent addressing).
+//! * `V05xx` — captured-graph event-edge soundness (a cross-SM
+//!   dependence with no covering event edge is a race, an edge with no
+//!   underlying dependence or an over-strict lag loses overlap, a
+//!   same-replay edge cycle deadlocks replay, a capture whose node
+//!   placement diverges from the schedule is malformed).
 
 use std::fmt;
 
@@ -91,6 +96,23 @@ pub enum Code {
     /// An access's tenant ownership cannot be proven: its address is
     /// data-dependent, so the isolation proof must reject the artifact.
     UnprovableTenantAccess,
+    /// A cross-SM dependence of the modulo schedule has no covering
+    /// event edge in the captured steady-state graph (missing entirely,
+    /// or present only at a staler lag than the dependence requires):
+    /// replaying the capture races the consumer past its producer.
+    MissingEventEdge,
+    /// A captured event edge with no underlying dependence, a lag
+    /// stricter than any dependence requires, or a same-SM endpoint pair
+    /// already serialized by stream order: sound, but it stalls the
+    /// consumer on events it never needed — lost overlap.
+    SurplusEventEdge,
+    /// The capture's same-replay (lag-0) event edges form a cycle: every
+    /// node on it waits for another's completion event within the same
+    /// replay, so the replay never fires.
+    EventEdgeCycle,
+    /// The capture's node placement (SM or stage vectors) does not match
+    /// the schedule it claims to realize.
+    CaptureShape,
 }
 
 impl Code {
@@ -115,6 +137,10 @@ impl Code {
             Code::ForeignRegionAccess => "V0402",
             Code::CheckpointEscape => "V0403",
             Code::UnprovableTenantAccess => "V0404",
+            Code::MissingEventEdge => "V0501",
+            Code::SurplusEventEdge => "V0502",
+            Code::EventEdgeCycle => "V0503",
+            Code::CaptureShape => "V0504",
         }
     }
 
@@ -139,6 +165,10 @@ impl Code {
             Code::ForeignRegionAccess => "ForeignRegionAccess",
             Code::CheckpointEscape => "CheckpointEscape",
             Code::UnprovableTenantAccess => "UnprovableTenantAccess",
+            Code::MissingEventEdge => "MissingEventEdge",
+            Code::SurplusEventEdge => "SurplusEventEdge",
+            Code::EventEdgeCycle => "EventEdgeCycle",
+            Code::CaptureShape => "CaptureShape",
         }
     }
 
@@ -157,8 +187,12 @@ impl Code {
             | Code::IsolationEscape
             | Code::ForeignRegionAccess
             | Code::CheckpointEscape
-            | Code::UnprovableTenantAccess => Severity::Error,
-            Code::UncoalescedTraffic
+            | Code::UnprovableTenantAccess
+            | Code::MissingEventEdge
+            | Code::EventEdgeCycle
+            | Code::CaptureShape => Severity::Error,
+            Code::SurplusEventEdge
+            | Code::UncoalescedTraffic
             | Code::DataDependentBranch
             | Code::DataDependentPeekDepth
             | Code::RegionGeometry => Severity::Warning,
@@ -310,6 +344,35 @@ mod tests {
             assert_eq!(code.code(), id);
             assert_eq!(code.name(), name);
             assert_eq!(code.severity(), Severity::Error, "{id} must refuse to ship");
+        }
+    }
+
+    #[test]
+    fn event_edge_codes_are_stable() {
+        for (code, id, name, sev) in [
+            (
+                Code::MissingEventEdge,
+                "V0501",
+                "MissingEventEdge",
+                Severity::Error,
+            ),
+            (
+                Code::SurplusEventEdge,
+                "V0502",
+                "SurplusEventEdge",
+                Severity::Warning,
+            ),
+            (
+                Code::EventEdgeCycle,
+                "V0503",
+                "EventEdgeCycle",
+                Severity::Error,
+            ),
+            (Code::CaptureShape, "V0504", "CaptureShape", Severity::Error),
+        ] {
+            assert_eq!(code.code(), id);
+            assert_eq!(code.name(), name);
+            assert_eq!(code.severity(), sev, "{id}");
         }
     }
 

@@ -21,6 +21,14 @@
 //!   Successful proofs are stamped into an
 //!   [`isolate::IsolationCertificate`] that serving re-verifies cheaply
 //!   instead of re-running the proof.
+//! * [`events`] — captured-graph event-edge soundness: the steady-state
+//!   graph [`crate::codegen::capture_graph`] emits for graph dispatch
+//!   must gate every cross-SM dependence on a covering event edge
+//!   (missing/stale = race), carry no edge the dependence set does not
+//!   demand (surplus = lost overlap), and keep its same-replay edges
+//!   acyclic (cycle = replay deadlock), with the dependence set
+//!   re-derived from channel geometry rather than trusted from the
+//!   emitter (`V05xx`).
 //!
 //! The predicted counters are cross-checked against the simulator's
 //! dynamic counters in the test suite and by the `verify-all` binary, so
@@ -31,12 +39,14 @@ pub mod bounds;
 pub mod coalesce;
 pub mod deps;
 pub mod diag;
+pub mod events;
 pub mod isolate;
 
 pub use bounds::check_plan;
 pub use coalesce::{predict, predict_with_plan, Prediction, SiteReport, StaticCounters};
 pub use deps::check_schedule;
 pub use diag::{max_severity, passes, Code, Diagnostic, Severity};
+pub use events::check_capture;
 pub use isolate::{prove, verify_certificate, Isolation, IsolationCertificate};
 
 use crate::exec::{scheme_shape, Compiled, Scheme};
@@ -98,6 +108,12 @@ pub fn verify(c: &Compiled, scheme: Scheme, iterations: u64) -> Result<Verificat
             c.device.num_sms,
             granule,
         ));
+        // The captured steady-state graph this schedule would replay
+        // under graph dispatch must gate exactly the cross-SM dependence
+        // set — checked even for host-launched artifacts, so enabling
+        // graph dispatch later never changes the verification verdict.
+        let cap = crate::codegen::capture_graph(&c.ig, s, granule);
+        diagnostics.extend(events::check_capture(&c.graph, &c.ig, s, granule, &cap));
     }
     let plan = plan::plan(&c.graph, &c.ig, sched, granule, kind);
     diagnostics.extend(bounds::check_plan(&c.graph, &c.ig, sched, &plan));

@@ -67,6 +67,24 @@ pub struct Launch<'a> {
     pub sm_offset: u32,
 }
 
+/// How a kernel reaches the device: a host-driven driver launch paying
+/// the full fixed launch overhead, or a replay of a previously captured
+/// execution graph paying only the near-zero replay doorbell
+/// ([`TimingModel::graph_replay_overhead_cycles`]). Functional execution
+/// is identical either way — dispatch changes *when* overhead is paid,
+/// never *what* the kernel computes — and fault draws still key on the
+/// lifetime attempt ordinal, so a fault plan behaves identically under
+/// both modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dispatch {
+    /// Classic host-driven launch through the driver.
+    #[default]
+    HostLaunch,
+    /// Replay of a captured graph: node starts are gated by on-device
+    /// event edges, not the host launch path.
+    GraphReplay,
+}
+
 /// The simulated device: configuration, memory, allocator, and timing.
 #[derive(Debug, Clone)]
 pub struct Gpu {
@@ -215,6 +233,33 @@ impl Gpu {
     ///   [`SimError::is_transient`]; executors may retry the launch from
     ///   a consistent buffer state.
     pub fn run(&mut self, launch: &Launch<'_>) -> Result<LaunchStats> {
+        self.run_dispatched(launch, Dispatch::HostLaunch)
+    }
+
+    /// Replays `launch` as a captured graph: identical functional
+    /// execution and fault semantics to [`Gpu::run`], but the fixed host
+    /// launch path is replaced by the replay doorbell. The one-time
+    /// capture cost is the *caller's* to bill (via
+    /// [`TimingModel::graph_capture_cycles`]) — this models only the
+    /// per-replay economics.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Gpu::run`].
+    pub fn run_replay(&mut self, launch: &Launch<'_>) -> Result<LaunchStats> {
+        self.run_dispatched(launch, Dispatch::GraphReplay)
+    }
+
+    /// [`Gpu::run`] with an explicit dispatch mode.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Gpu::run`].
+    pub fn run_dispatched(
+        &mut self,
+        launch: &Launch<'_>,
+        dispatch: Dispatch,
+    ) -> Result<LaunchStats> {
         let attempt = self.launches_attempted;
         self.launches_attempted += 1;
         let (fault, trip_prefix) = match &self.fault_plan {
@@ -275,10 +320,29 @@ impl Gpu {
             return Err(limits.trip_error());
         }
 
-        let cycles =
-            self.timing
-                .launch_cycles(&per_sm, total_transactions, launch.blocks.len() as u64);
-        totals.fault_overhead_cycles = (spike_factor - 1.0) * self.timing.launch_overhead_cycles;
+        // An overhead spike multiplies whichever launch path this
+        // dispatch actually took: a spiked replay burns extra doorbell
+        // cycles, not the driver path it never walked.
+        let (cycles, path_overhead) = match dispatch {
+            Dispatch::HostLaunch => (
+                self.timing
+                    .launch_cycles(&per_sm, total_transactions, launch.blocks.len() as u64),
+                self.timing.launch_overhead_cycles,
+            ),
+            Dispatch::GraphReplay => {
+                totals.graph_replays = 1;
+                (
+                    self.timing.replay_cycles(
+                        &per_sm,
+                        total_transactions,
+                        launch.blocks.len() as u64,
+                    ),
+                    self.timing.graph_replay_overhead_cycles,
+                )
+            }
+        };
+        totals.launch_path_cycles = path_overhead;
+        totals.fault_overhead_cycles = (spike_factor - 1.0) * path_overhead;
         totals.spike_cycles = totals.fault_overhead_cycles;
         totals.per_sm_cycles = per_sm;
         totals.cycles = cycles + totals.fault_overhead_cycles;

@@ -56,6 +56,13 @@ pub struct SoakConfig {
     pub adaptive: bool,
     /// Whether a mid-trace brownout shrinks the device.
     pub brownout: bool,
+    /// Whether the storm run dispatches steady states as captured-graph
+    /// replays. On by default so every storm in the matrix covers
+    /// retries, checkpoint replay, and brownout recuts on the
+    /// graph-dispatch path; the golden twin always host-launches, so
+    /// the byte-identity invariant doubles as the dispatch
+    /// differential.
+    pub graph: bool,
 }
 
 impl Default for SoakConfig {
@@ -65,9 +72,14 @@ impl Default for SoakConfig {
             profile: "default".to_string(),
             rounds: 2,
             jobs: None,
-            iterations: 4,
+            // Deep enough that coarsened schedules still have a steady
+            // window (launch rounds > max_stage) — the storm must
+            // exercise captured-graph replays, not just the fill/drain
+            // host launches.
+            iterations: 16,
             adaptive: true,
             brownout: true,
+            graph: true,
         }
     }
 }
@@ -197,8 +209,11 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakRun {
 }
 
 /// The fault-free golden twin of [`run_soak`]: same trace, same
-/// engine configuration, no fault plan and no brownout. Survivor
-/// outputs from the storm run must be byte-identical to this.
+/// engine configuration, no fault plan, no brownout — and always
+/// host-launched, even when the storm run graph-dispatches. Survivor
+/// outputs from the storm run must be byte-identical to this, which
+/// makes the invariant a compound one: neither faults nor the dispatch
+/// mode may change *what* a job computes, only *when*.
 ///
 /// # Panics
 ///
@@ -211,6 +226,7 @@ pub fn run_golden(cfg: &SoakConfig) -> SoakRun {
 fn run_with_plan(cfg: &SoakConfig, stormy: bool) -> SoakRun {
     let opts = ServeOptions {
         fault_plan: stormy.then(|| storm_for(cfg).fault_plan()),
+        graph_dispatch: stormy && cfg.graph,
         resilience: ResilienceOptions {
             enabled: true,
             // Policy switching is gated by the upper band; pushing it
@@ -319,6 +335,25 @@ pub fn assert_invariants(cfg: &SoakConfig) -> SoakRun {
         stormy.events, replay.events,
         "event trace must replay deterministically"
     );
+
+    // 5. When the storm runs graph-dispatched, the coverage must be
+    // real: steady states actually replayed from captured graphs (the
+    // storm's retries and checkpoint restores therefore exercised the
+    // replay path, not just host launches), and the launch path got
+    // cheaper than the host-launched golden twin's.
+    if cfg.graph {
+        assert!(
+            stormy.report.graph_replays > 0,
+            "graph-dispatched storm replayed nothing: the soak's \
+             iterations are too shallow for any steady window"
+        );
+        assert!(
+            stormy.report.launch_path_cycles < golden.report.launch_path_cycles,
+            "graph dispatch must cut launch-path cycles ({} vs golden {})",
+            stormy.report.launch_path_cycles,
+            golden.report.launch_path_cycles
+        );
+    }
     stormy
 }
 
@@ -333,6 +368,9 @@ struct SoakSummary {
     rebalances: u64,
     cache_hit_rate: f64,
     makespan_secs: f64,
+    graph_dispatch: bool,
+    graph_replays: u64,
+    launch_path_cycles: u64,
     decisions: Vec<ControllerDecision>,
 }
 
@@ -348,8 +386,10 @@ fn parse_u64(s: &str) -> Option<u64> {
 /// Flags — one invocation path for the CI matrix and local repro:
 /// `--seed N` (repeatable; decimal or `0x` hex), `--profile NAME`
 /// (see [`storm_profile`]), `--rounds N`, `--jobs N` (truncate the
-/// trace to the first N jobs). Bare integer arguments are still
-/// accepted as seeds for back-compat with older scripts.
+/// trace to the first N jobs), `--host-launch` (disable the default
+/// graph dispatch so the storm exercises pure host launches). Bare
+/// integer arguments are still accepted as seeds for back-compat with
+/// older scripts.
 ///
 /// # Panics
 ///
@@ -385,6 +425,7 @@ pub fn main() {
                 let v = val("--jobs");
                 base.jobs = Some(v.parse().unwrap_or_else(|_| panic!("bad --jobs {v:?}")));
             }
+            "--host-launch" => base.graph = false,
             other => match parse_u64(other) {
                 Some(seed) => seeds.push(seed),
                 None => panic!("unknown flag {other}"),
@@ -424,6 +465,9 @@ pub fn main() {
         rebalances: run.report.rebalances,
         cache_hit_rate: run.report.cache_hit_rate,
         makespan_secs: run.report.makespan_secs,
+        graph_dispatch: base.graph,
+        graph_replays: run.report.graph_replays,
+        launch_path_cycles: run.report.launch_path_cycles,
         decisions: run.decisions,
     };
     let json = serde_json::to_string_pretty(&summary);

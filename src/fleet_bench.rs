@@ -38,6 +38,11 @@ pub const FULL_DEVICES: u32 = 8;
 /// with jobs in flight — the storm run must actually exercise
 /// checkpoint-shipping failover, not just kill idle fleet members.
 pub const FULL_SEED: u64 = 0xF1EE_700B;
+/// Default iterations per job in `--chaos` mode. Deeper than
+/// [`FULL_ITERATIONS`] so every benchmark's modulo schedule has a
+/// steady window to capture — the chaos run dispatches steady states
+/// as graph replays, and a device kill must be able to land mid-replay.
+pub const CHAOS_ITERATIONS: u64 = 48;
 
 /// The deterministic arrival trace: `rounds` round-robin rounds over
 /// the benchmark suite, 50 ms apart within a round, 1 s between rounds,
@@ -143,6 +148,18 @@ pub fn storm_options(devices: u32, seed: u64) -> FleetOptions {
     }
 }
 
+/// The `--chaos` configuration: the storm fleet with graph dispatch
+/// on, so rolling kills and the brownout land on jobs whose steady
+/// states run as captured-graph replays — failover must re-enter the
+/// captured graph from the shipped checkpoint, with the re-capture
+/// billed into the failover bucket.
+#[must_use]
+pub fn chaos_options(devices: u32, seed: u64) -> FleetOptions {
+    let mut opts = storm_options(devices, seed);
+    opts.base.graph_dispatch = true;
+    opts
+}
+
 /// Runs one fleet configuration over a trace, returning the report,
 /// the router's decision log, and the verdicts.
 ///
@@ -235,6 +252,16 @@ pub struct FleetChaosArtifact {
     pub seed: u64,
     /// Fleet size.
     pub devices: u32,
+    /// Whether the storm run dispatched steady states as captured-graph
+    /// replays (the default for `--chaos`).
+    pub graph_dispatch: bool,
+    /// Launch-path cycles of a host-launched run of the same storm —
+    /// the baseline the graph run's `report.launch_path_cycles` is
+    /// judged against.
+    pub host_launch_path_cycles: u64,
+    /// `host_launch_path_cycles - report.launch_path_cycles`: the
+    /// launch-overhead cycles graph dispatch eliminated under the storm.
+    pub saved_launch_cycles: u64,
     /// The storm-run report.
     pub report: FleetReport,
     /// Every router decision, in order — byte-identical across
@@ -399,16 +426,67 @@ pub fn main() {
     }
 
     if chaos {
-        let trace = fleet_trace(rounds, iterations);
-        let (report, decisions, _) = run_fleet(storm_options(devices, seed), &trace);
+        // Chaos runs default deeper than the bench trace so every
+        // benchmark has a steady window to capture; an explicit
+        // --iterations still overrides.
+        let iters = if iterations == FULL_ITERATIONS {
+            CHAOS_ITERATIONS
+        } else {
+            iterations
+        };
+        let trace = fleet_trace(rounds, iters);
+        // The same storm host-launched: the launch-overhead baseline
+        // and the byte-identity reference for the graph-dispatched run.
+        let (host, _, host_verdicts) = run_fleet(storm_options(devices, seed), &trace);
+        let (report, decisions, verdicts) = run_fleet(chaos_options(devices, seed), &trace);
+        assert_eq!(host.jobs_lost, 0, "host-launched chaos run lost jobs");
         assert_eq!(report.jobs_lost, 0, "chaos run lost jobs");
+        assert!(
+            report.graph_replays > 0,
+            "the chaos fleet replayed nothing: graph dispatch was not exercised"
+        );
+        assert!(
+            report.failovers > 0,
+            "the storm must catch an in-flight graph-dispatched job \
+             (mid-replay failover unexercised)"
+        );
+        assert!(
+            report.launch_path_cycles < host.launch_path_cycles,
+            "graph dispatch must cut the storm's launch-path cycles ({} vs {})",
+            report.launch_path_cycles,
+            host.launch_path_cycles
+        );
+        // Dispatch mode may change when things finish, never what jobs
+        // compute: every job completed under both modes with
+        // byte-identical outputs.
+        for (i, (h, g)) in host_verdicts.iter().zip(&verdicts).enumerate() {
+            match (h, g) {
+                (FleetVerdict::Completed(h), FleetVerdict::Completed(g)) => {
+                    assert_eq!(
+                        h.outputs, g.outputs,
+                        "job {i}: graph-dispatched output diverged from host-launched"
+                    );
+                }
+                _ => panic!("job {i}: completion pattern diverged across dispatch modes"),
+            }
+        }
         print_report("storm", &report);
         let artifact = FleetChaosArtifact {
             seed,
             devices,
+            graph_dispatch: true,
+            host_launch_path_cycles: host.launch_path_cycles,
+            saved_launch_cycles: host.launch_path_cycles - report.launch_path_cycles,
             report,
             decisions,
         };
+        println!(
+            "graph dispatch under storm: launch path {} -> {} cycles ({} replays, {} failovers)",
+            artifact.host_launch_path_cycles,
+            artifact.report.launch_path_cycles,
+            artifact.report.graph_replays,
+            artifact.report.failovers,
+        );
         write_json(&artifact, "FLEET_chaos.json");
         println!(
             "wrote FLEET_chaos.json ({} decisions)",

@@ -18,6 +18,7 @@
 //! cache hit rate, and compile overlap — for the CI artifact upload.
 
 use gpusim::FaultPlan;
+use serde::Serialize;
 use swpipe::serve::{
     EventEngine, Job, QosClass, ResilienceOptions, ServeOptions, ServeReport, Verdict,
 };
@@ -28,6 +29,17 @@ use swpipe::serve::{
 pub const FULL_ROUNDS: usize = 6;
 /// Steady-state iterations per job in the full benchmark.
 pub const FULL_ITERATIONS: u64 = 4;
+/// Arrival rounds of the graph-dispatch differential (`--graph`).
+pub const GRAPH_ROUNDS: usize = 2;
+/// Steady-state iterations per job in the graph-dispatch differential.
+/// Deliberately deeper than [`FULL_ITERATIONS`]: a modulo schedule only
+/// has a capturable steady state once the pipeline has filled
+/// (`launch rounds > max_stage`, where a coarsened schedule folds
+/// several iterations into one round), so the differential runs long
+/// enough that every benchmark's steady window dominates — at 48
+/// iterations all eight benchmarks replay, including the deeply
+/// coarsened DES.
+pub const GRAPH_ITERATIONS: u64 = 48;
 
 /// Serves every benchmark as its own tenant for `rounds` round-robin
 /// arrival rounds of `iterations`-iteration jobs, returning the report.
@@ -57,7 +69,29 @@ pub fn run_trace_outputs(
     iterations: u64,
     warm: bool,
 ) -> (ServeReport, Vec<Vec<streamir::ir::Scalar>>) {
+    run_trace_configured(rounds, iterations, warm, false)
+}
+
+/// [`run_trace_outputs`] with the dispatch mode explicit: when
+/// `graph_dispatch` is set, every tenant's steady state runs as
+/// captured-graph replays instead of per-round host launches. The
+/// trace, fault plan, and controller configuration are otherwise
+/// identical, so a host-launched and a graph-dispatched run of the
+/// same `(rounds, iterations)` are directly comparable — and must be
+/// byte-identical in every job's output stream.
+///
+/// # Panics
+///
+/// See [`run_trace`].
+#[must_use]
+pub fn run_trace_configured(
+    rounds: usize,
+    iterations: u64,
+    warm: bool,
+    graph_dispatch: bool,
+) -> (ServeReport, Vec<Vec<streamir::ir::Scalar>>) {
     let opts = ServeOptions {
+        graph_dispatch,
         // A mild transient-fault environment (3% of launch attempts)
         // so retry-rate and fault-overhead metrics are non-trivial.
         fault_plan: Some(FaultPlan::new(0x5EB7E).with_launch_failures(30)),
@@ -151,7 +185,7 @@ pub fn run_trace_outputs(
 /// # Panics
 ///
 /// Panics when the file cannot be written.
-pub fn write_report(report: &ServeReport, path: &str) {
+pub fn write_report<T: Serialize>(report: &T, path: &str) {
     let json = serde_json::to_string_pretty(report);
     std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
 }
@@ -300,6 +334,205 @@ pub fn run_warm_differential(rounds: usize, iterations: u64, baseline: &str) -> 
     warm
 }
 
+/// One benchmark's row of the graph-dispatch differential: the same
+/// trace's launch-path spend under host launches vs. captured-graph
+/// replays.
+#[derive(Debug, Clone, Serialize)]
+pub struct GraphTenantRow {
+    /// Tenant (benchmark) name.
+    pub tenant: String,
+    /// Launch-path cycles with every round host-launched.
+    pub host_launch_cycles: u64,
+    /// Launch-path cycles with steady-state rounds replayed from the
+    /// captured graph (prologue/epilogue still host-launched).
+    pub graph_launch_cycles: u64,
+    /// One-time capture cycles the replays must amortize.
+    pub graph_capture_cycles: u64,
+    /// Steady-state rounds dispatched as replays.
+    pub graph_replays: u64,
+    /// `host_launch_cycles - graph_launch_cycles` — the launch-tax
+    /// savings, before the capture cost.
+    pub saved_launch_cycles: u64,
+    /// Savings net of the capture cost; negative when a trace is too
+    /// short to amortize its captures.
+    pub net_saved_cycles: i64,
+}
+
+/// The graph-dispatch differential artifact (`BENCH_serve_graph.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct GraphBenchReport {
+    /// Arrival rounds served.
+    pub rounds: u64,
+    /// Iterations per job.
+    pub iterations: u64,
+    /// Total launch-path cycles under host launches.
+    pub host_launch_cycles: u64,
+    /// Total launch-path cycles under graph dispatch.
+    pub graph_launch_cycles: u64,
+    /// Total capture cycles paid.
+    pub graph_capture_cycles: u64,
+    /// Total steady-state replays.
+    pub graph_replays: u64,
+    /// Total launch-tax savings (host − graph), before capture costs.
+    pub saved_launch_cycles: u64,
+    /// Total savings net of capture costs.
+    pub net_saved_cycles: i64,
+    /// Fraction of the host run's launch-path spend eliminated.
+    pub saved_share: f64,
+    /// Per-benchmark rows, in tenant-name order.
+    pub tenants: Vec<GraphTenantRow>,
+}
+
+/// Runs the graph-dispatch differential: the same trace host-launched
+/// and graph-dispatched, asserting that graph dispatch is
+/// semantics-neutral (every job's output stream byte-identical) and
+/// that it pays (launch-path cycles never higher for any tenant,
+/// strictly and measurably lower for the deep pipelines DES and
+/// FMRadio, and lower in total even after the capture costs).
+///
+/// # Panics
+///
+/// Panics when any of those acceptance properties fails.
+#[must_use]
+pub fn run_graph_differential(rounds: usize, iterations: u64) -> GraphBenchReport {
+    let (host, host_outputs) = run_trace_configured(rounds, iterations, false, false);
+    let (graph, graph_outputs) = run_trace_configured(rounds, iterations, false, true);
+    assert_eq!(
+        host_outputs, graph_outputs,
+        "graph dispatch must not change any job's output stream"
+    );
+
+    let mut tenants = Vec::with_capacity(host.tenants.len());
+    for (h, g) in host.tenants.iter().zip(&graph.tenants) {
+        assert_eq!(h.tenant, g.tenant, "tenant rows must align");
+        assert!(
+            g.launch_path_cycles <= h.launch_path_cycles,
+            "{}: graph dispatch raised launch-path cycles ({} > {})",
+            g.tenant,
+            g.launch_path_cycles,
+            h.launch_path_cycles
+        );
+        let saved = h.launch_path_cycles - g.launch_path_cycles;
+        tenants.push(GraphTenantRow {
+            tenant: g.tenant.clone(),
+            host_launch_cycles: h.launch_path_cycles,
+            graph_launch_cycles: g.launch_path_cycles,
+            graph_capture_cycles: g.graph_capture_cycles,
+            graph_replays: g.graph_replays,
+            saved_launch_cycles: saved,
+            net_saved_cycles: saved as i64 - g.graph_capture_cycles as i64,
+        });
+    }
+    // The acceptance benchmarks: deep pipelines whose steady state
+    // dominates the trace must show a measurable launch-tax cut, not a
+    // rounding-level one.
+    for name in ["DES", "FMRadio"] {
+        let row = tenants
+            .iter()
+            .find(|t| t.tenant == name)
+            .unwrap_or_else(|| panic!("{name} missing from the differential"));
+        assert!(
+            row.graph_replays > 0,
+            "{name}: no steady-state rounds were replayed"
+        );
+        assert!(
+            row.graph_launch_cycles < row.host_launch_cycles,
+            "{name}: graph dispatch must strictly cut launch-path cycles \
+             ({} vs {})",
+            row.graph_launch_cycles,
+            row.host_launch_cycles
+        );
+        assert!(
+            row.net_saved_cycles > 0,
+            "{name}: replay savings must amortize the capture cost \
+             (net {} cycles)",
+            row.net_saved_cycles
+        );
+    }
+    let saved = host.launch_path_cycles - graph.launch_path_cycles;
+    let capture: u64 = tenants.iter().map(|t| t.graph_capture_cycles).sum();
+    let net = saved as i64 - capture as i64;
+    assert!(
+        net > 0,
+        "graph dispatch must save launch cycles in total, net of captures (net {net})"
+    );
+    GraphBenchReport {
+        rounds: rounds as u64,
+        iterations,
+        host_launch_cycles: host.launch_path_cycles,
+        graph_launch_cycles: graph.launch_path_cycles,
+        graph_capture_cycles: capture,
+        graph_replays: graph.graph_replays,
+        saved_launch_cycles: saved,
+        net_saved_cycles: net,
+        saved_share: if host.launch_path_cycles == 0 {
+            0.0
+        } else {
+            saved as f64 / host.launch_path_cycles as f64
+        },
+        tenants,
+    }
+}
+
+/// Compares the committed `BENCH_serve_graph.json` against a fresh
+/// differential run — the graph-dispatch counterpart of
+/// [`check_drift`]. The trace is deterministic in virtual time and the
+/// launch-path accounting is exact, so both the schema and every
+/// cycle counter must reproduce.
+///
+/// # Errors
+///
+/// Returns every drift found, one human-readable line each.
+pub fn check_graph_drift(fresh: &GraphBenchReport, committed: &str) -> Result<(), Vec<String>> {
+    let fresh_v =
+        serde_json::from_str(&serde_json::to_string(fresh)).expect("fresh report renders as JSON");
+    let committed_v = match serde_json::from_str(committed) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("committed artifact is not valid JSON: {e}")]),
+    };
+    let mut drifts = Vec::new();
+
+    let mut want = Vec::new();
+    schema_paths(&fresh_v, "", &mut want);
+    let mut have = Vec::new();
+    schema_paths(&committed_v, "", &mut have);
+    want.sort();
+    want.dedup();
+    have.sort();
+    have.dedup();
+    for p in want.iter().filter(|p| !have.contains(p)) {
+        drifts.push(format!("schema: committed file is missing key {p}"));
+    }
+    for p in have.iter().filter(|p| !want.contains(p)) {
+        drifts.push(format!("schema: committed file has stale key {p}"));
+    }
+
+    for path in [
+        "host_launch_cycles",
+        "graph_launch_cycles",
+        "graph_capture_cycles",
+        "graph_replays",
+        "saved_launch_cycles",
+        "net_saved_cycles",
+    ] {
+        let f = lookup(&fresh_v, path).and_then(serde_json::Value::as_f64);
+        let c = lookup(&committed_v, path).and_then(serde_json::Value::as_f64);
+        match (f, c) {
+            (Some(f), Some(c)) if (f - c).abs() > 1e-9 * (1.0 + f.abs()) => {
+                drifts.push(format!("counter {path}: committed {c} != fresh {f}"));
+            }
+            (Some(f), None) => drifts.push(format!("counter {path}: missing (fresh has {f})")),
+            _ => {}
+        }
+    }
+
+    if drifts.is_empty() {
+        Ok(())
+    } else {
+        Err(drifts)
+    }
+}
+
 /// Entry point for the `serve_bench` binary.
 ///
 /// With no arguments, runs the full benchmark and writes
@@ -309,9 +542,56 @@ pub fn run_warm_differential(rounds: usize, iterations: u64, baseline: &str) -> 
 /// the committed numbers honest. With `--warm [baseline]`, runs the
 /// warm-started differential against the committed baseline (default
 /// `BENCH_serve.json`; see [`run_warm_differential`]) and writes
-/// `BENCH_serve_warm.json`.
+/// `BENCH_serve_warm.json`. With `--graph`, runs the graph-dispatch
+/// differential ([`run_graph_differential`]) and writes
+/// `BENCH_serve_graph.json`; `--graph --check <path>` drift-gates the
+/// committed artifact instead.
 pub fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--graph") {
+        let fresh = run_graph_differential(GRAPH_ROUNDS, GRAPH_ITERATIONS);
+        if args.get(1).map(String::as_str) == Some("--check") {
+            let path = args.get(2).expect("--graph --check needs a path");
+            let committed =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+            match check_graph_drift(&fresh, &committed) {
+                Ok(()) => println!("{path}: no drift against a fresh run"),
+                Err(drifts) => {
+                    eprintln!("{path} has drifted from a fresh run:");
+                    for d in &drifts {
+                        eprintln!("  - {d}");
+                    }
+                    eprintln!("regenerate with: cargo run --release --bin serve_bench -- --graph");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
+        assert!(args.len() == 1, "unknown arguments {args:?}");
+        for t in &fresh.tenants {
+            println!(
+                "{:>18}  host {:>12} cy  graph {:>12} cy  capture {:>9} cy  \
+                 {:>4} replays  net saved {:>12} cy",
+                t.tenant,
+                t.host_launch_cycles,
+                t.graph_launch_cycles,
+                t.graph_capture_cycles,
+                t.graph_replays,
+                t.net_saved_cycles,
+            );
+        }
+        println!(
+            "launch path: {} -> {} cycles ({:.1}% cut, {} net after {} capture cycles)",
+            fresh.host_launch_cycles,
+            fresh.graph_launch_cycles,
+            fresh.saved_share * 100.0,
+            fresh.net_saved_cycles,
+            fresh.graph_capture_cycles,
+        );
+        write_report(&fresh, "BENCH_serve_graph.json");
+        println!("wrote BENCH_serve_graph.json");
+        return;
+    }
     if args.first().map(String::as_str) == Some("--warm") {
         let path = args.get(1).map_or("BENCH_serve.json", String::as_str);
         let committed =
@@ -418,5 +698,55 @@ mod tests {
     fn drift_check_rejects_garbage() {
         let report = run_trace(2, 1);
         assert!(check_drift(&report, "{not json").is_err());
+    }
+
+    /// The graph drift gate needs no serving run: it compares JSON
+    /// trees, so a hand-built report exercises accept, schema drift,
+    /// and counter drift cheaply.
+    fn tiny_graph_report() -> GraphBenchReport {
+        GraphBenchReport {
+            rounds: 1,
+            iterations: 2,
+            host_launch_cycles: 320_000,
+            graph_launch_cycles: 40_000,
+            graph_capture_cycles: 30_000,
+            graph_replays: 16,
+            saved_launch_cycles: 280_000,
+            net_saved_cycles: 250_000,
+            saved_share: 0.875,
+            tenants: vec![GraphTenantRow {
+                tenant: "DES".to_string(),
+                host_launch_cycles: 320_000,
+                graph_launch_cycles: 40_000,
+                graph_capture_cycles: 30_000,
+                graph_replays: 16,
+                saved_launch_cycles: 280_000,
+                net_saved_cycles: 250_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn graph_drift_check_accepts_faithful_and_catches_drift() {
+        let report = tiny_graph_report();
+        let json = serde_json::to_string_pretty(&report);
+        assert_eq!(check_graph_drift(&report, &json), Ok(()));
+
+        let renamed = json.replacen("\"graph_replays\"", "\"replays\"", 1);
+        let drifts = check_graph_drift(&report, &renamed).unwrap_err();
+        assert!(
+            drifts.iter().any(|d| d.contains("schema")),
+            "renamed key must read as schema drift: {drifts:?}"
+        );
+
+        let mut stale = report.clone();
+        stale.graph_launch_cycles += 1;
+        let drifts = check_graph_drift(&stale, &json).unwrap_err();
+        assert!(
+            drifts.iter().any(|d| d.contains("graph_launch_cycles")),
+            "stale counter must be flagged: {drifts:?}"
+        );
+
+        assert!(check_graph_drift(&report, "{not json").is_err());
     }
 }

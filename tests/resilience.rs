@@ -260,6 +260,7 @@ proptest! {
                 placement: None,
                 checkpoint_interval: 1,
                 watchdog_margin: None,
+                graph_dispatch: false,
             };
             let faulted = exec::execute_with(
                 &cb.compiled,
@@ -343,6 +344,7 @@ fn armed_checkpointing_is_never_free_for_stateful_programs() {
         placement: None,
         checkpoint_interval: 1,
         watchdog_margin: None,
+        graph_dispatch: false,
     };
 
     let stateful = exec::compile(&stateful_graph(), &CompileOptions::small_test()).unwrap();
@@ -407,6 +409,7 @@ fn double_buffered_checkpoint_recovers_bit_identically_and_is_cheaper() {
                 placement: None,
                 checkpoint_interval: 1,
                 watchdog_margin: None,
+                graph_dispatch: false,
             },
         )
         .unwrap()
@@ -570,6 +573,7 @@ fn fault_matrix_pinned_kinds_recover_bit_identically() {
                 placement: None,
                 checkpoint_interval: 1,
                 watchdog_margin: None,
+                graph_dispatch: false,
             },
         )
         .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -615,6 +619,7 @@ fn run_at_interval(plan: &FaultPlan, k: u32) -> exec::GpuRun {
             placement: None,
             checkpoint_interval: k,
             watchdog_margin: None,
+            graph_dispatch: false,
         },
     )
     .unwrap()

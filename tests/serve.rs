@@ -42,6 +42,7 @@ fn solo_options(num_sms: u32, qos: QosClass) -> PipelineOptions {
         budgets: serve.budgets,
         fault_plan: None,
         policy: qos.policy(),
+        graph_dispatch: false,
     }
 }
 
